@@ -1,0 +1,343 @@
+(* The benchmark harness: regenerates every table and figure of the
+   paper's evaluation, the §4 design-space observations, two ablations,
+   and wall-clock throughput benches (one bechamel Test per table).
+
+   Run with: dune exec bench/main.exe *)
+
+open Hwpat_core
+open Hwpat_video
+
+let banner title =
+  let bar = String.make 72 '=' in
+  Printf.printf "\n%s\n== %s\n%s\n" bar title bar
+
+(* ---------------------------------------------------------------- *)
+(* Table 1 and Table 2: the component library's capability matrices,
+   regenerated from the metamodels.                                   *)
+(* ---------------------------------------------------------------- *)
+
+let table1 () =
+  banner "Table 1 — common containers (regenerated from the metamodel)";
+  print_endline Hwpat_meta.Metamodel.table1
+
+let table2 () =
+  banner "Table 2 — iterator operations (regenerated from the metamodel)";
+  print_endline Hwpat_meta.Metamodel.table2
+
+(* ---------------------------------------------------------------- *)
+(* Figure 2: the pattern, as catalogued.                              *)
+(* ---------------------------------------------------------------- *)
+
+let figure2 () =
+  banner "Figure 2 — the Iterator pattern (catalog entry)";
+  print_endline (Hwpat_core.Pattern.describe Hwpat_core.Pattern.iterator)
+
+(* ---------------------------------------------------------------- *)
+(* Figures 4 and 5: generated VHDL for rbuffer over FIFO and SRAM.    *)
+(* ---------------------------------------------------------------- *)
+
+let figures_4_5 () =
+  banner "Figure 4 — generated rbuffer_fifo (metaprogramming back-end)";
+  let fifo_cfg =
+    Hwpat_meta.Config.make ~instance_name:"rbuffer"
+      ~kind:Hwpat_meta.Metamodel.Read_buffer ~target:Hwpat_meta.Metamodel.Fifo_core
+      ~elem_width:8 ~depth:512 ()
+  in
+  print_endline (Hwpat_meta.Codegen.container_entity fifo_cfg);
+  banner "Figure 5 — generated rbuffer_sram (implementation-interface delta)";
+  let sram_cfg =
+    Hwpat_meta.Config.make ~instance_name:"rbuffer"
+      ~kind:Hwpat_meta.Metamodel.Read_buffer ~target:Hwpat_meta.Metamodel.Ext_sram
+      ~elem_width:8 ~depth:512 ~addr_width:16 ()
+  in
+  print_endline (Hwpat_meta.Codegen.container_entity sram_cfg);
+  Printf.printf "(lint: figure 4 %s, figure 5 %s)\n"
+    (if Hwpat_meta.Vhdl_lint.is_clean (Hwpat_meta.Codegen.generate_container fifo_cfg)
+     then "clean" else "ISSUES")
+    (if Hwpat_meta.Vhdl_lint.is_clean (Hwpat_meta.Codegen.generate_container sram_cfg)
+     then "clean" else "ISSUES")
+
+(* ---------------------------------------------------------------- *)
+(* Table 3: the design experiments.                                   *)
+(* ---------------------------------------------------------------- *)
+
+let table3_rows = lazy (Experiment.table3 ~frame_width:32 ~frame_height:32 ())
+
+let table3 () =
+  banner "Table 3 — design experiments (pattern/custom, ours vs paper)";
+  print_string (Experiment.render_table3 (Lazy.force table3_rows));
+  print_endline "";
+  List.iter
+    (fun r ->
+      Printf.printf "  %-10s LUT overhead of the pattern version: %+.1f%%\n"
+        r.Experiment.label
+        (Hwpat_synthesis.Resource_report.overhead_percent r.Experiment.comparison))
+    (Lazy.force table3_rows);
+  print_endline
+    "\n  Shape check (paper's claims): pattern ~ custom per design; saa2vga 1\n\
+    \  uses 2 block RAMs vs 0 for saa2vga 2; blur >> copy designs in area.\n\
+    \  Absolute numbers differ from the paper (our substrate is a calibrated\n\
+    \  cost model, not ISE on real silicon); the relative structure is the\n\
+    \  reproduced result."
+
+(* ---------------------------------------------------------------- *)
+(* Throughput: simulated cycles per pixel for every design.           *)
+(* ---------------------------------------------------------------- *)
+
+let throughput () =
+  banner "Throughput — simulated cycles per pixel (16x16 frame)";
+  let frame = Pattern.gradient ~width:16 ~height:16 ~depth:8 in
+  let run circuit ~ow ~oh =
+    (Experiment.run_video_system circuit ~input:frame ~out_width:ow ~out_height:oh)
+      .Experiment.cycles_per_pixel
+  in
+  List.iter
+    (fun (substrate, style) ->
+      let c = Saa2vga.build ~depth:32 ~substrate ~style () in
+      Printf.printf "  %-26s %6.2f cycles/pixel\n"
+        (Saa2vga.name ~substrate ~style)
+        (run c ~ow:16 ~oh:16))
+    (Saa2vga.all_variants @ [ (Saa2vga.Sram_shared, Saa2vga.Pattern) ]);
+  List.iter
+    (fun style ->
+      let c = Blur_system.build ~image_width:16 ~max_rows:16 ~style () in
+      Printf.printf "  %-26s %6.2f cycles/pixel\n" (Blur_system.name ~style)
+        (run c ~ow:14 ~oh:14))
+    [ Blur_system.Pattern; Blur_system.Custom ];
+  let sob = Sobel_system.build ~image_width:16 ~max_rows:16 () in
+  Printf.printf "  %-26s %6.2f cycles/pixel\n" "sobel_pattern"
+    (run sob ~ow:14 ~oh:14);
+  print_endline
+    "\n  The FIFO substrate sustains ~3 cycles/pixel; private SRAMs pay\n\
+    \  wait states per access; the shared SRAM additionally serialises the\n\
+    \  two buffers through the arbiter — §4's performance ordering."
+
+(* ---------------------------------------------------------------- *)
+(* §4 prose: FIFO vs SRAM design points across wait states.           *)
+(* ---------------------------------------------------------------- *)
+
+let design_space_section () =
+  banner "§4 design space — FIFO vs SRAM points (wait-state sweep)";
+  let points =
+    { Characterize.container = "queue"; target = "fifo"; elem_width = 8;
+      depth = 512; wait_states = 0 }
+    :: List.map
+         (fun ws ->
+           { Characterize.container = "queue"; target = "sram"; elem_width = 8;
+             depth = 512; wait_states = ws })
+         [ 0; 1; 2; 3; 4 ]
+  in
+  let candidates = List.map Characterize.characterize points in
+  print_endline (Hwpat_synthesis.Design_space.to_table candidates);
+  print_endline
+    "\n  The FIFO point: lowest cycles/access, costs a block RAM (max\n\
+    \  performance at the highest cost). The SRAM points: no block RAM,\n\
+    \  latency grows with wait states (smaller, memory-bound) — §4's two\n\
+    \  ends of the design space.";
+  banner "§3.4 region of interest under constraints (no block RAM)";
+  print_endline
+    (Characterize.region_report
+       ~constraints:
+         { Hwpat_synthesis.Design_space.no_constraints with
+           Hwpat_synthesis.Design_space.max_brams = Some 0 }
+       candidates)
+
+(* ---------------------------------------------------------------- *)
+(* Ablation A1: operation pruning.                                    *)
+(* ---------------------------------------------------------------- *)
+
+let ablation_pruning () =
+  banner "Ablation A1 — unused-operation pruning (metamodel ports)";
+  let full =
+    Hwpat_meta.Config.make ~instance_name:"q" ~kind:Hwpat_meta.Metamodel.Queue
+      ~target:Hwpat_meta.Metamodel.Ext_sram ~elem_width:8 ~depth:512 ()
+  in
+  let pruned =
+    Hwpat_meta.Config.make ~instance_name:"q" ~kind:Hwpat_meta.Metamodel.Queue
+      ~target:Hwpat_meta.Metamodel.Ext_sram ~elem_width:8 ~depth:512
+      ~ops_used:[ Hwpat_meta.Metamodel.Read; Hwpat_meta.Metamodel.Inc ] ()
+  in
+  let count cfg =
+    List.length (Hwpat_meta.Codegen.functional_ports cfg)
+    + List.length (Hwpat_meta.Codegen.implementation_ports cfg)
+  in
+  Printf.printf "full interface   : %d ports\n" (count full);
+  Printf.printf "read+inc pruned  : %d ports\n" (count pruned);
+  Printf.printf
+    "VHDL lines       : %d (full) vs %d (pruned)\n"
+    (List.length (String.split_on_char '\n' (Hwpat_meta.Codegen.generate_container full)))
+    (List.length (String.split_on_char '\n' (Hwpat_meta.Codegen.generate_container pruned)));
+  (* At the netlist level: a random iterator generated with the full
+     Table 2 operation set versus one with only read+inc. Tying the
+     unused requests to ground lets the optimiser strip the dec/index/
+     write machinery — "including only those resources that are really
+     used by the selected operations". *)
+  let open Hwpat_rtl.Signal in
+  let open Hwpat_containers in
+  let open Hwpat_iterators in
+  let build ~pruned =
+    let driver =
+      {
+        Iterator_intf.inc_req = input "inc" 1;
+        dec_req = (if pruned then gnd else input "dec" 1);
+        read_req = input "rd" 1;
+        write_req = (if pruned then gnd else input "wr" 1);
+        write_data = (if pruned then zero 8 else input "wd" 8);
+        index_req = (if pruned then gnd else input "ix" 1);
+        index_pos = (if pruned then zero 5 else input "ip" 5);
+      }
+    in
+    let rit =
+      Random_iterator.create ~length:16
+        ~vector:(Vector_c.over_bram ~length:16 ~width:8)
+        driver
+    in
+    let it = rit.Random_iterator.iterator in
+    Hwpat_rtl.Optimize.circuit
+      (Hwpat_rtl.Circuit.create_exn ~name:(if pruned then "pruned" else "full")
+         [
+           ("read_ack", it.Iterator_intf.read_ack);
+           ("read_data", it.Iterator_intf.read_data);
+           ("inc_ack", it.Iterator_intf.inc_ack);
+         ])
+  in
+  let f = Hwpat_synthesis.Techmap.estimate (build ~pruned:false) in
+  let r = Hwpat_synthesis.Techmap.estimate (build ~pruned:true) in
+  Format.printf "random iterator, all ops (netlist) : %a@." Hwpat_synthesis.Techmap.pp f;
+  Format.printf "random iterator, read+inc (netlist): %a@." Hwpat_synthesis.Techmap.pp r
+
+(* ---------------------------------------------------------------- *)
+(* Ablation A2: width adaptation (24-bit pixels over 8/24-bit buses).  *)
+(* ---------------------------------------------------------------- *)
+
+let ablation_width () =
+  banner "Ablation A2 — pixel-format width adaptation (§3.3)";
+  let open Hwpat_rtl.Signal in
+  let open Hwpat_containers in
+  let open Hwpat_iterators in
+  let wide () =
+    let d =
+      { Container_intf.get_req = input "g" 1; put_req = input "p" 1;
+        put_data = input "d" 24 }
+    in
+    let q = Queue_c.over_fifo ~depth:16 ~width:24 d in
+    Hwpat_rtl.Circuit.create_exn ~name:"wide24"
+      [ ("ga", q.Container_intf.get_ack); ("gd", q.Container_intf.get_data) ]
+  in
+  let narrow () =
+    let driver =
+      { (Iterator_intf.driver_stub ~data_width:24 ~pos_width:1) with
+        Iterator_intf.read_req = input "r" 1; inc_req = input "i" 1 }
+    in
+    let it, () =
+      Multi_word_iterator.input ~elem_width:24 ~bus_width:8
+        ~build:(fun ~get_req ->
+          let d =
+            { Container_intf.get_req; put_req = input "p" 1;
+              put_data = input "d" 8 }
+          in
+          (Queue_c.over_fifo ~depth:64 ~width:8 d, ()))
+        driver
+    in
+    Hwpat_rtl.Circuit.create_exn ~name:"narrow8"
+      [ ("ga", it.Iterator_intf.read_ack); ("gd", it.Iterator_intf.read_data) ]
+  in
+  let w = Hwpat_synthesis.Techmap.estimate (wide ()) in
+  let n = Hwpat_synthesis.Techmap.estimate (narrow ()) in
+  Format.printf "24-bit bus (regenerated base type): %a@." Hwpat_synthesis.Techmap.pp w;
+  Format.printf "8-bit bus (multi-word iterator)   : %a@." Hwpat_synthesis.Techmap.pp n;
+  (* And as complete video systems, functional equivalence included. *)
+  let frame = Pattern.rgb_gradient ~width:8 ~height:6 in
+  List.iter
+    (fun bus ->
+      let c = Saa2vga_rgb.build ~depth:32 ~bus () in
+      let r =
+        Experiment.run_video_system c ~input:frame ~out_width:8 ~out_height:6
+      in
+      let res = Hwpat_synthesis.Resource_report.of_circuit c in
+      Printf.printf "%-20s %4d LUTs %4d FFs %2d BRAM  %5.1f cyc/px  %s\n"
+        (match bus with `Wide -> "system, 24-bit bus:" | `Narrow -> "system, 8-bit bus:")
+        res.Hwpat_synthesis.Resource_report.luts
+        res.Hwpat_synthesis.Resource_report.ffs
+        res.Hwpat_synthesis.Resource_report.brams
+        r.Experiment.cycles_per_pixel
+        (if Frame.equal r.Experiment.output frame then "lossless" else "CORRUPT"))
+    [ `Wide; `Narrow ];
+  print_endline
+    "  The adaptation cost (word-sequencer FSM + assembly register) lives\n\
+    \  in the iterator; the copy algorithm instance is identical in both."
+
+(* ---------------------------------------------------------------- *)
+(* Bechamel wall-clock benches: one per table.                        *)
+(* ---------------------------------------------------------------- *)
+
+let bechamel_section () =
+  banner "Wall-clock benches (bechamel): simulation throughput per design";
+  let open Bechamel in
+  let frame = Pattern.gradient ~width:8 ~height:8 ~depth:8 in
+  let run_copy circuit () =
+    ignore
+      (Experiment.run_video_system circuit ~input:frame ~out_width:8 ~out_height:8)
+  in
+  let run_blur circuit () =
+    ignore
+      (Experiment.run_video_system circuit ~input:frame ~out_width:6 ~out_height:6)
+  in
+  (* Table 3 benches: one frame through each design (8x8). *)
+  let t3_tests =
+    List.map
+      (fun (substrate, style) ->
+        let circuit = Saa2vga.build ~depth:16 ~substrate ~style () in
+        Test.make
+          ~name:(Saa2vga.name ~substrate ~style)
+          (Staged.stage (run_copy circuit)))
+      Saa2vga.all_variants
+    @ List.map
+        (fun style ->
+          let circuit = Blur_system.build ~image_width:8 ~max_rows:8 ~style () in
+          Test.make ~name:(Blur_system.name ~style) (Staged.stage (run_blur circuit)))
+        [ Blur_system.Pattern; Blur_system.Custom ]
+  in
+  (* Table 1/2 bench: metamodel table generation + VHDL generation. *)
+  let codegen_test =
+    Test.make ~name:"codegen_rbuffer_sram"
+      (Staged.stage (fun () ->
+           let cfg =
+             Hwpat_meta.Config.make ~instance_name:"rbuffer"
+               ~kind:Hwpat_meta.Metamodel.Read_buffer
+               ~target:Hwpat_meta.Metamodel.Ext_sram ~elem_width:8 ~depth:512 ()
+           in
+           ignore (Hwpat_meta.Codegen.generate_container cfg)))
+  in
+  let tests = Test.make_grouped ~name:"hwpat" (t3_tests @ [ codegen_test ]) in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg =
+    Benchmark.cfg ~limit:100 ~quota:(Time.second 0.25) ~stabilize:false ()
+  in
+  let raw = Benchmark.all cfg [ instance ] tests in
+  let results = Analyze.all ols instance raw in
+  let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
+  List.iter
+    (fun (name, ols) ->
+      match Analyze.OLS.estimates ols with
+      | Some [ est ] when est > 0.0 ->
+        Printf.printf "  %-40s %10.2f us/frame\n" name (est /. 1000.0)
+      | _ -> Printf.printf "  %-40s (no estimate)\n" name)
+    (List.sort compare rows)
+
+let () =
+  table1 ();
+  table2 ();
+  figure2 ();
+  figures_4_5 ();
+  table3 ();
+  throughput ();
+  design_space_section ();
+  ablation_pruning ();
+  ablation_width ();
+  bechamel_section ();
+  banner "done";
+  print_endline "All tables and figures regenerated. See EXPERIMENTS.md for the\npaper-vs-measured record."

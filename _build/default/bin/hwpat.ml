@@ -1,0 +1,353 @@
+(* hwpat — command line front-end to the library.
+
+   Subcommands:
+     generate   emit VHDL for a generated container (and its iterator)
+     simulate   run one of the paper's designs on a synthetic frame
+     report     resource estimates: the Table 3 comparison
+     sweep      design-space characterisation (§3.4)
+     tables     print the capability tables and the pattern catalog
+     emit       netlist back-ends: VHDL/Verilog for a whole design *)
+
+open Cmdliner
+
+let kind_conv =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "stack" -> Ok Hwpat_meta.Metamodel.Stack
+    | "queue" -> Ok Hwpat_meta.Metamodel.Queue
+    | "rbuffer" | "read-buffer" -> Ok Hwpat_meta.Metamodel.Read_buffer
+    | "wbuffer" | "write-buffer" -> Ok Hwpat_meta.Metamodel.Write_buffer
+    | "vector" -> Ok Hwpat_meta.Metamodel.Vector
+    | "assoc" | "assoc-array" -> Ok Hwpat_meta.Metamodel.Assoc_array
+    | other -> Error (`Msg (Printf.sprintf "unknown container %S" other))
+  in
+  let print fmt k =
+    Format.pp_print_string fmt (Hwpat_meta.Metamodel.container_name k)
+  in
+  Arg.conv (parse, print)
+
+let target_conv =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "fifo" -> Ok Hwpat_meta.Metamodel.Fifo_core
+    | "lifo" -> Ok Hwpat_meta.Metamodel.Lifo_core
+    | "bram" -> Ok Hwpat_meta.Metamodel.Block_ram
+    | "sram" -> Ok Hwpat_meta.Metamodel.Ext_sram
+    | "linebuf" | "linebuf3" -> Ok Hwpat_meta.Metamodel.Line_buffer3
+    | other -> Error (`Msg (Printf.sprintf "unknown target %S" other))
+  in
+  let print fmt t = Format.pp_print_string fmt (Hwpat_meta.Metamodel.target_name t) in
+  Arg.conv (parse, print)
+
+(* --- generate ---------------------------------------------------------- *)
+
+let generate kind target width depth bus iterator out =
+  let cfg =
+    Hwpat_meta.Config.make ~instance_name:"gen" ~kind ~target ~elem_width:width
+      ~depth ?bus_width:bus ()
+  in
+  let text =
+    if iterator then Hwpat_meta.Codegen.generate_iterator cfg
+    else Hwpat_meta.Codegen.generate_container cfg
+  in
+  let issues = Hwpat_meta.Vhdl_lint.check text in
+  (match out with
+  | None -> print_string text
+  | Some path ->
+    let oc = open_out path in
+    output_string oc text;
+    close_out oc;
+    Printf.printf "wrote %s\n" path);
+  if issues <> [] then begin
+    List.iter
+      (fun i -> Format.eprintf "lint: %a@." Hwpat_meta.Vhdl_lint.pp_issue i)
+      issues;
+    exit 1
+  end
+
+let generate_cmd =
+  let kind =
+    Arg.(
+      required
+      & opt (some kind_conv) None
+      & info [ "container"; "c" ] ~docv:"KIND"
+          ~doc:"Container kind: stack, queue, rbuffer, wbuffer, vector, assoc.")
+  in
+  let target =
+    Arg.(
+      required
+      & opt (some target_conv) None
+      & info [ "target"; "t" ] ~docv:"TARGET"
+          ~doc:"Physical target: fifo, lifo, bram, sram, linebuf3.")
+  in
+  let width =
+    Arg.(value & opt int 8 & info [ "width"; "w" ] ~doc:"Element width in bits.")
+  in
+  let depth =
+    Arg.(value & opt int 512 & info [ "depth"; "d" ] ~doc:"Capacity in elements.")
+  in
+  let bus =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "bus" ] ~doc:"Physical bus width (defaults to the element width).")
+  in
+  let iterator =
+    Arg.(
+      value & flag
+      & info [ "iterator"; "i" ] ~doc:"Emit the iterator wrapper instead.")
+  in
+  let out =
+    Arg.(
+      value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE")
+  in
+  Cmd.v
+    (Cmd.info "generate" ~doc:"Generate VHDL for a container or iterator")
+    Term.(const generate $ kind $ target $ width $ depth $ bus $ iterator $ out)
+
+(* --- package -------------------------------------------------------------- *)
+
+let package out =
+  let mk instance_name kind target =
+    Hwpat_meta.Config.make ~instance_name ~kind ~target ~elem_width:8 ~depth:512 ()
+  in
+  let open Hwpat_meta.Metamodel in
+  let configs =
+    [
+      mk "rbuffer" Read_buffer Fifo_core;
+      mk "rbuffer" Read_buffer Ext_sram;
+      mk "wbuffer" Write_buffer Fifo_core;
+      mk "wbuffer" Write_buffer Ext_sram;
+      mk "queue" Queue Fifo_core;
+      mk "queue" Queue Block_ram;
+      mk "stack" Stack Lifo_core;
+      mk "vector" Vector Block_ram;
+      mk "assoc" Assoc_array Block_ram;
+    ]
+  in
+  let text =
+    Hwpat_meta.Codegen.generate_package ~name:"basic_components" configs
+  in
+  match out with
+  | None -> print_string text
+  | Some path ->
+    let oc = open_out path in
+    output_string oc text;
+    close_out oc;
+    Printf.printf "wrote %s\n" path
+
+let package_cmd =
+  let out = Arg.(value & opt (some string) None & info [ "o"; "output" ]) in
+  Cmd.v
+    (Cmd.info "package"
+       ~doc:"Emit the basic-components foundation package (VHDL)")
+    Term.(const package $ out)
+
+(* --- design selection shared by simulate/report/emit -------------------- *)
+
+let build_design name style ~frame_w ~frame_h =
+  let style_s =
+    match String.lowercase_ascii style with
+    | "pattern" -> `Pattern
+    | "custom" -> `Custom
+    | other -> failwith (Printf.sprintf "unknown style %S" other)
+  in
+  match (String.lowercase_ascii name, style_s) with
+  | "saa2vga-fifo", `Pattern ->
+    (Hwpat_core.Saa2vga.build ~substrate:Hwpat_core.Saa2vga.Fifo
+       ~style:Hwpat_core.Saa2vga.Pattern (), `Copy)
+  | "saa2vga-fifo", `Custom ->
+    (Hwpat_core.Saa2vga.build ~substrate:Hwpat_core.Saa2vga.Fifo
+       ~style:Hwpat_core.Saa2vga.Custom (), `Copy)
+  | "saa2vga-sram", `Pattern ->
+    (Hwpat_core.Saa2vga.build ~substrate:Hwpat_core.Saa2vga.Sram
+       ~style:Hwpat_core.Saa2vga.Pattern (), `Copy)
+  | "saa2vga-sram", `Custom ->
+    (Hwpat_core.Saa2vga.build ~substrate:Hwpat_core.Saa2vga.Sram
+       ~style:Hwpat_core.Saa2vga.Custom (), `Copy)
+  | "blur", `Pattern ->
+    (Hwpat_core.Blur_system.build ~image_width:frame_w ~max_rows:frame_h
+       ~style:Hwpat_core.Blur_system.Pattern (), `Blur)
+  | "blur", `Custom ->
+    (Hwpat_core.Blur_system.build ~image_width:frame_w ~max_rows:frame_h
+       ~style:Hwpat_core.Blur_system.Custom (), `Blur)
+  | "sobel", `Pattern ->
+    (Hwpat_core.Sobel_system.build ~image_width:frame_w ~max_rows:frame_h (), `Sobel)
+  | "sobel", `Custom -> failwith "sobel exists in pattern style only"
+  | other, _ -> failwith (Printf.sprintf "unknown design %S" other)
+
+let make_frame pattern w h =
+  match String.lowercase_ascii pattern with
+  | "gradient" -> Hwpat_video.Pattern.gradient ~width:w ~height:h ~depth:8
+  | "checker" -> Hwpat_video.Pattern.checkerboard ~width:w ~height:h ~depth:8 ()
+  | "random" -> Hwpat_video.Pattern.random ~width:w ~height:h ~depth:8 ()
+  | "bars" -> Hwpat_video.Pattern.bars ~width:w ~height:h ~depth:8
+  | other -> failwith (Printf.sprintf "unknown pattern %S" other)
+
+(* --- simulate ----------------------------------------------------------- *)
+
+let simulate design style width height pattern show vcd =
+  let circuit, flavor = build_design design style ~frame_w:width ~frame_h:height in
+  let frame = make_frame pattern width height in
+  let out_w, out_h, reference =
+    match flavor with
+    | `Copy -> (width, height, Hwpat_video.Reference.copy frame)
+    | `Blur -> (width - 2, height - 2, Hwpat_video.Reference.blur frame)
+    | `Sobel -> (width - 2, height - 2, Hwpat_video.Reference.sobel frame)
+  in
+  let r =
+    Hwpat_core.Experiment.run_video_system ?vcd_path:vcd circuit ~input:frame
+      ~out_width:out_w ~out_height:out_h
+  in
+  Option.iter (Printf.printf "waveform written to %s\n") vcd;
+  Printf.printf "%s on %dx%d %s: %d cycles (%.2f per output pixel)\n"
+    (Hwpat_rtl.Circuit.name circuit)
+    width height pattern r.Hwpat_core.Experiment.cycles
+    r.Hwpat_core.Experiment.cycles_per_pixel;
+  let ok = Hwpat_video.Frame.equal r.Hwpat_core.Experiment.output reference in
+  Printf.printf "output vs software reference: %s\n"
+    (if ok then "bit-exact" else "MISMATCH");
+  if show then begin
+    print_endline "input:";
+    print_string (Hwpat_video.Frame.to_string frame);
+    print_endline "output:";
+    print_string (Hwpat_video.Frame.to_string r.Hwpat_core.Experiment.output)
+  end;
+  if not ok then exit 1
+
+let design_arg =
+  Arg.(
+    value
+    & opt string "saa2vga-fifo"
+    & info [ "design" ] ~doc:"saa2vga-fifo, saa2vga-sram, blur or sobel.")
+
+let style_arg =
+  Arg.(value & opt string "pattern" & info [ "style" ] ~doc:"pattern or custom.")
+
+let simulate_cmd =
+  let width = Arg.(value & opt int 16 & info [ "frame-width" ]) in
+  let height = Arg.(value & opt int 16 & info [ "frame-height" ]) in
+  let pattern =
+    Arg.(
+      value & opt string "gradient"
+      & info [ "pattern" ] ~doc:"gradient, checker, random or bars.")
+  in
+  let show = Arg.(value & flag & info [ "show" ] ~doc:"Print ASCII frames.") in
+  let vcd =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "vcd" ] ~docv:"FILE" ~doc:"Dump a VCD waveform of the run.")
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Simulate a design on a synthetic frame")
+    Term.(
+      const simulate $ design_arg $ style_arg $ width $ height $ pattern $ show
+      $ vcd)
+
+(* --- report ------------------------------------------------------------- *)
+
+let report frame_size =
+  let rows =
+    Hwpat_core.Experiment.table3 ~frame_width:frame_size ~frame_height:frame_size
+      ()
+  in
+  print_string (Hwpat_core.Experiment.render_table3 rows)
+
+let report_cmd =
+  let frame_size =
+    Arg.(value & opt int 16 & info [ "frame-size" ] ~doc:"Test frame edge length.")
+  in
+  Cmd.v
+    (Cmd.info "report" ~doc:"Resource comparison (Table 3)")
+    Term.(const report $ frame_size)
+
+(* --- sweep --------------------------------------------------------------- *)
+
+let sweep max_brams max_cycles =
+  let candidates = Hwpat_core.Characterize.sweep () in
+  print_endline (Hwpat_synthesis.Design_space.to_table candidates);
+  let constraints =
+    {
+      Hwpat_synthesis.Design_space.no_constraints with
+      Hwpat_synthesis.Design_space.max_brams;
+      max_access_cycles = max_cycles;
+    }
+  in
+  print_endline "";
+  print_endline (Hwpat_core.Characterize.region_report ~constraints candidates)
+
+let sweep_cmd =
+  let max_brams =
+    Arg.(value & opt (some int) None & info [ "max-brams" ] ~doc:"Constraint.")
+  in
+  let max_cycles =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "max-access-cycles" ] ~doc:"Constraint.")
+  in
+  Cmd.v
+    (Cmd.info "sweep" ~doc:"Characterise the container design space")
+    Term.(const sweep $ max_brams $ max_cycles)
+
+(* --- tables --------------------------------------------------------------- *)
+
+let tables () =
+  print_endline "Table 1 — common containers:\n";
+  print_endline Hwpat_meta.Metamodel.table1;
+  print_endline "\nTable 2 — iterator operations:\n";
+  print_endline Hwpat_meta.Metamodel.table2;
+  print_endline "\nPattern catalog:\n";
+  List.iter
+    (fun p -> print_endline (Hwpat_core.Pattern.describe p))
+    Hwpat_core.Pattern.catalog
+
+let tables_cmd =
+  Cmd.v
+    (Cmd.info "tables" ~doc:"Print the capability tables and pattern catalog")
+    Term.(const tables $ const ())
+
+(* --- emit ------------------------------------------------------------------ *)
+
+let emit design style lang optimize out =
+  let circuit, _ = build_design design style ~frame_w:16 ~frame_h:16 in
+  let circuit =
+    if optimize then Hwpat_rtl.Optimize.circuit circuit else circuit
+  in
+  let text =
+    match String.lowercase_ascii lang with
+    | "vhdl" -> Hwpat_rtl.Vhdl.to_string circuit
+    | "verilog" -> Hwpat_rtl.Verilog.to_string circuit
+    | "dot" -> Hwpat_rtl.Dot.to_string circuit
+    | other -> failwith (Printf.sprintf "unknown language %S" other)
+  in
+  match out with
+  | None -> print_string text
+  | Some path ->
+    let oc = open_out path in
+    output_string oc text;
+    close_out oc;
+    Printf.printf "wrote %s\n" path
+
+let emit_cmd =
+  let lang =
+    Arg.(value & opt string "vhdl" & info [ "lang" ] ~doc:"vhdl, verilog or dot.")
+  in
+  let optimize =
+    Arg.(value & flag & info [ "optimize" ] ~doc:"Run constant propagation first.")
+  in
+  let out = Arg.(value & opt (some string) None & info [ "o"; "output" ]) in
+  Cmd.v
+    (Cmd.info "emit" ~doc:"Emit a whole design through a netlist back-end")
+    Term.(const emit $ design_arg $ style_arg $ lang $ optimize $ out)
+
+let () =
+  let info =
+    Cmd.info "hwpat" ~version:"1.0.0"
+      ~doc:"Hardware design patterns: the Iterator pattern for hardware"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ generate_cmd; simulate_cmd; report_cmd; sweep_cmd; tables_cmd; emit_cmd; package_cmd ]))

@@ -1,0 +1,1 @@
+examples/blur_pipeline.ml: Blur_system Experiment Format Frame Hwpat_algorithms Hwpat_core Hwpat_synthesis Hwpat_video Printf Reference

@@ -1,0 +1,1 @@
+examples/blur_pipeline.mli:

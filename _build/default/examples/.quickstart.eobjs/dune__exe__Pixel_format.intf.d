@@ -1,0 +1,1 @@
+examples/pixel_format.mli:

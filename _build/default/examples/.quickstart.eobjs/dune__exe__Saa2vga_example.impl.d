@@ -1,0 +1,1 @@
+examples/saa2vga_example.ml: Experiment Format Frame Hwpat_core Hwpat_synthesis Hwpat_video List Pattern Printf Saa2vga

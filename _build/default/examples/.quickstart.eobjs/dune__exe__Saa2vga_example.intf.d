@@ -1,0 +1,1 @@
+examples/saa2vga_example.mli:

@@ -1,0 +1,52 @@
+(* The paper's third experiment: a 3x3 blur filter between the video
+   decoder and the VGA coder, with the read buffer mapped over the
+   specialised 3-line buffer ("3 pixels in a column for each access").
+
+   Run with: dune exec examples/blur_pipeline.exe *)
+
+open Hwpat_core
+open Hwpat_video
+
+let () =
+  let w = 24 and h = 16 in
+  (* A frame with a bright cross on a dark background: blurring smears
+     the edges visibly in the ASCII rendering. *)
+  let frame =
+    Frame.init ~width:w ~height:h ~depth:8 (fun ~x ~y ->
+        if x = w / 2 || y = h / 2 then 255 else 20)
+  in
+  Printf.printf "input (%dx%d):\n%s\n" w h (Frame.to_string frame);
+
+  let run style =
+    let circuit = Blur_system.build ~image_width:w ~max_rows:h ~style () in
+    ( circuit,
+      Experiment.run_video_system circuit ~input:frame ~out_width:(w - 2)
+        ~out_height:(h - 2) )
+  in
+  let reference = Reference.blur frame in
+
+  let show style =
+    let circuit, r = run style in
+    let ok = Frame.equal r.Experiment.output reference in
+    Printf.printf "%s: %d cycles (%.1f per output pixel) — %s\n"
+      (Blur_system.name ~style) r.Experiment.cycles r.Experiment.cycles_per_pixel
+      (if ok then "bit-exact vs software reference" else "MISMATCH");
+    let rep = Hwpat_synthesis.Resource_report.of_circuit circuit in
+    Format.printf "  %a@." Hwpat_synthesis.Resource_report.pp rep;
+    r.Experiment.output
+  in
+  let out_pattern = show Blur_system.Pattern in
+  let _ = show Blur_system.Custom in
+
+  Printf.printf "\nblurred interior (%dx%d):\n%s\n" (w - 2) (h - 2)
+    (Frame.to_string out_pattern);
+  print_endline
+    "The container (line buffer) provides a whole pixel column per access;\n\
+     the blur algorithm sees columns through the same iterator handshake as\n\
+     any other container — the specialised memory organisation never leaks\n\
+     into the algorithm.";
+
+  (* The kernel, for the curious. *)
+  let (a, b, c), (d, e, f), (g, hh, i) = Hwpat_algorithms.Blur.kernel in
+  Printf.printf "\nkernel (/16):\n  %d %d %d\n  %d %d %d\n  %d %d %d\n" a b c d e
+    f g hh i

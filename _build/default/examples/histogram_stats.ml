@@ -1,0 +1,141 @@
+(* Histogram: a domain algorithm from the library extension set (§5
+   asks for "specific libraries including common algorithms").
+
+   The histogram kernel exercises the full Table 2 operation set of the
+   *random* iterator: for each streamed pixel it performs index (jump
+   to the bin), read and write — always through the same request/ack
+   handshake the sequential algorithms use.
+
+   Run with: dune exec examples/histogram_stats.exe *)
+
+open Hwpat_rtl
+open Hwpat_rtl.Signal
+open Hwpat_containers
+open Hwpat_iterators
+open Hwpat_algorithms
+open Hwpat_video
+
+let pixel_width = 4 (* 16 grey levels keeps the chart readable *)
+
+let build_system ~count =
+  let hist = Histogram.create ~pixel_width ~bin_width:16 ~count () in
+  let src_it, put_ack =
+    Seq_iterator.connect_input
+      ~build:(fun ~get_req ->
+        let q =
+          Queue_c.over_fifo ~depth:64 ~width:pixel_width
+            {
+              Container_intf.get_req;
+              put_req = input "put_req" 1;
+              put_data = input "put_data" pixel_width;
+            }
+        in
+        (q, q.Container_intf.put_ack))
+      hist.Histogram.src_driver
+  in
+  (* Testbench inspection port merged into the bins iterator. *)
+  let tb_read_req = input "tb_read_req" 1 in
+  let tb_index_req = input "tb_index_req" 1 in
+  let tb_sel = input "tb_sel" 1 in
+  let tb_addr = input "tb_addr" pixel_width in
+  let d = hist.Histogram.bin_driver in
+  let merged =
+    {
+      d with
+      Iterator_intf.index_req = d.Iterator_intf.index_req |: tb_index_req;
+      index_pos = mux2 tb_sel tb_addr d.Iterator_intf.index_pos;
+      read_req = d.Iterator_intf.read_req |: tb_read_req;
+    }
+  in
+  let rit =
+    Random_iterator.create ~length:(1 lsl pixel_width)
+      ~vector:(Vector_c.over_bram ~length:(1 lsl pixel_width) ~width:16)
+      merged
+  in
+  hist.Histogram.connect ~src:src_it ~bins:rit.Random_iterator.iterator;
+  let bins_it = rit.Random_iterator.iterator in
+  Circuit.create_exn ~name:"histogram"
+    [
+      ("put_ack", put_ack);
+      ("done", hist.Histogram.done_);
+      ("bin_read_ack", bins_it.Iterator_intf.read_ack);
+      ("bin_read_data", bins_it.Iterator_intf.read_data);
+      ("bin_index_ack", bins_it.Iterator_intf.index_ack);
+    ]
+
+let () =
+  let frame = Pattern.random ~seed:2 ~width:16 ~height:16 ~depth:pixel_width () in
+  let pixels = Frame.to_row_major frame in
+  let circuit = build_system ~count:(List.length pixels) in
+  let sim = Cyclesim.create circuit in
+  let set name ~width v = Cyclesim.in_port sim name := Bits.of_int ~width v in
+  let out name = Bits.to_int !(Cyclesim.out_port sim name) in
+  List.iter
+    (fun n -> set n ~width:1 0)
+    [ "put_req"; "tb_read_req"; "tb_index_req"; "tb_sel" ];
+  set "put_data" ~width:pixel_width 0;
+  set "tb_addr" ~width:pixel_width 0;
+  Cyclesim.cycle sim;
+  (* Stream the frame in. *)
+  List.iter
+    (fun px ->
+      set "put_req" ~width:1 1;
+      set "put_data" ~width:pixel_width px;
+      let rec wait () =
+        Cyclesim.cycle sim;
+        if out "put_ack" = 0 then wait ()
+      in
+      wait ();
+      set "put_req" ~width:1 0;
+      Cyclesim.cycle sim)
+    pixels;
+  let rec wait_done n =
+    if n > 20000 then failwith "histogram never finished";
+    Cyclesim.cycle sim;
+    if out "done" = 0 then wait_done (n + 1)
+  in
+  wait_done 0;
+  Printf.printf "histogram of a %dx%d random frame (%d grey levels):\n\n"
+    (Frame.width frame) (Frame.height frame) (1 lsl pixel_width);
+  (* Read the bins back through the same iterator and chart them. *)
+  let read_bin bin =
+    set "tb_sel" ~width:1 1;
+    set "tb_addr" ~width:pixel_width bin;
+    set "tb_index_req" ~width:1 1;
+    let rec wait () =
+      Cyclesim.cycle sim;
+      if out "bin_index_ack" = 0 then wait ()
+    in
+    wait ();
+    set "tb_index_req" ~width:1 0;
+    Cyclesim.cycle sim;
+    set "tb_read_req" ~width:1 1;
+    let rec wait () =
+      Cyclesim.cycle sim;
+      if out "bin_read_ack" = 0 then wait ()
+    in
+    wait ();
+    let v = out "bin_read_data" in
+    set "tb_read_req" ~width:1 0;
+    Cyclesim.cycle sim;
+    v
+  in
+  let bins = List.init (1 lsl pixel_width) read_bin in
+  (* Cross-check against the model. *)
+  let model = Hwpat_model.Container.vector ~length:(1 lsl pixel_width) ~default:0 in
+  ignore
+    (Hwpat_model.Algorithm.histogram
+       ~src:(Hwpat_model.Iterator.input_of_list pixels)
+       ~bins:model ~count:(List.length pixels));
+  List.iteri
+    (fun bin count ->
+      let expected = Hwpat_model.Container.read model bin in
+      Printf.printf "%2d | %-40s %3d%s\n" bin
+        (String.make (min 40 count) '#')
+        count
+        (if count = expected then "" else
+           Printf.sprintf "  (MODEL DISAGREES: %d)" expected))
+    bins;
+  Printf.printf "\ntotal pixels binned: %d (frame has %d)\n"
+    (List.fold_left ( + ) 0 bins)
+    (List.length pixels)

@@ -1,0 +1,180 @@
+(* §3.3's pixel-format change: switching from 8-bit greyscale to 24-bit
+   RGB pixels.
+
+   Two alternatives, exactly as the paper lays them out:
+   1. a 24-bit data bus: regenerate containers and iterators with the
+      24-bit pixel as the base type — nothing else changes;
+   2. an 8-bit data bus: keep 8-bit containers and regenerate the
+      iterators to "perform three consecutive container reads/writes to
+      get/set the whole pixel" (the multi-word iterator).
+
+   In both cases the copy algorithm is byte-for-byte the same FSM.
+
+   Run with: dune exec examples/pixel_format.exe *)
+
+open Hwpat_rtl
+open Hwpat_rtl.Signal
+open Hwpat_containers
+open Hwpat_iterators
+open Hwpat_algorithms
+open Hwpat_video
+
+(* Alternative 1: wide bus — containers carry whole pixels. *)
+let wide_bus_circuit () =
+  let copy = Copy.create ~name:"copy" ~width:24 () in
+  let src_it, src_put_ack =
+    Seq_iterator.connect_input
+      ~build:(fun ~get_req ->
+        let q =
+          Queue_c.over_fifo ~name:"src" ~depth:16 ~width:24
+            {
+              Container_intf.get_req;
+              put_req = input "put_req" 1;
+              put_data = input "put_data" 24;
+            }
+        in
+        (q, q.Container_intf.put_ack))
+      copy.Transform.src_driver
+  in
+  let dst =
+    Queue_c.over_fifo ~name:"dst" ~depth:16 ~width:24
+      {
+        Container_intf.get_req = input "get_req" 1;
+        put_req = Seq_iterator.fused_put_req copy.Transform.dst_driver;
+        put_data = copy.Transform.dst_driver.Iterator_intf.write_data;
+      }
+  in
+  let dst_it = Seq_iterator.output dst copy.Transform.dst_driver in
+  copy.Transform.connect ~src:src_it ~dst:dst_it;
+  Circuit.create_exn ~name:"rgb_wide"
+    [
+      ("put_ack", src_put_ack);
+      ("get_ack", dst.Container_intf.get_ack);
+      ("get_data", dst.Container_intf.get_data);
+    ]
+
+(* Alternative 2: 8-bit bus — multi-word iterators do 3 accesses per
+   pixel over byte-wide containers. The testbench still exchanges whole
+   24-bit pixels: the width adaptation is wholly inside the iterators. *)
+let narrow_bus_circuit () =
+  let copy = Copy.create ~name:"copy" ~width:24 () in
+  (* Source: testbench pushes *bytes* (the video bus is 8 bits wide);
+     the input iterator reassembles pixels. *)
+  let src_q_ref = ref None in
+  let src_it, () =
+    Multi_word_iterator.input ~name:"pxin" ~elem_width:24 ~bus_width:8
+      ~build:(fun ~get_req ->
+        let q =
+          Queue_c.over_fifo ~name:"src" ~depth:64 ~width:8
+            {
+              Container_intf.get_req;
+              put_req = input "put_req" 1;
+              put_data = input "put_data" 8;
+            }
+        in
+        src_q_ref := Some q;
+        (q, ()))
+      copy.Transform.src_driver
+  in
+  (* Sink: the output iterator splits pixels into bytes. *)
+  let dst_q_ref = ref None in
+  let dst_it, () =
+    Multi_word_iterator.output ~name:"pxout" ~elem_width:24 ~bus_width:8
+      ~build:(fun ~put_req ~put_data ->
+        let q =
+          Queue_c.over_fifo ~name:"dst" ~depth:64 ~width:8
+            {
+              Container_intf.get_req = input "get_req" 1;
+              put_req;
+              put_data;
+            }
+        in
+        dst_q_ref := Some q;
+        (q, ()))
+      copy.Transform.dst_driver
+  in
+  copy.Transform.connect ~src:src_it ~dst:dst_it;
+  let src_q = Option.get !src_q_ref and dst_q = Option.get !dst_q_ref in
+  Circuit.create_exn ~name:"rgb_narrow"
+    [
+      ("put_ack", src_q.Container_intf.put_ack);
+      ("get_ack", dst_q.Container_intf.get_ack);
+      ("get_data", dst_q.Container_intf.get_data);
+    ]
+
+(* Testbench helpers over the put/get ports. *)
+let feed sim ~width v =
+  Cyclesim.in_port sim "put_req" := Bits.one 1;
+  Cyclesim.in_port sim "put_data" := Bits.of_int ~width v;
+  let rec wait n =
+    if n > 500 then failwith "put stuck";
+    Cyclesim.cycle sim;
+    if not (Bits.to_bool !(Cyclesim.out_port sim "put_ack")) then wait (n + 1)
+  in
+  wait 0;
+  Cyclesim.in_port sim "put_req" := Bits.zero 1;
+  Cyclesim.cycle sim
+
+let drain sim =
+  Cyclesim.in_port sim "get_req" := Bits.one 1;
+  let rec wait n =
+    if n > 500 then failwith "get stuck";
+    Cyclesim.cycle sim;
+    if Bits.to_bool !(Cyclesim.out_port sim "get_ack") then
+      Bits.to_int_trunc !(Cyclesim.out_port sim "get_data")
+    else wait (n + 1)
+  in
+  let v = wait 0 in
+  Cyclesim.in_port sim "get_req" := Bits.zero 1;
+  Cyclesim.cycle sim;
+  v
+
+let quiesce sim =
+  Cyclesim.in_port sim "put_req" := Bits.zero 1;
+  Cyclesim.in_port sim "get_req" := Bits.zero 1;
+  Cyclesim.cycle sim
+
+let pixel_to_bytes px = [ px land 0xFF; (px lsr 8) land 0xFF; (px lsr 16) land 0xFF ]
+let bytes_to_pixel b0 b1 b2 = b0 lor (b1 lsl 8) lor (b2 lsl 16)
+
+let () =
+  let frame = Pattern.rgb_gradient ~width:6 ~height:4 in
+  let pixels = Frame.to_row_major frame in
+  Printf.printf "copying %d RGB pixels (24-bit) through both bus widths\n\n"
+    (List.length pixels);
+
+  (* Alternative 1. *)
+  let sim = Cyclesim.create (wide_bus_circuit ()) in
+  quiesce sim;
+  List.iter (fun px -> feed sim ~width:24 px) pixels;
+  let wide_out = List.map (fun _ -> drain sim) pixels in
+  Printf.printf "24-bit bus: %s (containers regenerated at 24 bits)\n"
+    (if wide_out = pixels then "pixels intact" else "MISMATCH");
+
+  (* Alternative 2. *)
+  let sim = Cyclesim.create (narrow_bus_circuit ()) in
+  quiesce sim;
+  List.iter (fun px -> List.iter (feed sim ~width:8) (pixel_to_bytes px)) pixels;
+  let bytes = List.init (3 * List.length pixels) (fun _ -> drain sim) in
+  let rec regroup = function
+    | b0 :: b1 :: b2 :: rest -> bytes_to_pixel b0 b1 b2 :: regroup rest
+    | [] -> []
+    | _ -> failwith "byte stream not a multiple of 3"
+  in
+  let narrow_out = regroup bytes in
+  Printf.printf
+    "8-bit bus : %s (multi-word iterators, 3 accesses per pixel)\n\n"
+    (if narrow_out = pixels then "pixels intact" else "MISMATCH");
+
+  print_endline
+    "The copy algorithm was the same FSM in both runs; only the generated\n\
+     iterators changed. That is the §3.3 scenario: 'all these scenarios can\n\
+     be considered by the automatic code generator, thus requiring no\n\
+     designer intervention'.";
+
+  (* What the width adaptation costs (our A2 ablation). *)
+  let cost c = Hwpat_synthesis.Techmap.estimate c in
+  let wide = cost (wide_bus_circuit ()) in
+  let narrow = cost (narrow_bus_circuit ()) in
+  Format.printf "@.24-bit bus datapath: %a@." Hwpat_synthesis.Techmap.pp wide;
+  Format.printf "8-bit bus datapath : %a@." Hwpat_synthesis.Techmap.pp narrow

@@ -1,0 +1,114 @@
+(* Quickstart: the Iterator pattern in five steps.
+
+   1. Build a container (a queue, here over an on-chip FIFO core).
+   2. Wrap it in iterators.
+   3. Drive it with a generic algorithm (copy).
+   4. Simulate the whole thing cycle by cycle.
+   5. Look at the resources and the generated VHDL.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+open Hwpat_rtl
+open Hwpat_rtl.Signal
+open Hwpat_containers
+open Hwpat_iterators
+open Hwpat_algorithms
+
+let () =
+  print_endline "== hwpat quickstart: copy through the Iterator pattern ==\n";
+
+  (* The generic copy algorithm: knows only the iterator interface. *)
+  let copy = Copy.create ~width:8 () in
+
+  (* Source container: a queue over a FIFO core, filled by the
+     testbench through ordinary put requests. *)
+  let src_it, src_put_ack =
+    Seq_iterator.connect_input
+      ~build:(fun ~get_req ->
+        let q =
+          Queue_c.over_fifo ~name:"src" ~depth:16 ~width:8
+            {
+              Container_intf.get_req;
+              put_req = input "put_req" 1;
+              put_data = input "put_data" 8;
+            }
+        in
+        (q, q.Container_intf.put_ack))
+      copy.Transform.src_driver
+  in
+
+  (* Sink container: another queue, drained by the testbench. *)
+  let dst =
+    Queue_c.over_fifo ~name:"dst" ~depth:16 ~width:8
+      {
+        Container_intf.get_req = input "get_req" 1;
+        put_req = Seq_iterator.fused_put_req copy.Transform.dst_driver;
+        put_data = copy.Transform.dst_driver.Iterator_intf.write_data;
+      }
+  in
+  let dst_it = Seq_iterator.output dst copy.Transform.dst_driver in
+  copy.Transform.connect ~src:src_it ~dst:dst_it;
+
+  let circuit =
+    Circuit.create_exn ~name:"quickstart"
+      [
+        ("put_ack", src_put_ack);
+        ("get_ack", dst.Container_intf.get_ack);
+        ("get_data", dst.Container_intf.get_data);
+      ]
+  in
+
+  (* Simulate: feed a few bytes, watch them come out the other side. *)
+  let sim = Cyclesim.create circuit in
+  let set name ~width v = Cyclesim.in_port sim name := Bits.of_int ~width v in
+  let out name = Bits.to_int !(Cyclesim.out_port sim name) in
+  set "put_req" ~width:1 0;
+  set "get_req" ~width:1 0;
+  set "put_data" ~width:8 0;
+  Cyclesim.cycle sim;
+  let feed v =
+    set "put_req" ~width:1 1;
+    set "put_data" ~width:8 v;
+    let rec wait () =
+      Cyclesim.cycle sim;
+      if out "put_ack" = 0 then wait ()
+    in
+    wait ();
+    set "put_req" ~width:1 0;
+    Cyclesim.cycle sim
+  in
+  let drain () =
+    set "get_req" ~width:1 1;
+    let rec wait () =
+      Cyclesim.cycle sim;
+      if out "get_ack" = 1 then out "get_data" else wait ()
+    in
+    let v = wait () in
+    set "get_req" ~width:1 0;
+    Cyclesim.cycle sim;
+    v
+  in
+  let message = [ 0x68; 0x77; 0x70; 0x61; 0x74 ] in
+  List.iter feed message;
+  let received = List.map (fun _ -> drain ()) message in
+  Printf.printf "sent     : %s\n"
+    (String.concat " " (List.map (Printf.sprintf "%02x") message));
+  Printf.printf "received : %s\n\n"
+    (String.concat " " (List.map (Printf.sprintf "%02x") received));
+
+  (* Resources: note that the iterators cost nothing. *)
+  let r = Hwpat_synthesis.Techmap.estimate circuit in
+  let t = Hwpat_synthesis.Timing.analyze circuit in
+  Format.printf "resources: %a@." Hwpat_synthesis.Techmap.pp r;
+  Format.printf "timing   : %a@.@." Hwpat_synthesis.Timing.pp t;
+
+  (* And the paper's artefact: generated VHDL for this container, plus
+     its iterator wrapper (Figures 4/5 style). *)
+  let cfg =
+    Hwpat_meta.Config.make ~instance_name:"src" ~kind:Hwpat_meta.Metamodel.Queue
+      ~target:Hwpat_meta.Metamodel.Fifo_core ~elem_width:8 ~depth:16 ()
+  in
+  print_endline "generated container entity (metaprogramming back-end):";
+  print_endline (Hwpat_meta.Codegen.container_entity cfg);
+  print_endline "generated iterator (a pure wrapper):";
+  print_endline (Hwpat_meta.Codegen.iterator_entity cfg)

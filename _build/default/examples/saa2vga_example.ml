@@ -1,0 +1,70 @@
+(* The paper's motivating example (Figures 1 and 3): camera -> video
+   decoder -> image processing -> VGA coder -> monitor, with the
+   processing step being a plain copy.
+
+   Demonstrates the §3.3 "embracing change" scenario: the model (read
+   buffer + iterators + copy + write buffer) stays fixed while the
+   aggregates' physical implementation switches from on-chip FIFOs to
+   external static RAMs — and the output does not change.
+
+   Run with: dune exec examples/saa2vga_example.exe *)
+
+open Hwpat_core
+open Hwpat_video
+
+let section title =
+  Printf.printf "\n=== %s ===\n" title
+
+let run substrate style frame =
+  let circuit = Saa2vga.build ~depth:64 ~substrate ~style () in
+  let r =
+    Experiment.run_video_system circuit ~input:frame
+      ~out_width:(Frame.width frame) ~out_height:(Frame.height frame)
+  in
+  (circuit, r)
+
+let () =
+  let frame = Pattern.checkerboard ~cell:3 ~width:24 ~height:12 ~depth:8 () in
+  section "input frame (from the synthetic camera)";
+  print_string (Frame.to_string frame);
+
+  section "the model (Figure 3)";
+  print_endline
+    "video_in -> [rbuffer] -> rbuffer_it -> (copy) -> wbuffer_it -> [wbuffer] -> vga_out";
+  print_endline
+    "The copy algorithm touches only iterator operations (inc, read, write).";
+
+  section "configuration 1: buffers over on-chip FIFO cores (saa2vga 1)";
+  let c1, r1 = run Saa2vga.Fifo Saa2vga.Pattern frame in
+  Printf.printf "simulated %d cycles (%.1f per pixel); output %s\n" r1.Experiment.cycles
+    r1.Experiment.cycles_per_pixel
+    (if Frame.equal r1.Experiment.output frame then "matches the input exactly"
+     else "DIFFERS (bug!)");
+  let report c = Hwpat_synthesis.Resource_report.of_circuit c in
+  Format.printf "%a@." (fun f r -> Hwpat_synthesis.Resource_report.pp f r) (report c1);
+
+  section "configuration 2: same model, buffers over external SRAM (saa2vga 2)";
+  let c2, r2 = run Saa2vga.Sram Saa2vga.Pattern frame in
+  Printf.printf "simulated %d cycles (%.1f per pixel); output %s\n" r2.Experiment.cycles
+    r2.Experiment.cycles_per_pixel
+    (if Frame.equal r2.Experiment.output frame then "matches the input exactly"
+     else "DIFFERS (bug!)");
+  Format.printf "%a@." (fun f r -> Hwpat_synthesis.Resource_report.pp f r) (report c2);
+
+  section "what changed";
+  print_endline
+    "Only the aggregates' implementation: the algorithm, iterators and model\n\
+     are untouched. The FIFO version costs block RAMs and moves a pixel in\n\
+     fewer cycles; the SRAM version frees the block RAMs and pays wait\n\
+     states per access — the two design-space points of the paper's §4.";
+
+  section "pattern vs custom (Table 3 rows 1-2, at this frame size)";
+  let rows =
+    List.filter
+      (fun r -> r.Experiment.label <> "blur")
+      (Experiment.table3 ~frame_width:16 ~frame_height:16 ())
+  in
+  print_string (Experiment.render_table3 rows);
+
+  section "output frame (to the monitor)";
+  print_string (Frame.to_string r2.Experiment.output)

@@ -1,0 +1,1 @@
+lib/algorithms/blur.ml: Array Fsm Hwpat_iterators Hwpat_rtl Iterator_intf Signal Transform Util

@@ -1,0 +1,1 @@
+lib/algorithms/blur.mli: Hwpat_iterators Hwpat_rtl Iterator_intf Signal

@@ -1,0 +1,1 @@
+lib/algorithms/copy.ml: Transform

@@ -1,0 +1,1 @@
+lib/algorithms/copy.mli: Hwpat_rtl Transform

@@ -1,0 +1,1 @@
+lib/algorithms/fill.ml: Bits Fsm Hwpat_iterators Hwpat_rtl Iterator_intf Signal Util

@@ -1,0 +1,1 @@
+lib/algorithms/fill.mli: Bits Hwpat_iterators Hwpat_rtl Iterator_intf Signal

@@ -1,0 +1,1 @@
+lib/algorithms/find.ml: Fsm Hwpat_devices Hwpat_iterators Hwpat_rtl Iterator_intf Signal Util

@@ -1,0 +1,1 @@
+lib/algorithms/find.mli: Hwpat_iterators Hwpat_rtl Iterator_intf Signal

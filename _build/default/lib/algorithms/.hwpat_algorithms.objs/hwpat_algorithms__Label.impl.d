@@ -1,0 +1,1 @@
+lib/algorithms/label.ml: Bits Container_intf Fsm Hwpat_containers Hwpat_iterators Hwpat_rtl Iterator_intf Signal Util Vector_c

@@ -1,0 +1,1 @@
+lib/algorithms/label.mli: Container_intf Hwpat_containers Hwpat_iterators Hwpat_rtl Iterator_intf Signal

@@ -1,0 +1,1 @@
+lib/algorithms/rle.ml: Fsm Hwpat_iterators Hwpat_rtl Iterator_intf List Signal Transform Util

@@ -1,0 +1,1 @@
+lib/algorithms/rle.mli: Hwpat_iterators Hwpat_rtl Iterator_intf Signal

@@ -1,0 +1,1 @@
+lib/algorithms/transform.ml: Fsm Hwpat_iterators Hwpat_rtl Iterator_intf Signal

@@ -1,0 +1,1 @@
+lib/algorithms/transform.mli: Hwpat_iterators Hwpat_rtl Iterator_intf Signal

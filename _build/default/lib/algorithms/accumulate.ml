@@ -1,0 +1,43 @@
+open Hwpat_rtl
+open Hwpat_rtl.Signal
+open Hwpat_iterators
+
+type t = {
+  src_driver : Iterator_intf.driver;
+  connect : src:Iterator_intf.t -> unit;
+  sum : Signal.t;
+  done_ : Signal.t;
+}
+
+let st_fetch = 0
+let st_halt = 1
+
+let create ?(name = "acc") ~width ~count () =
+  if count < 1 then invalid_arg "Accumulate.create: count must be >= 1";
+  let fetch_req = wire 1 in
+  let src_driver =
+    {
+      (Iterator_intf.driver_stub ~data_width:width ~pos_width:1) with
+      Iterator_intf.read_req = fetch_req;
+      inc_req = fetch_req;
+    }
+  in
+  let sw = width + 16 in
+  let sum_w = wire sw in
+  let sum = reg sum_w -- (name ^ "_sum") in
+  let cw = Util.bits_to_represent count in
+  let seen_w = wire cw in
+  let seen = reg seen_w -- (name ^ "_seen") in
+  let done_w = wire 1 in
+  let connect ~(src : Iterator_intf.t) =
+    let fsm = Fsm.create ~name:(name ^ "_state") ~states:2 () in
+    let in_fetch = Fsm.is fsm st_fetch in
+    fetch_req <== in_fetch;
+    let got = in_fetch &: src.Iterator_intf.read_ack in
+    sum_w <== mux2 got (sum +: uresize src.Iterator_intf.read_data sw) sum;
+    seen_w <== mux2 got (seen +: one cw) seen;
+    let last = got &: (seen ==: of_int ~width:cw (count - 1)) in
+    Fsm.transitions fsm [ (st_fetch, [ (last, st_halt) ]); (st_halt, []) ];
+    done_w <== Fsm.is fsm st_halt
+  in
+  { src_driver; connect; sum; done_ = done_w }

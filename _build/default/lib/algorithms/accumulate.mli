@@ -1,0 +1,14 @@
+open Hwpat_rtl
+open Hwpat_iterators
+
+(** Accumulate: sum [count] elements from an input iterator into a
+    widened register (STL [accumulate]). *)
+
+type t = {
+  src_driver : Iterator_intf.driver;
+  connect : src:Iterator_intf.t -> unit;
+  sum : Signal.t;   (** width + 16 bits; valid once [done_] *)
+  done_ : Signal.t;
+}
+
+val create : ?name:string -> width:int -> count:int -> unit -> t

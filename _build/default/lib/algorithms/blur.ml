@@ -1,0 +1,119 @@
+open Hwpat_rtl
+open Hwpat_rtl.Signal
+open Hwpat_iterators
+
+type t = {
+  col_driver : Iterator_intf.driver;
+  dst_driver : Iterator_intf.driver;
+  connect : col:Iterator_intf.t -> dst:Iterator_intf.t -> unit;
+  produced : Signal.t;
+  running : Signal.t;
+}
+
+let kernel = ((1, 2, 1), (2, 4, 2), (1, 2, 1))
+
+let reference_pixel ~window =
+  let (k00, k01, k02), (k10, k11, k12), (k20, k21, k22) = kernel in
+  let k = [| [| k00; k01; k02 |]; [| k10; k11; k12 |]; [| k20; k21; k22 |] |] in
+  let sum = ref 0 in
+  for r = 0 to 2 do
+    for c = 0 to 2 do
+      sum := !sum + (k.(r).(c) * window.(r).(c))
+    done
+  done;
+  !sum / 16
+
+let st_fetch = 0
+let st_store = 1
+let st_halt = 2
+
+let create ?(name = "blur") ?limit ~width ~image_width () =
+  if image_width < 3 then invalid_arg "Blur.create: image_width must be >= 3";
+  let col_w = 3 * width in
+  let fetch_req = wire 1 and store_req = wire 1 in
+  let out_w = wire width in
+  let col_driver =
+    {
+      (Iterator_intf.driver_stub ~data_width:col_w ~pos_width:1) with
+      Iterator_intf.read_req = fetch_req;
+      inc_req = fetch_req;
+    }
+  in
+  let dst_driver =
+    {
+      (Iterator_intf.driver_stub ~data_width:width ~pos_width:1) with
+      Iterator_intf.write_req = store_req;
+      inc_req = store_req;
+      write_data = out_w;
+    }
+  in
+  let produced_w = wire Transform.counter_width in
+  let produced = reg produced_w -- (name ^ "_count") in
+  let running_w = wire 1 in
+  let connect ~(col : Iterator_intf.t) ~(dst : Iterator_intf.t) =
+    let fsm = Fsm.create ~name:(name ^ "_state") ~states:3 () in
+    let in_fetch = Fsm.is fsm st_fetch in
+    let in_store = Fsm.is fsm st_store in
+    fetch_req <== in_fetch;
+    store_req <== in_store;
+    let got = in_fetch &: col.Iterator_intf.read_ack in
+    (* Column position within the row; the incoming column completes a
+       window once two columns of this row are already held. *)
+    let xbits = Util.address_bits image_width in
+    let x =
+      reg_fb ~width:xbits (fun q ->
+          mux2 got
+            (mux2 (q ==: of_int ~width:xbits (image_width - 1)) (zero xbits)
+               (q +: one xbits))
+            q)
+      -- (name ^ "_x")
+    in
+    let window_full = x >=: of_int ~width:xbits 2 in
+    let c0 = col.Iterator_intf.read_data in
+    let c1 = reg ~enable:got c0 -- (name ^ "_c1") in
+    let c2 = reg ~enable:got c1 -- (name ^ "_c2") in
+    (* 3x3 binomial convolution; all weights are shifts. *)
+    let sw = width + 4 in
+    let part c = select c ~high:((3 * width) - 1) ~low:(2 * width) in
+    let mid c = select c ~high:((2 * width) - 1) ~low:width in
+    let bot c = select c ~high:(width - 1) ~low:0 in
+    let w1 s = uresize s sw in
+    let w2 s = sll (uresize s sw) 1 in
+    let w4 s = sll (uresize s sw) 2 in
+    (* Balanced adder tree: log depth instead of a serial chain. *)
+    let rec tree_sum = function
+      | [] -> assert false
+      | [ x ] -> x
+      | x :: y :: rest -> tree_sum (rest @ [ x +: y ])
+    in
+    let sum =
+      tree_sum
+        [
+          w1 (part c2); w2 (mid c2); w1 (bot c2);
+          w2 (part c1); w4 (mid c1); w2 (bot c1);
+          w1 (part c0); w2 (mid c0); w1 (bot c0);
+        ]
+    in
+    let out_reg =
+      reg ~enable:(got &: window_full) (select sum ~high:(sw - 1) ~low:4)
+      -- (name ^ "_out")
+    in
+    out_w <== out_reg;
+    let stored = in_store &: dst.Iterator_intf.write_ack in
+    produced_w
+    <== mux2 stored (produced +: one Transform.counter_width) produced;
+    let at_limit =
+      match limit with
+      | None -> gnd
+      | Some n ->
+        stored &: (produced ==: of_int ~width:Transform.counter_width (n - 1))
+    in
+    Fsm.transitions fsm
+      [
+        (st_fetch, [ (got &: window_full, st_store) ]);
+        (st_store, [ (at_limit, st_halt); (dst.Iterator_intf.write_ack, st_fetch) ]);
+        (st_halt, []);
+      ];
+    running_w <== ~:(Fsm.is fsm st_halt)
+  in
+  { col_driver; dst_driver; connect; produced; running = running_w }

@@ -1,0 +1,39 @@
+open Hwpat_rtl
+open Hwpat_iterators
+
+(** The blur filter of the paper's third experiment.
+
+    Reads 3-pixel columns through an input iterator over the
+    specialised 3-line-buffer read buffer (one column per access) and
+    writes one filtered pixel per interior position through an output
+    iterator. The kernel is the binomial 3×3
+
+    {v 1 2 1
+       2 4 2   / 16
+       1 2 1 v}
+
+    which is exact in fixed point (sum of weights 16), so the hardware
+    result is bit-identical to the software reference.
+
+    The output stream contains interior pixels only: for a W×H input,
+    (W-2)×(H-2) pixels in row-major order. *)
+
+type t = {
+  col_driver : Iterator_intf.driver;
+    (** connect to the column (3×width) input iterator *)
+  dst_driver : Iterator_intf.driver;
+    (** connect to the pixel output iterator *)
+  connect : col:Iterator_intf.t -> dst:Iterator_intf.t -> unit;
+  produced : Signal.t;
+  running : Signal.t;
+}
+
+val create :
+  ?name:string -> ?limit:int -> width:int -> image_width:int -> unit -> t
+
+val kernel : (int * int * int) * (int * int * int) * (int * int * int)
+(** The fixed kernel weights, rows top to bottom. *)
+
+val reference_pixel : window:int array array -> int
+(** Software model of one output pixel from a 3×3 window
+    ([window.(row).(col)]), used by tests and the video reference. *)

@@ -1,0 +1,4 @@
+type t = Transform.t
+
+let create ?(name = "copy") ?enable ?limit ~width () =
+  Transform.create ~name ?enable ?limit ~width ~f:(fun x -> x) ()

@@ -1,0 +1,9 @@
+(** The copy algorithm of the paper's motivating example: "an endless
+    loop that sequences read and write operations and iterator
+    forwarding for both containers". Identity {!Transform}. *)
+
+type t = Transform.t
+
+val create :
+  ?name:string -> ?enable:Hwpat_rtl.Signal.t -> ?limit:int -> width:int ->
+  unit -> t

@@ -1,0 +1,41 @@
+open Hwpat_rtl
+open Hwpat_rtl.Signal
+open Hwpat_iterators
+
+type t = {
+  dst_driver : Iterator_intf.driver;
+  connect : dst:Iterator_intf.t -> unit;
+  written : Signal.t;
+  done_ : Signal.t;
+}
+
+let st_store = 0
+let st_halt = 1
+
+let create ?(name = "fill") ~width ~value ~count () =
+  if Bits.width value <> width then invalid_arg "Fill.create: value width mismatch";
+  if count < 1 then invalid_arg "Fill.create: count must be >= 1";
+  let store_req = wire 1 in
+  let dst_driver =
+    {
+      (Iterator_intf.driver_stub ~data_width:width ~pos_width:1) with
+      Iterator_intf.write_req = store_req;
+      inc_req = store_req;
+      write_data = const value;
+    }
+  in
+  let cw = Util.bits_to_represent count in
+  let written_w = wire cw in
+  let written = reg written_w -- (name ^ "_written") in
+  let done_w = wire 1 in
+  let connect ~(dst : Iterator_intf.t) =
+    let fsm = Fsm.create ~name:(name ^ "_state") ~states:2 () in
+    let in_store = Fsm.is fsm st_store in
+    store_req <== in_store;
+    let stored = in_store &: dst.Iterator_intf.write_ack in
+    written_w <== mux2 stored (written +: one cw) written;
+    let last = stored &: (written ==: of_int ~width:cw (count - 1)) in
+    Fsm.transitions fsm [ (st_store, [ (last, st_halt) ]); (st_halt, []) ];
+    done_w <== Fsm.is fsm st_halt
+  in
+  { dst_driver; connect; written; done_ = done_w }

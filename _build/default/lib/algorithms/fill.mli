@@ -1,0 +1,15 @@
+open Hwpat_rtl
+open Hwpat_iterators
+
+(** Fill: write [count] copies of a constant element through an output
+    iterator (STL [fill_n]). *)
+
+type t = {
+  dst_driver : Iterator_intf.driver;
+  connect : dst:Iterator_intf.t -> unit;
+  written : Signal.t;
+  done_ : Signal.t;
+}
+
+val create :
+  ?name:string -> width:int -> value:Bits.t -> count:int -> unit -> t

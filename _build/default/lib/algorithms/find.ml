@@ -1,0 +1,54 @@
+open Hwpat_rtl
+open Hwpat_rtl.Signal
+open Hwpat_iterators
+
+type t = {
+  src_driver : Iterator_intf.driver;
+  connect : src:Iterator_intf.t -> unit;
+  found : Signal.t;
+  position : Signal.t;
+  done_ : Signal.t;
+}
+
+let st_fetch = 0
+let st_halt = 1
+
+let create ?(name = "find") ~width ~target ~limit () =
+  if Signal.width target <> width then
+    invalid_arg "Find.create: target width mismatch";
+  if limit < 1 then invalid_arg "Find.create: limit must be >= 1";
+  let fetch_req = wire 1 in
+  let src_driver =
+    {
+      (Iterator_intf.driver_stub ~data_width:width ~pos_width:1) with
+      Iterator_intf.read_req = fetch_req;
+      inc_req = fetch_req;
+    }
+  in
+  let cw = Util.bits_to_represent limit in
+  let seen_w = wire cw in
+  let seen = reg seen_w -- (name ^ "_seen") in
+  let found_w = wire 1 and done_w = wire 1 in
+  let connect ~(src : Iterator_intf.t) =
+    let fsm = Fsm.create ~name:(name ^ "_state") ~states:2 () in
+    let in_fetch = Fsm.is fsm st_fetch in
+    fetch_req <== in_fetch;
+    let got = in_fetch &: src.Iterator_intf.read_ack in
+    let hit = got &: (src.Iterator_intf.read_data ==: target) in
+    let exhausted = got &: (seen ==: of_int ~width:cw (limit - 1)) in
+    seen_w <== mux2 got (seen +: one cw) seen;
+    let found_r =
+      Hwpat_devices.Handshake.sticky ~set:hit ~clear:gnd -- (name ^ "_found")
+    in
+    found_w <== found_r;
+    Fsm.transitions fsm
+      [ (st_fetch, [ (hit |: exhausted, st_halt) ]); (st_halt, []) ];
+    done_w <== Fsm.is fsm st_halt
+  in
+  {
+    src_driver;
+    connect;
+    found = found_w;
+    position = seen -: one cw;
+    done_ = done_w;
+  }

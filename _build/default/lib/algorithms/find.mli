@@ -1,0 +1,17 @@
+open Hwpat_rtl
+open Hwpat_iterators
+
+(** Find: scan up to [limit] elements through an input iterator and
+    stop at the first one equal to [target] (STL [find]). *)
+
+type t = {
+  src_driver : Iterator_intf.driver;
+  connect : src:Iterator_intf.t -> unit;
+  found : Signal.t;     (** valid once [done_] *)
+  position : Signal.t;  (** index of the match (elements consumed - 1) *)
+  done_ : Signal.t;
+}
+
+val create :
+  ?name:string -> width:int -> target:Signal.t -> limit:int -> unit -> t
+(** [target] may be a dynamic signal; it is sampled on each comparison. *)

@@ -1,0 +1,79 @@
+open Hwpat_rtl
+open Hwpat_rtl.Signal
+open Hwpat_iterators
+
+type t = {
+  src_driver : Iterator_intf.driver;
+  bin_driver : Iterator_intf.driver;
+  connect : src:Iterator_intf.t -> bins:Iterator_intf.t -> unit;
+  processed : Signal.t;
+  done_ : Signal.t;
+}
+
+let st_px = 0
+let st_index = 1
+let st_read = 2
+let st_write = 3
+let st_halt = 4
+
+let create ?(name = "hist") ~pixel_width ~bin_width ~count () =
+  if count < 1 then invalid_arg "Histogram.create: count must be >= 1";
+  let fetch_req = wire 1 in
+  let index_req = wire 1 and read_req = wire 1 and write_req = wire 1 in
+  let pixel_w = wire pixel_width in
+  let bin_plus_one_w = wire bin_width in
+  let src_driver =
+    {
+      (Iterator_intf.driver_stub ~data_width:pixel_width ~pos_width:1) with
+      Iterator_intf.read_req = fetch_req;
+      inc_req = fetch_req;
+    }
+  in
+  let bin_driver =
+    {
+      (Iterator_intf.driver_stub ~data_width:bin_width ~pos_width:pixel_width) with
+      Iterator_intf.index_req;
+      index_pos = pixel_w;
+      read_req;
+      write_req;
+      write_data = bin_plus_one_w;
+    }
+  in
+  let cw = Util.bits_to_represent count in
+  let processed_w = wire cw in
+  let processed = reg processed_w -- (name ^ "_processed") in
+  let done_w = wire 1 in
+  let connect ~(src : Iterator_intf.t) ~(bins : Iterator_intf.t) =
+    let fsm = Fsm.create ~name:(name ^ "_state") ~states:5 () in
+    let in_px = Fsm.is fsm st_px in
+    let in_index = Fsm.is fsm st_index in
+    let in_read = Fsm.is fsm st_read in
+    let in_write = Fsm.is fsm st_write in
+    fetch_req <== in_px;
+    index_req <== in_index;
+    read_req <== in_read;
+    write_req <== in_write;
+    let got_px = in_px &: src.Iterator_intf.read_ack in
+    let pixel =
+      reg ~enable:got_px src.Iterator_intf.read_data -- (name ^ "_pixel")
+    in
+    pixel_w <== pixel;
+    let got_bin = in_read &: bins.Iterator_intf.read_ack in
+    let bin =
+      reg ~enable:got_bin bins.Iterator_intf.read_data -- (name ^ "_bin")
+    in
+    bin_plus_one_w <== (bin +: one bin_width);
+    let wrote = in_write &: bins.Iterator_intf.write_ack in
+    processed_w <== mux2 wrote (processed +: one cw) processed;
+    let last = wrote &: (processed ==: of_int ~width:cw (count - 1)) in
+    Fsm.transitions fsm
+      [
+        (st_px, [ (src.Iterator_intf.read_ack, st_index) ]);
+        (st_index, [ (bins.Iterator_intf.index_ack, st_read) ]);
+        (st_read, [ (bins.Iterator_intf.read_ack, st_write) ]);
+        (st_write, [ (last, st_halt); (bins.Iterator_intf.write_ack, st_px) ]);
+        (st_halt, []);
+      ];
+    done_w <== Fsm.is fsm st_halt
+  in
+  { src_driver; bin_driver; connect; processed; done_ = done_w }

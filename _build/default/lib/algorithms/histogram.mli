@@ -1,0 +1,25 @@
+open Hwpat_rtl
+open Hwpat_iterators
+
+(** Histogram: one of the domain algorithms the paper's §5 calls for in
+    an image-processing library. Counts value occurrences of a pixel
+    stream into a vector of bins.
+
+    This is the algorithm that exercises the *random* iterator's full
+    Table 2 set: for each input element it performs [index] (jump to
+    the bin), [read] (current count) and [write] (count + 1) — all
+    through the same handshake the sequential algorithms use. *)
+
+type t = {
+  src_driver : Iterator_intf.driver;  (** pixel input iterator *)
+  bin_driver : Iterator_intf.driver;  (** random iterator over the bins *)
+  connect : src:Iterator_intf.t -> bins:Iterator_intf.t -> unit;
+  processed : Signal.t;
+  done_ : Signal.t;
+}
+
+val create :
+  ?name:string -> pixel_width:int -> bin_width:int -> count:int -> unit -> t
+(** Bins are indexed directly by pixel value; the bins vector must have
+    [2^pixel_width] entries of [bin_width] bits. Processes [count]
+    pixels, then halts. *)

@@ -1,0 +1,291 @@
+open Hwpat_rtl
+open Hwpat_rtl.Signal
+open Hwpat_containers
+open Hwpat_iterators
+
+type t = {
+  src_driver : Iterator_intf.driver;
+  dst_driver : Iterator_intf.driver;
+  connect : src:Iterator_intf.t -> dst:Iterator_intf.t -> unit;
+  done_ : Signal.t;
+  labels_used : Signal.t;
+}
+
+(* Pass 1 states *)
+let p1_fetch = 0
+let p1_read_up = 1
+let p1_new_label = 2
+let p1_find_a = 3
+let p1_find_b = 4
+let p1_union = 5
+let p1_write_prev = 6
+let p1_write_fb = 7
+
+(* Pass 2 states *)
+let p2_read_fb = 8
+let p2_find = 9
+let p2_read_dense = 10
+let p2_write_dense = 11
+let p2_emit = 12
+let halt = 13
+
+let default_vector ~name ~length ~width d =
+  Vector_c.over_bram ~name ~length ~width d
+
+let create ?(name = "label") ?(vector = default_vector) ~width ~label_bits
+    ~image_width ~image_height () =
+  if image_width < 1 || image_height < 1 then
+    invalid_arg "Label.create: empty image";
+  let fetch_req = wire 1 and emit_req = wire 1 in
+  let out_w = wire label_bits in
+  let src_driver =
+    {
+      (Iterator_intf.driver_stub ~data_width:width ~pos_width:1) with
+      Iterator_intf.read_req = fetch_req;
+      inc_req = fetch_req;
+    }
+  in
+  let dst_driver =
+    {
+      (Iterator_intf.driver_stub ~data_width:label_bits ~pos_width:1) with
+      Iterator_intf.write_req = emit_req;
+      inc_req = emit_req;
+      write_data = out_w;
+    }
+  in
+  let done_w = wire 1 in
+  let labels_used_w = wire label_bits in
+  let connect ~(src : Iterator_intf.t) ~(dst : Iterator_intf.t) =
+    let fsm = Fsm.create ~name:(name ^ "_state") ~states:14 () in
+    let is = Fsm.is fsm in
+    let n_pixels = image_width * image_height in
+    let xbits = Util.address_bits image_width in
+    let fbits = Util.address_bits n_pixels in
+    let lmax = 1 lsl label_bits in
+
+    fetch_req <== is p1_fetch;
+    emit_req <== is p2_emit;
+
+    (* --- Table ports (acks/data come back through wires). ----------- *)
+    let prev_ack = wire 1 and prev_data = wire label_bits in
+    let par_ack = wire 1 and par_data = wire label_bits in
+    let fb_ack = wire 1 and fb_data = wire label_bits in
+    let dn_ack = wire 1 and dn_data = wire label_bits in
+
+    (* --- Walkers and registers. -------------------------------------- *)
+    let got = is p1_fetch &: src.Iterator_intf.read_ack in
+    let fg =
+      reg ~enable:got (src.Iterator_intf.read_data <>: zero width)
+      -- (name ^ "_fg")
+    in
+    let up_seen = is p1_read_up &: prev_ack in
+    let up = prev_data in
+    (* left label of the current row; cleared at each row start *)
+    let left_w = wire label_bits in
+    let left = reg left_w -- (name ^ "_left") in
+    let label_w = wire label_bits in
+    let label_r = reg label_w -- (name ^ "_label") in
+    (* union-find walkers *)
+    let a_w = wire label_bits and b_w = wire label_bits in
+    let a_r = reg a_w -- (name ^ "_a") in
+    let b_r = reg b_w -- (name ^ "_b") in
+    let root_a_w = wire label_bits in
+    let root_a = reg root_a_w -- (name ^ "_root_a") in
+    (* provisional label allocator (label 0 = background) *)
+    let next_w = wire label_bits in
+    let next = reg ~init:(Bits.one label_bits) next_w -- (name ^ "_next") in
+    (* dense allocator *)
+    let next_dense_w = wire label_bits in
+    let next_dense =
+      reg ~init:(Bits.one label_bits) next_dense_w -- (name ^ "_next_dense")
+    in
+    let out_reg_w = wire label_bits in
+    let out_reg = reg out_reg_w -- (name ^ "_out") in
+
+    (* Pixel position in pass 1. *)
+    let fb_written = is p1_write_fb &: fb_ack in
+    let x =
+      reg_fb ~width:xbits (fun q ->
+          mux2 fb_written
+            (mux2 (q ==: of_int ~width:xbits (image_width - 1)) (zero xbits)
+               (q +: one xbits))
+            q)
+      -- (name ^ "_x")
+    in
+    let at_row_end = x ==: of_int ~width:xbits (image_width - 1) in
+    let fb1 =
+      reg_fb ~width:fbits (fun q -> mux2 fb_written (q +: one fbits) q)
+      -- (name ^ "_fb1")
+    in
+    let last_px = fb1 ==: of_int ~width:fbits (n_pixels - 1) in
+    (* Pass 2 position. *)
+    let emitted = is p2_emit &: dst.Iterator_intf.write_ack in
+    let fb2 =
+      reg_fb ~width:fbits (fun q -> mux2 emitted (q +: one fbits) q)
+      -- (name ^ "_fb2")
+    in
+    let last_out = fb2 ==: of_int ~width:fbits (n_pixels - 1) in
+
+    (* --- Decision at the up-read ack. -------------------------------- *)
+    let lz = label_bits in
+    let left_bg = left ==: zero lz in
+    let up_bg = up ==: zero lz in
+    let new_component = up_seen &: fg &: left_bg &: up_bg in
+    let take_one =
+      (* exactly one neighbour, or both equal: no union necessary *)
+      up_seen &: fg
+      &: ~:(left_bg &: up_bg)
+      &: (left_bg |: up_bg |: (left ==: up))
+    in
+    let needs_union =
+      up_seen &: fg &: ~:left_bg &: ~:up_bg &: (left <>: up)
+    in
+    let background = up_seen &: ~:fg in
+    let min_lu = mux2 (left <: up) left up in
+    let single = mux2 left_bg up left in
+
+    (* --- Union-find walking. ------------------------------------------ *)
+    let step_a = is p1_find_a &: par_ack in
+    let a_is_root = par_data ==: a_r in
+    let step_b = is p1_find_b &: par_ack in
+    let b_is_root = par_data ==: b_r in
+    let p2_step = is p2_find &: par_ack in
+    let p2_at_root = par_data ==: a_r in
+    a_w
+    <== mux2 needs_union min_lu
+          (mux2 (step_a &: ~:a_is_root) par_data
+             (mux2
+                ((is p2_read_fb &: fb_ack) &: (fb_data <>: zero lz))
+                fb_data
+                (mux2 (p2_step &: ~:p2_at_root) par_data a_r)));
+    (* walker b holds the larger of the pair *)
+    b_w <== mux2 needs_union (mux2 (left <: up) up left)
+              (mux2 (step_b &: ~:b_is_root) par_data b_r);
+    root_a_w <== mux2 (step_a &: a_is_root) a_r root_a;
+    let root_b = b_r in
+
+    (* --- Label register. ---------------------------------------------- *)
+    let new_label_done = is p1_new_label &: par_ack in
+    label_w
+    <== mux2 background (zero lz)
+          (mux2 take_one single
+             (mux2 needs_union min_lu (mux2 new_label_done next label_r)));
+    next_w <== mux2 new_label_done (next +: one lz) next;
+
+    (* --- Dense mapping. ------------------------------------------------ *)
+    let dense_hit = is p2_read_dense &: dn_ack &: (dn_data <>: zero lz) in
+    let dense_miss = is p2_read_dense &: dn_ack &: (dn_data ==: zero lz) in
+    let dense_written = is p2_write_dense &: dn_ack in
+    out_reg_w
+    <== mux2
+          ((is p2_read_fb &: fb_ack) &: (fb_data ==: zero lz))
+          (zero lz)
+          (mux2 dense_hit dn_data (mux2 dense_miss next_dense out_reg));
+    next_dense_w <== mux2 dense_written (next_dense +: one lz) next_dense;
+    out_w <== out_reg;
+
+    (* --- Left register update. ----------------------------------------- *)
+    left_w
+    <== mux2 fb_written (mux2 at_row_end (zero lz) label_r) left;
+
+    (* --- Tables. -------------------------------------------------------- *)
+    let prev_row =
+      vector ~name:(name ^ "_prev") ~length:image_width ~width:label_bits
+        {
+          Container_intf.read_req = is p1_read_up;
+          write_req = is p1_write_prev;
+          addr = x;
+          write_data = label_r;
+        }
+    in
+    prev_ack
+    <== (prev_row.Container_intf.read_ack |: prev_row.Container_intf.write_ack);
+    prev_data <== prev_row.Container_intf.read_data;
+    let parent =
+      vector ~name:(name ^ "_parent") ~length:lmax ~width:label_bits
+        {
+          Container_intf.read_req = is p1_find_a |: is p1_find_b |: is p2_find;
+          write_req = is p1_new_label |: is p1_union;
+          addr =
+            mux2 (is p1_new_label) next
+              (mux2 (is p1_union)
+                 (mux2 (root_a <: root_b) root_b root_a)
+                 (mux2 (is p1_find_b) b_r a_r));
+          write_data =
+            mux2 (is p1_new_label) next
+              (mux2 (root_a <: root_b) root_a root_b);
+        }
+    in
+    par_ack
+    <== (parent.Container_intf.read_ack |: parent.Container_intf.write_ack);
+    par_data <== parent.Container_intf.read_data;
+    let framebuf =
+      vector ~name:(name ^ "_fb") ~length:n_pixels ~width:label_bits
+        {
+          Container_intf.read_req = is p2_read_fb;
+          write_req = is p1_write_fb;
+          addr = mux2 (is p1_write_fb) fb1 fb2;
+          write_data = label_r;
+        }
+    in
+    fb_ack
+    <== (framebuf.Container_intf.read_ack |: framebuf.Container_intf.write_ack);
+    fb_data <== framebuf.Container_intf.read_data;
+    let dense =
+      vector ~name:(name ^ "_dense") ~length:lmax ~width:label_bits
+        {
+          Container_intf.read_req = is p2_read_dense;
+          write_req = is p2_write_dense;
+          addr = a_r;
+          write_data = next_dense;
+        }
+    in
+    dn_ack <== (dense.Container_intf.read_ack |: dense.Container_intf.write_ack);
+    dn_data <== dense.Container_intf.read_data;
+
+    (* --- Control. -------------------------------------------------------- *)
+    let union_done = is p1_union &: par_ack in
+    let prev_written = is p1_write_prev &: prev_ack in
+    let fb_read = is p2_read_fb &: fb_ack in
+    Fsm.transitions fsm
+      [
+        (p1_fetch, [ (got, p1_read_up) ]);
+        ( p1_read_up,
+          [
+            (new_component, p1_new_label);
+            (needs_union, p1_find_a);
+            (take_one |: background, p1_write_prev);
+          ] );
+        (p1_new_label, [ (par_ack, p1_write_prev) ]);
+        (p1_find_a, [ (step_a &: a_is_root, p1_find_b) ]);
+        ( p1_find_b,
+          [
+            (step_b &: b_is_root &: (root_a ==: b_r), p1_write_prev);
+            (step_b &: b_is_root, p1_union);
+          ] );
+        (p1_union, [ (union_done, p1_write_prev) ]);
+        (p1_write_prev, [ (prev_written, p1_write_fb) ]);
+        ( p1_write_fb,
+          [ (fb_written &: last_px, p2_read_fb); (fb_written, p1_fetch) ] );
+        ( p2_read_fb,
+          [
+            (fb_read &: (fb_data ==: zero lz), p2_emit);
+            (fb_read, p2_find);
+          ] );
+        (p2_find, [ (p2_step &: p2_at_root, p2_read_dense) ]);
+        ( p2_read_dense,
+          [ (dense_hit, p2_emit); (dense_miss, p2_write_dense) ] );
+        (p2_write_dense, [ (dn_ack, p2_emit) ]);
+        (p2_emit, [ (emitted &: last_out, halt); (emitted, p2_read_fb) ]);
+        (halt, []);
+      ];
+    done_w <== is halt;
+    labels_used_w <== (next_dense -: one label_bits)
+  in
+  {
+    src_driver;
+    dst_driver;
+    connect;
+    done_ = done_w;
+    labels_used = labels_used_w;
+  }

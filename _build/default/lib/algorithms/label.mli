@@ -1,0 +1,49 @@
+open Hwpat_rtl
+open Hwpat_containers
+open Hwpat_iterators
+
+(** Binary image labelling in hardware — the domain algorithm the
+    paper's §5 singles out ("binary image labelling for image
+    processing applications").
+
+    Two-pass connected components with 4-connectivity, the classic
+    streaming formulation:
+
+    - pass 1 walks the pixel stream keeping the previous row's labels
+      in a vector container, assigns provisional labels, and records
+      merges in a union-find parent table (another vector);
+    - pass 2 replays the provisional frame from a frame-buffer vector,
+      resolves each label to its root, and maps roots to dense ids
+      (1, 2, …) in first-seen raster order through a fourth vector.
+
+    Results are bit-identical to the model-domain
+    {!Hwpat_model.Algorithm.label_frame}. All four tables are ordinary
+    vector containers, so they can be retargeted (block RAM by default,
+    external SRAM via [vector]) without touching this FSM — the
+    pattern's decoupling applied to a far bigger algorithm than copy.
+
+    Capacity: provisional labels are [label_bits] wide; the image may
+    not need more than [2^label_bits - 1] of them (a checkerboard needs
+    one per two pixels; size accordingly). *)
+
+type t = {
+  src_driver : Iterator_intf.driver;  (** pixel input (fg = non-zero) *)
+  dst_driver : Iterator_intf.driver;  (** dense labels out, [label_bits] wide *)
+  connect : src:Iterator_intf.t -> dst:Iterator_intf.t -> unit;
+  done_ : Signal.t;
+  labels_used : Signal.t;  (** dense component count once [done_] *)
+}
+
+val create :
+  ?name:string ->
+  ?vector:
+    (name:string -> length:int -> width:int ->
+     Container_intf.random_driver -> Container_intf.random) ->
+  width:int ->
+  label_bits:int ->
+  image_width:int ->
+  image_height:int ->
+  unit ->
+  t
+(** [vector] is the target factory for the four internal tables
+    (default {!Hwpat_containers.Vector_c.over_bram}). *)

@@ -1,0 +1,104 @@
+open Hwpat_rtl
+open Hwpat_rtl.Signal
+open Hwpat_iterators
+
+type t = {
+  src_driver : Iterator_intf.driver;
+  dst_driver : Iterator_intf.driver;
+  connect : src:Iterator_intf.t -> dst:Iterator_intf.t -> unit;
+  pairs : Signal.t;
+  done_ : Signal.t;
+}
+
+let reference ~width values =
+  let max_run = (1 lsl width) - 1 in
+  let rec go acc cur run = function
+    | [] -> if run = 0 then List.rev acc else List.rev ((run, cur) :: acc)
+    | v :: rest ->
+      if run > 0 && v = cur && run < max_run then go acc cur (run + 1) rest
+      else if run = 0 then go acc v 1 rest
+      else go ((run, cur) :: acc) v 1 rest
+  in
+  go [] 0 0 values
+
+let st_fetch = 0
+let st_emit = 1
+let st_flush = 2
+let st_halt = 3
+
+let create ?(name = "rle") ~width ~count () =
+  if count < 1 then invalid_arg "Rle.create: count must be >= 1";
+  let fetch_req = wire 1 and emit_req = wire 1 in
+  let pair_w = wire (2 * width) in
+  let src_driver =
+    {
+      (Iterator_intf.driver_stub ~data_width:width ~pos_width:1) with
+      Iterator_intf.read_req = fetch_req;
+      inc_req = fetch_req;
+    }
+  in
+  let dst_driver =
+    {
+      (Iterator_intf.driver_stub ~data_width:(2 * width) ~pos_width:1) with
+      Iterator_intf.write_req = emit_req;
+      inc_req = emit_req;
+      write_data = pair_w;
+    }
+  in
+  let cw = Util.bits_to_represent count in
+  let pairs_w = wire Transform.counter_width in
+  let pairs = reg pairs_w -- (name ^ "_pairs") in
+  let done_w = wire 1 in
+  let connect ~(src : Iterator_intf.t) ~(dst : Iterator_intf.t) =
+    let fsm = Fsm.create ~name:(name ^ "_state") ~states:4 () in
+    let in_fetch = Fsm.is fsm st_fetch in
+    let in_emit = Fsm.is fsm st_emit in
+    let in_flush = Fsm.is fsm st_flush in
+    fetch_req <== in_fetch;
+    emit_req <== (in_emit |: in_flush);
+    let got = in_fetch &: src.Iterator_intf.read_ack in
+    let v = src.Iterator_intf.read_data in
+    let max_run = ones width in
+    let have_w = wire 1 and cur_w = wire width and run_w = wire width in
+    let have = reg have_w -- (name ^ "_have") in
+    let cur = reg cur_w -- (name ^ "_cur") in
+    let run = reg run_w -- (name ^ "_run") in
+    let matches = have &: (v ==: cur) &: (run <>: max_run) in
+    let start_new = got &: ~:have in
+    let extend = got &: matches in
+    let break_run = got &: have &: ~:matches in
+    let pending = reg ~enable:break_run v -- (name ^ "_pending") in
+    let consumed =
+      reg_fb ~width:cw (fun q -> mux2 got (q +: one cw) q) -- (name ^ "_consumed")
+    in
+    (* [consumed] updates on the same edge as the state transition, so
+       compare against the pre-increment value. *)
+    let last_input = consumed ==: of_int ~width:cw (count - 1) in
+    let emitted = in_emit &: dst.Iterator_intf.write_ack in
+    let flushed = in_flush &: dst.Iterator_intf.write_ack in
+    have_w <== mux2 (start_new |: emitted) vdd have;
+    cur_w
+    <== mux2 start_new v (mux2 emitted pending cur);
+    run_w
+    <== mux2 (start_new |: emitted) (one width)
+          (mux2 extend (run +: one width) run);
+    pair_w <== concat_msb [ run; cur ];
+    pairs_w <== mux2 (emitted |: flushed) (pairs +: one Transform.counter_width) pairs;
+    Fsm.transitions fsm
+      [
+        ( st_fetch,
+          [
+            (break_run, st_emit);
+            ((start_new |: extend) &: last_input, st_flush);
+          ] );
+        ( st_emit,
+          [
+            (emitted &: (consumed ==: of_int ~width:cw count), st_flush);
+            (emitted, st_fetch);
+          ] );
+        (st_flush, [ (flushed, st_halt) ]);
+        (st_halt, []);
+      ];
+    done_w <== Fsm.is fsm st_halt
+  in
+  { src_driver; dst_driver; connect; pairs; done_ = done_w }

@@ -1,0 +1,25 @@
+open Hwpat_rtl
+open Hwpat_iterators
+
+(** Run-length encoder: compresses a stream of [count] elements into
+    (run, value) pairs emitted through an output iterator whose element
+    width is [2 × width] ([run] in the high half).
+
+    Unlike the 1-in/1-out kernels, the output rate is data dependent —
+    the handshake discipline absorbs that without any change to the
+    containers on either side. Runs longer than [2^width - 1] are split.
+    After the [count]-th input the final run is flushed and the machine
+    halts. *)
+
+type t = {
+  src_driver : Iterator_intf.driver;
+  dst_driver : Iterator_intf.driver;  (** element width is [2 * width] *)
+  connect : src:Iterator_intf.t -> dst:Iterator_intf.t -> unit;
+  pairs : Signal.t;   (** pairs emitted so far *)
+  done_ : Signal.t;
+}
+
+val create : ?name:string -> width:int -> count:int -> unit -> t
+
+val reference : width:int -> int list -> (int * int) list
+(** Software model: [(run, value)] pairs with the same splitting rule. *)

@@ -1,0 +1,114 @@
+open Hwpat_rtl
+open Hwpat_rtl.Signal
+open Hwpat_iterators
+
+type t = {
+  col_driver : Iterator_intf.driver;
+  dst_driver : Iterator_intf.driver;
+  connect : col:Iterator_intf.t -> dst:Iterator_intf.t -> unit;
+  produced : Signal.t;
+  running : Signal.t;
+}
+
+let reference_pixel ~window ~width =
+  let w = window in
+  let gx =
+    w.(0).(2) + (2 * w.(1).(2)) + w.(2).(2)
+    - (w.(0).(0) + (2 * w.(1).(0)) + w.(2).(0))
+  in
+  let gy =
+    w.(2).(0) + (2 * w.(2).(1)) + w.(2).(2)
+    - (w.(0).(0) + (2 * w.(0).(1)) + w.(0).(2))
+  in
+  min (abs gx + abs gy) ((1 lsl width) - 1)
+
+let st_fetch = 0
+let st_store = 1
+let st_halt = 2
+
+let create ?(name = "sobel") ?limit ~width ~image_width () =
+  if image_width < 3 then invalid_arg "Sobel.create: image_width must be >= 3";
+  let col_w = 3 * width in
+  let fetch_req = wire 1 and store_req = wire 1 in
+  let out_w = wire width in
+  let col_driver =
+    {
+      (Iterator_intf.driver_stub ~data_width:col_w ~pos_width:1) with
+      Iterator_intf.read_req = fetch_req;
+      inc_req = fetch_req;
+    }
+  in
+  let dst_driver =
+    {
+      (Iterator_intf.driver_stub ~data_width:width ~pos_width:1) with
+      Iterator_intf.write_req = store_req;
+      inc_req = store_req;
+      write_data = out_w;
+    }
+  in
+  let produced_w = wire Transform.counter_width in
+  let produced = reg produced_w -- (name ^ "_count") in
+  let running_w = wire 1 in
+  let connect ~(col : Iterator_intf.t) ~(dst : Iterator_intf.t) =
+    let fsm = Fsm.create ~name:(name ^ "_state") ~states:3 () in
+    let in_fetch = Fsm.is fsm st_fetch in
+    let in_store = Fsm.is fsm st_store in
+    fetch_req <== in_fetch;
+    store_req <== in_store;
+    let got = in_fetch &: col.Iterator_intf.read_ack in
+    let xbits = Util.address_bits image_width in
+    let x =
+      reg_fb ~width:xbits (fun q ->
+          mux2 got
+            (mux2 (q ==: of_int ~width:xbits (image_width - 1)) (zero xbits)
+               (q +: one xbits))
+            q)
+      -- (name ^ "_x")
+    in
+    let window_full = x >=: of_int ~width:xbits 2 in
+    (* Columns: c2 = left (x-2), c1 = centre, c0 = incoming right. *)
+    let c0 = col.Iterator_intf.read_data in
+    let c1 = reg ~enable:got c0 -- (name ^ "_c1") in
+    let c2 = reg ~enable:got c1 -- (name ^ "_c2") in
+    let sw = width + 3 in
+    let top c = select c ~high:((3 * width) - 1) ~low:(2 * width) in
+    let mid c = select c ~high:((2 * width) - 1) ~low:width in
+    let bot c = select c ~high:(width - 1) ~low:0 in
+    let w1 s = uresize s sw in
+    let w2 s = sll (uresize s sw) 1 in
+    (* Column sums weighted 1-2-1 vertically (for Gx) and the row sums
+       weighted 1-2-1 horizontally (for Gy). *)
+    let col_sum c = w1 (top c) +: w2 (mid c) +: w1 (bot c) in
+    let row_top = w1 (top c2) +: w2 (top c1) +: w1 (top c0) in
+    let row_bot = w1 (bot c2) +: w2 (bot c1) +: w1 (bot c0) in
+    let absdiff a b = mux2 (a >=: b) (a -: b) (b -: a) in
+    let gx = absdiff (col_sum c0) (col_sum c2) -- (name ^ "_gx") in
+    let gy = absdiff row_bot row_top -- (name ^ "_gy") in
+    let mw = sw + 1 in
+    let mag = uresize gx mw +: uresize gy mw in
+    let full_scale = of_int ~width:mw ((1 lsl width) - 1) in
+    let saturated =
+      mux2 (mag >: full_scale) full_scale mag -- (name ^ "_mag")
+    in
+    let out_reg =
+      reg ~enable:(got &: window_full) (select saturated ~high:(width - 1) ~low:0)
+      -- (name ^ "_out")
+    in
+    out_w <== out_reg;
+    let stored = in_store &: dst.Iterator_intf.write_ack in
+    produced_w <== mux2 stored (produced +: one Transform.counter_width) produced;
+    let at_limit =
+      match limit with
+      | None -> gnd
+      | Some n ->
+        stored &: (produced ==: of_int ~width:Transform.counter_width (n - 1))
+    in
+    Fsm.transitions fsm
+      [
+        (st_fetch, [ (got &: window_full, st_store) ]);
+        (st_store, [ (at_limit, st_halt); (dst.Iterator_intf.write_ack, st_fetch) ]);
+        (st_halt, []);
+      ];
+    running_w <== ~:(Fsm.is fsm st_halt)
+  in
+  { col_driver; dst_driver; connect; produced; running = running_w }

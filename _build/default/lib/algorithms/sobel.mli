@@ -1,0 +1,30 @@
+open Hwpat_rtl
+open Hwpat_iterators
+
+(** Sobel edge detection — a second windowed algorithm over the same
+    3-line-buffer read buffer as {!Blur}, demonstrating that the
+    specialised container is reusable across algorithms (the paper's §5
+    asks for exactly such a convolution-filter family).
+
+    Gradient magnitude is the exact integer formula
+
+    {v |Gx| + |Gy|, saturated to the pixel range v}
+
+    with the classic kernels Gx = [-1 0 1; -2 0 2; -1 0 1] and
+    Gy = Gxᵀ, so hardware output is bit-identical to
+    {!reference_pixel}. Output stream: interior pixels only,
+    (W-2)×(H-2) row-major. *)
+
+type t = {
+  col_driver : Iterator_intf.driver;
+  dst_driver : Iterator_intf.driver;
+  connect : col:Iterator_intf.t -> dst:Iterator_intf.t -> unit;
+  produced : Signal.t;
+  running : Signal.t;
+}
+
+val create :
+  ?name:string -> ?limit:int -> width:int -> image_width:int -> unit -> t
+
+val reference_pixel : window:int array array -> width:int -> int
+(** Software model of one output pixel ([window.(row).(col)]). *)

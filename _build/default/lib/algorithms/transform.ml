@@ -1,0 +1,76 @@
+open Hwpat_rtl
+open Hwpat_rtl.Signal
+open Hwpat_iterators
+
+let counter_width = 24
+
+type t = {
+  src_driver : Iterator_intf.driver;
+  dst_driver : Iterator_intf.driver;
+  connect : src:Iterator_intf.t -> dst:Iterator_intf.t -> unit;
+  transferred : Signal.t;
+  running : Signal.t;
+}
+
+let st_fetch = 0
+let st_store = 1
+let st_halt = 2
+
+let create ?(name = "xform") ?enable ?limit ~width ~f () =
+  let fetch_req = wire 1 and store_req = wire 1 in
+  let data_reg_w = wire width in
+  let src_driver =
+    {
+      (Iterator_intf.driver_stub ~data_width:width ~pos_width:1) with
+      Iterator_intf.read_req = fetch_req;
+      inc_req = fetch_req;
+    }
+  in
+  let dst_driver =
+    {
+      (Iterator_intf.driver_stub ~data_width:width ~pos_width:1) with
+      Iterator_intf.write_req = store_req;
+      inc_req = store_req;
+      write_data = data_reg_w;
+    }
+  in
+  let transferred_w = wire counter_width in
+  let transferred = reg transferred_w -- (name ^ "_count") in
+  let running_w = wire 1 in
+  let connect ~(src : Iterator_intf.t) ~(dst : Iterator_intf.t) =
+    let fsm = Fsm.create ~name:(name ^ "_state") ~states:3 () in
+    let in_fetch = Fsm.is fsm st_fetch in
+    let in_store = Fsm.is fsm st_store in
+    let gate = match enable with Some e -> e | None -> vdd in
+    fetch_req <== (in_fetch &: gate);
+    store_req <== in_store;
+    (* Containers guarantee get_data stays stable until the next get
+       completes, so the element flows straight from the input iterator
+       to the output iterator — no holding register, exactly like the
+       hand-written datapath. *)
+    data_reg_w <== f src.Iterator_intf.read_data;
+    let stored = in_store &: dst.Iterator_intf.write_ack in
+    transferred_w
+    <== mux2 stored (transferred +: one counter_width) transferred;
+    let at_limit =
+      match limit with
+      | None -> gnd
+      | Some n ->
+        (* The element being stored is number [transferred + 1]. *)
+        stored &: (transferred ==: of_int ~width:counter_width (n - 1))
+    in
+    Fsm.transitions fsm
+      [
+        (st_fetch, [ (src.Iterator_intf.read_ack, st_store) ]);
+        (st_store, [ (at_limit, st_halt); (dst.Iterator_intf.write_ack, st_fetch) ]);
+        (st_halt, []);
+      ];
+    running_w <== ~:(Fsm.is fsm st_halt)
+  in
+  {
+    src_driver;
+    dst_driver;
+    connect;
+    transferred;
+    running = running_w;
+  }

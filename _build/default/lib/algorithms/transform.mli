@@ -1,0 +1,34 @@
+open Hwpat_rtl
+open Hwpat_iterators
+
+(** The element-wise transform algorithm: an endless (or bounded) loop
+    that reads an element through the input iterator, applies a
+    combinational function, and writes the result through the output
+    iterator. The paper's copy algorithm is the identity transform.
+
+    The algorithm knows nothing about containers: it sees only the
+    Table 2 operation handshakes, which is why the same FSM runs
+    unchanged over FIFO-, block-RAM- and SRAM-backed buffers. *)
+
+type t = {
+  src_driver : Iterator_intf.driver;
+    (** connect to the input iterator *)
+  dst_driver : Iterator_intf.driver;
+    (** connect to the output iterator *)
+  connect : src:Iterator_intf.t -> dst:Iterator_intf.t -> unit;
+    (** close the loop once both iterators exist; call exactly once *)
+  transferred : Signal.t;  (** elements written so far *)
+  running : Signal.t;      (** low once [limit] elements have moved *)
+}
+
+val create :
+  ?name:string -> ?enable:Signal.t -> ?limit:int -> width:int ->
+  f:(Signal.t -> Signal.t) -> unit -> t
+(** [limit]: stop after that many elements ([None] = free-running).
+    [enable]: gate the fetch side (default always on); an in-flight
+    element still completes its store. [f] must preserve width. The
+    driver records contain internal wires; pass them when building
+    iterators, then call [connect]. *)
+
+val counter_width : int
+(** Width of [transferred] (large enough for any test frame). *)

@@ -1,0 +1,1 @@
+lib/containers/assoc_array.ml: Container_intf Fsm Hwpat_devices Hwpat_rtl Mem_target Signal Util

@@ -1,0 +1,1 @@
+lib/containers/assoc_array.mli: Container_intf

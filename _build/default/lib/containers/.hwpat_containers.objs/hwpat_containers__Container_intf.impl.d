@@ -1,0 +1,1 @@
+lib/containers/container_intf.ml: Hwpat_rtl Signal

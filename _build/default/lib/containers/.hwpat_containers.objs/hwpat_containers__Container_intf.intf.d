@@ -1,0 +1,1 @@
+lib/containers/container_intf.mli: Hwpat_rtl Signal

@@ -1,0 +1,1 @@
+lib/containers/mem_target.ml: Container_intf Hwpat_devices Hwpat_rtl Signal

@@ -1,0 +1,1 @@
+lib/containers/mem_target.mli: Container_intf Hwpat_devices

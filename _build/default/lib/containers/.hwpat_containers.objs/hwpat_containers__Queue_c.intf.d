@@ -1,0 +1,1 @@
+lib/containers/queue_c.mli: Container_intf

@@ -1,0 +1,1 @@
+lib/containers/read_buffer.ml: Container_intf Hwpat_devices Hwpat_rtl Queue_c Signal

@@ -1,0 +1,1 @@
+lib/containers/read_buffer.mli: Container_intf Hwpat_rtl Signal

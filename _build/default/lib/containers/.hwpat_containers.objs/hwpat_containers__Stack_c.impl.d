@@ -1,0 +1,1 @@
+lib/containers/stack_c.ml: Container_intf Fsm Hwpat_devices Hwpat_rtl Mem_target Signal Util

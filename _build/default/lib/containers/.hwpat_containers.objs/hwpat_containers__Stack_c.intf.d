@@ -1,0 +1,1 @@
+lib/containers/stack_c.mli: Container_intf

@@ -1,0 +1,1 @@
+lib/containers/vector_c.ml: Container_intf Fsm Hwpat_rtl Mem_target Signal Util

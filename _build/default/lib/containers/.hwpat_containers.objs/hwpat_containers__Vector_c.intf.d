@@ -1,0 +1,1 @@
+lib/containers/vector_c.mli: Container_intf

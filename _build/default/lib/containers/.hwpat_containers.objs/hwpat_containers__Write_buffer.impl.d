@@ -1,0 +1,1 @@
+lib/containers/write_buffer.ml: Container_intf Hwpat_rtl Queue_c Signal

@@ -1,0 +1,199 @@
+open Hwpat_rtl
+open Hwpat_rtl.Signal
+open Container_intf
+
+let slot_width ~key_width ~value_width = 2 + key_width + value_width
+
+(* Slot states, stored in the top two bits of each word. *)
+let slot_empty = 0
+let slot_occupied = 1
+let slot_tombstone = 2
+
+let st_idle = 0
+let st_probe = 1
+let st_store = 2
+let st_done = 3
+
+let op_lookup = 0
+let op_insert = 1
+let op_delete = 2
+
+let over_mem ?(name = "assoc") ~slots ~key_width ~value_width ~target
+    (d : assoc_driver) =
+  if not (Util.is_power_of_two slots) then
+    invalid_arg "Assoc_array.over_mem: slots must be a power of two";
+  if Signal.width d.key <> key_width then
+    invalid_arg "Assoc_array.over_mem: key width mismatch";
+  if Signal.width d.value_in <> value_width then
+    invalid_arg "Assoc_array.over_mem: value width mismatch";
+  let abits = Util.address_bits slots in
+  let w = slot_width ~key_width ~value_width in
+  let fsm = Fsm.create ~name:(name ^ "_state") ~states:4 () in
+  let in_probe = Fsm.is fsm st_probe in
+  let in_store = Fsm.is fsm st_store in
+  let in_done = Fsm.is fsm st_done in
+  let in_idle = Fsm.is fsm st_idle in
+  let port_w = { mem_ack = wire 1; mem_rdata = wire w } in
+
+  (* Operation latch. *)
+  let accept = in_idle &: (d.lookup_req |: d.insert_req |: d.delete_req) in
+  let op_code =
+    mux2 d.lookup_req
+      (of_int ~width:2 op_lookup)
+      (mux2 d.insert_req (of_int ~width:2 op_insert) (of_int ~width:2 op_delete))
+  in
+  let op = reg ~enable:accept op_code -- (name ^ "_op") in
+  let is_lookup = op ==: of_int ~width:2 op_lookup in
+  let is_insert = op ==: of_int ~width:2 op_insert in
+  let is_delete = op ==: of_int ~width:2 op_delete in
+
+  (* Probe walker. *)
+  let hash = uresize d.key abits in
+  let at_ack = in_probe &: port_w.mem_ack in
+  let entry = port_w.mem_rdata in
+  let entry_state = select entry ~high:(w - 1) ~low:(w - 2) in
+  let entry_key = select entry ~high:(w - 3) ~low:value_width in
+  let entry_value =
+    if value_width > 0 then select entry ~high:(value_width - 1) ~low:0
+    else zero 1
+  in
+  let is_empty_slot = entry_state ==: of_int ~width:2 slot_empty in
+  let is_tomb = entry_state ==: of_int ~width:2 slot_tombstone in
+  let is_occupied = entry_state ==: of_int ~width:2 slot_occupied in
+  let key_match = is_occupied &: (entry_key ==: d.key) in
+  let probe_idx =
+    Hwpat_devices.Handshake.pulse_counter
+      ~width:(abits + 1)
+      ~enable:(at_ack &: ~:key_match &: ~:is_empty_slot)
+      ~clear:in_idle
+    -- (name ^ "_probe_idx")
+  in
+  let last_probe = probe_idx ==: of_int ~width:(abits + 1) (slots - 1) in
+  let advance = at_ack &: ~:key_match &: ~:is_empty_slot &: ~:last_probe in
+  let probe_addr =
+    reg_fb ~width:abits (fun q ->
+        mux2 accept hash (mux2 advance (q +: one abits) q))
+    -- (name ^ "_probe_addr")
+  in
+
+  (* Insert candidate: the first tombstone seen on the walk. *)
+  let cand_take = at_ack &: is_insert &: is_tomb in
+  let cand_valid =
+    reg_fb ~width:1 (fun q -> mux2 accept gnd (mux2 cand_take vdd q))
+    -- (name ^ "_cand_valid")
+  in
+  let cand_addr =
+    reg ~enable:(cand_take &: ~:cand_valid) probe_addr -- (name ^ "_cand_addr")
+  in
+
+  (* Decisions out of the probe state. *)
+  let lookup_hit = at_ack &: is_lookup &: key_match in
+  let lookup_miss = at_ack &: is_lookup &: (is_empty_slot |: last_probe) in
+  let insert_update = at_ack &: is_insert &: key_match in
+  let insert_new = at_ack &: is_insert &: ~:key_match &: is_empty_slot in
+  let insert_exhausted =
+    at_ack &: is_insert &: ~:key_match &: ~:is_empty_slot &: last_probe
+  in
+  let insert_claim_cand = insert_exhausted &: cand_valid in
+  let insert_fail = insert_exhausted &: ~:cand_valid in
+  let delete_hit = at_ack &: is_delete &: key_match in
+  let delete_miss = at_ack &: is_delete &: (is_empty_slot |: last_probe) in
+  let to_store = insert_update |: insert_new |: insert_claim_cand |: delete_hit in
+
+  (* Result registers. *)
+  let found_r =
+    reg ~enable:(lookup_hit |: lookup_miss |: delete_hit |: delete_miss)
+      (lookup_hit |: delete_hit)
+    -- (name ^ "_found")
+  in
+  let ok_r =
+    reg ~enable:(to_store &: is_insert |: insert_fail) (~:insert_fail)
+    -- (name ^ "_ok")
+  in
+  let data_r = reg ~enable:lookup_hit entry_value -- (name ^ "_data") in
+
+  (* Store phase: where and what to write. *)
+  let store_addr =
+    reg ~enable:to_store
+      (mux2 insert_new
+         (mux2 cand_valid cand_addr probe_addr)
+         (mux2 insert_claim_cand cand_addr probe_addr))
+    -- (name ^ "_store_addr")
+  in
+  let occupied_word =
+    concat_msb
+      [
+        of_int ~width:2 slot_occupied;
+        d.key;
+        (if value_width > 0 then d.value_in else zero 1);
+      ]
+  in
+  let tombstone_word = zero w |: sll (uresize (of_int ~width:2 slot_tombstone) w) (w - 2) in
+  let store_word =
+    reg ~enable:to_store (mux2 is_delete tombstone_word occupied_word)
+    -- (name ^ "_store_word")
+  in
+  let is_new_entry =
+    reg ~enable:(at_ack &: is_insert) (insert_new |: insert_claim_cand)
+    -- (name ^ "_is_new")
+  in
+
+  Fsm.transitions fsm
+    [
+      (st_idle, [ (accept, st_probe) ]);
+      ( st_probe,
+        [
+          (to_store, st_store);
+          (lookup_hit |: lookup_miss |: delete_miss |: insert_fail, st_done);
+        ] );
+      (st_store, [ (port_w.mem_ack, st_done) ]);
+      (st_done, [ (vdd, st_idle) ]);
+    ];
+
+  let store_done = in_store &: port_w.mem_ack in
+  let cbits = Util.bits_to_represent slots in
+  let occupancy =
+    reg_fb ~width:cbits (fun q ->
+        mux2
+          (store_done &: is_insert &: is_new_entry)
+          (q +: one cbits)
+          (mux2 (store_done &: is_delete) (q -: one cbits) q))
+    -- (name ^ "_occupancy")
+  in
+
+  let request =
+    {
+      mem_req = in_probe |: in_store;
+      mem_we = in_store;
+      mem_addr = mux2 in_store store_addr probe_addr;
+      mem_wdata = mux2 in_store store_word (zero w);
+    }
+  in
+  let port = target request in
+  port_w.mem_ack <== port.mem_ack;
+  port_w.mem_rdata <== port.mem_rdata;
+
+  let done_pulse = in_done in
+  {
+    lookup_ack = done_pulse &: is_lookup;
+    lookup_found = found_r;
+    lookup_data = data_r;
+    insert_ack = done_pulse &: is_insert;
+    insert_ok = ok_r;
+    delete_ack = done_pulse &: is_delete;
+    delete_found = found_r;
+    occupancy;
+  }
+
+let over_bram ?(name = "assoc") ~slots ~key_width ~value_width d =
+  let w = slot_width ~key_width ~value_width in
+  over_mem ~name ~slots ~key_width ~value_width
+    ~target:(Mem_target.bram ~name:(name ^ "_bram") ~size:slots ~width:w)
+    d
+
+let over_sram ?(name = "assoc") ~slots ~key_width ~value_width ~wait_states d =
+  let w = slot_width ~key_width ~value_width in
+  over_mem ~name ~slots ~key_width ~value_width
+    ~target:
+      (Mem_target.sram ~name:(name ^ "_sram") ~words:slots ~width:w ~wait_states)
+    d

@@ -1,0 +1,28 @@
+
+(** The associative array container: a direct-mapped hash table with
+    linear probing, over block RAM or external SRAM.
+
+    Each slot stores a 2-bit slot state (empty / occupied / tombstone),
+    the key and the value. Lookup probes from [hash key] until a key
+    match or an empty slot; insert updates a matching slot or claims
+    the first tombstone/empty slot; delete writes a tombstone so later
+    probes keep walking. All three operations follow the standard
+    request/ack handshake of {!Container_intf}. *)
+
+val slot_width : key_width:int -> value_width:int -> int
+(** Physical word width: [2 + key_width + value_width]. *)
+
+val over_mem :
+  ?name:string -> slots:int -> key_width:int -> value_width:int ->
+  target:(Container_intf.mem_request -> Container_intf.mem_port) ->
+  Container_intf.assoc_driver -> Container_intf.assoc
+(** [slots] must be a power of two. The [target] adapter must carry
+    words of [slot_width] bits. *)
+
+val over_bram :
+  ?name:string -> slots:int -> key_width:int -> value_width:int ->
+  Container_intf.assoc_driver -> Container_intf.assoc
+
+val over_sram :
+  ?name:string -> slots:int -> key_width:int -> value_width:int ->
+  wait_states:int -> Container_intf.assoc_driver -> Container_intf.assoc

@@ -1,0 +1,61 @@
+open Hwpat_rtl
+open Hwpat_rtl.Signal
+
+type seq = {
+  get_ack : Signal.t;
+  get_data : Signal.t;
+  put_ack : Signal.t;
+  empty : Signal.t;
+  full : Signal.t;
+  size : Signal.t;
+}
+
+type seq_driver = {
+  get_req : Signal.t;
+  put_req : Signal.t;
+  put_data : Signal.t;
+}
+
+let seq_driver_stub ~width = { get_req = gnd; put_req = gnd; put_data = zero width }
+
+type random = {
+  read_ack : Signal.t;
+  read_data : Signal.t;
+  write_ack : Signal.t;
+  length : Signal.t;
+}
+
+type random_driver = {
+  read_req : Signal.t;
+  write_req : Signal.t;
+  addr : Signal.t;
+  write_data : Signal.t;
+}
+
+type assoc = {
+  lookup_ack : Signal.t;
+  lookup_found : Signal.t;
+  lookup_data : Signal.t;
+  insert_ack : Signal.t;
+  insert_ok : Signal.t;
+  delete_ack : Signal.t;
+  delete_found : Signal.t;
+  occupancy : Signal.t;
+}
+
+type assoc_driver = {
+  lookup_req : Signal.t;
+  insert_req : Signal.t;
+  delete_req : Signal.t;
+  key : Signal.t;
+  value_in : Signal.t;
+}
+
+type mem_port = { mem_ack : Signal.t; mem_rdata : Signal.t }
+
+type mem_request = {
+  mem_req : Signal.t;
+  mem_we : Signal.t;
+  mem_addr : Signal.t;
+  mem_wdata : Signal.t;
+}

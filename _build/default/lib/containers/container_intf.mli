@@ -1,0 +1,95 @@
+open Hwpat_rtl
+
+(** Uniform container interfaces (the functional interface of §3.4).
+
+    Containers expose operation ports with a request/acknowledge
+    handshake: the client raises a request and holds it (with its
+    operand ports stable) until the matching [ack] pulses. [ack] is a
+    one-cycle pulse; returned data is valid during the [ack] cycle.
+    This uniformity is what lets one algorithm FSM drive a FIFO-backed
+    buffer (acks in 1–2 cycles) and an SRAM-backed buffer (acks after
+    arbitration and wait states) without modification.
+
+    {v
+              |  t0   |  t1   |  t2   |  t3   |  t4
+    get_req   |___----|-------|-------|____...      held until ack
+    get_ack   |_______|_______|----___|             one-cycle pulse
+    get_data  |  xxx  |  xxx  | VALID | stable      until the next get
+    v}
+
+    Returned data remains stable from the ack until the next operation
+    of the same kind completes — algorithms rely on this to wire an
+    input iterator's data straight into an output iterator. *)
+
+(** Sequential containers: stacks, queues, read/write buffers. *)
+type seq = {
+  get_ack : Signal.t;
+  get_data : Signal.t;
+  put_ack : Signal.t;
+  empty : Signal.t;
+  full : Signal.t;
+  size : Signal.t;
+}
+
+(** Client-side request signals for a sequential container. *)
+type seq_driver = {
+  get_req : Signal.t;
+  put_req : Signal.t;
+  put_data : Signal.t;
+}
+
+val seq_driver_stub : width:int -> seq_driver
+(** All-zero requests (for containers used on one side only). *)
+
+(** Random-access containers (vector). *)
+type random = {
+  read_ack : Signal.t;
+  read_data : Signal.t;
+  write_ack : Signal.t;
+  length : Signal.t;
+}
+
+type random_driver = {
+  read_req : Signal.t;
+  write_req : Signal.t;
+  addr : Signal.t;
+  write_data : Signal.t;
+}
+
+(** Associative containers. *)
+type assoc = {
+  lookup_ack : Signal.t;
+  lookup_found : Signal.t;
+  lookup_data : Signal.t;
+  insert_ack : Signal.t;
+  insert_ok : Signal.t;
+  delete_ack : Signal.t;
+  delete_found : Signal.t;
+  occupancy : Signal.t;
+}
+
+type assoc_driver = {
+  lookup_req : Signal.t;
+  insert_req : Signal.t;
+  delete_req : Signal.t;
+  key : Signal.t;
+  value_in : Signal.t;
+}
+
+(** {1 Abstract memory port}
+
+    The adapter between a container FSM and its physical target — the
+    piece the metaprogramming layer swaps when the designer changes the
+    aggregate's implementation. *)
+
+type mem_port = {
+  mem_ack : Signal.t;    (** pulses once per completed access *)
+  mem_rdata : Signal.t;  (** valid during [mem_ack] of a read *)
+}
+
+type mem_request = {
+  mem_req : Signal.t;
+  mem_we : Signal.t;
+  mem_addr : Signal.t;
+  mem_wdata : Signal.t;
+}

@@ -1,0 +1,38 @@
+open Hwpat_rtl
+open Hwpat_rtl.Signal
+open Container_intf
+
+let bram ?(name = "bram") ~size ~width (r : mem_request) =
+  if Signal.width r.mem_wdata <> width then
+    invalid_arg "Mem_target.bram: wdata width mismatch";
+  let mem = create_memory ~size ~width ~name:(name ^ "_ram") () in
+  (* One-cycle handshake: ack pulses the cycle after a fresh request. *)
+  let ack = reg_fb ~width:1 (fun q -> r.mem_req &: ~:q) -- (name ^ "_ack") in
+  let accept = r.mem_req &: ~:ack in
+  mem_write_port mem ~enable:(accept &: r.mem_we) ~addr:r.mem_addr ~data:r.mem_wdata;
+  let rdata =
+    mem_read_sync mem ~enable:(accept &: ~:(r.mem_we)) ~addr:r.mem_addr ()
+    -- (name ^ "_rdata")
+  in
+  { mem_ack = ack; mem_rdata = rdata }
+
+let sram ?(name = "sram") ~words ~width ~wait_states (r : mem_request) =
+  let dev =
+    Hwpat_devices.Sram.create ~name ~words ~width ~wait_states ~req:r.mem_req
+      ~we:r.mem_we ~addr:r.mem_addr ~wr_data:r.mem_wdata ()
+  in
+  { mem_ack = dev.Hwpat_devices.Sram.ack; mem_rdata = dev.Hwpat_devices.Sram.rd_data }
+
+let of_arbiter_grant (g : Hwpat_devices.Sram_arbiter.grant) =
+  {
+    mem_ack = g.Hwpat_devices.Sram_arbiter.ack;
+    mem_rdata = g.Hwpat_devices.Sram_arbiter.rd_data;
+  }
+
+let to_arbiter_client (r : mem_request) =
+  {
+    Hwpat_devices.Sram_arbiter.req = r.mem_req;
+    we = r.mem_we;
+    addr = r.mem_addr;
+    wr_data = r.mem_wdata;
+  }

@@ -1,0 +1,28 @@
+
+(** Physical target adapters behind the abstract memory port.
+
+    Each adapter takes the container's {!Container_intf.mem_request}
+    and answers with a {!Container_intf.mem_port}. Swapping the adapter
+    — on-chip block RAM versus external SRAM behind wait states or an
+    arbiter — is exactly the implementation change the paper's §3.3
+    scenario performs without touching the model. *)
+
+val bram :
+  ?name:string -> size:int -> width:int -> Container_intf.mem_request ->
+  Container_intf.mem_port
+(** Dual-port block RAM: every access completes in one cycle ([ack]
+    pulses the cycle after the request is seen). *)
+
+val sram :
+  ?name:string -> words:int -> width:int -> wait_states:int ->
+  Container_intf.mem_request -> Container_intf.mem_port
+(** A private external SRAM (instantiates {!Hwpat_devices.Sram}). *)
+
+val of_arbiter_grant :
+  Hwpat_devices.Sram_arbiter.grant -> Container_intf.mem_port
+(** Use one side of a shared, arbitrated SRAM. The caller instantiates
+    {!Hwpat_devices.Sram_arbiter} with this container's
+    {!Container_intf.mem_request} signals as the client. *)
+
+val to_arbiter_client :
+  Container_intf.mem_request -> Hwpat_devices.Sram_arbiter.client

@@ -1,0 +1,93 @@
+open Hwpat_rtl
+open Hwpat_rtl.Signal
+open Container_intf
+
+let over_fifo ?(name = "queue") ~depth ~width (d : seq_driver) =
+  let rd_en = wire 1 in
+  let fifo =
+    Hwpat_devices.Fifo_core.create ~name ~depth ~width
+      ~wr_en:d.put_req ~wr_data:d.put_data ~rd_en ()
+  in
+  let open Hwpat_devices.Fifo_core in
+  (* One pop in flight at a time; no refire during the ack cycle, since
+     the client deasserts its request only on the next cycle. *)
+  let pending =
+    reg_fb ~width:1 (fun q -> mux2 rd_en vdd (mux2 fifo.rd_valid gnd q))
+    -- (name ^ "_pending")
+  in
+  rd_en <== (d.get_req &: ~:(fifo.empty) &: ~:pending &: ~:(fifo.rd_valid));
+  {
+    get_ack = fifo.rd_valid;
+    get_data = fifo.rd_data;
+    put_ack = d.put_req &: ~:(fifo.full);
+    empty = fifo.empty;
+    full = fifo.full;
+    size = fifo.count;
+  }
+
+let st_idle = 0
+let st_get = 1
+let st_put = 2
+
+let over_mem ?(name = "queue") ~depth ~width ~target (d : seq_driver) =
+  if Signal.width d.put_data <> width then
+    invalid_arg "Queue_c.over_mem: put_data width mismatch";
+  let abits = Util.address_bits depth in
+  let cbits = Util.bits_to_represent depth in
+  let fsm = Fsm.create ~name:(name ^ "_state") ~states:3 () in
+  let in_get = Fsm.is fsm st_get and in_put = Fsm.is fsm st_put in
+  let last = of_int ~width:abits (depth - 1) in
+  let bump ptr = mux2 (ptr ==: last) (zero abits) (ptr +: one abits) in
+  let count_w = wire cbits in
+  let count = reg count_w -- (name ^ "_count") in
+  let empty = (count ==: zero cbits) -- (name ^ "_empty") in
+  let full = (count ==: of_int ~width:cbits depth) -- (name ^ "_full") in
+  let port_w = { mem_ack = wire 1; mem_rdata = wire width } in
+  let done_get = in_get &: port_w.mem_ack in
+  let done_put = in_put &: port_w.mem_ack in
+  let ptr_begin =
+    reg_fb ~width:abits (fun q -> mux2 done_get (bump q) q) -- (name ^ "_begin")
+  in
+  let ptr_end =
+    reg_fb ~width:abits (fun q -> mux2 done_put (bump q) q) -- (name ^ "_end")
+  in
+  count_w
+  <== (count
+      +: mux2 done_put (one cbits) (zero cbits)
+      -: mux2 done_get (one cbits) (zero cbits));
+  Fsm.transitions fsm
+    [
+      ( st_idle,
+        [ (d.get_req &: ~:empty, st_get); (d.put_req &: ~:full, st_put) ] );
+      (st_get, [ (port_w.mem_ack, st_idle) ]);
+      (st_put, [ (port_w.mem_ack, st_idle) ]);
+    ];
+  let request =
+    {
+      mem_req = in_get |: in_put;
+      mem_we = in_put;
+      mem_addr = mux2 in_put ptr_end ptr_begin;
+      mem_wdata = d.put_data;
+    }
+  in
+  let port = target request in
+  port_w.mem_ack <== port.mem_ack;
+  port_w.mem_rdata <== port.mem_rdata;
+  {
+    get_ack = done_get;
+    get_data = port.mem_rdata;
+    put_ack = done_put;
+    empty;
+    full;
+    size = count;
+  }
+
+let over_bram ?(name = "queue") ~depth ~width d =
+  over_mem ~name ~depth ~width
+    ~target:(Mem_target.bram ~name:(name ^ "_bram") ~size:depth ~width)
+    d
+
+let over_sram ?(name = "queue") ~depth ~width ~wait_states d =
+  over_mem ~name ~depth ~width
+    ~target:(Mem_target.sram ~name:(name ^ "_sram") ~words:depth ~width ~wait_states)
+    d

@@ -1,0 +1,34 @@
+
+(** The queue container, over each legal target of §3.4.
+
+    All builders present the same {!Container_intf.seq} functional
+    interface; only the physical substrate differs. Clients follow the
+    handshake convention of {!Container_intf}: hold the request and its
+    operands until the ack pulse. *)
+
+val over_fifo :
+  ?name:string -> depth:int -> width:int -> Container_intf.seq_driver ->
+  Container_intf.seq
+(** Wrapper over an on-chip FIFO core (the "most efficient
+    implementation" in the paper's terms). [depth] must be a power of
+    two. Puts ack in the same cycle; gets ack two cycles after the
+    request (block-RAM read latency). *)
+
+val over_mem :
+  ?name:string -> depth:int -> width:int ->
+  target:(Container_intf.mem_request -> Container_intf.mem_port) ->
+  Container_intf.seq_driver -> Container_intf.seq
+(** The generated circular-buffer FSM of §3.4: begin/end pointer
+    registers plus a little state machine driving an abstract memory
+    port — block RAM, private SRAM, or an arbitrated shared SRAM
+    depending on the {!Mem_target} adapter passed as [target]. *)
+
+val over_bram :
+  ?name:string -> depth:int -> width:int -> Container_intf.seq_driver ->
+  Container_intf.seq
+(** [over_mem] with a private block RAM target. *)
+
+val over_sram :
+  ?name:string -> depth:int -> width:int -> wait_states:int ->
+  Container_intf.seq_driver -> Container_intf.seq
+(** [over_mem] with a private external SRAM target. *)

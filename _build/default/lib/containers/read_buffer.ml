@@ -1,0 +1,75 @@
+open Hwpat_rtl
+open Hwpat_rtl.Signal
+open Container_intf
+
+type stream_in = { px_valid : Signal.t; px_data : Signal.t }
+
+type t = { seq : Container_intf.seq; px_ready : Signal.t }
+
+(* An rbuffer is a queue whose put side is the external stream: the
+   producer's valid is the put request, and the put ack is the stream
+   ready. Only the get side is exported. *)
+
+let of_queue build ~stream =
+  let driver =
+    { get_req = wire 1; put_req = stream.px_valid; put_data = stream.px_data }
+  in
+  (driver, build driver)
+
+let finish ~get_req (driver, (q : Container_intf.seq)) =
+  driver.get_req <== get_req;
+  { seq = q; px_ready = q.put_ack }
+
+let over_fifo ?(name = "rbuffer") ~depth ~width ~stream ~get_req () =
+  finish ~get_req (of_queue (Queue_c.over_fifo ~name ~depth ~width) ~stream)
+
+let over_mem ?(name = "rbuffer") ~depth ~width ~target ~stream ~get_req () =
+  finish ~get_req (of_queue (Queue_c.over_mem ~name ~depth ~width ~target) ~stream)
+
+let over_bram ?(name = "rbuffer") ~depth ~width ~stream ~get_req () =
+  finish ~get_req (of_queue (Queue_c.over_bram ~name ~depth ~width) ~stream)
+
+let over_sram ?(name = "rbuffer") ~depth ~width ~wait_states ~stream ~get_req () =
+  finish ~get_req
+    (of_queue (Queue_c.over_sram ~name ~depth ~width ~wait_states) ~stream)
+
+type column_t = {
+  col_seq : Container_intf.seq;
+  col_px_ready : Signal.t;
+  col_warm : Signal.t;
+}
+
+let over_line_buffer ?(name = "rbuffer3") ~image_width ~max_rows ~width ~stream
+    ~get_req () =
+  (* A get consumes one pixel from the stream and, once two rows are
+     buffered, returns the 3-pixel column containing it. Cold columns
+     (warm-up) consume pixels without acking, so the algorithm simply
+     keeps its request asserted. *)
+  let px_taken = wire 1 in
+  let lb =
+    Hwpat_devices.Line_buffer.create ~name ~image_width ~max_rows ~width
+      ~px_en:px_taken ~px_data:stream.px_data ()
+  in
+  let open Hwpat_devices.Line_buffer in
+  (* One pixel in flight: while the presented column settles (the cycle
+     after a take), do not take another, or a held request would eat
+     pixels faster than it can observe acks. *)
+  px_taken <== (get_req &: stream.px_valid &: ~:(lb.col_valid));
+  let ack = lb.col_valid &: lb.warm in
+  let data = concat_msb [ lb.top; lb.mid; lb.bot ] in
+  {
+    col_seq =
+      {
+        get_ack = ack;
+        get_data = data;
+        put_ack = gnd;
+        empty = ~:(stream.px_valid);
+        full = gnd;
+        size = zero 1;
+      };
+    (* Ready must mirror the actual take (gated on the settle cycle),
+       or the producer would advance past pixels that were never
+       consumed. *)
+    col_px_ready = px_taken;
+    col_warm = lb.warm;
+  }

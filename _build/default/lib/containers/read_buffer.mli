@@ -1,0 +1,46 @@
+open Hwpat_rtl
+
+(** The read buffer (rbuffer) of the paper's example: a source-only
+    sequential container filled by an external stream (the video
+    decoder) and drained by iterators.
+
+    The fill side follows a valid/ready stream handshake: the producer
+    holds [px_valid] with stable [px_data] until [px_ready] is high in
+    the same cycle. *)
+
+type stream_in = { px_valid : Signal.t; px_data : Signal.t }
+
+type t = {
+  seq : Container_intf.seq;  (** only the get side is meaningful *)
+  px_ready : Signal.t;
+}
+
+val over_fifo :
+  ?name:string -> depth:int -> width:int -> stream:stream_in ->
+  get_req:Signal.t -> unit -> t
+
+val over_mem :
+  ?name:string -> depth:int -> width:int ->
+  target:(Container_intf.mem_request -> Container_intf.mem_port) ->
+  stream:stream_in -> get_req:Signal.t -> unit -> t
+
+val over_bram :
+  ?name:string -> depth:int -> width:int -> stream:stream_in ->
+  get_req:Signal.t -> unit -> t
+
+val over_sram :
+  ?name:string -> depth:int -> width:int -> wait_states:int ->
+  stream:stream_in -> get_req:Signal.t -> unit -> t
+
+(** The blur example's specialised rbuffer: mapped over the 3-line
+    buffer device, a get returns a whole 3-pixel column
+    (top & mid & bot concatenated MSB-first, so 3×[width] bits). *)
+type column_t = {
+  col_seq : Container_intf.seq;
+  col_px_ready : Signal.t;
+  col_warm : Signal.t;
+}
+
+val over_line_buffer :
+  ?name:string -> image_width:int -> max_rows:int -> width:int ->
+  stream:stream_in -> get_req:Signal.t -> unit -> column_t

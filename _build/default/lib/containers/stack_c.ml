@@ -1,0 +1,84 @@
+open Hwpat_rtl
+open Hwpat_rtl.Signal
+open Container_intf
+
+let over_lifo ?(name = "stack") ~depth ~width (d : seq_driver) =
+  let pop_en = wire 1 in
+  let lifo =
+    Hwpat_devices.Lifo_core.create ~name ~depth ~width
+      ~push_en:d.put_req ~push_data:d.put_data ~pop_en ()
+  in
+  let open Hwpat_devices.Lifo_core in
+  let pending =
+    reg_fb ~width:1 (fun q -> mux2 pop_en vdd (mux2 lifo.rd_valid gnd q))
+    -- (name ^ "_pending")
+  in
+  pop_en
+  <== (d.get_req &: ~:(lifo.empty) &: ~:(d.put_req) &: ~:pending
+      &: ~:(lifo.rd_valid));
+  {
+    get_ack = lifo.rd_valid;
+    get_data = lifo.rd_data;
+    put_ack = d.put_req &: ~:(lifo.full);
+    empty = lifo.empty;
+    full = lifo.full;
+    size = lifo.count;
+  }
+
+let st_idle = 0
+let st_get = 1
+let st_put = 2
+
+let over_mem ?(name = "stack") ~depth ~width ~target (d : seq_driver) =
+  if Signal.width d.put_data <> width then
+    invalid_arg "Stack_c.over_mem: put_data width mismatch";
+  let abits = Util.address_bits depth in
+  let cbits = Util.bits_to_represent depth in
+  let fsm = Fsm.create ~name:(name ^ "_state") ~states:3 () in
+  let in_get = Fsm.is fsm st_get and in_put = Fsm.is fsm st_put in
+  let port_w = { mem_ack = wire 1; mem_rdata = wire width } in
+  let done_get = in_get &: port_w.mem_ack in
+  let done_put = in_put &: port_w.mem_ack in
+  let sp_w = wire cbits in
+  let sp = reg sp_w -- (name ^ "_sp") in
+  let empty = (sp ==: zero cbits) -- (name ^ "_empty") in
+  let full = (sp ==: of_int ~width:cbits depth) -- (name ^ "_full") in
+  sp_w <== mux2 done_put (sp +: one cbits) (mux2 done_get (sp -: one cbits) sp);
+  Fsm.transitions fsm
+    [
+      ( st_idle,
+        [ (d.get_req &: ~:empty, st_get); (d.put_req &: ~:full, st_put) ] );
+      (st_get, [ (port_w.mem_ack, st_idle) ]);
+      (st_put, [ (port_w.mem_ack, st_idle) ]);
+    ];
+  let top = select (sp -: one cbits) ~high:(abits - 1) ~low:0 in
+  let push_at = select sp ~high:(abits - 1) ~low:0 in
+  let request =
+    {
+      mem_req = in_get |: in_put;
+      mem_we = in_put;
+      mem_addr = mux2 in_put push_at top;
+      mem_wdata = d.put_data;
+    }
+  in
+  let port = target request in
+  port_w.mem_ack <== port.mem_ack;
+  port_w.mem_rdata <== port.mem_rdata;
+  {
+    get_ack = done_get;
+    get_data = port.mem_rdata;
+    put_ack = done_put;
+    empty;
+    full;
+    size = sp;
+  }
+
+let over_bram ?(name = "stack") ~depth ~width d =
+  over_mem ~name ~depth ~width
+    ~target:(Mem_target.bram ~name:(name ^ "_bram") ~size:depth ~width)
+    d
+
+let over_sram ?(name = "stack") ~depth ~width ~wait_states d =
+  over_mem ~name ~depth ~width
+    ~target:(Mem_target.sram ~name:(name ^ "_sram") ~words:depth ~width ~wait_states)
+    d

@@ -1,0 +1,24 @@
+
+(** The stack container (LIFO discipline) over its legal targets:
+    an on-chip LIFO core, block RAM, or external SRAM. Same handshake
+    conventions as {!Queue_c}. *)
+
+val over_lifo :
+  ?name:string -> depth:int -> width:int -> Container_intf.seq_driver ->
+  Container_intf.seq
+(** Wrapper over the on-chip LIFO core; [depth] must be a power of
+    two. *)
+
+val over_mem :
+  ?name:string -> depth:int -> width:int ->
+  target:(Container_intf.mem_request -> Container_intf.mem_port) ->
+  Container_intf.seq_driver -> Container_intf.seq
+(** Generated stack-pointer FSM over an abstract memory port. *)
+
+val over_bram :
+  ?name:string -> depth:int -> width:int -> Container_intf.seq_driver ->
+  Container_intf.seq
+
+val over_sram :
+  ?name:string -> depth:int -> width:int -> wait_states:int ->
+  Container_intf.seq_driver -> Container_intf.seq

@@ -1,0 +1,48 @@
+open Hwpat_rtl
+open Hwpat_rtl.Signal
+open Container_intf
+
+let st_idle = 0
+let st_read = 1
+let st_write = 2
+
+let over_mem ?(name = "vector") ~length ~width ~target (d : random_driver) =
+  if Signal.width d.write_data <> width then
+    invalid_arg "Vector_c.over_mem: write_data width mismatch";
+  if Signal.width d.addr < Util.address_bits length then
+    invalid_arg "Vector_c.over_mem: address too narrow";
+  let fsm = Fsm.create ~name:(name ^ "_state") ~states:3 () in
+  let in_read = Fsm.is fsm st_read and in_write = Fsm.is fsm st_write in
+  let ack_w = wire 1 in
+  Fsm.transitions fsm
+    [
+      (st_idle, [ (d.read_req, st_read); (d.write_req, st_write) ]);
+      (st_read, [ (ack_w, st_idle) ]);
+      (st_write, [ (ack_w, st_idle) ]);
+    ];
+  let request =
+    {
+      mem_req = in_read |: in_write;
+      mem_we = in_write;
+      mem_addr = select d.addr ~high:(Util.address_bits length - 1) ~low:0;
+      mem_wdata = d.write_data;
+    }
+  in
+  let port = target request in
+  ack_w <== port.mem_ack;
+  {
+    read_ack = in_read &: port.mem_ack;
+    read_data = port.mem_rdata;
+    write_ack = in_write &: port.mem_ack;
+    length = of_int ~width:(Util.bits_to_represent length) length;
+  }
+
+let over_bram ?(name = "vector") ~length ~width d =
+  over_mem ~name ~length ~width
+    ~target:(Mem_target.bram ~name:(name ^ "_bram") ~size:length ~width)
+    d
+
+let over_sram ?(name = "vector") ~length ~width ~wait_states d =
+  over_mem ~name ~length ~width
+    ~target:(Mem_target.sram ~name:(name ^ "_sram") ~words:length ~width ~wait_states)
+    d

@@ -1,0 +1,17 @@
+
+(** The vector container: random read/write by index, over block RAM
+    or external SRAM. Simultaneous read and write requests are
+    serialised (read first). *)
+
+val over_mem :
+  ?name:string -> length:int -> width:int ->
+  target:(Container_intf.mem_request -> Container_intf.mem_port) ->
+  Container_intf.random_driver -> Container_intf.random
+
+val over_bram :
+  ?name:string -> length:int -> width:int -> Container_intf.random_driver ->
+  Container_intf.random
+
+val over_sram :
+  ?name:string -> length:int -> width:int -> wait_states:int ->
+  Container_intf.random_driver -> Container_intf.random

@@ -1,0 +1,34 @@
+open Hwpat_rtl
+open Container_intf
+
+type stream_out = { out_valid : Signal.t; out_data : Signal.t }
+
+type t = { seq : Container_intf.seq; stream : stream_out }
+
+(* A wbuffer is a queue whose get side is driven by the downstream
+   consumer: its ready level is the standing get request. *)
+
+let of_queue build ~out_ready ~put_req ~put_data =
+  let driver = { get_req = out_ready; put_req; put_data } in
+  let q = build driver in
+  {
+    seq = q;
+    stream = { out_valid = q.get_ack; out_data = q.get_data };
+  }
+
+let over_fifo ?(name = "wbuffer") ~depth ~width ~out_ready ~put_req ~put_data () =
+  of_queue (Queue_c.over_fifo ~name ~depth ~width) ~out_ready ~put_req ~put_data
+
+let over_mem ?(name = "wbuffer") ~depth ~width ~target ~out_ready ~put_req
+    ~put_data () =
+  of_queue (Queue_c.over_mem ~name ~depth ~width ~target) ~out_ready ~put_req
+    ~put_data
+
+let over_bram ?(name = "wbuffer") ~depth ~width ~out_ready ~put_req ~put_data () =
+  of_queue (Queue_c.over_bram ~name ~depth ~width) ~out_ready ~put_req ~put_data
+
+let over_sram ?(name = "wbuffer") ~depth ~width ~wait_states ~out_ready ~put_req
+    ~put_data () =
+  of_queue
+    (Queue_c.over_sram ~name ~depth ~width ~wait_states)
+    ~out_ready ~put_req ~put_data

@@ -1,0 +1,33 @@
+open Hwpat_rtl
+
+(** The write buffer (wbuffer) of the paper's example: a sink-only
+    sequential container written by iterators and drained by an
+    external consumer (the VGA coder).
+
+    Drain side: when the consumer holds [out_ready], buffered words are
+    presented as [out_valid]/[out_data] pulses (one word per pulse; the
+    consumer must capture during the pulse). *)
+
+type stream_out = { out_valid : Signal.t; out_data : Signal.t }
+
+type t = {
+  seq : Container_intf.seq;  (** only the put side is meaningful *)
+  stream : stream_out;
+}
+
+val over_fifo :
+  ?name:string -> depth:int -> width:int -> out_ready:Signal.t ->
+  put_req:Signal.t -> put_data:Signal.t -> unit -> t
+
+val over_mem :
+  ?name:string -> depth:int -> width:int ->
+  target:(Container_intf.mem_request -> Container_intf.mem_port) ->
+  out_ready:Signal.t -> put_req:Signal.t -> put_data:Signal.t -> unit -> t
+
+val over_bram :
+  ?name:string -> depth:int -> width:int -> out_ready:Signal.t ->
+  put_req:Signal.t -> put_data:Signal.t -> unit -> t
+
+val over_sram :
+  ?name:string -> depth:int -> width:int -> wait_states:int ->
+  out_ready:Signal.t -> put_req:Signal.t -> put_data:Signal.t -> unit -> t

@@ -1,0 +1,1 @@
+lib/core/blur_system.ml: Blur Circuit Fifo_core Hwpat_algorithms Hwpat_containers Hwpat_devices Hwpat_iterators Hwpat_rtl Iterator_intf Line_buffer Printf Read_buffer Seq_iterator Util Write_buffer

@@ -1,0 +1,1 @@
+lib/core/blur_system.mli: Circuit Hwpat_rtl

@@ -1,0 +1,1 @@
+lib/core/experiment.ml: Blur_system Buffer Circuit Cyclesim Frame Hwpat_rtl Hwpat_synthesis Hwpat_video List Option Pattern Printf Reference Saa2vga String Vcd Vga_sink Video_source

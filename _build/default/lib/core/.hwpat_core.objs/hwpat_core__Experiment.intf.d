@@ -1,0 +1,1 @@
+lib/core/experiment.mli: Circuit Frame Hwpat_rtl Hwpat_synthesis Hwpat_video

@@ -1,0 +1,1 @@
+lib/core/saa2vga.mli: Circuit Hwpat_rtl

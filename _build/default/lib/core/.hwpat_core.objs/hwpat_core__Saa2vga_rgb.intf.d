@@ -1,0 +1,1 @@
+lib/core/saa2vga_rgb.mli: Circuit Hwpat_rtl

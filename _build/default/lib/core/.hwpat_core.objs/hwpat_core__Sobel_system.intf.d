@@ -1,0 +1,1 @@
+lib/core/sobel_system.mli: Circuit Hwpat_rtl

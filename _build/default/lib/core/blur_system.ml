@@ -1,0 +1,123 @@
+open Hwpat_rtl
+open Hwpat_rtl.Signal
+open Hwpat_containers
+open Hwpat_iterators
+open Hwpat_algorithms
+
+type style = Pattern | Custom
+
+let name ~style =
+  Printf.sprintf "blur_%s" (match style with Pattern -> "pattern" | Custom -> "custom")
+
+let io width =
+  (input "px_valid" 1, input "px_data" width, input "out_ready" 1)
+
+let close ~circuit_name ~px_ready ~out_valid ~out_data =
+  Circuit.create_exn ~name:circuit_name
+    [ ("px_ready", px_ready); ("out_valid", out_valid); ("out_data", out_data) ]
+
+let build_pattern ~width ~out_depth ~image_width ~max_rows =
+  let px_valid, px_data, out_ready = io width in
+  let stream = { Read_buffer.px_valid; px_data } in
+  let blur = Blur.create ~width ~image_width () in
+  let col_it, px_ready =
+    Seq_iterator.connect_input
+      ~build:(fun ~get_req ->
+        let rb =
+          Read_buffer.over_line_buffer ~image_width ~max_rows ~width ~stream
+            ~get_req ()
+        in
+        (rb.Read_buffer.col_seq, rb.Read_buffer.col_px_ready))
+      blur.Blur.col_driver
+  in
+  let put_req = Seq_iterator.fused_put_req blur.Blur.dst_driver in
+  let put_data = blur.Blur.dst_driver.Iterator_intf.write_data in
+  let wb =
+    Write_buffer.over_fifo ~depth:out_depth ~width ~out_ready ~put_req ~put_data ()
+  in
+  let dst_it = Seq_iterator.output wb.Write_buffer.seq blur.Blur.dst_driver in
+  blur.Blur.connect ~col:col_it ~dst:dst_it;
+  close
+    ~circuit_name:(name ~style:Pattern)
+    ~px_ready
+    ~out_valid:wb.Write_buffer.stream.Write_buffer.out_valid
+    ~out_data:wb.Write_buffer.stream.Write_buffer.out_data
+
+(* Hand-fused streaming blur: take a pixel whenever the output FIFO has
+   room, shift the window, and push one filtered pixel per interior
+   column — the "ideally a new filtered pixel per clock cycle" design
+   the paper describes. *)
+let build_custom ~width ~out_depth ~image_width ~max_rows =
+  let px_valid, px_data, out_ready = io width in
+  let open Hwpat_devices in
+  let out_full = wire 1 in
+  let px_en = px_valid &: ~:out_full in
+  let lb =
+    Line_buffer.create ~name:"lb" ~image_width ~max_rows ~width ~px_en ~px_data ()
+  in
+  let open Line_buffer in
+  let got = lb.col_valid in
+  (* Current column straight from the device; two registered columns. *)
+  let c0 = concat_msb [ lb.top; lb.mid; lb.bot ] in
+  let c1 = reg ~enable:got c0 -- "c1" in
+  let c2 = reg ~enable:got c1 -- "c2" in
+  let xbits = Util.address_bits image_width in
+  let x =
+    reg_fb ~width:xbits (fun q ->
+        mux2 got
+          (mux2 (q ==: of_int ~width:xbits (image_width - 1)) (zero xbits)
+             (q +: one xbits))
+          q)
+    -- "x"
+  in
+  let window_full = x >=: of_int ~width:xbits 2 in
+  let sw = width + 4 in
+  let part c = select c ~high:((3 * width) - 1) ~low:(2 * width) in
+  let mid c = select c ~high:((2 * width) - 1) ~low:width in
+  let bot c = select c ~high:(width - 1) ~low:0 in
+  let w1 s = uresize s sw in
+  let w2 s = sll (uresize s sw) 1 in
+  let w4 s = sll (uresize s sw) 2 in
+  (* Balanced adder tree: log depth instead of a serial chain. *)
+  let rec tree_sum = function
+    | [] -> assert false
+    | [ x ] -> x
+    | x :: y :: rest -> tree_sum (rest @ [ x +: y ])
+  in
+  let sum =
+    tree_sum
+      [
+        w1 (part c2); w2 (mid c2); w1 (bot c2);
+        w2 (part c1); w4 (mid c1); w2 (bot c1);
+        w1 (part c0); w2 (mid c0); w1 (bot c0);
+      ]
+  in
+  let out_px = select sum ~high:(sw - 1) ~low:4 in
+  let produce = got &: lb.warm &: window_full in
+  let drain_rd_en = wire 1 in
+  let out_fifo =
+    Fifo_core.create ~name:"outfifo" ~depth:out_depth ~width ~wr_en:produce
+      ~wr_data:out_px ~rd_en:drain_rd_en ()
+  in
+  (* Almost-full gating: a produced pixel trails its accepted input by
+     one cycle, so stall intake while fewer than two slots remain or the
+     in-flight column could be dropped by a just-filled FIFO. *)
+  let cbits = Util.address_bits out_depth + 1 in
+  out_full
+  <== (out_fifo.Fifo_core.count >=: of_int ~width:cbits (out_depth - 2));
+  let pending =
+    reg_fb ~width:1 (fun q ->
+        mux2 drain_rd_en vdd (mux2 out_fifo.Fifo_core.rd_valid gnd q))
+  in
+  drain_rd_en
+  <== (out_ready &: ~:(out_fifo.Fifo_core.empty) &: ~:pending
+      &: ~:(out_fifo.Fifo_core.rd_valid));
+  close
+    ~circuit_name:(name ~style:Custom)
+    ~px_ready:px_en ~out_valid:out_fifo.Fifo_core.rd_valid
+    ~out_data:out_fifo.Fifo_core.rd_data
+
+let build ?(width = 8) ?(out_depth = 16) ~image_width ~max_rows ~style () =
+  match style with
+  | Pattern -> build_pattern ~width ~out_depth ~image_width ~max_rows
+  | Custom -> build_custom ~width ~out_depth ~image_width ~max_rows

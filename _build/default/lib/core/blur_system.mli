@@ -1,0 +1,23 @@
+open Hwpat_rtl
+
+(** The paper's third experiment: a 3×3 blur filter between the video
+    decoder and the VGA coder, with the input buffer mapped over the
+    specialised 3-line buffer so one filtered pixel can be produced per
+    column access.
+
+    [Pattern] composes the column read-buffer container, its iterator
+    and the generic blur algorithm; [Custom] is a hand-fused streaming
+    implementation directly on the line-buffer device and output FIFO.
+
+    Ports are identical to {!Saa2vga}: for a W×H input stream, the
+    output stream is the (W-2)×(H-2) interior. *)
+
+type style = Pattern | Custom
+
+val build :
+  ?width:int -> ?out_depth:int -> image_width:int -> max_rows:int ->
+  style:style -> unit -> Circuit.t
+(** Defaults: [width = 8] (pixel bits), [out_depth = 16] (output FIFO
+    words). *)
+
+val name : style:style -> string

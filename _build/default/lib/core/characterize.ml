@@ -1,0 +1,220 @@
+open Hwpat_rtl
+open Hwpat_rtl.Signal
+open Hwpat_containers
+open Hwpat_synthesis
+
+type point = {
+  container : string;
+  target : string;
+  elem_width : int;
+  depth : int;
+  wait_states : int;
+}
+
+let default_points =
+  let base container target =
+    List.concat_map
+      (fun elem_width ->
+        List.map
+          (fun depth -> { container; target; elem_width; depth; wait_states = 1 })
+          [ 64; 512 ])
+      [ 8; 16 ]
+  in
+  base "queue" "fifo" @ base "queue" "bram"
+  @ List.concat_map
+      (fun ws ->
+        [ { container = "queue"; target = "sram"; elem_width = 8; depth = 512; wait_states = ws } ])
+      [ 0; 1; 2 ]
+  @ base "stack" "lifo" @ base "stack" "bram"
+  @ [ { container = "stack"; target = "sram"; elem_width = 8; depth = 512; wait_states = 1 } ]
+  @ [
+      { container = "vector"; target = "bram"; elem_width = 8; depth = 256; wait_states = 1 };
+      { container = "vector"; target = "sram"; elem_width = 8; depth = 256; wait_states = 1 };
+      { container = "assoc"; target = "bram"; elem_width = 8; depth = 64; wait_states = 1 };
+      { container = "assoc"; target = "sram"; elem_width = 8; depth = 64; wait_states = 1 };
+    ]
+
+let build_seq point driver =
+  match (point.container, point.target) with
+  | "queue", "fifo" ->
+    Queue_c.over_fifo ~depth:point.depth ~width:point.elem_width driver
+  | "queue", "bram" ->
+    Queue_c.over_bram ~depth:point.depth ~width:point.elem_width driver
+  | "queue", "sram" ->
+    Queue_c.over_sram ~depth:point.depth ~width:point.elem_width
+      ~wait_states:point.wait_states driver
+  | "stack", "lifo" ->
+    Stack_c.over_lifo ~depth:point.depth ~width:point.elem_width driver
+  | "stack", "bram" ->
+    Stack_c.over_bram ~depth:point.depth ~width:point.elem_width driver
+  | "stack", "sram" ->
+    Stack_c.over_sram ~depth:point.depth ~width:point.elem_width
+      ~wait_states:point.wait_states driver
+  | c, t -> invalid_arg (Printf.sprintf "Characterize: unknown point %s/%s" c t)
+
+(* Vectors and associative arrays have their own functional
+   interfaces; wrap each in a harness with uniform port names so one
+   measurement loop drives all of them. *)
+let vector_harness point =
+  let driver =
+    {
+      Container_intf.read_req = input "get_req" 1;
+      write_req = input "put_req" 1;
+      addr = input "addr" (Util.address_bits point.depth);
+      write_data = input "put_data" point.elem_width;
+    }
+  in
+  let v =
+    match point.target with
+    | "bram" -> Vector_c.over_bram ~length:point.depth ~width:point.elem_width driver
+    | "sram" ->
+      Vector_c.over_sram ~length:point.depth ~width:point.elem_width
+        ~wait_states:point.wait_states driver
+    | t -> invalid_arg ("Characterize: vector over " ^ t)
+  in
+  Circuit.create_exn
+    ~name:(Printf.sprintf "vector_%s_%dx%d" point.target point.elem_width point.depth)
+    [
+      ("get_ack", v.Container_intf.read_ack);
+      ("get_data", v.Container_intf.read_data);
+      ("put_ack", v.Container_intf.write_ack);
+    ]
+
+let assoc_harness point =
+  let kw = Util.address_bits point.depth + 2 in
+  let driver =
+    {
+      Container_intf.lookup_req = input "get_req" 1;
+      insert_req = input "put_req" 1;
+      delete_req = gnd;
+      key = input "key" kw;
+      value_in = input "put_data" point.elem_width;
+    }
+  in
+  let a =
+    match point.target with
+    | "bram" ->
+      Assoc_array.over_bram ~slots:point.depth ~key_width:kw
+        ~value_width:point.elem_width driver
+    | "sram" ->
+      Assoc_array.over_sram ~slots:point.depth ~key_width:kw
+        ~value_width:point.elem_width ~wait_states:point.wait_states driver
+    | t -> invalid_arg ("Characterize: assoc over " ^ t)
+  in
+  Circuit.create_exn
+    ~name:(Printf.sprintf "assoc_%s_%dx%d" point.target point.elem_width point.depth)
+    [
+      ("get_ack", a.Container_intf.lookup_ack);
+      ("get_data", a.Container_intf.lookup_data);
+      ("put_ack", a.Container_intf.insert_ack);
+    ]
+
+let harness point =
+  if point.container = "vector" then vector_harness point
+  else if point.container = "assoc" then assoc_harness point
+  else
+  let driver =
+    {
+      Container_intf.get_req = input "get_req" 1;
+      put_req = input "put_req" 1;
+      put_data = input "put_data" point.elem_width;
+    }
+  in
+  let c = build_seq point driver in
+  Circuit.create_exn
+    ~name:(Printf.sprintf "%s_%s_%dx%d" point.container point.target
+             point.elem_width point.depth)
+    [
+      ("get_ack", c.Container_intf.get_ack);
+      ("get_data", c.Container_intf.get_data);
+      ("put_ack", c.Container_intf.put_ack);
+      ("empty", c.Container_intf.empty);
+      ("full", c.Container_intf.full);
+    ]
+
+(* Run a put/get ping-pong workload and report (cycles per access,
+   power monitor). *)
+let measure sim =
+  let set name v = Cyclesim.in_port sim name := Bits.of_int ~width:1 v in
+  let setd v w = Cyclesim.in_port sim "put_data" := Bits.of_int ~width:w v in
+  let out name = Bits.to_bool !(Cyclesim.out_port sim name) in
+  let monitor = Power.monitor sim in
+  let width = Bits.width !(Cyclesim.in_port sim "put_data") in
+  let cycles = ref 0 in
+  let step () =
+    Cyclesim.cycle sim;
+    Power.sample monitor;
+    incr cycles
+  in
+  let set_opt name v =
+    match Cyclesim.in_port sim name with
+    | r -> r := Bits.of_int ~width:(Bits.width !r) v
+    | exception Invalid_argument _ -> ()
+  in
+  set "get_req" 0;
+  set "put_req" 0;
+  setd 0 width;
+  step ();
+  let accesses = 32 in
+  for i = 1 to accesses do
+    set_opt "addr" (i land 15);
+    set_opt "key" (i land 15);
+    set "put_req" 1;
+    setd (i land 255) width;
+    let guard = ref 0 in
+    step ();
+    while (not (out "put_ack")) && !guard < 200 do
+      step ();
+      incr guard
+    done;
+    set "put_req" 0;
+    step ();
+    set "get_req" 1;
+    let guard = ref 0 in
+    step ();
+    while (not (out "get_ack")) && !guard < 200 do
+      step ();
+      incr guard
+    done;
+    set "get_req" 0;
+    step ()
+  done;
+  let per_access = float_of_int !cycles /. float_of_int (2 * accesses) in
+  (per_access, monitor)
+
+let characterize point =
+  let circuit = harness point in
+  let resources = Techmap.estimate circuit in
+  let timing = Timing.analyze circuit in
+  let sim = Cyclesim.create circuit in
+  let access_cycles, monitor = measure sim in
+  let power = Power.estimate ~clock_mhz:timing.Timing.fmax_mhz monitor in
+  {
+    Design_space.label =
+      Printf.sprintf "%s/%s/%dx%d%s" point.container point.target
+        point.elem_width point.depth
+        (if point.target = "sram" then Printf.sprintf "/ws%d" point.wait_states
+         else "");
+    container = point.container;
+    target = point.target;
+    elem_width = point.elem_width;
+    depth = point.depth;
+    luts = resources.Techmap.luts;
+    ffs = resources.Techmap.ffs;
+    brams = resources.Techmap.brams;
+    access_cycles;
+    fmax_mhz = timing.Timing.fmax_mhz;
+    power_mw = power.Power.total_mw;
+  }
+
+let sweep ?(points = default_points) () = List.map characterize points
+
+let region_report ~constraints candidates =
+  let feasible = Design_space.feasible constraints candidates in
+  let region = Design_space.region_of_interest constraints candidates in
+  String.concat "\n"
+    [
+      Printf.sprintf "%d candidates, %d feasible, %d on the Pareto front:"
+        (List.length candidates) (List.length feasible) (List.length region);
+      Design_space.to_table region;
+    ]

@@ -1,0 +1,33 @@
+(** Design-space characterisation of generated containers (§3.4).
+
+    "Since components are generated automatically, it is feasible to
+    generate versions of each one for every physical target and range
+    of configuration parameters" — this module does exactly that:
+    build each container for each legal target and parameter point,
+    estimate area and timing, measure access latency and switching
+    activity in simulation, and return {!Hwpat_synthesis.Design_space}
+    candidates. *)
+
+type point = {
+  container : string;
+  target : string;
+  elem_width : int;
+  depth : int;
+  wait_states : int;
+}
+
+val default_points : point list
+(** Queues and stacks over each legal target, widths 8 and 16, depths
+    64 and 512, SRAM at 0–2 wait states. *)
+
+val characterize : point -> Hwpat_synthesis.Design_space.candidate
+(** Builds the container, synthesises a measurement harness, runs a
+    put/get workload and fills in every candidate field. *)
+
+val sweep : ?points:point list -> unit -> Hwpat_synthesis.Design_space.candidate list
+
+val region_report :
+  constraints:Hwpat_synthesis.Design_space.constraints ->
+  Hwpat_synthesis.Design_space.candidate list ->
+  string
+(** Feasible + Pareto table rendering. *)

@@ -1,0 +1,138 @@
+open Hwpat_rtl
+open Hwpat_video
+
+type run = { output : Frame.t; cycles : int; cycles_per_pixel : float }
+
+let run_video_system ?(timeout_per_pixel = 400) ?vcd_path circuit ~input
+    ~out_width ~out_height =
+  let sim = Cyclesim.create circuit in
+  let vcd = Option.map (fun _ -> Vcd.create sim) vcd_path in
+  let source = Video_source.create sim input in
+  let sink = Vga_sink.create sim () in
+  let expected = out_width * out_height in
+  let budget = timeout_per_pixel * Frame.pixels input in
+  let cycles = ref 0 in
+  while Vga_sink.count sink < expected && !cycles < budget do
+    Video_source.drive source;
+    Vga_sink.drive sink;
+    Cyclesim.cycle sim;
+    Option.iter Vcd.sample vcd;
+    Video_source.observe source;
+    Vga_sink.observe sink;
+    incr cycles
+  done;
+  (match (vcd, vcd_path) with
+  | Some v, Some path -> Vcd.write_file v path
+  | _ -> ());
+  if Vga_sink.count sink < expected then
+    failwith
+      (Printf.sprintf "%s: timed out after %d cycles with %d/%d pixels"
+         (Circuit.name circuit) !cycles (Vga_sink.count sink) expected);
+  {
+    output =
+      Vga_sink.to_frame sink ~width:out_width ~height:out_height
+        ~depth:(Frame.depth input);
+    cycles = !cycles;
+    cycles_per_pixel = float_of_int !cycles /. float_of_int expected;
+  }
+
+type table3_row = {
+  label : string;
+  comparison : Hwpat_synthesis.Resource_report.comparison;
+  paper_ffs : int * int;
+  paper_luts : int * int;
+  paper_brams : int * int;
+  paper_clk : int * int;
+  functional_match : bool;
+}
+
+let paper_numbers =
+  [
+    ("saa2vga 1", (147, 147), (169, 168), (2, 2), (98, 98));
+    ("saa2vga 2", (69, 69), (127, 127), (0, 0), (96, 96));
+    ("blur", (3145, 3145), (4170, 4169), (2, 2), (98, 98));
+  ]
+
+let find_paper label =
+  let _, ffs, luts, brams, clk =
+    List.find (fun (l, _, _, _, _) -> l = label) paper_numbers
+  in
+  (ffs, luts, brams, clk)
+
+let table3 ?(board = Hwpat_synthesis.Board.default) ?(frame_width = 32)
+    ?(frame_height = 32) () =
+  let frame =
+    Pattern.gradient ~width:frame_width ~height:frame_height ~depth:8
+  in
+  let copy_ref = Reference.copy frame in
+  let blur_ref = Reference.blur frame in
+  let check_copy circuit =
+    let r =
+      run_video_system circuit ~input:frame ~out_width:frame_width
+        ~out_height:frame_height
+    in
+    Frame.equal r.output copy_ref
+  in
+  let check_blur circuit =
+    let r =
+      run_video_system circuit ~input:frame ~out_width:(frame_width - 2)
+        ~out_height:(frame_height - 2)
+    in
+    Frame.equal r.output blur_ref
+  in
+  let row label pattern custom check =
+    let ffs, luts, brams, clk = find_paper label in
+    {
+      label;
+      comparison =
+        Hwpat_synthesis.Resource_report.compare_pair ~board ~name:label pattern
+          custom;
+      paper_ffs = ffs;
+      paper_luts = luts;
+      paper_brams = brams;
+      paper_clk = clk;
+      functional_match = check pattern && check custom;
+    }
+  in
+  [
+    row "saa2vga 1"
+      (Saa2vga.build ~substrate:Saa2vga.Fifo ~style:Saa2vga.Pattern ())
+      (Saa2vga.build ~substrate:Saa2vga.Fifo ~style:Saa2vga.Custom ())
+      check_copy;
+    row "saa2vga 2"
+      (Saa2vga.build ~depth:1024 ~substrate:Saa2vga.Sram ~style:Saa2vga.Pattern ())
+      (Saa2vga.build ~depth:1024 ~substrate:Saa2vga.Sram ~style:Saa2vga.Custom ())
+      check_copy;
+    row "blur"
+      (Blur_system.build ~image_width:frame_width ~max_rows:frame_height
+         ~style:Blur_system.Pattern ())
+      (Blur_system.build ~image_width:frame_width ~max_rows:frame_height
+         ~style:Blur_system.Custom ())
+      check_blur;
+  ]
+
+let render_table3 rows =
+  let b = Buffer.create 1024 in
+  let open Hwpat_synthesis.Resource_report in
+  Buffer.add_string b
+    "Table 3: pattern/custom resource comparison (ours vs paper)\n";
+  Buffer.add_string b
+    (Printf.sprintf "%-10s | %-13s | %-13s | %-9s | %-11s | %-5s\n" "Design"
+       "FFs (p/c)" "LUTs (p/c)" "BRAM(p/c)" "clk MHz(p/c)" "func");
+  Buffer.add_string b (String.make 78 '-');
+  Buffer.add_char b '\n';
+  List.iter
+    (fun r ->
+      let c = r.comparison in
+      Buffer.add_string b
+        (Printf.sprintf "%-10s | %5d/%-7d | %5d/%-7d | %3d/%-5d | %4.0f/%-6.0f | %s\n"
+           r.label c.pattern.ffs c.custom.ffs c.pattern.luts c.custom.luts
+           c.pattern.brams c.custom.brams c.pattern.clk_mhz c.custom.clk_mhz
+           (if r.functional_match then "OK" else "FAIL"));
+      Buffer.add_string b
+        (Printf.sprintf "%-10s | %5d/%-7d | %5d/%-7d | %3d/%-5d | %4d/%-6d | (paper)\n"
+           "" (fst r.paper_ffs) (snd r.paper_ffs) (fst r.paper_luts)
+           (snd r.paper_luts) (fst r.paper_brams) (snd r.paper_brams)
+           (fst r.paper_clk) (snd r.paper_clk)))
+    rows;
+  Buffer.contents b

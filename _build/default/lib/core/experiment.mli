@@ -1,0 +1,52 @@
+open Hwpat_rtl
+open Hwpat_video
+
+(** Running the paper's experiments: simulate a video system on a test
+    frame, check functional equivalence against the software reference,
+    and produce the resource comparisons of Table 3. *)
+
+type run = {
+  output : Frame.t;
+  cycles : int;
+  cycles_per_pixel : float;
+}
+
+val run_video_system :
+  ?timeout_per_pixel:int ->
+  ?vcd_path:string ->
+  Circuit.t ->
+  input:Frame.t ->
+  out_width:int ->
+  out_height:int ->
+  run
+(** Streams [input] through the circuit's [px_*] ports and collects
+    [out_width * out_height] pixels from the [out_*] ports. Raises
+    [Failure] on timeout. [vcd_path] dumps a waveform of every named
+    signal for the whole run. *)
+
+type table3_row = {
+  label : string;                 (** e.g. "saa2vga 1" *)
+  comparison : Hwpat_synthesis.Resource_report.comparison;
+  paper_ffs : int * int;          (** pattern/custom, from the paper *)
+  paper_luts : int * int;
+  paper_brams : int * int;
+  paper_clk : int * int;
+  functional_match : bool;        (** pattern out = custom out = reference *)
+}
+
+val table3 :
+  ?board:Hwpat_synthesis.Board.t -> ?frame_width:int -> ?frame_height:int ->
+  unit -> table3_row list
+(** Builds all six circuits (three designs × two styles), runs them on
+    a gradient test frame, verifies outputs against
+    {!Hwpat_video.Reference}, and estimates resources. Frame defaults:
+    32×32 (the paper's board processed full video; any size exercises
+    the same logic). *)
+
+val render_table3 : table3_row list -> string
+(** Paper-style table: each cell "pattern/custom", with the paper's
+    reported numbers alongside. *)
+
+val paper_numbers : (string * (int * int) * (int * int) * (int * int) * (int * int)) list
+(** The verbatim contents of the paper's Table 3:
+    (design, FFs p/c, LUTs p/c, BRAM p/c, clk p/c). *)

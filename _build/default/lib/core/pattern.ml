@@ -1,0 +1,109 @@
+type participant = { role : string; description : string; implemented_by : string }
+
+type t = {
+  name : string;
+  classification : string;
+  intent : string;
+  participants : participant list;
+  hardware_notes : string list;
+}
+
+let iterator =
+  {
+    name = "Iterator";
+    classification = "behavioural";
+    intent =
+      "Provide a way to access the elements of an aggregate object \
+       (container) sequentially without exposing its underlying \
+       representation.";
+    participants =
+      [
+        {
+          role = "Iterator";
+          description =
+            "defines the interface for accessing and traversing elements: \
+             inc, dec, read, write, index (Table 2)";
+          implemented_by = "Hwpat_iterators.Iterator_intf";
+        };
+        {
+          role = "ConcreteIterator";
+          description =
+            "implements the Iterator interface and keeps track of the \
+             current position in the traversal; instantiated at design \
+             time (hardware is static)";
+          implemented_by =
+            "Hwpat_iterators.{Seq_iterator,Random_iterator,Multi_word_iterator}";
+        };
+        {
+          role = "Aggregate";
+          description =
+            "the abstract container; exists only in the model domain";
+          implemented_by = "Hwpat_meta.Metamodel / Hwpat_model.Container";
+        };
+        {
+          role = "ConcreteAggregate";
+          description =
+            "a container generated for a physical target (FIFO core, \
+             LIFO core, block RAM, external SRAM, 3-line buffer)";
+          implemented_by =
+            "Hwpat_containers.{Queue_c,Stack_c,Read_buffer,Write_buffer,\
+             Vector_c,Assoc_array}";
+        };
+      ];
+    hardware_notes =
+      [
+        "The Aggregate is not responsible for creating Iterator objects: \
+         iterators must be instantiated at design time.";
+        "Sequential iterators are pure wrappers (signal renamings) and \
+         dissolve at synthesis: zero area cost.";
+        "Operation ports are pruned: only the operations an algorithm \
+         uses are generated.";
+        "Width adaptation (element wider than the physical bus) lives in \
+         the iterator, invisible to the algorithm.";
+      ];
+  }
+
+let structural_note name intent =
+  {
+    name;
+    classification = "structural";
+    intent;
+    participants = [];
+    hardware_notes =
+      [ "Covered by prior work (Damasevicius et al., Yoshida); included \
+         for catalog completeness, not implemented here." ];
+  }
+
+let catalog =
+  [
+    iterator;
+    structural_note "Adapter"
+      "Convert the interface of a component into the interface clients \
+       expect (bus wrappers, protocol converters).";
+    structural_note "Facade"
+      "Provide a unified interface to a set of interfaces in a subsystem \
+       (IP integration shells).";
+    structural_note "Composite"
+      "Compose components into tree structures (hierarchical netlists).";
+  ]
+
+let describe t =
+  let b = Buffer.create 512 in
+  Buffer.add_string b (Printf.sprintf "%s (%s)\n" t.name t.classification);
+  Buffer.add_string b (Printf.sprintf "Intent: %s\n" t.intent);
+  if t.participants <> [] then begin
+    Buffer.add_string b "Participants:\n";
+    List.iter
+      (fun p ->
+        Buffer.add_string b
+          (Printf.sprintf "  %-18s %s\n  %-18s -> %s\n" p.role p.description ""
+             p.implemented_by))
+      t.participants
+  end;
+  if t.hardware_notes <> [] then begin
+    Buffer.add_string b "Hardware notes:\n";
+    List.iter
+      (fun n -> Buffer.add_string b (Printf.sprintf "  - %s\n" n))
+      t.hardware_notes
+  end;
+  Buffer.contents b

@@ -1,0 +1,29 @@
+(** The hardware design-pattern catalog (the paper's §3 and Figure 2).
+
+    Pattern descriptions in the Gamma et al. format, specialised to
+    hardware: intent, participants, hardware-specific consequences, and
+    which library modules implement each participant. The benchmark
+    harness prints the Iterator entry to regenerate Figure 2's content
+    in text form. *)
+
+type participant = { role : string; description : string; implemented_by : string }
+
+type t = {
+  name : string;
+  classification : string;  (** creational / structural / behavioural *)
+  intent : string;
+  participants : participant list;
+  hardware_notes : string list;
+}
+
+val iterator : t
+(** The Iterator pattern as adapted in the paper: aggregates become
+    containers with physical targets, iterators are generated wrappers
+    instantiated at design time. *)
+
+val catalog : t list
+(** All catalogued patterns (the paper calls for building this out;
+    we include Iterator plus the structural patterns the related work
+    covers, marked as such). *)
+
+val describe : t -> string

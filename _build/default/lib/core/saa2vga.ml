@@ -1,0 +1,236 @@
+open Hwpat_rtl
+open Hwpat_rtl.Signal
+open Hwpat_containers
+open Hwpat_iterators
+open Hwpat_algorithms
+
+type substrate = Fifo | Sram | Sram_shared
+type style = Pattern | Custom
+
+let name ~substrate ~style =
+  Printf.sprintf "saa2vga_%s_%s"
+    (match substrate with
+    | Fifo -> "fifo"
+    | Sram -> "sram"
+    | Sram_shared -> "sram_shared")
+    (match style with Pattern -> "pattern" | Custom -> "custom")
+
+let all_variants = [ (Fifo, Pattern); (Fifo, Custom); (Sram, Pattern); (Sram, Custom) ]
+
+let io width =
+  ( input "px_valid" 1,
+    input "px_data" width,
+    input "out_ready" 1 )
+
+let close ~circuit_name ~px_ready ~out_valid ~out_data =
+  Circuit.create_exn ~name:circuit_name
+    [ ("px_ready", px_ready); ("out_valid", out_valid); ("out_data", out_data) ]
+
+(* --- Pattern-based: the Figure 3 model --------------------------------- *)
+
+(* For the shared-SRAM substrate the two containers become arbiter
+   clients of one memory, each in its own half of the address space.
+   The container FSMs are unchanged: only the Mem_target adapter
+   differs — which is the paper's point about generated arbitration. *)
+let shared_sram_targets ~depth ~width ~wait_states =
+  let open Hwpat_devices in
+  let mk_client abits =
+    {
+      Sram_arbiter.req = wire 1;
+      we = wire 1;
+      addr = wire (abits + 1);
+      wr_data = wire width;
+    }
+  in
+  let abits = Util.address_bits depth in
+  let ca = mk_client abits and cb = mk_client abits in
+  let arb =
+    Sram_arbiter.create ~name:"shared" ~words:(2 * depth) ~width ~wait_states
+      ~a:ca ~b:cb ()
+  in
+  let target (c : Sram_arbiter.client) (g : Sram_arbiter.grant) ~hi
+      (r : Container_intf.mem_request) =
+    c.Sram_arbiter.req <== r.Container_intf.mem_req;
+    c.Sram_arbiter.we <== r.Container_intf.mem_we;
+    c.Sram_arbiter.addr
+    <== concat_msb
+          [ (if hi then vdd else gnd); uresize r.Container_intf.mem_addr abits ];
+    c.Sram_arbiter.wr_data <== r.Container_intf.mem_wdata;
+    Mem_target.of_arbiter_grant g
+  in
+  (target ca arb.Sram_arbiter.a ~hi:false, target cb arb.Sram_arbiter.b ~hi:true)
+
+let build_pattern ~substrate ~depth ~width ~wait_states =
+  let px_valid, px_data, out_ready = io width in
+  let stream = { Read_buffer.px_valid; px_data } in
+  let copy = Copy.create ~width () in
+  let shared =
+    match substrate with
+    | Sram_shared -> Some (shared_sram_targets ~depth ~width ~wait_states)
+    | Fifo | Sram -> None
+  in
+  let src_it, px_ready =
+    Seq_iterator.connect_input
+      ~build:(fun ~get_req ->
+        let rb =
+          match (substrate, shared) with
+          | Fifo, _ -> Read_buffer.over_fifo ~depth ~width ~stream ~get_req ()
+          | Sram, _ ->
+            Read_buffer.over_sram ~depth ~width ~wait_states ~stream ~get_req ()
+          | Sram_shared, Some (target_a, _) ->
+            Read_buffer.over_mem ~depth ~width ~target:target_a ~stream ~get_req ()
+          | Sram_shared, None -> assert false
+        in
+        (rb.Read_buffer.seq, rb.Read_buffer.px_ready))
+      copy.Transform.src_driver
+  in
+  let put_req = Seq_iterator.fused_put_req copy.Transform.dst_driver in
+  let put_data = copy.Transform.dst_driver.Iterator_intf.write_data in
+  let wb =
+    match (substrate, shared) with
+    | Fifo, _ -> Write_buffer.over_fifo ~depth ~width ~out_ready ~put_req ~put_data ()
+    | Sram, _ ->
+      Write_buffer.over_sram ~depth ~width ~wait_states ~out_ready ~put_req
+        ~put_data ()
+    | Sram_shared, Some (_, target_b) ->
+      Write_buffer.over_mem ~depth ~width ~target:target_b ~out_ready ~put_req
+        ~put_data ()
+    | Sram_shared, None -> assert false
+  in
+  let dst_it = Seq_iterator.output wb.Write_buffer.seq copy.Transform.dst_driver in
+  copy.Transform.connect ~src:src_it ~dst:dst_it;
+  close
+    ~circuit_name:(name ~substrate ~style:Pattern)
+    ~px_ready
+    ~out_valid:wb.Write_buffer.stream.Write_buffer.out_valid
+    ~out_data:wb.Write_buffer.stream.Write_buffer.out_data
+
+(* --- Custom, FIFO substrate: ad-hoc stream copy ------------------------- *)
+
+let build_custom_fifo ~depth ~width =
+  let px_valid, px_data, out_ready = io width in
+  let open Hwpat_devices in
+  (* Input buffer straight off the decoder. *)
+  let copy_rd_en = wire 1 in
+  let in_fifo =
+    Fifo_core.create ~name:"infifo" ~depth ~width ~wr_en:px_valid
+      ~wr_data:px_data ~rd_en:copy_rd_en ()
+  in
+  let px_ready = px_valid &: ~:(in_fifo.Fifo_core.full) in
+  (* Output buffer feeding the VGA coder. *)
+  let drain_rd_en = wire 1 in
+  let out_fifo =
+    Fifo_core.create ~name:"outfifo" ~depth ~width
+      ~wr_en:in_fifo.Fifo_core.rd_valid ~wr_data:in_fifo.Fifo_core.rd_data
+      ~rd_en:drain_rd_en ()
+  in
+  (* The hand-written copy machine: issue a read, wait for the word,
+     which lands directly in the output FIFO. *)
+  let fsm = Fsm.create ~name:"copy_state" ~states:2 () in
+  let issuing = Fsm.is fsm 0 in
+  let issue =
+    issuing &: ~:(in_fifo.Fifo_core.empty) &: ~:(out_fifo.Fifo_core.full)
+  in
+  copy_rd_en <== issue;
+  Fsm.transitions fsm [ (0, [ (issue, 1) ]); (1, [ (vdd, 0) ]) ];
+  (* Drain side. *)
+  let pending =
+    reg_fb ~width:1 (fun q ->
+        mux2 drain_rd_en vdd (mux2 out_fifo.Fifo_core.rd_valid gnd q))
+  in
+  drain_rd_en
+  <== (out_ready &: ~:(out_fifo.Fifo_core.empty) &: ~:pending
+      &: ~:(out_fifo.Fifo_core.rd_valid));
+  close
+    ~circuit_name:(name ~substrate:Fifo ~style:Custom)
+    ~px_ready
+    ~out_valid:out_fifo.Fifo_core.rd_valid ~out_data:out_fifo.Fifo_core.rd_data
+
+(* --- Custom, SRAM substrate: one big ad-hoc FSM ------------------------- *)
+
+let st_idle = 0
+let st_in_wr = 1
+let st_cp_rd = 2
+let st_cp_wr = 3
+let st_out_rd = 4
+let st_out_show = 5
+
+let build_custom_sram ~depth ~width ~wait_states =
+  let px_valid, px_data, out_ready = io width in
+  let open Hwpat_devices in
+  let abits = Util.address_bits depth in
+  let cbits = abits + 1 in
+  let fsm = Fsm.create ~name:"sram_copy" ~states:6 () in
+  let is = Fsm.is fsm in
+  let in_ack = wire 1 and out_ack = wire 1 in
+  (* Circular-buffer pointers for both memories. *)
+  let bump ptr = ptr +: one abits in
+  let in_wr_done = is st_in_wr &: in_ack in
+  let cp_rd_done = is st_cp_rd &: in_ack in
+  let cp_wr_done = is st_cp_wr &: out_ack in
+  let out_rd_done = is st_out_rd &: out_ack in
+  let in_end = reg_fb ~width:abits (fun q -> mux2 in_wr_done (bump q) q) in
+  let in_begin = reg_fb ~width:abits (fun q -> mux2 cp_rd_done (bump q) q) in
+  let out_end = reg_fb ~width:abits (fun q -> mux2 cp_wr_done (bump q) q) in
+  let out_begin = reg_fb ~width:abits (fun q -> mux2 out_rd_done (bump q) q) in
+  let in_count =
+    reg_fb ~width:cbits (fun q ->
+        q
+        +: mux2 in_wr_done (one cbits) (zero cbits)
+        -: mux2 cp_rd_done (one cbits) (zero cbits))
+  in
+  let out_count =
+    reg_fb ~width:cbits (fun q ->
+        q
+        +: mux2 cp_wr_done (one cbits) (zero cbits)
+        -: mux2 out_rd_done (one cbits) (zero cbits))
+  in
+  let in_full = in_count ==: of_int ~width:cbits depth in
+  let out_full = out_count ==: of_int ~width:cbits depth in
+  let in_some = in_count <>: zero cbits in
+  let out_some = out_count <>: zero cbits in
+  let in_sram =
+    Sram.create ~name:"in_sram" ~words:depth ~width ~wait_states
+      ~req:(is st_in_wr |: is st_cp_rd)
+      ~we:(is st_in_wr)
+      ~addr:(mux2 (is st_in_wr) in_end in_begin)
+      ~wr_data:px_data ()
+  in
+  let out_sram =
+    Sram.create ~name:"out_sram" ~words:depth ~width ~wait_states
+      ~req:(is st_cp_wr |: is st_out_rd)
+      ~we:(is st_cp_wr)
+      ~addr:(mux2 (is st_cp_wr) out_end out_begin)
+      ~wr_data:in_sram.Sram.rd_data ()
+  in
+  in_ack <== in_sram.Sram.ack;
+  out_ack <== out_sram.Sram.ack;
+  Fsm.transitions fsm
+    [
+      ( st_idle,
+        [
+          (px_valid &: ~:in_full, st_in_wr);
+          (in_some &: ~:out_full, st_cp_rd);
+          (out_ready &: out_some, st_out_rd);
+        ] );
+      (st_in_wr, [ (in_ack, st_idle) ]);
+      (st_cp_rd, [ (in_ack, st_cp_wr) ]);
+      (st_cp_wr, [ (out_ack, st_idle) ]);
+      (st_out_rd, [ (out_ack, st_out_show) ]);
+      (st_out_show, [ (vdd, st_idle) ]);
+    ];
+  close
+    ~circuit_name:(name ~substrate:Sram ~style:Custom)
+    ~px_ready:in_wr_done
+    ~out_valid:(is st_out_show)
+    ~out_data:out_sram.Sram.rd_data
+
+let build ?(depth = 512) ?(width = 8) ?(wait_states = 1) ~substrate ~style () =
+  match (substrate, style) with
+  | (Fifo | Sram | Sram_shared), Pattern ->
+    build_pattern ~substrate ~depth ~width ~wait_states
+  | Fifo, Custom -> build_custom_fifo ~depth ~width
+  | Sram, Custom -> build_custom_sram ~depth ~width ~wait_states
+  | Sram_shared, Custom ->
+    invalid_arg
+      "Saa2vga.build: the shared-SRAM variant exists in pattern style only"

@@ -1,0 +1,43 @@
+open Hwpat_rtl
+
+(** The paper's motivating design (Figures 1 and 3): a real-time video
+    pipeline that copies a pixel stream from the video decoder to the
+    VGA coder through an input and an output buffer.
+
+    Two substrates reproduce Table 3's first two rows:
+    - [Fifo] — "saa2vga 1": both buffers over on-chip FIFO cores
+      (maximum performance, highest cost);
+    - [Sram] — "saa2vga 2": both buffers over external static RAMs
+      (much smaller, performance bound by memory access).
+
+    Two styles make the comparison:
+    - [Pattern] — containers + iterators + the generic copy algorithm;
+    - [Custom] — an ad-hoc implementation written directly against the
+      device ports, as a designer would without the library.
+
+    All four circuits expose identical ports:
+    inputs [px_valid], [px_data], [out_ready];
+    outputs [px_ready], [out_valid], [out_data]. *)
+
+type substrate =
+  | Fifo
+  | Sram
+  | Sram_shared
+      (** both buffers in ONE external SRAM behind the generated
+          arbiter — the actual XSB-300E board has a single SRAM chip;
+          §3.4 lists "automatic generation of arbitration logic for
+          shared physical resources" as a generator duty. Pattern
+          style only. *)
+
+type style = Pattern | Custom
+
+val build :
+  ?depth:int -> ?width:int -> ?wait_states:int ->
+  substrate:substrate -> style:style -> unit -> Circuit.t
+(** Defaults: [depth = 512], [width = 8], [wait_states = 1]. *)
+
+val name : substrate:substrate -> style:style -> string
+
+val all_variants : (substrate * style) list
+(** The four Table 3 variants (shared-SRAM excluded; it is an
+    extension, compared separately). *)

@@ -1,0 +1,119 @@
+open Hwpat_rtl
+open Hwpat_rtl.Signal
+open Hwpat_containers
+open Hwpat_iterators
+open Hwpat_algorithms
+
+let pixel_bits = 24
+let bus_bits = 8
+
+let io () =
+  ( input "px_valid" 1,
+    input "px_data" pixel_bits,
+    input "out_ready" 1 )
+
+let close ~circuit_name ~px_ready ~out_valid ~out_data =
+  Circuit.create_exn ~name:circuit_name
+    [ ("px_ready", px_ready); ("out_valid", out_valid); ("out_data", out_data) ]
+
+(* 24-bit bus: everything regenerated at the pixel width; structurally
+   identical to the greyscale pipeline. *)
+let build_wide ~depth =
+  let px_valid, px_data, out_ready = io () in
+  let stream = { Read_buffer.px_valid; px_data } in
+  let copy = Copy.create ~width:pixel_bits () in
+  let src_it, px_ready =
+    Seq_iterator.connect_input
+      ~build:(fun ~get_req ->
+        let rb =
+          Read_buffer.over_fifo ~depth ~width:pixel_bits ~stream ~get_req ()
+        in
+        (rb.Read_buffer.seq, rb.Read_buffer.px_ready))
+      copy.Transform.src_driver
+  in
+  let wb =
+    Write_buffer.over_fifo ~depth ~width:pixel_bits ~out_ready
+      ~put_req:(Seq_iterator.fused_put_req copy.Transform.dst_driver)
+      ~put_data:copy.Transform.dst_driver.Iterator_intf.write_data ()
+  in
+  let dst_it = Seq_iterator.output wb.Write_buffer.seq copy.Transform.dst_driver in
+  copy.Transform.connect ~src:src_it ~dst:dst_it;
+  close ~circuit_name:"saa2vga_rgb_wide" ~px_ready
+    ~out_valid:wb.Write_buffer.stream.Write_buffer.out_valid
+    ~out_data:wb.Write_buffer.stream.Write_buffer.out_data
+
+(* 8-bit bus: byte-wide containers; four regenerated multi-word
+   iterators carry whole pixels across them. The decoder stream drives
+   a multi-word output iterator directly (its valid is the fused
+   write+inc request, the iterator's ack is the stream ready), and the
+   VGA side symmetrically drives a multi-word input iterator. *)
+let build_narrow ~depth =
+  let px_valid, px_data, out_ready = io () in
+  let byte_depth = 4 * depth in
+  (* Source byte queue: filled by the deserialising iterator, drained
+     by the copy's input iterator. *)
+  let src_get = wire 1 and src_put = wire 1 and src_put_data = wire bus_bits in
+  let src_q =
+    Queue_c.over_fifo ~name:"src_bytes" ~depth:byte_depth ~width:bus_bits
+      { Container_intf.get_req = src_get; put_req = src_put; put_data = src_put_data }
+  in
+  let dst_get = wire 1 and dst_put = wire 1 and dst_put_data = wire bus_bits in
+  let dst_q =
+    Queue_c.over_fifo ~name:"dst_bytes" ~depth:byte_depth ~width:bus_bits
+      { Container_intf.get_req = dst_get; put_req = dst_put; put_data = dst_put_data }
+  in
+  (* Stream-side serialiser: the video stream is the algorithm here. *)
+  let in_split_it, () =
+    Multi_word_iterator.output ~name:"px_split" ~elem_width:pixel_bits
+      ~bus_width:bus_bits
+      ~build:(fun ~put_req ~put_data ->
+        src_put <== put_req;
+        src_put_data <== put_data;
+        (src_q, ()))
+      {
+        (Iterator_intf.driver_stub ~data_width:pixel_bits ~pos_width:1) with
+        Iterator_intf.write_req = px_valid;
+        inc_req = px_valid;
+        write_data = px_data;
+      }
+  in
+  let px_ready = in_split_it.Iterator_intf.write_ack in
+  (* The copy algorithm, at pixel width, over multi-word iterators. *)
+  let copy = Copy.create ~width:pixel_bits () in
+  let src_it, () =
+    Multi_word_iterator.input ~name:"px_in" ~elem_width:pixel_bits
+      ~bus_width:bus_bits
+      ~build:(fun ~get_req ->
+        src_get <== get_req;
+        (src_q, ()))
+      copy.Transform.src_driver
+  in
+  let dst_it, () =
+    Multi_word_iterator.output ~name:"px_out" ~elem_width:pixel_bits
+      ~bus_width:bus_bits
+      ~build:(fun ~put_req ~put_data ->
+        dst_put <== put_req;
+        dst_put_data <== put_data;
+        (dst_q, ()))
+      copy.Transform.dst_driver
+  in
+  copy.Transform.connect ~src:src_it ~dst:dst_it;
+  (* VGA-side assembler. *)
+  let out_it, () =
+    Multi_word_iterator.input ~name:"px_join" ~elem_width:pixel_bits
+      ~bus_width:bus_bits
+      ~build:(fun ~get_req ->
+        dst_get <== get_req;
+        (dst_q, ()))
+      {
+        (Iterator_intf.driver_stub ~data_width:pixel_bits ~pos_width:1) with
+        Iterator_intf.read_req = out_ready;
+        inc_req = out_ready;
+      }
+  in
+  close ~circuit_name:"saa2vga_rgb_narrow" ~px_ready
+    ~out_valid:out_it.Iterator_intf.read_ack
+    ~out_data:out_it.Iterator_intf.read_data
+
+let build ?(depth = 64) ~bus () =
+  match bus with `Wide -> build_wide ~depth | `Narrow -> build_narrow ~depth

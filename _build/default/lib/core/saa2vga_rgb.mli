@@ -1,0 +1,23 @@
+open Hwpat_rtl
+
+(** The §3.3 pixel-format scenario as a complete video system: the
+    camera now delivers 24-bit RGB pixels, but the physical memory bus
+    stays 8 bits wide.
+
+    The model is the same read-buffer → copy → write-buffer pipeline as
+    {!Saa2vga}; regeneration handles the width change in one of the two
+    ways the paper describes, selected by [bus]:
+
+    - [`Wide] — a 24-bit data bus: containers and iterators are simply
+      regenerated with the RGB pixel as the base type;
+    - [`Narrow] — an 8-bit data bus: containers stay byte-wide and the
+      regenerated multi-word iterators perform "three consecutive
+      container reads/writes to get/set the whole pixel".
+
+    Ports are the standard video set with 24-bit pixel data. The copy
+    algorithm instance is identical in both configurations. *)
+
+val build : ?depth:int -> bus:[ `Wide | `Narrow ] -> unit -> Circuit.t
+(** [depth] is in *pixels*, and must be a power of two (the narrow
+    configuration rounds its byte containers up to [4 × depth] to stay
+    a power of two); default 64. *)

@@ -1,0 +1,35 @@
+open Hwpat_rtl
+open Hwpat_rtl.Signal
+open Hwpat_containers
+open Hwpat_iterators
+open Hwpat_algorithms
+
+let build ?(width = 8) ?(out_depth = 16) ~image_width ~max_rows () =
+  let px_valid = input "px_valid" 1 in
+  let px_data = input "px_data" width in
+  let out_ready = input "out_ready" 1 in
+  let stream = { Read_buffer.px_valid; px_data } in
+  let sobel = Sobel.create ~width ~image_width () in
+  let col_it, px_ready =
+    Seq_iterator.connect_input
+      ~build:(fun ~get_req ->
+        let rb =
+          Read_buffer.over_line_buffer ~image_width ~max_rows ~width ~stream
+            ~get_req ()
+        in
+        (rb.Read_buffer.col_seq, rb.Read_buffer.col_px_ready))
+      sobel.Sobel.col_driver
+  in
+  let wb =
+    Write_buffer.over_fifo ~depth:out_depth ~width ~out_ready
+      ~put_req:(Seq_iterator.fused_put_req sobel.Sobel.dst_driver)
+      ~put_data:sobel.Sobel.dst_driver.Iterator_intf.write_data ()
+  in
+  let dst_it = Seq_iterator.output wb.Write_buffer.seq sobel.Sobel.dst_driver in
+  sobel.Sobel.connect ~col:col_it ~dst:dst_it;
+  Circuit.create_exn ~name:"sobel_pattern"
+    [
+      ("px_ready", px_ready);
+      ("out_valid", wb.Write_buffer.stream.Write_buffer.out_valid);
+      ("out_data", wb.Write_buffer.stream.Write_buffer.out_data);
+    ]

@@ -1,0 +1,11 @@
+open Hwpat_rtl
+
+(** Sobel edge-detection pipeline — the same system shape as
+    {!Blur_system} with a different algorithm plugged onto the same
+    3-line-buffer container, demonstrating algorithm/container reuse.
+    Pattern style (the library composition) only; ports are identical
+    to the other video systems. *)
+
+val build :
+  ?width:int -> ?out_depth:int -> image_width:int -> max_rows:int -> unit ->
+  Circuit.t

@@ -1,0 +1,1 @@
+lib/devices/bram.ml: Hwpat_rtl Printf Signal

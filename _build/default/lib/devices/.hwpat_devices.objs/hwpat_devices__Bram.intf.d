@@ -1,0 +1,1 @@
+lib/devices/bram.mli: Hwpat_rtl Signal

@@ -1,0 +1,1 @@
+lib/devices/fifo_core.ml: Hwpat_rtl Signal Util

@@ -1,0 +1,1 @@
+lib/devices/fifo_core.mli: Hwpat_rtl Signal

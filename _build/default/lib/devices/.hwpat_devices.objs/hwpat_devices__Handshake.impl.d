@@ -1,0 +1,1 @@
+lib/devices/handshake.ml: Hwpat_rtl Signal

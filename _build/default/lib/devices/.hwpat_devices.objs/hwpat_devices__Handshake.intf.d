@@ -1,0 +1,1 @@
+lib/devices/handshake.mli: Hwpat_rtl Signal

@@ -1,0 +1,1 @@
+lib/devices/lifo_core.ml: Hwpat_rtl Signal Util

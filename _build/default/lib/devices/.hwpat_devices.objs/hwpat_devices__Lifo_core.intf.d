@@ -1,0 +1,1 @@
+lib/devices/lifo_core.mli: Hwpat_rtl Signal

@@ -1,0 +1,1 @@
+lib/devices/line_buffer.ml: Hwpat_rtl Signal Util

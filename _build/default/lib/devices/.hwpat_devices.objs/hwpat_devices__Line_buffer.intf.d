@@ -1,0 +1,1 @@
+lib/devices/line_buffer.mli: Hwpat_rtl Signal

@@ -1,0 +1,1 @@
+lib/devices/sram.ml: Fsm Handshake Hwpat_rtl Signal Util

@@ -1,0 +1,1 @@
+lib/devices/sram.mli: Hwpat_rtl Signal

@@ -1,0 +1,1 @@
+lib/devices/sram_arbiter.ml: Hwpat_rtl Signal Sram

@@ -1,0 +1,1 @@
+lib/devices/sram_arbiter.mli: Hwpat_rtl Signal

@@ -1,0 +1,32 @@
+open Hwpat_rtl
+open Hwpat_rtl.Signal
+
+type port_in = {
+  enable : Signal.t;
+  write : Signal.t;
+  addr : Signal.t;
+  wdata : Signal.t;
+}
+
+type t = { rdata_a : Signal.t; rdata_b : Signal.t }
+
+let check_port tag (p : port_in) ~width =
+  if Signal.width p.enable <> 1 || Signal.width p.write <> 1 then
+    invalid_arg (Printf.sprintf "Bram.create: port %s controls must be 1 bit" tag);
+  if Signal.width p.wdata <> width then
+    invalid_arg (Printf.sprintf "Bram.create: port %s wdata width mismatch" tag)
+
+let create ?(name = "dpram") ~size ~width ~a ~b () =
+  check_port "a" a ~width;
+  check_port "b" b ~width;
+  let mem = create_memory ~size ~width ~name:(name ^ "_ram") () in
+  let attach tag (p : port_in) =
+    mem_write_port mem ~enable:(p.enable &: p.write) ~addr:p.addr ~data:p.wdata;
+    mem_read_sync mem
+      ~enable:(p.enable &: ~:(p.write))
+      ~addr:p.addr ()
+    -- (name ^ "_rdata_" ^ tag)
+  in
+  let rdata_a = attach "a" a in
+  let rdata_b = attach "b" b in
+  { rdata_a; rdata_b }

@@ -1,0 +1,28 @@
+open Hwpat_rtl
+
+(** True dual-port block RAM device: two fully independent ports, each
+    with synchronous write and synchronous read (read-first on
+    write/read collisions, like the underlying {!Signal} memory).
+
+    {!Hwpat_containers.Mem_target.bram} wraps single-port inference
+    behind a handshake; this device exposes the raw two-port primitive
+    for designs that dual-port a buffer between producer and consumer
+    domains (e.g. a ping-pong frame store). *)
+
+type port_in = {
+  enable : Signal.t;   (** port active this cycle *)
+  write : Signal.t;    (** 1 = write [wdata], 0 = read *)
+  addr : Signal.t;
+  wdata : Signal.t;
+}
+
+type t = {
+  rdata_a : Signal.t;  (** valid the cycle after an enabled read on A *)
+  rdata_b : Signal.t;
+}
+
+val create :
+  ?name:string -> size:int -> width:int -> a:port_in -> b:port_in -> unit -> t
+(** Writes on both ports to the same address in the same cycle are a
+    design error; simulation applies port A then port B (B wins), as
+    real block RAM leaves the result undefined. *)

@@ -1,0 +1,43 @@
+open Hwpat_rtl
+open Hwpat_rtl.Signal
+
+type t = {
+  rd_data : Signal.t;
+  rd_valid : Signal.t;
+  empty : Signal.t;
+  full : Signal.t;
+  count : Signal.t;
+}
+
+let create ?(name = "fifo") ~depth ~width ~wr_en ~wr_data ~rd_en () =
+  if not (Util.is_power_of_two depth) then
+    invalid_arg "Fifo_core.create: depth must be a power of two";
+  if Signal.width wr_data <> width then
+    invalid_arg "Fifo_core.create: wr_data width mismatch";
+  let abits = Util.address_bits depth in
+  let cbits = abits + 1 in
+  let mem = create_memory ~size:depth ~width ~name:(name ^ "_ram") () in
+  let count_w = wire cbits in
+  let count = reg count_w -- (name ^ "_count") in
+  let empty = (count ==: zero cbits) -- (name ^ "_empty") in
+  let full = (count ==: of_int ~width:cbits depth) -- (name ^ "_full") in
+  let do_write = wr_en &: ~:full in
+  let do_read = rd_en &: ~:empty in
+  let wr_ptr =
+    reg_fb ~width:abits (fun q -> mux2 do_write (q +: one abits) q)
+    -- (name ^ "_wr_ptr")
+  in
+  let rd_ptr =
+    reg_fb ~width:abits (fun q -> mux2 do_read (q +: one abits) q)
+    -- (name ^ "_rd_ptr")
+  in
+  mem_write_port mem ~enable:do_write ~addr:wr_ptr ~data:wr_data;
+  (* Read-first block RAM: a word is only popped when count >= 1, which
+     guarantees it was written at least one cycle earlier. *)
+  let rd_data = mem_read_sync mem ~enable:do_read ~addr:rd_ptr () -- (name ^ "_rd_data") in
+  let rd_valid = reg do_read -- (name ^ "_rd_valid") in
+  count_w
+  <== (count
+      +: mux2 do_write (one cbits) (zero cbits)
+      -: mux2 do_read (one cbits) (zero cbits));
+  { rd_data; rd_valid; empty; full; count }

@@ -1,0 +1,29 @@
+open Hwpat_rtl
+
+(** Synchronous FIFO core, the on-chip equivalent of the FIFO
+    primitives "commonly found in FPGA designs" (§3.4).
+
+    Storage is a block RAM (synchronous read), so read data appears on
+    [rd_data] one cycle after [rd_en] is accepted, flagged by
+    [rd_valid]. Asserting [rd_en] while [empty], or [wr_en] while
+    [full], is ignored by the hardware. Simultaneous read and write are
+    supported. *)
+
+type t = {
+  rd_data : Signal.t;
+  rd_valid : Signal.t;  (** one-cycle pulse: [rd_data] is the popped word *)
+  empty : Signal.t;
+  full : Signal.t;
+  count : Signal.t;     (** current occupancy, [address_bits depth + 1] wide *)
+}
+
+val create :
+  ?name:string ->
+  depth:int ->
+  width:int ->
+  wr_en:Signal.t ->
+  wr_data:Signal.t ->
+  rd_en:Signal.t ->
+  unit ->
+  t
+(** [depth] must be a power of two. *)

@@ -1,0 +1,18 @@
+open Hwpat_rtl
+open Hwpat_rtl.Signal
+
+type t = { req : Signal.t; ack : Signal.t }
+
+let fire t = t.req &: t.ack
+
+let rising s =
+  if Signal.width s <> 1 then invalid_arg "Handshake.rising: signal must be 1 bit";
+  s &: ~:(reg s)
+
+let sticky ~set ~clear =
+  if Signal.width set <> 1 || Signal.width clear <> 1 then
+    invalid_arg "Handshake.sticky: signals must be 1 bit";
+  reg_fb ~width:1 (fun q -> mux2 clear gnd (mux2 set vdd q))
+
+let pulse_counter ~width ~enable ~clear =
+  reg_fb ~width (fun q -> mux2 clear (zero width) (mux2 enable (q +: one width) q))

@@ -1,0 +1,23 @@
+open Hwpat_rtl
+
+(** Request/acknowledge handshake helpers shared by the device,
+    container and iterator layers.
+
+    Convention: the requester holds [req] high until it sees [ack] high
+    in the same cycle; data is exchanged in the cycle where both are
+    high. [ack] may be combinational (single-cycle devices) or arrive
+    several cycles later (external memories). *)
+
+type t = { req : Signal.t; ack : Signal.t }
+
+val fire : t -> Signal.t
+(** High in the cycle the transaction completes ([req &: ack]). *)
+
+val rising : Signal.t -> Signal.t
+(** One-cycle pulse on a 0→1 transition of the argument. *)
+
+val sticky : set:Signal.t -> clear:Signal.t -> Signal.t
+(** A set/clear flag register; clear wins when both fire. *)
+
+val pulse_counter : width:int -> enable:Signal.t -> clear:Signal.t -> Signal.t
+(** Counts cycles where [enable] is high; synchronously cleared. *)

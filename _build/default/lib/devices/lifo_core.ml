@@ -1,0 +1,35 @@
+open Hwpat_rtl
+open Hwpat_rtl.Signal
+
+type t = {
+  rd_data : Signal.t;
+  rd_valid : Signal.t;
+  empty : Signal.t;
+  full : Signal.t;
+  count : Signal.t;
+}
+
+let create ?(name = "lifo") ~depth ~width ~push_en ~push_data ~pop_en () =
+  if not (Util.is_power_of_two depth) then
+    invalid_arg "Lifo_core.create: depth must be a power of two";
+  if Signal.width push_data <> width then
+    invalid_arg "Lifo_core.create: push_data width mismatch";
+  let abits = Util.address_bits depth in
+  let cbits = abits + 1 in
+  let mem = create_memory ~size:depth ~width ~name:(name ^ "_ram") () in
+  let sp_w = wire cbits in
+  let sp = reg sp_w -- (name ^ "_sp") in
+  let empty = (sp ==: zero cbits) -- (name ^ "_empty") in
+  let full = (sp ==: of_int ~width:cbits depth) -- (name ^ "_full") in
+  let do_push = push_en &: ~:full in
+  let do_pop = pop_en &: ~:push_en &: ~:empty in
+  let top_addr = select (sp -: one cbits) ~high:(abits - 1) ~low:0 in
+  let push_addr = select sp ~high:(abits - 1) ~low:0 in
+  mem_write_port mem ~enable:do_push ~addr:push_addr ~data:push_data;
+  (* Popping reads the top of stack. The word at [sp-1] was pushed at
+     least one cycle before the pop can observe sp > 0, so read-first
+     block RAM returns the committed value. *)
+  let rd_data = mem_read_sync mem ~enable:do_pop ~addr:top_addr () -- (name ^ "_rd_data") in
+  let rd_valid = reg do_pop -- (name ^ "_rd_valid") in
+  sp_w <== mux2 do_push (sp +: one cbits) (mux2 do_pop (sp -: one cbits) sp);
+  { rd_data; rd_valid; empty; full; count = sp }

@@ -1,0 +1,27 @@
+open Hwpat_rtl
+
+(** Synchronous LIFO (stack) core.
+
+    Same conventions as {!Fifo_core}: block-RAM storage, popped data
+    appears one cycle after [pop_en] with a [rd_valid] pulse. [push_en]
+    and [pop_en] must not be asserted in the same cycle (push wins;
+    container wrappers serialise operations). *)
+
+type t = {
+  rd_data : Signal.t;
+  rd_valid : Signal.t;
+  empty : Signal.t;
+  full : Signal.t;
+  count : Signal.t;
+}
+
+val create :
+  ?name:string ->
+  depth:int ->
+  width:int ->
+  push_en:Signal.t ->
+  push_data:Signal.t ->
+  pop_en:Signal.t ->
+  unit ->
+  t
+(** [depth] must be a power of two. *)

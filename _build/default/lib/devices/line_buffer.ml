@@ -1,0 +1,54 @@
+open Hwpat_rtl
+open Hwpat_rtl.Signal
+
+type t = {
+  top : Signal.t;
+  mid : Signal.t;
+  bot : Signal.t;
+  col_valid : Signal.t;
+  warm : Signal.t;
+  col : Signal.t;
+  row : Signal.t;
+}
+
+let create ?(name = "lbuf") ~image_width ~max_rows ~width ~px_en ~px_data () =
+  if image_width < 3 then invalid_arg "Line_buffer.create: image_width must be >= 3";
+  if Signal.width px_data <> width then
+    invalid_arg "Line_buffer.create: px_data width mismatch";
+  let xbits = Util.address_bits image_width in
+  let ybits = Util.bits_to_represent max_rows in
+  (* Column / row walkers over the incoming stream. *)
+  let x_w = wire xbits in
+  let x = reg x_w -- (name ^ "_x") in
+  let at_line_end = x ==: of_int ~width:xbits (image_width - 1) in
+  x_w <== mux2 px_en (mux2 at_line_end (zero xbits) (x +: one xbits)) x;
+  let y =
+    reg_fb ~width:ybits (fun q -> mux2 (px_en &: at_line_end) (q +: one ybits) q)
+    -- (name ^ "_y")
+  in
+  (* Two line delays in block RAM. Read-first semantics let us read the
+     previous rows and overwrite the same address in one access. *)
+  let line1 = create_memory ~size:image_width ~width ~name:(name ^ "_line1") () in
+  let line2 = create_memory ~size:image_width ~width ~name:(name ^ "_line2") () in
+  let line1_old = mem_read_sync line1 ~enable:px_en ~addr:x () in
+  let line2_old = mem_read_sync line2 ~enable:px_en ~addr:x () in
+  mem_write_port line1 ~enable:px_en ~addr:x ~data:px_data;
+  (* line2 must receive the value line1 held *before* this push; the
+     async read provides it within the same cycle. *)
+  mem_write_port line2 ~enable:px_en ~addr:x ~data:(mem_read_async line1 ~addr:x);
+  let col_valid = reg px_en -- (name ^ "_col_valid") in
+  let bot = reg ~enable:px_en px_data -- (name ^ "_bot") in
+  (* Register the warm flag with the presented column so the last pixel
+     of row 1 is not misreported as a full window. *)
+  let warm =
+    reg ~enable:px_en (y >=: of_int ~width:ybits 2) -- (name ^ "_warm")
+  in
+  {
+    top = line2_old -- (name ^ "_top");
+    mid = line1_old -- (name ^ "_mid");
+    bot;
+    col_valid;
+    warm;
+    col = reg ~enable:px_en x -- (name ^ "_col");
+    row = y;
+  }

@@ -1,0 +1,36 @@
+open Hwpat_rtl
+
+(** Three-line video buffer.
+
+    The paper's blur example maps its [rbuffer] container "over a
+    special one ... a 3-line buffer structured to provide 3 pixels in a
+    column for each access", which lets the 3×3 convolution produce one
+    filtered pixel per clock. This is that device: two block-RAM line
+    delays plus the incoming pixel.
+
+    Push one pixel per access; one cycle later [col_valid] pulses and
+    [top]/[mid]/[bot] hold the three pixels of the current column
+    (rows y-2, y-1 and y). The column is only a full window once two
+    complete rows have been seen ([warm]). *)
+
+type t = {
+  top : Signal.t;
+  mid : Signal.t;
+  bot : Signal.t;
+  col_valid : Signal.t;
+  warm : Signal.t;     (** two full rows buffered; window outputs valid *)
+  col : Signal.t;      (** column index of the presented window centre *)
+  row : Signal.t;      (** row index of the incoming pixel stream *)
+}
+
+val create :
+  ?name:string ->
+  image_width:int ->
+  max_rows:int ->
+  width:int ->
+  px_en:Signal.t ->
+  px_data:Signal.t ->
+  unit ->
+  t
+(** [image_width] pixels per line ([>= 3]); [max_rows] bounds the row
+    counter width. *)

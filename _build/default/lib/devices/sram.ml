@@ -1,0 +1,41 @@
+open Hwpat_rtl
+open Hwpat_rtl.Signal
+
+type t = { ack : Signal.t; rd_data : Signal.t; busy : Signal.t }
+
+let access_cycles ~wait_states = wait_states + 3
+
+let st_idle = 0
+let st_access = 1
+let st_done = 2
+
+let create ?(name = "sram") ~words ~width ~wait_states ~req ~we ~addr ~wr_data () =
+  if wait_states < 0 then invalid_arg "Sram.create: negative wait states";
+  if Signal.width wr_data <> width then
+    invalid_arg "Sram.create: wr_data width mismatch";
+  if Signal.width addr < Util.address_bits words then
+    invalid_arg "Sram.create: address too narrow";
+  let mem = create_memory ~size:words ~width ~name:(name ^ "_array") ~external_:true () in
+  let fsm = Fsm.create ~name:(name ^ "_state") ~states:3 () in
+  let in_access = Fsm.is fsm st_access in
+  let cbits = Util.bits_to_represent (max 1 wait_states) in
+  let counter =
+    Handshake.pulse_counter ~width:cbits ~enable:in_access ~clear:~:in_access
+    -- (name ^ "_waits")
+  in
+  let waits_met = counter ==: of_int ~width:cbits wait_states in
+  let last_access_cycle = in_access &: waits_met in
+  Fsm.transitions fsm
+    [
+      (st_idle, [ (req, st_access) ]);
+      (st_access, [ (waits_met, st_done) ]);
+      (st_done, [ (vdd, st_idle) ]);
+    ];
+  let addr_trunc = select addr ~high:(Util.address_bits words - 1) ~low:0 in
+  mem_write_port mem ~enable:(last_access_cycle &: we) ~addr:addr_trunc ~data:wr_data;
+  let rd_latch =
+    reg ~enable:(last_access_cycle &: ~:we) (mem_read_async mem ~addr:addr_trunc)
+    -- (name ^ "_rd_data")
+  in
+  let ack = Fsm.is fsm st_done -- (name ^ "_ack") in
+  { ack; rd_data = rd_latch; busy = in_access |: ack }

@@ -1,0 +1,35 @@
+open Hwpat_rtl
+
+(** External asynchronous SRAM with its on-FPGA access controller.
+
+    Models the XSB-300E board SRAM: the array itself is marked as an
+    external memory (not counted by technology mapping); the controller
+    FSM, which is real FPGA logic, enforces [wait_states] cycles of
+    address stability per access (see {!Board.sram_wait_states}).
+
+    Protocol: the client raises [req] with [we]/[addr]/[wr_data] stable
+    and holds them until [ack] pulses. An access takes
+    [wait_states + 3] cycles (request registration, address phase,
+    acknowledge). On a read, [rd_data] is valid from the
+    [ack] cycle and holds until the next read completes. *)
+
+type t = {
+  ack : Signal.t;
+  rd_data : Signal.t;
+  busy : Signal.t;  (** high from request acceptance until [ack] *)
+}
+
+val create :
+  ?name:string ->
+  words:int ->
+  width:int ->
+  wait_states:int ->
+  req:Signal.t ->
+  we:Signal.t ->
+  addr:Signal.t ->
+  wr_data:Signal.t ->
+  unit ->
+  t
+
+val access_cycles : wait_states:int -> int
+(** Cycles from [req] to [ack] inclusive. *)

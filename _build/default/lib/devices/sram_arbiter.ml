@@ -1,0 +1,41 @@
+open Hwpat_rtl
+open Hwpat_rtl.Signal
+
+type client = { req : Signal.t; we : Signal.t; addr : Signal.t; wr_data : Signal.t }
+type grant = { ack : Signal.t; rd_data : Signal.t }
+type t = { a : grant; b : grant }
+
+let create ?(name = "arb") ~words ~width ~wait_states ~a ~b () =
+  (* granted: 0 = none, 1 = client a, 2 = client b. *)
+  let granted_w = wire 2 in
+  let granted = reg granted_w -- (name ^ "_grant") in
+  let idle = granted ==: zero 2 in
+  let grant_a_now = idle &: a.req in
+  (* Alternating priority: remember who was served last; on
+     simultaneous requests the other client wins. *)
+  let last_served_w = wire 1 in
+  let last_served = reg last_served_w -- (name ^ "_last") in
+  let a_wins = a.req &: (~:(b.req) |: last_served) in
+  let grant_a = grant_a_now &: a_wins in
+  let grant_b = idle &: b.req &: ~:grant_a in
+  let sel_b = granted ==: of_int ~width:2 2 in
+  let active_req = ~:idle in
+  let sram =
+    Sram.create ~name:(name ^ "_sram") ~words ~width ~wait_states ~req:active_req
+      ~we:(mux2 sel_b b.we a.we)
+      ~addr:(mux2 sel_b b.addr a.addr)
+      ~wr_data:(mux2 sel_b b.wr_data a.wr_data)
+      ()
+  in
+  let release = sram.Sram.ack in
+  granted_w
+  <== mux2 release (zero 2)
+        (mux2 grant_a (of_int ~width:2 1) (mux2 grant_b (of_int ~width:2 2) granted));
+  last_served_w
+  <== mux2 (release &: ~:sel_b) gnd (mux2 (release &: sel_b) vdd last_served);
+  let ack_a = release &: ~:sel_b in
+  let ack_b = release &: sel_b in
+  {
+    a = { ack = ack_a; rd_data = sram.Sram.rd_data };
+    b = { ack = ack_b; rd_data = sram.Sram.rd_data };
+  }

@@ -1,0 +1,36 @@
+open Hwpat_rtl
+
+(** Two-client arbiter for a shared external SRAM.
+
+    The paper lists "automatic generation of arbitration logic for
+    shared physical resources (e.g. RAM)" as a benefit of the
+    metaprogramming approach; this is that generated logic. The arbiter
+    grants the SRAM to one client at a time, holds the grant until the
+    access completes, and alternates priority (least recently served
+    wins ties) so neither stream starves. *)
+
+type client = {
+  req : Signal.t;
+  we : Signal.t;
+  addr : Signal.t;
+  wr_data : Signal.t;
+}
+
+type grant = {
+  ack : Signal.t;      (** routed from the SRAM to the granted client *)
+  rd_data : Signal.t;  (** shared read bus *)
+}
+
+type t = { a : grant; b : grant }
+
+val create :
+  ?name:string ->
+  words:int ->
+  width:int ->
+  wait_states:int ->
+  a:client ->
+  b:client ->
+  unit ->
+  t
+(** Instantiates the shared {!Sram} internally. Client address width
+    must be [Util.address_bits words]. *)

@@ -1,0 +1,1 @@
+lib/iterators/iterator_intf.ml: Hwpat_rtl Signal

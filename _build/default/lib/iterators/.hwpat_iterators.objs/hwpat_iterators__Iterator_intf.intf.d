@@ -1,0 +1,1 @@
+lib/iterators/iterator_intf.mli: Hwpat_rtl Signal

@@ -1,0 +1,1 @@
+lib/iterators/multi_word_iterator.ml: Container_intf Fsm Hwpat_containers Hwpat_devices Hwpat_rtl Iterator_intf Util

@@ -1,0 +1,1 @@
+lib/iterators/seq_iterator.ml: Container_intf Hwpat_containers Hwpat_rtl Iterator_intf

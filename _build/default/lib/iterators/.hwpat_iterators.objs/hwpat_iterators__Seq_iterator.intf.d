@@ -1,0 +1,1 @@
+lib/iterators/seq_iterator.mli: Hwpat_containers Hwpat_rtl Iterator_intf Signal

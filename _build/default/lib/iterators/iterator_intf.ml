@@ -1,0 +1,35 @@
+open Hwpat_rtl
+open Hwpat_rtl.Signal
+
+type t = {
+  inc_ack : Signal.t;
+  dec_ack : Signal.t;
+  read_ack : Signal.t;
+  read_data : Signal.t;
+  write_ack : Signal.t;
+  index_ack : Signal.t;
+  at_end : Signal.t;
+}
+
+type driver = {
+  inc_req : Signal.t;
+  dec_req : Signal.t;
+  read_req : Signal.t;
+  write_req : Signal.t;
+  write_data : Signal.t;
+  index_req : Signal.t;
+  index_pos : Signal.t;
+}
+
+let driver_stub ~data_width ~pos_width =
+  {
+    inc_req = gnd;
+    dec_req = gnd;
+    read_req = gnd;
+    write_req = gnd;
+    write_data = zero data_width;
+    index_req = gnd;
+    index_pos = zero pos_width;
+  }
+
+let unsupported = gnd

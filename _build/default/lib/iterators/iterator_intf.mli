@@ -1,0 +1,41 @@
+open Hwpat_rtl
+
+(** The hardware Iterator interface (Table 2).
+
+    Every iterator presents the same operation set — [inc], [dec],
+    [read], [write], [index] — with the request/ack handshake of
+    {!Hwpat_containers.Container_intf}. Operations an iterator does not
+    support never acknowledge (their ack is tied low), so misuse stalls
+    visibly rather than corrupting data.
+
+    Algorithms drive iterators and nothing else; that is the decoupling
+    the pattern buys. Sequential (stream) iterators expect [read] and
+    [inc] (or [write] and [inc]) to be requested together, the fused
+    access the paper's copy algorithm performs. *)
+
+type t = {
+  inc_ack : Signal.t;
+  dec_ack : Signal.t;
+  read_ack : Signal.t;
+  read_data : Signal.t;
+  write_ack : Signal.t;
+  index_ack : Signal.t;
+  at_end : Signal.t;    (** no further element is available (source
+                            exhausted / sink full) — advisory *)
+}
+
+type driver = {
+  inc_req : Signal.t;
+  dec_req : Signal.t;
+  read_req : Signal.t;
+  write_req : Signal.t;
+  write_data : Signal.t;
+  index_req : Signal.t;
+  index_pos : Signal.t;
+}
+
+val driver_stub : data_width:int -> pos_width:int -> driver
+(** All requests low; useful as a base to override. *)
+
+val unsupported : Signal.t
+(** Tied-low ack for unimplemented operations. *)

@@ -1,0 +1,103 @@
+open Hwpat_rtl
+open Hwpat_rtl.Signal
+open Hwpat_containers
+
+let words ~elem_width ~bus_width =
+  if bus_width < 1 || elem_width < 1 || elem_width mod bus_width <> 0 then
+    invalid_arg "Multi_word_iterator: elem_width must be a multiple of bus_width";
+  elem_width / bus_width
+
+let st_idle = 0
+let st_transfer = 1
+let st_done = 2
+
+(* Shared word-sequencer: requests [k] container accesses and pulses
+   done_ after the last ack. Returns (container_req, word_ack, done_). *)
+let sequencer ~name ~k ~start ~ack =
+  let fsm = Fsm.create ~name:(name ^ "_state") ~states:3 () in
+  let in_transfer = Fsm.is fsm st_transfer in
+  let word_ack = in_transfer &: ack in
+  let wbits = Util.bits_to_represent k in
+  let word_cnt =
+    Hwpat_devices.Handshake.pulse_counter ~width:wbits ~enable:word_ack
+      ~clear:(Fsm.is fsm st_idle)
+    -- (name ^ "_word")
+  in
+  let last_word = word_cnt ==: of_int ~width:wbits (k - 1) in
+  Fsm.transitions fsm
+    [
+      (st_idle, [ (start, st_transfer) ]);
+      (st_transfer, [ (ack &: last_word, st_done) ]);
+      (st_done, [ (vdd, st_idle) ]);
+    ];
+  (in_transfer, word_ack, Fsm.is fsm st_done)
+
+let input ?(name = "mwit") ~elem_width ~bus_width ~build
+    (d : Iterator_intf.driver) =
+  let k = words ~elem_width ~bus_width in
+  let container_ack = wire 1 in
+  let start = d.read_req &: d.inc_req in
+  let get_req, word_ack, done_ = sequencer ~name ~k ~start ~ack:container_ack in
+  let container, extra = build ~get_req in
+  container_ack <== container.Container_intf.get_ack;
+  (* Shift each arriving word into the high end; after k words the
+     first word has reached the least significant position. *)
+  let assembled =
+    reg_fb ~width:elem_width (fun q ->
+        mux2 word_ack
+          (if k = 1 then container.Container_intf.get_data
+           else
+             concat_msb
+               [
+                 container.Container_intf.get_data;
+                 select q ~high:(elem_width - 1) ~low:bus_width;
+               ])
+          q)
+    -- (name ^ "_elem")
+  in
+  ( {
+      Iterator_intf.inc_ack = done_;
+      dec_ack = Iterator_intf.unsupported;
+      read_ack = done_;
+      read_data = assembled;
+      write_ack = Iterator_intf.unsupported;
+      index_ack = Iterator_intf.unsupported;
+      at_end = container.Container_intf.empty;
+    },
+    extra )
+
+let output ?(name = "mwot") ~elem_width ~bus_width ~build
+    (d : Iterator_intf.driver) =
+  let k = words ~elem_width ~bus_width in
+  let container_ack = wire 1 in
+  let start = d.write_req &: d.inc_req in
+  let put_req, word_ack, done_ = sequencer ~name ~k ~start ~ack:container_ack in
+  (* Latch the element on start; shift right after each put so the low
+     word is always presented. *)
+  let shreg =
+    reg_fb ~width:elem_width (fun q ->
+        mux2
+          (start &: ~:put_req) (* idle-cycle capture *)
+          d.write_data
+          (mux2 word_ack
+             (if k = 1 then q
+              else
+                concat_msb
+                  [ zero bus_width; select q ~high:(elem_width - 1) ~low:bus_width ])
+             q))
+    -- (name ^ "_elem")
+  in
+  let container, extra =
+    build ~put_req ~put_data:(select shreg ~high:(bus_width - 1) ~low:0)
+  in
+  container_ack <== container.Container_intf.put_ack;
+  ( {
+      Iterator_intf.inc_ack = done_;
+      dec_ack = Iterator_intf.unsupported;
+      read_ack = Iterator_intf.unsupported;
+      read_data = zero elem_width;
+      write_ack = done_;
+      index_ack = Iterator_intf.unsupported;
+      at_end = container.Container_intf.full;
+    },
+    extra )

@@ -1,0 +1,40 @@
+open Hwpat_rtl
+open Hwpat_containers
+
+(** Width-adapting iterators (§3.3, alternative 2).
+
+    When the element type is wider than the physical data bus — the
+    paper's 24-bit RGB pixel over an 8-bit memory — "the iterator code
+    performs three consecutive container reads/writes to get/set the
+    whole pixel". These iterators contain that word-sequencing FSM and
+    assembly register; the algorithm above them still sees whole
+    elements and is not modified.
+
+    Word order: the first word transferred is the least significant
+    part of the element. *)
+
+val words : elem_width:int -> bus_width:int -> int
+(** Transfers per element; [elem_width] must be a positive multiple of
+    [bus_width]. *)
+
+val input :
+  ?name:string ->
+  elem_width:int ->
+  bus_width:int ->
+  build:(get_req:Signal.t -> Container_intf.seq * 'a) ->
+  Iterator_intf.driver ->
+  Iterator_intf.t * 'a
+(** Forward input iterator: a fused [read]+[inc] performs [words]
+    container gets and acks once with the assembled element. [build]
+    constructs the narrow container given the iterator's internal get
+    request (mirroring {!Seq_iterator.connect_input}). *)
+
+val output :
+  ?name:string ->
+  elem_width:int ->
+  bus_width:int ->
+  build:(put_req:Signal.t -> put_data:Signal.t -> Container_intf.seq * 'a) ->
+  Iterator_intf.driver ->
+  Iterator_intf.t * 'a
+(** Forward output iterator: a fused [write]+[inc] splits the element
+    into [words] container puts and acks when the last one lands. *)

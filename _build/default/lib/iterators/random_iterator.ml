@@ -1,0 +1,49 @@
+open Hwpat_rtl
+open Hwpat_rtl.Signal
+open Hwpat_containers
+
+type t = { iterator : Iterator_intf.t; position : Signal.t }
+
+(* One-cycle pulsed ack for a held request (the client deasserts the
+   cycle after seeing the ack). *)
+let pulse_ack req = reg_fb ~width:1 (fun q -> req &: ~:q)
+
+let create ?(name = "rit") ~length ~vector (d : Iterator_intf.driver) =
+  let pos_bits = Util.bits_to_represent length in
+  let inc_ack = pulse_ack d.inc_req -- (name ^ "_inc_ack") in
+  let dec_ack = pulse_ack d.dec_req -- (name ^ "_dec_ack") in
+  let index_ack = pulse_ack d.index_req -- (name ^ "_index_ack") in
+  let position =
+    reg_fb ~width:pos_bits (fun q ->
+        mux2
+          (d.index_req &: index_ack)
+          (uresize d.index_pos pos_bits)
+          (mux2
+             (d.inc_req &: inc_ack)
+             (q +: one pos_bits)
+             (mux2 (d.dec_req &: dec_ack) (q -: one pos_bits) q)))
+    -- (name ^ "_pos")
+  in
+  let addr = select position ~high:(Util.address_bits length - 1) ~low:0 in
+  let v =
+    vector
+      {
+        Container_intf.read_req = d.read_req;
+        write_req = d.write_req;
+        addr;
+        write_data = d.write_data;
+      }
+  in
+  {
+    iterator =
+      {
+        Iterator_intf.inc_ack;
+        dec_ack;
+        read_ack = v.Container_intf.read_ack;
+        read_data = v.Container_intf.read_data;
+        write_ack = v.Container_intf.write_ack;
+        index_ack;
+        at_end = position >=: of_int ~width:pos_bits length;
+      };
+    position;
+  }

@@ -1,0 +1,31 @@
+open Hwpat_rtl
+
+(** Random iterator over a vector container.
+
+    Unlike the stream wrappers, a random iterator has real state: the
+    position register tracking the traversal (the [ConcreteIterator]
+    of the pattern). It supports the full Table 2 set: [inc]/[dec]
+    move the position (single-cycle ack), [index] loads it, [read] and
+    [write] access the vector at the current position.
+
+    Request one operation at a time: the position feeds the vector's
+    address combinationally, so moving the position while a read or
+    write is in flight on a multi-cycle target would change the address
+    mid-access. Every algorithm in [hwpat.algorithms] serialises its
+    iterator operations, which is the natural FSM structure anyway. *)
+
+type t = {
+  iterator : Iterator_intf.t;
+  position : Signal.t;  (** current traversal position *)
+}
+
+val create :
+  ?name:string ->
+  length:int ->
+  vector:(Hwpat_containers.Container_intf.random_driver ->
+          Hwpat_containers.Container_intf.random) ->
+  Iterator_intf.driver ->
+  t
+(** [vector] is a partially-applied {!Hwpat_containers.Vector_c}
+    builder; the iterator supplies its position as the address.
+    [at_end] is high when the position has walked past [length - 1]. *)

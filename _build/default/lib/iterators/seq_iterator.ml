@@ -1,0 +1,31 @@
+open Hwpat_rtl.Signal
+open Hwpat_containers
+
+let fused_get_req (d : Iterator_intf.driver) = d.read_req &: d.inc_req
+let fused_put_req (d : Iterator_intf.driver) = d.write_req &: d.inc_req
+
+let input (c : Container_intf.seq) (_d : Iterator_intf.driver) =
+  {
+    Iterator_intf.inc_ack = c.get_ack;
+    dec_ack = Iterator_intf.unsupported;
+    read_ack = c.get_ack;
+    read_data = c.get_data;
+    write_ack = Iterator_intf.unsupported;
+    index_ack = Iterator_intf.unsupported;
+    at_end = c.empty;
+  }
+
+let connect_input ~build (d : Iterator_intf.driver) =
+  let container, extra = build ~get_req:(fused_get_req d) in
+  (input container d, extra)
+
+let output (c : Container_intf.seq) (_d : Iterator_intf.driver) =
+  {
+    Iterator_intf.inc_ack = c.put_ack;
+    dec_ack = Iterator_intf.unsupported;
+    read_ack = Iterator_intf.unsupported;
+    read_data = c.get_data;
+    write_ack = c.put_ack;
+    index_ack = Iterator_intf.unsupported;
+    at_end = c.full;
+  }

@@ -1,0 +1,41 @@
+open Hwpat_rtl
+
+(** Iterators over sequential containers.
+
+    These are the wrappers the paper describes: "no more than a wrapper
+    that renames some signals and provides the common interface". They
+    add no state — the container tracks the traversal — so they
+    dissolve entirely at synthesis (zero LUTs, zero FFs).
+
+    Sequential access is fused: the algorithm asserts [read]+[inc]
+    (input side) or [write]+[inc] (output side) together, and both
+    acks pulse when the underlying container completes the access. *)
+
+val input :
+  Hwpat_containers.Container_intf.seq -> Iterator_intf.driver ->
+  Iterator_intf.t
+(** Forward input iterator: [read]+[inc] pops the container's next
+    element. [at_end] mirrors the container's [empty]. The returned
+    iterator's get requests are wired into the container through the
+    driver's [read_req]/[inc_req]; the container must have been built
+    with [get_req = read_req &: inc_req] — use {!connect_input}. *)
+
+val connect_input :
+  build:(get_req:Signal.t -> Hwpat_containers.Container_intf.seq * 'a) ->
+  Iterator_intf.driver -> Iterator_intf.t * 'a
+(** Builds the container and iterator together, wiring the fused
+    [read]+[inc] request into the container's get port. ['a] carries
+    any extra container outputs (e.g. a read buffer's [px_ready]). *)
+
+val output :
+  Hwpat_containers.Container_intf.seq -> Iterator_intf.driver ->
+  Iterator_intf.t
+(** Forward output iterator over a container whose put side was built
+    with [put_req = write_req &: inc_req] and [put_data = write_data].
+    [at_end] mirrors [full]. *)
+
+val fused_get_req : Iterator_intf.driver -> Signal.t
+(** [read_req &: inc_req] — the container-side get request. *)
+
+val fused_put_req : Iterator_intf.driver -> Signal.t
+(** [write_req &: inc_req]. *)

@@ -1,0 +1,1 @@
+lib/meta/algorithm_meta.mli:

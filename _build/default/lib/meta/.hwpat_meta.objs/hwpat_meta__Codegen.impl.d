@@ -1,0 +1,1 @@
+lib/meta/codegen.ml: Buffer Config Hwpat_rtl List Metamodel Printf String

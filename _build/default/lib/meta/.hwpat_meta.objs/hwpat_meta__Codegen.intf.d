@@ -1,0 +1,1 @@
+lib/meta/codegen.mli: Config

@@ -1,0 +1,1 @@
+lib/meta/config.ml: Hwpat_rtl List Metamodel Printf String

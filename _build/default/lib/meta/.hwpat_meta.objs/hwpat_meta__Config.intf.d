@@ -1,0 +1,1 @@
+lib/meta/config.mli: Metamodel

@@ -1,0 +1,1 @@
+lib/meta/metamodel.ml: List Printf String

@@ -1,0 +1,1 @@
+lib/meta/metamodel.mli:

@@ -1,0 +1,1 @@
+lib/meta/vhdl_lint.mli: Format

@@ -1,0 +1,157 @@
+type step = Fetch of string | Apply of string | Store of string
+
+type t = { algorithm_name : string; elem_width : int; body : step list }
+
+let copy ~elem_width =
+  {
+    algorithm_name = "copy";
+    elem_width;
+    body = [ Fetch "src"; Store "dst" ];
+  }
+
+let transform ~elem_width ~expr =
+  {
+    algorithm_name = "transform";
+    elem_width;
+    body = [ Fetch "src"; Apply expr; Store "dst" ];
+  }
+
+let iterators t =
+  List.filter_map
+    (function
+      | Fetch n -> Some (n, `Input)
+      | Store n -> Some (n, `Output)
+      | Apply _ -> None)
+    t.body
+
+let validate t =
+  if t.body = [] then Error "empty body"
+  else if t.elem_width < 1 then Error "element width must be >= 1"
+  else begin
+    let seen_fetch = ref false in
+    let err = ref None in
+    List.iter
+      (fun step ->
+        match step with
+        | Fetch _ -> seen_fetch := true
+        | Apply _ | Store _ ->
+          if not !seen_fetch then err := Some "apply/store before any fetch")
+      t.body;
+    let names = List.map fst (iterators t) in
+    if List.length (List.sort_uniq compare names) <> List.length names then
+      err := Some "iterator used in more than one step";
+    match !err with Some e -> Error e | None -> Ok ()
+  end
+
+let emit buffer fmt = Printf.ksprintf (Buffer.add_string buffer) fmt
+
+let state_name i = Printf.sprintf "st_%d" i
+
+let is_ident_char c =
+  match c with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> true | _ -> false
+
+(* The handshaking steps, each paired with the Apply expressions that
+   precede it since the last handshake. Applies compose textually over
+   the running value. *)
+let scheduled t =
+  let rec go pending = function
+    | [] -> []
+    | Apply e :: rest -> go (pending @ [ e ]) rest
+    | (Fetch _ as s) :: rest -> (s, pending) :: go [] rest
+    | (Store _ as s) :: rest -> (s, pending) :: go [] rest
+  in
+  go [] t.body
+
+let compose_applies base applies =
+  List.fold_left
+    (fun acc e ->
+      (* Expressions reference the loop value as "data"; substitute the
+         running expression for it. *)
+      let needle = "data" in
+      let buf = Buffer.create (String.length e + String.length acc) in
+      let n = String.length e and m = String.length needle in
+      let i = ref 0 in
+      while !i < n do
+        if
+          !i + m <= n
+          && String.sub e !i m = needle
+          && ((!i = 0 || not (is_ident_char e.[!i - 1]))
+             && (!i + m = n || not (is_ident_char e.[!i + m])))
+        then begin
+          Buffer.add_string buf acc;
+          i := !i + m
+        end
+        else begin
+          Buffer.add_char buf e.[!i];
+          incr i
+        end
+      done;
+      "(" ^ Buffer.contents buf ^ ")")
+    base applies
+
+let generate t =
+  (match validate t with
+  | Ok () -> ()
+  | Error e -> invalid_arg ("Algorithm_meta.generate: " ^ e));
+  let buf = Buffer.create 4096 in
+  let w = t.elem_width in
+  emit buf
+    "library ieee;\nuse ieee.std_logic_1164.all;\nuse ieee.numeric_std.all;\n\n";
+  emit buf "entity %s is\n  port (\n    clk : in std_logic;\n" t.algorithm_name;
+  List.iter
+    (fun (name, dir) ->
+      match dir with
+      | `Input ->
+        emit buf "    %s_read : out std_logic;\n" name;
+        emit buf "    %s_inc : out std_logic;\n" name;
+        emit buf "    %s_ack : in std_logic;\n" name;
+        emit buf "    %s_data : in std_logic_vector(%d downto 0);\n" name (w - 1)
+      | `Output ->
+        emit buf "    %s_write : out std_logic;\n" name;
+        emit buf "    %s_inc : out std_logic;\n" name;
+        emit buf "    %s_ack : in std_logic;\n" name;
+        emit buf "    %s_data : out std_logic_vector(%d downto 0);\n" name (w - 1))
+    (iterators t);
+  emit buf "    running : out std_logic\n  );\nend %s;\n\n" t.algorithm_name;
+  emit buf "architecture generated of %s is\n" t.algorithm_name;
+  let steps = scheduled t in
+  let n_states = List.length steps in
+  emit buf "  type state_t is (%s);\n"
+    (String.concat ", " (List.init n_states state_name));
+  emit buf "  signal state : state_t := %s;\n" (state_name 0);
+  emit buf "  signal data : std_logic_vector(%d downto 0);\n" (w - 1);
+  emit buf "begin\n";
+  (* Request decode and output data, combinational. *)
+  List.iteri
+    (fun i (step, applies) ->
+      match step with
+      | Fetch name ->
+        emit buf "  %s_read <= '1' when state = %s else '0';\n" name (state_name i);
+        emit buf "  %s_inc <= '1' when state = %s else '0';\n" name (state_name i)
+      | Store name ->
+        emit buf "  %s_write <= '1' when state = %s else '0';\n" name
+          (state_name i);
+        emit buf "  %s_inc <= '1' when state = %s else '0';\n" name (state_name i);
+        emit buf "  %s_data <= %s;\n" name (compose_applies "data" applies)
+      | Apply _ -> assert false)
+    steps;
+  emit buf "  running <= '1';\n";
+  emit buf "\n  process (clk)\n  begin\n    if rising_edge(clk) then\n";
+  emit buf "      case state is\n";
+  List.iteri
+    (fun i (step, _) ->
+      let next = state_name (if i + 1 >= n_states then 0 else i + 1) in
+      match step with
+      | Fetch name ->
+        emit buf "        when %s =>\n" (state_name i);
+        emit buf "          if %s_ack = '1' then\n" name;
+        emit buf "            data <= %s_data;\n" name;
+        emit buf "            state <= %s;\n          end if;\n" next
+      | Store name ->
+        emit buf "        when %s =>\n" (state_name i);
+        emit buf "          if %s_ack = '1' then\n" name;
+        emit buf "            state <= %s;\n          end if;\n" next
+      | Apply _ -> assert false)
+    steps;
+  emit buf "      end case;\n    end if;\n  end process;\nend generated;\n";
+  Buffer.contents buf

@@ -1,0 +1,45 @@
+(** Algorithm metamodels — the paper's §3.4 future work ("Algorithms
+    can also be described through metamodels").
+
+    An algorithm metamodel is a loop body: a sequence of iterator
+    operations with data flowing between them, plus an optional
+    element-wise expression. The generator emits the VHDL FSM that
+    performs the sequence through the standard iterator handshake —
+    the same machine [Hwpat_algorithms.Transform] builds at the signal
+    level. *)
+
+(** One step of the loop body. *)
+type step =
+  | Fetch of string
+      (** fused read+inc on the named input iterator; the element lands
+          in the loop's data register *)
+  | Apply of string
+      (** a combinational VHDL expression over the data register, e.g.
+          ["not data"] or ["data(6 downto 0) & '0'"] *)
+  | Store of string
+      (** fused write+inc of the data register on the named output
+          iterator *)
+
+type t = {
+  algorithm_name : string;
+  elem_width : int;
+  body : step list;  (** executed in order, then repeated forever *)
+}
+
+val copy : elem_width:int -> t
+(** The paper's copy: [Fetch src; Store dst]. *)
+
+val transform : elem_width:int -> expr:string -> t
+(** [Fetch src; Apply expr; Store dst]. *)
+
+val validate : t -> (unit, string) result
+(** An algorithm must fetch before it applies or stores, name each
+    iterator once per role, and have a non-empty body. *)
+
+val iterators : t -> (string * [ `Input | `Output ]) list
+(** The iterator ports the generated entity needs. *)
+
+val generate : t -> string
+(** Complete VHDL design unit: entity with one request/ack port group
+    per iterator, architecture with the loop FSM. Passes
+    {!Vhdl_lint.check}. *)

@@ -1,0 +1,47 @@
+(** The metaprogramming VHDL generator (§3.4).
+
+    Produces customised VHDL entity/architecture pairs for containers
+    and iterators from a {!Config.t}: only the requested operations get
+    ports and logic (pruning), the implementation interface matches the
+    selected physical target, and multi-word transfers are generated
+    when the element is wider than the physical bus.
+
+    The generated text reproduces the artefact level of the paper's
+    Figures 4 and 5: a functional interface (method strobes [m_*] and
+    parameter ports), plus a per-target implementation interface
+    ([p_*], [req]/[ack]). *)
+
+type direction = In | Out
+
+type port = { port_name : string; dir : direction; width : int }
+(** [width = 1] renders as [std_logic], otherwise [std_logic_vector]. *)
+
+val functional_ports : Config.t -> port list
+(** Method strobes and parameter ports, before the implementation
+    interface. Pruned to [ops_used]. *)
+
+val implementation_ports : Config.t -> port list
+(** Target-specific ports: FIFO ([p_empty]/[p_read]/[p_data]), SRAM
+    ([p_addr]/[p_data]/[req]/[ack]), block RAM, LIFO, or line buffer. *)
+
+val container_entity : Config.t -> string
+(** The entity declaration, Figures 4/5 style. *)
+
+val container_architecture : Config.t -> string
+
+val generate_container : Config.t -> string
+(** Complete VHDL design unit: libraries, entity, architecture. *)
+
+val iterator_entity : Config.t -> string
+(** The iterator over this container: a renaming wrapper exposing the
+    Table 2 operations that [ops_used] retains. *)
+
+val generate_iterator : Config.t -> string
+
+val generate_package : name:string -> Config.t list -> string
+(** A VHDL package declaring one component per configuration — the
+    "standardized foundation libraries combining the most successful
+    patterns" the paper calls for. Component ports match
+    {!container_entity}. *)
+
+val port_to_string : port -> string

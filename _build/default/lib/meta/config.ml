@@ -1,0 +1,62 @@
+type t = {
+  instance_name : string;
+  kind : Metamodel.container_kind;
+  target : Metamodel.target;
+  elem_width : int;
+  depth : int;
+  bus_width : int;
+  addr_width : int;
+  ops_used : Metamodel.operation list;
+  wait_states : int;
+}
+
+let make ?bus_width ?addr_width ?ops_used ?(wait_states = 1) ~instance_name ~kind
+    ~target ~elem_width ~depth () =
+  if elem_width < 1 then invalid_arg "Config.make: elem_width must be >= 1";
+  if depth < 1 then invalid_arg "Config.make: depth must be >= 1";
+  let bus_width = match bus_width with Some w -> w | None -> elem_width in
+  let addr_width =
+    match addr_width with
+    | Some w -> w
+    | None -> Hwpat_rtl.Util.address_bits depth
+  in
+  if elem_width mod bus_width <> 0 then
+    invalid_arg "Config.make: elem_width must be a multiple of bus_width";
+  if not (List.mem target (Metamodel.legal_targets kind)) then
+    invalid_arg
+      (Printf.sprintf "Config.make: %s cannot be implemented over %s"
+         (Metamodel.container_name kind)
+         (Metamodel.target_name target));
+  let supported = Metamodel.operations kind in
+  let ops_used = match ops_used with Some ops -> ops | None -> supported in
+  List.iter
+    (fun op ->
+      if not (List.mem op supported) then
+        invalid_arg
+          (Printf.sprintf "Config.make: %s does not support operation %s"
+             (Metamodel.container_name kind)
+             (Metamodel.operation_name op)))
+    ops_used;
+  {
+    instance_name;
+    kind;
+    target;
+    elem_width;
+    depth;
+    bus_width;
+    addr_width;
+    ops_used;
+    wait_states;
+  }
+
+let words_per_element t = t.elem_width / t.bus_width
+
+let entity_name t =
+  Printf.sprintf "%s_%s" t.instance_name (Metamodel.target_name t.target)
+
+let describe t =
+  Printf.sprintf "%s: %s over %s, %d x %d bits (bus %d, ops %s)" t.instance_name
+    (Metamodel.container_name t.kind)
+    (Metamodel.target_name t.target)
+    t.depth t.elem_width t.bus_width
+    (String.concat "," (List.map Metamodel.operation_name t.ops_used))

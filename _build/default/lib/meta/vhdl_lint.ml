@@ -1,0 +1,169 @@
+type issue = { line : int; message : string }
+
+let pp_issue fmt i = Format.fprintf fmt "line %d: %s" i.line i.message
+
+(* VHDL keywords, standard functions and library names that may appear
+   in generated text without a local declaration. *)
+let known_words =
+  [
+    "and"; "or"; "not"; "xor"; "nand"; "nor"; "if"; "then"; "else"; "elsif";
+    "end"; "process"; "case"; "when"; "others"; "begin"; "is"; "in"; "out";
+    "inout"; "signal"; "type"; "array"; "of"; "downto"; "to"; "loop"; "while";
+    "for"; "rising_edge"; "falling_edge"; "unsigned"; "signed"; "std_logic";
+    "std_logic_vector"; "to_integer"; "to_unsigned"; "to_signed"; "resize";
+    "clk"; "range"; "length"; "high"; "low"; "left"; "right"; "event";
+    "architecture"; "entity"; "port"; "map"; "generic"; "library"; "use";
+    "all"; "ieee"; "std_logic_1164"; "numeric_std"; "work"; "null"; "variable";
+    "constant"; "integer"; "natural"; "boolean"; "true"; "false"; "wait";
+    "until"; "after"; "ns"; "generate"; "component"; "abs"; "mod"; "rem";
+    "sll"; "srl"; "report"; "severity"; "assert"; "shift_left"; "shift_right";
+  ]
+
+let is_ident_char c =
+  match c with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> true | _ -> false
+
+(* Tokenise a line into lowercase words, stripping comments. *)
+let words_of_line line =
+  let line =
+    match String.index_opt line '-' with
+    | Some i when i + 1 < String.length line && line.[i + 1] = '-' ->
+      String.sub line 0 i
+    | _ -> line
+  in
+  let words = ref [] in
+  let buf = Buffer.create 16 in
+  let flush () =
+    if Buffer.length buf > 0 then begin
+      words := String.lowercase_ascii (Buffer.contents buf) :: !words;
+      Buffer.clear buf
+    end
+  in
+  String.iter
+    (fun c -> if is_ident_char c then Buffer.add_char buf c else flush ())
+    line;
+  flush ();
+  List.rev !words
+
+let check text =
+  let lines = String.split_on_char '\n' text in
+  let issues = ref [] in
+  let add line message = issues := { line; message } :: !issues in
+  let entities = ref [] in
+  let ends = ref [] in
+  let declared = ref [] in
+  let assigned = ref [] in
+  let referenced = ref [] in
+  let processes = ref 0 and end_processes = ref 0 in
+  let ifs = ref 0 and end_ifs = ref 0 in
+  let cases = ref 0 and end_cases = ref 0 in
+  let arch_entity = ref None in
+  List.iteri
+    (fun idx line ->
+      let lineno = idx + 1 in
+      let words = words_of_line line in
+      (* Structure counting. *)
+      let rec scan = function
+        | "end" :: "process" :: rest ->
+          incr end_processes;
+          scan rest
+        | "end" :: "if" :: rest ->
+          incr end_ifs;
+          scan rest
+        | "end" :: "case" :: rest ->
+          incr end_cases;
+          scan rest
+        | "end" :: name :: rest ->
+          ends := name :: !ends;
+          scan rest
+        | "process" :: rest ->
+          incr processes;
+          scan rest
+        | "elsif" :: rest -> scan rest
+        | "if" :: rest ->
+          incr ifs;
+          scan rest
+        | "case" :: rest ->
+          incr cases;
+          scan rest
+        | "entity" :: name :: rest ->
+          entities := name :: !entities;
+          scan rest
+        | "architecture" :: _arch_name :: "of" :: ent :: rest ->
+          arch_entity := Some (ent, lineno);
+          scan rest
+        | _ :: rest -> scan rest
+        | [] -> ()
+      in
+      scan words;
+      (* Declarations: ports ("name : in/out ..."), signals, and type
+         enumerations (which declare their literals too). *)
+      (match words with
+      | "signal" :: name :: _ -> declared := name :: !declared
+      | "type" :: name :: "is" :: literals ->
+        declared := name :: (literals @ !declared)
+      | name :: ("in" | "out") :: _ -> declared := name :: !declared
+      | _ -> ());
+      (* Every identifier used anywhere must resolve to a declaration,
+         a keyword or a standard function. Numeric-leading tokens are
+         literals. *)
+      List.iter
+        (fun word ->
+          match word.[0] with
+          | '0' .. '9' -> ()
+          | _ ->
+            if not (List.mem word known_words) then
+              referenced := (word, lineno) :: !referenced)
+        words;
+      (* Assignments: "lhs <= ...". *)
+      let rec find_assign i =
+        if i + 1 < String.length line then
+          if line.[i] = '<' && line.[i + 1] = '=' then Some i
+          else find_assign (i + 1)
+        else None
+      in
+      match find_assign 0 with
+      | Some i ->
+        let lhs = String.trim (String.sub line 0 i) in
+        let base =
+          match String.index_opt lhs '(' with
+          | Some j -> String.trim (String.sub lhs 0 j)
+          | None -> lhs
+        in
+        if base <> "" && String.for_all is_ident_char base then
+          assigned := (String.lowercase_ascii base, lineno) :: !assigned
+      | None -> ())
+    lines;
+  if !processes <> !end_processes then
+    add 0
+      (Printf.sprintf "unbalanced process/end process (%d vs %d)" !processes
+         !end_processes);
+  if !ifs <> !end_ifs then
+    add 0 (Printf.sprintf "unbalanced if/end if (%d vs %d)" !ifs !end_ifs);
+  if !cases <> !end_cases then
+    add 0 (Printf.sprintf "unbalanced case/end case (%d vs %d)" !cases !end_cases);
+  List.iter
+    (fun ent ->
+      if not (List.mem ent !ends) then
+        add 0 (Printf.sprintf "entity %s has no matching 'end %s;'" ent ent))
+    !entities;
+  (match !arch_entity with
+  | Some (ent, lineno) ->
+    if not (List.mem ent !entities) then
+      add lineno (Printf.sprintf "architecture of unknown entity %s" ent)
+  | None -> ());
+  List.iter
+    (fun (name, lineno) ->
+      if not (List.mem name !declared) then
+        add lineno (Printf.sprintf "assignment to undeclared identifier %s" name))
+    !assigned;
+  (* Architecture/entity names and end labels are declarations of a
+     sort for reference checking. *)
+  let resolvable = !declared @ !entities @ !ends @ [ "generated"; "rtl" ] in
+  List.iter
+    (fun (name, lineno) ->
+      if not (List.mem name resolvable) then
+        add lineno (Printf.sprintf "reference to undeclared identifier %s" name))
+    (List.sort_uniq compare !referenced);
+  List.rev !issues
+
+let is_clean text = check text = []

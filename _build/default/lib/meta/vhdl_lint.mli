@@ -1,0 +1,20 @@
+(** A lightweight structural linter for generated VHDL text.
+
+    Not a parser — a set of sanity checks that catch the common
+    generator bugs: unbalanced constructs, ports referenced but never
+    declared, entity/architecture name mismatches. Used by the test
+    suite on every generated artefact. *)
+
+type issue = { line : int; message : string }
+
+val check : string -> issue list
+(** Empty list = clean. Checks performed:
+    - every [entity X] has a matching [end X;]
+    - [process]/[end process], [case]/[end case], [if]/[end if] balance
+    - architecture references an entity declared in the same text
+    - identifiers used on the left of [<=] inside the architecture are
+      declared as ports or signals *)
+
+val is_clean : string -> bool
+
+val pp_issue : Format.formatter -> issue -> unit

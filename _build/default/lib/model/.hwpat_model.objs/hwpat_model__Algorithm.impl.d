@@ -1,0 +1,1 @@
+lib/model/algorithm.ml: Array Container Hashtbl Hwpat_algorithms Hwpat_video Iterator

@@ -1,0 +1,1 @@
+lib/model/algorithm.mli: Container Hwpat_video Iterator

@@ -1,0 +1,1 @@
+lib/model/container.ml: Array Hashtbl List

@@ -1,0 +1,1 @@
+lib/model/iterator.ml: Container List

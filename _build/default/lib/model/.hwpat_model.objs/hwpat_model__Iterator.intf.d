@@ -1,0 +1,1 @@
+lib/model/iterator.mli: Container

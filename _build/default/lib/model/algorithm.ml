@@ -1,0 +1,165 @@
+let transform ~f ~(src : 'a Iterator.input) ~(dst : 'b Iterator.output) ~limit =
+  let rec go n =
+    if n >= limit then n
+    else
+      match src.Iterator.next () with
+      | None -> n
+      | Some v -> if dst.Iterator.emit (f v) then go (n + 1) else n
+  in
+  go 0
+
+let copy ~src ~dst ~limit = transform ~f:(fun x -> x) ~src ~dst ~limit
+
+let fill ~(dst : 'a Iterator.output) ~value ~count =
+  let rec go n =
+    if n >= count then n else if dst.Iterator.emit value then go (n + 1) else n
+  in
+  go 0
+
+let find ~(src : 'a Iterator.input) ~target ~limit =
+  let rec go i =
+    if i >= limit then None
+    else
+      match src.Iterator.next () with
+      | None -> None
+      | Some v -> if v = target then Some i else go (i + 1)
+  in
+  go 0
+
+let accumulate ~(src : int Iterator.input) ~count =
+  let rec go n acc =
+    if n >= count then acc
+    else
+      match src.Iterator.next () with
+      | None -> acc
+      | Some v -> go (n + 1) (acc + v)
+  in
+  go 0 0
+
+(* Blur through the same structure as the hardware: a 3-line buffer
+   presenting one column per consumed pixel, a 3-column window in the
+   algorithm, outputs for interior positions only. *)
+let blur_frame frame =
+  let module F = Hwpat_video.Frame in
+  let w = F.width frame and h = F.height frame in
+  if w < 3 || h < 3 then invalid_arg "Model.Algorithm.blur_frame: frame too small";
+  let line1 = Array.make w 0 and line2 = Array.make w 0 in
+  let x = ref 0 and y = ref 0 in
+  (* Column iterator over the pixel stream. *)
+  let src = Iterator.input_of_list (F.to_row_major frame) in
+  let next_column () =
+    match src.Iterator.next () with
+    | None -> None
+    | Some px ->
+      let col = (line2.(!x), line1.(!x), px) in
+      let warm = !y >= 2 in
+      line2.(!x) <- line1.(!x);
+      line1.(!x) <- px;
+      incr x;
+      if !x = w then begin
+        x := 0;
+        incr y
+      end;
+      Some (col, warm)
+  in
+  let out = F.create ~width:(w - 2) ~height:(h - 2) ~depth:(F.depth frame) in
+  let ox = ref 0 and oy = ref 0 in
+  let emit v =
+    F.set out ~x:!ox ~y:!oy v;
+    incr ox;
+    if !ox = w - 2 then begin
+      ox := 0;
+      incr oy
+    end
+  in
+  (* The algorithm proper: 3-column window, interior columns only. *)
+  let c1 = ref (0, 0, 0) and c2 = ref (0, 0, 0) in
+  let col_in_row = ref 0 in
+  let rec run () =
+    match next_column () with
+    | None -> ()
+    | Some (c0, warm) ->
+      let window_full = !col_in_row >= 2 in
+      if warm && window_full then begin
+        let t2, m2, b2 = !c2 and t1, m1, b1 = !c1 and t0, m0, b0 = c0 in
+        let window =
+          [| [| t2; t1; t0 |]; [| m2; m1; m0 |]; [| b2; b1; b0 |] |]
+        in
+        emit (Hwpat_algorithms.Blur.reference_pixel ~window)
+      end;
+      c2 := !c1;
+      c1 := c0;
+      incr col_in_row;
+      if !col_in_row = w then col_in_row := 0;
+      run ()
+  in
+  run ();
+  out
+
+let histogram ~(src : int Iterator.input) ~(bins : int Container.vector) ~count =
+  let len = Container.length bins in
+  let it = Iterator.random_of_vector bins in
+  let rec go n =
+    if n >= count then n
+    else
+      match src.Iterator.next () with
+      | None -> n
+      | Some v ->
+        Iterator.index it (min v (len - 1));
+        Iterator.write it (Iterator.read it + 1);
+        go (n + 1)
+  in
+  go 0
+
+(* Two-pass connected-component labelling with union-find over the
+   provisional labels, streaming the image in raster order exactly as
+   a hardware implementation would. *)
+let label_frame frame =
+  let module F = Hwpat_video.Frame in
+  let w = F.width frame and h = F.height frame in
+  let parent = Array.init (w * h + 1) (fun i -> i) in
+  let rec find x = if parent.(x) = x then x else find parent.(x) in
+  let union a b =
+    let ra = find a and rb = find b in
+    if ra <> rb then parent.(max ra rb) <- min ra rb
+  in
+  let labels = Array.make_matrix h w 0 in
+  let next = ref 1 in
+  for y = 0 to h - 1 do
+    for x = 0 to w - 1 do
+      if F.get frame ~x ~y <> 0 then begin
+        let left = if x > 0 then labels.(y).(x - 1) else 0 in
+        let up = if y > 0 then labels.(y - 1).(x) else 0 in
+        match (left, up) with
+        | 0, 0 ->
+          labels.(y).(x) <- !next;
+          incr next
+        | l, 0 | 0, l -> labels.(y).(x) <- l
+        | l, u ->
+          labels.(y).(x) <- min l u;
+          union l u
+      end
+    done
+  done;
+  (* Second pass: resolve equivalences and densify the label set. *)
+  let dense = Hashtbl.create 16 in
+  let fresh = ref 0 in
+  let out = F.create ~width:w ~height:h ~depth:16 in
+  for y = 0 to h - 1 do
+    for x = 0 to w - 1 do
+      let l = labels.(y).(x) in
+      if l <> 0 then begin
+        let root = find l in
+        let id =
+          match Hashtbl.find_opt dense root with
+          | Some id -> id
+          | None ->
+            incr fresh;
+            Hashtbl.replace dense root !fresh;
+            !fresh
+        in
+        F.set out ~x ~y id
+      end
+    done
+  done;
+  out

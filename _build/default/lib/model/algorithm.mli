@@ -1,0 +1,36 @@
+(** Model-domain algorithms: the behavioural semantics the algorithm
+    FSMs in [hwpat.algorithms] implement. Each works only through
+    {!Iterator} values, mirroring the hardware decoupling. *)
+
+val copy : src:'a Iterator.input -> dst:'a Iterator.output -> limit:int -> int
+(** Move up to [limit] elements; returns how many moved (stops early
+    when the source runs dry or the sink refuses). *)
+
+val transform :
+  f:('a -> 'b) -> src:'a Iterator.input -> dst:'b Iterator.output ->
+  limit:int -> int
+
+val fill : dst:'a Iterator.output -> value:'a -> count:int -> int
+
+val find : src:'a Iterator.input -> target:'a -> limit:int -> int option
+(** Index of the first match within [limit] elements. *)
+
+val accumulate : src:int Iterator.input -> count:int -> int
+
+val blur_frame : Hwpat_video.Frame.t -> Hwpat_video.Frame.t
+(** Full-frame blur expressed through a column iterator over a 3-line
+    buffer model — the same structure as the hardware — rather than
+    direct 2-D indexing. Must equal {!Hwpat_video.Reference.blur}. *)
+
+val histogram : src:int Iterator.input -> bins:int Container.vector -> count:int -> int
+(** Bin [count] elements by value through a random iterator over
+    [bins] (index / read / write per element). Returns how many were
+    processed; elements whose value exceeds the vector length are
+    counted in the last bin. *)
+
+val label_frame : Hwpat_video.Frame.t -> Hwpat_video.Frame.t
+(** Binary image labelling (4-connectivity connected components) —
+    one of the domain algorithms the paper's §5 calls for. Non-zero
+    pixels are foreground; the result assigns each component a dense
+    label starting at 1. Two-pass with an equivalence table, the
+    classic streaming-hardware formulation. Output depth is 16 bits. *)

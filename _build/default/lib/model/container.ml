@@ -1,0 +1,93 @@
+type discipline = Fifo | Lifo
+
+type side = Client | Stream
+
+type 'a seq = {
+  capacity : int;
+  discipline : discipline;
+  put_side : side;  (** who is allowed to put via [put] *)
+  get_side : side;
+  mutable items : 'a list;  (** head = next out *)
+}
+
+let queue ~capacity =
+  { capacity; discipline = Fifo; put_side = Client; get_side = Client; items = [] }
+
+let stack ~capacity =
+  { capacity; discipline = Lifo; put_side = Client; get_side = Client; items = [] }
+
+let read_buffer ~capacity =
+  { capacity; discipline = Fifo; put_side = Stream; get_side = Client; items = [] }
+
+let write_buffer ~capacity =
+  { capacity; discipline = Fifo; put_side = Client; get_side = Stream; items = [] }
+
+let size t = List.length t.items
+let is_empty t = t.items = []
+let is_full t = size t >= t.capacity
+let capacity t = t.capacity
+
+let raw_put t v =
+  if is_full t then false
+  else begin
+    (match t.discipline with
+    | Fifo -> t.items <- t.items @ [ v ]
+    | Lifo -> t.items <- v :: t.items);
+    true
+  end
+
+let raw_get t =
+  match t.items with
+  | [] -> None
+  | v :: rest ->
+    t.items <- rest;
+    Some v
+
+let put t v =
+  if t.put_side <> Client then
+    invalid_arg "Model.Container.put: this container is filled by a stream";
+  raw_put t v
+
+let stream_in t v =
+  if t.put_side <> Stream && t.put_side <> Client then false else raw_put t v
+
+let get t =
+  if t.get_side <> Client then
+    invalid_arg "Model.Container.get: this container is drained by a stream";
+  raw_get t
+
+let stream_out t = raw_get t
+
+type 'a vector = { data : 'a array }
+
+let vector ~length ~default = { data = Array.make length default }
+
+let read t i = t.data.(i)
+let write t i v = t.data.(i) <- v
+let length t = Array.length t.data
+
+type ('k, 'v) assoc = { slots : int; table : ('k, 'v) Hashtbl.t }
+
+let assoc ~slots = { slots; table = Hashtbl.create slots }
+
+let insert t k v =
+  if Hashtbl.mem t.table k then begin
+    Hashtbl.replace t.table k v;
+    true
+  end
+  else if Hashtbl.length t.table >= t.slots then false
+  else begin
+    Hashtbl.replace t.table k v;
+    true
+  end
+
+let lookup t k = Hashtbl.find_opt t.table k
+
+let delete t k =
+  if Hashtbl.mem t.table k then begin
+    Hashtbl.remove t.table k;
+    true
+  end
+  else false
+
+let occupancy t = Hashtbl.length t.table

@@ -1,0 +1,53 @@
+(** Model-domain containers (§3.4: "abstract classes do only exist
+    inside the domain of the model").
+
+    Executable behavioural semantics for every Table 1 container,
+    independent of any physical target. The RTL builders in
+    [hwpat.containers] must refine these: the test suite runs the same
+    operation sequences against both and compares. *)
+
+type 'a seq
+(** A bounded sequential container (queue, stack, read/write buffer). *)
+
+val queue : capacity:int -> 'a seq
+val stack : capacity:int -> 'a seq
+val read_buffer : capacity:int -> 'a seq
+val write_buffer : capacity:int -> 'a seq
+
+val put : 'a seq -> 'a -> bool
+(** [false] when full (hardware: the put request stalls). Raises
+    [Invalid_argument] on a read buffer's client side — its fill side
+    is the stream, use {!stream_in}. *)
+
+val stream_in : 'a seq -> 'a -> bool
+(** Producer-side fill (the video decoder). Works on any container
+    that accepts sequential input. *)
+
+val get : 'a seq -> 'a option
+(** [None] when empty. Raises on a write buffer — use {!stream_out}. *)
+
+val stream_out : 'a seq -> 'a option
+(** Consumer-side drain (the VGA coder). *)
+
+val size : 'a seq -> int
+val is_empty : 'a seq -> bool
+val is_full : 'a seq -> bool
+val capacity : 'a seq -> int
+
+(** Random-access vector. *)
+type 'a vector
+
+val vector : length:int -> default:'a -> 'a vector
+val read : 'a vector -> int -> 'a
+val write : 'a vector -> int -> 'a -> unit
+val length : 'a vector -> int
+
+(** Bounded associative array (the hash-table semantics the RTL
+    implements: bounded slots, insert fails when full). *)
+type ('k, 'v) assoc
+
+val assoc : slots:int -> ('k, 'v) assoc
+val insert : ('k, 'v) assoc -> 'k -> 'v -> bool
+val lookup : ('k, 'v) assoc -> 'k -> 'v option
+val delete : ('k, 'v) assoc -> 'k -> bool
+val occupancy : ('k, 'v) assoc -> int

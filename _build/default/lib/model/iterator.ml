@@ -1,0 +1,33 @@
+type 'a input = { next : unit -> 'a option }
+type 'a output = { emit : 'a -> bool }
+
+let input_of_seq c = { next = (fun () -> Container.stream_out c) }
+let output_of_seq c = { emit = (fun v -> Container.stream_in c v) }
+
+type 'a random = { vec : 'a Container.vector; mutable pos : int }
+
+let random_of_vector vec = { vec; pos = 0 }
+let inc it = it.pos <- it.pos + 1
+let dec it = it.pos <- it.pos - 1
+let index it i = it.pos <- i
+let read it = Container.read it.vec it.pos
+let write it v = Container.write it.vec it.pos v
+let position it = it.pos
+let at_end it = it.pos >= Container.length it.vec
+
+let input_of_list values =
+  let remaining = ref values in
+  {
+    next =
+      (fun () ->
+        match !remaining with
+        | [] -> None
+        | v :: rest ->
+          remaining := rest;
+          Some v);
+  }
+
+let output_to_list () =
+  let acc = ref [] in
+  ( { emit = (fun v -> acc := v :: !acc; true) },
+    fun () -> List.rev !acc )

@@ -1,0 +1,31 @@
+(** Model-domain iterators: the behavioural contract the hardware
+    wrappers implement. Sequential iterators fuse read+inc / write+inc
+    exactly like the RTL (one [next]/[emit] is one fused access). *)
+
+type 'a input = { next : unit -> 'a option }
+(** [next ()] = fused read+inc: [None] when the source has nothing
+    (hardware: the request stalls). *)
+
+type 'a output = { emit : 'a -> bool }
+(** [emit v] = fused write+inc: [false] when the sink is full. *)
+
+val input_of_seq : 'a Container.seq -> 'a input
+val output_of_seq : 'a Container.seq -> 'a output
+
+(** Random iterator over a vector: the full Table 2 operation set. *)
+type 'a random
+
+val random_of_vector : 'a Container.vector -> 'a random
+val inc : 'a random -> unit
+val dec : 'a random -> unit
+val index : 'a random -> int -> unit
+val read : 'a random -> 'a
+val write : 'a random -> 'a -> unit
+val position : 'a random -> int
+val at_end : 'a random -> bool
+
+val input_of_list : 'a list -> 'a input
+(** Iterator over a fixed list (for feeding algorithms directly). *)
+
+val output_to_list : unit -> int output * (unit -> int list)
+(** Collecting sink; the closure returns what was emitted so far. *)

@@ -1,0 +1,1 @@
+lib/rtl/bits.ml: Array Format Int64 List Printf Random String

@@ -1,0 +1,1 @@
+lib/rtl/circuit.ml: Fmt Hashtbl Int List Map Printf Set Signal String

@@ -1,0 +1,1 @@
+lib/rtl/cyclesim.ml: Array Bits Circuit Hashtbl List Printf Signal

@@ -1,0 +1,1 @@
+lib/rtl/cyclesim.mli: Bits Circuit Signal

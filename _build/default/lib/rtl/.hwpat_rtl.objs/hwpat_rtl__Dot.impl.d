@@ -1,0 +1,1 @@
+lib/rtl/dot.ml: Bits Buffer Circuit Fun List Printf Signal

@@ -1,0 +1,1 @@
+lib/rtl/dot.mli: Circuit

@@ -1,0 +1,1 @@
+lib/rtl/fsm.ml: List Signal Util

@@ -1,0 +1,1 @@
+lib/rtl/netlist_stats.ml: Circuit Format List Signal

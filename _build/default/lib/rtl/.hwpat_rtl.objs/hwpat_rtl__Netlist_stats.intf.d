@@ -1,0 +1,1 @@
+lib/rtl/netlist_stats.mli: Circuit Format

@@ -1,0 +1,1 @@
+lib/rtl/optimize.ml: Bits Circuit Hashtbl List Option Signal

@@ -1,0 +1,1 @@
+lib/rtl/optimize.mli: Circuit Signal

@@ -1,0 +1,1 @@
+lib/rtl/signal.ml: Bits Format List Printf String

@@ -1,0 +1,1 @@
+lib/rtl/vcd.ml: Bits Buffer Char Circuit Cyclesim Fun Hashtbl List Printf Signal String

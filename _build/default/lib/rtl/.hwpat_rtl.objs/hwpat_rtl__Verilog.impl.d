@@ -1,0 +1,1 @@
+lib/rtl/verilog.ml: Bits Buffer Circuit Format List Printf Signal String

@@ -1,0 +1,1 @@
+lib/rtl/vhdl.ml: Bits Buffer Circuit Format List Printf Signal String

@@ -1,0 +1,276 @@
+type t = { width : int; data : int64 array }
+
+let limb_bits = 64
+let limbs_for width = (width + limb_bits - 1) / limb_bits
+
+(* Mask of the valid bits in the top limb. *)
+let top_mask width =
+  let r = width mod limb_bits in
+  if r = 0 then -1L else Int64.sub (Int64.shift_left 1L r) 1L
+
+let normalize t =
+  let n = Array.length t.data in
+  if n > 0 then t.data.(n - 1) <- Int64.logand t.data.(n - 1) (top_mask t.width);
+  t
+
+let create width =
+  if width < 1 then invalid_arg "Bits: width must be >= 1";
+  { width; data = Array.make (limbs_for width) 0L }
+
+let width t = t.width
+let zero w = create w
+
+let ones w =
+  let t = { width = w; data = Array.make (limbs_for w) (-1L) } in
+  normalize t
+
+let of_int64 ~width n =
+  let t = create width in
+  t.data.(0) <- n;
+  (* Sign-extend negative inputs across higher limbs. *)
+  if Int64.compare n 0L < 0 then
+    for i = 1 to Array.length t.data - 1 do
+      t.data.(i) <- -1L
+    done;
+  normalize t
+
+let of_int ~width n = of_int64 ~width (Int64.of_int n)
+let one w = of_int ~width:w 1
+let of_bool b = of_int ~width:1 (if b then 1 else 0)
+
+let of_string s =
+  let s = String.concat "" (String.split_on_char '_' s) in
+  let w = String.length s in
+  if w = 0 then invalid_arg "Bits.of_string: empty literal";
+  let t = create w in
+  String.iteri
+    (fun i c ->
+      let bitpos = w - 1 - i in
+      match c with
+      | '0' -> ()
+      | '1' ->
+        let limb = bitpos / limb_bits and off = bitpos mod limb_bits in
+        t.data.(limb) <- Int64.logor t.data.(limb) (Int64.shift_left 1L off)
+      | _ -> invalid_arg "Bits.of_string: expected '0' or '1'")
+    s;
+  t
+
+let random ~width =
+  let t = create width in
+  for i = 0 to Array.length t.data - 1 do
+    t.data.(i) <- Random.int64 Int64.max_int;
+    if Random.bool () then t.data.(i) <- Int64.logor t.data.(i) Int64.min_int
+  done;
+  normalize t
+
+let bit t i =
+  if i < 0 || i >= t.width then invalid_arg "Bits.bit: index out of range";
+  let limb = i / limb_bits and off = i mod limb_bits in
+  Int64.logand (Int64.shift_right_logical t.data.(limb) off) 1L = 1L
+
+let to_bool t = Array.exists (fun l -> l <> 0L) t.data
+
+let to_int64 t = t.data.(0)
+
+let to_int_trunc t =
+  Int64.to_int (Int64.logand t.data.(0) (Int64.of_int max_int))
+
+let to_int t =
+  let high_clear =
+    Array.for_all (fun l -> l = 0L) (Array.sub t.data 1 (Array.length t.data - 1))
+  in
+  let v = t.data.(0) in
+  let fits = Int64.compare v 0L >= 0 && Int64.compare v (Int64.of_int max_int) <= 0 in
+  if not (high_clear && fits) then invalid_arg "Bits.to_int: value too large";
+  Int64.to_int v
+
+let to_string t =
+  String.init t.width (fun i -> if bit t (t.width - 1 - i) then '1' else '0')
+
+let pp fmt t = Format.fprintf fmt "%d'b%s" t.width (to_string t)
+
+let msb t = bit t (t.width - 1)
+let lsb t = bit t 0
+
+let check_same_width name a b =
+  if a.width <> b.width then
+    invalid_arg (Printf.sprintf "Bits.%s: width mismatch (%d vs %d)" name a.width b.width)
+
+let map2 f a b =
+  let t = create a.width in
+  for i = 0 to Array.length t.data - 1 do
+    t.data.(i) <- f a.data.(i) b.data.(i)
+  done;
+  normalize t
+
+let logand a b = check_same_width "logand" a b; map2 Int64.logand a b
+let logor a b = check_same_width "logor" a b; map2 Int64.logor a b
+let logxor a b = check_same_width "logxor" a b; map2 Int64.logxor a b
+
+let lognot a =
+  let t = create a.width in
+  for i = 0 to Array.length t.data - 1 do
+    t.data.(i) <- Int64.lognot a.data.(i)
+  done;
+  normalize t
+
+(* Add with carry across limbs. *)
+let add a b =
+  check_same_width "add" a b;
+  let t = create a.width in
+  let carry = ref 0L in
+  for i = 0 to Array.length t.data - 1 do
+    let x = a.data.(i) and y = b.data.(i) in
+    let s = Int64.add (Int64.add x y) !carry in
+    (* Unsigned carry detection: carry-out iff s < x (when carry-in is 0)
+       or s <= x (when carry-in is 1), in unsigned order. *)
+    let lt_u p q = Int64.unsigned_compare p q < 0 in
+    let cout =
+      if !carry = 0L then lt_u s x else if lt_u s x || s = x then true else false
+    in
+    t.data.(i) <- s;
+    carry := if cout then 1L else 0L
+  done;
+  normalize t
+
+let neg a = add (lognot a) (one a.width)
+
+let sub a b =
+  check_same_width "sub" a b;
+  add a (neg b)
+
+let select t ~high ~low =
+  if low < 0 || high >= t.width || high < low then
+    invalid_arg
+      (Printf.sprintf "Bits.select: bad range [%d:%d] of width %d" high low t.width);
+  let w = high - low + 1 in
+  let r = create w in
+  for i = 0 to w - 1 do
+    let src = low + i in
+    if bit t src then begin
+      let limb = i / limb_bits and off = i mod limb_bits in
+      r.data.(limb) <- Int64.logor r.data.(limb) (Int64.shift_left 1L off)
+    end
+  done;
+  r
+
+let concat_msb parts =
+  if parts = [] then invalid_arg "Bits.concat_msb: empty list";
+  let w = List.fold_left (fun acc p -> acc + p.width) 0 parts in
+  let r = create w in
+  let pos = ref w in
+  let blit part =
+    pos := !pos - part.width;
+    for i = 0 to part.width - 1 do
+      if bit part i then begin
+        let dst = !pos + i in
+        let limb = dst / limb_bits and off = dst mod limb_bits in
+        r.data.(limb) <- Int64.logor r.data.(limb) (Int64.shift_left 1L off)
+      end
+    done
+  in
+  List.iter blit parts;
+  r
+
+let repeat t n =
+  if n < 1 then invalid_arg "Bits.repeat: count must be >= 1";
+  concat_msb (List.init n (fun _ -> t))
+
+let uresize t w =
+  if w = t.width then t
+  else if w < t.width then select t ~high:(w - 1) ~low:0
+  else concat_msb [ zero (w - t.width); t ]
+
+let sresize t w =
+  if w = t.width then t
+  else if w < t.width then select t ~high:(w - 1) ~low:0
+  else
+    let fill = if msb t then ones (w - t.width) else zero (w - t.width) in
+    concat_msb [ fill; t ]
+
+let sll t n =
+  if n < 0 then invalid_arg "Bits.sll: negative shift";
+  if n = 0 then t
+  else if n >= t.width then zero t.width
+  else concat_msb [ select t ~high:(t.width - 1 - n) ~low:0; zero n ]
+
+let srl t n =
+  if n < 0 then invalid_arg "Bits.srl: negative shift";
+  if n = 0 then t
+  else if n >= t.width then zero t.width
+  else concat_msb [ zero n; select t ~high:(t.width - 1) ~low:n ]
+
+let sra t n =
+  if n < 0 then invalid_arg "Bits.sra: negative shift";
+  if n = 0 then t
+  else
+    let fill_w = min n t.width in
+    let fill = if msb t then ones fill_w else zero fill_w in
+    if n >= t.width then fill
+    else concat_msb [ fill; select t ~high:(t.width - 1) ~low:n ]
+
+let equal a b = a.width = b.width && Array.for_all2 Int64.equal a.data b.data
+
+let compare a b =
+  check_same_width "compare" a b;
+  let rec go i =
+    if i < 0 then 0
+    else
+      let c = Int64.unsigned_compare a.data.(i) b.data.(i) in
+      if c <> 0 then c else go (i - 1)
+  in
+  go (Array.length a.data - 1)
+
+let eq a b = of_bool (equal a b)
+let lt a b = of_bool (compare a b < 0)
+
+(* Truncating schoolbook multiply over 32-bit half-limbs. *)
+let mul a b =
+  check_same_width "mul" a b;
+  let w = a.width in
+  let n = limbs_for w in
+  let halves t =
+    Array.init (2 * n) (fun i ->
+        let limb = t.data.(i / 2) in
+        if i mod 2 = 0 then Int64.logand limb 0xFFFFFFFFL
+        else Int64.shift_right_logical limb 32)
+  in
+  let ah = halves a and bh = halves b in
+  let acc = Array.make (2 * n + 1) 0L in
+  for i = 0 to (2 * n) - 1 do
+    for j = 0 to (2 * n) - 1 - i do
+      let p = Int64.mul ah.(i) bh.(j) in
+      (* Accumulate the 64-bit partial product into 32-bit buckets. *)
+      let k = i + j in
+      if k < 2 * n then begin
+        let lo = Int64.logand p 0xFFFFFFFFL in
+        let hi = Int64.shift_right_logical p 32 in
+        acc.(k) <- Int64.add acc.(k) lo;
+        if k + 1 < 2 * n + 1 then acc.(k + 1) <- Int64.add acc.(k + 1) hi
+      end
+    done;
+    (* Propagate carries eagerly to keep buckets within 64 bits. *)
+    for k = 0 to 2 * n - 1 do
+      let carry = Int64.shift_right_logical acc.(k) 32 in
+      acc.(k) <- Int64.logand acc.(k) 0xFFFFFFFFL;
+      acc.(k + 1) <- Int64.add acc.(k + 1) carry
+    done
+  done;
+  let t = create w in
+  for i = 0 to n - 1 do
+    t.data.(i) <- Int64.logor acc.(2 * i) (Int64.shift_left acc.((2 * i) + 1) 32)
+  done;
+  normalize t
+
+let reduce_or t = of_bool (to_bool t)
+let reduce_and t = of_bool (equal t (ones t.width))
+
+let popcount t =
+  let count = ref 0 in
+  for i = 0 to t.width - 1 do
+    if bit t i then incr count
+  done;
+  !count
+
+let to_signed_int t =
+  if msb t then -(to_int (neg t)) else to_int t

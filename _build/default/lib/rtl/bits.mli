@@ -1,0 +1,127 @@
+(** Arbitrary-width immutable bit vectors.
+
+    Values are unsigned two's-complement words of a fixed [width] (at
+    least 1 bit). All arithmetic is modulo [2^width]; all comparisons
+    are unsigned unless the function name says otherwise. Bit 0 is the
+    least significant bit. *)
+
+type t
+
+(** {1 Construction} *)
+
+val width : t -> int
+
+val zero : int -> t
+(** [zero w] is the all-zeros vector of width [w]. *)
+
+val ones : int -> t
+(** [ones w] is the all-ones vector of width [w]. *)
+
+val one : int -> t
+(** [one w] is the value 1 at width [w]. *)
+
+val of_int : width:int -> int -> t
+(** [of_int ~width n] truncates [n] (taken as an infinite two's
+    complement integer) to [width] bits. *)
+
+val of_int64 : width:int -> int64 -> t
+
+val of_string : string -> t
+(** [of_string "0110"] parses a binary literal, MSB first. Underscores
+    are ignored. Raises [Invalid_argument] on empty or non-binary
+    input. *)
+
+val of_bool : bool -> t
+(** 1-bit vector: [true] is 1, [false] is 0. *)
+
+val random : width:int -> t
+(** Uniformly random vector (uses [Random] global state). *)
+
+(** {1 Conversion} *)
+
+val to_int : t -> int
+(** Low [Sys.int_size - 1] bits as a non-negative OCaml int. Raises
+    [Invalid_argument] if the value does not fit. *)
+
+val to_int_trunc : t -> int
+(** Low bits as a non-negative OCaml int, truncating high bits. *)
+
+val to_int64 : t -> int64
+(** Low 64 bits. *)
+
+val to_string : t -> string
+(** Binary, MSB first, exactly [width] characters. *)
+
+val to_bool : t -> bool
+(** [true] iff any bit is set. *)
+
+val pp : Format.formatter -> t -> unit
+
+(** {1 Bit access and structure} *)
+
+val bit : t -> int -> bool
+(** [bit t i] is bit [i]; raises [Invalid_argument] if out of range. *)
+
+val select : t -> high:int -> low:int -> t
+(** [select t ~high ~low] extracts bits [high..low] inclusive. *)
+
+val msb : t -> bool
+val lsb : t -> bool
+
+val concat_msb : t list -> t
+(** [concat_msb [a; b; c]] has [a] in the most significant position. *)
+
+val repeat : t -> int -> t
+(** [repeat t n] concatenates [n] copies of [t]; [n >= 1]. *)
+
+val uresize : t -> int -> t
+(** Zero-extend or truncate to the given width. *)
+
+val sresize : t -> int -> t
+(** Sign-extend or truncate to the given width. *)
+
+(** {1 Arithmetic (widths must match; result has the same width)} *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+(** Truncating multiply: result width = width of the operands. *)
+
+val neg : t -> t
+
+(** {1 Logic} *)
+
+val logand : t -> t -> t
+val logor : t -> t -> t
+val logxor : t -> t -> t
+val lognot : t -> t
+
+val sll : t -> int -> t
+(** Shift left logical by a constant; result width unchanged. *)
+
+val srl : t -> int -> t
+val sra : t -> int -> t
+
+(** {1 Comparison (unsigned; result is a 1-bit vector)} *)
+
+val eq : t -> t -> t
+val lt : t -> t -> t
+
+val equal : t -> t -> bool
+(** Structural equality (same width and value). *)
+
+val compare : t -> t -> int
+(** Unsigned comparison of same-width vectors. *)
+
+(** {1 Reduction} *)
+
+val reduce_or : t -> t
+(** 1-bit OR of all bits. *)
+
+val reduce_and : t -> t
+val popcount : t -> int
+
+(** {1 Signed views} *)
+
+val to_signed_int : t -> int
+(** Interpret as two's complement; raises if it does not fit an int. *)

@@ -1,0 +1,202 @@
+type node_state = {
+  signal : Signal.t;
+  value : Bits.t ref;
+  (* Registers and synchronous memory reads hold state across cycles. *)
+  mutable state : Bits.t;
+  mutable next_state : Bits.t;
+}
+
+type t = {
+  circuit : Circuit.t;
+  nodes : node_state array; (* in schedule order *)
+  by_uid : (int, node_state) Hashtbl.t;
+  input_refs : (string * Bits.t ref) list;
+  output_refs : (string * Bits.t ref) list;
+  mem_arrays : (int, Bits.t array) Hashtbl.t;
+  mutable cycles : int;
+}
+
+let node t s =
+  match Hashtbl.find_opt t.by_uid (Signal.uid s) with
+  | Some ns -> ns
+  | None -> invalid_arg "Cyclesim: signal not part of this circuit"
+
+let value t s = !((node t s).value)
+
+let create circuit =
+  let schedule = Circuit.signals circuit in
+  let by_uid = Hashtbl.create 997 in
+  let nodes =
+    Array.of_list
+      (List.map
+         (fun s ->
+           let init =
+             match Signal.prim s with
+             | Signal.Reg { init; _ } -> init
+             | _ -> Bits.zero (Signal.width s)
+           in
+           let ns =
+             { signal = s; value = ref init; state = init; next_state = init }
+           in
+           Hashtbl.replace by_uid (Signal.uid s) ns;
+           ns)
+         schedule)
+  in
+  let mem_arrays = Hashtbl.create 7 in
+  List.iter
+    (fun m ->
+      Hashtbl.replace mem_arrays (Signal.memory_uid m)
+        (Array.make (Signal.memory_size m) (Bits.zero (Signal.memory_width m))))
+    (Circuit.memories circuit);
+  let input_refs =
+    List.map
+      (fun (n, s) ->
+        let ns = Hashtbl.find by_uid (Signal.uid s) in
+        (n, ns.value))
+      (Circuit.inputs circuit)
+  in
+  let output_refs =
+    List.map (fun (n, _) -> (n, ref (Bits.zero 1))) (Circuit.outputs circuit)
+  in
+  { circuit; nodes; by_uid; input_refs; output_refs; mem_arrays; cycles = 0 }
+
+let circuit t = t.circuit
+
+let find_ref kind refs name =
+  match List.assoc_opt name refs with
+  | Some r -> r
+  | None -> invalid_arg (Printf.sprintf "Cyclesim: no %s port named %s" kind name)
+
+let in_port t name = find_ref "input" t.input_refs name
+let out_port t name = find_ref "output" t.output_refs name
+
+let mem_array t memory = Hashtbl.find t.mem_arrays (Signal.memory_uid memory)
+
+let eval_node t ns =
+  let v s = value t s in
+  let result =
+    match Signal.prim ns.signal with
+    | Signal.Const b -> b
+    | Signal.Input name ->
+      let b = !(ns.value) in
+      if Bits.width b <> Signal.width ns.signal then
+        invalid_arg
+          (Printf.sprintf "Cyclesim: input %s driven with width %d, expected %d"
+             name (Bits.width b) (Signal.width ns.signal))
+      else b
+    | Signal.Op2 (op, a, b) -> (
+      let a = v a and b = v b in
+      match op with
+      | Signal.Add -> Bits.add a b
+      | Signal.Sub -> Bits.sub a b
+      | Signal.Mul -> Bits.mul a b
+      | Signal.And -> Bits.logand a b
+      | Signal.Or -> Bits.logor a b
+      | Signal.Xor -> Bits.logxor a b
+      | Signal.Eq -> Bits.eq a b
+      | Signal.Lt -> Bits.lt a b)
+    | Signal.Not a -> Bits.lognot (v a)
+    | Signal.Concat parts -> Bits.concat_msb (List.map v parts)
+    | Signal.Select { src; high; low } -> Bits.select (v src) ~high ~low
+    | Signal.Mux { select; cases } ->
+      let n = List.length cases in
+      let idx = min (Bits.to_int_trunc (v select)) (n - 1) in
+      v (List.nth cases idx)
+    | Signal.Reg _ | Signal.Mem_read_sync _ -> ns.state
+    | Signal.Mem_read_async { memory; addr } ->
+      let arr = mem_array t memory in
+      let a = Bits.to_int_trunc (v addr) in
+      if a < Array.length arr then arr.(a) else Bits.zero (Signal.memory_width memory)
+    | Signal.Wire { driver = Some d } -> v d
+    | Signal.Wire { driver = None } -> assert false
+  in
+  ns.value := result
+
+let settle_internal t =
+  Array.iter (fun ns -> eval_node t ns) t.nodes
+
+let refresh_outputs t =
+  List.iter2
+    (fun (_, s) (_, r) -> r := value t s)
+    (Circuit.outputs t.circuit)
+    t.output_refs
+
+let settle t =
+  settle_internal t;
+  refresh_outputs t
+
+let clock_edge t =
+  let v s = value t s in
+  (* Phase 1: sample next state for registers and sync reads using
+     settled pre-edge values (sync reads see pre-edge memory contents:
+     read-first semantics). *)
+  Array.iter
+    (fun ns ->
+      match Signal.prim ns.signal with
+      | Signal.Reg { d; enable; clear; clear_to; _ } ->
+        let clear_active = match clear with Some c -> Bits.to_bool (v c) | None -> false in
+        let enabled = match enable with Some e -> Bits.to_bool (v e) | None -> true in
+        ns.next_state <-
+          (if clear_active then clear_to
+           else if enabled then v d
+           else ns.state)
+      | Signal.Mem_read_sync { memory; addr; enable } ->
+        let enabled = match enable with Some e -> Bits.to_bool (v e) | None -> true in
+        if enabled then begin
+          let arr = mem_array t memory in
+          let a = Bits.to_int_trunc (v addr) in
+          ns.next_state <-
+            (if a < Array.length arr then arr.(a)
+             else Bits.zero (Signal.memory_width memory))
+        end
+        else ns.next_state <- ns.state
+      | _ -> ())
+    t.nodes;
+  (* Phase 2: memory writes. *)
+  List.iter
+    (fun m ->
+      let arr = mem_array t m in
+      List.iter
+        (fun (enable, addr, data) ->
+          if Bits.to_bool (v enable) then begin
+            let a = Bits.to_int_trunc (v addr) in
+            if a < Array.length arr then arr.(a) <- v data
+          end)
+        (Signal.memory_write_ports m))
+    (Circuit.memories t.circuit);
+  (* Phase 3: commit. *)
+  Array.iter
+    (fun ns ->
+      match Signal.prim ns.signal with
+      | Signal.Reg _ | Signal.Mem_read_sync _ -> ns.state <- ns.next_state
+      | _ -> ())
+    t.nodes
+
+let cycle t =
+  settle_internal t;
+  refresh_outputs t;
+  clock_edge t;
+  t.cycles <- t.cycles + 1
+
+let reset t =
+  Array.iter
+    (fun ns ->
+      match Signal.prim ns.signal with
+      | Signal.Reg { init; _ } ->
+        ns.state <- init;
+        ns.next_state <- init
+      | Signal.Mem_read_sync { memory; _ } ->
+        let z = Bits.zero (Signal.memory_width memory) in
+        ns.state <- z;
+        ns.next_state <- z
+      | _ -> ())
+    t.nodes;
+  Hashtbl.iter
+    (fun _ arr -> Array.fill arr 0 (Array.length arr) (Bits.zero (Bits.width arr.(0))))
+    t.mem_arrays;
+  t.cycles <- 0;
+  settle t
+
+let cycle_count t = t.cycles
+let peek t s = value t s
+let memory_contents t m = mem_array t m

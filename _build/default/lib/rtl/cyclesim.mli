@@ -1,0 +1,44 @@
+(** Cycle-accurate simulation of a {!Circuit.t}.
+
+    The simulator evaluates the combinational graph from the current
+    register/memory state and the input port values, then performs the
+    clock edge (register updates, memory writes, synchronous reads).
+
+    Usage per cycle: write input refs, call {!cycle}, read output refs.
+    Output refs hold the settled pre-edge values — what a register
+    downstream would capture at that edge. *)
+
+type t
+
+val create : Circuit.t -> t
+
+val circuit : t -> Circuit.t
+
+val in_port : t -> string -> Bits.t ref
+(** Mutable input port value. Raises if the name is unknown. Widths are
+    checked when the cycle runs. *)
+
+val out_port : t -> string -> Bits.t ref
+(** Settled output value as of the last {!cycle}. *)
+
+val cycle : t -> unit
+(** Settle combinational logic, record outputs, then apply the clock
+    edge. *)
+
+val settle : t -> unit
+(** Settle combinational logic and refresh the output refs without
+    clocking — useful to observe outputs after changing inputs
+    mid-cycle. *)
+
+val reset : t -> unit
+(** Restore registers to their init values, clear memories to zero, and
+    re-settle. *)
+
+val cycle_count : t -> int
+
+val peek : t -> Signal.t -> Bits.t
+(** Current settled value of any signal in the circuit (for debugging
+    and waveform dumps). Raises if the signal is not in the circuit. *)
+
+val memory_contents : t -> Signal.memory -> Bits.t array
+(** Live view of a memory's backing store. *)

@@ -1,0 +1,10 @@
+(** Graphviz export of a circuit's signal graph — handy for inspecting
+    generated container/iterator structures visually.
+
+    Nodes are labelled by primitive kind (and user name when present);
+    registers and memory reads are drawn as boxes to mark the
+    sequential boundary; inputs/outputs as ovals. *)
+
+val to_string : Circuit.t -> string
+
+val write_file : Circuit.t -> string -> unit

@@ -1,0 +1,46 @@
+open Signal
+
+type t = {
+  width : int;
+  states : int;
+  state : Signal.t;
+  next : Signal.t; (* unassigned wire until [transitions] *)
+  mutable closed : bool;
+}
+
+let create ?name ?clear ~states () =
+  if states < 2 then invalid_arg "Fsm.create: need at least two states";
+  let width = Util.address_bits states in
+  let next = wire width in
+  let state = reg ?clear next in
+  let state = match name with Some n -> state -- n | None -> state in
+  { width; states; state; next; closed = false }
+
+let state t = t.state
+
+let is t i =
+  if i < 0 || i >= t.states then invalid_arg "Fsm.is: no such state";
+  t.state ==: of_int ~width:t.width i
+
+let transitions t per_state =
+  if t.closed then invalid_arg "Fsm.transitions: already closed";
+  t.closed <- true;
+  let encode i =
+    if i < 0 || i >= t.states then invalid_arg "Fsm.transitions: no such state";
+    of_int ~width:t.width i
+  in
+  let next_for rules =
+    List.fold_right
+      (fun (cond, target) fallthrough -> mux2 cond (encode target) fallthrough)
+      rules t.state
+  in
+  (* Dense next-state table selected by the state register: one n-way
+     mux instead of a linear priority chain, so FSM depth does not grow
+     with the state count. *)
+  let table =
+    List.init t.states (fun st ->
+        match List.assoc_opt st per_state with
+        | Some rules -> next_for rules
+        | None -> t.state)
+  in
+  t.next <== mux t.state table

@@ -1,0 +1,25 @@
+(** Finite state machine builder.
+
+    A small helper over {!Signal.reg_fb}: create the machine with its
+    state count, describe transitions as a priority list per state, and
+    read one-hot decode signals. States are plain integers; callers
+    typically bind them to named constants. *)
+
+type t
+
+val create : ?name:string -> ?clear:Signal.t -> states:int -> unit -> t
+(** A state register wide enough for [states] values, starting (and
+    clearing) to state 0. *)
+
+val state : t -> Signal.t
+(** The current state value. *)
+
+val is : t -> int -> Signal.t
+(** [is fsm i] is a 1-bit signal, high when the machine is in state [i]. *)
+
+val transitions : t -> (int * (Signal.t * int) list) list -> unit
+(** [transitions fsm per_state] closes the machine. For each
+    [(state, rules)] pair, [rules] is a priority-ordered list of
+    [(condition, target)]; the first true condition wins, otherwise the
+    machine holds its state. States without an entry hold forever.
+    Must be called exactly once. *)

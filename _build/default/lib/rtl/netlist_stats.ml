@@ -1,0 +1,39 @@
+type t = {
+  nodes : int;
+  register_bits : int;
+  memory_bits : int;
+  memories : int;
+  inputs : int;
+  outputs : int;
+  op2_nodes : int;
+  mux_nodes : int;
+  wire_nodes : int;
+}
+
+let of_circuit circuit =
+  let signals = Circuit.signals circuit in
+  let count pred = List.length (List.filter pred signals) in
+  {
+    nodes = List.length signals;
+    register_bits =
+      List.fold_left
+        (fun acc s ->
+          match Signal.prim s with Signal.Reg _ -> acc + Signal.width s | _ -> acc)
+        0 signals;
+    memory_bits =
+      List.fold_left
+        (fun acc m -> acc + (Signal.memory_size m * Signal.memory_width m))
+        0 (Circuit.memories circuit);
+    memories = List.length (Circuit.memories circuit);
+    inputs = List.length (Circuit.inputs circuit);
+    outputs = List.length (Circuit.outputs circuit);
+    op2_nodes = count (fun s -> match Signal.prim s with Signal.Op2 _ -> true | _ -> false);
+    mux_nodes = count (fun s -> match Signal.prim s with Signal.Mux _ -> true | _ -> false);
+    wire_nodes = count (fun s -> match Signal.prim s with Signal.Wire _ -> true | _ -> false);
+  }
+
+let pp fmt t =
+  Format.fprintf fmt
+    "@[<v>nodes: %d@ register bits: %d@ memory bits: %d (%d memories)@ ports: %d in / %d out@ op2: %d  mux: %d  wire: %d@]"
+    t.nodes t.register_bits t.memory_bits t.memories t.inputs t.outputs t.op2_nodes
+    t.mux_nodes t.wire_nodes

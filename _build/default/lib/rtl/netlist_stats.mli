@@ -1,0 +1,17 @@
+(** Raw structural statistics of a circuit (pre-technology-mapping). *)
+
+type t = {
+  nodes : int;          (** total graph nodes *)
+  register_bits : int;  (** sum of register widths *)
+  memory_bits : int;    (** sum of size × width over memories *)
+  memories : int;
+  inputs : int;
+  outputs : int;
+  op2_nodes : int;
+  mux_nodes : int;
+  wire_nodes : int;
+}
+
+val of_circuit : Circuit.t -> t
+
+val pp : Format.formatter -> t -> unit

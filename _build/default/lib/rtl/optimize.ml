@@ -1,0 +1,228 @@
+open Signal
+
+(* Structural "provably never true" check used for write-port pruning:
+   conservative, treats registers and memory reads as unknown. *)
+let rec always_false s =
+  match prim s with
+  | Const b -> not (Bits.to_bool b)
+  | Wire { driver = Some d } -> always_false d
+  | Op2 (And, a, b) -> always_false a || always_false b
+  | Op2 (Or, a, b) -> always_false a && always_false b
+  | Mux { cases; _ } -> List.for_all always_false cases
+  | Concat parts -> List.for_all always_false parts
+  | _ -> false
+
+type ctx = {
+  memo : (int, Signal.t) Hashtbl.t;
+  mem_memo : (int, memory option) Hashtbl.t;
+      (* None = memory folded away (never written) *)
+}
+
+let const_of s = const_value s
+
+(* Keep user names on rebuilt stateful nodes so waveforms stay
+   readable after optimisation. *)
+let copy_names src dst =
+  if uid src <> uid dst then
+    List.iter (fun n -> ignore (dst -- n)) (names src);
+  dst
+
+let rec opt ctx s =
+  match Hashtbl.find_opt ctx.memo (uid s) with
+  | Some s' -> s'
+  | None -> (
+    match prim s with
+    | Const _ | Input _ ->
+      Hashtbl.replace ctx.memo (uid s) s;
+      s
+    | _ ->
+      (* Memoise a placeholder before descending: any path that loops
+         back to this node (through a register) must reuse it, or the
+         cone would be rebuilt twice. The placeholder is a free wire. *)
+      let placeholder = wire (width s) in
+      Hashtbl.replace ctx.memo (uid s) placeholder;
+      let result =
+        match prim s with
+        | Const _ | Input _ -> assert false
+        | Wire { driver = Some d } -> opt ctx d
+        | Wire { driver = None } -> invalid_arg "Optimize: undriven wire"
+        | Not a -> opt_not ctx a
+        | Op2 (op, a, b) -> opt_op2 ctx op a b
+        | Concat parts -> opt_concat ctx parts
+        | Select { src; high; low } -> opt_select ctx src high low
+        | Mux { select = sel; cases } -> opt_mux ctx sel cases
+        | Reg _ -> opt_reg ctx s
+        | Mem_read_async _ | Mem_read_sync _ -> opt_mem_read ctx s
+      in
+      placeholder <== result;
+      Hashtbl.replace ctx.memo (uid s) result;
+      result)
+
+and opt_not ctx a =
+  let a = opt ctx a in
+  match (const_of a, prim a) with
+  | Some v, _ -> const (Bits.lognot v)
+  | None, Not inner -> inner
+  | None, _ -> ~:a
+
+and opt_op2 ctx op a b =
+  let a = opt ctx a and b = opt ctx b in
+  match (const_of a, const_of b) with
+  | Some va, Some vb ->
+    let v =
+      match op with
+      | Add -> Bits.add va vb
+      | Sub -> Bits.sub va vb
+      | Mul -> Bits.mul va vb
+      | And -> Bits.logand va vb
+      | Or -> Bits.logor va vb
+      | Xor -> Bits.logxor va vb
+      | Eq -> Bits.eq va vb
+      | Lt -> Bits.lt va vb
+    in
+    const v
+  | ca, cb -> (
+    let w = width a in
+    let is_zero = function Some v -> not (Bits.to_bool v) | None -> false in
+    let is_ones = function
+      | Some v -> Bits.equal v (Bits.ones (Bits.width v))
+      | None -> false
+    in
+    match op with
+    | And when is_zero ca || is_zero cb -> const (Bits.zero w)
+    | And when is_ones ca -> b
+    | And when is_ones cb -> a
+    | Or when is_ones ca || is_ones cb -> const (Bits.ones w)
+    | Or when is_zero ca -> b
+    | Or when is_zero cb -> a
+    | Xor when is_zero ca -> b
+    | Xor when is_zero cb -> a
+    | Add when is_zero ca -> b
+    | Add when is_zero cb -> a
+    | Sub when is_zero cb -> a
+    | _ -> (
+      match op with
+      | Add -> a +: b
+      | Sub -> a -: b
+      | Mul -> a *: b
+      | And -> a &: b
+      | Or -> a |: b
+      | Xor -> a ^: b
+      | Eq -> a ==: b
+      | Lt -> a <: b))
+
+and opt_concat ctx parts =
+  let parts = List.map (opt ctx) parts in
+  let consts = List.map const_of parts in
+  if List.for_all Option.is_some consts then
+    const (Bits.concat_msb (List.map Option.get consts))
+  else concat_msb parts
+
+and opt_select ctx src high low =
+  let src = opt ctx src in
+  match const_of src with
+  | Some v -> const (Bits.select v ~high ~low)
+  | None -> select src ~high ~low
+
+and opt_mux ctx sel cases =
+  let sel = opt ctx sel in
+  let cases = List.map (opt ctx) cases in
+  match const_of sel with
+  | Some v ->
+    let n = List.length cases in
+    let idx = min (Bits.to_int_trunc v) (n - 1) in
+    List.nth cases idx
+  | None -> (
+    match cases with
+    | first :: rest when List.for_all (fun c -> uid c = uid first) rest -> first
+    | _ -> mux sel cases)
+
+and opt_reg ctx s =
+  match prim s with
+  | Reg { d; enable; clear; clear_to; init } -> (
+    let d = opt ctx d in
+    let enable = Option.map (opt ctx) enable in
+    let clear = Option.map (opt ctx) clear in
+    let enable_false =
+      match enable with Some e -> always_false e | None -> false
+    in
+    let clear_false = match clear with Some c -> always_false c | None -> true in
+    let enable_true =
+      match enable with
+      | Some e -> ( match const_of e with Some v -> Bits.to_bool v | None -> false)
+      | None -> true
+    in
+    let fold_to_const v = const v in
+    if enable_false && (clear_false || Bits.equal clear_to init) then
+      (* Never loads; clears (if any) rewrite the same value. *)
+      fold_to_const init
+    else
+      match (const_of d, enable_true, clear_false) with
+      | Some v, true, true when Bits.equal v init ->
+        (* Always reloads its own initial value. *)
+        fold_to_const v
+      | _ ->
+        let enable =
+          match enable with
+          | Some e when const_of e <> None && enable_true -> None
+          | e -> e
+        in
+        let clear = if clear_false then None else clear in
+        copy_names s (reg ?enable ?clear ~clear_to ~init d))
+  | _ -> assert false
+
+and rebuild_memory ctx m =
+  match Hashtbl.find_opt ctx.mem_memo (Signal.memory_uid m) with
+  | Some r -> r
+  | None ->
+    let live_ports =
+      List.filter
+        (fun (enable, _, _) -> not (always_false enable))
+        (memory_write_ports m)
+    in
+    if live_ports = [] then begin
+      Hashtbl.replace ctx.mem_memo (Signal.memory_uid m) None;
+      None
+    end
+    else begin
+      let fresh =
+        create_memory ~size:(memory_size m) ~width:(memory_width m)
+          ~name:(memory_name m)
+          ~external_:(memory_is_external m)
+          ()
+      in
+      (* Register before optimising port signals: they may read back
+         from this same memory. *)
+      Hashtbl.replace ctx.mem_memo (Signal.memory_uid m) (Some fresh);
+      List.iter
+        (fun (enable, addr, data) ->
+          mem_write_port fresh ~enable:(opt ctx enable) ~addr:(opt ctx addr)
+            ~data:(opt ctx data))
+        live_ports;
+      Some fresh
+    end
+
+and opt_mem_read ctx s =
+  match prim s with
+  | Mem_read_async { memory; addr } -> (
+    match rebuild_memory ctx memory with
+    | None -> const (Bits.zero (memory_width memory))
+    | Some fresh -> mem_read_async fresh ~addr:(opt ctx addr))
+  | Mem_read_sync { memory; addr; enable } -> (
+    match rebuild_memory ctx memory with
+    | None -> const (Bits.zero (memory_width memory))
+    | Some fresh ->
+      let enable = Option.map (opt ctx) enable in
+      copy_names s (mem_read_sync fresh ?enable ~addr:(opt ctx addr) ()))
+  | _ -> assert false
+
+let fresh_ctx () = { memo = Hashtbl.create 997; mem_memo = Hashtbl.create 7 }
+
+let signal s = opt (fresh_ctx ()) s
+
+let circuit c =
+  let ctx = fresh_ctx () in
+  let outputs =
+    List.map (fun (name, s) -> (name, opt ctx s)) (Circuit.outputs c)
+  in
+  Circuit.create_exn ~name:(Circuit.name c) outputs

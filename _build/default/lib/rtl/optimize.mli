@@ -1,0 +1,29 @@
+(** Netlist optimisation: constant propagation and trivial-logic
+    simplification, as any synthesis front-end performs before
+    technology mapping.
+
+    This is what makes operation pruning measurable at the netlist
+    level: logic behind a request tied to ground folds to constants and
+    drops out of the reachable cone. Semantics are preserved — the test
+    suite simulates optimised and raw circuits against each other.
+
+    Rules applied (to a fixed point, structurally):
+    - operators with constant operands fold ({!Bits} arithmetic);
+    - identities: [x & 0 = 0], [x & 1s = x], [x | 0 = x], [x | 1s = 1s],
+      [x ^ 0 = x], [not (not x) = x];
+    - muxes with a constant select reduce to the chosen case; muxes
+      whose cases are all the same node reduce to that node;
+    - selects/concats of constants fold;
+    - registers with enable tied low (and clear low or absent) fold to
+      their initial value;
+    - memory write ports with enable tied low are dropped; memories
+      left with no write ports read as constant zero;
+    - wires are inlined. *)
+
+val circuit : Circuit.t -> Circuit.t
+(** Rebuild the circuit with the rules above applied. Port names and
+    order are preserved. *)
+
+val signal : Signal.t -> Signal.t
+(** Optimise a single cone (memoised per call). Prefer {!circuit} for
+    whole designs so memories are rebuilt consistently. *)

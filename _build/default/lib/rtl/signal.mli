@@ -1,0 +1,150 @@
+(** Hardware signal graphs.
+
+    A signal is a node in a directed netlist graph: constants, named
+    inputs, combinational operators, registers, memory read ports and
+    assignable wires. Graphs are built by applying the combinators below
+    and closed into a {!Circuit.t} for simulation or HDL emission.
+
+    The design is single-clock: registers and synchronous memory ports
+    are all clocked by the implicit global clock, with optional
+    synchronous clear and enable. *)
+
+type t
+
+type op2 = Add | Sub | Mul | And | Or | Xor | Eq | Lt
+
+(** A multi-port memory. Write ports are attached imperatively with
+    {!mem_write_port}; read ports are created with {!mem_read_async}
+    (distributed / LUT RAM semantics) or {!mem_read_sync} (block RAM
+    semantics: the read value appears one cycle after the address). *)
+type memory
+
+type prim =
+  | Const of Bits.t
+  | Input of string
+  | Op2 of op2 * t * t
+  | Not of t
+  | Concat of t list  (** MSB first *)
+  | Select of { src : t; high : int; low : int }
+  | Mux of { select : t; cases : t list }
+      (** [cases] indexed by [select]; the last case repeats for any
+          out-of-range select value. *)
+  | Reg of { d : t; enable : t option; clear : t option; clear_to : Bits.t; init : Bits.t }
+  | Mem_read_async of { memory : memory; addr : t }
+  | Mem_read_sync of { memory : memory; addr : t; enable : t option }
+  | Wire of { mutable driver : t option }
+
+val uid : t -> int
+val width : t -> int
+val prim : t -> prim
+val names : t -> string list
+
+val ( -- ) : t -> string -> t
+(** [s -- name] attaches a name used by HDL emitters and VCD dumps.
+    Returns [s] itself. *)
+
+(** {1 Sources} *)
+
+val input : string -> int -> t
+val const : Bits.t -> t
+val of_int : width:int -> int -> t
+val of_string : string -> t
+val zero : int -> t
+val one : int -> t
+val ones : int -> t
+val vdd : t
+(** 1-bit constant 1. *)
+
+val gnd : t
+(** 1-bit constant 0. *)
+
+(** {1 Combinational operators} *)
+
+val ( +: ) : t -> t -> t
+val ( -: ) : t -> t -> t
+val ( *: ) : t -> t -> t
+val ( &: ) : t -> t -> t
+val ( |: ) : t -> t -> t
+val ( ^: ) : t -> t -> t
+val ( ~: ) : t -> t
+val ( ==: ) : t -> t -> t
+val ( <>: ) : t -> t -> t
+val ( <: ) : t -> t -> t
+val ( <=: ) : t -> t -> t
+val ( >: ) : t -> t -> t
+val ( >=: ) : t -> t -> t
+
+val concat_msb : t list -> t
+val select : t -> high:int -> low:int -> t
+val bit : t -> int -> t
+val msb : t -> t
+val lsb : t -> t
+val repeat : t -> int -> t
+val uresize : t -> int -> t
+val sresize : t -> int -> t
+val sll : t -> int -> t
+val srl : t -> int -> t
+
+val mux : t -> t list -> t
+(** [mux select cases]; [cases] must be non-empty, all the same width,
+    and no longer than [2^(width select)]. *)
+
+val mux2 : t -> t -> t -> t
+(** [mux2 cond t f] is [t] when [cond] is 1. [cond] must be 1 bit. *)
+
+val reduce_or : t -> t
+val reduce_and : t -> t
+
+(** {1 State} *)
+
+val reg : ?enable:t -> ?clear:t -> ?clear_to:Bits.t -> ?init:Bits.t -> t -> t
+(** [reg d] is a D flip-flop. [clear] takes priority over [enable].
+    [init] is the power-on simulation value (default zeros);
+    [clear_to] defaults to zeros. *)
+
+val reg_fb : ?enable:t -> ?clear:t -> ?clear_to:Bits.t -> ?init:Bits.t ->
+  width:int -> (t -> t) -> t
+(** [reg_fb ~width f] builds a register whose next value is [f q] where
+    [q] is the register output — the usual feedback idiom. *)
+
+val create_memory :
+  size:int -> width:int -> ?name:string -> ?external_:bool -> unit -> memory
+(** [external_] marks a memory that models an off-chip device (board
+    SRAM): simulators treat it normally, but technology mapping must
+    not count it as FPGA resources. Default [false]. *)
+
+val memory_is_external : memory -> bool
+val memory_size : memory -> int
+val memory_width : memory -> int
+val memory_name : memory -> string
+val memory_uid : memory -> int
+
+val mem_write_port : memory -> enable:t -> addr:t -> data:t -> unit
+(** Synchronous write port. [addr] values beyond [size-1] are ignored
+    at simulation time. *)
+
+val mem_read_async : memory -> addr:t -> t
+val mem_read_sync : memory -> ?enable:t -> addr:t -> unit -> t
+
+val memory_write_ports : memory -> (t * t * t) list
+(** [(enable, addr, data)] per write port, in attachment order. *)
+
+(** {1 Wires} *)
+
+val wire : int -> t
+val ( <== ) : t -> t -> unit
+(** Assign a wire's driver. Raises if the target is not a wire, is
+    already driven, or widths differ. *)
+
+val wire_driver : t -> t option
+
+(** {1 Traversal} *)
+
+val deps : t -> t list
+(** Direct dependencies of a node, including through memories for read
+    ports (write-port signals are deps of the read port). *)
+
+val is_const : t -> bool
+val const_value : t -> Bits.t option
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,98 @@
+type tracked = {
+  signal : Signal.t;
+  id : string; (* VCD short identifier *)
+  label : string;
+  mutable last : Bits.t option;
+}
+
+type t = {
+  sim : Cyclesim.t;
+  tracked : tracked list;
+  changes : Buffer.t;
+  mutable time : int;
+}
+
+let ident_of_index i =
+  (* Printable VCD identifiers over '!'..'~'. *)
+  let base = 94 and first = 33 in
+  let rec go i acc =
+    let c = Char.chr (first + (i mod base)) in
+    let acc = String.make 1 c ^ acc in
+    if i < base then acc else go ((i / base) - 1) acc
+  in
+  go i ""
+
+let default_signals sim =
+  let circuit = Cyclesim.circuit sim in
+  let named =
+    List.filter (fun s -> Signal.names s <> []) (Circuit.signals circuit)
+  in
+  let ports = List.map snd (Circuit.inputs circuit @ Circuit.outputs circuit) in
+  (* Dedup by uid, keep stable order. *)
+  let seen = Hashtbl.create 37 in
+  List.filter
+    (fun s ->
+      if Hashtbl.mem seen (Signal.uid s) then false
+      else begin
+        Hashtbl.replace seen (Signal.uid s) ();
+        true
+      end)
+    (ports @ named)
+
+let label_of s =
+  match Signal.prim s with
+  | Signal.Input n -> n
+  | _ -> (
+    match Signal.names s with
+    | n :: _ -> Printf.sprintf "%s_%d" n (Signal.uid s)
+    | [] -> Printf.sprintf "s_%d" (Signal.uid s))
+
+let create ?signals sim =
+  let signals = match signals with Some s -> s | None -> default_signals sim in
+  let tracked =
+    List.mapi
+      (fun i s -> { signal = s; id = ident_of_index i; label = label_of s; last = None })
+      signals
+  in
+  { sim; tracked; changes = Buffer.create 4096; time = 0 }
+
+let sample t =
+  Buffer.add_string t.changes (Printf.sprintf "#%d\n" t.time);
+  List.iter
+    (fun tr ->
+      let v = Cyclesim.peek t.sim tr.signal in
+      let changed = match tr.last with None -> true | Some p -> not (Bits.equal p v) in
+      if changed then begin
+        tr.last <- Some v;
+        if Bits.width v = 1 then
+          Buffer.add_string t.changes
+            (Printf.sprintf "%c%s\n" (if Bits.to_bool v then '1' else '0') tr.id)
+        else
+          Buffer.add_string t.changes
+            (Printf.sprintf "b%s %s\n" (Bits.to_string v) tr.id)
+      end)
+    t.tracked;
+  t.time <- t.time + 1
+
+let to_string t =
+  let buf = Buffer.create (Buffer.length t.changes + 1024) in
+  Buffer.add_string buf "$date reproduction run $end\n";
+  Buffer.add_string buf "$version hwpat $end\n";
+  Buffer.add_string buf "$timescale 1ns $end\n";
+  Buffer.add_string buf
+    (Printf.sprintf "$scope module %s $end\n" (Circuit.name (Cyclesim.circuit t.sim)));
+  List.iter
+    (fun tr ->
+      Buffer.add_string buf
+        (Printf.sprintf "$var wire %d %s %s $end\n" (Signal.width tr.signal) tr.id
+           tr.label))
+    t.tracked;
+  Buffer.add_string buf "$upscope $end\n$enddefinitions $end\n";
+  Buffer.add_buffer buf t.changes;
+  Buffer.contents buf
+
+let write_file t path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string t))

@@ -1,0 +1,18 @@
+(** Value-change-dump (VCD) waveform capture for a running simulation.
+
+    Tracks every named signal in the circuit plus all ports. Call
+    {!sample} once per simulated cycle after [Cyclesim.cycle]. *)
+
+type t
+
+val create : ?signals:Signal.t list -> Cyclesim.t -> t
+(** Track the given signals (default: all named signals and all circuit
+    ports). *)
+
+val sample : t -> unit
+(** Record the current settled values at the next timestep. *)
+
+val to_string : t -> string
+(** Render the complete VCD file. *)
+
+val write_file : t -> string -> unit

@@ -1,0 +1,8 @@
+(** Verilog-2001 netlist back-end.
+
+    Emits one module per circuit. A [clk] input is added when the
+    circuit contains registers or memory ports. *)
+
+val to_string : Circuit.t -> string
+
+val output : Format.formatter -> Circuit.t -> unit

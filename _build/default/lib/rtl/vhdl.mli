@@ -1,0 +1,13 @@
+(** VHDL-93 netlist back-end.
+
+    Emits one entity/architecture pair per circuit. All ports and
+    internal signals are [std_logic_vector] (width-1 downto 0); a [clk]
+    input port is added when the circuit contains registers or memory
+    ports. Arithmetic uses [ieee.numeric_std]. *)
+
+val to_string : Circuit.t -> string
+
+val output : Format.formatter -> Circuit.t -> unit
+
+val clock_name : string
+(** Name of the implicit clock port ("clk"). *)

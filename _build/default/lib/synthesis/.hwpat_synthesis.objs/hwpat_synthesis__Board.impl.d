@@ -1,0 +1,1 @@
+lib/synthesis/board.ml: Format

@@ -1,0 +1,1 @@
+lib/synthesis/design_space.ml: List Printf String

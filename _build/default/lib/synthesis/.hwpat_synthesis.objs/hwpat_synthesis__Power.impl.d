@@ -1,0 +1,1 @@
+lib/synthesis/power.ml: Array Bits Circuit Cyclesim Format Hwpat_rtl List Signal

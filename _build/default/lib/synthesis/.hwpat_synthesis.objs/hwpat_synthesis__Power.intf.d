@@ -1,0 +1,1 @@
+lib/synthesis/power.mli: Cyclesim Format Hwpat_rtl

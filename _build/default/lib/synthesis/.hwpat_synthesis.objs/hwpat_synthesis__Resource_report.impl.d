@@ -1,0 +1,1 @@
+lib/synthesis/resource_report.ml: Board Circuit Format Hwpat_rtl Optimize Printf Techmap Timing

@@ -1,0 +1,1 @@
+lib/synthesis/resource_report.mli: Board Circuit Format Hwpat_rtl

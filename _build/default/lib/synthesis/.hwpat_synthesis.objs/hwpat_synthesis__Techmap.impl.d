@@ -1,0 +1,1 @@
+lib/synthesis/techmap.ml: Board Circuit Format Hwpat_rtl List Signal

@@ -1,0 +1,1 @@
+lib/synthesis/techmap.mli: Board Circuit Format Hwpat_rtl Signal

@@ -1,0 +1,1 @@
+lib/synthesis/timing.ml: Board Circuit Format Hashtbl Hwpat_rtl List Signal

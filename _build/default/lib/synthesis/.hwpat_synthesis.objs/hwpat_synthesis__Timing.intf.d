@@ -1,0 +1,1 @@
+lib/synthesis/timing.mli: Board Circuit Format Hwpat_rtl Signal

@@ -1,0 +1,56 @@
+type t = {
+  name : string;
+  fpga : string;
+  luts_available : int;
+  ffs_available : int;
+  brams_available : int;
+  bram_bits : int;
+  bram_max_width : int;
+  sram_words : int;
+  sram_width : int;
+  sram_access_ns : float;
+  lut_delay_ns : float;
+  route_delay_ns : float;
+  carry_delay_ns : float;
+  clk_to_q_ns : float;
+  setup_ns : float;
+  bram_access_ns : float;
+}
+
+(* Spartan-IIE XC2S300E: 3072 slices = 6144 LUT4 + 6144 FFs, 16 block
+   RAMs of 4 Kbit. Timing numbers are -6 speed grade ballpark figures. *)
+let xsb300e =
+  {
+    name = "XESS XSB-300E";
+    fpga = "Xilinx Spartan-IIE XC2S300E";
+    luts_available = 6144;
+    ffs_available = 6144;
+    brams_available = 16;
+    bram_bits = 4096;
+    bram_max_width = 16;
+    sram_words = 256 * 1024;
+    sram_width = 16;
+    sram_access_ns = 10.0;
+    lut_delay_ns = 0.7;
+    route_delay_ns = 0.9;
+    carry_delay_ns = 0.06;
+    clk_to_q_ns = 1.3;
+    setup_ns = 0.7;
+    bram_access_ns = 3.0;
+  }
+
+let default = xsb300e
+
+let sram_wait_states t ~clock_mhz =
+  if clock_mhz <= 0.0 then invalid_arg "Board.sram_wait_states: clock must be positive";
+  let period_ns = 1000.0 /. clock_mhz in
+  (* The address must be stable for the full access time; the first
+     clock period is the cycle that presents the address. *)
+  let cycles = ceil (t.sram_access_ns /. period_ns) in
+  max 0 (int_of_float cycles - 1)
+
+let pp fmt t =
+  Format.fprintf fmt
+    "@[<v>%s (%s)@ %d LUTs, %d FFs, %d block RAMs x %d bits@ SRAM %dKx%d @@ %.1f ns@]"
+    t.name t.fpga t.luts_available t.ffs_available t.brams_available t.bram_bits
+    (t.sram_words / 1024) t.sram_width t.sram_access_ns

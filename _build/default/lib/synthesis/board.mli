@@ -1,0 +1,35 @@
+(** Characterisation of the target platform.
+
+    The paper evaluates on the XESS XSB-300E prototyping board: a
+    Xilinx Spartan-IIE XC2S300E FPGA plus a 256K×16 asynchronous SRAM.
+    These constants stand in for the board data sheet; the technology
+    parameters calibrate {!Techmap} and {!Timing}. *)
+
+type t = {
+  name : string;
+  fpga : string;
+  luts_available : int;      (** 4-input LUTs *)
+  ffs_available : int;
+  brams_available : int;     (** 4 Kbit block RAMs *)
+  bram_bits : int;           (** capacity of one block RAM *)
+  bram_max_width : int;      (** widest single-BRAM data port *)
+  sram_words : int;          (** external SRAM depth *)
+  sram_width : int;          (** external SRAM data width *)
+  sram_access_ns : float;    (** asynchronous access time *)
+  lut_delay_ns : float;
+  route_delay_ns : float;    (** average net delay per logic level *)
+  carry_delay_ns : float;    (** per-bit carry chain delay *)
+  clk_to_q_ns : float;
+  setup_ns : float;
+  bram_access_ns : float;    (** clock-to-data of a block RAM read *)
+}
+
+val xsb300e : t
+
+val default : t
+(** Alias for {!xsb300e}. *)
+
+val sram_wait_states : t -> clock_mhz:float -> int
+(** Wait states needed to access the external SRAM at a given clock. *)
+
+val pp : Format.formatter -> t -> unit

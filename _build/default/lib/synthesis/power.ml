@@ -1,0 +1,60 @@
+open Hwpat_rtl
+
+type t = {
+  toggles_per_cycle : float;
+  dynamic_mw : float;
+  static_mw : float;
+  total_mw : float;
+}
+
+type monitor = {
+  sim : Cyclesim.t;
+  tracked : Signal.t array;
+  mutable previous : Bits.t option array;
+  mutable toggles : int;
+  mutable cycles : int;
+}
+
+let monitor sim =
+  let tracked =
+    Array.of_list
+      (List.filter
+         (fun s ->
+           match Signal.prim s with
+           | Signal.Const _ -> false
+           | _ -> true)
+         (Circuit.signals (Cyclesim.circuit sim)))
+  in
+  { sim; tracked; previous = Array.make (Array.length tracked) None; toggles = 0; cycles = 0 }
+
+let sample m =
+  Array.iteri
+    (fun i s ->
+      let v = Cyclesim.peek m.sim s in
+      (match m.previous.(i) with
+      | Some p -> m.toggles <- m.toggles + Bits.popcount (Bits.logxor p v)
+      | None -> ());
+      m.previous.(i) <- Some v)
+    m.tracked;
+  m.cycles <- m.cycles + 1
+
+(* Energy per toggle for an average Spartan-II net: ~ 2.5 pF * (1.8 V)^2
+   rounded into a per-toggle pJ figure. *)
+let pj_per_toggle = 4.0
+let static_mw_const = 30.0
+
+let estimate ?(clock_mhz = 50.0) m =
+  let cycles = max 1 (m.cycles - 1) in
+  let toggles_per_cycle = float_of_int m.toggles /. float_of_int cycles in
+  (* mW = pJ/cycle * cycles/s * 1e-9 *)
+  let dynamic_mw = toggles_per_cycle *. pj_per_toggle *. clock_mhz *. 1e-3 in
+  {
+    toggles_per_cycle;
+    dynamic_mw;
+    static_mw = static_mw_const;
+    total_mw = dynamic_mw +. static_mw_const;
+  }
+
+let pp fmt t =
+  Format.fprintf fmt "%.1f toggles/cycle, %.2f mW dynamic + %.2f mW static = %.2f mW"
+    t.toggles_per_cycle t.dynamic_mw t.static_mw t.total_mw

@@ -1,0 +1,28 @@
+open Hwpat_rtl
+
+(** Activity-based dynamic power estimation.
+
+    Counts bit toggles across every netlist node over a simulation run
+    and converts the average switching activity into milliwatts with a
+    simple CV²f model: each toggling bit charges one average net
+    capacitance per transition. Static power is a board constant. *)
+
+type t = {
+  toggles_per_cycle : float;
+  dynamic_mw : float;
+  static_mw : float;
+  total_mw : float;
+}
+
+type monitor
+
+val monitor : Cyclesim.t -> monitor
+(** Attach to a simulator. Call {!sample} once per simulated cycle. *)
+
+val sample : monitor -> unit
+
+val estimate : ?clock_mhz:float -> monitor -> t
+(** Average power over the sampled cycles at the given clock
+    (default 50 MHz). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,41 @@
+open Hwpat_rtl
+
+type t = { design : string; ffs : int; luts : int; brams : int; clk_mhz : float }
+
+let of_circuit ?(board = Board.default) circuit =
+  (* Constant propagation first, as any synthesis front-end would. *)
+  let circuit = Optimize.circuit circuit in
+  let r = Techmap.estimate ~board circuit in
+  let timing = Timing.analyze ~board circuit in
+  {
+    design = Circuit.name circuit;
+    ffs = r.Techmap.ffs;
+    luts = r.Techmap.luts;
+    brams = r.Techmap.brams;
+    clk_mhz = timing.Timing.fmax_mhz;
+  }
+
+type comparison = { name : string; pattern : t; custom : t }
+
+let compare_pair ?(board = Board.default) ~name pattern custom =
+  { name; pattern = of_circuit ~board pattern; custom = of_circuit ~board custom }
+
+let overhead_percent c =
+  if c.custom.luts = 0 then 0.0
+  else
+    100.0
+    *. (float_of_int c.pattern.luts -. float_of_int c.custom.luts)
+    /. float_of_int c.custom.luts
+
+let table3_header =
+  Printf.sprintf "%-12s | %11s | %11s | %7s | %11s" "Design" "FFs" "LUTs" "BRAM"
+    "clk MHz"
+
+let table3_row c =
+  Printf.sprintf "%-12s | %5d/%-5d | %5d/%-5d | %3d/%-3d | %5.0f/%-5.0f" c.name
+    c.pattern.ffs c.custom.ffs c.pattern.luts c.custom.luts c.pattern.brams
+    c.custom.brams c.pattern.clk_mhz c.custom.clk_mhz
+
+let pp fmt t =
+  Format.fprintf fmt "%s: %d FFs, %d LUTs, %d BRAMs, %.1f MHz" t.design t.ffs
+    t.luts t.brams t.clk_mhz

@@ -1,0 +1,37 @@
+open Hwpat_rtl
+
+(** Per-design synthesis reports and pattern-vs-custom comparison
+    tables in the format of the paper's Table 3. *)
+
+type t = {
+  design : string;
+  ffs : int;
+  luts : int;
+  brams : int;
+  clk_mhz : float;
+}
+
+val of_circuit : ?board:Board.t -> Circuit.t -> t
+(** Run {!Hwpat_rtl.Optimize.circuit}, then {!Techmap.estimate} and
+    {!Timing.analyze}. *)
+
+type comparison = {
+  name : string;
+  pattern : t;
+  custom : t;
+}
+
+val compare_pair : ?board:Board.t -> name:string -> Circuit.t -> Circuit.t -> comparison
+(** [compare_pair ~name pattern custom]. *)
+
+val overhead_percent : comparison -> float
+(** LUT overhead of the pattern version over the custom version, in
+    percent (0 when equal; negative when the pattern version is
+    smaller). *)
+
+val table3_row : comparison -> string
+(** "design | FFs p/c | LUTs p/c | BRAM p/c | MHz p/c" row. *)
+
+val table3_header : string
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,110 @@
+open Hwpat_rtl
+
+type resources = { luts : int; ffs : int; brams : int; lutram_luts : int }
+
+let zero = { luts = 0; ffs = 0; brams = 0; lutram_luts = 0 }
+
+let add a b =
+  {
+    luts = a.luts + b.luts;
+    ffs = a.ffs + b.ffs;
+    brams = a.brams + b.brams;
+    lutram_luts = a.lutram_luts + b.lutram_luts;
+  }
+
+(* Cost of a balanced 4-ary reduction tree over [n] leaves. *)
+let rec reduction_tree_luts n =
+  if n <= 1 then 0
+  else
+    let level = (n + 3) / 4 in
+    level + reduction_tree_luts level
+
+let node_luts s =
+  let w = Signal.width s in
+  match Signal.prim s with
+  | Signal.Const _ | Signal.Input _ | Signal.Wire _ | Signal.Concat _
+  | Signal.Select _ | Signal.Not _ ->
+    0
+  | Signal.Op2 (op, a, _) -> (
+    let aw = Signal.width a in
+    match op with
+    | Signal.And | Signal.Or | Signal.Xor -> w
+    | Signal.Add | Signal.Sub -> w (* carry chain, one LUT per bit *)
+    | Signal.Lt -> aw (* carry-chain comparator *)
+    | Signal.Eq ->
+      (* Per-bit XNOR packed 4/LUT, then an AND reduction tree. *)
+      let leaves = (aw + 3) / 4 in
+      leaves + reduction_tree_luts leaves
+    | Signal.Mul -> aw * aw (* LUT array multiplier; Spartan-II has no DSPs *))
+  | Signal.Mux { cases; _ } ->
+    let n = List.length cases in
+    if n <= 1 then 0
+    else
+      (* (n-1) 2:1 muxes per bit; two 2:1 muxes pack into one LUT4 +
+         its F5 mux, so halve (rounding up). *)
+      w * (((n - 1) + 1) / 2)
+  | Signal.Reg _ -> 0
+  | Signal.Mem_read_async _ | Signal.Mem_read_sync _ -> 0
+
+let node_ffs s =
+  match Signal.prim s with Signal.Reg _ -> Signal.width s | _ -> 0
+
+type mem_mapping = Block_ram | Distributed
+
+(* A memory maps to block RAM when any port reads synchronously —
+   distributed RAM cannot register its output inside the primitive. *)
+let memory_mapping circuit m =
+  let has_sync_read =
+    List.exists
+      (fun s ->
+        match Signal.prim s with
+        | Signal.Mem_read_sync { memory; _ } ->
+          Signal.memory_uid memory = Signal.memory_uid m
+        | _ -> false)
+      (Circuit.signals circuit)
+  in
+  if has_sync_read then Block_ram else Distributed
+
+let async_read_ports circuit m =
+  List.length
+    (List.filter
+       (fun s ->
+         match Signal.prim s with
+         | Signal.Mem_read_async { memory; _ } ->
+           Signal.memory_uid memory = Signal.memory_uid m
+         | _ -> false)
+       (Circuit.signals circuit))
+
+let memory_resources (board : Board.t) circuit m =
+  let bits = Signal.memory_size m * Signal.memory_width m in
+  match memory_mapping circuit m with
+  | Block_ram ->
+    let by_bits = (bits + board.bram_bits - 1) / board.bram_bits in
+    let by_width =
+      (Signal.memory_width m + board.bram_max_width - 1) / board.bram_max_width
+    in
+    { zero with brams = max by_bits by_width }
+  | Distributed ->
+    (* 16x1 RAM per LUT; each extra read port replicates the array. *)
+    let ports = max 1 (async_read_ports circuit m) in
+    let ram_luts = ports * ((bits + 15) / 16) in
+    { zero with luts = ram_luts; lutram_luts = ram_luts }
+
+let estimate ?(board = Board.default) circuit =
+  let logic =
+    List.fold_left
+      (fun acc s -> add acc { zero with luts = node_luts s; ffs = node_ffs s })
+      zero (Circuit.signals circuit)
+  in
+  List.fold_left
+    (fun acc m ->
+      if Signal.memory_is_external m then acc
+      else add acc (memory_resources board circuit m))
+    logic (Circuit.memories circuit)
+
+let utilization ~(board : Board.t) r =
+  float_of_int r.luts /. float_of_int board.luts_available
+
+let pp fmt r =
+  Format.fprintf fmt "%d LUTs (%d as RAM), %d FFs, %d BRAMs" r.luts r.lutram_luts
+    r.ffs r.brams

@@ -1,0 +1,44 @@
+(** Technology mapping estimation.
+
+    Maps a netlist onto 4-input LUTs, flip-flops and block RAMs of the
+    target {!Board.t} with a deterministic per-primitive cost model.
+
+    Model summary (documented so results are reproducible):
+    - pure wiring ([Wire], [Concat], [Select], constants, inputs) and
+      inverters cost nothing — inverters are absorbed into LUT inputs,
+      which is what makes the paper's "iterators are wrappers that
+      dissolve" observation measurable;
+    - 2-input logic costs one LUT per bit, add/sub/compare use the
+      carry chain at one LUT per bit, equality uses a 4-ary reduction
+      tree over per-bit XNORs packed four to a LUT;
+    - an n-way mux costs [(n-1)] 2:1 levels per bit, with pairs of
+      2:1 muxes packed into single LUTs;
+    - registers cost one FF per bit (enable and synchronous clear map
+      to the FF's CE/R pins for free);
+    - a memory with any synchronous read port maps to block RAM
+      ([ceil(bits / bram_bits)], at least one per
+      [ceil(width / bram_max_width)] slice of the data bus); a memory
+      with only asynchronous reads maps to distributed LUT RAM at one
+      LUT per 16 bits plus its read multiplexers. *)
+
+open Hwpat_rtl
+
+type resources = {
+  luts : int;
+  ffs : int;
+  brams : int;
+  lutram_luts : int;  (** subset of [luts] spent as distributed RAM *)
+}
+
+val zero : resources
+val add : resources -> resources -> resources
+
+val node_luts : Signal.t -> int
+(** LUT cost of a single combinational node under the model above. *)
+
+val estimate : ?board:Board.t -> Circuit.t -> resources
+
+val utilization : board:Board.t -> resources -> float
+(** Fraction of the board's LUTs consumed (0.0–…). *)
+
+val pp : Format.formatter -> resources -> unit

@@ -1,0 +1,89 @@
+open Hwpat_rtl
+
+type t = { critical_path_ns : float; logic_levels : int; fmax_mhz : float }
+
+(* Logic levels a node adds on a path through it. *)
+let node_levels s =
+  match Signal.prim s with
+  | Signal.Const _ | Signal.Input _ | Signal.Wire _ | Signal.Concat _
+  | Signal.Select _ | Signal.Not _ | Signal.Reg _ | Signal.Mem_read_sync _ ->
+    0
+  | Signal.Op2 (op, _, _) -> (
+    match op with
+    | Signal.And | Signal.Or | Signal.Xor | Signal.Add | Signal.Sub | Signal.Lt
+    | Signal.Eq ->
+      1
+    | Signal.Mul -> max 1 (Signal.width s / 2))
+  | Signal.Mux { cases; _ } ->
+    let n = List.length cases in
+    if n <= 1 then 0
+    else
+      (* levels of a 2:1 tree, two levels packing into one LUT *)
+      let rec log2 n = if n <= 1 then 0 else 1 + log2 ((n + 1) / 2) in
+      max 1 ((log2 n + 1) / 2)
+  | Signal.Mem_read_async _ -> 1
+
+let node_delay_ns ?(board = Board.default) s =
+  let levels = node_levels s in
+  let base = float_of_int levels *. (board.lut_delay_ns +. board.route_delay_ns) in
+  match Signal.prim s with
+  | Signal.Op2 ((Signal.Add | Signal.Sub | Signal.Lt), a, _) ->
+    base +. (float_of_int (Signal.width a) *. board.carry_delay_ns)
+  | Signal.Mem_read_async _ -> base +. 0.5 (* RAM decode overhead *)
+  | _ -> base
+
+let comb_deps s =
+  match Signal.prim s with
+  | Signal.Reg _ | Signal.Mem_read_sync _ -> []
+  | Signal.Mem_read_async { addr; _ } -> [ addr ]
+  | _ -> Signal.deps s
+
+let analyze ?(board = Board.default) circuit =
+  let arrival = Hashtbl.create 997 in
+  let levels = Hashtbl.create 997 in
+  (* Schedule order guarantees deps are computed first. *)
+  List.iter
+    (fun s ->
+      let dep_arrival =
+        List.fold_left
+          (fun acc d ->
+            max acc (try Hashtbl.find arrival (Signal.uid d) with Not_found -> 0.0))
+          0.0 (comb_deps s)
+      in
+      let dep_levels =
+        List.fold_left
+          (fun acc d ->
+            max acc (try Hashtbl.find levels (Signal.uid d) with Not_found -> 0))
+          0 (comb_deps s)
+      in
+      Hashtbl.replace arrival (Signal.uid s) (dep_arrival +. node_delay_ns ~board s);
+      Hashtbl.replace levels (Signal.uid s) (dep_levels + node_levels s))
+    (Circuit.signals circuit);
+  (* Paths end where data is captured: register D / enable / clear,
+     memory write and sync-read inputs, and circuit outputs. *)
+  let endpoint_arrivals = ref [ 0.0 ] in
+  let endpoint_levels = ref [ 0 ] in
+  let note s =
+    (match Hashtbl.find_opt arrival (Signal.uid s) with
+    | Some a -> endpoint_arrivals := a :: !endpoint_arrivals
+    | None -> ());
+    match Hashtbl.find_opt levels (Signal.uid s) with
+    | Some l -> endpoint_levels := l :: !endpoint_levels
+    | None -> ()
+  in
+  List.iter
+    (fun s ->
+      match Signal.prim s with
+      | Signal.Reg _ | Signal.Mem_read_sync _ -> List.iter note (Signal.deps s)
+      | _ -> ())
+    (Circuit.signals circuit);
+  List.iter (fun (_, s) -> note s) (Circuit.outputs circuit);
+  let critical = List.fold_left max 0.0 !endpoint_arrivals in
+  let logic_levels = List.fold_left max 0 !endpoint_levels in
+  let period = board.clk_to_q_ns +. critical +. board.setup_ns in
+  let fmax = 1000.0 /. period in
+  { critical_path_ns = critical; logic_levels; fmax_mhz = fmax }
+
+let pp fmt t =
+  Format.fprintf fmt "critical path %.2f ns (%d levels), fmax %.1f MHz"
+    t.critical_path_ns t.logic_levels t.fmax_mhz

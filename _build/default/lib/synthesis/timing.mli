@@ -1,0 +1,21 @@
+open Hwpat_rtl
+
+(** Static timing estimation.
+
+    Computes the longest register-to-register combinational path with a
+    per-primitive delay model (LUT + average routing per logic level,
+    carry chains at per-bit cost) and converts it to a maximum clock
+    frequency for the target board. *)
+
+type t = {
+  critical_path_ns : float;  (** comb path only, excluding clk-to-q/setup *)
+  logic_levels : int;        (** LUT levels on the critical path *)
+  fmax_mhz : float;
+}
+
+val analyze : ?board:Board.t -> Circuit.t -> t
+
+val node_delay_ns : ?board:Board.t -> Signal.t -> float
+(** Delay contributed by one node (0 for pure wiring). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/video/frame.ml: Array Buffer List Printf String

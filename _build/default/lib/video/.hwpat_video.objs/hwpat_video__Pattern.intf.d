@@ -1,0 +1,1 @@
+lib/video/pattern.mli: Frame

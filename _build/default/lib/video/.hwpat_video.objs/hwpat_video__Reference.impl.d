@@ -1,0 +1,1 @@
+lib/video/reference.ml: Array Frame Hwpat_algorithms List

@@ -1,0 +1,1 @@
+lib/video/reference.mli: Frame

@@ -1,0 +1,1 @@
+lib/video/vga_sink.ml: Bits Cyclesim Frame Hwpat_rtl List

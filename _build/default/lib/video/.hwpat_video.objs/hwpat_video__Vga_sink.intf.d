@@ -1,0 +1,1 @@
+lib/video/vga_sink.mli: Cyclesim Frame Hwpat_rtl

@@ -1,0 +1,1 @@
+lib/video/video_source.ml: Bits Cyclesim Frame Hwpat_rtl

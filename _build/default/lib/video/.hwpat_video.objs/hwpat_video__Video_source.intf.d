@@ -1,0 +1,1 @@
+lib/video/video_source.mli: Cyclesim Frame Hwpat_rtl

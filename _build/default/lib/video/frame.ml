@@ -1,0 +1,92 @@
+type t = { width : int; height : int; depth : int; data : int array }
+
+let create ~width ~height ~depth =
+  if width < 1 || height < 1 then invalid_arg "Frame.create: empty frame";
+  if depth < 1 || depth > 30 then invalid_arg "Frame.create: depth out of range";
+  { width; height; depth; data = Array.make (width * height) 0 }
+
+let width t = t.width
+let height t = t.height
+let depth t = t.depth
+let pixels t = t.width * t.height
+
+let check_coords t ~x ~y =
+  if x < 0 || x >= t.width || y < 0 || y >= t.height then
+    invalid_arg (Printf.sprintf "Frame: (%d,%d) outside %dx%d" x y t.width t.height)
+
+let get t ~x ~y =
+  check_coords t ~x ~y;
+  t.data.((y * t.width) + x)
+
+let set t ~x ~y v =
+  check_coords t ~x ~y;
+  if v < 0 || v >= 1 lsl t.depth then
+    invalid_arg (Printf.sprintf "Frame.set: %d exceeds %d-bit depth" v t.depth);
+  t.data.((y * t.width) + x) <- v
+
+let init ~width ~height ~depth f =
+  let t = create ~width ~height ~depth in
+  for y = 0 to height - 1 do
+    for x = 0 to width - 1 do
+      set t ~x ~y (f ~x ~y)
+    done
+  done;
+  t
+
+let to_row_major t = Array.to_list t.data
+
+let of_row_major ~width ~height ~depth values =
+  if List.length values <> width * height then
+    invalid_arg "Frame.of_row_major: wrong pixel count";
+  let t = create ~width ~height ~depth in
+  List.iteri (fun i v -> t.data.(i) <- v) values;
+  t
+
+let equal a b =
+  a.width = b.width && a.height = b.height && a.depth = b.depth && a.data = b.data
+
+let map t ~f =
+  {
+    t with
+    data =
+      Array.map
+        (fun v ->
+          let r = f v in
+          if r < 0 || r >= 1 lsl t.depth then
+            invalid_arg "Frame.map: result exceeds depth";
+          r)
+        t.data;
+  }
+
+let diff_count a b =
+  if a.width <> b.width || a.height <> b.height then
+    invalid_arg "Frame.diff_count: dimension mismatch";
+  let n = ref 0 in
+  Array.iteri (fun i v -> if v <> b.data.(i) then incr n) a.data;
+  !n
+
+let rgb ~r ~g ~b =
+  if r < 0 || r > 255 || g < 0 || g > 255 || b < 0 || b > 255 then
+    invalid_arg "Frame.rgb: channel out of range";
+  (r lsl 16) lor (g lsl 8) lor b
+
+let rgb_channels px = ((px lsr 16) land 255, (px lsr 8) land 255, px land 255)
+
+let grey_of_rgb px =
+  let r, g, b = rgb_channels px in
+  (r + (2 * g) + b) / 4
+
+let to_string t =
+  let ramp = " .:-=+*#%@" in
+  let buf = Buffer.create ((t.width + 1) * t.height) in
+  for y = 0 to t.height - 1 do
+    for x = 0 to t.width - 1 do
+      let v = get t ~x ~y in
+      let v = if t.depth > 8 then grey_of_rgb v else v in
+      let max_v = (1 lsl min t.depth 8) - 1 in
+      let idx = v * (String.length ramp - 1) / max_v in
+      Buffer.add_char buf ramp.[idx]
+    done;
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.contents buf

@@ -1,0 +1,47 @@
+(** Pixel frames for the video pipeline experiments.
+
+    A frame is a row-major image of unsigned pixel values; 8-bit
+    greyscale and 24-bit RGB both fit (a pixel is just an int checked
+    against the frame's bit depth). *)
+
+type t
+
+val create : width:int -> height:int -> depth:int -> t
+(** Zero-filled frame; [depth] is bits per pixel (1–30). *)
+
+val width : t -> int
+val height : t -> int
+val depth : t -> int
+val pixels : t -> int
+(** [width * height]. *)
+
+val get : t -> x:int -> y:int -> int
+val set : t -> x:int -> y:int -> int -> unit
+(** Raises [Invalid_argument] if the value exceeds the bit depth or the
+    coordinates are out of range. *)
+
+val init : width:int -> height:int -> depth:int -> (x:int -> y:int -> int) -> t
+
+val to_row_major : t -> int list
+(** Pixels in stream order (the order a video decoder emits them). *)
+
+val of_row_major : width:int -> height:int -> depth:int -> int list -> t
+(** Raises if the list length is not [width * height]. *)
+
+val equal : t -> t -> bool
+
+val map : t -> f:(int -> int) -> t
+
+val diff_count : t -> t -> int
+(** Number of differing pixels (frames must have equal dimensions). *)
+
+val rgb : r:int -> g:int -> b:int -> int
+(** Pack 8-bit channels into a 24-bit pixel (r in the high byte). *)
+
+val rgb_channels : int -> int * int * int
+
+val grey_of_rgb : int -> int
+(** Integer luma approximation: [(r + 2g + b) / 4]. *)
+
+val to_string : t -> string
+(** Compact ASCII rendering for debugging (greyscale ramp). *)

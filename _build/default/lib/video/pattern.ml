@@ -1,0 +1,30 @@
+let clamp ~depth v = v land ((1 lsl depth) - 1)
+
+let gradient ~width ~height ~depth =
+  Frame.init ~width ~height ~depth (fun ~x ~y -> clamp ~depth (x + y))
+
+let checkerboard ?(cell = 2) ~width ~height ~depth () =
+  let hi = (1 lsl depth) - 1 in
+  Frame.init ~width ~height ~depth (fun ~x ~y ->
+      if (x / cell + (y / cell)) mod 2 = 0 then hi else 0)
+
+let random ?(seed = 0) ~width ~height ~depth () =
+  let state = Random.State.make [| seed |] in
+  Frame.init ~width ~height ~depth (fun ~x:_ ~y:_ ->
+      Random.State.int state (1 lsl depth))
+
+let constant ~value ~width ~height ~depth =
+  Frame.init ~width ~height ~depth (fun ~x:_ ~y:_ -> value)
+
+let bars ~width ~height ~depth =
+  let levels = 8 in
+  let hi = (1 lsl depth) - 1 in
+  Frame.init ~width ~height ~depth (fun ~x ~y:_ ->
+      x * levels / width * hi / (levels - 1))
+
+let rgb_gradient ~width ~height =
+  Frame.init ~width ~height ~depth:24 (fun ~x ~y ->
+      Frame.rgb
+        ~r:(x * 255 / max 1 (width - 1))
+        ~g:(y * 255 / max 1 (height - 1))
+        ~b:((x + y) * 255 / max 1 (width + height - 2)))

@@ -1,0 +1,16 @@
+(** Synthetic test frames — the stand-in for the paper's camera. *)
+
+val gradient : width:int -> height:int -> depth:int -> Frame.t
+(** Diagonal intensity ramp. *)
+
+val checkerboard : ?cell:int -> width:int -> height:int -> depth:int -> unit -> Frame.t
+
+val random : ?seed:int -> width:int -> height:int -> depth:int -> unit -> Frame.t
+
+val constant : value:int -> width:int -> height:int -> depth:int -> Frame.t
+
+val bars : width:int -> height:int -> depth:int -> Frame.t
+(** Vertical bars of stepped intensity (colour-bar style). *)
+
+val rgb_gradient : width:int -> height:int -> Frame.t
+(** 24-bit frame with distinct ramps per channel. *)

@@ -1,0 +1,37 @@
+let copy frame =
+  Frame.init ~width:(Frame.width frame) ~height:(Frame.height frame)
+    ~depth:(Frame.depth frame) (fun ~x ~y -> Frame.get frame ~x ~y)
+
+let transform ~f frame = Frame.map frame ~f
+
+let blur frame =
+  let w = Frame.width frame and h = Frame.height frame in
+  if w < 3 || h < 3 then invalid_arg "Reference.blur: frame too small";
+  Frame.init ~width:(w - 2) ~height:(h - 2) ~depth:(Frame.depth frame)
+    (fun ~x ~y ->
+      let window =
+        Array.init 3 (fun r ->
+            Array.init 3 (fun c -> Frame.get frame ~x:(x + c) ~y:(y + r)))
+      in
+      Hwpat_algorithms.Blur.reference_pixel ~window)
+
+let sobel frame =
+  let w = Frame.width frame and h = Frame.height frame in
+  if w < 3 || h < 3 then invalid_arg "Reference.sobel: frame too small";
+  Frame.init ~width:(w - 2) ~height:(h - 2) ~depth:(Frame.depth frame)
+    (fun ~x ~y ->
+      let window =
+        Array.init 3 (fun r ->
+            Array.init 3 (fun c -> Frame.get frame ~x:(x + c) ~y:(y + r)))
+      in
+      Hwpat_algorithms.Sobel.reference_pixel ~window ~width:(Frame.depth frame))
+
+let accumulate frame =
+  List.fold_left ( + ) 0 (Frame.to_row_major frame)
+
+let find ~target frame =
+  let rec go i = function
+    | [] -> None
+    | v :: rest -> if v = target then Some i else go (i + 1) rest
+  in
+  go 0 (Frame.to_row_major frame)

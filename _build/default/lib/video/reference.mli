@@ -1,0 +1,20 @@
+(** Software golden models for every hardware algorithm. The RTL
+    implementations must match these bit-exactly. *)
+
+val copy : Frame.t -> Frame.t
+
+val transform : f:(int -> int) -> Frame.t -> Frame.t
+
+val blur : Frame.t -> Frame.t
+(** 3×3 binomial blur (see {!Hwpat_algorithms.Blur.kernel}); output is
+    the (W-2)×(H-2) interior. *)
+
+val sobel : Frame.t -> Frame.t
+(** Sobel gradient magnitude (|Gx| + |Gy|, saturated); interior only.
+    Matches {!Hwpat_algorithms.Sobel.reference_pixel}. *)
+
+val accumulate : Frame.t -> int
+(** Sum of all pixels. *)
+
+val find : target:int -> Frame.t -> int option
+(** Stream-order index of the first pixel equal to [target]. *)

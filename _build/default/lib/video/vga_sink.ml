@@ -1,0 +1,38 @@
+open Hwpat_rtl
+
+type t = {
+  sim : Cyclesim.t;
+  valid_port : string;
+  data_port : string;
+  ready_port : string;
+  ready_every : int;
+  mutable tick : int;
+  mutable captured : int list; (* newest first *)
+}
+
+let create ?(valid_port = "out_valid") ?(data_port = "out_data")
+    ?(ready_port = "out_ready") ?(ready_every = 1) sim () =
+  if ready_every < 1 then invalid_arg "Vga_sink.create: ready_every must be >= 1";
+  { sim; valid_port; data_port; ready_port; ready_every; tick = 0; captured = [] }
+
+let drive t =
+  if t.ready_port <> "" then begin
+    let ready = t.tick mod t.ready_every = 0 in
+    Cyclesim.in_port t.sim t.ready_port := Bits.of_bool ready
+  end;
+  t.tick <- t.tick + 1
+
+let observe t =
+  if Bits.to_bool !(Cyclesim.out_port t.sim t.valid_port) then
+    t.captured <-
+      Bits.to_int_trunc !(Cyclesim.out_port t.sim t.data_port) :: t.captured
+
+let collected t = List.rev t.captured
+let count t = List.length t.captured
+
+let to_frame t ~width ~height ~depth =
+  Frame.of_row_major ~width ~height ~depth (collected t)
+
+let clear t =
+  t.captured <- [];
+  t.tick <- 0

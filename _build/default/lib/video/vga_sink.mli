@@ -1,0 +1,36 @@
+open Hwpat_rtl
+
+(** Simulation-side VGA coder model: collects the output pixel stream.
+
+    The sink holds its ready input high (optionally with a duty cycle
+    to model a slower consumer) and captures a word whenever the
+    circuit pulses its valid output. Call [drive] before each cycle
+    and [observe] after it, like {!Video_source}. *)
+
+type t
+
+val create :
+  ?valid_port:string ->
+  ?data_port:string ->
+  ?ready_port:string ->
+  ?ready_every:int ->
+  Cyclesim.t ->
+  unit ->
+  t
+(** Defaults: ["out_valid"], ["out_data"], ["out_ready"],
+    [ready_every = 1] (always ready). [ready_every = n] asserts ready
+    one cycle in [n]. If the circuit has no ready input, pass
+    [ready_port:""]. *)
+
+val drive : t -> unit
+val observe : t -> unit
+
+val collected : t -> int list
+(** Captured words, oldest first. *)
+
+val count : t -> int
+
+val to_frame : t -> width:int -> height:int -> depth:int -> Frame.t
+(** Raises if the captured count does not equal [width * height]. *)
+
+val clear : t -> unit

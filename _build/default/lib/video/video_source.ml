@@ -1,0 +1,48 @@
+open Hwpat_rtl
+
+type t = {
+  sim : Cyclesim.t;
+  valid_port : string;
+  data_port : string;
+  ready_port : string;
+  depth : int;
+  mutable remaining : int list;
+  mutable sent : int;
+}
+
+let create ?(valid_port = "px_valid") ?(data_port = "px_data")
+    ?(ready_port = "px_ready") sim frame =
+  {
+    sim;
+    valid_port;
+    data_port;
+    ready_port;
+    depth = Frame.depth frame;
+    remaining = Frame.to_row_major frame;
+    sent = 0;
+  }
+
+let drive t =
+  match t.remaining with
+  | [] -> Cyclesim.in_port t.sim t.valid_port := Bits.zero 1
+  | px :: _ ->
+    Cyclesim.in_port t.sim t.valid_port := Bits.one 1;
+    Cyclesim.in_port t.sim t.data_port := Bits.of_int ~width:t.depth px
+
+let observe t =
+  match t.remaining with
+  | [] -> ()
+  | _ :: rest ->
+    if Bits.to_bool !(Cyclesim.out_port t.sim t.ready_port) then begin
+      t.remaining <- rest;
+      t.sent <- t.sent + 1
+    end
+
+let exhausted t = t.remaining = []
+let sent t = t.sent
+
+let restart t frame =
+  if Frame.depth frame <> t.depth then
+    invalid_arg "Video_source.restart: depth mismatch";
+  t.remaining <- Frame.to_row_major frame;
+  t.sent <- 0

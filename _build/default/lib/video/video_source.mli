@@ -1,0 +1,35 @@
+open Hwpat_rtl
+
+(** Simulation-side video decoder model (the SAA7113 stand-in).
+
+    Streams a frame's pixels into a circuit through a valid/ready
+    handshake, one [drive]/[observe] pair per simulated cycle:
+
+    {[ while not (Video_source.exhausted src) do
+         Video_source.drive src;
+         Cyclesim.cycle sim;
+         Video_source.observe src
+       done ]}
+
+    [drive] presents the current pixel on the valid/data input ports;
+    [observe] (after the cycle) checks the ready output and advances
+    past consumed pixels. *)
+
+type t
+
+val create :
+  ?valid_port:string ->
+  ?data_port:string ->
+  ?ready_port:string ->
+  Cyclesim.t ->
+  Frame.t ->
+  t
+(** Port-name defaults: ["px_valid"], ["px_data"], ["px_ready"]. *)
+
+val drive : t -> unit
+val observe : t -> unit
+val exhausted : t -> bool
+val sent : t -> int
+
+val restart : t -> Frame.t -> unit
+(** Start streaming a new frame (same dimensions). *)

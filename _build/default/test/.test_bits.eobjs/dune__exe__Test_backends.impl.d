@@ -1,0 +1,1 @@
+test/test_backends.ml: Alcotest Bits Circuit Dot Hwpat_rtl List Netlist_stats Printf String Verilog Vhdl

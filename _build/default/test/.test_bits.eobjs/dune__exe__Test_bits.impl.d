@@ -1,0 +1,1 @@
+test/test_bits.ml: Alcotest Bits Gen Hwpat_rtl Printf QCheck QCheck_alcotest String

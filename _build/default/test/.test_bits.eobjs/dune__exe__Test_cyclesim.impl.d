@@ -1,0 +1,1 @@
+test/test_cyclesim.ml: Alcotest Bits Circuit Cyclesim Hwpat_rtl List Printf String Vcd

@@ -1,0 +1,1 @@
+test/test_devices.ml: Alcotest Bits Bram Circuit Cyclesim Fifo_core Handshake Hwpat_devices Hwpat_rtl Hwpat_synthesis Lifo_core Line_buffer List Printf Sram Sram_arbiter

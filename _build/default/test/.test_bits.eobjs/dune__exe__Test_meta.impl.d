@@ -1,0 +1,1 @@
+test/test_meta.ml: Alcotest Algorithm_meta Codegen Config Format Hwpat_meta List Metamodel String Vhdl_lint

@@ -1,0 +1,1 @@
+test/test_random_circuits.ml: Alcotest Array Bits Circuit Cyclesim Hwpat_rtl Hwpat_synthesis List Netlist_stats Optimize Printf Random String Verilog Vhdl

@@ -1,0 +1,1 @@
+test/test_signal.ml: Alcotest Bits Circuit Cyclesim Fsm Hwpat_rtl Int List Option String

@@ -1,0 +1,1 @@
+test/test_synthesis.ml: Alcotest Bits Board Circuit Cyclesim Design_space Hwpat_rtl Hwpat_synthesis List Power Resource_report String Techmap Timing

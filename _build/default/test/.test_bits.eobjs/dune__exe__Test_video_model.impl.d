@@ -1,0 +1,1 @@
+test/test_video_model.ml: Alcotest Frame Gen Hwpat_model Hwpat_video List Pattern QCheck QCheck_alcotest Queue Reference String

@@ -1,0 +1,1 @@
+test/test_video_model.mli:

@@ -1,0 +1,1 @@
+test/support/sim_util.ml: Bits Circuit Cyclesim Hwpat_containers Hwpat_rtl Printf

@@ -1,0 +1,71 @@
+(* Shared test-bench helpers: drive request/ack handshakes against a
+   running Cyclesim from OCaml test code. *)
+
+open Hwpat_rtl
+
+let set sim name ~width v = Cyclesim.in_port sim name := Bits.of_int ~width v
+let out_int sim name = Bits.to_int !(Cyclesim.out_port sim name)
+
+exception Timeout of string
+
+(* Step cycles until the named 1-bit output is high (checked after each
+   cycle's settled outputs). Returns the number of cycles stepped. *)
+let cycles_until ?(timeout = 2000) sim name =
+  let rec go n =
+    if n > timeout then raise (Timeout (Printf.sprintf "waiting for %s" name));
+    Cyclesim.cycle sim;
+    if out_int sim name = 1 then n else go (n + 1)
+  in
+  go 1
+
+(* A sequential-container client: put one value, honoring the
+   hold-until-ack handshake. Returns latency in cycles. *)
+let seq_put ?timeout sim ~width v =
+  set sim "put_req" ~width:1 1;
+  set sim "put_data" ~width v;
+  let n = cycles_until ?timeout sim "put_ack" in
+  set sim "put_req" ~width:1 0;
+  Cyclesim.cycle sim;
+  n
+
+(* Get one value; returns (value, latency). *)
+let seq_get ?timeout sim =
+  set sim "get_req" ~width:1 1;
+  let n = cycles_until ?timeout sim "get_ack" in
+  let v = out_int sim "get_data" in
+  set sim "get_req" ~width:1 0;
+  Cyclesim.cycle sim;
+  (v, n)
+
+(* Build a simulator for a sequential container given its builder.
+   Exposes get_req/put_req/put_data inputs and
+   get_ack/get_data/put_ack/empty/full/size outputs. *)
+let seq_harness ~name ~width build =
+  let data_width = width in
+  let open Hwpat_rtl.Signal in
+  let driver =
+    {
+      Hwpat_containers.Container_intf.get_req = input "get_req" 1;
+      put_req = input "put_req" 1;
+      put_data = input "put_data" data_width;
+    }
+  in
+  let c : Hwpat_containers.Container_intf.seq = build driver in
+  let circuit =
+    Circuit.create_exn ~name
+      [
+        ("get_ack", c.Hwpat_containers.Container_intf.get_ack);
+        ("get_data", c.Hwpat_containers.Container_intf.get_data);
+        ("put_ack", c.Hwpat_containers.Container_intf.put_ack);
+        ("empty", c.Hwpat_containers.Container_intf.empty);
+        ("full", c.Hwpat_containers.Container_intf.full);
+        ("size", c.Hwpat_containers.Container_intf.size);
+      ]
+  in
+  Cyclesim.create circuit
+
+(* Idle the simulator with all requests low. *)
+let quiesce sim =
+  (try set sim "get_req" ~width:1 0 with Invalid_argument _ -> ());
+  (try set sim "put_req" ~width:1 0 with Invalid_argument _ -> ());
+  Cyclesim.cycle sim

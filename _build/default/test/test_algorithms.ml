@@ -1,0 +1,330 @@
+open Hwpat_rtl
+open Hwpat_rtl.Signal
+open Hwpat_containers
+open Hwpat_iterators
+open Hwpat_algorithms
+open Hwpat_test_support.Sim_util
+
+let check_int = Alcotest.(check int)
+
+
+(* Harness: a copy/transform algorithm between two queues, with
+   testbench access to the source put side and the sink get side. *)
+let copy_between_queues ?limit ~f ~src_build ~dst_build () =
+  let xf = Transform.create ?limit ~width:8 ~f () in
+  let src_ack = ref None in
+  let src_it, () =
+    Seq_iterator.connect_input
+      ~build:(fun ~get_req ->
+        let d =
+          {
+            Container_intf.get_req;
+            put_req = input "src_put_req" 1;
+            put_data = input "src_put_data" 8;
+          }
+        in
+        let q = src_build d in
+        src_ack := Some q.Container_intf.put_ack;
+        (q, ()))
+      xf.Transform.src_driver
+  in
+  let dst_q =
+    dst_build
+      {
+        Container_intf.get_req = input "dst_get_req" 1;
+        put_req = Seq_iterator.fused_put_req xf.Transform.dst_driver;
+        put_data = xf.Transform.dst_driver.Iterator_intf.write_data;
+      }
+  in
+  let dst_it = Seq_iterator.output dst_q xf.Transform.dst_driver in
+  xf.Transform.connect ~src:src_it ~dst:dst_it;
+  ignore src_it;
+  let circuit =
+    Circuit.create_exn ~name:"copy_harness"
+      [
+        ("src_put_ack", Option.get !src_ack);
+        ("dst_get_ack", dst_q.Container_intf.get_ack);
+        ("dst_get_data", dst_q.Container_intf.get_data);
+        ("transferred", xf.Transform.transferred);
+        ("running", xf.Transform.running);
+      ]
+  in
+  Cyclesim.create circuit
+
+let feed sim v =
+  set sim "src_put_req" ~width:1 1;
+  set sim "src_put_data" ~width:8 v;
+  let rec wait n =
+    if n > 300 then Alcotest.fail "source put stuck";
+    Cyclesim.cycle sim;
+    if out_int sim "src_put_ack" = 0 then wait (n + 1)
+  in
+  wait 0;
+  set sim "src_put_req" ~width:1 0;
+  Cyclesim.cycle sim
+
+let drain sim =
+  set sim "dst_get_req" ~width:1 1;
+  let rec wait n =
+    if n > 300 then Alcotest.fail "sink get stuck";
+    Cyclesim.cycle sim;
+    if out_int sim "dst_get_ack" = 1 then out_int sim "dst_get_data"
+    else wait (n + 1)
+  in
+  let v = wait 0 in
+  set sim "dst_get_req" ~width:1 0;
+  Cyclesim.cycle sim;
+  v
+
+let queue_targets =
+  [
+    ("fifo->fifo",
+     (fun d -> Queue_c.over_fifo ~name:"srcq" ~depth:16 ~width:8 d),
+     fun d -> Queue_c.over_fifo ~name:"dstq" ~depth:16 ~width:8 d);
+    ("bram->sram",
+     (fun d -> Queue_c.over_bram ~name:"srcq" ~depth:16 ~width:8 d),
+     fun d -> Queue_c.over_sram ~name:"dstq" ~depth:16 ~width:8 ~wait_states:1 d);
+    ("sram->fifo",
+     (fun d -> Queue_c.over_sram ~name:"srcq" ~depth:16 ~width:8 ~wait_states:2 d),
+     fun d -> Queue_c.over_fifo ~name:"dstq" ~depth:16 ~width:8 d);
+  ]
+
+(* The pattern's core claim: the SAME algorithm FSM works over any
+   container/target combination. *)
+let test_copy_is_container_agnostic () =
+  List.iter
+    (fun (tag, src_build, dst_build) ->
+      let sim = copy_between_queues ~f:(fun x -> x) ~src_build ~dst_build () in
+      set sim "dst_get_req" ~width:1 0;
+      set sim "src_put_req" ~width:1 0;
+      set sim "src_put_data" ~width:8 0;
+      Cyclesim.cycle sim;
+      let data = [ 3; 1; 4; 1; 5; 9; 2; 6 ] in
+      List.iter (feed sim) data;
+      let got = List.map (fun _ -> drain sim) data in
+      Alcotest.(check (list int)) (tag ^ ": copied in order") data got)
+    queue_targets
+
+let test_transform_applies_function () =
+  let sim =
+    copy_between_queues
+      ~f:(fun x -> ~:x)
+      ~src_build:(fun d -> Queue_c.over_fifo ~depth:16 ~width:8 d)
+      ~dst_build:(fun d -> Queue_c.over_fifo ~depth:16 ~width:8 d)
+      ()
+  in
+  set sim "dst_get_req" ~width:1 0;
+  Cyclesim.cycle sim;
+  List.iter (feed sim) [ 0; 255; 170 ];
+  Alcotest.(check (list int)) "inverted" [ 255; 0; 85 ]
+    (List.map (fun _ -> drain sim) [ (); (); () ])
+
+let test_copy_limit_halts () =
+  let sim =
+    copy_between_queues ~limit:3
+      ~f:(fun x -> x)
+      ~src_build:(fun d -> Queue_c.over_fifo ~depth:16 ~width:8 d)
+      ~dst_build:(fun d -> Queue_c.over_fifo ~depth:16 ~width:8 d)
+      ()
+  in
+  set sim "dst_get_req" ~width:1 0;
+  Cyclesim.cycle sim;
+  List.iter (feed sim) [ 1; 2; 3; 4; 5 ];
+  (* Give the FSM time; only 3 elements may cross. *)
+  for _ = 1 to 100 do
+    Cyclesim.cycle sim
+  done;
+  Cyclesim.settle sim;
+  check_int "transferred exactly 3" 3 (out_int sim "transferred");
+  check_int "halted" 0 (out_int sim "running");
+  Alcotest.(check (list int)) "first three crossed" [ 1; 2; 3 ]
+    (List.map (fun _ -> drain sim) [ (); (); () ])
+
+(* RTL vs behavioural model equivalence on random streams. *)
+let test_copy_rtl_matches_model () =
+  let sim =
+    copy_between_queues
+      ~f:(fun x -> x)
+      ~src_build:(fun d -> Queue_c.over_bram ~depth:16 ~width:8 d)
+      ~dst_build:(fun d -> Queue_c.over_bram ~depth:16 ~width:8 d)
+      ()
+  in
+  set sim "dst_get_req" ~width:1 0;
+  Cyclesim.cycle sim;
+  Random.init 11;
+  let data = List.init 20 (fun _ -> Random.int 256) in
+  (* Model run. *)
+  (* The model run loads the whole stream up front, so give the model
+     queues room for all of it; the RTL run exercises backpressure. *)
+  let src_model = Hwpat_model.Container.queue ~capacity:(List.length data) in
+  let dst_model = Hwpat_model.Container.queue ~capacity:(List.length data) in
+  List.iter (fun v -> ignore (Hwpat_model.Container.stream_in src_model v)) data;
+  let moved =
+    Hwpat_model.Algorithm.copy
+      ~src:(Hwpat_model.Iterator.input_of_seq src_model)
+      ~dst:(Hwpat_model.Iterator.output_of_seq dst_model)
+      ~limit:(List.length data)
+  in
+  check_int "model moved all" (List.length data) moved;
+  let model_out =
+    List.init moved (fun _ ->
+        Option.get (Hwpat_model.Container.stream_out dst_model))
+  in
+  (* RTL run. *)
+  List.iter (feed sim) data;
+  let rtl_out = List.map (fun _ -> drain sim) data in
+  Alcotest.(check (list int)) "rtl = model" model_out rtl_out
+
+(* --- Fill ------------------------------------------------------------- *)
+
+let test_fill () =
+  let fill = Fill.create ~width:8 ~value:(Bits.of_int ~width:8 42) ~count:5 () in
+  let q =
+    Queue_c.over_fifo ~depth:8 ~width:8
+      {
+        Container_intf.get_req = input "get_req" 1;
+        put_req = Seq_iterator.fused_put_req fill.Fill.dst_driver;
+        put_data = fill.Fill.dst_driver.Iterator_intf.write_data;
+      }
+  in
+  let dst_it = Seq_iterator.output q fill.Fill.dst_driver in
+  fill.Fill.connect ~dst:dst_it;
+  let c =
+    Circuit.create_exn ~name:"fill"
+      [
+        ("get_ack", q.Container_intf.get_ack);
+        ("get_data", q.Container_intf.get_data);
+        ("done", fill.Fill.done_);
+        ("written", fill.Fill.written);
+        ("size", q.Container_intf.size);
+      ]
+  in
+  let sim = Cyclesim.create c in
+  set sim "get_req" ~width:1 0;
+  ignore (cycles_until ~timeout:200 sim "done");
+  Cyclesim.settle sim;
+  check_int "five written" 5 (out_int sim "written");
+  check_int "queue holds them" 5 (out_int sim "size");
+  let v, _ = seq_get sim in
+  check_int "value" 42 v
+
+(* --- Find ------------------------------------------------------------- *)
+
+let find_harness ~target_value ~data =
+  let find =
+    Find.create ~width:8 ~target:(of_int ~width:8 target_value)
+      ~limit:(List.length data) ()
+  in
+  let src_it, put_ack =
+    Seq_iterator.connect_input
+      ~build:(fun ~get_req ->
+        let q =
+          Queue_c.over_fifo ~depth:32 ~width:8
+            {
+              Container_intf.get_req;
+              put_req = input "put_req" 1;
+              put_data = input "put_data" 8;
+            }
+        in
+        (q, q.Container_intf.put_ack))
+      find.Find.src_driver
+  in
+  find.Find.connect ~src:src_it;
+  let c =
+    Circuit.create_exn ~name:"find"
+      [
+        ("done", find.Find.done_);
+        ("found", find.Find.found);
+        ("position", find.Find.position);
+        ("put_ack", put_ack);
+      ]
+  in
+  let sim = Cyclesim.create c in
+  set sim "put_req" ~width:1 0;
+  set sim "put_data" ~width:8 0;
+  Cyclesim.cycle sim;
+  List.iter (fun v -> ignore (seq_put sim ~width:8 v)) data;
+  ignore (cycles_until ~timeout:2000 sim "done");
+  Cyclesim.settle sim;
+  (out_int sim "found", out_int sim "position")
+
+let test_find_hit () =
+  let found, position = find_harness ~target_value:9 ~data:[ 3; 1; 9; 4 ] in
+  check_int "found" 1 found;
+  check_int "at index 2" 2 position
+
+let test_find_miss () =
+  let found, _ = find_harness ~target_value:7 ~data:[ 3; 1; 9; 4 ] in
+  check_int "not found" 0 found
+
+(* --- Accumulate ------------------------------------------------------- *)
+
+let test_accumulate () =
+  let data = [ 10; 20; 30; 40 ] in
+  let acc = Accumulate.create ~width:8 ~count:(List.length data) () in
+  let src_it, put_ack =
+    Seq_iterator.connect_input
+      ~build:(fun ~get_req ->
+        let q =
+          Queue_c.over_bram ~depth:8 ~width:8
+            {
+              Container_intf.get_req;
+              put_req = input "put_req" 1;
+              put_data = input "put_data" 8;
+            }
+        in
+        (q, q.Container_intf.put_ack))
+      acc.Accumulate.src_driver
+  in
+  acc.Accumulate.connect ~src:src_it;
+  let c =
+    Circuit.create_exn ~name:"acc"
+      [
+        ("done", acc.Accumulate.done_);
+        ("sum", acc.Accumulate.sum);
+        ("put_ack", put_ack);
+      ]
+  in
+  let sim = Cyclesim.create c in
+  set sim "put_req" ~width:1 0;
+  set sim "put_data" ~width:8 0;
+  Cyclesim.cycle sim;
+  List.iter (fun v -> ignore (seq_put sim ~width:8 v)) data;
+  ignore (cycles_until ~timeout:500 sim "done");
+  Cyclesim.settle sim;
+  check_int "sum" (List.fold_left ( + ) 0 data) (out_int sim "sum")
+
+(* --- Blur kernel reference -------------------------------------------- *)
+
+let test_blur_reference_pixel () =
+  let flat = Array.make_matrix 3 3 100 in
+  check_int "flat field is preserved" 100
+    (Blur.reference_pixel ~window:flat);
+  let impulse = Array.make_matrix 3 3 0 in
+  impulse.(1).(1) <- 16;
+  check_int "unit impulse x center weight" 4
+    (Blur.reference_pixel ~window:impulse);
+  let max_w = Array.make_matrix 3 3 255 in
+  check_int "no overflow at max" 255 (Blur.reference_pixel ~window:max_w)
+
+let () =
+  Alcotest.run "algorithms"
+    [
+      ( "copy/transform",
+        [
+          Alcotest.test_case "container agnostic" `Quick
+            test_copy_is_container_agnostic;
+          Alcotest.test_case "transform applies f" `Quick
+            test_transform_applies_function;
+          Alcotest.test_case "limit halts" `Quick test_copy_limit_halts;
+          Alcotest.test_case "rtl matches model" `Quick test_copy_rtl_matches_model;
+        ] );
+      ("fill", [ Alcotest.test_case "fill_n" `Quick test_fill ]);
+      ( "find",
+        [
+          Alcotest.test_case "hit" `Quick test_find_hit;
+          Alcotest.test_case "miss" `Quick test_find_miss;
+        ] );
+      ("accumulate", [ Alcotest.test_case "sum" `Quick test_accumulate ]);
+      ("blur", [ Alcotest.test_case "reference pixel" `Quick test_blur_reference_pixel ]);
+    ]

@@ -1,0 +1,171 @@
+open Hwpat_rtl
+open Hwpat_rtl.Signal
+
+let contains needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let count_substring needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i acc =
+    if i + nl > hl then acc
+    else if String.sub hay i nl = needle then go (i + 1) (acc + 1)
+    else go (i + 1) acc
+  in
+  go 0 0
+
+(* A circuit exercising every primitive. *)
+let full_circuit () =
+  let a = input "a" 8 and b = input "b" 8 and sel = input "sel" 2 in
+  let m = create_memory ~size:8 ~width:8 ~name:"scratch" () in
+  mem_write_port m ~enable:(input "we" 1) ~addr:(input "wa" 3) ~data:a;
+  let r_async = mem_read_async m ~addr:(input "ra" 3) in
+  let r_sync = mem_read_sync m ~enable:(input "re" 1) ~addr:(input "ra2" 3) () in
+  let muxed = mux sel [ a; b; a +: b; a -: b ] -- "muxed" in
+  let q =
+    reg
+      ~enable:(input "en" 1)
+      ~clear:(input "clr" 1)
+      ~clear_to:(Bits.of_int ~width:8 7)
+      muxed
+  in
+  let cat = concat_msb [ bit a 7; select b ~high:6 ~low:0 ] in
+  Circuit.create_exn ~name:"everything"
+    [
+      ("q", q);
+      ("r_async", r_async);
+      ("r_sync", r_sync);
+      ("cat", cat);
+      ("is_eq", a ==: b);
+      ("is_lt", a <: b);
+      ("inv", ~:a);
+      ("prod", a *: b);
+      ("bits_or", a |: b);
+      ("bits_xor", a ^: b);
+    ]
+
+let test_vhdl_structure () =
+  let text = Vhdl.to_string (full_circuit ()) in
+  let check name cond = Alcotest.(check bool) name true cond in
+  check "entity" (contains "entity everything is" text);
+  check "architecture" (contains "architecture rtl of everything is" text);
+  check "clock port" (contains "clk : in std_logic" text);
+  check "libraries" (contains "use ieee.numeric_std.all;" text);
+  check "memory type" (contains "array (0 to 7)" text);
+  check "rising edge" (contains "rising_edge(clk)" text);
+  check "balanced processes"
+    (count_substring "process (" text = count_substring "end process;" text);
+  check "has mux chain" (contains "to_integer" text);
+  check "clear constant" (contains "\"00000111\"" text)
+
+let test_verilog_structure () =
+  let text = Verilog.to_string (full_circuit ()) in
+  let check name cond = Alcotest.(check bool) name true cond in
+  check "module" (contains "module everything (" text);
+  check "endmodule" (contains "endmodule" text);
+  check "clock" (contains "posedge clk" text);
+  check "memory decl" (contains "[0:7]" text);
+  check "balanced begin/end"
+    (count_substring "begin" text = count_substring "end\n" text)
+
+let test_comb_only_no_clock () =
+  let a = input "a" 4 in
+  let c = Circuit.create_exn ~name:"nostate" [ ("y", ~:a) ] in
+  Alcotest.(check bool) "vhdl: no clk port" false
+    (contains "clk : in std_logic" (Vhdl.to_string c));
+  Alcotest.(check bool) "verilog: no clk port" false
+    (contains "input clk" (Verilog.to_string c))
+
+let test_dot_export () =
+  let text = Dot.to_string (full_circuit ()) in
+  let check name cond = Alcotest.(check bool) name true cond in
+  check "digraph" (contains "digraph everything {" text);
+  check "register boxes" (contains "shape=box" text);
+  check "edges" (contains " -> " text);
+  check "outputs" (contains "out0" text);
+  check "closes" (contains "}" text);
+  (* every node id referenced in an edge is declared *)
+  let lines = String.split_on_char '\n' text in
+  let declared =
+    List.filter_map
+      (fun l ->
+        let l = String.trim l in
+        if String.length l > 2 && l.[0] = 'n' && contains "[label=" l then
+          Some (List.hd (String.split_on_char ' ' l))
+        else None)
+      lines
+  in
+  List.iter
+    (fun l ->
+      let l = String.trim l in
+      if contains " -> " l && String.length l > 0 && l.[0] = 'n' then begin
+        let src = List.hd (String.split_on_char ' ' l) in
+        check ("declared " ^ src) (List.mem src declared)
+      end)
+    lines
+
+let test_netlist_stats () =
+  let c = full_circuit () in
+  let stats = Netlist_stats.of_circuit c in
+  Alcotest.(check int) "one memory" 1 stats.Netlist_stats.memories;
+  Alcotest.(check int) "memory bits" 64 stats.Netlist_stats.memory_bits;
+  Alcotest.(check int) "register bits" 8 stats.Netlist_stats.register_bits;
+  Alcotest.(check bool) "node count positive" true (stats.Netlist_stats.nodes > 10);
+  Alcotest.(check int) "outputs" 10 stats.Netlist_stats.outputs
+
+(* Every referenced identifier in the VHDL body must be declared:
+   a lightweight lint that catches emitter name bugs. *)
+let test_vhdl_no_undeclared () =
+  let text = Vhdl.to_string (full_circuit ()) in
+  (* All internal signals start with a name then _uid; collect
+     declarations and uses of the "s_<n>" family. *)
+  let declared = ref [] and used = ref [] in
+  let add_matches prefix line bucket =
+    let plen = String.length prefix in
+    let rec scan i =
+      if i + plen <= String.length line then
+        if String.sub line i plen = prefix then begin
+          let j = ref (i + plen) in
+          while
+            !j < String.length line
+            && (match line.[!j] with '0' .. '9' -> true | _ -> false)
+          do
+            incr j
+          done;
+          if !j > i + plen then bucket := String.sub line i (!j - i) :: !bucket;
+          scan !j
+        end
+        else scan (i + 1)
+    in
+    scan 0
+  in
+  String.split_on_char '\n' text
+  |> List.iter (fun line ->
+         let is_decl =
+           String.length line > 9 && String.sub line 0 9 = "  signal "
+         in
+         if is_decl then add_matches "s_" line declared
+         else add_matches "s_" line used);
+  List.iter
+    (fun u ->
+      Alcotest.(check bool) (Printf.sprintf "declared %s" u) true
+        (List.mem u !declared))
+    (List.sort_uniq String.compare !used)
+
+let () =
+  Alcotest.run "backends"
+    [
+      ( "vhdl",
+        [
+          Alcotest.test_case "structure" `Quick test_vhdl_structure;
+          Alcotest.test_case "no undeclared signals" `Quick test_vhdl_no_undeclared;
+        ] );
+      ("verilog", [ Alcotest.test_case "structure" `Quick test_verilog_structure ]);
+      ( "common",
+        [
+          Alcotest.test_case "comb-only has no clock" `Quick test_comb_only_no_clock;
+          Alcotest.test_case "netlist stats" `Quick test_netlist_stats;
+          Alcotest.test_case "dot export" `Quick test_dot_export;
+        ] );
+    ]

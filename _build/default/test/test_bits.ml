@@ -1,0 +1,209 @@
+open Hwpat_rtl
+
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+let check_bool = Alcotest.(check bool)
+
+(* Generator for (width, value) pairs with the value within range. *)
+let arb_sized_value =
+  let open QCheck in
+  let gen =
+    Gen.(
+      int_range 1 130 >>= fun width ->
+      let max_v = if width >= 62 then max_int else (1 lsl width) - 1 in
+      map (fun v -> (width, v)) (int_bound max_v))
+  in
+  make ~print:(fun (w, v) -> Printf.sprintf "width=%d value=%d" w v) gen
+
+let arb_pair_same_width =
+  let open QCheck in
+  let gen =
+    Gen.(
+      int_range 1 61 >>= fun width ->
+      let bound = (1 lsl width) - 1 in
+      map2 (fun a b -> (width, a, b)) (int_bound bound) (int_bound bound))
+  in
+  make ~print:(fun (w, a, b) -> Printf.sprintf "w=%d a=%d b=%d" w a b) gen
+
+let test_construct () =
+  check_int "width of zero" 8 (Bits.width (Bits.zero 8));
+  check_string "zero" "00000000" (Bits.to_string (Bits.zero 8));
+  check_string "ones" "11111111" (Bits.to_string (Bits.ones 8));
+  check_string "one" "00000001" (Bits.to_string (Bits.one 8));
+  check_int "of_int round trip" 42 (Bits.to_int (Bits.of_int ~width:8 42));
+  check_int "of_int truncates" 1 (Bits.to_int (Bits.of_int ~width:2 5));
+  check_int "negative wraps" 255 (Bits.to_int (Bits.of_int ~width:8 (-1)));
+  check_string "of_string" "1010" (Bits.to_string (Bits.of_string "1010"));
+  check_string "of_string underscores" "10100101"
+    (Bits.to_string (Bits.of_string "1010_0101"));
+  Alcotest.check_raises "empty literal" (Invalid_argument "Bits.of_string: empty literal")
+    (fun () -> ignore (Bits.of_string ""));
+  check_bool "of_bool true" true (Bits.to_bool (Bits.of_bool true));
+  check_bool "of_bool false" false (Bits.to_bool (Bits.of_bool false))
+
+let test_wide () =
+  let w = 100 in
+  let a = Bits.concat_msb [ Bits.ones 50; Bits.zero 50 ] in
+  check_int "wide width" w (Bits.width a);
+  check_bool "wide msb" true (Bits.msb a);
+  check_bool "wide lsb" false (Bits.lsb a);
+  check_string "wide select hi" (String.make 25 '1')
+    (Bits.to_string (Bits.select a ~high:99 ~low:75));
+  check_string "wide select straddle" ("1" ^ String.make 24 '0')
+    (Bits.to_string (Bits.select a ~high:50 ~low:26));
+  let incremented = Bits.add a (Bits.one w) in
+  check_bool "wide add changes" false (Bits.equal a incremented);
+  check_bool "wide add low bit" true (Bits.lsb incremented)
+
+let test_arith_edges () =
+  let full = Bits.ones 8 in
+  check_int "ones + 1 wraps" 0 (Bits.to_int (Bits.add full (Bits.one 8)));
+  check_int "0 - 1 wraps" 255 (Bits.to_int (Bits.sub (Bits.zero 8) (Bits.one 8)));
+  check_int "neg 1" 255 (Bits.to_int (Bits.neg (Bits.one 8)));
+  check_int "neg 0" 0 (Bits.to_int (Bits.neg (Bits.zero 8)));
+  check_int "mul truncates" ((200 * 200) land 255)
+    (Bits.to_int (Bits.mul (Bits.of_int ~width:8 200) (Bits.of_int ~width:8 200)));
+  (* 64-bit boundary: carries across the limb. *)
+  let a64 = Bits.ones 64 in
+  let b = Bits.uresize a64 65 in
+  check_bool "65-bit add carry" true (Bits.bit (Bits.add b b) 64)
+
+let test_signed () =
+  check_int "to_signed positive" 5 (Bits.to_signed_int (Bits.of_int ~width:8 5));
+  check_int "to_signed negative" (-1) (Bits.to_signed_int (Bits.ones 8));
+  check_int "to_signed min" (-128) (Bits.to_signed_int (Bits.of_int ~width:8 128));
+  check_string "sresize extends sign" "1111_1110"
+    (Bits.to_string (Bits.sresize (Bits.of_int ~width:4 14) 8)
+    |> fun s -> String.sub s 0 4 ^ "_" ^ String.sub s 4 4);
+  check_string "uresize zero fills" "00001110"
+    (Bits.to_string (Bits.uresize (Bits.of_int ~width:4 14) 8))
+
+let test_shift () =
+  let v = Bits.of_int ~width:8 0b1001_0110 in
+  check_int "sll" 0b0101_1000 (Bits.to_int (Bits.sll v 2));
+  check_int "srl" 0b0010_0101 (Bits.to_int (Bits.srl v 2));
+  check_int "sra sign" 0b1110_0101 (Bits.to_int (Bits.sra v 2));
+  check_int "sll full" 0 (Bits.to_int (Bits.sll v 8));
+  check_int "srl full" 0 (Bits.to_int (Bits.srl v 8));
+  check_int "sra full" 255 (Bits.to_int (Bits.sra v 8));
+  check_int "shift by zero" (Bits.to_int v) (Bits.to_int (Bits.sll v 0))
+
+let test_concat_select () =
+  let a = Bits.of_string "101" and b = Bits.of_string "01" in
+  check_string "concat" "10101" (Bits.to_string (Bits.concat_msb [ a; b ]));
+  check_string "repeat" "101101" (Bits.to_string (Bits.repeat a 2));
+  check_string "select" "11" (Bits.to_string (Bits.select (Bits.of_string "0011") ~high:1 ~low:0))
+  |> ignore;
+  check_string "select mid" "10"
+    (Bits.to_string (Bits.select (Bits.of_string "0100") ~high:2 ~low:1));
+  Alcotest.check_raises "select out of range"
+    (Invalid_argument "Bits.select: bad range [4:0] of width 4") (fun () ->
+      ignore (Bits.select (Bits.of_string "0100") ~high:4 ~low:0))
+
+let test_reduce () =
+  check_bool "reduce_or zero" false (Bits.to_bool (Bits.reduce_or (Bits.zero 13)));
+  check_bool "reduce_or some" true
+    (Bits.to_bool (Bits.reduce_or (Bits.of_int ~width:13 64)));
+  check_bool "reduce_and ones" true (Bits.to_bool (Bits.reduce_and (Bits.ones 13)));
+  check_bool "reduce_and partial" false
+    (Bits.to_bool (Bits.reduce_and (Bits.of_int ~width:13 64)));
+  check_int "popcount" 3 (Bits.popcount (Bits.of_string "101001"))
+
+let prop name count arb f = QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count arb f)
+
+let props =
+  [
+    prop "to_string/of_string round trip" 500 arb_sized_value (fun (w, v) ->
+        let b = Bits.of_int ~width:w v in
+        Bits.equal b (Bits.of_string (Bits.to_string b)));
+    prop "add matches int" 500 arb_pair_same_width (fun (w, a, b) ->
+        let mask = (1 lsl w) - 1 in
+        Bits.to_int (Bits.add (Bits.of_int ~width:w a) (Bits.of_int ~width:w b))
+        = (a + b) land mask);
+    prop "sub matches int" 500 arb_pair_same_width (fun (w, a, b) ->
+        let mask = (1 lsl w) - 1 in
+        Bits.to_int (Bits.sub (Bits.of_int ~width:w a) (Bits.of_int ~width:w b))
+        = (a - b) land mask);
+    prop "mul matches int (<=30 bits)" 500
+      (let open QCheck in
+       make
+         ~print:(fun (w, a, b) -> Printf.sprintf "w=%d a=%d b=%d" w a b)
+         Gen.(
+           int_range 1 30 >>= fun w ->
+           let bound = (1 lsl w) - 1 in
+           map2 (fun a b -> (w, a, b)) (int_bound bound) (int_bound bound)))
+      (fun (w, a, b) ->
+        let mask = (1 lsl w) - 1 in
+        Bits.to_int (Bits.mul (Bits.of_int ~width:w a) (Bits.of_int ~width:w b))
+        = a * b land mask);
+    prop "logic matches int" 500 arb_pair_same_width (fun (w, a, b) ->
+        let ba = Bits.of_int ~width:w a and bb = Bits.of_int ~width:w b in
+        Bits.to_int (Bits.logand ba bb) = a land b
+        && Bits.to_int (Bits.logor ba bb) = a lor b
+        && Bits.to_int (Bits.logxor ba bb) = a lxor b);
+    prop "lognot involutive" 500 arb_sized_value (fun (w, v) ->
+        let b = Bits.of_int ~width:w v in
+        Bits.equal b (Bits.lognot (Bits.lognot b)));
+    prop "compare matches int" 500 arb_pair_same_width (fun (w, a, b) ->
+        let c = Bits.compare (Bits.of_int ~width:w a) (Bits.of_int ~width:w b) in
+        (c < 0) = (a < b) && (c = 0) = (a = b));
+    prop "add commutative (wide)" 200
+      (let open QCheck in
+       make ~print:(fun w -> Printf.sprintf "w=%d" w) Gen.(int_range 1 130))
+      (fun w ->
+        let a = Bits.random ~width:w and b = Bits.random ~width:w in
+        Bits.equal (Bits.add a b) (Bits.add b a));
+    prop "add associative (wide)" 200
+      (let open QCheck in
+       make ~print:(fun w -> Printf.sprintf "w=%d" w) Gen.(int_range 1 130))
+      (fun w ->
+        let a = Bits.random ~width:w
+        and b = Bits.random ~width:w
+        and c = Bits.random ~width:w in
+        Bits.equal (Bits.add a (Bits.add b c)) (Bits.add (Bits.add a b) c));
+    prop "x + neg x = 0" 200
+      (let open QCheck in
+       make ~print:(fun w -> Printf.sprintf "w=%d" w) Gen.(int_range 1 130))
+      (fun w ->
+        let a = Bits.random ~width:w in
+        Bits.equal (Bits.add a (Bits.neg a)) (Bits.zero w));
+    prop "concat then select recovers parts" 200
+      (let open QCheck in
+       make
+         ~print:(fun (w1, w2) -> Printf.sprintf "w1=%d w2=%d" w1 w2)
+         Gen.(pair (int_range 1 70) (int_range 1 70)))
+      (fun (w1, w2) ->
+        let a = Bits.random ~width:w1 and b = Bits.random ~width:w2 in
+        let c = Bits.concat_msb [ a; b ] in
+        Bits.equal a (Bits.select c ~high:(w1 + w2 - 1) ~low:w2)
+        && Bits.equal b (Bits.select c ~high:(w2 - 1) ~low:0));
+    prop "srl then sll clears low bits" 200
+      (let open QCheck in
+       make
+         ~print:(fun (w, n) -> Printf.sprintf "w=%d n=%d" w n)
+         Gen.(int_range 2 64 >>= fun w -> map (fun n -> (w, n)) (int_bound (w - 1))))
+      (fun (w, n) ->
+        let a = Bits.random ~width:w in
+        let round = Bits.sll (Bits.srl a n) n in
+        (* Low n bits must be zero; the rest must match a. *)
+        (n = 0 || not (Bits.to_bool (Bits.select round ~high:(max 0 (n - 1)) ~low:0)))
+        && Bits.equal
+             (Bits.select round ~high:(w - 1) ~low:n)
+             (Bits.select a ~high:(w - 1) ~low:n));
+  ]
+
+let () =
+  Alcotest.run "bits"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "construction" `Quick test_construct;
+          Alcotest.test_case "wide vectors" `Quick test_wide;
+          Alcotest.test_case "arithmetic edges" `Quick test_arith_edges;
+          Alcotest.test_case "signed views" `Quick test_signed;
+          Alcotest.test_case "shifts" `Quick test_shift;
+          Alcotest.test_case "concat/select" `Quick test_concat_select;
+          Alcotest.test_case "reductions" `Quick test_reduce;
+        ] );
+      ("properties", props);
+    ]

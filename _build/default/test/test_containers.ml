@@ -1,0 +1,677 @@
+open Hwpat_rtl
+open Hwpat_rtl.Signal
+open Hwpat_containers
+open Hwpat_test_support.Sim_util
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* All queue variants must behave identically; only latency differs. *)
+let queue_builders ~depth ~width =
+  [
+    ("fifo", fun d -> Queue_c.over_fifo ~depth ~width d);
+    ("bram", fun d -> Queue_c.over_bram ~depth ~width d);
+    ("sram0", fun d -> Queue_c.over_sram ~depth ~width ~wait_states:0 d);
+    ("sram2", fun d -> Queue_c.over_sram ~depth ~width ~wait_states:2 d);
+  ]
+
+let stack_builders ~depth ~width =
+  [
+    ("lifo", fun d -> Stack_c.over_lifo ~depth ~width d);
+    ("bram", fun d -> Stack_c.over_bram ~depth ~width d);
+    ("sram1", fun d -> Stack_c.over_sram ~depth ~width ~wait_states:1 d);
+  ]
+
+let test_queue_fifo_order () =
+  List.iter
+    (fun (tag, build) ->
+      let sim = seq_harness ~name:("q_" ^ tag) ~width:8 build in
+      quiesce sim;
+      check_int (tag ^ ": initially empty") 1 (out_int sim "empty");
+      List.iter (fun v -> ignore (seq_put sim ~width:8 v)) [ 10; 20; 30 ];
+      Cyclesim.settle sim;
+      check_int (tag ^ ": size 3") 3 (out_int sim "size");
+      let a, _ = seq_get sim and b, _ = seq_get sim and c, _ = seq_get sim in
+      Alcotest.(check (list int)) (tag ^ ": FIFO order") [ 10; 20; 30 ] [ a; b; c ];
+      Cyclesim.settle sim;
+      check_int (tag ^ ": empty after drain") 1 (out_int sim "empty"))
+    (queue_builders ~depth:8 ~width:8)
+
+let test_queue_blocks_when_empty () =
+  List.iter
+    (fun (tag, build) ->
+      let sim = seq_harness ~name:("qe_" ^ tag) ~width:8 build in
+      quiesce sim;
+      (* A get on an empty queue must stall, then complete when data
+         arrives: start the request, cycle a while, then push. *)
+      set sim "get_req" ~width:1 1;
+      for _ = 1 to 10 do
+        Cyclesim.cycle sim;
+        check_int (tag ^ ": no ack while empty") 0 (out_int sim "get_ack")
+      done;
+      set sim "put_req" ~width:1 1;
+      set sim "put_data" ~width:8 77;
+      let rec wait n =
+        if n > 100 then Alcotest.fail (tag ^ ": get never completed");
+        Cyclesim.cycle sim;
+        if out_int sim "put_ack" = 1 then set sim "put_req" ~width:1 0;
+        if out_int sim "get_ack" = 1 then out_int sim "get_data" else wait (n + 1)
+      in
+      check_int (tag ^ ": unblocked get") 77 (wait 0);
+      set sim "get_req" ~width:1 0;
+      Cyclesim.cycle sim)
+    (queue_builders ~depth:8 ~width:8)
+
+let test_queue_capacity () =
+  List.iter
+    (fun (tag, build) ->
+      let sim = seq_harness ~name:("qc_" ^ tag) ~width:8 build in
+      quiesce sim;
+      for v = 1 to 4 do
+        ignore (seq_put sim ~width:8 v)
+      done;
+      Cyclesim.settle sim;
+      check_int (tag ^ ": full") 1 (out_int sim "full");
+      (* A put on a full queue must stall until space appears. *)
+      set sim "put_req" ~width:1 1;
+      set sim "put_data" ~width:8 99;
+      for _ = 1 to 8 do
+        Cyclesim.cycle sim;
+        check_int (tag ^ ": no ack while full") 0 (out_int sim "put_ack")
+      done;
+      set sim "put_req" ~width:1 0;
+      Cyclesim.cycle sim;
+      (* Drain everything; order preserved and 99 never entered. *)
+      let drained = List.init 4 (fun _ -> fst (seq_get sim)) in
+      Alcotest.(check (list int)) (tag ^ ": contents intact") [ 1; 2; 3; 4 ] drained)
+    (queue_builders ~depth:4 ~width:8)
+
+let test_queue_wraparound_long () =
+  List.iter
+    (fun (tag, build) ->
+      let sim = seq_harness ~name:("qw_" ^ tag) ~width:8 build in
+      quiesce sim;
+      (* Stream five times the depth through a part-filled queue so the
+         pointers wrap repeatedly in every implementation. *)
+      let expected = ref [] and got = ref [] in
+      for v = 0 to 5 do
+        ignore (seq_put sim ~width:8 v);
+        expected := v :: !expected
+      done;
+      for v = 6 to 40 do
+        ignore (seq_put sim ~width:8 (v land 255));
+        expected := (v land 255) :: !expected;
+        got := fst (seq_get sim) :: !got
+      done;
+      Cyclesim.settle sim;
+      while out_int sim "empty" = 0 do
+        got := fst (seq_get sim) :: !got;
+        Cyclesim.settle sim
+      done;
+      Alcotest.(check (list int))
+        (tag ^ ": all data in order")
+        (List.rev !expected) (List.rev !got))
+    (queue_builders ~depth:8 ~width:8)
+
+(* Model-based random testing: the RTL queue must match OCaml's Queue. *)
+let test_queue_random_vs_model () =
+  List.iter
+    (fun (tag, build) ->
+      let sim = seq_harness ~name:("qr_" ^ tag) ~width:8 build in
+      quiesce sim;
+      let model = Queue.create () in
+      let depth = 8 in
+      Random.self_init ();
+      let seed = Random.int 1000000 in
+      Random.init seed;
+      for step = 0 to 200 do
+        if Random.bool () then begin
+          let v = Random.int 256 in
+          if Queue.length model < depth then begin
+            ignore (seq_put sim ~width:8 v);
+            Queue.push v model
+          end
+        end
+        else if Queue.length model > 0 then begin
+          let v, _ = seq_get sim in
+          let expect = Queue.pop model in
+          if v <> expect then
+            Alcotest.failf "%s: step %d (seed %d): got %d expected %d" tag step
+              seed v expect
+        end;
+        Cyclesim.settle sim;
+        let sz = out_int sim "size" in
+        if sz <> Queue.length model then
+          Alcotest.failf "%s: step %d (seed %d): size %d vs model %d" tag step seed
+            sz (Queue.length model)
+      done)
+    (queue_builders ~depth:8 ~width:8)
+
+let test_stack_order () =
+  List.iter
+    (fun (tag, build) ->
+      let sim = seq_harness ~name:("s_" ^ tag) ~width:8 build in
+      quiesce sim;
+      List.iter (fun v -> ignore (seq_put sim ~width:8 v)) [ 1; 2; 3 ];
+      let a, _ = seq_get sim in
+      check_int (tag ^ ": LIFO top") 3 a;
+      ignore (seq_put sim ~width:8 9);
+      let b, _ = seq_get sim and c, _ = seq_get sim and d, _ = seq_get sim in
+      Alcotest.(check (list int)) (tag ^ ": LIFO order") [ 9; 2; 1 ] [ b; c; d ])
+    (stack_builders ~depth:8 ~width:8)
+
+let test_stack_random_vs_model () =
+  List.iter
+    (fun (tag, build) ->
+      let sim = seq_harness ~name:("sr_" ^ tag) ~width:8 build in
+      quiesce sim;
+      let model = ref [] in
+      let depth = 8 in
+      Random.init 42;
+      for _ = 0 to 150 do
+        if Random.bool () && List.length !model < depth then begin
+          let v = Random.int 256 in
+          ignore (seq_put sim ~width:8 v);
+          model := v :: !model
+        end
+        else
+          match !model with
+          | [] -> ()
+          | top :: rest ->
+            let v, _ = seq_get sim in
+            check_int (tag ^ ": pop matches") top v;
+            model := rest
+      done)
+    (stack_builders ~depth:8 ~width:8)
+
+(* Latency shape: the SRAM-backed queue is strictly slower per access
+   than the FIFO-backed one — the design-space point §4 makes. *)
+let test_latency_ordering () =
+  let latency build =
+    let sim = seq_harness ~name:"lat" ~width:8 build in
+    quiesce sim;
+    ignore (seq_put sim ~width:8 1);
+    let _, n = seq_get sim in
+    n
+  in
+  let fifo = latency (fun d -> Queue_c.over_fifo ~depth:8 ~width:8 d) in
+  let sram0 = latency (fun d -> Queue_c.over_sram ~depth:8 ~width:8 ~wait_states:0 d) in
+  let sram3 = latency (fun d -> Queue_c.over_sram ~depth:8 ~width:8 ~wait_states:3 d) in
+  check_bool "fifo faster than sram" true (fifo < sram0);
+  check_bool "wait states add latency" true (sram0 < sram3)
+
+(* --- Read buffer ------------------------------------------------------ *)
+
+let rbuffer_harness build_of_stream =
+  let stream =
+    {
+      Read_buffer.px_valid = input "px_valid" 1;
+      px_data = input "px_data" 8;
+    }
+  in
+  let rb : Read_buffer.t = build_of_stream ~stream ~get_req:(input "get_req" 1) () in
+  let circuit =
+    Circuit.create_exn ~name:"rb"
+      [
+        ("get_ack", rb.Read_buffer.seq.Container_intf.get_ack);
+        ("get_data", rb.Read_buffer.seq.Container_intf.get_data);
+        ("px_ready", rb.Read_buffer.px_ready);
+        ("empty", rb.Read_buffer.seq.Container_intf.empty);
+      ]
+  in
+  Cyclesim.create circuit
+
+let test_read_buffer_streams () =
+  List.iter
+    (fun (tag, build) ->
+      let sim = rbuffer_harness build in
+      set sim "px_valid" ~width:1 0;
+      set sim "px_data" ~width:8 0;
+      set sim "get_req" ~width:1 0;
+      Cyclesim.cycle sim;
+      (* Producer pushes three pixels with the valid/ready handshake. *)
+      List.iter
+        (fun v ->
+          set sim "px_valid" ~width:1 1;
+          set sim "px_data" ~width:8 v;
+          let rec wait n =
+            if n > 200 then Alcotest.fail (tag ^ ": stream never accepted");
+            Cyclesim.cycle sim;
+            if out_int sim "px_ready" = 0 then wait (n + 1)
+          in
+          wait 0;
+          set sim "px_valid" ~width:1 0;
+          Cyclesim.cycle sim)
+        [ 5; 6; 7 ];
+      (* Consumer drains through the get side. *)
+      let got =
+        List.init 3 (fun _ ->
+            set sim "get_req" ~width:1 1;
+            let rec wait n =
+              if n > 200 then Alcotest.fail (tag ^ ": get stuck");
+              Cyclesim.cycle sim;
+              if out_int sim "get_ack" = 1 then out_int sim "get_data"
+              else wait (n + 1)
+            in
+            let v = wait 0 in
+            set sim "get_req" ~width:1 0;
+            Cyclesim.cycle sim;
+            v)
+      in
+      Alcotest.(check (list int)) (tag ^ ": stream order") [ 5; 6; 7 ] got)
+    [
+      ("fifo", fun ~stream ~get_req () -> Read_buffer.over_fifo ~depth:8 ~width:8 ~stream ~get_req ());
+      ("bram", fun ~stream ~get_req () -> Read_buffer.over_bram ~depth:8 ~width:8 ~stream ~get_req ());
+      ( "sram",
+        fun ~stream ~get_req () ->
+          Read_buffer.over_sram ~depth:8 ~width:8 ~wait_states:1 ~stream ~get_req () );
+    ]
+
+(* --- Write buffer ----------------------------------------------------- *)
+
+let test_write_buffer_drains () =
+  let wb =
+    Write_buffer.over_fifo ~depth:8 ~width:8 ~out_ready:(input "out_ready" 1)
+      ~put_req:(input "put_req" 1) ~put_data:(input "put_data" 8) ()
+  in
+  let circuit =
+    Circuit.create_exn ~name:"wb"
+      [
+        ("put_ack", wb.Write_buffer.seq.Container_intf.put_ack);
+        ("out_valid", wb.Write_buffer.stream.Write_buffer.out_valid);
+        ("out_data", wb.Write_buffer.stream.Write_buffer.out_data);
+      ]
+  in
+  let sim = Cyclesim.create circuit in
+  set sim "out_ready" ~width:1 0;
+  set sim "put_req" ~width:1 0;
+  set sim "put_data" ~width:8 0;
+  Cyclesim.cycle sim;
+  List.iter
+    (fun v ->
+      set sim "put_req" ~width:1 1;
+      set sim "put_data" ~width:8 v;
+      let rec wait n =
+        if n > 100 then Alcotest.fail "wb put stuck";
+        Cyclesim.cycle sim;
+        if out_int sim "put_ack" = 0 then wait (n + 1)
+      in
+      wait 0;
+      set sim "put_req" ~width:1 0;
+      Cyclesim.cycle sim)
+    [ 11; 22; 33 ];
+  (* Consumer raises ready and collects the pulses. *)
+  set sim "out_ready" ~width:1 1;
+  let got = ref [] in
+  for _ = 1 to 30 do
+    Cyclesim.cycle sim;
+    if out_int sim "out_valid" = 1 then got := out_int sim "out_data" :: !got
+  done;
+  Alcotest.(check (list int)) "drained in order" [ 11; 22; 33 ] (List.rev !got)
+
+(* --- Vector ----------------------------------------------------------- *)
+
+let vector_harness build =
+  let d =
+    {
+      Container_intf.read_req = input "read_req" 1;
+      write_req = input "write_req" 1;
+      addr = input "addr" 4;
+      write_data = input "write_data" 8;
+    }
+  in
+  let v : Container_intf.random = build d in
+  let circuit =
+    Circuit.create_exn ~name:"vec"
+      [
+        ("read_ack", v.Container_intf.read_ack);
+        ("read_data", v.Container_intf.read_data);
+        ("write_ack", v.Container_intf.write_ack);
+      ]
+  in
+  Cyclesim.create circuit
+
+let vec_write sim a v =
+  set sim "write_req" ~width:1 1;
+  set sim "addr" ~width:4 a;
+  set sim "write_data" ~width:8 v;
+  ignore (cycles_until sim "write_ack");
+  set sim "write_req" ~width:1 0;
+  Cyclesim.cycle sim
+
+let vec_read sim a =
+  set sim "read_req" ~width:1 1;
+  set sim "addr" ~width:4 a;
+  ignore (cycles_until sim "read_ack");
+  let v = out_int sim "read_data" in
+  set sim "read_req" ~width:1 0;
+  Cyclesim.cycle sim;
+  v
+
+let test_vector_random_access () =
+  List.iter
+    (fun (tag, build) ->
+      let sim = vector_harness build in
+      set sim "read_req" ~width:1 0;
+      set sim "write_req" ~width:1 0;
+      set sim "addr" ~width:4 0;
+      set sim "write_data" ~width:8 0;
+      Cyclesim.cycle sim;
+      let model = Array.make 16 0 in
+      Random.init 7;
+      for _ = 0 to 100 do
+        let a = Random.int 16 in
+        if Random.bool () then begin
+          let v = Random.int 256 in
+          vec_write sim a v;
+          model.(a) <- v
+        end
+        else check_int (tag ^ ": read matches") model.(a) (vec_read sim a)
+      done)
+    [
+      ("bram", fun d -> Vector_c.over_bram ~length:16 ~width:8 d);
+      ("sram", fun d -> Vector_c.over_sram ~length:16 ~width:8 ~wait_states:1 d);
+    ]
+
+(* --- Assoc array ------------------------------------------------------ *)
+
+let assoc_harness build =
+  let d =
+    {
+      Container_intf.lookup_req = input "lookup_req" 1;
+      insert_req = input "insert_req" 1;
+      delete_req = input "delete_req" 1;
+      key = input "key" 8;
+      value_in = input "value_in" 8;
+    }
+  in
+  let a : Container_intf.assoc = build d in
+  let circuit =
+    Circuit.create_exn ~name:"assoc"
+      [
+        ("lookup_ack", a.Container_intf.lookup_ack);
+        ("lookup_found", a.Container_intf.lookup_found);
+        ("lookup_data", a.Container_intf.lookup_data);
+        ("insert_ack", a.Container_intf.insert_ack);
+        ("insert_ok", a.Container_intf.insert_ok);
+        ("delete_ack", a.Container_intf.delete_ack);
+        ("delete_found", a.Container_intf.delete_found);
+        ("occupancy", a.Container_intf.occupancy);
+      ]
+  in
+  Cyclesim.create circuit
+
+let assoc_quiesce sim =
+  List.iter
+    (fun n -> set sim n ~width:1 0)
+    [ "lookup_req"; "insert_req"; "delete_req" ];
+  set sim "key" ~width:8 0;
+  set sim "value_in" ~width:8 0;
+  Cyclesim.cycle sim
+
+let assoc_op sim ~req ~ack ~key ?(value = 0) () =
+  set sim "key" ~width:8 key;
+  set sim "value_in" ~width:8 value;
+  set sim req ~width:1 1;
+  ignore (cycles_until sim ack);
+  let results =
+    ( out_int sim "lookup_found",
+      out_int sim "lookup_data",
+      out_int sim "insert_ok",
+      out_int sim "delete_found" )
+  in
+  set sim req ~width:1 0;
+  Cyclesim.cycle sim;
+  results
+
+let test_assoc_basic () =
+  let sim = assoc_harness (Assoc_array.over_bram ~slots:16 ~key_width:8 ~value_width:8) in
+  assoc_quiesce sim;
+  let insert k v =
+    let _, _, ok, _ = assoc_op sim ~req:"insert_req" ~ack:"insert_ack" ~key:k ~value:v () in
+    ok
+  in
+  let lookup k =
+    let found, data, _, _ = assoc_op sim ~req:"lookup_req" ~ack:"lookup_ack" ~key:k () in
+    (found, data)
+  in
+  let delete k =
+    let _, _, _, found = assoc_op sim ~req:"delete_req" ~ack:"delete_ack" ~key:k () in
+    found
+  in
+  check_int "insert ok" 1 (insert 42 7);
+  check_bool "found after insert" true (lookup 42 = (1, 7));
+  check_bool "missing key" true (fst (lookup 43) = 0);
+  check_int "update ok" 1 (insert 42 9);
+  check_bool "updated value" true (lookup 42 = (1, 9));
+  Cyclesim.settle sim;
+  check_int "occupancy 1 after update" 1 (out_int sim "occupancy");
+  check_int "delete finds" 1 (delete 42);
+  check_bool "gone after delete" true (fst (lookup 42) = 0);
+  Cyclesim.settle sim;
+  check_int "occupancy 0" 0 (out_int sim "occupancy")
+
+let test_assoc_collisions () =
+  (* Keys 1, 17, 33 all hash to slot 1 in a 16-slot table. *)
+  let sim = assoc_harness (Assoc_array.over_bram ~slots:16 ~key_width:8 ~value_width:8) in
+  assoc_quiesce sim;
+  let insert k v =
+    let _, _, ok, _ = assoc_op sim ~req:"insert_req" ~ack:"insert_ack" ~key:k ~value:v () in
+    ok
+  in
+  let lookup k =
+    let found, data, _, _ = assoc_op sim ~req:"lookup_req" ~ack:"lookup_ack" ~key:k () in
+    (found, data)
+  in
+  let delete k =
+    let _, _, _, found = assoc_op sim ~req:"delete_req" ~ack:"delete_ack" ~key:k () in
+    found
+  in
+  check_int "a" 1 (insert 1 11);
+  check_int "b" 1 (insert 17 12);
+  check_int "c" 1 (insert 33 13);
+  check_bool "all reachable" true
+    (lookup 1 = (1, 11) && lookup 17 = (1, 12) && lookup 33 = (1, 13));
+  (* Delete the middle of the probe chain; the tail must stay
+     reachable (tombstone semantics). *)
+  check_int "delete middle" 1 (delete 17);
+  check_bool "tail still reachable" true (lookup 33 = (1, 13));
+  check_bool "deleted is gone" true (fst (lookup 17) = 0);
+  (* Re-insert reclaims the tombstone. *)
+  check_int "reinsert" 1 (insert 17 99);
+  check_bool "reinserted" true (lookup 17 = (1, 99))
+
+let test_assoc_random_vs_hashtbl () =
+  let slots = 16 in
+  let sim = assoc_harness (Assoc_array.over_bram ~slots ~key_width:8 ~value_width:8) in
+  assoc_quiesce sim;
+  let model = Hashtbl.create 16 in
+  Random.init 99;
+  for step = 0 to 150 do
+    let k = Random.int 32 in
+    match Random.int 3 with
+    | 0 when Hashtbl.length model < slots ->
+      let v = Random.int 256 in
+      let _, _, ok, _ =
+        assoc_op sim ~req:"insert_req" ~ack:"insert_ack" ~key:k ~value:v ()
+      in
+      if ok = 1 then Hashtbl.replace model k v
+      else if not (Hashtbl.mem model k) && Hashtbl.length model < slots then
+        Alcotest.failf "step %d: insert %d failed with space available" step k
+    | 1 ->
+      let found, data, _, _ =
+        assoc_op sim ~req:"lookup_req" ~ack:"lookup_ack" ~key:k ()
+      in
+      (match Hashtbl.find_opt model k with
+      | Some v ->
+        if (found, data) <> (1, v) then
+          Alcotest.failf "step %d: lookup %d got (%d,%d) expected (1,%d)" step k
+            found data v
+      | None ->
+        if found <> 0 then
+          Alcotest.failf "step %d: lookup %d found ghost" step k)
+    | _ ->
+      let _, _, _, found =
+        assoc_op sim ~req:"delete_req" ~ack:"delete_ack" ~key:k ()
+      in
+      let expected = if Hashtbl.mem model k then 1 else 0 in
+      if found <> expected then
+        Alcotest.failf "step %d: delete %d found=%d expected=%d" step k found
+          expected;
+      Hashtbl.remove model k
+  done;
+  Cyclesim.settle sim;
+  check_int "final occupancy" (Hashtbl.length model) (out_int sim "occupancy")
+
+(* --- Shared SRAM through the arbiter --------------------------------- *)
+
+let test_two_queues_shared_sram () =
+  let open Hwpat_devices in
+  (* Wire-based clients let the arbiter exist before the queues. *)
+  let mk_client () =
+    {
+      Sram_arbiter.req = wire 1;
+      we = wire 1;
+      addr = wire 4;
+      wr_data = wire 8;
+    }
+  in
+  let ca = mk_client () and cb = mk_client () in
+  let arb = Sram_arbiter.create ~words:16 ~width:8 ~wait_states:0 ~a:ca ~b:cb () in
+  let target (c : Sram_arbiter.client) (g : Sram_arbiter.grant)
+      (r : Container_intf.mem_request) ~hi =
+    c.Sram_arbiter.req <== r.Container_intf.mem_req;
+    c.Sram_arbiter.we <== r.Container_intf.mem_we;
+    (* Each queue gets half of the shared address space. *)
+    c.Sram_arbiter.addr
+    <== concat_msb [ (if hi then vdd else gnd); uresize r.Container_intf.mem_addr 3 ];
+    c.Sram_arbiter.wr_data <== r.Container_intf.mem_wdata;
+    Mem_target.of_arbiter_grant g
+  in
+  let da =
+    {
+      Container_intf.get_req = input "a_get_req" 1;
+      put_req = input "a_put_req" 1;
+      put_data = input "a_put_data" 8;
+    }
+  in
+  let db =
+    {
+      Container_intf.get_req = input "b_get_req" 1;
+      put_req = input "b_put_req" 1;
+      put_data = input "b_put_data" 8;
+    }
+  in
+  let qa =
+    Queue_c.over_mem ~name:"qa" ~depth:8 ~width:8
+      ~target:(fun r -> target ca arb.Sram_arbiter.a r ~hi:false)
+      da
+  in
+  let qb =
+    Queue_c.over_mem ~name:"qb" ~depth:8 ~width:8
+      ~target:(fun r -> target cb arb.Sram_arbiter.b r ~hi:true)
+      db
+  in
+  let circuit =
+    Circuit.create_exn ~name:"shared"
+      [
+        ("a_get_ack", qa.Container_intf.get_ack);
+        ("a_get_data", qa.Container_intf.get_data);
+        ("a_put_ack", qa.Container_intf.put_ack);
+        ("b_get_ack", qb.Container_intf.get_ack);
+        ("b_get_data", qb.Container_intf.get_data);
+        ("b_put_ack", qb.Container_intf.put_ack);
+      ]
+  in
+  let sim = Cyclesim.create circuit in
+  List.iter
+    (fun n -> set sim n ~width:1 0)
+    [ "a_get_req"; "a_put_req"; "b_get_req"; "b_put_req" ];
+  set sim "a_put_data" ~width:8 0;
+  set sim "b_put_data" ~width:8 0;
+  Cyclesim.cycle sim;
+  (* Push different data into both queues *simultaneously*: the arbiter
+     must serialise the SRAM accesses without corrupting either. *)
+  for v = 1 to 4 do
+    set sim "a_put_req" ~width:1 1;
+    set sim "a_put_data" ~width:8 v;
+    set sim "b_put_req" ~width:1 1;
+    set sim "b_put_data" ~width:8 (v + 100);
+    let a_done = ref false and b_done = ref false in
+    let rec wait n =
+      if n > 200 then Alcotest.fail "shared puts stuck";
+      Cyclesim.cycle sim;
+      if out_int sim "a_put_ack" = 1 then begin
+        a_done := true;
+        set sim "a_put_req" ~width:1 0
+      end;
+      if out_int sim "b_put_ack" = 1 then begin
+        b_done := true;
+        set sim "b_put_req" ~width:1 0
+      end;
+      if not (!a_done && !b_done) then wait (n + 1)
+    in
+    wait 0;
+    Cyclesim.cycle sim
+  done;
+  (* Drain both, again concurrently. *)
+  let got_a = ref [] and got_b = ref [] in
+  for _ = 1 to 4 do
+    set sim "a_get_req" ~width:1 1;
+    set sim "b_get_req" ~width:1 1;
+    let a_done = ref false and b_done = ref false in
+    let rec wait n =
+      if n > 200 then Alcotest.fail "shared gets stuck";
+      Cyclesim.cycle sim;
+      if (not !a_done) && out_int sim "a_get_ack" = 1 then begin
+        a_done := true;
+        got_a := out_int sim "a_get_data" :: !got_a;
+        set sim "a_get_req" ~width:1 0
+      end;
+      if (not !b_done) && out_int sim "b_get_ack" = 1 then begin
+        b_done := true;
+        got_b := out_int sim "b_get_data" :: !got_b;
+        set sim "b_get_req" ~width:1 0
+      end;
+      if not (!a_done && !b_done) then wait (n + 1)
+    in
+    wait 0;
+    Cyclesim.cycle sim
+  done;
+  Alcotest.(check (list int)) "queue a intact" [ 1; 2; 3; 4 ] (List.rev !got_a);
+  Alcotest.(check (list int)) "queue b intact" [ 101; 102; 103; 104 ]
+    (List.rev !got_b)
+
+let () =
+  Alcotest.run "containers"
+    [
+      ( "queue",
+        [
+          Alcotest.test_case "order (all targets)" `Quick test_queue_fifo_order;
+          Alcotest.test_case "blocks when empty" `Quick test_queue_blocks_when_empty;
+          Alcotest.test_case "capacity" `Quick test_queue_capacity;
+          Alcotest.test_case "wraparound" `Quick test_queue_wraparound_long;
+          Alcotest.test_case "random vs model" `Quick test_queue_random_vs_model;
+          Alcotest.test_case "latency ordering" `Quick test_latency_ordering;
+        ] );
+      ( "stack",
+        [
+          Alcotest.test_case "order (all targets)" `Quick test_stack_order;
+          Alcotest.test_case "random vs model" `Quick test_stack_random_vs_model;
+        ] );
+      ( "buffers",
+        [
+          Alcotest.test_case "read buffer streams" `Quick test_read_buffer_streams;
+          Alcotest.test_case "write buffer drains" `Quick test_write_buffer_drains;
+        ] );
+      ( "vector",
+        [ Alcotest.test_case "random access vs model" `Quick test_vector_random_access ] );
+      ( "assoc",
+        [
+          Alcotest.test_case "basic" `Quick test_assoc_basic;
+          Alcotest.test_case "collisions & tombstones" `Quick test_assoc_collisions;
+          Alcotest.test_case "random vs hashtbl" `Quick test_assoc_random_vs_hashtbl;
+        ] );
+      ( "sharing",
+        [ Alcotest.test_case "two queues, one SRAM" `Quick test_two_queues_shared_sram ] );
+    ]

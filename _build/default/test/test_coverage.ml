@@ -1,0 +1,370 @@
+(* Cross-cutting coverage: container/target combinations and scaling
+   behaviours not exercised by the main suites. *)
+
+open Hwpat_rtl
+open Hwpat_rtl.Signal
+open Hwpat_containers
+open Hwpat_iterators
+open Hwpat_algorithms
+open Hwpat_test_support.Sim_util
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* --- Assoc array over external SRAM ------------------------------------ *)
+
+let test_assoc_over_sram () =
+  let d =
+    {
+      Container_intf.lookup_req = input "lookup_req" 1;
+      insert_req = input "insert_req" 1;
+      delete_req = input "delete_req" 1;
+      key = input "key" 8;
+      value_in = input "value_in" 8;
+    }
+  in
+  let a =
+    Assoc_array.over_sram ~slots:16 ~key_width:8 ~value_width:8 ~wait_states:1 d
+  in
+  let c =
+    Circuit.create_exn ~name:"assoc_sram"
+      [
+        ("lookup_ack", a.Container_intf.lookup_ack);
+        ("lookup_found", a.Container_intf.lookup_found);
+        ("lookup_data", a.Container_intf.lookup_data);
+        ("insert_ack", a.Container_intf.insert_ack);
+        ("insert_ok", a.Container_intf.insert_ok);
+        ("delete_ack", a.Container_intf.delete_ack);
+        ("delete_found", a.Container_intf.delete_found);
+      ]
+  in
+  let sim = Cyclesim.create c in
+  List.iter
+    (fun n -> set sim n ~width:1 0)
+    [ "lookup_req"; "insert_req"; "delete_req" ];
+  set sim "key" ~width:8 0;
+  set sim "value_in" ~width:8 0;
+  Cyclesim.cycle sim;
+  let op req ack ~key ?(value = 0) () =
+    set sim "key" ~width:8 key;
+    set sim "value_in" ~width:8 value;
+    set sim req ~width:1 1;
+    ignore (cycles_until ~timeout:4000 sim ack);
+    let r =
+      (out_int sim "lookup_found", out_int sim "lookup_data",
+       out_int sim "insert_ok", out_int sim "delete_found")
+    in
+    set sim req ~width:1 0;
+    Cyclesim.cycle sim;
+    r
+  in
+  let _, _, ok, _ = op "insert_req" "insert_ack" ~key:99 ~value:55 () in
+  check_int "insert over sram" 1 ok;
+  let found, data, _, _ = op "lookup_req" "lookup_ack" ~key:99 () in
+  check_bool "lookup over sram" true ((found, data) = (1, 55));
+  let _, _, _, dfound = op "delete_req" "delete_ack" ~key:99 () in
+  check_int "delete over sram" 1 dfound;
+  (* No block RAM consumed: everything lives off-chip. *)
+  check_int "no brams" 0 (Hwpat_synthesis.Techmap.estimate c).Hwpat_synthesis.Techmap.brams
+
+(* --- Multi-word iterator over a wait-stated SRAM container ------------- *)
+
+let test_multi_word_over_sram () =
+  (* 24-bit elements through an 8-bit SRAM-backed queue with 2 wait
+     states: width adaptation stacked on a slow, handshaked target. *)
+  let in_driver =
+    {
+      (Iterator_intf.driver_stub ~data_width:24 ~pos_width:1) with
+      Iterator_intf.read_req = input "read_req" 1;
+      inc_req = input "inc_req" 1;
+    }
+  in
+  let out_driver =
+    {
+      (Iterator_intf.driver_stub ~data_width:24 ~pos_width:1) with
+      Iterator_intf.write_req = input "write_req" 1;
+      inc_req = input "winc_req" 1;
+      write_data = input "write_data" 24;
+    }
+  in
+  let get_req_w = wire 1 and put_req_w = wire 1 and put_data_w = wire 8 in
+  let q =
+    Queue_c.over_sram ~depth:32 ~width:8 ~wait_states:2
+      {
+        Container_intf.get_req = get_req_w;
+        put_req = put_req_w;
+        put_data = put_data_w;
+      }
+  in
+  let out_it, () =
+    Multi_word_iterator.output ~elem_width:24 ~bus_width:8
+      ~build:(fun ~put_req ~put_data ->
+        put_req_w <== put_req;
+        put_data_w <== put_data;
+        (q, ()))
+      out_driver
+  in
+  let in_it, () =
+    Multi_word_iterator.input ~elem_width:24 ~bus_width:8
+      ~build:(fun ~get_req ->
+        get_req_w <== get_req;
+        (q, ()))
+      in_driver
+  in
+  let c =
+    Circuit.create_exn ~name:"mw_sram"
+      [
+        ("read_ack", in_it.Iterator_intf.read_ack);
+        ("read_data", in_it.Iterator_intf.read_data);
+        ("write_ack", out_it.Iterator_intf.write_ack);
+      ]
+  in
+  let sim = Cyclesim.create c in
+  List.iter
+    (fun n -> set sim n ~width:1 0)
+    [ "read_req"; "inc_req"; "write_req"; "winc_req" ];
+  Cyclesim.in_port sim "write_data" := Bits.zero 24;
+  Cyclesim.cycle sim;
+  let values = [ 0xC0FFEE; 0x123456; 0xFF00AA ] in
+  List.iter
+    (fun v ->
+      Cyclesim.in_port sim "write_data" := Bits.of_int ~width:24 v;
+      set sim "write_req" ~width:1 1;
+      set sim "winc_req" ~width:1 1;
+      ignore (cycles_until ~timeout:4000 sim "write_ack");
+      set sim "write_req" ~width:1 0;
+      set sim "winc_req" ~width:1 0;
+      Cyclesim.cycle sim)
+    values;
+  let got =
+    List.map
+      (fun _ ->
+        set sim "read_req" ~width:1 1;
+        set sim "inc_req" ~width:1 1;
+        ignore (cycles_until ~timeout:4000 sim "read_ack");
+        let v = Bits.to_int_trunc !(Cyclesim.out_port sim "read_data") in
+        set sim "read_req" ~width:1 0;
+        set sim "inc_req" ~width:1 0;
+        Cyclesim.cycle sim;
+        v)
+      values
+  in
+  Alcotest.(check (list int)) "round trip over slow SRAM" values got
+
+(* --- Stream reversal through a stack ------------------------------------ *)
+
+(* The copy algorithm is order-agnostic: pointing its iterators at a
+   stack container reverses the stream — container semantics compose
+   with algorithms exactly as in the STL. *)
+let test_reverse_via_stack () =
+  (* Gate the copy until the stack holds all five values; otherwise it
+     would start popping during the fill and no reversal happens. *)
+  let copy = Copy.create ~enable:(input "start" 1) ~limit:5 ~width:8 () in
+  let src_it, put_ack =
+    Seq_iterator.connect_input
+      ~build:(fun ~get_req ->
+        let s =
+          Stack_c.over_lifo ~depth:16 ~width:8
+            {
+              Container_intf.get_req;
+              put_req = input "put_req" 1;
+              put_data = input "put_data" 8;
+            }
+        in
+        (s, s.Container_intf.put_ack))
+      copy.Transform.src_driver
+  in
+  let dst =
+    Queue_c.over_fifo ~depth:16 ~width:8
+      {
+        Container_intf.get_req = input "get_req" 1;
+        put_req = Seq_iterator.fused_put_req copy.Transform.dst_driver;
+        put_data = copy.Transform.dst_driver.Iterator_intf.write_data;
+      }
+  in
+  let dst_it = Seq_iterator.output dst copy.Transform.dst_driver in
+  copy.Transform.connect ~src:src_it ~dst:dst_it;
+  let c =
+    Circuit.create_exn ~name:"reverse"
+      [
+        ("put_ack", put_ack);
+        ("get_ack", dst.Container_intf.get_ack);
+        ("get_data", dst.Container_intf.get_data);
+        ("running", copy.Transform.running);
+      ]
+  in
+  let sim = Cyclesim.create c in
+  set sim "put_req" ~width:1 0;
+  set sim "get_req" ~width:1 0;
+  set sim "put_data" ~width:8 0;
+  set sim "start" ~width:1 0;
+  Cyclesim.cycle sim;
+  List.iter (fun v -> ignore (seq_put sim ~width:8 v)) [ 1; 2; 3; 4; 5 ];
+  set sim "start" ~width:1 1;
+  let rec wait_halt n =
+    if n > 2000 then Alcotest.fail "copy never halted";
+    Cyclesim.cycle sim;
+    if out_int sim "running" = 1 then wait_halt (n + 1)
+  in
+  wait_halt 0;
+  let got = List.init 5 (fun _ -> fst (seq_get sim)) in
+  Alcotest.(check (list int)) "reversed" [ 5; 4; 3; 2; 1 ] got
+
+(* --- Blur scaling to real video line widths ----------------------------- *)
+
+let test_blur_scales_to_video_lines () =
+  (* At the paper's 640-pixel lines the line buffers outgrow single
+     block RAMs; area must grow accordingly (EXPERIMENTS.md's claim). *)
+  let small =
+    Hwpat_core.Blur_system.build ~image_width:32 ~max_rows:32 ~style:Hwpat_core.Blur_system.Pattern ()
+  in
+  let vga =
+    Hwpat_core.Blur_system.build ~image_width:640 ~max_rows:480 ~style:Hwpat_core.Blur_system.Pattern ()
+  in
+  let est c = Hwpat_synthesis.Techmap.estimate c in
+  let s = est small and v = est vga in
+  check_bool "more brams at 640" true
+    (v.Hwpat_synthesis.Techmap.brams > s.Hwpat_synthesis.Techmap.brams);
+  check_bool "line buffers dominate"
+    true
+    (v.Hwpat_synthesis.Techmap.brams >= 4)
+
+(* --- Run-length encoder -------------------------------------------------- *)
+
+let rle_harness ~count =
+  let rle = Rle.create ~width:8 ~count () in
+  let src_it, put_ack =
+    Seq_iterator.connect_input
+      ~build:(fun ~get_req ->
+        let q =
+          Queue_c.over_fifo ~depth:64 ~width:8
+            {
+              Container_intf.get_req;
+              put_req = input "put_req" 1;
+              put_data = input "put_data" 8;
+            }
+        in
+        (q, q.Container_intf.put_ack))
+      rle.Rle.src_driver
+  in
+  let dst =
+    Queue_c.over_fifo ~depth:64 ~width:16
+      {
+        Container_intf.get_req = input "get_req" 1;
+        put_req = Seq_iterator.fused_put_req rle.Rle.dst_driver;
+        put_data = rle.Rle.dst_driver.Iterator_intf.write_data;
+      }
+  in
+  let dst_it = Seq_iterator.output dst rle.Rle.dst_driver in
+  rle.Rle.connect ~src:src_it ~dst:dst_it;
+  let c =
+    Circuit.create_exn ~name:"rle_harness"
+      [
+        ("put_ack", put_ack);
+        ("get_ack", dst.Container_intf.get_ack);
+        ("get_data", dst.Container_intf.get_data);
+        ("done", rle.Rle.done_);
+        ("pairs", rle.Rle.pairs);
+      ]
+  in
+  Cyclesim.create c
+
+let run_rle data =
+  let sim = rle_harness ~count:(List.length data) in
+  set sim "put_req" ~width:1 0;
+  set sim "get_req" ~width:1 0;
+  set sim "put_data" ~width:8 0;
+  Cyclesim.cycle sim;
+  List.iter (fun v -> ignore (seq_put sim ~width:8 v)) data;
+  ignore (cycles_until ~timeout:8000 sim "done");
+  Cyclesim.settle sim;
+  let n_pairs = out_int sim "pairs" in
+  List.init n_pairs (fun _ ->
+      let packed, _ = seq_get sim in
+      (packed lsr 8, packed land 255))
+
+let test_rle_basic () =
+  Alcotest.(check (list (pair int int)))
+    "runs" [ (3, 7); (1, 2); (2, 7) ]
+    (run_rle [ 7; 7; 7; 2; 7; 7 ]);
+  Alcotest.(check (list (pair int int))) "single" [ (1, 5) ] (run_rle [ 5 ]);
+  Alcotest.(check (list (pair int int)))
+    "all distinct"
+    [ (1, 1); (1, 2); (1, 3) ]
+    (run_rle [ 1; 2; 3 ]);
+  Alcotest.(check (list (pair int int))) "all same" [ (4, 9) ] (run_rle [ 9; 9; 9; 9 ])
+
+let test_rle_vs_reference_random () =
+  Random.init 12345;
+  for _ = 1 to 8 do
+    (* Skewed values make real runs likely. *)
+    let data = List.init (5 + Random.int 30) (fun _ -> Random.int 3) in
+    let expected = Rle.reference ~width:8 data in
+    let got = run_rle data in
+    if got <> expected then
+      Alcotest.failf "rle mismatch on %s"
+        (String.concat "," (List.map string_of_int data));
+    (* Decoding recovers the input exactly. *)
+    let decoded =
+      List.concat_map (fun (run, v) -> List.init run (fun _ -> v)) got
+    in
+    Alcotest.(check (list int)) "lossless" data decoded
+  done
+
+(* --- Random op sequences against the model, random seeds ---------------- *)
+
+let prop name count arb f = QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count arb f)
+
+(* Drive a queue-over-bram with an arbitrary op list and mirror it in
+   OCaml's Queue. One shared harness per property invocation would leak
+   state between cases, so build per case (small depth keeps it fast). *)
+let queue_props =
+  [
+    prop "queue/bram equals model on arbitrary op sequences" 12
+      QCheck.(list_of_size Gen.(int_range 1 40) (int_bound 511))
+      (fun ops ->
+        let sim =
+          seq_harness ~name:"prop_q" ~width:8 (fun d ->
+              Queue_c.over_bram ~depth:4 ~width:8 d)
+        in
+        quiesce sim;
+        let model = Queue.create () in
+        List.for_all
+          (fun op ->
+            if op land 1 = 0 then begin
+              let v = (op lsr 1) land 255 in
+              if Queue.length model < 4 then begin
+                ignore (seq_put sim ~width:8 v);
+                Queue.push v model
+              end;
+              true
+            end
+            else if Queue.length model > 0 then
+              fst (seq_get sim) = Queue.pop model
+            else true)
+          ops);
+  ]
+
+let () =
+  Alcotest.run "coverage"
+    [
+      ( "targets",
+        [
+          Alcotest.test_case "assoc over sram" `Quick test_assoc_over_sram;
+          Alcotest.test_case "multi-word over slow sram" `Quick
+            test_multi_word_over_sram;
+        ] );
+      ( "composition",
+        [
+          Alcotest.test_case "reverse via stack" `Quick test_reverse_via_stack;
+          Alcotest.test_case "blur scales to 640" `Quick
+            test_blur_scales_to_video_lines;
+        ] );
+      ( "rle",
+        [
+          Alcotest.test_case "basic runs" `Quick test_rle_basic;
+          Alcotest.test_case "random vs reference + lossless" `Quick
+            test_rle_vs_reference_random;
+        ] );
+      ("model properties", queue_props);
+    ]

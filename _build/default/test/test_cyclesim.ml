@@ -1,0 +1,264 @@
+open Hwpat_rtl
+open Hwpat_rtl.Signal
+
+let check_int = Alcotest.(check int)
+
+let out_int sim name = Bits.to_int !(Cyclesim.out_port sim name)
+let set sim name ~width v = Cyclesim.in_port sim name := Bits.of_int ~width v
+
+let test_combinational () =
+  let a = input "a" 8 and b = input "b" 8 in
+  let c =
+    Circuit.create_exn ~name:"alu"
+      [
+        ("sum", a +: b);
+        ("diff", a -: b);
+        ("prod", a *: b);
+        ("conj", a &: b);
+        ("disj", a |: b);
+        ("xor", a ^: b);
+        ("eq", a ==: b);
+        ("lt", a <: b);
+        ("inv", ~:a);
+      ]
+  in
+  let sim = Cyclesim.create c in
+  set sim "a" ~width:8 200;
+  set sim "b" ~width:8 100;
+  Cyclesim.cycle sim;
+  check_int "sum" ((200 + 100) land 255) (out_int sim "sum");
+  check_int "diff" 100 (out_int sim "diff");
+  check_int "prod" (200 * 100 land 255) (out_int sim "prod");
+  check_int "conj" (200 land 100) (out_int sim "conj");
+  check_int "disj" (200 lor 100) (out_int sim "disj");
+  check_int "xor" (200 lxor 100) (out_int sim "xor");
+  check_int "eq" 0 (out_int sim "eq");
+  check_int "lt" 0 (out_int sim "lt");
+  check_int "inv" (lnot 200 land 255) (out_int sim "inv");
+  set sim "b" ~width:8 200;
+  Cyclesim.cycle sim;
+  check_int "eq after change" 1 (out_int sim "eq")
+
+let test_mux () =
+  let s = input "s" 2 in
+  let cases = [ of_int ~width:8 10; of_int ~width:8 20; of_int ~width:8 30 ] in
+  let c = Circuit.create_exn ~name:"mux" [ ("y", mux s cases) ] in
+  let sim = Cyclesim.create c in
+  let try_sel v expect =
+    set sim "s" ~width:2 v;
+    Cyclesim.cycle sim;
+    check_int (Printf.sprintf "sel=%d" v) expect (out_int sim "y")
+  in
+  try_sel 0 10;
+  try_sel 1 20;
+  try_sel 2 30;
+  (* Out of range repeats the last case. *)
+  try_sel 3 30
+
+let test_counter () =
+  let counter =
+    reg_fb ~width:8 ~clear:(input "clr" 1) ~enable:(input "en" 1) (fun q ->
+        q +: one 8)
+  in
+  let c = Circuit.create_exn ~name:"counter" [ ("q", counter) ] in
+  let sim = Cyclesim.create c in
+  set sim "clr" ~width:1 0;
+  set sim "en" ~width:1 1;
+  for _ = 1 to 5 do
+    Cyclesim.cycle sim
+  done;
+  (* Output is the pre-edge value: after 5 cycles the output observed on
+     the 5th call was 4. Settle to see the committed value. *)
+  Cyclesim.settle sim;
+  check_int "counted to 5" 5 (out_int sim "q");
+  set sim "en" ~width:1 0;
+  Cyclesim.cycle sim;
+  Cyclesim.settle sim;
+  check_int "hold when disabled" 5 (out_int sim "q");
+  set sim "clr" ~width:1 1;
+  Cyclesim.cycle sim;
+  Cyclesim.settle sim;
+  check_int "clear wins" 0 (out_int sim "q")
+
+let test_reg_init () =
+  let q = reg ~init:(Bits.of_int ~width:8 42) (input "d" 8) in
+  let c = Circuit.create_exn ~name:"init" [ ("q", q) ] in
+  let sim = Cyclesim.create c in
+  set sim "d" ~width:8 7;
+  Cyclesim.settle sim;
+  check_int "init value" 42 (out_int sim "q");
+  Cyclesim.cycle sim;
+  Cyclesim.settle sim;
+  check_int "loaded" 7 (out_int sim "q");
+  Cyclesim.reset sim;
+  check_int "reset restores init" 42 (out_int sim "q")
+
+let test_memory_async () =
+  let m = create_memory ~size:16 ~width:8 () in
+  mem_write_port m ~enable:(input "we" 1) ~addr:(input "wa" 4) ~data:(input "wd" 8);
+  let rd = mem_read_async m ~addr:(input "ra" 4) in
+  let c = Circuit.create_exn ~name:"ram" [ ("rd", rd) ] in
+  let sim = Cyclesim.create c in
+  set sim "we" ~width:1 1;
+  set sim "wa" ~width:4 3;
+  set sim "wd" ~width:8 99;
+  set sim "ra" ~width:4 3;
+  Cyclesim.cycle sim;
+  (* Write commits at the edge; during the same cycle the old value is
+     read (read-before-write). *)
+  check_int "read old value during write" 0 (out_int sim "rd");
+  set sim "we" ~width:1 0;
+  Cyclesim.cycle sim;
+  check_int "read new value" 99 (out_int sim "rd")
+
+let test_memory_sync () =
+  let m = create_memory ~size:16 ~width:8 () in
+  mem_write_port m ~enable:(input "we" 1) ~addr:(input "wa" 4) ~data:(input "wd" 8);
+  let rd = mem_read_sync m ~addr:(input "ra" 4) () in
+  let c = Circuit.create_exn ~name:"bram" [ ("rd", rd) ] in
+  let sim = Cyclesim.create c in
+  set sim "we" ~width:1 1;
+  set sim "wa" ~width:4 5;
+  set sim "wd" ~width:8 77;
+  set sim "ra" ~width:4 5;
+  Cyclesim.cycle sim;
+  set sim "we" ~width:1 0;
+  (* The sync read registered the pre-write value (read-first). *)
+  Cyclesim.settle sim;
+  check_int "sync read lags" 0 (out_int sim "rd");
+  Cyclesim.cycle sim;
+  Cyclesim.settle sim;
+  check_int "sync read returns written" 77 (out_int sim "rd")
+
+let test_shift_register () =
+  let d = input "d" 1 in
+  let s1 = reg d in
+  let s2 = reg s1 in
+  let s3 = reg s2 in
+  let c = Circuit.create_exn ~name:"shift" [ ("q", s3) ] in
+  let sim = Cyclesim.create c in
+  let feed bits =
+    List.map
+      (fun b ->
+        set sim "d" ~width:1 b;
+        Cyclesim.cycle sim;
+        Cyclesim.settle sim;
+        out_int sim "q")
+      bits
+  in
+  let outs = feed [ 1; 0; 1; 1; 0; 0 ] in
+  Alcotest.(check (list int)) "delayed by 3" [ 0; 0; 1; 0; 1; 1 ] outs
+
+let test_peek_and_vcd () =
+  let a = input "a" 4 in
+  let doubled = (a +: a) -- "doubled" in
+  let c = Circuit.create_exn ~name:"peek" [ ("y", doubled) ] in
+  let sim = Cyclesim.create c in
+  let vcd = Vcd.create sim in
+  set sim "a" ~width:4 3;
+  Cyclesim.cycle sim;
+  Vcd.sample vcd;
+  check_int "peek" 6 (Bits.to_int (Cyclesim.peek sim doubled));
+  set sim "a" ~width:4 5;
+  Cyclesim.cycle sim;
+  Vcd.sample vcd;
+  let text = Vcd.to_string vcd in
+  let contains needle hay =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "vcd has var" true (contains "doubled" text);
+  Alcotest.(check bool) "vcd has change" true (contains "b1010" text)
+
+let test_vcd_structure () =
+  (* The dump must declare every tracked var once, open with a header,
+     and emit strictly increasing timestamps. *)
+  let a = input "a" 4 in
+  let q = reg a -- "q_reg" in
+  let c = Circuit.create_exn ~name:"vcd" [ ("q", q) ] in
+  let sim = Cyclesim.create c in
+  let vcd = Vcd.create sim in
+  for i = 1 to 5 do
+    set sim "a" ~width:4 i;
+    Cyclesim.cycle sim;
+    Vcd.sample vcd
+  done;
+  let text = Vcd.to_string vcd in
+  let lines = String.split_on_char '\n' text in
+  let timestamps =
+    List.filter_map
+      (fun l ->
+        if String.length l > 1 && l.[0] = '#' then
+          int_of_string_opt (String.sub l 1 (String.length l - 1))
+        else None)
+      lines
+  in
+  check_int "five samples" 5 (List.length timestamps);
+  Alcotest.(check (list int)) "monotonic" [ 0; 1; 2; 3; 4 ] timestamps;
+  let count needle =
+    List.length
+      (List.filter
+         (fun l ->
+           String.length l >= String.length needle
+           && String.sub l 0 (String.length needle) = needle)
+         lines)
+  in
+  check_int "one enddefinitions" 1 (count "$enddefinitions");
+  Alcotest.(check bool) "vars declared" true (count "$var wire" >= 2)
+
+let test_circuit_port_errors () =
+  let a = input "a" 4 in
+  let c = Circuit.create_exn ~name:"p" [ ("y", ~:a) ] in
+  let sim = Cyclesim.create c in
+  Alcotest.check_raises "unknown input"
+    (Invalid_argument "Cyclesim: no input port named ghost") (fun () ->
+      ignore (Cyclesim.in_port sim "ghost"));
+  Alcotest.check_raises "unknown output"
+    (Invalid_argument "Cyclesim: no output port named ghost") (fun () ->
+      ignore (Cyclesim.out_port sim "ghost"));
+  Alcotest.check_raises "find_input"
+    (Invalid_argument "Circuit: no input port named ghost") (fun () ->
+      ignore (Circuit.find_input c "ghost"));
+  Alcotest.check_raises "find_output"
+    (Invalid_argument "Circuit: no output port named ghost") (fun () ->
+      ignore (Circuit.find_output c "ghost"))
+
+let test_wide_datapath () =
+  let a = input "a" 100 in
+  let c = Circuit.create_exn ~name:"wide" [ ("y", a +: a) ] in
+  let sim = Cyclesim.create c in
+  Cyclesim.in_port sim "a" := Bits.concat_msb [ Bits.one 50; Bits.zero 50 ];
+  Cyclesim.cycle sim;
+  let expected = Bits.concat_msb [ Bits.of_int ~width:50 2; Bits.zero 50 ] in
+  Alcotest.(check bool) "wide add" true
+    (Bits.equal expected !(Cyclesim.out_port sim "y"))
+
+let test_input_width_check () =
+  let a = input "a" 8 in
+  let c = Circuit.create_exn ~name:"w" [ ("y", ~:a) ] in
+  let sim = Cyclesim.create c in
+  Cyclesim.in_port sim "a" := Bits.zero 4;
+  Alcotest.check_raises "wrong input width"
+    (Invalid_argument "Cyclesim: input a driven with width 4, expected 8")
+    (fun () -> Cyclesim.cycle sim)
+
+let () =
+  Alcotest.run "cyclesim"
+    [
+      ( "cyclesim",
+        [
+          Alcotest.test_case "combinational ops" `Quick test_combinational;
+          Alcotest.test_case "mux" `Quick test_mux;
+          Alcotest.test_case "counter" `Quick test_counter;
+          Alcotest.test_case "register init/reset" `Quick test_reg_init;
+          Alcotest.test_case "async memory" `Quick test_memory_async;
+          Alcotest.test_case "sync memory" `Quick test_memory_sync;
+          Alcotest.test_case "shift register" `Quick test_shift_register;
+          Alcotest.test_case "peek and vcd" `Quick test_peek_and_vcd;
+          Alcotest.test_case "wide datapath" `Quick test_wide_datapath;
+          Alcotest.test_case "vcd structure" `Quick test_vcd_structure;
+          Alcotest.test_case "port errors" `Quick test_circuit_port_errors;
+          Alcotest.test_case "input width check" `Quick test_input_width_check;
+        ] );
+    ]

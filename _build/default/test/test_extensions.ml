@@ -1,0 +1,379 @@
+(* Tests for the extension features: the histogram algorithm over the
+   random iterator, binary image labelling, and the shared-SRAM wiring
+   helpers. *)
+
+open Hwpat_rtl
+open Hwpat_rtl.Signal
+open Hwpat_containers
+open Hwpat_iterators
+open Hwpat_algorithms
+open Hwpat_test_support.Sim_util
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* --- RTL histogram ----------------------------------------------------- *)
+
+(* Pixels come from a queue the testbench fills; bins live in a BRAM
+   vector. After done_, the testbench reads the bins back through the
+   same vector port. *)
+let histogram_harness ~pixel_width ~count =
+  let bins_len = 1 lsl pixel_width in
+  let hist = Histogram.create ~pixel_width ~bin_width:16 ~count () in
+  let src_it, put_ack =
+    Seq_iterator.connect_input
+      ~build:(fun ~get_req ->
+        let q =
+          Queue_c.over_fifo ~depth:64 ~width:pixel_width
+            {
+              Container_intf.get_req;
+              put_req = input "put_req" 1;
+              put_data = input "put_data" pixel_width;
+            }
+        in
+        (q, q.Container_intf.put_ack))
+      hist.Histogram.src_driver
+  in
+  (* The bins live behind one random iterator. While the algorithm
+     runs, it owns the iterator; once halted, the testbench inspects
+     the bins through the same iterator by ORing its own index/read
+     requests into the driver. *)
+  let tb_read_req = input "tb_read_req" 1 in
+  let tb_addr = input "tb_addr" pixel_width in
+  let d = hist.Histogram.bin_driver in
+  let merged =
+    {
+      d with
+      Iterator_intf.index_req = d.Iterator_intf.index_req |: input "tb_index_req" 1;
+      index_pos =
+        mux2 (input "tb_sel" 1) (uresize tb_addr pixel_width)
+          d.Iterator_intf.index_pos;
+      read_req = d.Iterator_intf.read_req |: tb_read_req;
+    }
+  in
+  let rit =
+    Random_iterator.create ~length:bins_len
+      ~vector:(Vector_c.over_bram ~length:bins_len ~width:16)
+      merged
+  in
+  let bins_it = rit.Random_iterator.iterator in
+  hist.Histogram.connect ~src:src_it ~bins:bins_it;
+  let c =
+    Circuit.create_exn ~name:"hist_harness"
+      [
+        ("put_ack", put_ack);
+        ("done", hist.Histogram.done_);
+        ("processed", hist.Histogram.processed);
+        ("bin_read_ack", bins_it.Iterator_intf.read_ack);
+        ("bin_read_data", bins_it.Iterator_intf.read_data);
+        ("bin_index_ack", bins_it.Iterator_intf.index_ack);
+      ]
+  in
+  Cyclesim.create c
+
+let test_histogram_rtl_vs_model () =
+  let pixel_width = 4 in
+  Random.init 77;
+  let data = List.init 24 (fun _ -> Random.int 16) in
+  let sim = histogram_harness ~pixel_width ~count:(List.length data) in
+  List.iter
+    (fun n -> set sim n ~width:1 0)
+    [ "put_req"; "tb_read_req"; "tb_index_req"; "tb_sel" ];
+  set sim "put_data" ~width:pixel_width 0;
+  set sim "tb_addr" ~width:pixel_width 0;
+  Cyclesim.cycle sim;
+  List.iter (fun v -> ignore (seq_put sim ~width:pixel_width v)) data;
+  ignore (cycles_until ~timeout:5000 sim "done");
+  Cyclesim.settle sim;
+  check_int "all pixels processed" (List.length data) (out_int sim "processed");
+  (* Model result. *)
+  let bins_model = Hwpat_model.Container.vector ~length:16 ~default:0 in
+  ignore
+    (Hwpat_model.Algorithm.histogram
+       ~src:(Hwpat_model.Iterator.input_of_list data)
+       ~bins:bins_model ~count:(List.length data));
+  (* Read back each bin through the (now idle) random iterator. *)
+  for bin = 0 to 15 do
+    set sim "tb_sel" ~width:1 1;
+    set sim "tb_addr" ~width:pixel_width bin;
+    set sim "tb_index_req" ~width:1 1;
+    ignore (cycles_until sim "bin_index_ack");
+    set sim "tb_index_req" ~width:1 0;
+    Cyclesim.cycle sim;
+    set sim "tb_read_req" ~width:1 1;
+    ignore (cycles_until sim "bin_read_ack");
+    let v = out_int sim "bin_read_data" in
+    set sim "tb_read_req" ~width:1 0;
+    Cyclesim.cycle sim;
+    check_int
+      (Printf.sprintf "bin %d" bin)
+      (Hwpat_model.Container.read bins_model bin)
+      v
+  done
+
+(* --- Model histogram property ------------------------------------------ *)
+
+let prop name count arb f = QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count arb f)
+
+let histogram_props =
+  [
+    prop "model histogram counts every element" 200
+      QCheck.(list_of_size Gen.(int_range 0 64) (int_bound 15))
+      (fun data ->
+        let bins = Hwpat_model.Container.vector ~length:16 ~default:0 in
+        let n =
+          Hwpat_model.Algorithm.histogram
+            ~src:(Hwpat_model.Iterator.input_of_list data)
+            ~bins ~count:(List.length data)
+        in
+        let total = ref 0 in
+        for i = 0 to 15 do
+          total := !total + Hwpat_model.Container.read bins i
+        done;
+        n = List.length data && !total = List.length data
+        && List.for_all
+             (fun v ->
+               Hwpat_model.Container.read bins v
+               = List.length (List.filter (Int.equal v) data))
+             data);
+  ]
+
+(* --- Binary image labelling --------------------------------------------- *)
+
+let frame_of_strings rows =
+  let h = List.length rows and w = String.length (List.hd rows) in
+  Hwpat_video.Frame.init ~width:w ~height:h ~depth:8 (fun ~x ~y ->
+      if (List.nth rows y).[x] = '#' then 255 else 0)
+
+let count_components frame =
+  let labelled = Hwpat_model.Algorithm.label_frame frame in
+  List.fold_left max 0 (Hwpat_video.Frame.to_row_major labelled)
+
+let test_labelling_components () =
+  check_int "two bars" 2
+    (count_components (frame_of_strings [ "##..##"; "##..##" ]));
+  check_int "single blob" 1
+    (count_components (frame_of_strings [ "####"; "#..#"; "####" ]));
+  check_int "empty image" 0 (count_components (frame_of_strings [ "...."; "...." ]));
+  (* A 'U' shape whose arms merge at the bottom: the equivalence table
+     must union the two provisional labels. *)
+  check_int "U merges" 1
+    (count_components (frame_of_strings [ "#..#"; "#..#"; "####" ]));
+  (* Diagonals do not connect under 4-connectivity. *)
+  check_int "diagonal separate" 2
+    (count_components (frame_of_strings [ "#."; ".#" ]));
+  (* Checkerboard: every foreground pixel isolated. *)
+  check_int "checkerboard" 8
+    (count_components (frame_of_strings [ "#.#.#"; ".#.#."; "#.#.#" ]))
+
+let test_labelling_consistency () =
+  (* Pixels in the same component share a label; pixels in different
+     components never do. Verified against a reference flood fill. *)
+  let frame =
+    frame_of_strings [ "##...##."; "#..#..#."; "#..####."; "...#...." ]
+  in
+  let labelled = Hwpat_model.Algorithm.label_frame frame in
+  let module F = Hwpat_video.Frame in
+  let w = F.width frame and h = F.height frame in
+  (* Flood fill reference. *)
+  let comp = Array.make_matrix h w 0 in
+  let next = ref 0 in
+  let rec fill x y id =
+    if
+      x >= 0 && x < w && y >= 0 && y < h
+      && F.get frame ~x ~y <> 0
+      && comp.(y).(x) = 0
+    then begin
+      comp.(y).(x) <- id;
+      fill (x + 1) y id;
+      fill (x - 1) y id;
+      fill x (y + 1) id;
+      fill x (y - 1) id
+    end
+  in
+  for y = 0 to h - 1 do
+    for x = 0 to w - 1 do
+      if F.get frame ~x ~y <> 0 && comp.(y).(x) = 0 then begin
+        incr next;
+        fill x y !next
+      end
+    done
+  done;
+  (* Same-partition check in both directions. *)
+  for y0 = 0 to h - 1 do
+    for x0 = 0 to w - 1 do
+      for y1 = 0 to h - 1 do
+        for x1 = 0 to w - 1 do
+          let ours_same =
+            F.get labelled ~x:x0 ~y:y0 = F.get labelled ~x:x1 ~y:y1
+          in
+          let ref_same = comp.(y0).(x0) = comp.(y1).(x1) in
+          if F.get frame ~x:x0 ~y:y0 <> 0 && F.get frame ~x:x1 ~y:y1 <> 0 then
+            check_bool "partitions agree" ref_same ours_same
+        done
+      done
+    done
+  done
+
+let labelling_props =
+  [
+    prop "labelling matches flood fill on random frames" 50
+      QCheck.(pair (int_range 2 10) (int_range 2 10))
+      (fun (w, h) ->
+        let frame =
+          Hwpat_video.Frame.init ~width:w ~height:h ~depth:8 (fun ~x ~y ->
+              if (x * 31 + y * 17 + (w * h)) mod 3 = 0 then 255 else 0)
+        in
+        let labelled = Hwpat_model.Algorithm.label_frame frame in
+        let module F = Hwpat_video.Frame in
+        (* Adjacency check: 4-neighbours that are both foreground share
+           a label. *)
+        let ok = ref true in
+        for y = 0 to h - 1 do
+          for x = 0 to w - 1 do
+            if F.get frame ~x ~y <> 0 then begin
+              if x + 1 < w && F.get frame ~x:(x + 1) ~y <> 0 then
+                ok :=
+                  !ok && F.get labelled ~x ~y = F.get labelled ~x:(x + 1) ~y;
+              if y + 1 < h && F.get frame ~x ~y:(y + 1) <> 0 then
+                ok :=
+                  !ok && F.get labelled ~x ~y = F.get labelled ~x ~y:(y + 1);
+              ok := !ok && F.get labelled ~x ~y > 0
+            end
+            else ok := !ok && F.get labelled ~x ~y = 0
+          done
+        done;
+        !ok);
+  ]
+
+
+(* --- RTL binary image labelling ----------------------------------------- *)
+
+let label_harness ~image_width ~image_height =
+  let lbl =
+    Label.create ~width:8 ~label_bits:8 ~image_width ~image_height ()
+  in
+  let src_it, put_ack =
+    Seq_iterator.connect_input
+      ~build:(fun ~get_req ->
+        let q =
+          Queue_c.over_fifo ~depth:256 ~width:8
+            {
+              Container_intf.get_req;
+              put_req = input "put_req" 1;
+              put_data = input "put_data" 8;
+            }
+        in
+        (q, q.Container_intf.put_ack))
+      lbl.Label.src_driver
+  in
+  let dst =
+    Queue_c.over_fifo ~depth:256 ~width:8
+      {
+        Container_intf.get_req = input "get_req" 1;
+        put_req = Seq_iterator.fused_put_req lbl.Label.dst_driver;
+        put_data = lbl.Label.dst_driver.Iterator_intf.write_data;
+      }
+  in
+  let dst_it = Seq_iterator.output dst lbl.Label.dst_driver in
+  lbl.Label.connect ~src:src_it ~dst:dst_it;
+  let c =
+    Circuit.create_exn ~name:"label_harness"
+      [
+        ("put_ack", put_ack);
+        ("get_ack", dst.Container_intf.get_ack);
+        ("get_data", dst.Container_intf.get_data);
+        ("done", lbl.Label.done_);
+        ("labels_used", lbl.Label.labels_used);
+      ]
+  in
+  Cyclesim.create c
+
+let run_rtl_label frame =
+  let module F = Hwpat_video.Frame in
+  let w = F.width frame and h = F.height frame in
+  let sim = label_harness ~image_width:w ~image_height:h in
+  set sim "put_req" ~width:1 0;
+  set sim "get_req" ~width:1 0;
+  set sim "put_data" ~width:8 0;
+  Cyclesim.cycle sim;
+  (* Feed the whole frame; the input queue is deep enough to decouple
+     the stream from the labelling FSM. *)
+  List.iter
+    (fun v -> ignore (seq_put ~timeout:20000 sim ~width:8 (min v 255)))
+    (F.to_row_major frame);
+  (* Drain exactly W*H labels. *)
+  let labels =
+    List.init (w * h) (fun _ -> fst (seq_get ~timeout:20000 sim))
+  in
+  Cyclesim.settle sim;
+  let used = out_int sim "labels_used" in
+  (F.of_row_major ~width:w ~height:h ~depth:8 labels, used)
+
+let test_rtl_label_matches_model () =
+  let images =
+    [
+      frame_of_strings [ "##..##"; "##..##" ];
+      frame_of_strings [ "#..#"; "#..#"; "####" ];
+      frame_of_strings [ "#.#.#"; ".#.#."; "#.#.#" ];
+      frame_of_strings [ "......"; "......" ];
+      frame_of_strings [ "######"; "######" ];
+      frame_of_strings [ "##...##."; "#..#..#."; "#..####."; "...#...." ];
+    ]
+  in
+  List.iteri
+    (fun i frame ->
+      let rtl, used = run_rtl_label frame in
+      let model = Hwpat_model.Algorithm.label_frame frame in
+      let model8 =
+        Hwpat_video.Frame.of_row_major
+          ~width:(Hwpat_video.Frame.width model)
+          ~height:(Hwpat_video.Frame.height model)
+          ~depth:8
+          (Hwpat_video.Frame.to_row_major model)
+      in
+      if not (Hwpat_video.Frame.equal rtl model8) then
+        Alcotest.failf "image %d: RTL labels differ from model\nmodel:\n%s\nrtl:\n%s"
+          i
+          (Hwpat_video.Frame.to_string model8)
+          (Hwpat_video.Frame.to_string rtl);
+      let expected_used =
+        List.fold_left max 0 (Hwpat_video.Frame.to_row_major model)
+      in
+      check_int (Printf.sprintf "image %d component count" i) expected_used used)
+    images
+
+let test_rtl_label_random_frames () =
+  for seed = 1 to 4 do
+    let frame =
+      Hwpat_video.Frame.init ~width:7 ~height:6 ~depth:8 (fun ~x ~y ->
+          if (x * 13 + y * 7 + seed) mod 3 = 0 then 255 else 0)
+    in
+    let rtl, _ = run_rtl_label frame in
+    let model = Hwpat_model.Algorithm.label_frame frame in
+    let same =
+      Hwpat_video.Frame.to_row_major rtl
+      = Hwpat_video.Frame.to_row_major model
+    in
+    if not same then Alcotest.failf "seed %d: RTL label mismatch" seed
+  done
+
+let () =
+  Alcotest.run "extensions"
+    [
+      ( "histogram",
+        Alcotest.test_case "rtl vs model" `Quick test_histogram_rtl_vs_model
+        :: histogram_props );
+      ( "labelling",
+        [
+          Alcotest.test_case "component counts" `Quick test_labelling_components;
+          Alcotest.test_case "partition consistency" `Quick
+            test_labelling_consistency;
+        ]
+        @ labelling_props );
+      ( "rtl labelling",
+        [
+          Alcotest.test_case "matches model" `Quick test_rtl_label_matches_model;
+          Alcotest.test_case "random frames" `Quick test_rtl_label_random_frames;
+        ] );
+    ]

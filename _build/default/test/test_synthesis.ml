@@ -1,0 +1,187 @@
+open Hwpat_rtl
+open Hwpat_rtl.Signal
+open Hwpat_synthesis
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_wiring_is_free () =
+  let a = input "a" 8 in
+  (* A pure wrapper: renames, slices and regroups — like an iterator. *)
+  let wrapped =
+    let w = wire 8 in
+    w <== a;
+    concat_msb [ select w ~high:7 ~low:4; select w ~high:3 ~low:0 ] -- "renamed"
+  in
+  let c = Circuit.create_exn ~name:"wrapper" [ ("y", ~:wrapped) ] in
+  let r = Techmap.estimate c in
+  check_int "wrapper costs nothing" 0 r.Techmap.luts;
+  check_int "no ffs" 0 r.Techmap.ffs
+
+let test_register_cost () =
+  let q = reg (input "d" 13) in
+  let c = Circuit.create_exn ~name:"r" [ ("q", q) ] in
+  check_int "ff per bit" 13 (Techmap.estimate c).Techmap.ffs
+
+let test_adder_cost () =
+  let s = input "a" 16 +: input "b" 16 in
+  let c = Circuit.create_exn ~name:"a" [ ("s", s) ] in
+  check_int "carry chain" 16 (Techmap.estimate c).Techmap.luts
+
+let test_mux_cost () =
+  let m = mux (input "s" 2) [ input "a" 8; input "b" 8; input "c" 8; input "d" 8 ] in
+  let c = Circuit.create_exn ~name:"m" [ ("y", m) ] in
+  (* 3 2:1 muxes per bit, packed in pairs -> 2 per bit. *)
+  check_int "mux packing" 16 (Techmap.estimate c).Techmap.luts
+
+let test_bram_vs_lutram () =
+  let build sync =
+    let m = create_memory ~size:64 ~width:8 () in
+    mem_write_port m ~enable:(input "we" 1) ~addr:(input "wa" 6)
+      ~data:(input "wd" 8);
+    let rd =
+      if sync then mem_read_sync m ~addr:(input "ra" 6) ()
+      else mem_read_async m ~addr:(input "ra" 6)
+    in
+    Circuit.create_exn ~name:"m" [ ("rd", rd) ]
+  in
+  let sync_r = Techmap.estimate (build true) in
+  check_int "sync -> 1 bram" 1 sync_r.Techmap.brams;
+  check_int "sync -> no lutram" 0 sync_r.Techmap.lutram_luts;
+  let async_r = Techmap.estimate (build false) in
+  check_int "async -> no bram" 0 async_r.Techmap.brams;
+  (* 64x8 = 512 bits over 16-bit LUTs = 32 LUTs. *)
+  check_int "async -> lutram" 32 async_r.Techmap.lutram_luts
+
+let test_bram_width_splitting () =
+  let m = create_memory ~size:128 ~width:32 () in
+  mem_write_port m ~enable:(input "we" 1) ~addr:(input "wa" 7)
+    ~data:(input "wd" 32);
+  let rd = mem_read_sync m ~addr:(input "ra" 7) () in
+  let c = Circuit.create_exn ~name:"wide" [ ("rd", rd) ] in
+  (* 32-bit data needs two 16-bit-wide BRAM slices. *)
+  check_int "split by width" 2 (Techmap.estimate c).Techmap.brams
+
+let test_timing_deeper_is_slower () =
+  let a = input "a" 8 and b = input "b" 8 in
+  let shallow = Circuit.create_exn ~name:"sh" [ ("y", a +: b) ] in
+  let deep =
+    Circuit.create_exn ~name:"dp" [ ("y", a +: b +: a +: b +: a +: b +: a) ]
+  in
+  let t1 = Timing.analyze shallow and t2 = Timing.analyze deep in
+  check_bool "deep slower" true (t2.Timing.fmax_mhz < t1.Timing.fmax_mhz);
+  check_bool "levels grow" true (t2.Timing.logic_levels > t1.Timing.logic_levels);
+  check_bool "positive fmax" true (t1.Timing.fmax_mhz > 0.0)
+
+let test_timing_register_cuts_path () =
+  let a = input "a" 8 and b = input "b" 8 in
+  let long = a +: b +: a +: b +: a in
+  let cut = reg (a +: b) +: reg (a +: b) +: reg a in
+  let t_long = Timing.analyze (Circuit.create_exn ~name:"l" [ ("y", long) ]) in
+  let t_cut = Timing.analyze (Circuit.create_exn ~name:"c" [ ("y", cut) ]) in
+  check_bool "pipelining helps" true (t_cut.Timing.fmax_mhz > t_long.Timing.fmax_mhz)
+
+let test_timing_plausible_range () =
+  (* A simple stream datapath should land in the tens-of-MHz range the
+     paper reports (96-98 MHz) — not 1 MHz, not 1 GHz. *)
+  let a = input "a" 8 in
+  let q = reg (mux2 (input "en" 1) (a +: one 8) a) in
+  let t = Timing.analyze (Circuit.create_exn ~name:"p" [ ("q", q) ]) in
+  check_bool "plausible" true (t.Timing.fmax_mhz > 50.0 && t.Timing.fmax_mhz < 250.0)
+
+let test_board () =
+  let b = Board.xsb300e in
+  check_int "waits at 100 MHz" 0 (Board.sram_wait_states b ~clock_mhz:100.0);
+  check_int "waits at 200 MHz" 1 (Board.sram_wait_states b ~clock_mhz:200.0);
+  check_int "waits at 50 MHz" 0 (Board.sram_wait_states b ~clock_mhz:50.0);
+  check_bool "bram capacity" true (b.Board.bram_bits = 4096)
+
+let test_power_counts_activity () =
+  let en = input "en" 1 in
+  let q = reg_fb ~width:8 ~enable:en (fun q -> q +: one 8) in
+  let c = Circuit.create_exn ~name:"p" [ ("q", q) ] in
+  let sim = Cyclesim.create c in
+  let run enabled =
+    Cyclesim.reset sim;
+    let m = Power.monitor sim in
+    Cyclesim.in_port sim "en" := Bits.of_int ~width:1 (if enabled then 1 else 0);
+    for _ = 1 to 50 do
+      Cyclesim.cycle sim;
+      Power.sample m
+    done;
+    (Power.estimate m).Power.dynamic_mw
+  in
+  let idle = run false and active = run true in
+  check_bool "activity raises power" true (active > idle);
+  check_bool "idle is near zero" true (idle < 0.2)
+
+let test_design_space () =
+  let mk label luts brams cycles mhz mw =
+    {
+      Design_space.label;
+      container = "queue";
+      target = label;
+      elem_width = 8;
+      depth = 512;
+      luts;
+      ffs = luts;
+      brams;
+      access_cycles = cycles;
+      fmax_mhz = mhz;
+      power_mw = mw;
+    }
+  in
+  (* fifo: fast, costs a BRAM. sram: slow, cheap. bad: dominated. *)
+  let fifo = mk "fifo" 40 1 1.0 98.0 40.0 in
+  let sram = mk "sram" 60 0 4.0 96.0 35.0 in
+  let bad = mk "bad" 300 1 4.0 60.0 80.0 in
+  let all = [ fifo; sram; bad ] in
+  let front = Design_space.pareto_front all in
+  check_int "front size" 2 (List.length front);
+  check_bool "bad dominated" true
+    (not (List.exists (fun c -> c.Design_space.label = "bad") front));
+  let constrained =
+    Design_space.region_of_interest
+      { Design_space.no_constraints with Design_space.max_brams = Some 0 }
+      all
+  in
+  check_int "only sram without brams" 1 (List.length constrained);
+  Alcotest.(check string)
+    "it is sram" "sram"
+    (List.hd constrained).Design_space.label;
+  check_bool "table renders" true
+    (String.length (Design_space.to_table all) > 100)
+
+let test_resource_report () =
+  let a = input "a" 8 and b = input "b" 8 in
+  let pattern = Circuit.create_exn ~name:"pat" [ ("y", reg (a +: b)) ] in
+  let custom = Circuit.create_exn ~name:"cus" [ ("y", reg (a +: b)) ] in
+  let cmp = Resource_report.compare_pair ~name:"same" pattern custom in
+  check_bool "no overhead" true (Resource_report.overhead_percent cmp = 0.0);
+  let row = Resource_report.table3_row cmp in
+  check_bool "row mentions design" true (String.length row > 20)
+
+let () =
+  Alcotest.run "synthesis"
+    [
+      ( "techmap",
+        [
+          Alcotest.test_case "wiring is free" `Quick test_wiring_is_free;
+          Alcotest.test_case "register cost" `Quick test_register_cost;
+          Alcotest.test_case "adder cost" `Quick test_adder_cost;
+          Alcotest.test_case "mux cost" `Quick test_mux_cost;
+          Alcotest.test_case "bram vs lutram" `Quick test_bram_vs_lutram;
+          Alcotest.test_case "bram width split" `Quick test_bram_width_splitting;
+        ] );
+      ( "timing",
+        [
+          Alcotest.test_case "deeper is slower" `Quick test_timing_deeper_is_slower;
+          Alcotest.test_case "registers cut paths" `Quick
+            test_timing_register_cuts_path;
+          Alcotest.test_case "plausible range" `Quick test_timing_plausible_range;
+        ] );
+      ("board", [ Alcotest.test_case "constants" `Quick test_board ]);
+      ("power", [ Alcotest.test_case "activity" `Quick test_power_counts_activity ]);
+      ("design space", [ Alcotest.test_case "pareto" `Quick test_design_space ]);
+      ("report", [ Alcotest.test_case "comparison" `Quick test_resource_report ]);
+    ]

@@ -1,0 +1,342 @@
+open Hwpat_core
+open Hwpat_video
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let frames =
+  [
+    ("gradient", Pattern.gradient ~width:12 ~height:10 ~depth:8);
+    ("checker", Pattern.checkerboard ~cell:2 ~width:12 ~height:10 ~depth:8 ());
+    ("random", Pattern.random ~seed:17 ~width:12 ~height:10 ~depth:8 ());
+    ("constant", Pattern.constant ~value:129 ~width:12 ~height:10 ~depth:8);
+  ]
+
+let run_copy circuit frame =
+  Experiment.run_video_system circuit ~input:frame ~out_width:(Frame.width frame)
+    ~out_height:(Frame.height frame)
+
+let run_blur circuit frame =
+  Experiment.run_video_system circuit ~input:frame
+    ~out_width:(Frame.width frame - 2)
+    ~out_height:(Frame.height frame - 2)
+
+(* Every saa2vga variant must reproduce every frame exactly. *)
+let test_saa2vga_all_variants_all_frames () =
+  List.iter
+    (fun (substrate, style) ->
+      let circuit = Saa2vga.build ~depth:32 ~substrate ~style () in
+      List.iter
+        (fun (tag, frame) ->
+          let r = run_copy circuit frame in
+          if not (Frame.equal r.Experiment.output (Reference.copy frame)) then
+            Alcotest.failf "%s on %s: output differs"
+              (Saa2vga.name ~substrate ~style)
+              tag)
+        frames)
+    Saa2vga.all_variants
+
+let test_blur_both_styles_all_frames () =
+  List.iter
+    (fun style ->
+      let circuit =
+        Blur_system.build ~image_width:12 ~max_rows:10 ~style ()
+      in
+      List.iter
+        (fun (tag, frame) ->
+          let r = run_blur circuit frame in
+          if not (Frame.equal r.Experiment.output (Reference.blur frame)) then
+            Alcotest.failf "%s on %s: output differs"
+              (Blur_system.name ~style) tag)
+        frames)
+    [ Blur_system.Pattern; Blur_system.Custom ]
+
+(* §3.3's headline scenario: changing the aggregate's implementation
+   (FIFO -> private SRAMs -> one shared, arbitrated SRAM) leaves the
+   model — and therefore the output — intact. *)
+let test_change_scenario_output_invariant () =
+  let frame = Pattern.random ~seed:23 ~width:12 ~height:10 ~depth:8 () in
+  let outputs =
+    List.map
+      (fun substrate ->
+        let c = Saa2vga.build ~depth:32 ~substrate ~style:Saa2vga.Pattern () in
+        (run_copy c frame).Experiment.output)
+      [ Saa2vga.Fifo; Saa2vga.Sram; Saa2vga.Sram_shared ]
+  in
+  match outputs with
+  | [ a; b; c ] ->
+    check_bool "identical across substrates" true
+      (Frame.equal a b && Frame.equal b c)
+  | _ -> assert false
+
+(* The shared-SRAM extension: both buffers behind one arbitrated
+   memory, still bit-exact, and using no block RAM at all. *)
+let test_shared_sram_variant () =
+  let frame = Pattern.random ~seed:31 ~width:10 ~height:8 ~depth:8 () in
+  let c =
+    Saa2vga.build ~depth:32 ~substrate:Saa2vga.Sram_shared
+      ~style:Saa2vga.Pattern ()
+  in
+  let r = run_copy c frame in
+  check_bool "bit-exact through the arbiter" true
+    (Frame.equal r.Experiment.output frame);
+  let res = Hwpat_synthesis.Techmap.estimate c in
+  check_int "no block RAM" 0 res.Hwpat_synthesis.Techmap.brams;
+  Alcotest.check_raises "custom style rejected"
+    (Invalid_argument
+       "Saa2vga.build: the shared-SRAM variant exists in pattern style only")
+    (fun () ->
+      ignore
+        (Saa2vga.build ~substrate:Saa2vga.Sram_shared ~style:Saa2vga.Custom ()))
+
+(* Backpressure: a consumer that accepts only one pixel in four must
+   still receive the exact stream. *)
+let test_slow_consumer () =
+  let frame = Pattern.gradient ~width:8 ~height:8 ~depth:8 in
+  List.iter
+    (fun (substrate, style) ->
+      let circuit = Saa2vga.build ~depth:16 ~substrate ~style () in
+      let sim = Hwpat_rtl.Cyclesim.create circuit in
+      let source = Video_source.create sim frame in
+      let sink = Vga_sink.create ~ready_every:4 sim () in
+      let budget = 40000 in
+      let n = ref 0 in
+      while Vga_sink.count sink < Frame.pixels frame && !n < budget do
+        Video_source.drive source;
+        Vga_sink.drive sink;
+        Hwpat_rtl.Cyclesim.cycle sim;
+        Video_source.observe source;
+        Vga_sink.observe sink;
+        incr n
+      done;
+      let got =
+        Vga_sink.to_frame sink ~width:8 ~height:8 ~depth:8
+      in
+      if not (Frame.equal got frame) then
+        Alcotest.failf "%s: slow consumer corrupted the stream"
+          (Saa2vga.name ~substrate ~style))
+    Saa2vga.all_variants
+
+(* The Sobel pipeline reuses the blur's specialised container with a
+   different algorithm — exact against the software reference. *)
+let test_sobel_system () =
+  List.iter
+    (fun (tag, frame) ->
+      let circuit = Sobel_system.build ~image_width:12 ~max_rows:10 () in
+      let r = run_blur circuit frame in
+      if not (Frame.equal r.Experiment.output (Reference.sobel frame)) then
+        Alcotest.failf "sobel on %s: output differs" tag)
+    frames
+
+(* The throughput ordering the paper's design space predicts: the FIFO
+   implementation is at least as fast per pixel as the SRAM one. *)
+let test_throughput_ordering () =
+  let frame = Pattern.gradient ~width:12 ~height:10 ~depth:8 in
+  let cycles substrate =
+    let c = Saa2vga.build ~depth:32 ~substrate ~style:Saa2vga.Pattern () in
+    (run_copy c frame).Experiment.cycles_per_pixel
+  in
+  check_bool "fifo faster than sram" true
+    (cycles Saa2vga.Fifo < cycles Saa2vga.Sram)
+
+(* Determinism: two runs of the same circuit on the same frame agree
+   cycle for cycle. *)
+let test_determinism () =
+  let frame = Pattern.random ~seed:5 ~width:8 ~height:8 ~depth:8 () in
+  let circuit = Saa2vga.build ~depth:16 ~substrate:Saa2vga.Fifo ~style:Saa2vga.Pattern () in
+  let a = run_copy circuit frame and b = run_copy circuit frame in
+  check_int "same cycle count" a.Experiment.cycles b.Experiment.cycles;
+  check_bool "same output" true (Frame.equal a.Experiment.output b.Experiment.output)
+
+(* Backpressure on the windowed pipelines: a consumer accepting one
+   pixel in six must not lose or corrupt anything — this exercises the
+   custom blur's almost-full intake gating and the pattern versions'
+   handshake stalling. *)
+let test_windowed_slow_consumer () =
+  let frame = Pattern.random ~seed:41 ~width:10 ~height:8 ~depth:8 () in
+  let check tag circuit reference =
+    let sim = Hwpat_rtl.Cyclesim.create circuit in
+    let source = Video_source.create sim frame in
+    let sink = Vga_sink.create ~ready_every:6 sim () in
+    let expected = Frame.pixels reference in
+    let n = ref 0 in
+    while Vga_sink.count sink < expected && !n < 60000 do
+      Video_source.drive source;
+      Vga_sink.drive sink;
+      Hwpat_rtl.Cyclesim.cycle sim;
+      Video_source.observe source;
+      Vga_sink.observe sink;
+      incr n
+    done;
+    let got = Vga_sink.to_frame sink ~width:8 ~height:6 ~depth:8 in
+    if not (Frame.equal got reference) then
+      Alcotest.failf "%s: slow consumer corrupted the window pipeline" tag
+  in
+  let reference = Reference.blur frame in
+  check "blur_pattern"
+    (Blur_system.build ~image_width:10 ~max_rows:8 ~style:Blur_system.Pattern ())
+    reference;
+  check "blur_custom"
+    (Blur_system.build ~image_width:10 ~max_rows:8 ~style:Blur_system.Custom ())
+    reference;
+  check "sobel" (Sobel_system.build ~image_width:10 ~max_rows:8 ())
+    (Reference.sobel frame)
+
+(* The §3.3 pixel-format scenario end-to-end: the same RGB frame runs
+   through the 24-bit-bus and 8-bit-bus configurations; both must be
+   lossless and identical. *)
+let test_rgb_pixel_format_systems () =
+  let frame = Pattern.rgb_gradient ~width:8 ~height:6 in
+  let run bus =
+    let c = Saa2vga_rgb.build ~depth:32 ~bus () in
+    (Experiment.run_video_system c ~input:frame ~out_width:8 ~out_height:6)
+      .Experiment.output
+  in
+  let wide = run `Wide and narrow = run `Narrow in
+  check_bool "wide bus lossless" true (Frame.equal wide frame);
+  check_bool "narrow bus lossless" true (Frame.equal narrow frame);
+  check_bool "identical across bus widths" true (Frame.equal wide narrow)
+
+(* A deployed system processes frame after frame: reuse the same
+   simulator for three consecutive frames without reset. *)
+let test_multi_frame_stream () =
+  let circuit = Saa2vga.build ~depth:16 ~substrate:Saa2vga.Fifo ~style:Saa2vga.Pattern () in
+  let sim = Hwpat_rtl.Cyclesim.create circuit in
+  let first = Pattern.gradient ~width:8 ~height:8 ~depth:8 in
+  let source = Video_source.create sim first in
+  let sink = Vga_sink.create sim () in
+  List.iteri
+    (fun i frame ->
+      Video_source.restart source frame;
+      Vga_sink.clear sink;
+      let budget = 20000 and n = ref 0 in
+      while Vga_sink.count sink < Frame.pixels frame && !n < budget do
+        Video_source.drive source;
+        Vga_sink.drive sink;
+        Hwpat_rtl.Cyclesim.cycle sim;
+        Video_source.observe source;
+        Vga_sink.observe sink;
+        incr n
+      done;
+      let got = Vga_sink.to_frame sink ~width:8 ~height:8 ~depth:8 in
+      if not (Frame.equal got frame) then
+        Alcotest.failf "frame %d corrupted on a reused pipeline" i)
+    [
+      first;
+      Pattern.random ~seed:9 ~width:8 ~height:8 ~depth:8 ();
+      Pattern.checkerboard ~width:8 ~height:8 ~depth:8 ();
+    ]
+
+(* --- Table 3 shape ------------------------------------------------------ *)
+
+let rows = lazy (Experiment.table3 ~frame_width:16 ~frame_height:16 ())
+
+let row label = List.find (fun r -> r.Experiment.label = label) (Lazy.force rows)
+
+let test_table3_functional () =
+  List.iter
+    (fun r ->
+      check_bool (r.Experiment.label ^ " functional") true
+        r.Experiment.functional_match)
+    (Lazy.force rows)
+
+let test_table3_negligible_overhead () =
+  List.iter
+    (fun r ->
+      let c = r.Experiment.comparison in
+      let open Hwpat_synthesis.Resource_report in
+      let pct = overhead_percent r.Experiment.comparison in
+      check_bool
+        (Printf.sprintf "%s LUT overhead %.1f%% < 20%%" r.Experiment.label pct)
+        true (pct < 20.0);
+      (* The pattern blur keeps its result in a register the fused
+         custom pipeline avoids; allow up to 15% FF delta. *)
+      check_bool (r.Experiment.label ^ " FF delta small") true
+        (abs (c.pattern.ffs - c.custom.ffs) * 100 <= 15 * max 1 c.custom.ffs);
+      check_int (r.Experiment.label ^ " BRAM identical") c.custom.brams
+        c.pattern.brams;
+      check_bool (r.Experiment.label ^ " clock within 15%") true
+        (Float.abs (c.pattern.clk_mhz -. c.custom.clk_mhz)
+        <= 0.15 *. c.custom.clk_mhz))
+    (Lazy.force rows)
+
+let test_table3_cross_design_shape () =
+  let open Hwpat_synthesis.Resource_report in
+  let s1 = (row "saa2vga 1").Experiment.comparison.pattern in
+  let s2 = (row "saa2vga 2").Experiment.comparison.pattern in
+  let bl = (row "blur").Experiment.comparison.pattern in
+  (* FIFO config uses block RAM; the SRAM config uses none (paper: 2
+     vs 0); blur uses block RAM for its line buffers. *)
+  check_int "saa2vga1 has 2 brams" 2 s1.brams;
+  check_int "saa2vga2 has none" 0 s2.brams;
+  check_bool "blur uses brams" true (bl.brams >= 2);
+  (* The paper's design-space point: the SRAM version trades BRAMs
+     away; the FIFO version's on-chip storage shows up as BRAMs. *)
+  check_bool "all designs fit the board" true
+    (s1.luts < 6144 && s2.luts < 6144 && bl.luts < 6144)
+
+let test_table3_renders () =
+  let text = Experiment.render_table3 (Lazy.force rows) in
+  check_bool "mentions all designs" true
+    (List.for_all
+       (fun (l, _, _, _, _) ->
+         let rec contains i =
+           i + String.length l <= String.length text
+           && (String.sub text i (String.length l) = l || contains (i + 1))
+         in
+         contains 0)
+       Experiment.paper_numbers)
+
+(* --- Pattern catalog ----------------------------------------------------- *)
+
+let test_pattern_catalog () =
+  (* [Pattern] unqualified is Hwpat_video.Pattern here; the catalog
+     lives in Hwpat_core. *)
+  let module P = Hwpat_core.Pattern in
+  let it = P.iterator in
+  check_bool "behavioural" true (it.P.classification = "behavioural");
+  check_int "four participants" 4 (List.length it.P.participants);
+  check_bool "describe mentions aggregate" true
+    (let text = P.describe it in
+     let needle = "Aggregate" in
+     let rec contains i =
+       i + String.length needle <= String.length text
+       && (String.sub text i (String.length needle) = needle || contains (i + 1))
+     in
+     contains 0);
+  check_bool "catalog has several entries" true (List.length P.catalog >= 4)
+
+let () =
+  Alcotest.run "systems"
+    [
+      ( "functional",
+        [
+          Alcotest.test_case "saa2vga: all variants, all frames" `Slow
+            test_saa2vga_all_variants_all_frames;
+          Alcotest.test_case "blur: both styles, all frames" `Slow
+            test_blur_both_styles_all_frames;
+          Alcotest.test_case "change scenario (3.3)" `Quick
+            test_change_scenario_output_invariant;
+          Alcotest.test_case "shared SRAM (arbitrated)" `Quick
+            test_shared_sram_variant;
+          Alcotest.test_case "sobel reuses the line buffer" `Quick
+            test_sobel_system;
+          Alcotest.test_case "slow consumer" `Slow test_slow_consumer;
+          Alcotest.test_case "throughput ordering" `Quick test_throughput_ordering;
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "multi-frame reuse" `Quick test_multi_frame_stream;
+          Alcotest.test_case "rgb pixel format (3.3)" `Quick
+            test_rgb_pixel_format_systems;
+          Alcotest.test_case "windowed slow consumer" `Quick
+            test_windowed_slow_consumer;
+        ] );
+      ( "table 3",
+        [
+          Alcotest.test_case "functional equivalence" `Slow test_table3_functional;
+          Alcotest.test_case "negligible overhead" `Slow
+            test_table3_negligible_overhead;
+          Alcotest.test_case "cross-design shape" `Slow test_table3_cross_design_shape;
+          Alcotest.test_case "renders" `Slow test_table3_renders;
+        ] );
+      ("catalog", [ Alcotest.test_case "iterator entry" `Quick test_pattern_catalog ]);
+    ]

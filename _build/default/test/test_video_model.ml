@@ -1,0 +1,241 @@
+open Hwpat_video
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* --- Frame ------------------------------------------------------------ *)
+
+let test_frame_basics () =
+  let f = Frame.create ~width:4 ~height:3 ~depth:8 in
+  check_int "width" 4 (Frame.width f);
+  check_int "height" 3 (Frame.height f);
+  check_int "pixels" 12 (Frame.pixels f);
+  Frame.set f ~x:2 ~y:1 200;
+  check_int "get back" 200 (Frame.get f ~x:2 ~y:1);
+  Alcotest.check_raises "depth enforced"
+    (Invalid_argument "Frame.set: 256 exceeds 8-bit depth") (fun () ->
+      Frame.set f ~x:0 ~y:0 256);
+  Alcotest.check_raises "bounds enforced"
+    (Invalid_argument "Frame: (4,0) outside 4x3") (fun () ->
+      ignore (Frame.get f ~x:4 ~y:0))
+
+let test_frame_row_major () =
+  let f = Frame.init ~width:3 ~height:2 ~depth:8 (fun ~x ~y -> (10 * y) + x) in
+  Alcotest.(check (list int)) "stream order" [ 0; 1; 2; 10; 11; 12 ]
+    (Frame.to_row_major f);
+  let g =
+    Frame.of_row_major ~width:3 ~height:2 ~depth:8 [ 0; 1; 2; 10; 11; 12 ]
+  in
+  check_bool "round trip" true (Frame.equal f g);
+  check_int "no diffs" 0 (Frame.diff_count f g);
+  Frame.set g ~x:1 ~y:1 99;
+  check_int "one diff" 1 (Frame.diff_count f g)
+
+let test_rgb () =
+  let px = Frame.rgb ~r:1 ~g:2 ~b:3 in
+  check_int "packing" 0x010203 px;
+  check_bool "channels" true (Frame.rgb_channels px = (1, 2, 3));
+  check_int "luma of grey" 100
+    (Frame.grey_of_rgb (Frame.rgb ~r:100 ~g:100 ~b:100))
+
+let test_patterns () =
+  let g = Pattern.gradient ~width:8 ~height:8 ~depth:8 in
+  check_int "gradient corner" 0 (Frame.get g ~x:0 ~y:0);
+  check_int "gradient opposite" 14 (Frame.get g ~x:7 ~y:7);
+  let c = Pattern.checkerboard ~cell:2 ~width:8 ~height:8 ~depth:8 () in
+  check_int "checker white" 255 (Frame.get c ~x:0 ~y:0);
+  check_int "checker black" 0 (Frame.get c ~x:2 ~y:0);
+  let r1 = Pattern.random ~seed:5 ~width:8 ~height:8 ~depth:8 () in
+  let r2 = Pattern.random ~seed:5 ~width:8 ~height:8 ~depth:8 () in
+  check_bool "random deterministic per seed" true (Frame.equal r1 r2);
+  let rgb = Pattern.rgb_gradient ~width:4 ~height:4 in
+  check_int "rgb depth" 24 (Frame.depth rgb);
+  check_bool "ascii render" true (String.length (Frame.to_string g) > 60)
+
+(* --- References ------------------------------------------------------- *)
+
+let test_reference_copy_transform () =
+  let f = Pattern.random ~seed:1 ~width:5 ~height:5 ~depth:8 () in
+  check_bool "copy equal" true (Frame.equal f (Reference.copy f));
+  let inverted = Reference.transform ~f:(fun v -> 255 - v) f in
+  check_int "transform applied" (255 - Frame.get f ~x:2 ~y:2)
+    (Frame.get inverted ~x:2 ~y:2)
+
+let test_reference_blur () =
+  (* A constant frame blurs to the same constant (kernel sums to 16). *)
+  let flat = Pattern.constant ~value:77 ~width:6 ~height:5 ~depth:8 in
+  let b = Reference.blur flat in
+  check_int "interior width" 4 (Frame.width b);
+  check_int "interior height" 3 (Frame.height b);
+  check_bool "flat stays flat" true
+    (List.for_all (fun v -> v = 77) (Frame.to_row_major b))
+
+let test_reference_misc () =
+  let f = Frame.of_row_major ~width:3 ~height:1 ~depth:8 [ 5; 7; 9 ] in
+  check_int "accumulate" 21 (Reference.accumulate f);
+  check_bool "find hit" true (Reference.find ~target:7 f = Some 1);
+  check_bool "find miss" true (Reference.find ~target:8 f = None)
+
+(* --- Model containers -------------------------------------------------- *)
+
+let test_model_queue_stack () =
+  let q = Hwpat_model.Container.queue ~capacity:2 in
+  check_bool "put ok" true (Hwpat_model.Container.put q 1);
+  check_bool "put ok" true (Hwpat_model.Container.put q 2);
+  check_bool "full rejects" false (Hwpat_model.Container.put q 3);
+  check_bool "fifo order" true (Hwpat_model.Container.get q = Some 1);
+  let s = Hwpat_model.Container.stack ~capacity:4 in
+  ignore (Hwpat_model.Container.put s 1);
+  ignore (Hwpat_model.Container.put s 2);
+  check_bool "lifo order" true (Hwpat_model.Container.get s = Some 2);
+  check_bool "empty" true
+    (Hwpat_model.Container.get (Hwpat_model.Container.queue ~capacity:1) = None)
+
+let test_model_buffer_sides () =
+  let rb = Hwpat_model.Container.read_buffer ~capacity:4 in
+  Alcotest.check_raises "rbuffer client cannot put"
+    (Invalid_argument "Model.Container.put: this container is filled by a stream")
+    (fun () -> ignore (Hwpat_model.Container.put rb 1));
+  check_bool "stream fills" true (Hwpat_model.Container.stream_in rb 5);
+  check_bool "client gets" true (Hwpat_model.Container.get rb = Some 5);
+  let wb = Hwpat_model.Container.write_buffer ~capacity:4 in
+  Alcotest.check_raises "wbuffer client cannot get"
+    (Invalid_argument "Model.Container.get: this container is drained by a stream")
+    (fun () -> ignore (Hwpat_model.Container.get wb));
+  check_bool "client puts" true (Hwpat_model.Container.put wb 7);
+  check_bool "stream drains" true (Hwpat_model.Container.stream_out wb = Some 7)
+
+let test_model_vector_assoc () =
+  let v = Hwpat_model.Container.vector ~length:4 ~default:0 in
+  Hwpat_model.Container.write v 2 42;
+  check_int "vector rw" 42 (Hwpat_model.Container.read v 2);
+  let a = Hwpat_model.Container.assoc ~slots:2 in
+  check_bool "insert" true (Hwpat_model.Container.insert a "x" 1);
+  check_bool "insert" true (Hwpat_model.Container.insert a "y" 2);
+  check_bool "full rejects new" false (Hwpat_model.Container.insert a "z" 3);
+  check_bool "update allowed when full" true (Hwpat_model.Container.insert a "x" 9);
+  check_bool "lookup" true (Hwpat_model.Container.lookup a "x" = Some 9);
+  check_bool "delete" true (Hwpat_model.Container.delete a "y");
+  check_int "occupancy" 1 (Hwpat_model.Container.occupancy a)
+
+(* --- Model iterators and algorithms ------------------------------------ *)
+
+let test_model_random_iterator () =
+  let v = Hwpat_model.Container.vector ~length:3 ~default:0 in
+  let it = Hwpat_model.Iterator.random_of_vector v in
+  Hwpat_model.Iterator.write it 10;
+  Hwpat_model.Iterator.inc it;
+  Hwpat_model.Iterator.write it 11;
+  Hwpat_model.Iterator.index it 0;
+  check_int "read back" 10 (Hwpat_model.Iterator.read it);
+  Hwpat_model.Iterator.inc it;
+  check_int "after inc" 11 (Hwpat_model.Iterator.read it);
+  Hwpat_model.Iterator.dec it;
+  check_int "after dec" 10 (Hwpat_model.Iterator.read it);
+  check_bool "not at end" true (not (Hwpat_model.Iterator.at_end it));
+  Hwpat_model.Iterator.index it 3;
+  check_bool "at end" true (Hwpat_model.Iterator.at_end it)
+
+let test_model_algorithms () =
+  let src = Hwpat_model.Iterator.input_of_list [ 1; 2; 3; 4 ] in
+  let dst, collect = Hwpat_model.Iterator.output_to_list () in
+  check_int "copied" 4 (Hwpat_model.Algorithm.copy ~src ~dst ~limit:10);
+  Alcotest.(check (list int)) "content" [ 1; 2; 3; 4 ] (collect ());
+  let src = Hwpat_model.Iterator.input_of_list [ 1; 2; 3 ] in
+  let dst, collect = Hwpat_model.Iterator.output_to_list () in
+  ignore (Hwpat_model.Algorithm.transform ~f:(fun v -> v * 2) ~src ~dst ~limit:10);
+  Alcotest.(check (list int)) "doubled" [ 2; 4; 6 ] (collect ());
+  let dst, collect = Hwpat_model.Iterator.output_to_list () in
+  check_int "filled" 3 (Hwpat_model.Algorithm.fill ~dst ~value:9 ~count:3);
+  Alcotest.(check (list int)) "nines" [ 9; 9; 9 ] (collect ());
+  check_bool "find" true
+    (Hwpat_model.Algorithm.find
+       ~src:(Hwpat_model.Iterator.input_of_list [ 5; 6; 7 ])
+       ~target:6 ~limit:10
+    = Some 1);
+  check_int "accumulate" 18
+    (Hwpat_model.Algorithm.accumulate
+       ~src:(Hwpat_model.Iterator.input_of_list [ 5; 6; 7 ])
+       ~count:3)
+
+(* The model blur (structured like the hardware) must equal the direct
+   2-D reference on random frames: a cross-validation of both. *)
+let test_model_blur_matches_reference () =
+  List.iter
+    (fun seed ->
+      let f = Pattern.random ~seed ~width:9 ~height:7 ~depth:8 () in
+      let a = Hwpat_model.Algorithm.blur_frame f in
+      let b = Reference.blur f in
+      if not (Frame.equal a b) then
+        Alcotest.failf "seed %d: model blur diverges from reference (%d diffs)"
+          seed (Frame.diff_count a b))
+    [ 0; 1; 2; 3; 4 ]
+
+let prop name count arb f = QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count arb f)
+
+let props =
+  [
+    prop "model copy preserves any stream" 100
+      QCheck.(list_of_size Gen.(int_range 0 40) (int_bound 255))
+      (fun data ->
+        let src = Hwpat_model.Iterator.input_of_list data in
+        let dst, collect = Hwpat_model.Iterator.output_to_list () in
+        ignore
+          (Hwpat_model.Algorithm.copy ~src ~dst ~limit:(List.length data));
+        collect () = data);
+    prop "model blur equals reference on random frames" 25
+      QCheck.(pair (int_range 3 12) (int_range 3 12))
+      (fun (w, h) ->
+        let f = Pattern.random ~seed:(w + (h * 31)) ~width:w ~height:h ~depth:8 () in
+        Frame.equal (Hwpat_model.Algorithm.blur_frame f) (Reference.blur f));
+    prop "queue model is a bounded FIFO" 200
+      QCheck.(list_of_size Gen.(int_range 0 30) (int_bound 1))
+      (fun ops ->
+        let q = Hwpat_model.Container.queue ~capacity:4 in
+        let reference = Queue.create () in
+        List.for_all
+          (fun op ->
+            if op = 0 then begin
+              let accepted = Hwpat_model.Container.put q 1 in
+              let expected = Queue.length reference < 4 in
+              if expected then Queue.push 1 reference;
+              accepted = expected
+            end
+            else
+              match (Hwpat_model.Container.get q, Queue.take_opt reference) with
+              | Some _, Some _ | None, None -> true
+              | _ -> false)
+          ops);
+  ]
+
+let () =
+  Alcotest.run "video-model"
+    [
+      ( "frame",
+        [
+          Alcotest.test_case "basics" `Quick test_frame_basics;
+          Alcotest.test_case "row major" `Quick test_frame_row_major;
+          Alcotest.test_case "rgb" `Quick test_rgb;
+          Alcotest.test_case "patterns" `Quick test_patterns;
+        ] );
+      ( "reference",
+        [
+          Alcotest.test_case "copy/transform" `Quick test_reference_copy_transform;
+          Alcotest.test_case "blur" `Quick test_reference_blur;
+          Alcotest.test_case "accumulate/find" `Quick test_reference_misc;
+        ] );
+      ( "model containers",
+        [
+          Alcotest.test_case "queue/stack" `Quick test_model_queue_stack;
+          Alcotest.test_case "buffer sides" `Quick test_model_buffer_sides;
+          Alcotest.test_case "vector/assoc" `Quick test_model_vector_assoc;
+        ] );
+      ( "model iterators/algorithms",
+        [
+          Alcotest.test_case "random iterator" `Quick test_model_random_iterator;
+          Alcotest.test_case "algorithms" `Quick test_model_algorithms;
+          Alcotest.test_case "blur matches reference" `Quick
+            test_model_blur_matches_reference;
+        ] );
+      ("properties", props);
+    ]
