@@ -41,10 +41,14 @@ let target_conv =
 
 (* --- generate ---------------------------------------------------------- *)
 
-let generate kind target width depth bus iterator out =
+let generate kind target width depth bus parity op_timeout iterator out =
   let cfg =
-    Hwpat_meta.Config.make ~instance_name:"gen" ~kind ~target ~elem_width:width
-      ~depth ?bus_width:bus ()
+    try
+      Hwpat_meta.Config.make ~instance_name:"gen" ~kind ~target ~elem_width:width
+        ~depth ?bus_width:bus ~parity ?op_timeout ()
+    with Invalid_argument msg ->
+      prerr_endline ("hwpat: " ^ msg);
+      exit 2
   in
   let text =
     if iterator then Hwpat_meta.Codegen.generate_iterator cfg
@@ -92,6 +96,21 @@ let generate_cmd =
       & opt (some int) None
       & info [ "bus" ] ~doc:"Physical bus width (defaults to the element width).")
   in
+  let parity =
+    Arg.(
+      value & flag
+      & info [ "parity" ]
+          ~doc:"Protect the storage with a parity bit and an err output.")
+  in
+  let op_timeout =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "op-timeout" ] ~docv:"CYCLES"
+          ~doc:
+            "Add a watchdog that bounds memory handshakes to $(docv) cycles \
+             (SRAM targets only).")
+  in
   let iterator =
     Arg.(
       value & flag
@@ -103,7 +122,9 @@ let generate_cmd =
   in
   Cmd.v
     (Cmd.info "generate" ~doc:"Generate VHDL for a container or iterator")
-    Term.(const generate $ kind $ target $ width $ depth $ bus $ iterator $ out)
+    Term.(
+      const generate $ kind $ target $ width $ depth $ bus $ parity $ op_timeout
+      $ iterator $ out)
 
 (* --- package -------------------------------------------------------------- *)
 
@@ -196,8 +217,12 @@ let simulate design style width height pattern show vcd =
     | `Sobel -> (width - 2, height - 2, Hwpat_video.Reference.sobel frame)
   in
   let r =
-    Hwpat_core.Experiment.run_video_system ?vcd_path:vcd circuit ~input:frame
-      ~out_width:out_w ~out_height:out_h
+    try
+      Hwpat_core.Experiment.run_video_system ?vcd_path:vcd circuit ~input:frame
+        ~out_width:out_w ~out_height:out_h
+    with Hwpat_core.Experiment.Timeout d ->
+      prerr_endline (Hwpat_core.Experiment.describe_timeout d);
+      exit 2
   in
   Option.iter (Printf.printf "waveform written to %s\n") vcd;
   Printf.printf "%s on %dx%d %s: %d cycles (%.2f per output pixel)\n"
@@ -291,6 +316,63 @@ let sweep_cmd =
     (Cmd.info "sweep" ~doc:"Characterise the container design space")
     Term.(const sweep $ max_brams $ max_cycles)
 
+(* --- faultsim -------------------------------------------------------------- *)
+
+let faultsim design seed faults frame_size overhead =
+  if faults < 0 then begin
+    prerr_endline "hwpat: --faults must be non-negative";
+    exit 2
+  end;
+  if frame_size < 1 then begin
+    prerr_endline "hwpat: --frame-size must be at least 1";
+    exit 2
+  end;
+  let build = Hwpat_core.Faultsim.find_design design in
+  let summary =
+    Hwpat_core.Faultsim.run_campaign ~seed ~faults ~frame_width:frame_size
+      ~frame_height:frame_size ~build ~design ()
+  in
+  print_string (Hwpat_core.Faultsim.render summary);
+  if overhead then begin
+    print_endline "\nprotection hardware overhead (pattern sram vs protected):";
+    print_endline Hwpat_synthesis.Resource_report.table3_header;
+    print_endline
+      (Hwpat_synthesis.Resource_report.table3_row
+         (Hwpat_core.Faultsim.protection_overhead ()))
+  end;
+  if Hwpat_core.Faultsim.count summary Hwpat_core.Faultsim.Silent > 0 then exit 1
+
+let faultsim_cmd =
+  let design =
+    let names = Hwpat_core.Faultsim.design_names in
+    Arg.(
+      value
+      & opt (enum (List.map (fun n -> (n, n)) names)) "saa2vga_sram_pattern"
+      & info [ "design" ]
+          ~doc:(Printf.sprintf "One of: %s." (String.concat ", " names)))
+  in
+  let seed =
+    Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Campaign RNG seed.")
+  in
+  let faults =
+    Arg.(value & opt int 20 & info [ "faults" ] ~doc:"Number of faults to inject.")
+  in
+  let frame_size =
+    Arg.(value & opt int 8 & info [ "frame-size" ] ~doc:"Test frame edge length.")
+  in
+  let overhead =
+    Arg.(
+      value & flag
+      & info [ "overhead" ]
+          ~doc:"Also report the resource cost of the protection hardware.")
+  in
+  Cmd.v
+    (Cmd.info "faultsim"
+       ~doc:
+         "Run a seeded fault-injection campaign with runtime monitors \
+          attached; exits non-zero if any fault goes silent")
+    Term.(const faultsim $ design $ seed $ faults $ frame_size $ overhead)
+
 (* --- tables --------------------------------------------------------------- *)
 
 let tables () =
@@ -350,4 +432,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ generate_cmd; simulate_cmd; report_cmd; sweep_cmd; tables_cmd; emit_cmd; package_cmd ]))
+          [ generate_cmd; simulate_cmd; report_cmd; sweep_cmd; tables_cmd;
+            emit_cmd; package_cmd; faultsim_cmd ]))

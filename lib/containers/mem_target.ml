@@ -6,10 +6,12 @@ let bram ?(name = "bram") ~size ~width (r : mem_request) =
   if Signal.width r.mem_wdata <> width then
     invalid_arg "Mem_target.bram: wdata width mismatch";
   let mem = create_memory ~size ~width ~name:(name ^ "_ram") () in
+  let req = r.mem_req -- (name ^ "_req") in
   (* One-cycle handshake: ack pulses the cycle after a fresh request. *)
-  let ack = reg_fb ~width:1 (fun q -> r.mem_req &: ~:q) -- (name ^ "_ack") in
-  let accept = r.mem_req &: ~:ack in
-  mem_write_port mem ~enable:(accept &: r.mem_we) ~addr:r.mem_addr ~data:r.mem_wdata;
+  let ack = reg_fb ~width:1 (fun q -> req &: ~:q) -- (name ^ "_ack") in
+  let accept = req &: ~:ack in
+  mem_write_port mem ~enable:(accept &: r.mem_we) ~addr:r.mem_addr
+    ~data:r.mem_wdata;
   let rdata =
     mem_read_sync mem ~enable:(accept &: ~:(r.mem_we)) ~addr:r.mem_addr ()
     -- (name ^ "_rdata")

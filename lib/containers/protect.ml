@@ -1,0 +1,106 @@
+open Hwpat_rtl
+open Hwpat_rtl.Signal
+open Container_intf
+
+(* Generated protection hardware for memory-backed containers: parity
+   over the stored word (error detection) and a watchdog on the
+   memory-side handshake (bounded retries, then a forced acknowledge
+   with a sticky error flag so the system degrades instead of
+   hanging). These are the Signal-builder counterparts of the VHDL
+   blocks emitted by Hwpat_meta.Codegen for [Config.parity] and
+   [Config.op_timeout]. *)
+
+let reduce_xor s =
+  let w = Signal.width s in
+  let rec fold acc i = if i >= w then acc else fold (acc ^: bit s i) (i + 1) in
+  fold (bit s 0) 1
+
+(* --- Parity ------------------------------------------------------------- *)
+
+(* The target builder is width-parameterized because protection widens
+   the stored word by one bit: bit [width] of each stored word is the
+   even parity of the payload below it. The check runs at every read
+   acknowledge; the error output is sticky. *)
+let parity ?(name = "par") ~width (target : int -> mem_request -> mem_port)
+    (r : mem_request) =
+  let p_wr = reduce_xor r.mem_wdata -- (name ^ "_wr") in
+  let port =
+    target (width + 1) { r with mem_wdata = concat_msb [ p_wr; r.mem_wdata ] }
+  in
+  let rdata = select port.mem_rdata ~high:(width - 1) ~low:0 in
+  let mismatch = reduce_xor rdata ^: bit port.mem_rdata width in
+  let bad = port.mem_ack &: ~:(r.mem_we) &: mismatch in
+  let err = Hwpat_devices.Handshake.sticky ~set:bad ~clear:gnd -- (name ^ "_err") in
+  ({ mem_ack = port.mem_ack; mem_rdata = rdata }, err)
+
+(* --- Watchdog ----------------------------------------------------------- *)
+
+type watchdog = {
+  wd_ack : Signal.t;
+  wd_err : Signal.t;
+  timed_out : Signal.t;
+  forced : Signal.t;
+}
+
+(* Counts consecutive request-without-acknowledge cycles. Each time the
+   count reaches [timeout] a retry window ends (the counter restarts);
+   after [retries] fruitless windows the next expiry forces a fake
+   acknowledge so the client can move on, and latches the sticky
+   error. *)
+let watchdog ?(name = "wd") ~timeout ?(retries = 1) ~req ~ack () =
+  if timeout < 1 then invalid_arg "Protect.watchdog: timeout must be >= 1";
+  if retries < 0 then invalid_arg "Protect.watchdog: negative retries";
+  let waiting = req &: ~:ack in
+  let cbits = Util.bits_to_represent timeout in
+  let cnt_w = wire cbits in
+  let cnt = reg cnt_w -- (name ^ "_cnt") in
+  let expired = waiting &: (cnt ==: of_int ~width:cbits timeout) in
+  cnt_w
+  <== mux2 waiting (mux2 expired (zero cbits) (cnt +: one cbits)) (zero cbits);
+  let tbits = Util.bits_to_represent retries in
+  let try_w = wire tbits in
+  let tries = reg try_w -- (name ^ "_try") in
+  let forced = (expired &: (tries ==: of_int ~width:tbits retries)) -- (name ^ "_forced") in
+  try_w
+  <== mux2 (ack |: forced) (zero tbits)
+        (mux2 expired (tries +: one tbits) tries);
+  let wd_err = Hwpat_devices.Handshake.sticky ~set:forced ~clear:gnd -- (name ^ "_err") in
+  { wd_ack = ack |: forced; wd_err; timed_out = expired -- (name ^ "_expired"); forced }
+
+(* --- Combined application ----------------------------------------------- *)
+
+type errs = { parity_err : Signal.t; timeout_err : Signal.t }
+
+let no_errs = { parity_err = gnd; timeout_err = gnd }
+
+(* Wraps a width-parameterized memory target in the configured
+   protection layers and exposes the error flags through wires, so
+   callers can get at them before the container applies the target.
+   The returned target must be applied exactly once. *)
+let apply ?(name = "prot") ~width ~parity:want_parity ~op_timeout ?retries
+    (target : int -> mem_request -> mem_port) =
+  if (not want_parity) && op_timeout = None then (target width, no_errs)
+  else begin
+    let parity_err = wire 1 -- (name ^ "_parity_err") in
+    let timeout_err = wire 1 -- (name ^ "_timeout_err") in
+    let wrapped (r : mem_request) =
+      let port, perr =
+        if want_parity then parity ~name:(name ^ "_par") ~width target r
+        else (target width r, gnd)
+      in
+      let ack, terr =
+        match op_timeout with
+        | Some timeout ->
+          let wd =
+            watchdog ~name:(name ^ "_wd") ~timeout ?retries ~req:r.mem_req
+              ~ack:port.mem_ack ()
+          in
+          (wd.wd_ack, wd.wd_err)
+        | None -> (port.mem_ack, gnd)
+      in
+      parity_err <== perr;
+      timeout_err <== terr;
+      { mem_ack = ack; mem_rdata = port.mem_rdata }
+    in
+    (wrapped, { parity_err; timeout_err })
+  end

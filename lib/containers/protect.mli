@@ -1,0 +1,69 @@
+open Hwpat_rtl
+open Container_intf
+
+(** Generated protection hardware for memory-backed containers — the
+    Signal-builder counterpart of the VHDL parity/watchdog blocks
+    emitted by [Hwpat_meta.Codegen] when [Config.parity] or
+    [Config.op_timeout] is set.
+
+    {b Parity} widens each stored word by one bit holding the even
+    parity of the payload; the check runs at every read acknowledge
+    and latches a sticky error, so every single-bit corruption of
+    protected storage is detected at the next read of that word.
+
+    {b Watchdog} bounds how long the container may wait for a
+    memory-side acknowledge. Each window of [timeout] consecutive
+    unacknowledged cycles ends a retry; after [retries] fruitless
+    windows it forces a fake acknowledge (graceful degradation — the
+    client observes a completed, possibly wrong, operation instead of
+    hanging) and latches a sticky error. *)
+
+val reduce_xor : Signal.t -> Signal.t
+(** XOR-fold of all bits: the even-parity bit of a word. *)
+
+val parity :
+  ?name:string ->
+  width:int ->
+  (int -> mem_request -> mem_port) ->
+  mem_request ->
+  mem_port * Signal.t
+(** [parity ~width target request] builds the target with storage
+    [width + 1] bits wide, parity in the top bit. Returns the
+    downstream port (payload only) and the sticky error flag. *)
+
+type watchdog = {
+  wd_ack : Signal.t;  (** downstream ack, or a forced one on give-up *)
+  wd_err : Signal.t;  (** sticky: a forced acknowledge has occurred *)
+  timed_out : Signal.t;  (** pulse: a retry window just expired *)
+  forced : Signal.t;  (** pulse: this ack cycle was fabricated *)
+}
+
+val watchdog :
+  ?name:string ->
+  timeout:int ->
+  ?retries:int ->
+  req:Signal.t ->
+  ack:Signal.t ->
+  unit ->
+  watchdog
+(** [retries] defaults to 1; [retries = 0] forces on the first
+    expiry. *)
+
+type errs = { parity_err : Signal.t; timeout_err : Signal.t }
+(** Unused layers report a constant-low flag. *)
+
+val no_errs : errs
+
+val apply :
+  ?name:string ->
+  width:int ->
+  parity:bool ->
+  op_timeout:int option ->
+  ?retries:int ->
+  (int -> mem_request -> mem_port) ->
+  (mem_request -> mem_port) * errs
+(** Wrap a width-parameterized memory target in the configured
+    protection layers. The error flags are wires driven when the
+    returned target is applied — apply it exactly once. With
+    [parity:false] and [op_timeout:None] the target is returned
+    unchanged (zero overhead). *)

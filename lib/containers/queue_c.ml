@@ -64,13 +64,16 @@ let over_mem ?(name = "queue") ~depth ~width ~target (d : seq_driver) =
     ];
   let request =
     {
-      mem_req = in_get |: in_put;
+      (* Named so runtime monitors can auto-attach to the memory-side
+         handshake (Monitor.add_auto). *)
+      mem_req = (in_get |: in_put) -- (name ^ "_op_req");
       mem_we = in_put;
       mem_addr = mux2 in_put ptr_end ptr_begin;
       mem_wdata = d.put_data;
     }
   in
   let port = target request in
+  ignore (port.mem_ack -- (name ^ "_op_ack"));
   port_w.mem_ack <== port.mem_ack;
   port_w.mem_rdata <== port.mem_rdata;
   {

@@ -3,6 +3,35 @@ open Hwpat_video
 
 type run = { output : Frame.t; cycles : int; cycles_per_pixel : float }
 
+type timeout_diagnosis = {
+  design : string;
+  cycles : int;
+  expected_pixels : int;
+  collected_pixels : int;
+  px_valid : bool;
+  px_ready : bool;
+  out_valid : bool;
+  out_ready : bool;
+}
+
+exception Timeout of timeout_diagnosis
+
+let describe_timeout d =
+  let hs b = if b then "high" else "low" in
+  Printf.sprintf
+    "%s: timed out after %d cycles with %d/%d pixels collected\n\
+     \  input handshake:  px_valid %s, px_ready %s%s\n\
+     \  output handshake: out_valid %s, out_ready %s"
+    d.design d.cycles d.collected_pixels d.expected_pixels (hs d.px_valid)
+    (hs d.px_ready)
+    (if d.px_valid && not d.px_ready then "  (source blocked)" else "")
+    (hs d.out_valid) (hs d.out_ready)
+
+let () =
+  Printexc.register_printer (function
+    | Timeout d -> Some (describe_timeout d)
+    | _ -> None)
+
 let run_video_system ?(timeout_per_pixel = 400) ?vcd_path circuit ~input
     ~out_width ~out_height =
   let sim = Cyclesim.create circuit in
@@ -24,10 +53,22 @@ let run_video_system ?(timeout_per_pixel = 400) ?vcd_path circuit ~input
   (match (vcd, vcd_path) with
   | Some v, Some path -> Vcd.write_file v path
   | _ -> ());
-  if Vga_sink.count sink < expected then
-    failwith
-      (Printf.sprintf "%s: timed out after %d cycles with %d/%d pixels"
-         (Circuit.name circuit) !cycles (Vga_sink.count sink) expected);
+  if Vga_sink.count sink < expected then begin
+    let port name = Bits.to_bool !(Cyclesim.out_port sim name) in
+    let in_port name = Bits.to_bool !(Cyclesim.in_port sim name) in
+    raise
+      (Timeout
+         {
+           design = Circuit.name circuit;
+           cycles = !cycles;
+           expected_pixels = expected;
+           collected_pixels = Vga_sink.count sink;
+           px_valid = in_port "px_valid";
+           px_ready = port "px_ready";
+           out_valid = port "out_valid";
+           out_ready = in_port "out_ready";
+         })
+  end;
   {
     output =
       Vga_sink.to_frame sink ~width:out_width ~height:out_height

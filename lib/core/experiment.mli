@@ -11,6 +11,26 @@ type run = {
   cycles_per_pixel : float;
 }
 
+(** Snapshot of the video-system handshakes at the moment a simulation
+    ran out of its cycle budget — enough to tell a stalled source
+    (backpressure never released) from a silent sink. *)
+type timeout_diagnosis = {
+  design : string;
+  cycles : int;
+  expected_pixels : int;
+  collected_pixels : int;
+  px_valid : bool;
+  px_ready : bool;
+  out_valid : bool;
+  out_ready : bool;
+}
+
+exception Timeout of timeout_diagnosis
+
+val describe_timeout : timeout_diagnosis -> string
+(** Multi-line human-readable diagnostic (also installed as the
+    exception printer). *)
+
 val run_video_system :
   ?timeout_per_pixel:int ->
   ?vcd_path:string ->
@@ -21,8 +41,9 @@ val run_video_system :
   run
 (** Streams [input] through the circuit's [px_*] ports and collects
     [out_width * out_height] pixels from the [out_*] ports. Raises
-    [Failure] on timeout. [vcd_path] dumps a waveform of every named
-    signal for the whole run. *)
+    {!Timeout} with a handshake snapshot when the cycle budget runs
+    out. [vcd_path] dumps a waveform of every named signal for the
+    whole run. *)
 
 type table3_row = {
   label : string;                 (** e.g. "saa2vga 1" *)

@@ -1,0 +1,191 @@
+open Hwpat_rtl
+open Hwpat_video
+
+(* Seeded fault-injection campaigns over the video systems: run each
+   fault in a fresh simulation with runtime monitors attached, compare
+   against the fault-free reference, and classify the outcome. *)
+
+type outcome = Detected | Masked | Silent
+
+let outcome_name = function
+  | Detected -> "detected"
+  | Masked -> "masked"
+  | Silent -> "silent"
+
+type result = {
+  event : Fault.event;
+  outcome : outcome;
+  first_violation : Monitor.violation option;
+  err_flag : bool;
+  completed : bool;
+  cycles : int;
+}
+
+type summary = {
+  design : string;
+  seed : int;
+  monitors : int;
+  baseline_cycles : int;
+  results : result list;
+}
+
+let count summary outcome =
+  List.length (List.filter (fun r -> r.outcome = outcome) summary.results)
+
+let coverage summary =
+  (* Detection coverage over the faults that mattered: masked faults
+     had no observable effect, so they need no detecting. *)
+  let detected = count summary Detected and silent = count summary Silent in
+  if detected + silent = 0 then 1.0
+  else float_of_int detected /. float_of_int (detected + silent)
+
+(* --- Single runs --------------------------------------------------------- *)
+
+let has_output circuit port = List.mem_assoc port (Circuit.outputs circuit)
+
+(* One simulation of a stream-copy circuit: feed [frame], collect the
+   same number of pixels, stop at [budget] cycles. [events] are
+   scheduled on a Fault injector; monitors are auto-attached by naming
+   convention. *)
+let run_once ?(events = []) ~budget ~frame circuit =
+  let expected = Frame.pixels frame in
+  let sim = Cyclesim.create circuit in
+  let monitor = Monitor.create sim in
+  let monitors = Monitor.add_auto monitor in
+  let injector = Fault.create sim in
+  List.iter
+    (fun (e : Fault.event) -> Fault.schedule injector ~at:e.Fault.at e.Fault.fault)
+    events;
+  let source = Video_source.create sim frame in
+  let sink = Vga_sink.create sim () in
+  let cycles = ref 0 in
+  while Vga_sink.count sink < expected && !cycles < budget do
+    Video_source.drive source;
+    Vga_sink.drive sink;
+    Fault.step injector;
+    Cyclesim.cycle sim;
+    Monitor.sample monitor;
+    Video_source.observe source;
+    Vga_sink.observe sink;
+    incr cycles
+  done;
+  let err_flag =
+    has_output circuit "err" && Bits.to_bool !(Cyclesim.out_port sim "err")
+  in
+  (Vga_sink.collected sink, !cycles, monitor, monitors, err_flag)
+
+(* --- Campaigns ----------------------------------------------------------- *)
+
+let classify ~reference ~expected (collected, cycles, monitor, _, err_flag) event
+    =
+  let completed = List.length collected = expected in
+  let detected = (not (Monitor.ok monitor)) || err_flag in
+  let outcome =
+    if detected then Detected
+    else if completed && collected = reference then Masked
+    else Silent
+  in
+  {
+    event;
+    outcome;
+    first_violation = Monitor.first_violation monitor;
+    err_flag;
+    completed;
+    cycles;
+  }
+
+let run_campaign ?(seed = 1) ?(faults = 20) ?(frame_width = 8)
+    ?(frame_height = 8) ~build ~design () =
+  let frame = Pattern.gradient ~width:frame_width ~height:frame_height ~depth:8 in
+  let expected = Frame.pixels frame in
+  let circuit = build () in
+  (* Fault-free reference run: also sanity-checks that the monitors
+     stay silent on the healthy design. *)
+  let reference, baseline_cycles, base_monitor, monitors, _ =
+    run_once ~budget:(400 * expected) ~frame circuit
+  in
+  if List.length reference <> expected then
+    invalid_arg
+      (Printf.sprintf "Faultsim: %s does not complete fault-free" design);
+  (match Monitor.first_violation base_monitor with
+  | Some v ->
+    invalid_arg
+      (Printf.sprintf "Faultsim: %s violates protocol fault-free: %s" design
+         (Format.asprintf "%a" Monitor.pp_violation v))
+  | None -> ());
+  let budget = (4 * baseline_cycles) + 64 in
+  let events =
+    Fault.random_campaign ~seed ~n:faults ~max_cycle:baseline_cycles circuit
+  in
+  let results =
+    List.map
+      (fun event ->
+        classify ~reference ~expected
+          (run_once ~events:[ event ] ~budget ~frame circuit)
+          event)
+      events
+  in
+  { design; seed; monitors; baseline_cycles; results }
+
+(* --- Named designs (CLI / bench entry points) ---------------------------- *)
+
+let designs =
+  [
+    ( "saa2vga_fifo_pattern",
+      fun () -> Saa2vga.build ~substrate:Saa2vga.Fifo ~style:Saa2vga.Pattern () );
+    ( "saa2vga_fifo_custom",
+      fun () -> Saa2vga.build ~substrate:Saa2vga.Fifo ~style:Saa2vga.Custom () );
+    ( "saa2vga_sram_pattern",
+      fun () -> Saa2vga.build ~substrate:Saa2vga.Sram ~style:Saa2vga.Pattern () );
+    ( "saa2vga_sram_custom",
+      fun () -> Saa2vga.build ~substrate:Saa2vga.Sram ~style:Saa2vga.Custom () );
+    ( "saa2vga_sram_shared_pattern",
+      fun () ->
+        Saa2vga.build ~substrate:Saa2vga.Sram_shared ~style:Saa2vga.Pattern () );
+    ("saa2vga_sram_protected", fun () -> Saa2vga.build_protected ());
+    ( "saa2vga_sram_protected_faulty",
+      fun () -> Saa2vga.build_protected ~faulty:true () );
+  ]
+
+let design_names = List.map fst designs
+
+let find_design name =
+  match List.assoc_opt name designs with
+  | Some build -> build
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Faultsim: unknown design %s (known: %s)" name
+         (String.concat ", " design_names))
+
+(* --- Reporting ----------------------------------------------------------- *)
+
+let render summary =
+  let buf = Buffer.create 1024 in
+  let emit fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  emit "fault campaign: %s (seed %d)\n" summary.design summary.seed;
+  emit "  monitors attached: %d, fault-free run: %d cycles\n" summary.monitors
+    summary.baseline_cycles;
+  emit "  faults: %d   detected: %d   masked: %d   silent: %d\n"
+    (List.length summary.results)
+    (count summary Detected) (count summary Masked) (count summary Silent);
+  emit "  detection coverage (non-masked faults): %.0f%%\n"
+    (100.0 *. coverage summary);
+  List.iter
+    (fun r ->
+      emit "  %-8s %-44s %s\n" (outcome_name r.outcome)
+        (Fault.describe_event r.event)
+        (match r.first_violation with
+        | Some v -> Format.asprintf "[%a]" Monitor.pp_violation v
+        | None when r.err_flag -> "[err output high]"
+        | None when not r.completed -> "[hung]"
+        | None -> ""))
+    summary.results;
+  Buffer.contents buf
+
+(* FF/LUT/fmax cost of the generated protection hardware, through the
+   same estimation pipeline as Table 3. *)
+let protection_overhead ?board () =
+  Hwpat_synthesis.Resource_report.compare_pair ?board
+    ~name:"saa2vga protection"
+    (Saa2vga.build ~substrate:Saa2vga.Sram ~style:Saa2vga.Pattern ())
+    (Saa2vga.build_protected ())

@@ -1,0 +1,81 @@
+open Hwpat_rtl
+open Hwpat_video
+
+(** Seeded fault-injection campaigns over the video systems.
+
+    Each fault from a deterministic {!Fault.random_campaign} runs in a
+    fresh simulation with runtime {!Monitor}s auto-attached; the run is
+    compared against the fault-free reference and classified:
+
+    - [Detected] — a monitor flagged a protocol violation, or the
+      design's own [err] output went high;
+    - [Masked] — the run completed with bit-identical output and no
+      flag: the fault had no observable effect;
+    - [Silent] — wrong output or a hang with no flag raised (the
+      dangerous case protection hardware is meant to eliminate). *)
+
+type outcome = Detected | Masked | Silent
+
+val outcome_name : outcome -> string
+
+type result = {
+  event : Fault.event;
+  outcome : outcome;
+  first_violation : Monitor.violation option;
+  err_flag : bool;  (** the design's [err] output, if it has one *)
+  completed : bool;  (** collected every expected pixel in budget *)
+  cycles : int;
+}
+
+type summary = {
+  design : string;
+  seed : int;
+  monitors : int;  (** monitors auto-attached by naming convention *)
+  baseline_cycles : int;  (** fault-free run length *)
+  results : result list;
+}
+
+val count : summary -> outcome -> int
+
+val coverage : summary -> float
+(** detected / (detected + silent); masked faults are excluded since
+    they have no effect to detect. 1.0 when nothing was detectable. *)
+
+val run_once :
+  ?events:Fault.event list ->
+  budget:int ->
+  frame:Frame.t ->
+  Circuit.t ->
+  int list * int * Monitor.t * int * bool
+(** One simulation of a stream-copy circuit: collected pixels, cycles
+    run, the monitor, monitors attached, and the [err] output state. *)
+
+val run_campaign :
+  ?seed:int ->
+  ?faults:int ->
+  ?frame_width:int ->
+  ?frame_height:int ->
+  build:(unit -> Circuit.t) ->
+  design:string ->
+  unit ->
+  summary
+(** Defaults: [seed = 1], [faults = 20], 8x8 frame. Deterministic in
+    [seed]. Raises [Invalid_argument] if the design fails or trips a
+    monitor fault-free. *)
+
+val designs : (string * (unit -> Circuit.t)) list
+(** Named builds for the CLI and benchmark harness: the Table 3
+    saa2vga variants plus the protected design (and its
+    fault-configurable twin). *)
+
+val design_names : string list
+val find_design : string -> unit -> Circuit.t
+
+val render : summary -> string
+
+val protection_overhead :
+  ?board:Hwpat_synthesis.Board.t -> unit ->
+  Hwpat_synthesis.Resource_report.comparison
+(** Resource cost of the generated protection hardware: the SRAM
+    pattern design vs {!Saa2vga.build_protected}, through the Table 3
+    estimation pipeline. *)

@@ -225,6 +225,77 @@ let build_custom_sram ~depth ~width ~wait_states =
     ~out_valid:(is st_out_show)
     ~out_data:out_sram.Sram.rd_data
 
+(* --- Protected pattern variant (graceful degradation) ------------------- *)
+
+(* The SRAM-substrate pattern copy with generated protection woven in:
+   both buffers sit on private (optionally fault-wrapped) SRAMs behind
+   parity and a handshake watchdog. On persistent SRAM failure the
+   watchdog forces the pipeline onward and the output stage freezes on
+   the last good pixel while the [err] port goes (and stays) high —
+   degraded pictures instead of a hung system. *)
+let build_protected ?(depth = 512) ?(width = 8) ?(wait_states = 1)
+    ?(op_timeout = Some 32) ?(retries = 1) ?(faulty = false) () =
+  let px_valid, px_data, out_ready = io width in
+  let stream = { Read_buffer.px_valid; px_data } in
+  let copy = Copy.create ~width () in
+  let mk_target label =
+    let builder w (r : Container_intf.mem_request) =
+      let faults =
+        if faulty then
+          Hwpat_devices.Fault_wrap.inputs ~prefix:(label ^ "_fault") ~width:w ()
+        else Hwpat_devices.Fault_wrap.no_faults ~width:w
+      in
+      let dev =
+        Hwpat_devices.Fault_wrap.sram ~name:label ~words:depth ~width:w
+          ~wait_states ~faults ~req:r.Container_intf.mem_req
+          ~we:r.Container_intf.mem_we ~addr:r.Container_intf.mem_addr
+          ~wr_data:r.Container_intf.mem_wdata ()
+      in
+      {
+        Container_intf.mem_ack = dev.Hwpat_devices.Sram.ack;
+        mem_rdata = dev.Hwpat_devices.Sram.rd_data;
+      }
+    in
+    Protect.apply ~name:label ~width ~parity:true ~op_timeout ~retries builder
+  in
+  let target_in, errs_in = mk_target "in_sram" in
+  let target_out, errs_out = mk_target "out_sram" in
+  let src_it, px_ready =
+    Seq_iterator.connect_input
+      ~build:(fun ~get_req ->
+        let rb =
+          Read_buffer.over_mem ~depth ~width ~target:target_in ~stream ~get_req ()
+        in
+        (rb.Read_buffer.seq, rb.Read_buffer.px_ready))
+      copy.Transform.src_driver
+  in
+  let put_req = Seq_iterator.fused_put_req copy.Transform.dst_driver in
+  let put_data = copy.Transform.dst_driver.Iterator_intf.write_data in
+  let wb =
+    Write_buffer.over_mem ~depth ~width ~target:target_out ~out_ready ~put_req
+      ~put_data ()
+  in
+  let dst_it = Seq_iterator.output wb.Write_buffer.seq copy.Transform.dst_driver in
+  copy.Transform.connect ~src:src_it ~dst:dst_it;
+  let any_err =
+    errs_in.Protect.parity_err |: errs_in.Protect.timeout_err
+    |: errs_out.Protect.parity_err |: errs_out.Protect.timeout_err
+  in
+  let degraded =
+    Hwpat_devices.Handshake.sticky ~set:any_err ~clear:gnd -- "degraded"
+  in
+  let raw_valid = wb.Write_buffer.stream.Write_buffer.out_valid in
+  let raw_data = wb.Write_buffer.stream.Write_buffer.out_data in
+  let last_good = reg ~enable:(raw_valid &: ~:degraded) raw_data -- "last_good" in
+  let out_data = mux2 degraded last_good raw_data in
+  Circuit.create_exn ~name:"saa2vga_sram_protected"
+    [
+      ("px_ready", px_ready);
+      ("out_valid", raw_valid);
+      ("out_data", out_data);
+      ("err", degraded);
+    ]
+
 let build ?(depth = 512) ?(width = 8) ?(wait_states = 1) ~substrate ~style () =
   match (substrate, style) with
   | (Fifo | Sram | Sram_shared), Pattern ->

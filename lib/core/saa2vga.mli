@@ -36,6 +36,21 @@ val build :
   substrate:substrate -> style:style -> unit -> Circuit.t
 (** Defaults: [depth = 512], [width = 8], [wait_states = 1]. *)
 
+val build_protected :
+  ?depth:int -> ?width:int -> ?wait_states:int ->
+  ?op_timeout:int option -> ?retries:int -> ?faulty:bool ->
+  unit -> Circuit.t
+(** The SRAM-substrate pattern design with generated protection:
+    parity on both buffer memories and a watchdog on each memory
+    handshake ([op_timeout], default [Some 32]; [retries] default 1).
+    Adds an [err] output — the sticky degradation flag. Once any
+    protection layer fires, the output stage freezes on the last good
+    pixel instead of emitting corrupt data or hanging.
+
+    [faulty] (default false) inserts fault-configurable SRAM wrappers
+    with [in_sram_fault_*] / [out_sram_fault_*] control inputs (all
+    zero = fault-free) for campaign testing. *)
+
 val name : substrate:substrate -> style:style -> string
 
 val all_variants : (substrate * style) list

@@ -1,0 +1,55 @@
+open Hwpat_rtl
+open Hwpat_rtl.Signal
+
+(* Fault-configurable wrappers for the memory-side devices. The
+   wrapped device behaves identically while both control signals are
+   low; driving them from circuit inputs (see [inputs]) lets a
+   testbench induce protocol and data faults at chosen cycles without
+   rebuilding the design. *)
+
+type controls = { drop_ack : Signal.t; corrupt : Signal.t }
+
+let validate ~width c =
+  if Signal.width c.drop_ack <> 1 then
+    invalid_arg "Fault_wrap: drop_ack must be 1 bit wide";
+  if Signal.width c.corrupt <> width then
+    invalid_arg
+      (Printf.sprintf "Fault_wrap: corrupt mask is %d bits, data is %d"
+         (Signal.width c.corrupt) width)
+
+let no_faults ~width = { drop_ack = gnd; corrupt = zero width }
+
+let inputs ?(prefix = "fault") ~width () =
+  {
+    drop_ack = input (prefix ^ "_drop_ack") 1;
+    corrupt = input (prefix ^ "_corrupt") width;
+  }
+
+(* Masking [ack] while the client holds its request models both lost
+   acknowledgements and arbitrary extra wait states: the Sram FSM
+   returns to idle after the (suppressed) done state and simply re-runs
+   the access, so pulsing [drop_ack] jitters latency while holding it
+   starves the client outright. [corrupt] XORs the read data — any
+   nonzero mask during the ack cycle delivers a corrupted word. *)
+let sram ?name ~words ~width ~wait_states ~faults ~req ~we ~addr ~wr_data () =
+  validate ~width faults;
+  let dev = Sram.create ?name ~words ~width ~wait_states ~req ~we ~addr ~wr_data () in
+  {
+    Sram.ack = dev.Sram.ack &: ~:(faults.drop_ack);
+    rd_data = dev.Sram.rd_data ^: faults.corrupt;
+    busy = dev.Sram.busy;
+  }
+
+(* For a FIFO, [drop_ack] suppresses [rd_valid]: the popped word is
+   silently lost, which downstream monitors observe as a count/flag
+   inconsistency or a stalled consumer. *)
+let fifo ?name ~depth ~width ~faults ~wr_en ~wr_data ~rd_en () =
+  validate ~width faults;
+  let dev = Fifo_core.create ?name ~depth ~width ~wr_en ~wr_data ~rd_en () in
+  {
+    Fifo_core.rd_data = dev.Fifo_core.rd_data ^: faults.corrupt;
+    rd_valid = dev.Fifo_core.rd_valid &: ~:(faults.drop_ack);
+    empty = dev.Fifo_core.empty;
+    full = dev.Fifo_core.full;
+    count = dev.Fifo_core.count;
+  }

@@ -1,0 +1,50 @@
+open Hwpat_rtl
+
+(** Fault-configurable wrappers for {!Sram} and {!Fifo_core}.
+
+    Each wrapper takes a {!controls} record of live fault-control
+    signals; with both controls low the wrapped device is functionally
+    identical to the bare one. Testbenches usually build the controls
+    with {!inputs} so faults can be scheduled per cycle from the
+    simulator:
+
+    - [drop_ack] suppresses the device's acknowledge ([ack] for the
+      SRAM, [rd_valid] for the FIFO). Pulsing it adds wait-state
+      jitter — the SRAM controller simply re-runs the access while the
+      client holds its request — and holding it models a hung device.
+    - [corrupt] is XORed onto the read data, so any nonzero mask during
+      an acknowledge cycle delivers corrupted data. *)
+
+type controls = { drop_ack : Signal.t; corrupt : Signal.t }
+
+val no_faults : width:int -> controls
+(** Constant-low controls: the wrapper reduces to the bare device. *)
+
+val inputs : ?prefix:string -> width:int -> unit -> controls
+(** Fresh circuit inputs [<prefix>_drop_ack] and [<prefix>_corrupt];
+    simulator inputs default to zero, so an undriven wrapper is
+    fault-free. *)
+
+val sram :
+  ?name:string ->
+  words:int ->
+  width:int ->
+  wait_states:int ->
+  faults:controls ->
+  req:Signal.t ->
+  we:Signal.t ->
+  addr:Signal.t ->
+  wr_data:Signal.t ->
+  unit ->
+  Sram.t
+
+val fifo :
+  ?name:string ->
+  depth:int ->
+  width:int ->
+  faults:controls ->
+  wr_en:Signal.t ->
+  wr_data:Signal.t ->
+  rd_en:Signal.t ->
+  unit ->
+  Fifo_core.t

@@ -15,6 +15,9 @@ let create ?(name = "sram") ~words ~width ~wait_states ~req ~we ~addr ~wr_data (
     invalid_arg "Sram.create: wr_data width mismatch";
   if Signal.width addr < Util.address_bits words then
     invalid_arg "Sram.create: address too narrow";
+  (* Name the request so runtime monitors can auto-attach to the
+     req/ack pair (see Monitor.add_auto). *)
+  let req = req -- (name ^ "_req") in
   let mem = create_memory ~size:words ~width ~name:(name ^ "_array") ~external_:true () in
   let fsm = Fsm.create ~name:(name ^ "_state") ~states:3 () in
   let in_access = Fsm.is fsm st_access in

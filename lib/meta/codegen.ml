@@ -40,6 +40,16 @@ let method_names cfg =
 
 let size_width cfg = Hwpat_rtl.Util.bits_to_represent cfg.Config.depth
 
+(* Error outputs of the generated protection hardware (§Config.parity /
+   §Config.op_timeout): both are sticky flags raised by the woven-in
+   parity checker and handshake watchdog. *)
+let protection_ports cfg =
+  (if cfg.Config.parity then [ p "err" Out 1 ] else [])
+  @
+  match cfg.Config.op_timeout with
+  | Some _ -> [ p "timeout" Out 1 ]
+  | None -> []
+
 let functional_ports cfg =
   let open Metamodel in
   let methods = List.map (fun m -> p ("m_" ^ m) In 1) (method_names cfg) in
@@ -66,6 +76,7 @@ let functional_ports cfg =
   in
   let ack = [ p "r_ack" Out 1 ] in
   methods @ data_in @ addr_in @ data_out @ found @ status @ ack
+  @ protection_ports cfg
 
 let implementation_ports cfg =
   let bus = cfg.Config.bus_width in
@@ -206,6 +217,96 @@ let fifo_arch cfg =
   Buffer.add_string buf "end generated;\n";
   Buffer.contents buf
 
+(* Protection hardware woven into the RAM-backed architectures. The
+   parity checker keeps one parity bit per stored bus word and latches
+   a sticky [err] when a read disagrees; the watchdog counts
+   unacknowledged request cycles, allows one retry window, then latches
+   the sticky [timeout] flag. Mirrors Hwpat_containers.Protect. *)
+
+let storage_words cfg = cfg.Config.depth * Config.words_per_element cfg
+
+let protection_decls cfg buf =
+  if cfg.Config.parity then
+    Buffer.add_string buf
+      (Printf.sprintf
+         "  -- protection: one parity bit per stored word\n\
+          \  signal par_wr  : std_logic;\n\
+          \  signal par_mem : std_logic_vector(%d downto 0);\n\
+          \  signal err_r   : std_logic;\n"
+         (storage_words cfg - 1));
+  match cfg.Config.op_timeout with
+  | Some timeout ->
+    Buffer.add_string buf
+      (Printf.sprintf
+         "  -- protection: watchdog on the memory handshake\n\
+          \  signal wd_cnt    : unsigned(%d downto 0);\n\
+          \  signal wd_try    : unsigned(1 downto 0);\n\
+          \  signal timeout_r : std_logic;\n"
+         (Hwpat_rtl.Util.bits_to_represent timeout - 1))
+  | None -> ()
+
+let protection_body cfg buf =
+  let is_sram = cfg.Config.target = Metamodel.Ext_sram in
+  if cfg.Config.parity then begin
+    Buffer.add_string buf "  par_wr <= xor p_wdata;\n";
+    if is_sram then
+      Buffer.add_string buf
+        "  process (clk)\n\
+         \  begin\n\
+         \    if rising_edge(clk) then\n\
+         \      if ack = '1' then\n\
+         \        if p_we = '1' then\n\
+         \          par_mem(to_integer(unsigned(p_addr))) <= par_wr;\n\
+         \        elsif (xor p_data) /= par_mem(to_integer(unsigned(p_addr))) then\n\
+         \          err_r <= '1';\n\
+         \        end if;\n\
+         \      end if;\n\
+         \    end if;\n\
+         \  end process;\n"
+    else
+      Buffer.add_string buf
+        "  process (clk)\n\
+         \  begin\n\
+         \    if rising_edge(clk) then\n\
+         \      if p_we = '1' then\n\
+         \        par_mem(to_integer(unsigned(p_addr))) <= par_wr;\n\
+         \      elsif r_ack = '1' and (xor p_rdata) /= par_mem(to_integer(unsigned(p_addr))) then\n\
+         \        err_r <= '1';\n\
+         \      end if;\n\
+         \    end if;\n\
+         \  end process;\n";
+    Buffer.add_string buf "  err <= err_r;\n"
+  end;
+  match cfg.Config.op_timeout with
+  | Some timeout ->
+    Buffer.add_string buf
+      (Printf.sprintf
+         "  process (clk)\n\
+          \  begin\n\
+          \    if rising_edge(clk) then\n\
+          \      if req = '1' and ack = '0' then\n\
+          \        wd_cnt <= wd_cnt + 1;\n\
+          \        if wd_cnt = to_unsigned(%d, wd_cnt'length) then\n\
+          \          wd_cnt <= (others => '0');\n\
+          \          if wd_try = to_unsigned(1, wd_try'length) then\n\
+          \            timeout_r <= '1';\n\
+          \            wd_try <= (others => '0');\n\
+          \          else\n\
+          \            wd_try <= wd_try + 1;\n\
+          \          end if;\n\
+          \        end if;\n\
+          \      else\n\
+          \        wd_cnt <= (others => '0');\n\
+          \        if ack = '1' then\n\
+          \          wd_try <= (others => '0');\n\
+          \        end if;\n\
+          \      end if;\n\
+          \    end if;\n\
+          \  end process;\n"
+         timeout);
+    Buffer.add_string buf "  timeout <= timeout_r;\n"
+  | None -> ()
+
 let sram_arch cfg =
   let name = Config.entity_name cfg in
   let words = Config.words_per_element cfg in
@@ -230,6 +331,7 @@ let sram_arch cfg =
          (cfg.Config.elem_width - 1));
   Buffer.add_string buf
     "  type state_t is (st_idle, st_access, st_done);\n  signal state : state_t;\n";
+  protection_decls cfg buf;
   Buffer.add_string buf "begin\n";
   Buffer.add_string buf
     "  process (clk)\n  begin\n    if rising_edge(clk) then\n      case state is\n";
@@ -274,6 +376,7 @@ let sram_arch cfg =
       (if words > 1 then
          "  r_data <= p_data & shreg(shreg'high downto p_data'length);\n"
        else "  r_data <= p_data;\n");
+  protection_body cfg buf;
   Buffer.add_string buf "end generated;\n";
   Buffer.contents buf
 
@@ -289,6 +392,7 @@ let bram_arch cfg =
         \  signal count     : unsigned(%d downto 0);\n"
        (cfg.Config.addr_width - 1) (cfg.Config.addr_width - 1)
        (size_width cfg - 1));
+  protection_decls cfg buf;
   Buffer.add_string buf "begin\n";
   Buffer.add_string buf
     "  process (clk)\n  begin\n    if rising_edge(clk) then\n";
@@ -313,6 +417,7 @@ let bram_arch cfg =
        \      end if;\n" (write_method cfg));
   Buffer.add_string buf "    end if;\n  end process;\n";
   if has_op cfg Read then Buffer.add_string buf "  r_data <= p_rdata;\n";
+  protection_body cfg buf;
   Buffer.add_string buf "end generated;\n";
   Buffer.contents buf
 
@@ -336,6 +441,7 @@ let vector_arch cfg =
   let buf = Buffer.create 1024 in
   Buffer.add_string buf (arch_header name);
   Buffer.add_string buf "  signal busy : std_logic;\n";
+  protection_decls cfg buf;
   Buffer.add_string buf "begin\n";
   Buffer.add_string buf
     "  process (clk)\n  begin\n    if rising_edge(clk) then\n";
@@ -379,6 +485,7 @@ let vector_arch cfg =
   if has_op cfg Read then
     Buffer.add_string buf
       (if is_sram then "  r_data <= p_data;\n" else "  r_data <= p_rdata;\n");
+  protection_body cfg buf;
   Buffer.add_string buf "end generated;\n";
   Buffer.contents buf
 
@@ -396,6 +503,7 @@ let assoc_arch cfg =
         \  signal probe_addr : unsigned(%d downto 0);\n\
         \  signal probe_cnt  : unsigned(%d downto 0);\n"
        (cfg.Config.addr_width - 1) cfg.Config.addr_width);
+  protection_decls cfg buf;
   Buffer.add_string buf "begin\n";
   Buffer.add_string buf
     "  process (clk)\n  begin\n    if rising_edge(clk) then\n      case state is\n";
@@ -424,6 +532,7 @@ let assoc_arch cfg =
     Buffer.add_string buf
       (if cfg.Config.target = Metamodel.Ext_sram then "  r_data <= p_data;\n"
        else "  r_data <= p_rdata;\n");
+  protection_body cfg buf;
   Buffer.add_string buf "end generated;\n";
   Buffer.contents buf
 

@@ -18,7 +18,12 @@ type port = { port_name : string; dir : direction; width : int }
 
 val functional_ports : Config.t -> port list
 (** Method strobes and parameter ports, before the implementation
-    interface. Pruned to [ops_used]. *)
+    interface. Pruned to [ops_used]. Includes {!protection_ports}. *)
+
+val protection_ports : Config.t -> port list
+(** The sticky error outputs of the generated protection hardware:
+    [err] when [Config.parity] is set, [timeout] when
+    [Config.op_timeout] is set. Empty for unprotected configs. *)
 
 val implementation_ports : Config.t -> port list
 (** Target-specific ports: FIFO ([p_empty]/[p_read]/[p_data]), SRAM

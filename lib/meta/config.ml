@@ -8,10 +8,12 @@ type t = {
   addr_width : int;
   ops_used : Metamodel.operation list;
   wait_states : int;
+  parity : bool;
+  op_timeout : int option;
 }
 
-let make ?bus_width ?addr_width ?ops_used ?(wait_states = 1) ~instance_name ~kind
-    ~target ~elem_width ~depth () =
+let make ?bus_width ?addr_width ?ops_used ?(wait_states = 1) ?(parity = false)
+    ?op_timeout ~instance_name ~kind ~target ~elem_width ~depth () =
   if elem_width < 1 then invalid_arg "Config.make: elem_width must be >= 1";
   if depth < 1 then invalid_arg "Config.make: depth must be >= 1";
   let bus_width = match bus_width with Some w -> w | None -> elem_width in
@@ -37,6 +39,19 @@ let make ?bus_width ?addr_width ?ops_used ?(wait_states = 1) ~instance_name ~kin
              (Metamodel.container_name kind)
              (Metamodel.operation_name op)))
     ops_used;
+  let require_protection p =
+    if not (List.mem p (Metamodel.legal_protections target)) then
+      invalid_arg
+        (Printf.sprintf "Config.make: %s protection is not available on %s"
+           (Metamodel.protection_name p)
+           (Metamodel.target_name target))
+  in
+  if parity then require_protection Metamodel.Parity;
+  (match op_timeout with
+  | Some n ->
+    require_protection Metamodel.Op_watchdog;
+    if n < 1 then invalid_arg "Config.make: op_timeout must be >= 1"
+  | None -> ());
   {
     instance_name;
     kind;
@@ -47,7 +62,11 @@ let make ?bus_width ?addr_width ?ops_used ?(wait_states = 1) ~instance_name ~kin
     addr_width;
     ops_used;
     wait_states;
+    parity;
+    op_timeout;
   }
+
+let protected t = t.parity || t.op_timeout <> None
 
 let words_per_element t = t.elem_width / t.bus_width
 
@@ -55,8 +74,17 @@ let entity_name t =
   Printf.sprintf "%s_%s" t.instance_name (Metamodel.target_name t.target)
 
 let describe t =
-  Printf.sprintf "%s: %s over %s, %d x %d bits (bus %d, ops %s)" t.instance_name
+  let protection =
+    match (t.parity, t.op_timeout) with
+    | false, None -> ""
+    | true, None -> ", parity"
+    | false, Some n -> Printf.sprintf ", watchdog %d" n
+    | true, Some n -> Printf.sprintf ", parity + watchdog %d" n
+  in
+  Printf.sprintf "%s: %s over %s, %d x %d bits (bus %d, ops %s%s)"
+    t.instance_name
     (Metamodel.container_name t.kind)
     (Metamodel.target_name t.target)
     t.depth t.elem_width t.bus_width
     (String.concat "," (List.map Metamodel.operation_name t.ops_used))
+    protection

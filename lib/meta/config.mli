@@ -11,6 +11,9 @@ type t = {
   addr_width : int;                   (** physical address bus width *)
   ops_used : Metamodel.operation list; (** operations to generate (pruning) *)
   wait_states : int;                  (** external SRAM only *)
+  parity : bool;                      (** per-word parity + [err] output *)
+  op_timeout : int option;            (** watchdog window on the memory
+                                          handshake + [timeout] output *)
 }
 
 val make :
@@ -18,6 +21,8 @@ val make :
   ?addr_width:int ->
   ?ops_used:Metamodel.operation list ->
   ?wait_states:int ->
+  ?parity:bool ->
+  ?op_timeout:int ->
   instance_name:string ->
   kind:Metamodel.container_kind ->
   target:Metamodel.target ->
@@ -27,12 +32,16 @@ val make :
   t
 (** Defaults: [bus_width = elem_width], [addr_width] wide enough for
     [depth], [ops_used] = every operation the container supports,
-    [wait_states = 1].
+    [wait_states = 1], no protection hardware.
 
     Raises [Invalid_argument] if the target is not legal for the
     container kind (per {!Metamodel.legal_targets}), if an operation in
-    [ops_used] is not supported by the kind, or if [elem_width] is not
-    a multiple of [bus_width]. *)
+    [ops_used] is not supported by the kind, if [elem_width] is not
+    a multiple of [bus_width], or if a requested protection is not
+    legal for the target (per {!Metamodel.legal_protections}). *)
+
+val protected : t -> bool
+(** True when any protection hardware is configured. *)
 
 val words_per_element : t -> int
 (** How many physical bus transfers one element needs (§3.3's pixel

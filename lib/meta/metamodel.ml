@@ -134,6 +134,28 @@ let all_containers = [ Stack; Queue; Read_buffer; Write_buffer; Vector; Assoc_ar
 let all_operations = [ Inc; Dec; Read; Write; Index ]
 let all_targets = [ Fifo_core; Lifo_core; Block_ram; Ext_sram; Line_buffer3 ]
 
+(* Optional protection hardware the generator can weave into a mapped
+   container. Parity needs widenable word storage, so it applies to the
+   RAM-backed targets; the operation watchdog guards a multi-cycle
+   acknowledge, which only the external SRAM path has. *)
+type protection = Parity | Op_watchdog
+
+let protection_name = function
+  | Parity -> "parity"
+  | Op_watchdog -> "watchdog"
+
+let protection_meaning = function
+  | Parity -> "per-word parity bit, checked on read, sticky error flag"
+  | Op_watchdog ->
+    "bounded retries on the memory handshake, then forced ack + error"
+
+let legal_protections = function
+  | Block_ram -> [ Parity ]
+  | Ext_sram -> [ Parity; Op_watchdog ]
+  | Fifo_core | Lifo_core | Line_buffer3 -> []
+
+let all_protections = [ Parity; Op_watchdog ]
+
 let traversal_cell = function
   | None -> "-"
   | Some Forward -> "F"

@@ -62,9 +62,22 @@ val container_name : container_kind -> string
 val target_name : target -> string
 val operation_name : operation -> string
 
+(** Optional protection hardware the generator can weave into a mapped
+    container (error detection and graceful degradation). *)
+type protection = Parity | Op_watchdog
+
+val legal_protections : target -> protection list
+(** Parity applies to the RAM-backed targets (the stored word can be
+    widened by one bit); the operation watchdog applies only to the
+    external SRAM, whose multi-cycle acknowledge can be lost. *)
+
+val protection_name : protection -> string
+val protection_meaning : protection -> string
+
 val all_containers : container_kind list
 val all_operations : operation list
 val all_targets : target list
+val all_protections : protection list
 
 val table1 : string
 (** Rendered capability matrix in the layout of the paper's Table 1. *)

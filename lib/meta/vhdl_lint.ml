@@ -167,3 +167,32 @@ let check text =
   List.rev !issues
 
 let is_clean text = check text = []
+
+(* --- Protection-hardware checks ----------------------------------------- *)
+
+let contains_line text pred =
+  List.exists pred (List.map String.trim (String.split_on_char '\n' text))
+
+let has_port text name =
+  let prefix = name ^ " : out std_logic" in
+  contains_line text (fun l ->
+      String.length l >= String.length prefix
+      && String.sub l 0 (String.length prefix) = prefix)
+
+let has_word text word =
+  contains_line text (fun l -> List.mem word (words_of_line l))
+
+let check_protected ~parity ~op_timeout text =
+  let issues = ref (check text) in
+  let add message = issues := !issues @ [ { line = 0; message } ] in
+  let expect present name what =
+    match (present, name) with
+    | true, false -> add (Printf.sprintf "protected design lacks %s" what)
+    | false, true -> add (Printf.sprintf "unprotected design declares %s" what)
+    | _ -> ()
+  in
+  expect parity (has_port text "err") "an 'err : out std_logic' port";
+  expect parity (has_word text "par_mem") "the parity store (par_mem)";
+  expect op_timeout (has_port text "timeout") "a 'timeout : out std_logic' port";
+  expect op_timeout (has_word text "wd_cnt") "the watchdog counter (wd_cnt)";
+  !issues

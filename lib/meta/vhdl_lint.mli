@@ -17,4 +17,11 @@ val check : string -> issue list
 
 val is_clean : string -> bool
 
+val check_protected : parity:bool -> op_timeout:bool -> string -> issue list
+(** {!check} plus structural checks on generated protection hardware:
+    when [parity] is set the text must declare an [err : out std_logic]
+    port and the parity store; when [op_timeout] is set, a
+    [timeout : out std_logic] port and the watchdog counter. When a
+    flag is off the corresponding artefacts must be absent. *)
+
 val pp_issue : Format.formatter -> issue -> unit

@@ -13,6 +13,9 @@ type t = {
   input_refs : (string * Bits.t ref) list;
   output_refs : (string * Bits.t ref) list;
   mem_arrays : (int, Bits.t array) Hashtbl.t;
+  (* Stuck-at overrides (fault injection): uid -> forced value, applied
+     after every combinational evaluation of the node. *)
+  forces : (int, Bits.t) Hashtbl.t;
   mutable cycles : int;
 }
 
@@ -58,7 +61,16 @@ let create circuit =
   let output_refs =
     List.map (fun (n, _) -> (n, ref (Bits.zero 1))) (Circuit.outputs circuit)
   in
-  { circuit; nodes; by_uid; input_refs; output_refs; mem_arrays; cycles = 0 }
+  {
+    circuit;
+    nodes;
+    by_uid;
+    input_refs;
+    output_refs;
+    mem_arrays;
+    forces = Hashtbl.create 7;
+    cycles = 0;
+  }
 
 let circuit t = t.circuit
 
@@ -110,7 +122,10 @@ let eval_node t ns =
     | Signal.Wire { driver = Some d } -> v d
     | Signal.Wire { driver = None } -> assert false
   in
-  ns.value := result
+  ns.value :=
+    (match Hashtbl.find_opt t.forces (Signal.uid ns.signal) with
+    | Some forced -> forced
+    | None -> result)
 
 let settle_internal t =
   Array.iter (fun ns -> eval_node t ns) t.nodes
@@ -178,7 +193,39 @@ let cycle t =
   clock_edge t;
   t.cycles <- t.cycles + 1
 
+let force t s b =
+  let ns = node t s in
+  if Bits.width b <> Signal.width ns.signal then
+    invalid_arg
+      (Printf.sprintf "Cyclesim.force: value width %d, signal width %d"
+         (Bits.width b) (Signal.width ns.signal));
+  Hashtbl.replace t.forces (Signal.uid ns.signal) b
+
+let release t s = Hashtbl.remove t.forces (Signal.uid (node t s).signal)
+let release_all t = Hashtbl.reset t.forces
+let forced t s = Hashtbl.find_opt t.forces (Signal.uid (node t s).signal)
+
+let is_stateful s =
+  match Signal.prim s with
+  | Signal.Reg _ | Signal.Mem_read_sync _ -> true
+  | _ -> false
+
+let peek_state t s =
+  let ns = node t s in
+  if not (is_stateful ns.signal) then
+    invalid_arg "Cyclesim.peek_state: signal holds no state";
+  ns.state
+
+let poke_state t s b =
+  let ns = node t s in
+  if not (is_stateful ns.signal) then
+    invalid_arg "Cyclesim.poke_state: signal holds no state";
+  if Bits.width b <> Bits.width ns.state then
+    invalid_arg "Cyclesim.poke_state: width mismatch";
+  ns.state <- b
+
 let reset t =
+  Hashtbl.reset t.forces;
   Array.iter
     (fun ns ->
       match Signal.prim ns.signal with

@@ -31,8 +31,34 @@ val settle : t -> unit
     mid-cycle. *)
 
 val reset : t -> unit
-(** Restore registers to their init values, clear memories to zero, and
-    re-settle. *)
+(** Restore registers to their init values, clear memories to zero,
+    release all forced signals, and re-settle. *)
+
+(** {1 Fault-injection hooks}
+
+    Used by {!Fault} to model stuck-at faults and single-event upsets;
+    see that module for campaign-level helpers. *)
+
+val force : t -> Signal.t -> Bits.t -> unit
+(** Stuck-at override: from the next settle on, the signal evaluates to
+    the given value regardless of its drivers, until {!release}d.
+    Registers keep updating their internal state from their (possibly
+    forced) inputs; only the forced node's observed value is pinned. *)
+
+val release : t -> Signal.t -> unit
+val release_all : t -> unit
+
+val forced : t -> Signal.t -> Bits.t option
+(** The active override on a signal, if any. *)
+
+val peek_state : t -> Signal.t -> Bits.t
+(** Internal state of a register or synchronous-read node (the value it
+    will present at the next settle). Raises on stateless nodes. *)
+
+val poke_state : t -> Signal.t -> Bits.t -> unit
+(** Overwrite that state — an SEU bit-flip is
+    [poke_state sim r (Bits.logxor (peek_state sim r) mask)]. Takes
+    effect at the next settle. *)
 
 val cycle_count : t -> int
 

@@ -1,0 +1,245 @@
+(* Runtime protocol monitors over a Cyclesim instance. *)
+
+type violation = { cycle : int; monitor : string; signal : string; message : string }
+
+let pp_violation fmt v =
+  Format.fprintf fmt "cycle %d: [%s] %s: %s" v.cycle v.monitor v.signal v.message
+
+type tracked = { signal : Signal.t; label : string }
+
+type t = {
+  sim : Cyclesim.t;
+  window : int;
+  mutable tracked : tracked list; (* reverse attach order *)
+  mutable checks : (int -> unit) list;
+  mutable violations : violation list; (* newest first *)
+  mutable history : (int * (int * Bits.t) list) list; (* newest first *)
+  mutable ticks : int;
+}
+
+let create ?(window = 48) sim =
+  {
+    sim;
+    window;
+    tracked = [];
+    checks = [];
+    violations = [];
+    history = [];
+    ticks = 0;
+  }
+
+let violate t cycle monitor signal message =
+  t.violations <- { cycle; monitor; signal; message } :: t.violations
+
+let violations t = List.rev t.violations
+let ok t = t.violations = []
+
+let first_violation t =
+  match List.rev t.violations with v :: _ -> Some v | [] -> None
+
+let watch t label s =
+  if not (List.exists (fun tr -> Signal.uid tr.signal = Signal.uid s) t.tracked)
+  then t.tracked <- { signal = s; label } :: t.tracked
+
+let peek t s = Cyclesim.peek t.sim s
+let peek_bool t s = Bits.to_bool (peek t s)
+
+(* --- Checkers ----------------------------------------------------------- *)
+
+(* The library-wide req/ack convention (see Handshake): the requester
+   holds [req] high, with any payload stable, until the cycle where
+   [ack] is high; [ack] never fires without a request pending. *)
+let add_handshake t ~name ?payload ~req ~ack () =
+  watch t (name ^ "_req") req;
+  watch t (name ^ "_ack") ack;
+  Option.iter (fun p -> watch t (name ^ "_payload") p) payload;
+  let prev_req = ref false and prev_ack = ref false in
+  let prev_payload = ref None in
+  let check cycle =
+    let r = peek_bool t req and a = peek_bool t ack in
+    let p = Option.map (peek t) payload in
+    if a && not r then
+      violate t cycle name "ack" "ack asserted with no request pending";
+    if !prev_req && not !prev_ack then begin
+      if not r then
+        violate t cycle name "req" "request dropped before acknowledge";
+      match (p, !prev_payload) with
+      | Some now, Some before when r && not (Bits.equal now before) ->
+        violate t cycle name "payload" "payload changed while request pending"
+      | _ -> ()
+    end;
+    prev_req := r;
+    prev_ack := a;
+    prev_payload := p
+  in
+  t.checks <- check :: t.checks
+
+(* Iterator-op sequencing: each operation obeys the handshake rule and
+   operations declared mutually exclusive never fire together. *)
+let add_iterator t ~name ?(mutex = []) ~ops () =
+  List.iter
+    (fun (op, req, ack) -> add_handshake t ~name:(name ^ "." ^ op) ~req ~ack ())
+    ops;
+  List.iter
+    (fun (label, a, b) ->
+      watch t (name ^ "." ^ label ^ "_a") a;
+      watch t (name ^ "." ^ label ^ "_b") b;
+      let check cycle =
+        if peek_bool t a && peek_bool t b then
+          violate t cycle name label "mutually exclusive operations both asserted"
+      in
+      t.checks <- check :: t.checks)
+    mutex
+
+(* FIFO/queue occupancy invariants: the count tracks the empty flag,
+   never steps by more than one element per cycle, never exceeds the
+   capacity (when known), and full/empty never hold together. *)
+let add_fifo t ~name ?depth ?full ~count ~empty () =
+  watch t (name ^ "_count") count;
+  watch t (name ^ "_empty") empty;
+  Option.iter (fun f -> watch t (name ^ "_full") f) full;
+  let prev_count = ref None in
+  let check cycle =
+    let c = Bits.to_int_trunc (peek t count) in
+    let e = peek_bool t empty in
+    if e <> (c = 0) then
+      violate t cycle name "empty"
+        (Printf.sprintf "empty flag %b inconsistent with count %d" e c);
+    (match full with
+    | Some f ->
+      if peek_bool t f && e then
+        violate t cycle name "full" "full and empty asserted together"
+    | None -> ());
+    (match depth with
+    | Some d ->
+      if c > d then
+        violate t cycle name "count"
+          (Printf.sprintf "occupancy %d exceeds capacity %d (overflow)" c d)
+    | None -> ());
+    (match !prev_count with
+    | Some p ->
+      if abs (c - p) > 1 then
+        violate t cycle name "count"
+          (Printf.sprintf "occupancy stepped %d -> %d in one cycle" p c)
+    | None -> ());
+    prev_count := Some c
+  in
+  t.checks <- check :: t.checks
+
+(* --- Automatic attachment by naming convention -------------------------- *)
+
+let signals_by_name circuit =
+  let tbl = Hashtbl.create 97 in
+  let note n s = if not (Hashtbl.mem tbl n) then Hashtbl.replace tbl n s in
+  List.iter
+    (fun s -> List.iter (fun n -> note n s) (Signal.names s))
+    (Circuit.signals circuit);
+  (* Input ports carry their name in the port list, not on the node. *)
+  List.iter (fun (n, s) -> note n s) (Circuit.inputs circuit);
+  tbl
+
+let strip_suffix ~suffix name =
+  let nl = String.length name and sl = String.length suffix in
+  if nl > sl && String.sub name (nl - sl) sl = suffix then
+    Some (String.sub name 0 (nl - sl))
+  else None
+
+(* Attach monitors by scanning the circuit's signal names: every
+   [X_req]/[X_ack] pair gets a handshake checker and every
+   [X_count]/[X_empty] pair (plus [X_full] when present) gets the
+   occupancy invariants. Returns how many monitors were attached. *)
+let add_auto t =
+  let tbl = signals_by_name (Cyclesim.circuit t.sim) in
+  let names = Hashtbl.fold (fun n _ acc -> n :: acc) tbl [] in
+  let names = List.sort_uniq compare names in
+  let attached = ref 0 in
+  List.iter
+    (fun n ->
+      match strip_suffix ~suffix:"_req" n with
+      | Some base -> (
+        match Hashtbl.find_opt tbl (base ^ "_ack") with
+        | Some ack ->
+          add_handshake t ~name:base ~req:(Hashtbl.find tbl n) ~ack ();
+          incr attached
+        | None -> ())
+      | None -> ())
+    names;
+  List.iter
+    (fun n ->
+      match strip_suffix ~suffix:"_count" n with
+      | Some base -> (
+        match Hashtbl.find_opt tbl (base ^ "_empty") with
+        | Some empty ->
+          add_fifo t ~name:base
+            ?full:(Hashtbl.find_opt tbl (base ^ "_full"))
+            ~count:(Hashtbl.find tbl n) ~empty ();
+          incr attached
+        | None -> ())
+      | None -> ())
+    names;
+  !attached
+
+(* --- Sampling ----------------------------------------------------------- *)
+
+(* Call once per simulation step, after [Cyclesim.cycle]: runs every
+   attached check against the settled values of the cycle that just
+   completed and records watched signals in the history ring. *)
+let sample t =
+  let cycle = t.ticks in
+  List.iter (fun check -> check cycle) (List.rev t.checks);
+  let snapshot =
+    List.rev_map (fun tr -> (Signal.uid tr.signal, peek t tr.signal)) t.tracked
+  in
+  t.history <- (cycle, snapshot) :: t.history;
+  let rec trim n = function
+    | [] -> []
+    | _ when n = 0 -> []
+    | x :: rest -> x :: trim (n - 1) rest
+  in
+  t.history <- trim t.window t.history;
+  t.ticks <- t.ticks + 1
+
+let ticks t = t.ticks
+
+(* --- VCD window dump ---------------------------------------------------- *)
+
+let vcd_id i =
+  (* Printable short identifiers starting at '!' as in Vcd. *)
+  let base = Char.code '!' in
+  let range = 94 in
+  if i < range then String.make 1 (Char.chr (base + i))
+  else
+    String.make 1 (Char.chr (base + (i / range)))
+    ^ String.make 1 (Char.chr (base + (i mod range)))
+
+let vcd_value b =
+  if Bits.width b = 1 then (if Bits.to_bool b then "1" else "0")
+  else "b" ^ Bits.to_string b ^ " "
+
+(* Render the retained window of watched signals as VCD text, typically
+   written to a file after a violation so the offending cycles can be
+   inspected in a waveform viewer. *)
+let vcd_window t =
+  let buf = Buffer.create 1024 in
+  let tracked = List.rev t.tracked in
+  let ids = List.mapi (fun i tr -> (Signal.uid tr.signal, (vcd_id i, tr))) tracked in
+  Buffer.add_string buf "$timescale 1 ns $end\n";
+  Buffer.add_string buf "$scope module monitor $end\n";
+  List.iter
+    (fun (_, (id, tr)) ->
+      Buffer.add_string buf
+        (Printf.sprintf "$var wire %d %s %s $end\n" (Signal.width tr.signal) id
+           tr.label))
+    ids;
+  Buffer.add_string buf "$upscope $end\n$enddefinitions $end\n";
+  List.iter
+    (fun (cycle, snapshot) ->
+      Buffer.add_string buf (Printf.sprintf "#%d\n" cycle);
+      List.iter
+        (fun (uid, (id, _)) ->
+          match List.assoc_opt uid snapshot with
+          | Some b -> Buffer.add_string buf (vcd_value b ^ id ^ "\n")
+          | None -> ())
+        ids)
+    (List.rev t.history);
+  Buffer.contents buf

@@ -304,6 +304,103 @@ let test_multiword_generates_word_machinery () =
     (not (contains "word_idx" (Codegen.container_architecture narrow)))
 
 
+(* --- Generated protection hardware ----------------------------------- *)
+
+let protected_queue_cfg =
+  Config.make ~instance_name:"pqueue" ~kind:Metamodel.Queue
+    ~target:Metamodel.Ext_sram ~elem_width:8 ~depth:64 ~parity:true
+    ~op_timeout:16 ()
+
+let test_protected_container_golden () =
+  let text = Codegen.generate_container protected_queue_cfg in
+  (* Structural lint including the protection-specific checks. *)
+  (match Vhdl_lint.check_protected ~parity:true ~op_timeout:true text with
+  | [] -> ()
+  | issues ->
+    Alcotest.failf "protected queue fails lint: %s"
+      (String.concat "; " (List.map (fun i -> i.Vhdl_lint.message) issues)));
+  check_bool "err port" true (contains "err : out std_logic" text);
+  check_bool "timeout port" true (contains "timeout : out std_logic" text);
+  check_bool "parity store" true (contains "signal par_mem" text);
+  check_bool "parity reduction" true (contains "par_wr <= xor p_wdata;" text);
+  check_bool "watchdog counter" true (contains "signal wd_cnt" text);
+  check_bool "watchdog window" true
+    (contains "if wd_cnt = to_unsigned(16, wd_cnt'length) then" text);
+  check_bool "sticky err drive" true (contains "err <= err_r;" text);
+  check_bool "sticky timeout drive" true (contains "timeout <= timeout_r;" text)
+
+let test_unprotected_container_has_no_protection () =
+  let cfg =
+    Config.make ~instance_name:"pqueue" ~kind:Metamodel.Queue
+      ~target:Metamodel.Ext_sram ~elem_width:8 ~depth:64 ()
+  in
+  let text = Codegen.generate_container cfg in
+  (match Vhdl_lint.check_protected ~parity:false ~op_timeout:false text with
+  | [] -> ()
+  | issues ->
+    Alcotest.failf "unprotected queue fails lint: %s"
+      (String.concat "; " (List.map (fun i -> i.Vhdl_lint.message) issues)));
+  check_bool "no err port" true (not (contains "err : out std_logic" text));
+  check_bool "no timeout port" true (not (contains "timeout : out std_logic" text));
+  check_bool "no parity store" true (not (contains "par_mem" text));
+  check_bool "no watchdog" true (not (contains "wd_cnt" text))
+
+let test_protected_configs_lint_clean () =
+  (* Every legal (kind, target, protection) combination generates clean
+     VHDL with the declared error ports. *)
+  List.iter
+    (fun kind ->
+      List.iter
+        (fun target ->
+          let prots = Metamodel.legal_protections target in
+          let parity = List.mem Metamodel.Parity prots in
+          let wd = List.mem Metamodel.Op_watchdog prots in
+          if parity || wd then begin
+            let cfg =
+              Config.make
+                ~instance_name:
+                  (String.map
+                     (fun c -> if c = ' ' || c = '.' then '_' else c)
+                     (Metamodel.container_name kind))
+                ~kind ~target ~elem_width:8 ~depth:64 ~parity
+                ?op_timeout:(if wd then Some 8 else None) ()
+            in
+            let text = Codegen.generate_container cfg in
+            match Vhdl_lint.check_protected ~parity ~op_timeout:wd text with
+            | [] -> ()
+            | issues ->
+              Alcotest.failf "%s: %s" (Config.entity_name cfg)
+                (String.concat "; "
+                   (List.map (fun i -> i.Vhdl_lint.message) issues))
+          end)
+        (Metamodel.legal_targets kind))
+    Metamodel.all_containers
+
+let test_protection_config_validation () =
+  let bad f = match f () with
+    | exception Invalid_argument _ -> true
+    | _ -> false
+  in
+  check_bool "parity on fifo rejected" true
+    (bad (fun () ->
+         Config.make ~instance_name:"q" ~kind:Metamodel.Queue
+           ~target:Metamodel.Fifo_core ~elem_width:8 ~depth:64 ~parity:true ()));
+  check_bool "watchdog on bram rejected" true
+    (bad (fun () ->
+         Config.make ~instance_name:"q" ~kind:Metamodel.Queue
+           ~target:Metamodel.Block_ram ~elem_width:8 ~depth:64 ~op_timeout:8 ()));
+  check_bool "zero timeout rejected" true
+    (bad (fun () ->
+         Config.make ~instance_name:"q" ~kind:Metamodel.Queue
+           ~target:Metamodel.Ext_sram ~elem_width:8 ~depth:64 ~op_timeout:0 ()));
+  check_bool "parity on bram accepted" true
+    (not
+       (bad (fun () ->
+            Config.make ~instance_name:"q" ~kind:Metamodel.Queue
+              ~target:Metamodel.Block_ram ~elem_width:8 ~depth:64 ~parity:true ())));
+  check_bool "describe mentions protection" true
+    (contains "parity + watchdog 16" (Config.describe protected_queue_cfg))
+
 (* --- Algorithm metamodels (the paper's future-work extension) -------- *)
 
 let test_algorithm_meta_copy () =
@@ -397,5 +494,16 @@ let () =
           Alcotest.test_case "all containers clean" `Quick test_all_generated_lint_clean;
           Alcotest.test_case "all iterators clean" `Quick test_all_iterators_lint_clean;
           Alcotest.test_case "catches errors" `Quick test_lint_catches_errors;
+        ] );
+      ( "protection",
+        [
+          Alcotest.test_case "protected queue golden" `Quick
+            test_protected_container_golden;
+          Alcotest.test_case "unprotected has none" `Quick
+            test_unprotected_container_has_no_protection;
+          Alcotest.test_case "all protected configs clean" `Quick
+            test_protected_configs_lint_clean;
+          Alcotest.test_case "config validation" `Quick
+            test_protection_config_validation;
         ] );
     ]
