@@ -325,6 +325,177 @@ let faultcoverage () =
     (if err then "high (degraded)" else "low")
 
 (* ---------------------------------------------------------------- *)
+(* §simthroughput: raw simulated cycles/sec, reference interpreter    *)
+(* vs compiled levelized engine, with machine-readable output so the  *)
+(* perf trajectory is tracked from PR 2 on.                           *)
+(* ---------------------------------------------------------------- *)
+
+type sim_bench = {
+  sb_design : string;
+  sb_engine : string;
+  sb_cycles : int;
+  sb_seconds : float;
+}
+
+let sb_rate b = float_of_int b.sb_cycles /. b.sb_seconds
+
+let engine_name = function
+  | Hwpat_rtl.Cyclesim.Reference -> "reference"
+  | Hwpat_rtl.Cyclesim.Compiled -> "compiled"
+
+let sim_throughput ?(smoke = false) () =
+  banner
+    (Printf.sprintf "§simthroughput — cycles/sec, reference vs compiled%s"
+       (if smoke then " (smoke)" else ""));
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    f ();
+    max 1e-9 (Unix.gettimeofday () -. t0)
+  in
+  let side = if smoke then 8 else 16 in
+  let cycles_per_design = if smoke then 2_000 else 50_000 in
+  (* Raw engine throughput: one sim per (design, engine), input port
+     refs cached up front, every input driven from a pool of
+     pre-generated pseudorandom values (seeded LCG, so both engines see
+     the identical stimulus and the timed loop allocates nothing).
+     This measures the simulation engines themselves rather than the
+     frame harness around them. *)
+  let bench_design ~engine (name, circuit, _, _) =
+    let open Hwpat_rtl in
+    let sim = Cyclesim.create ~engine circuit in
+    let pool_size = 64 in
+    let rng = ref 0x2545F49 in
+    let next () =
+      rng := ((!rng * 1103515245) + 12345) land 0x3FFFFFFF;
+      !rng
+    in
+    let drivers =
+      Circuit.inputs circuit
+      |> List.map (fun (port, s) ->
+             let w = Hwpat_rtl.Signal.width s in
+             ( Cyclesim.in_port sim port,
+               Array.init pool_size (fun _ -> Bits.of_int ~width:w (next ())) ))
+      |> Array.of_list
+    in
+    let seconds =
+      time (fun () ->
+          for c = 1 to cycles_per_design do
+            for k = 0 to Array.length drivers - 1 do
+              let r, pool = drivers.(k) in
+              r := pool.((c + k) land (pool_size - 1))
+            done;
+            Cyclesim.cycle sim
+          done)
+    in
+    {
+      sb_design = name;
+      sb_engine = engine_name engine;
+      sb_cycles = cycles_per_design;
+      sb_seconds = seconds;
+    }
+  in
+  let designs =
+    [
+      ( "saa2vga 1",
+        Saa2vga.build ~depth:32 ~substrate:Saa2vga.Fifo ~style:Saa2vga.Pattern
+          (),
+        side,
+        side );
+      ( "saa2vga 2",
+        Saa2vga.build ~depth:32 ~substrate:Saa2vga.Sram ~style:Saa2vga.Pattern
+          (),
+        side,
+        side );
+      ( "blur",
+        Blur_system.build ~image_width:side ~max_rows:side
+          ~style:Blur_system.Pattern (),
+        side - 2,
+        side - 2 );
+    ]
+  in
+  let bench_faultsim ~engine =
+    let faults = if smoke then 4 else 12 in
+    let fw = if smoke then 4 else 8 in
+    let summary = ref None in
+    let seconds =
+      time (fun () ->
+          summary :=
+            Some
+              (Faultsim.run_campaign ~engine ~seed:7 ~faults ~frame_width:fw
+                 ~frame_height:fw
+                 ~build:(Faultsim.find_design "saa2vga_sram_pattern")
+                 ~design:"saa2vga_sram_pattern" ()))
+    in
+    let summary = Option.get !summary in
+    let cycles =
+      List.fold_left
+        (fun acc r -> acc + r.Faultsim.cycles)
+        summary.Faultsim.baseline_cycles summary.Faultsim.results
+    in
+    {
+      sb_design = "faultsim campaign";
+      sb_engine = engine_name engine;
+      sb_cycles = cycles;
+      sb_seconds = seconds;
+    }
+  in
+  let engines = [ Hwpat_rtl.Cyclesim.Reference; Hwpat_rtl.Cyclesim.Compiled ] in
+  let entries =
+    List.concat_map
+      (fun engine -> List.map (bench_design ~engine) designs)
+      engines
+    @ List.map (fun engine -> bench_faultsim ~engine) engines
+  in
+  let find design engine =
+    List.find (fun b -> b.sb_design = design && b.sb_engine = engine) entries
+  in
+  let design_names =
+    List.map (fun (n, _, _, _) -> n) designs @ [ "faultsim campaign" ]
+  in
+  let speedups =
+    List.map
+      (fun d -> (d, sb_rate (find d "compiled") /. sb_rate (find d "reference")))
+      design_names
+  in
+  List.iter
+    (fun d ->
+      let r = find d "reference" and c = find d "compiled" in
+      Printf.printf
+        "  %-18s reference %10.0f cyc/s   compiled %10.0f cyc/s   (%.1fx)\n" d
+        (sb_rate r) (sb_rate c)
+        (List.assoc d speedups))
+    design_names;
+  (* Machine-readable record. *)
+  let json =
+    let buf = Buffer.create 1024 in
+    let emit fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+    emit "{\n  \"bench\": \"simthroughput\",\n  \"smoke\": %b,\n"
+      smoke;
+    emit "  \"entries\": [\n";
+    List.iteri
+      (fun i b ->
+        emit
+          "    {\"design\": %S, \"engine\": %S, \"cycles\": %d, \"seconds\": \
+           %.6f, \"cycles_per_sec\": %.1f}%s\n"
+          b.sb_design b.sb_engine b.sb_cycles b.sb_seconds (sb_rate b)
+          (if i = List.length entries - 1 then "" else ","))
+      entries;
+    emit "  ],\n  \"speedup_compiled_over_reference\": {\n";
+    List.iteri
+      (fun i (d, s) ->
+        emit "    %S: %.2f%s\n" d s
+          (if i = List.length speedups - 1 then "" else ","))
+      speedups;
+    emit "  }\n}\n";
+    Buffer.contents buf
+  in
+  let path = "BENCH_sim.json" in
+  let oc = open_out path in
+  output_string oc json;
+  close_out oc;
+  Printf.printf "\n  wrote %s\n" path
+
+(* ---------------------------------------------------------------- *)
 (* Bechamel wall-clock benches: one per table.                        *)
 (* ---------------------------------------------------------------- *)
 
@@ -385,17 +556,50 @@ let bechamel_section () =
       | _ -> Printf.printf "  %-40s (no estimate)\n" name)
     (List.sort compare rows)
 
+(* CLI: `bench/main.exe` regenerates everything; `--section NAME`
+   (repeatable) runs a subset; `--smoke` shrinks the workloads so CI
+   can exercise the harness in seconds. *)
 let () =
-  table1 ();
-  table2 ();
-  figure2 ();
-  figures_4_5 ();
-  table3 ();
-  throughput ();
-  design_space_section ();
-  ablation_pruning ();
-  ablation_width ();
-  faultcoverage ();
-  bechamel_section ();
-  banner "done";
-  print_endline "All tables and figures regenerated. See EXPERIMENTS.md for the\npaper-vs-measured record."
+  let args = List.tl (Array.to_list Sys.argv) in
+  let smoke = List.mem "--smoke" args in
+  let rec chosen = function
+    | "--section" :: name :: rest -> name :: chosen rest
+    | "--smoke" :: rest -> chosen rest
+    | arg :: _ ->
+      Printf.eprintf "unknown argument %s (try --smoke, --section NAME)\n" arg;
+      exit 2
+    | [] -> []
+  in
+  let chosen = chosen args in
+  let sections =
+    [
+      ("table1", table1);
+      ("table2", table2);
+      ("figure2", figure2);
+      ("figures45", figures_4_5);
+      ("table3", table3);
+      ("throughput", throughput);
+      ("designspace", design_space_section);
+      ("pruning", ablation_pruning);
+      ("width", ablation_width);
+      ("faultcoverage", faultcoverage);
+      ("simthroughput", fun () -> sim_throughput ~smoke ());
+      ("bechamel", bechamel_section);
+    ]
+  in
+  let to_run = if chosen = [] then List.map fst sections else chosen in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name sections with
+      | Some f -> f ()
+      | None ->
+        Printf.eprintf "unknown section %s (known: %s)\n" name
+          (String.concat ", " (List.map fst sections));
+        exit 2)
+    to_run;
+  if chosen = [] then begin
+    banner "done";
+    print_endline
+      "All tables and figures regenerated. See EXPERIMENTS.md for the\n\
+       paper-vs-measured record."
+  end

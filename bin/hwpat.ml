@@ -207,7 +207,13 @@ let make_frame pattern w h =
 
 (* --- simulate ----------------------------------------------------------- *)
 
-let simulate design style width height pattern show vcd =
+let simulate design style width height pattern show vcd engine =
+  let engine =
+    match engine with
+    | "compiled" -> Hwpat_rtl.Cyclesim.Compiled
+    | "reference" -> Hwpat_rtl.Cyclesim.Reference
+    | other -> failwith (Printf.sprintf "unknown engine %S" other)
+  in
   let circuit, flavor = build_design design style ~frame_w:width ~frame_h:height in
   let frame = make_frame pattern width height in
   let out_w, out_h, reference =
@@ -218,8 +224,8 @@ let simulate design style width height pattern show vcd =
   in
   let r =
     try
-      Hwpat_core.Experiment.run_video_system ?vcd_path:vcd circuit ~input:frame
-        ~out_width:out_w ~out_height:out_h
+      Hwpat_core.Experiment.run_video_system ~engine ?vcd_path:vcd circuit
+        ~input:frame ~out_width:out_w ~out_height:out_h
     with Hwpat_core.Experiment.Timeout d ->
       prerr_endline (Hwpat_core.Experiment.describe_timeout d);
       exit 2
@@ -264,11 +270,16 @@ let simulate_cmd =
       & opt (some string) None
       & info [ "vcd" ] ~docv:"FILE" ~doc:"Dump a VCD waveform of the run.")
   in
+  let engine =
+    Arg.(
+      value & opt string "compiled"
+      & info [ "engine" ] ~doc:"Simulation engine: compiled or reference.")
+  in
   Cmd.v
     (Cmd.info "simulate" ~doc:"Simulate a design on a synthetic frame")
     Term.(
       const simulate $ design_arg $ style_arg $ width $ height $ pattern $ show
-      $ vcd)
+      $ vcd $ engine)
 
 (* --- report ------------------------------------------------------------- *)
 

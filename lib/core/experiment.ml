@@ -32,9 +32,9 @@ let () =
     | Timeout d -> Some (describe_timeout d)
     | _ -> None)
 
-let run_video_system ?(timeout_per_pixel = 400) ?vcd_path circuit ~input
-    ~out_width ~out_height =
-  let sim = Cyclesim.create circuit in
+let run_video_system ?engine ?(timeout_per_pixel = 400) ?vcd_path circuit
+    ~input ~out_width ~out_height =
+  let sim = Cyclesim.create ?engine circuit in
   let vcd = Option.map (fun _ -> Vcd.create sim) vcd_path in
   let source = Video_source.create sim input in
   let sink = Vga_sink.create sim () in

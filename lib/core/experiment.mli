@@ -32,6 +32,7 @@ val describe_timeout : timeout_diagnosis -> string
     exception printer). *)
 
 val run_video_system :
+  ?engine:Cyclesim.engine ->
   ?timeout_per_pixel:int ->
   ?vcd_path:string ->
   Circuit.t ->
@@ -43,7 +44,8 @@ val run_video_system :
     [out_width * out_height] pixels from the [out_*] ports. Raises
     {!Timeout} with a handshake snapshot when the cycle budget runs
     out. [vcd_path] dumps a waveform of every named signal for the
-    whole run. *)
+    whole run. [engine] selects the simulation engine (default
+    compiled). *)
 
 type table3_row = {
   label : string;                 (** e.g. "saa2vga 1" *)

@@ -47,9 +47,9 @@ let has_output circuit port = List.mem_assoc port (Circuit.outputs circuit)
    same number of pixels, stop at [budget] cycles. [events] are
    scheduled on a Fault injector; monitors are auto-attached by naming
    convention. *)
-let run_once ?(events = []) ~budget ~frame circuit =
+let run_once ?engine ?(events = []) ~budget ~frame circuit =
   let expected = Frame.pixels frame in
-  let sim = Cyclesim.create circuit in
+  let sim = Cyclesim.create ?engine circuit in
   let monitor = Monitor.create sim in
   let monitors = Monitor.add_auto monitor in
   let injector = Fault.create sim in
@@ -94,7 +94,7 @@ let classify ~reference ~expected (collected, cycles, monitor, _, err_flag) even
     cycles;
   }
 
-let run_campaign ?(seed = 1) ?(faults = 20) ?(frame_width = 8)
+let run_campaign ?engine ?(seed = 1) ?(faults = 20) ?(frame_width = 8)
     ?(frame_height = 8) ~build ~design () =
   let frame = Pattern.gradient ~width:frame_width ~height:frame_height ~depth:8 in
   let expected = Frame.pixels frame in
@@ -102,7 +102,7 @@ let run_campaign ?(seed = 1) ?(faults = 20) ?(frame_width = 8)
   (* Fault-free reference run: also sanity-checks that the monitors
      stay silent on the healthy design. *)
   let reference, baseline_cycles, base_monitor, monitors, _ =
-    run_once ~budget:(400 * expected) ~frame circuit
+    run_once ?engine ~budget:(400 * expected) ~frame circuit
   in
   if List.length reference <> expected then
     invalid_arg
@@ -121,7 +121,7 @@ let run_campaign ?(seed = 1) ?(faults = 20) ?(frame_width = 8)
     List.map
       (fun event ->
         classify ~reference ~expected
-          (run_once ~events:[ event ] ~budget ~frame circuit)
+          (run_once ?engine ~events:[ event ] ~budget ~frame circuit)
           event)
       events
   in

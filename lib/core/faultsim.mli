@@ -42,15 +42,18 @@ val coverage : summary -> float
     they have no effect to detect. 1.0 when nothing was detectable. *)
 
 val run_once :
+  ?engine:Cyclesim.engine ->
   ?events:Fault.event list ->
   budget:int ->
   frame:Frame.t ->
   Circuit.t ->
   int list * int * Monitor.t * int * bool
 (** One simulation of a stream-copy circuit: collected pixels, cycles
-    run, the monitor, monitors attached, and the [err] output state. *)
+    run, the monitor, monitors attached, and the [err] output state.
+    [engine] selects the simulation engine (default compiled). *)
 
 val run_campaign :
+  ?engine:Cyclesim.engine ->
   ?seed:int ->
   ?faults:int ->
   ?frame_width:int ->
@@ -60,8 +63,10 @@ val run_campaign :
   unit ->
   summary
 (** Defaults: [seed = 1], [faults = 20], 8x8 frame. Deterministic in
-    [seed]. Raises [Invalid_argument] if the design fails or trips a
-    monitor fault-free. *)
+    [seed] (and independent of [engine] — the differential suite holds
+    the classifications identical across engines). Raises
+    [Invalid_argument] if the design fails or trips a monitor
+    fault-free. *)
 
 val designs : (string * (unit -> Circuit.t)) list
 (** Named builds for the CLI and benchmark harness: the Table 3

@@ -209,7 +209,12 @@ let sra t n =
     if n >= t.width then fill
     else concat_msb [ fill; select t ~high:(t.width - 1) ~low:n ]
 
-let equal a b = a.width = b.width && Array.for_all2 Int64.equal a.data b.data
+let equal a b =
+  a.width = b.width
+  &&
+  let n = Array.length a.data in
+  let rec go i = i >= n || (Int64.equal a.data.(i) b.data.(i) && go (i + 1)) in
+  go 0
 
 let compare a b =
   check_same_width "compare" a b;
@@ -261,6 +266,154 @@ let mul a b =
     t.data.(i) <- Int64.logor acc.(2 * i) (Int64.shift_left acc.((2 * i) + 1) 32)
   done;
   normalize t
+
+(* --- Destination-buffer (in-place) variants ----------------------------- *)
+
+(* These exist for the compiled simulator's hot loop: each writes its
+   result into [dst] (preallocated at the result width) instead of
+   allocating a fresh vector. The element-wise operations tolerate
+   [dst] aliasing an operand; [select_into] and [concat_msb_into] do
+   not. *)
+
+let copy t = { width = t.width; data = Array.copy t.data }
+
+let blit ~src ~dst =
+  if src.width <> dst.width then
+    invalid_arg
+      (Printf.sprintf "Bits.blit: width mismatch (%d vs %d)" src.width dst.width);
+  Array.blit src.data 0 dst.data 0 (Array.length src.data)
+
+(* Compare-and-copy in one pass: returns [true] (after copying) iff
+   [dst] differed from [src]. The simulator's publish step runs this on
+   every evaluated node, so it avoids the separate [equal] + [blit]
+   traversals. *)
+let blit_changed ~src ~dst =
+  if src.width <> dst.width then
+    invalid_arg
+      (Printf.sprintf "Bits.blit_changed: width mismatch (%d vs %d)" src.width
+         dst.width);
+  let n = Array.length src.data in
+  let changed = ref false in
+  for i = 0 to n - 1 do
+    let v = src.data.(i) in
+    if not (Int64.equal v dst.data.(i)) then begin
+      dst.data.(i) <- v;
+      changed := true
+    end
+  done;
+  !changed
+
+let check_dst name dst w =
+  if dst.width <> w then
+    invalid_arg
+      (Printf.sprintf "Bits.%s: dst width %d, result width %d" name dst.width w)
+
+let add_with_carry_into ~dst ~carry0 a b_of_i =
+  let carry = ref carry0 in
+  for i = 0 to Array.length dst.data - 1 do
+    let x = a.data.(i) and y = b_of_i i in
+    let s = Int64.add (Int64.add x y) !carry in
+    let lt_u p q = Int64.unsigned_compare p q < 0 in
+    let cout = if !carry = 0L then lt_u s x else lt_u s x || s = x in
+    dst.data.(i) <- s;
+    carry := if cout then 1L else 0L
+  done;
+  ignore (normalize dst)
+
+let add_into ~dst a b =
+  check_same_width "add_into" a b;
+  check_dst "add_into" dst a.width;
+  add_with_carry_into ~dst ~carry0:0L a (fun i -> b.data.(i))
+
+(* a - b as a + lognot b + 1, limb-wise with carry-in 1. *)
+let sub_into ~dst a b =
+  check_same_width "sub_into" a b;
+  check_dst "sub_into" dst a.width;
+  add_with_carry_into ~dst ~carry0:1L a (fun i -> Int64.lognot b.data.(i))
+
+let map2_into name f ~dst a b =
+  check_same_width name a b;
+  check_dst name dst a.width;
+  for i = 0 to Array.length dst.data - 1 do
+    dst.data.(i) <- f a.data.(i) b.data.(i)
+  done;
+  ignore (normalize dst)
+
+let logand_into ~dst a b = map2_into "logand_into" Int64.logand ~dst a b
+let logor_into ~dst a b = map2_into "logor_into" Int64.logor ~dst a b
+let logxor_into ~dst a b = map2_into "logxor_into" Int64.logxor ~dst a b
+
+let lognot_into ~dst a =
+  check_dst "lognot_into" dst a.width;
+  for i = 0 to Array.length dst.data - 1 do
+    dst.data.(i) <- Int64.lognot a.data.(i)
+  done;
+  ignore (normalize dst)
+
+let eq_into ~dst a b =
+  check_same_width "eq_into" a b;
+  check_dst "eq_into" dst 1;
+  dst.data.(0) <- (if Array.for_all2 Int64.equal a.data b.data then 1L else 0L)
+
+let lt_into ~dst a b =
+  check_same_width "lt_into" a b;
+  check_dst "lt_into" dst 1;
+  dst.data.(0) <- (if compare a b < 0 then 1L else 0L)
+
+let mul_into ~dst a b =
+  (* Multiplies are rare in the designs; the truncating schoolbook
+     multiply keeps its internal scratch, only the result is copied. *)
+  check_same_width "mul_into" a b;
+  check_dst "mul_into" dst a.width;
+  blit ~src:(mul a b) ~dst
+
+let select_into ~dst src ~high ~low =
+  if low < 0 || high >= src.width || high < low then
+    invalid_arg
+      (Printf.sprintf "Bits.select_into: bad range [%d:%d] of width %d" high low
+         src.width);
+  check_dst "select_into" dst (high - low + 1);
+  let base = low / limb_bits and off = low mod limb_bits in
+  let srcn = Array.length src.data in
+  for i = 0 to Array.length dst.data - 1 do
+    let lo =
+      if base + i < srcn then Int64.shift_right_logical src.data.(base + i) off
+      else 0L
+    in
+    let hi =
+      if off = 0 || base + i + 1 >= srcn then 0L
+      else Int64.shift_left src.data.(base + i + 1) (limb_bits - off)
+    in
+    dst.data.(i) <- Int64.logor lo hi
+  done;
+  ignore (normalize dst)
+
+(* OR a (normalized) vector into dst starting at bit [at]. *)
+let or_blit_at dst ~at src =
+  let base = at / limb_bits and off = at mod limb_bits in
+  let dn = Array.length dst.data in
+  for i = 0 to Array.length src.data - 1 do
+    let v = src.data.(i) in
+    if base + i < dn then
+      dst.data.(base + i) <-
+        Int64.logor dst.data.(base + i) (Int64.shift_left v off);
+    if off > 0 && base + i + 1 < dn then
+      dst.data.(base + i + 1) <-
+        Int64.logor
+          dst.data.(base + i + 1)
+          (Int64.shift_right_logical v (limb_bits - off))
+  done
+
+let concat_msb_into ~dst parts =
+  let total = Array.fold_left (fun acc p -> acc + p.width) 0 parts in
+  check_dst "concat_msb_into" dst total;
+  Array.fill dst.data 0 (Array.length dst.data) 0L;
+  let pos = ref total in
+  Array.iter
+    (fun p ->
+      pos := !pos - p.width;
+      or_blit_at dst ~at:!pos p)
+    parts
 
 let reduce_or t = of_bool (to_bool t)
 let reduce_and t = of_bool (equal t (ones t.width))

@@ -113,6 +113,49 @@ val equal : t -> t -> bool
 val compare : t -> t -> int
 (** Unsigned comparison of same-width vectors. *)
 
+(** {1 Destination-buffer variants}
+
+    In-place operations for the compiled simulator's hot loop: each
+    writes its result into [dst], which must have been created at
+    exactly the result width, instead of allocating a fresh vector.
+    The element-wise operations ([add_into] .. [lognot_into],
+    [eq_into], [lt_into]) tolerate [dst] aliasing an operand's storage;
+    [select_into] and [concat_msb_into] do not. All raise
+    [Invalid_argument] on width mismatches, like their allocating
+    counterparts. *)
+
+val copy : t -> t
+(** A physically fresh vector with the same width and value. *)
+
+val blit : src:t -> dst:t -> unit
+(** Overwrite [dst]'s value with [src]'s. Widths must match. *)
+
+val blit_changed : src:t -> dst:t -> bool
+(** Copy [src] into [dst] and report whether [dst]'s value changed, in
+    a single traversal. Widths must match. *)
+
+val add_into : dst:t -> t -> t -> unit
+val sub_into : dst:t -> t -> t -> unit
+val mul_into : dst:t -> t -> t -> unit
+val logand_into : dst:t -> t -> t -> unit
+val logor_into : dst:t -> t -> t -> unit
+val logxor_into : dst:t -> t -> t -> unit
+val lognot_into : dst:t -> t -> unit
+
+val eq_into : dst:t -> t -> t -> unit
+(** [dst] must be 1 bit wide. *)
+
+val lt_into : dst:t -> t -> t -> unit
+(** [dst] must be 1 bit wide. *)
+
+val select_into : dst:t -> t -> high:int -> low:int -> unit
+(** [dst] must be [high - low + 1] bits wide and must not alias the
+    source. *)
+
+val concat_msb_into : dst:t -> t array -> unit
+(** Parts are given MSB first, as in {!concat_msb}; [dst] must have the
+    summed width and must not alias any part. *)
+
 (** {1 Reduction} *)
 
 val reduce_or : t -> t

@@ -1,249 +1,370 @@
-type node_state = {
-  signal : Signal.t;
-  value : Bits.t ref;
-  (* Registers and synchronous memory reads hold state across cycles. *)
-  mutable state : Bits.t;
-  mutable next_state : Bits.t;
-}
+(* Two engines behind one API.
 
-type t = {
-  circuit : Circuit.t;
-  nodes : node_state array; (* in schedule order *)
-  by_uid : (int, node_state) Hashtbl.t;
-  input_refs : (string * Bits.t ref) list;
-  output_refs : (string * Bits.t ref) list;
-  mem_arrays : (int, Bits.t array) Hashtbl.t;
-  (* Stuck-at overrides (fault injection): uid -> forced value, applied
-     after every combinational evaluation of the node. *)
-  forces : (int, Bits.t) Hashtbl.t;
-  mutable cycles : int;
-}
+   [Naive] is the original tree-walking interpreter: it re-pattern-
+   matches every node on every settle and allocates fresh values for
+   every operation. It is slow but trivially auditable, which makes it
+   the reference the compiled engine (in {!Simcompile}) is held
+   cycle-equivalent to by the differential test suite. *)
 
-let node t s =
-  match Hashtbl.find_opt t.by_uid (Signal.uid s) with
-  | Some ns -> ns
-  | None -> invalid_arg "Cyclesim: signal not part of this circuit"
-
-let value t s = !((node t s).value)
-
-let create circuit =
-  let schedule = Circuit.signals circuit in
-  let by_uid = Hashtbl.create 997 in
-  let nodes =
-    Array.of_list
-      (List.map
-         (fun s ->
-           let init =
-             match Signal.prim s with
-             | Signal.Reg { init; _ } -> init
-             | _ -> Bits.zero (Signal.width s)
-           in
-           let ns =
-             { signal = s; value = ref init; state = init; next_state = init }
-           in
-           Hashtbl.replace by_uid (Signal.uid s) ns;
-           ns)
-         schedule)
-  in
-  let mem_arrays = Hashtbl.create 7 in
-  List.iter
-    (fun m ->
-      Hashtbl.replace mem_arrays (Signal.memory_uid m)
-        (Array.make (Signal.memory_size m) (Bits.zero (Signal.memory_width m))))
-    (Circuit.memories circuit);
-  let input_refs =
-    List.map
-      (fun (n, s) ->
-        let ns = Hashtbl.find by_uid (Signal.uid s) in
-        (n, ns.value))
-      (Circuit.inputs circuit)
-  in
-  let output_refs =
-    List.map (fun (n, _) -> (n, ref (Bits.zero 1))) (Circuit.outputs circuit)
-  in
-  {
-    circuit;
-    nodes;
-    by_uid;
-    input_refs;
-    output_refs;
-    mem_arrays;
-    forces = Hashtbl.create 7;
-    cycles = 0;
+module Naive = struct
+  type node_state = {
+    signal : Signal.t;
+    value : Bits.t ref;
+    (* Registers and synchronous memory reads hold state across cycles. *)
+    mutable state : Bits.t;
+    mutable next_state : Bits.t;
   }
 
-let circuit t = t.circuit
+  type t = {
+    circuit : Circuit.t;
+    nodes : node_state array; (* in schedule order *)
+    by_uid : (int, node_state) Hashtbl.t;
+    input_refs : (string * Bits.t ref) list;
+    output_refs : (string * Bits.t ref) list;
+    mem_arrays : (int, Bits.t array) Hashtbl.t;
+    (* Stuck-at overrides (fault injection): uid -> forced value,
+       applied after every combinational evaluation of the node. *)
+    forces : (int, Bits.t) Hashtbl.t;
+    mutable cycles : int;
+    mutable settles : int;
+    mutable node_evals : int;
+  }
 
-let find_ref kind refs name =
-  match List.assoc_opt name refs with
-  | Some r -> r
-  | None -> invalid_arg (Printf.sprintf "Cyclesim: no %s port named %s" kind name)
+  let node t s =
+    match Hashtbl.find_opt t.by_uid (Signal.uid s) with
+    | Some ns -> ns
+    | None -> invalid_arg "Cyclesim: signal not part of this circuit"
 
-let in_port t name = find_ref "input" t.input_refs name
-let out_port t name = find_ref "output" t.output_refs name
+  let value t s = !((node t s).value)
 
-let mem_array t memory = Hashtbl.find t.mem_arrays (Signal.memory_uid memory)
+  let create circuit =
+    let schedule = Circuit.signals circuit in
+    let by_uid = Hashtbl.create 997 in
+    let nodes =
+      Array.of_list
+        (List.map
+           (fun s ->
+             let init =
+               match Signal.prim s with
+               | Signal.Reg { init; _ } -> init
+               | _ -> Bits.zero (Signal.width s)
+             in
+             let ns =
+               { signal = s; value = ref init; state = init; next_state = init }
+             in
+             Hashtbl.replace by_uid (Signal.uid s) ns;
+             ns)
+           schedule)
+    in
+    let mem_arrays = Hashtbl.create 7 in
+    List.iter
+      (fun m ->
+        Hashtbl.replace mem_arrays (Signal.memory_uid m)
+          (Array.make (Signal.memory_size m)
+             (Bits.zero (Signal.memory_width m))))
+      (Circuit.memories circuit);
+    let input_refs =
+      List.map
+        (fun (n, s) ->
+          let ns = Hashtbl.find by_uid (Signal.uid s) in
+          (n, ns.value))
+        (Circuit.inputs circuit)
+    in
+    let output_refs =
+      List.map
+        (fun (n, s) -> (n, ref (Bits.zero (Signal.width s))))
+        (Circuit.outputs circuit)
+    in
+    {
+      circuit;
+      nodes;
+      by_uid;
+      input_refs;
+      output_refs;
+      mem_arrays;
+      forces = Hashtbl.create 7;
+      cycles = 0;
+      settles = 0;
+      node_evals = 0;
+    }
 
-let eval_node t ns =
-  let v s = value t s in
-  let result =
-    match Signal.prim ns.signal with
-    | Signal.Const b -> b
-    | Signal.Input name ->
-      let b = !(ns.value) in
-      if Bits.width b <> Signal.width ns.signal then
-        invalid_arg
-          (Printf.sprintf "Cyclesim: input %s driven with width %d, expected %d"
-             name (Bits.width b) (Signal.width ns.signal))
-      else b
-    | Signal.Op2 (op, a, b) -> (
-      let a = v a and b = v b in
-      match op with
-      | Signal.Add -> Bits.add a b
-      | Signal.Sub -> Bits.sub a b
-      | Signal.Mul -> Bits.mul a b
-      | Signal.And -> Bits.logand a b
-      | Signal.Or -> Bits.logor a b
-      | Signal.Xor -> Bits.logxor a b
-      | Signal.Eq -> Bits.eq a b
-      | Signal.Lt -> Bits.lt a b)
-    | Signal.Not a -> Bits.lognot (v a)
-    | Signal.Concat parts -> Bits.concat_msb (List.map v parts)
-    | Signal.Select { src; high; low } -> Bits.select (v src) ~high ~low
-    | Signal.Mux { select; cases } ->
-      let n = List.length cases in
-      let idx = min (Bits.to_int_trunc (v select)) (n - 1) in
-      v (List.nth cases idx)
-    | Signal.Reg _ | Signal.Mem_read_sync _ -> ns.state
-    | Signal.Mem_read_async { memory; addr } ->
-      let arr = mem_array t memory in
-      let a = Bits.to_int_trunc (v addr) in
-      if a < Array.length arr then arr.(a) else Bits.zero (Signal.memory_width memory)
-    | Signal.Wire { driver = Some d } -> v d
-    | Signal.Wire { driver = None } -> assert false
-  in
-  ns.value :=
-    (match Hashtbl.find_opt t.forces (Signal.uid ns.signal) with
-    | Some forced -> forced
-    | None -> result)
+  let circuit t = t.circuit
 
-let settle_internal t =
-  Array.iter (fun ns -> eval_node t ns) t.nodes
+  let find_ref kind refs name =
+    match List.assoc_opt name refs with
+    | Some r -> r
+    | None ->
+      invalid_arg (Printf.sprintf "Cyclesim: no %s port named %s" kind name)
 
-let refresh_outputs t =
-  List.iter2
-    (fun (_, s) (_, r) -> r := value t s)
-    (Circuit.outputs t.circuit)
-    t.output_refs
+  let in_port t name = find_ref "input" t.input_refs name
+  let out_port t name = find_ref "output" t.output_refs name
 
-let settle t =
-  settle_internal t;
-  refresh_outputs t
+  let mem_array t memory = Hashtbl.find t.mem_arrays (Signal.memory_uid memory)
 
-let clock_edge t =
-  let v s = value t s in
-  (* Phase 1: sample next state for registers and sync reads using
-     settled pre-edge values (sync reads see pre-edge memory contents:
-     read-first semantics). *)
-  Array.iter
-    (fun ns ->
+  let eval_node t ns =
+    let v s = value t s in
+    let result =
       match Signal.prim ns.signal with
-      | Signal.Reg { d; enable; clear; clear_to; _ } ->
-        let clear_active = match clear with Some c -> Bits.to_bool (v c) | None -> false in
-        let enabled = match enable with Some e -> Bits.to_bool (v e) | None -> true in
-        ns.next_state <-
-          (if clear_active then clear_to
-           else if enabled then v d
-           else ns.state)
-      | Signal.Mem_read_sync { memory; addr; enable } ->
-        let enabled = match enable with Some e -> Bits.to_bool (v e) | None -> true in
-        if enabled then begin
-          let arr = mem_array t memory in
-          let a = Bits.to_int_trunc (v addr) in
+      | Signal.Const b -> b
+      | Signal.Input name ->
+        let b = !(ns.value) in
+        if Bits.width b <> Signal.width ns.signal then
+          invalid_arg
+            (Printf.sprintf
+               "Cyclesim: input %s driven with width %d, expected %d" name
+               (Bits.width b) (Signal.width ns.signal))
+        else b
+      | Signal.Op2 (op, a, b) -> (
+        let a = v a and b = v b in
+        match op with
+        | Signal.Add -> Bits.add a b
+        | Signal.Sub -> Bits.sub a b
+        | Signal.Mul -> Bits.mul a b
+        | Signal.And -> Bits.logand a b
+        | Signal.Or -> Bits.logor a b
+        | Signal.Xor -> Bits.logxor a b
+        | Signal.Eq -> Bits.eq a b
+        | Signal.Lt -> Bits.lt a b)
+      | Signal.Not a -> Bits.lognot (v a)
+      | Signal.Concat parts -> Bits.concat_msb (List.map v parts)
+      | Signal.Select { src; high; low } -> Bits.select (v src) ~high ~low
+      | Signal.Mux { select; cases } ->
+        let idx = Signal.mux_index ~n_cases:(List.length cases) (v select) in
+        v (List.nth cases idx)
+      | Signal.Reg _ | Signal.Mem_read_sync _ -> ns.state
+      | Signal.Mem_read_async { memory; addr } ->
+        let arr = mem_array t memory in
+        let a = Bits.to_int_trunc (v addr) in
+        if a < Array.length arr then arr.(a)
+        else Bits.zero (Signal.memory_width memory)
+      | Signal.Wire { driver = Some d } -> v d
+      | Signal.Wire { driver = None } -> assert false
+    in
+    ns.value :=
+      (match Hashtbl.find_opt t.forces (Signal.uid ns.signal) with
+      | Some forced -> forced
+      | None -> result)
+
+  let settle_internal t =
+    t.settles <- t.settles + 1;
+    t.node_evals <- t.node_evals + Array.length t.nodes;
+    Array.iter (fun ns -> eval_node t ns) t.nodes
+
+  let refresh_outputs t =
+    List.iter2
+      (fun (_, s) (_, r) -> r := value t s)
+      (Circuit.outputs t.circuit)
+      t.output_refs
+
+  let settle t =
+    settle_internal t;
+    refresh_outputs t
+
+  let clock_edge t =
+    let v s = value t s in
+    (* Phase 1: sample next state for registers and sync reads using
+       settled pre-edge values (sync reads see pre-edge memory
+       contents: read-first semantics). *)
+    Array.iter
+      (fun ns ->
+        match Signal.prim ns.signal with
+        | Signal.Reg { d; enable; clear; clear_to; _ } ->
+          let clear_active =
+            match clear with Some c -> Bits.to_bool (v c) | None -> false
+          in
+          let enabled =
+            match enable with Some e -> Bits.to_bool (v e) | None -> true
+          in
           ns.next_state <-
-            (if a < Array.length arr then arr.(a)
-             else Bits.zero (Signal.memory_width memory))
-        end
-        else ns.next_state <- ns.state
-      | _ -> ())
-    t.nodes;
-  (* Phase 2: memory writes. *)
-  List.iter
-    (fun m ->
-      let arr = mem_array t m in
-      List.iter
-        (fun (enable, addr, data) ->
-          if Bits.to_bool (v enable) then begin
+            (if clear_active then clear_to
+             else if enabled then v d
+             else ns.state)
+        | Signal.Mem_read_sync { memory; addr; enable } ->
+          let enabled =
+            match enable with Some e -> Bits.to_bool (v e) | None -> true
+          in
+          if enabled then begin
+            let arr = mem_array t memory in
             let a = Bits.to_int_trunc (v addr) in
-            if a < Array.length arr then arr.(a) <- v data
-          end)
-        (Signal.memory_write_ports m))
-    (Circuit.memories t.circuit);
-  (* Phase 3: commit. *)
-  Array.iter
-    (fun ns ->
-      match Signal.prim ns.signal with
-      | Signal.Reg _ | Signal.Mem_read_sync _ -> ns.state <- ns.next_state
-      | _ -> ())
-    t.nodes
+            ns.next_state <-
+              (if a < Array.length arr then arr.(a)
+               else Bits.zero (Signal.memory_width memory))
+          end
+          else ns.next_state <- ns.state
+        | _ -> ())
+      t.nodes;
+    (* Phase 2: memory writes. *)
+    List.iter
+      (fun m ->
+        let arr = mem_array t m in
+        List.iter
+          (fun (enable, addr, data) ->
+            if Bits.to_bool (v enable) then begin
+              let a = Bits.to_int_trunc (v addr) in
+              if a < Array.length arr then arr.(a) <- v data
+            end)
+          (Signal.memory_write_ports m))
+      (Circuit.memories t.circuit);
+    (* Phase 3: commit. *)
+    Array.iter
+      (fun ns ->
+        match Signal.prim ns.signal with
+        | Signal.Reg _ | Signal.Mem_read_sync _ -> ns.state <- ns.next_state
+        | _ -> ())
+      t.nodes
 
-let cycle t =
-  settle_internal t;
-  refresh_outputs t;
-  clock_edge t;
-  t.cycles <- t.cycles + 1
+  let cycle t =
+    settle_internal t;
+    refresh_outputs t;
+    clock_edge t;
+    t.cycles <- t.cycles + 1
+
+  let force t s b =
+    let ns = node t s in
+    if Bits.width b <> Signal.width ns.signal then
+      invalid_arg
+        (Printf.sprintf "Cyclesim.force: value width %d, signal width %d"
+           (Bits.width b) (Signal.width ns.signal));
+    Hashtbl.replace t.forces (Signal.uid ns.signal) b
+
+  let release t s = Hashtbl.remove t.forces (Signal.uid (node t s).signal)
+  let release_all t = Hashtbl.reset t.forces
+  let forced t s = Hashtbl.find_opt t.forces (Signal.uid (node t s).signal)
+
+  let is_stateful s =
+    match Signal.prim s with
+    | Signal.Reg _ | Signal.Mem_read_sync _ -> true
+    | _ -> false
+
+  let peek_state t s =
+    let ns = node t s in
+    if not (is_stateful ns.signal) then
+      invalid_arg "Cyclesim.peek_state: signal holds no state";
+    ns.state
+
+  let poke_state t s b =
+    let ns = node t s in
+    if not (is_stateful ns.signal) then
+      invalid_arg "Cyclesim.poke_state: signal holds no state";
+    if Bits.width b <> Bits.width ns.state then
+      invalid_arg "Cyclesim.poke_state: width mismatch";
+    ns.state <- b
+
+  let reset t =
+    Hashtbl.reset t.forces;
+    Array.iter
+      (fun ns ->
+        match Signal.prim ns.signal with
+        | Signal.Reg { init; _ } ->
+          ns.state <- init;
+          ns.next_state <- init
+        | Signal.Mem_read_sync { memory; _ } ->
+          let z = Bits.zero (Signal.memory_width memory) in
+          ns.state <- z;
+          ns.next_state <- z
+        | _ -> ())
+      t.nodes;
+    Hashtbl.iter
+      (fun _ arr ->
+        Array.fill arr 0 (Array.length arr) (Bits.zero (Bits.width arr.(0))))
+      t.mem_arrays;
+    t.cycles <- 0;
+    settle t
+
+  let cycle_count t = t.cycles
+  let peek t s = value t s
+  let memory_contents t m = mem_array t m
+end
+
+type engine = Reference | Compiled
+type t = Naive of Naive.t | Comp of Simcompile.t
+type activity = { settles : int; node_evals : int; total_nodes : int }
+
+let create ?(engine = Compiled) circuit =
+  match engine with
+  | Reference -> Naive (Naive.create circuit)
+  | Compiled -> Comp (Simcompile.compile circuit)
+
+let engine = function Naive _ -> Reference | Comp _ -> Compiled
+
+let circuit = function
+  | Naive n -> Naive.circuit n
+  | Comp c -> Simcompile.circuit c
+
+let in_port t name =
+  match t with
+  | Naive n -> Naive.in_port n name
+  | Comp c -> Simcompile.in_port c name
+
+let out_port t name =
+  match t with
+  | Naive n -> Naive.out_port n name
+  | Comp c -> Simcompile.out_port c name
+
+let drive t name b =
+  let r = in_port t name in
+  let w = Signal.width (Circuit.find_input (circuit t) name) in
+  if Bits.width b <> w then
+    invalid_arg
+      (Printf.sprintf "Cyclesim.drive: port %s expects width %d, got %d" name w
+         (Bits.width b));
+  r := b
+
+let cycle = function Naive n -> Naive.cycle n | Comp c -> Simcompile.cycle c
+let settle = function Naive n -> Naive.settle n | Comp c -> Simcompile.settle c
+let reset = function Naive n -> Naive.reset n | Comp c -> Simcompile.reset c
 
 let force t s b =
-  let ns = node t s in
-  if Bits.width b <> Signal.width ns.signal then
-    invalid_arg
-      (Printf.sprintf "Cyclesim.force: value width %d, signal width %d"
-         (Bits.width b) (Signal.width ns.signal));
-  Hashtbl.replace t.forces (Signal.uid ns.signal) b
+  match t with
+  | Naive n -> Naive.force n s b
+  | Comp c -> Simcompile.force c s b
 
-let release t s = Hashtbl.remove t.forces (Signal.uid (node t s).signal)
-let release_all t = Hashtbl.reset t.forces
-let forced t s = Hashtbl.find_opt t.forces (Signal.uid (node t s).signal)
+let release t s =
+  match t with
+  | Naive n -> Naive.release n s
+  | Comp c -> Simcompile.release c s
 
-let is_stateful s =
-  match Signal.prim s with
-  | Signal.Reg _ | Signal.Mem_read_sync _ -> true
-  | _ -> false
+let release_all = function
+  | Naive n -> Naive.release_all n
+  | Comp c -> Simcompile.release_all c
+
+let forced t s =
+  match t with
+  | Naive n -> Naive.forced n s
+  | Comp c -> Simcompile.forced c s
 
 let peek_state t s =
-  let ns = node t s in
-  if not (is_stateful ns.signal) then
-    invalid_arg "Cyclesim.peek_state: signal holds no state";
-  ns.state
+  match t with
+  | Naive n -> Naive.peek_state n s
+  | Comp c -> Simcompile.peek_state c s
 
 let poke_state t s b =
-  let ns = node t s in
-  if not (is_stateful ns.signal) then
-    invalid_arg "Cyclesim.poke_state: signal holds no state";
-  if Bits.width b <> Bits.width ns.state then
-    invalid_arg "Cyclesim.poke_state: width mismatch";
-  ns.state <- b
+  match t with
+  | Naive n -> Naive.poke_state n s b
+  | Comp c -> Simcompile.poke_state c s b
 
-let reset t =
-  Hashtbl.reset t.forces;
-  Array.iter
-    (fun ns ->
-      match Signal.prim ns.signal with
-      | Signal.Reg { init; _ } ->
-        ns.state <- init;
-        ns.next_state <- init
-      | Signal.Mem_read_sync { memory; _ } ->
-        let z = Bits.zero (Signal.memory_width memory) in
-        ns.state <- z;
-        ns.next_state <- z
-      | _ -> ())
-    t.nodes;
-  Hashtbl.iter
-    (fun _ arr -> Array.fill arr 0 (Array.length arr) (Bits.zero (Bits.width arr.(0))))
-    t.mem_arrays;
-  t.cycles <- 0;
-  settle t
+let cycle_count = function
+  | Naive n -> Naive.cycle_count n
+  | Comp c -> Simcompile.cycle_count c
 
-let cycle_count t = t.cycles
-let peek t s = value t s
-let memory_contents t m = mem_array t m
+let peek t s =
+  match t with Naive n -> Naive.peek n s | Comp c -> Simcompile.peek c s
+
+let memory_contents t m =
+  match t with
+  | Naive n -> Naive.memory_contents n m
+  | Comp c -> Simcompile.memory_contents c m
+
+let activity = function
+  | Naive n ->
+    {
+      settles = n.Naive.settles;
+      node_evals = n.Naive.node_evals;
+      total_nodes = Array.length n.Naive.nodes;
+    }
+  | Comp c ->
+    {
+      settles = Simcompile.settles c;
+      node_evals = Simcompile.node_evals c;
+      total_nodes = Simcompile.total_nodes c;
+    }

@@ -4,22 +4,45 @@
     register/memory state and the input port values, then performs the
     clock edge (register updates, memory writes, synchronous reads).
 
-    Usage per cycle: write input refs, call {!cycle}, read output refs.
-    Output refs hold the settled pre-edge values — what a register
-    downstream would capture at that edge. *)
+    Usage per cycle: write input refs (or {!drive}), call {!cycle},
+    read output refs. Output refs hold the settled pre-edge values —
+    what a register downstream would capture at that edge.
+
+    Two engines implement these semantics. [Compiled] (the default) is
+    {!Simcompile}: a one-time compile pass producing specialized
+    per-node closures with activity-based skipping; steady-state cycles
+    allocate near zero. [Reference] is the original tree-walking
+    interpreter, kept as the trusted baseline the compiled engine is
+    differentially tested against. Both are observationally identical
+    through this API. *)
 
 type t
 
-val create : Circuit.t -> t
+type engine =
+  | Reference  (** naive interpreter — slow, auditable baseline *)
+  | Compiled  (** compiled levelized engine with activity skipping *)
+
+val create : ?engine:engine -> Circuit.t -> t
+(** Defaults to [Compiled]. *)
+
+val engine : t -> engine
 
 val circuit : t -> Circuit.t
 
 val in_port : t -> string -> Bits.t ref
 (** Mutable input port value. Raises if the name is unknown. Widths are
-    checked when the cycle runs. *)
+    checked when the cycle runs; prefer {!drive} to catch a wrong-width
+    value at the call site that wrote it. *)
+
+val drive : t -> string -> Bits.t -> unit
+(** [drive t name value] sets the input port, validating the width
+    immediately — raises [Invalid_argument] naming the port if [value]
+    is not the port's declared width, instead of failing later inside
+    the next settle. *)
 
 val out_port : t -> string -> Bits.t ref
-(** Settled output value as of the last {!cycle}. *)
+(** Settled output value as of the last {!cycle}. Initialized to zeros
+    at the port's declared width before the first settle. *)
 
 val cycle : t -> unit
 (** Settle combinational logic, record outputs, then apply the clock
@@ -67,4 +90,20 @@ val peek : t -> Signal.t -> Bits.t
     and waveform dumps). Raises if the signal is not in the circuit. *)
 
 val memory_contents : t -> Signal.memory -> Bits.t array
-(** Live view of a memory's backing store. *)
+(** Live view of a memory's backing store. Elements may be replaced
+    (fault injection does); the compiled engine conservatively assumes
+    the caller will and re-reads affected nodes at the next settle. *)
+
+(** {1 Activity instrumentation} *)
+
+type activity = {
+  settles : int;  (** settle passes run so far *)
+  node_evals : int;  (** node evaluations actually performed *)
+  total_nodes : int;  (** nodes in the schedule *)
+}
+
+val activity : t -> activity
+(** Monotonic counters. On the compiled engine, [node_evals] grows only
+    for nodes whose sources changed — the skipping tests and benches
+    assert on its deltas. On the reference engine every settle
+    evaluates every node. *)

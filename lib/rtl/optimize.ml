@@ -129,8 +129,7 @@ and opt_mux ctx sel cases =
   let cases = List.map (opt ctx) cases in
   match const_of sel with
   | Some v ->
-    let n = List.length cases in
-    let idx = min (Bits.to_int_trunc v) (n - 1) in
+    let idx = mux_index ~n_cases:(List.length cases) v in
     List.nth cases idx
   | None -> (
     match cases with

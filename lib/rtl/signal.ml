@@ -134,6 +134,15 @@ let mux2 cond t f =
   if cond.width <> 1 then invalid_arg "Signal.mux2: condition must be 1 bit";
   mux cond [ f; t ]
 
+(* The single source of truth for mux out-of-range semantics: clamp to
+   the last case. Every consumer (both simulation engines, the constant
+   folder) must go through this helper; the HDL back-ends encode the
+   same rule structurally by making the last case the unconditional
+   default arm of the emitted selector. *)
+let mux_index ~n_cases select_value =
+  let idx = Bits.to_int_trunc select_value in
+  if idx >= n_cases then n_cases - 1 else idx
+
 let rec reduce_or t =
   if t.width = 1 then t
   else

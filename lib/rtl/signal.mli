@@ -92,6 +92,13 @@ val mux : t -> t list -> t
 val mux2 : t -> t -> t -> t
 (** [mux2 cond t f] is [t] when [cond] is 1. [cond] must be 1 bit. *)
 
+val mux_index : n_cases:int -> Bits.t -> int
+(** The case index a mux with [n_cases] cases selects for a given
+    select value: out-of-range selects clamp to the last case. The
+    single source of truth for this rule, shared by the simulators and
+    the constant folder; the HDL back-ends match it by emitting the
+    last case as the unconditional default arm. *)
+
 val reduce_or : t -> t
 val reduce_and : t -> t
 

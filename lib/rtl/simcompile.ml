@@ -1,0 +1,501 @@
+(* Compiled, levelized simulation engine.
+
+   A one-time compile pass walks the scheduled netlist once and turns
+   it into flat parallel arrays indexed by schedule position: the
+   published value of every node lives in [bufs], and every node gets a
+   specialized closure in [evals] whose operand buffers were resolved
+   at compile time — the hot loop never touches a Hashtbl, an assoc
+   list or a pattern match. Closures compute into a private destination
+   buffer (using the [Bits.*_into] in-place variants) and then
+   "publish": compare against the node's current buffer, blit only on
+   change, and mark combinational fan-out dirty. Because the schedule
+   is topologically sorted, fan-out indices are always greater than the
+   producer's, so one ascending sweep over the dirty flags settles the
+   whole netlist; the sweep stops early once no dirty node remains.
+
+   Activity-based skipping falls out of the dirty flags: a cone whose
+   register/memory/input sources did not change since the last settle
+   is never marked and never re-evaluated. Dirtiness sources are:
+   - inputs whose driven value differs from the published one,
+   - registers and sync reads whose committed state changed at the edge,
+   - memory writes (mark the memory's async readers),
+   - [force]/[release]/[poke_state], and [memory_contents] (the caller
+     may mutate the array, so its async readers are conservatively
+     marked),
+   - [reset] (everything).
+
+   Internal buffers are mutated in place and never handed out: [peek],
+   [peek_state] and output-ref refreshes return copies. Memory elements
+   stay immutable values — a write replaces the element with a copy of
+   the data buffer — so the arrays exposed by [memory_contents] behave
+   exactly like the reference engine's. *)
+
+type input = { in_name : string; in_index : int; in_ref : Bits.t ref }
+
+type t = {
+  circuit : Circuit.t;
+  signals : Signal.t array; (* in schedule order *)
+  bufs : Bits.t array; (* published value per node, mutated in place *)
+  evals : (unit -> unit) array;
+  fanout : int array array; (* combinational dependents; always later *)
+  dirty : bool array;
+  mutable ndirty : int;
+  forces : Bits.t option array;
+  state : Bits.t option array; (* Reg / Mem_read_sync only *)
+  next_state : Bits.t option array;
+  index_of_uid : (int, int) Hashtbl.t;
+  mem_arrays : (int, Bits.t array) Hashtbl.t;
+  mem_readers : (int, int array) Hashtbl.t; (* async reader node indices *)
+  inputs : input array;
+  output_refs : (string * int * Bits.t ref) list;
+  (* Edge closures are built after the record exists (they capture it
+     for [mark]), hence mutable and assigned in place — never replace
+     the record itself: evaluation closures alias it. *)
+  mutable edge1 : (unit -> unit) array; (* sample next state (pre-edge) *)
+  mutable writes : (unit -> unit) array; (* memory write ports *)
+  mutable commits : (unit -> unit) array; (* commit, marks changed nodes *)
+  mutable cycles : int;
+  mutable settles : int;
+  mutable node_evals : int;
+}
+
+let mark t j =
+  if not t.dirty.(j) then begin
+    t.dirty.(j) <- true;
+    t.ndirty <- t.ndirty + 1
+  end
+
+(* Publish [v] as node [i]'s settled value: blit-on-change and mark the
+   combinational fan-out. [v] must have the node's width. *)
+let publish t i v =
+  if Bits.blit_changed ~src:v ~dst:t.bufs.(i) then begin
+    let fo = t.fanout.(i) in
+    for k = 0 to Array.length fo - 1 do
+      mark t fo.(k)
+    done
+  end
+
+(* What can change a node's settled value within one settle — the edge
+   relation the dirty flags propagate along. State-presenting nodes
+   have no combinational inputs; async reads depend only on the
+   address (array contents change at clock edges, handled separately). *)
+let comb_deps s =
+  match Signal.prim s with
+  | Signal.Reg _ | Signal.Mem_read_sync _ -> []
+  | Signal.Mem_read_async { addr; _ } -> [ addr ]
+  | _ -> Signal.deps s
+
+let compile circuit =
+  let signals = Array.of_list (Circuit.signals circuit) in
+  let n = Array.length signals in
+  let index_of_uid = Hashtbl.create (max 17 (2 * n)) in
+  Array.iteri (fun i s -> Hashtbl.replace index_of_uid (Signal.uid s) i) signals;
+  let bufs =
+    Array.map
+      (fun s ->
+        match Signal.prim s with
+        | Signal.Const b -> Bits.copy b
+        | Signal.Reg { init; _ } -> Bits.copy init
+        | _ -> Bits.zero (Signal.width s))
+      signals
+  in
+  let fan = Array.make n [] in
+  Array.iteri
+    (fun i s ->
+      List.iter
+        (fun d ->
+          let j = Hashtbl.find index_of_uid (Signal.uid d) in
+          fan.(j) <- i :: fan.(j))
+        (comb_deps s))
+    signals;
+  let fanout = Array.map (fun l -> Array.of_list (List.rev l)) fan in
+  let state = Array.make n None in
+  let next_state = Array.make n None in
+  Array.iteri
+    (fun i s ->
+      match Signal.prim s with
+      | Signal.Reg { init; _ } ->
+        state.(i) <- Some (Bits.copy init);
+        next_state.(i) <- Some (Bits.copy init)
+      | Signal.Mem_read_sync { memory; _ } ->
+        let w = Signal.memory_width memory in
+        state.(i) <- Some (Bits.zero w);
+        next_state.(i) <- Some (Bits.zero w)
+      | _ -> ())
+    signals;
+  let mem_arrays = Hashtbl.create 7 in
+  List.iter
+    (fun m ->
+      Hashtbl.replace mem_arrays (Signal.memory_uid m)
+        (Array.make (Signal.memory_size m) (Bits.zero (Signal.memory_width m))))
+    (Circuit.memories circuit);
+  let mem_readers = Hashtbl.create 7 in
+  Array.iteri
+    (fun i s ->
+      match Signal.prim s with
+      | Signal.Mem_read_async { memory; _ } ->
+        let u = Signal.memory_uid memory in
+        let cur =
+          match Hashtbl.find_opt mem_readers u with Some l -> l | None -> []
+        in
+        Hashtbl.replace mem_readers u (i :: cur)
+      | _ -> ())
+    signals;
+  let mem_readers =
+    let h = Hashtbl.create 7 in
+    Hashtbl.iter (fun u l -> Hashtbl.replace h u (Array.of_list l)) mem_readers;
+    h
+  in
+  let inputs =
+    Array.of_list
+      (List.map
+         (fun (name, s) ->
+           {
+             in_name = name;
+             in_index = Hashtbl.find index_of_uid (Signal.uid s);
+             in_ref = ref (Bits.zero (Signal.width s));
+           })
+         (Circuit.inputs circuit))
+  in
+  let output_refs =
+    List.map
+      (fun (name, s) ->
+        ( name,
+          Hashtbl.find index_of_uid (Signal.uid s),
+          ref (Bits.zero (Signal.width s)) ))
+      (Circuit.outputs circuit)
+  in
+  let t =
+    {
+      circuit;
+      signals;
+      bufs;
+      evals = Array.make n (fun () -> ());
+      fanout;
+      dirty = Array.make n true;
+      ndirty = n;
+      forces = Array.make n None;
+      state;
+      next_state;
+      index_of_uid;
+      mem_arrays;
+      mem_readers;
+      inputs;
+      output_refs;
+      edge1 = [||];
+      writes = [||];
+      commits = [||];
+      cycles = 0;
+      settles = 0;
+      node_evals = 0;
+    }
+  in
+  let buf_of s = bufs.(Hashtbl.find index_of_uid (Signal.uid s)) in
+  (* Evaluation closures: operands resolved to buffers once, here. *)
+  Array.iteri
+    (fun i s ->
+      let eval =
+        match Signal.prim s with
+        | Signal.Const _ ->
+          (* The buffer already holds the constant and never changes. *)
+          fun () -> ()
+        | Signal.Input name ->
+          let inp =
+            Array.to_list inputs |> List.find (fun x -> x.in_name = name)
+          in
+          let r = inp.in_ref in
+          fun () -> publish t i !r
+        | Signal.Op2 (op, a, b) ->
+          let a = buf_of a and b = buf_of b in
+          let dst = Bits.zero (Signal.width s) in
+          let compute =
+            match op with
+            | Signal.Add -> fun () -> Bits.add_into ~dst a b
+            | Signal.Sub -> fun () -> Bits.sub_into ~dst a b
+            | Signal.Mul -> fun () -> Bits.mul_into ~dst a b
+            | Signal.And -> fun () -> Bits.logand_into ~dst a b
+            | Signal.Or -> fun () -> Bits.logor_into ~dst a b
+            | Signal.Xor -> fun () -> Bits.logxor_into ~dst a b
+            | Signal.Eq -> fun () -> Bits.eq_into ~dst a b
+            | Signal.Lt -> fun () -> Bits.lt_into ~dst a b
+          in
+          fun () ->
+            compute ();
+            publish t i dst
+        | Signal.Not a ->
+          let a = buf_of a in
+          let dst = Bits.zero (Signal.width s) in
+          fun () ->
+            Bits.lognot_into ~dst a;
+            publish t i dst
+        | Signal.Concat parts ->
+          let parts = Array.of_list (List.map buf_of parts) in
+          let dst = Bits.zero (Signal.width s) in
+          fun () ->
+            Bits.concat_msb_into ~dst parts;
+            publish t i dst
+        | Signal.Select { src; high; low } ->
+          let src = buf_of src in
+          let dst = Bits.zero (Signal.width s) in
+          fun () ->
+            Bits.select_into ~dst src ~high ~low;
+            publish t i dst
+        | Signal.Mux { select; cases } ->
+          let sel = buf_of select in
+          let cases = Array.of_list (List.map buf_of cases) in
+          let n_cases = Array.length cases in
+          fun () -> publish t i cases.(Signal.mux_index ~n_cases sel)
+        | Signal.Reg _ | Signal.Mem_read_sync _ ->
+          let st = Option.get state.(i) in
+          fun () -> publish t i st
+        | Signal.Mem_read_async { memory; addr } ->
+          let arr = Hashtbl.find mem_arrays (Signal.memory_uid memory) in
+          let addr = buf_of addr in
+          let z = Bits.zero (Signal.memory_width memory) in
+          fun () ->
+            let a = Bits.to_int_trunc addr in
+            publish t i (if a < Array.length arr then arr.(a) else z)
+        | Signal.Wire { driver = Some d } ->
+          let d = buf_of d in
+          fun () -> publish t i d
+        | Signal.Wire { driver = None } -> fun () -> assert false
+      in
+      t.evals.(i) <- eval)
+    signals;
+  (* Clock-edge closures. Phase 1 samples next state from settled
+     pre-edge buffers (sync reads see pre-edge memory contents:
+     read-first); phase 2 applies memory writes; phase 3 commits and
+     marks nodes whose presented state actually changed. *)
+  let edge1 = ref [] in
+  let commits = ref [] in
+  Array.iteri
+    (fun i s ->
+      match Signal.prim s with
+      | Signal.Reg { d; enable; clear; clear_to; _ } ->
+        let st = Option.get state.(i) and nx = Option.get next_state.(i) in
+        let d = buf_of d in
+        let enable = Option.map buf_of enable in
+        let clear = Option.map buf_of clear in
+        let sample () =
+          let clear_active =
+            match clear with Some c -> Bits.to_bool c | None -> false
+          in
+          let enabled =
+            match enable with Some e -> Bits.to_bool e | None -> true
+          in
+          if clear_active then Bits.blit ~src:clear_to ~dst:nx
+          else if enabled then Bits.blit ~src:d ~dst:nx
+          else Bits.blit ~src:st ~dst:nx
+        in
+        let commit () = if Bits.blit_changed ~src:nx ~dst:st then mark t i in
+        edge1 := sample :: !edge1;
+        commits := commit :: !commits
+      | Signal.Mem_read_sync { memory; addr; enable } ->
+        let st = Option.get state.(i) and nx = Option.get next_state.(i) in
+        let arr = Hashtbl.find mem_arrays (Signal.memory_uid memory) in
+        let addr = buf_of addr in
+        let enable = Option.map buf_of enable in
+        let z = Bits.zero (Signal.memory_width memory) in
+        let sample () =
+          let enabled =
+            match enable with Some e -> Bits.to_bool e | None -> true
+          in
+          if enabled then begin
+            let a = Bits.to_int_trunc addr in
+            Bits.blit ~src:(if a < Array.length arr then arr.(a) else z) ~dst:nx
+          end
+          else Bits.blit ~src:st ~dst:nx
+        in
+        let commit () = if Bits.blit_changed ~src:nx ~dst:st then mark t i in
+        edge1 := sample :: !edge1;
+        commits := commit :: !commits
+      | _ -> ())
+    signals;
+  let writes = ref [] in
+  List.iter
+    (fun m ->
+      let arr = Hashtbl.find mem_arrays (Signal.memory_uid m) in
+      let readers =
+        match Hashtbl.find_opt mem_readers (Signal.memory_uid m) with
+        | Some a -> a
+        | None -> [||]
+      in
+      List.iter
+        (fun (enable, addr, data) ->
+          let enable = buf_of enable
+          and addr = buf_of addr
+          and data = buf_of data in
+          let write () =
+            if Bits.to_bool enable then begin
+              let a = Bits.to_int_trunc addr in
+              if a < Array.length arr && not (Bits.equal arr.(a) data) then begin
+                arr.(a) <- Bits.copy data;
+                Array.iter (fun j -> mark t j) readers
+              end
+            end
+          in
+          writes := write :: !writes)
+        (Signal.memory_write_ports m))
+    (Circuit.memories circuit);
+  t.edge1 <- Array.of_list (List.rev !edge1);
+  t.writes <- Array.of_list (List.rev !writes);
+  t.commits <- Array.of_list (List.rev !commits);
+  t
+
+let circuit t = t.circuit
+
+let index t s =
+  match Hashtbl.find_opt t.index_of_uid (Signal.uid s) with
+  | Some i -> i
+  | None -> invalid_arg "Cyclesim: signal not part of this circuit"
+
+let in_port t name =
+  let rec go k =
+    if k >= Array.length t.inputs then
+      invalid_arg (Printf.sprintf "Cyclesim: no input port named %s" name)
+    else if String.equal t.inputs.(k).in_name name then t.inputs.(k).in_ref
+    else go (k + 1)
+  in
+  go 0
+
+let out_port t name =
+  let rec go = function
+    | [] -> invalid_arg (Printf.sprintf "Cyclesim: no output port named %s" name)
+    | (n, _, r) :: rest -> if String.equal n name then r else go rest
+  in
+  go t.output_refs
+
+let settle_comb t =
+  t.settles <- t.settles + 1;
+  for k = 0 to Array.length t.inputs - 1 do
+    let { in_name; in_index; in_ref } = t.inputs.(k) in
+    let b = !in_ref in
+    let w = Signal.width t.signals.(in_index) in
+    if Bits.width b <> w then
+      invalid_arg
+        (Printf.sprintf "Cyclesim: input %s driven with width %d, expected %d"
+           in_name (Bits.width b) w);
+    if not (Bits.equal b t.bufs.(in_index)) then mark t in_index
+  done;
+  let n = Array.length t.evals in
+  let i = ref 0 in
+  while t.ndirty > 0 && !i < n do
+    let j = !i in
+    if t.dirty.(j) then begin
+      t.dirty.(j) <- false;
+      t.ndirty <- t.ndirty - 1;
+      t.node_evals <- t.node_evals + 1;
+      match t.forces.(j) with
+      | Some f -> publish t j f
+      | None -> t.evals.(j) ()
+    end;
+    incr i
+  done
+
+let refresh_outputs t =
+  List.iter
+    (fun (_, i, r) ->
+      if not (Bits.equal !r t.bufs.(i)) then r := Bits.copy t.bufs.(i))
+    t.output_refs
+
+let settle t =
+  settle_comb t;
+  refresh_outputs t
+
+let clock_edge t =
+  for k = 0 to Array.length t.edge1 - 1 do
+    t.edge1.(k) ()
+  done;
+  for k = 0 to Array.length t.writes - 1 do
+    t.writes.(k) ()
+  done;
+  for k = 0 to Array.length t.commits - 1 do
+    t.commits.(k) ()
+  done
+
+let cycle t =
+  settle t;
+  clock_edge t;
+  t.cycles <- t.cycles + 1
+
+let force t s b =
+  let i = index t s in
+  let w = Signal.width t.signals.(i) in
+  if Bits.width b <> w then
+    invalid_arg
+      (Printf.sprintf "Cyclesim.force: value width %d, signal width %d"
+         (Bits.width b) w);
+  t.forces.(i) <- Some (Bits.copy b);
+  mark t i
+
+let release t s =
+  let i = index t s in
+  if t.forces.(i) <> None then begin
+    t.forces.(i) <- None;
+    mark t i
+  end
+
+let release_all t =
+  for i = 0 to Array.length t.forces - 1 do
+    if t.forces.(i) <> None then begin
+      t.forces.(i) <- None;
+      mark t i
+    end
+  done
+
+let forced t s = t.forces.(index t s)
+
+let peek t s = Bits.copy t.bufs.(index t s)
+
+let peek_state t s =
+  match t.state.(index t s) with
+  | Some st -> Bits.copy st
+  | None -> invalid_arg "Cyclesim.peek_state: signal holds no state"
+
+let poke_state t s b =
+  let i = index t s in
+  match t.state.(i) with
+  | None -> invalid_arg "Cyclesim.poke_state: signal holds no state"
+  | Some st ->
+    if Bits.width b <> Bits.width st then
+      invalid_arg "Cyclesim.poke_state: width mismatch";
+    Bits.blit ~src:b ~dst:st;
+    mark t i
+
+let memory_contents t m =
+  let arr = Hashtbl.find t.mem_arrays (Signal.memory_uid m) in
+  (* The caller may mutate the array (fault injection does), so its
+     async readers can no longer be assumed clean. *)
+  (match Hashtbl.find_opt t.mem_readers (Signal.memory_uid m) with
+  | Some readers -> Array.iter (fun j -> mark t j) readers
+  | None -> ());
+  arr
+
+let reset t =
+  Array.fill t.forces 0 (Array.length t.forces) None;
+  Array.iteri
+    (fun i s ->
+      match Signal.prim s with
+      | Signal.Reg { init; _ } ->
+        Bits.blit ~src:init ~dst:(Option.get t.state.(i));
+        Bits.blit ~src:init ~dst:(Option.get t.next_state.(i))
+      | Signal.Mem_read_sync _ ->
+        let st = Option.get t.state.(i) and nx = Option.get t.next_state.(i) in
+        let z = Bits.zero (Bits.width st) in
+        Bits.blit ~src:z ~dst:st;
+        Bits.blit ~src:z ~dst:nx
+      | _ -> ())
+    t.signals;
+  Hashtbl.iter
+    (fun _ arr ->
+      Array.fill arr 0 (Array.length arr) (Bits.zero (Bits.width arr.(0))))
+    t.mem_arrays;
+  Array.fill t.dirty 0 (Array.length t.dirty) true;
+  t.ndirty <- Array.length t.dirty;
+  t.cycles <- 0;
+  settle t
+
+let cycle_count t = t.cycles
+let settles t = t.settles
+let node_evals t = t.node_evals
+let total_nodes t = Array.length t.signals

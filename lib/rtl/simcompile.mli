@@ -1,0 +1,51 @@
+(** Compiled, levelized simulation engine behind {!Cyclesim}.
+
+    [compile] runs a one-time pass over the scheduled netlist and
+    produces specialized per-node closures with operands resolved to
+    direct buffers, plus per-node dirty flags for activity-based
+    skipping: combinational cones whose register/memory/input sources
+    did not change since the last settle are not re-evaluated.
+
+    This module is the engine only; use {!Cyclesim} (the stable public
+    API) unless you need engine internals such as the activity
+    counters. Semantics — evaluation order, clock-edge phases,
+    read-first memories, force/peek/poke behaviour, error messages —
+    match the reference interpreter exactly; the differential test
+    suite holds the two engines cycle-equivalent. *)
+
+type t
+
+val compile : Circuit.t -> t
+val circuit : t -> Circuit.t
+
+val in_port : t -> string -> Bits.t ref
+val out_port : t -> string -> Bits.t ref
+
+val settle : t -> unit
+val cycle : t -> unit
+val reset : t -> unit
+val cycle_count : t -> int
+
+val force : t -> Signal.t -> Bits.t -> unit
+val release : t -> Signal.t -> unit
+val release_all : t -> unit
+val forced : t -> Signal.t -> Bits.t option
+
+val peek : t -> Signal.t -> Bits.t
+val peek_state : t -> Signal.t -> Bits.t
+val poke_state : t -> Signal.t -> Bits.t -> unit
+val memory_contents : t -> Signal.memory -> Bits.t array
+
+(** {1 Activity counters}
+
+    Monotonic instrumentation for tests and benchmarks. *)
+
+val settles : t -> int
+(** Number of settle passes run so far. *)
+
+val node_evals : t -> int
+(** Number of node evaluations actually performed (skipped nodes are
+    not counted) — the skipping tests assert on deltas of this. *)
+
+val total_nodes : t -> int
+(** Number of nodes in the compiled schedule. *)

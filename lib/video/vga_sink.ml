@@ -18,7 +18,7 @@ let create ?(valid_port = "out_valid") ?(data_port = "out_data")
 let drive t =
   if t.ready_port <> "" then begin
     let ready = t.tick mod t.ready_every = 0 in
-    Cyclesim.in_port t.sim t.ready_port := Bits.of_bool ready
+    Cyclesim.drive t.sim t.ready_port (Bits.of_bool ready)
   end;
   t.tick <- t.tick + 1
 

@@ -24,10 +24,10 @@ let create ?(valid_port = "px_valid") ?(data_port = "px_data")
 
 let drive t =
   match t.remaining with
-  | [] -> Cyclesim.in_port t.sim t.valid_port := Bits.zero 1
+  | [] -> Cyclesim.drive t.sim t.valid_port (Bits.zero 1)
   | px :: _ ->
-    Cyclesim.in_port t.sim t.valid_port := Bits.one 1;
-    Cyclesim.in_port t.sim t.data_port := Bits.of_int ~width:t.depth px
+    Cyclesim.drive t.sim t.valid_port (Bits.one 1);
+    Cyclesim.drive t.sim t.data_port (Bits.of_int ~width:t.depth px)
 
 let observe t =
   match t.remaining with

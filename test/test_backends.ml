@@ -153,6 +153,41 @@ let test_vhdl_no_undeclared () =
         (List.mem u !declared))
     (List.sort_uniq String.compare !used)
 
+(* Out-of-range mux select semantics must agree everywhere: both
+   simulation engines clamp to the last case (via Signal.mux_index, the
+   single shared helper), and both HDL back-ends encode the same rule
+   structurally — every case but the last is guarded by a select
+   comparison, and the last is the unconditional default arm. *)
+let test_mux_default_arm_consistency () =
+  let check msg b = Alcotest.(check bool) msg true b in
+  let sel = input "sel" 2 in
+  let cases = [ of_int ~width:8 11; of_int ~width:8 22; of_int ~width:8 33 ] in
+  let c = Circuit.create_exn ~name:"muxclamp" [ ("y", mux sel cases) ] in
+  List.iter
+    (fun engine ->
+      let sim = Cyclesim.create ~engine c in
+      Cyclesim.drive sim "sel" (Bits.of_int ~width:2 3);
+      Cyclesim.cycle sim;
+      Alcotest.(check int) "sim clamps out-of-range select to last case" 33
+        (Bits.to_int !(Cyclesim.out_port sim "y")))
+    [ Cyclesim.Reference; Cyclesim.Compiled ];
+  Alcotest.(check int) "mux_index clamps" 2
+    (Signal.mux_index ~n_cases:3 (Bits.of_int ~width:2 3));
+  (* Constant folding goes through the same helper. *)
+  let folded =
+    Optimize.signal (mux (of_int ~width:2 3) cases)
+  in
+  Alcotest.(check (option int)) "const fold clamps" (Some 33)
+    (Option.map Bits.to_int (const_value folded));
+  let vhdl = Vhdl.to_string c in
+  check "vhdl guards case 0" (contains "= 0 else" vhdl);
+  check "vhdl guards case 1" (contains "= 1 else" vhdl);
+  check "vhdl default arm is unguarded" (not (contains "= 2 else" vhdl));
+  let verilog = Verilog.to_string c in
+  check "verilog guards case 0" (contains "== 0 ?" verilog);
+  check "verilog guards case 1" (contains "== 1 ?" verilog);
+  check "verilog default arm is unguarded" (not (contains "== 2 ?" verilog))
+
 let () =
   Alcotest.run "backends"
     [
@@ -167,5 +202,7 @@ let () =
           Alcotest.test_case "comb-only has no clock" `Quick test_comb_only_no_clock;
           Alcotest.test_case "netlist stats" `Quick test_netlist_stats;
           Alcotest.test_case "dot export" `Quick test_dot_export;
+          Alcotest.test_case "mux default-arm consistency" `Quick
+            test_mux_default_arm_consistency;
         ] );
     ]

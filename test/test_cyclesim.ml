@@ -243,6 +243,83 @@ let test_input_width_check () =
     (Invalid_argument "Cyclesim: input a driven with width 4, expected 8")
     (fun () -> Cyclesim.cycle sim)
 
+let test_out_port_initial_width () =
+  (* Regression: output refs used to be initialized as [Bits.zero 1]
+     regardless of the port's declared width, so [out_port] before the
+     first settle returned a wrong-width value. *)
+  List.iter
+    (fun engine ->
+      let a = input "a" 12 in
+      let c = Circuit.create_exn ~name:"w" [ ("y", a +: a) ] in
+      let sim = Cyclesim.create ~engine c in
+      let v = !(Cyclesim.out_port sim "y") in
+      check_int "initial out_port width" 12 (Bits.width v);
+      Alcotest.(check bool) "initial out_port zeros" true
+        (Bits.equal v (Bits.zero 12)))
+    [ Cyclesim.Reference; Cyclesim.Compiled ]
+
+let test_drive_width_check () =
+  let a = input "a" 8 in
+  let c = Circuit.create_exn ~name:"d" [ ("y", ~:a) ] in
+  let sim = Cyclesim.create c in
+  Alcotest.check_raises "wrong width rejected at the call site"
+    (Invalid_argument "Cyclesim.drive: port a expects width 8, got 4")
+    (fun () -> Cyclesim.drive sim "a" (Bits.zero 4));
+  Alcotest.check_raises "unknown port"
+    (Invalid_argument "Cyclesim: no input port named ghost") (fun () ->
+      Cyclesim.drive sim "ghost" (Bits.zero 1));
+  Cyclesim.drive sim "a" (Bits.of_int ~width:8 0xF0);
+  Cyclesim.cycle sim;
+  check_int "driven value simulates" 0x0F (out_int sim "y")
+
+let test_activity_skipping () =
+  let counter =
+    reg_fb ~width:8 ~clear:(input "clr" 1) ~enable:(input "en" 1) (fun q ->
+        q +: one 8)
+  in
+  let c = Circuit.create_exn ~name:"skip" [ ("q", counter) ] in
+  let sim = Cyclesim.create ~engine:Cyclesim.Compiled c in
+  set sim "clr" ~width:1 0;
+  set sim "en" ~width:1 1;
+  for _ = 1 to 4 do
+    Cyclesim.cycle sim
+  done;
+  set sim "en" ~width:1 0;
+  (* One cycle to absorb the enable change; after that neither inputs
+     nor state change, so no combinational cone has a dirty source. *)
+  Cyclesim.cycle sim;
+  let before = (Cyclesim.activity sim).Cyclesim.node_evals in
+  for _ = 1 to 10 do
+    Cyclesim.cycle sim
+  done;
+  let act = Cyclesim.activity sim in
+  check_int "stable cycles evaluate no nodes" 0 (act.Cyclesim.node_evals - before);
+  Cyclesim.settle sim;
+  check_int "state preserved across skipped cycles" 4 (out_int sim "q");
+  set sim "en" ~width:1 1;
+  Cyclesim.cycle sim;
+  Cyclesim.settle sim;
+  check_int "wakes up on input change" 5 (out_int sim "q")
+
+let test_force_fans_out_compiled () =
+  let a = input "a" 8 in
+  let mid = (a +: one 8) -- "mid" in
+  let c = Circuit.create_exn ~name:"force" [ ("y", mid +: one 8) ] in
+  let sim = Cyclesim.create ~engine:Cyclesim.Compiled c in
+  set sim "a" ~width:8 10;
+  Cyclesim.cycle sim;
+  check_int "unforced" 12 (out_int sim "y");
+  Cyclesim.cycle sim;
+  (* The forced node's fan-out must be marked dirty even though no
+     input changed. *)
+  Cyclesim.force sim mid (Bits.of_int ~width:8 100);
+  Cyclesim.settle sim;
+  check_int "forced value observed" 100 (Bits.to_int (Cyclesim.peek sim mid));
+  check_int "force fans out" 101 (out_int sim "y");
+  Cyclesim.release sim mid;
+  Cyclesim.settle sim;
+  check_int "release recomputes" 12 (out_int sim "y")
+
 let () =
   Alcotest.run "cyclesim"
     [
@@ -260,5 +337,11 @@ let () =
           Alcotest.test_case "vcd structure" `Quick test_vcd_structure;
           Alcotest.test_case "port errors" `Quick test_circuit_port_errors;
           Alcotest.test_case "input width check" `Quick test_input_width_check;
+          Alcotest.test_case "out_port initial width" `Quick
+            test_out_port_initial_width;
+          Alcotest.test_case "drive width check" `Quick test_drive_width_check;
+          Alcotest.test_case "activity skipping" `Quick test_activity_skipping;
+          Alcotest.test_case "force fans out (compiled)" `Quick
+            test_force_fans_out_compiled;
         ] );
     ]

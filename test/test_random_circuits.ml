@@ -155,6 +155,125 @@ let test_emitters_on_random_circuits () =
       Alcotest.failf "seed %d: bad Verilog module structure" seed
   done
 
+(* --- Differential testing: reference vs compiled engine ----------------- *)
+
+(* Step the naive reference interpreter and the compiled levelized
+   engine through the same circuit in lock-step on identical stimulus,
+   asserting identical outputs and register/sync-read state every
+   cycle, and identical peeks of every signal at intervals. *)
+let lockstep ?(full_peek_every = 16) ~what ~cycles ~drive circuit =
+  let ref_sim = Cyclesim.create ~engine:Cyclesim.Reference circuit in
+  let cmp_sim = Cyclesim.create ~engine:Cyclesim.Compiled circuit in
+  let regs =
+    List.filter
+      (fun s ->
+        match prim s with Reg _ | Mem_read_sync _ -> true | _ -> false)
+      (Circuit.signals circuit)
+  in
+  let all_signals = Circuit.signals circuit in
+  for cycle = 1 to cycles do
+    drive ref_sim cmp_sim cycle;
+    Cyclesim.cycle ref_sim;
+    Cyclesim.cycle cmp_sim;
+    List.iter
+      (fun (name, _) ->
+        let a = !(Cyclesim.out_port ref_sim name)
+        and b = !(Cyclesim.out_port cmp_sim name) in
+        if not (Bits.equal a b) then
+          Alcotest.failf "%s cycle %d: output %s diverges (%s vs %s)" what
+            cycle name (Bits.to_string a) (Bits.to_string b))
+      (Circuit.outputs circuit);
+    List.iter
+      (fun r ->
+        let a = Cyclesim.peek_state ref_sim r
+        and b = Cyclesim.peek_state cmp_sim r in
+        if not (Bits.equal a b) then
+          Alcotest.failf "%s cycle %d: state of %a diverges (%s vs %s)" what
+            cycle Signal.pp r (Bits.to_string a) (Bits.to_string b))
+      regs;
+    if cycle mod full_peek_every = 0 then
+      List.iter
+        (fun s ->
+          let a = Cyclesim.peek ref_sim s and b = Cyclesim.peek cmp_sim s in
+          if not (Bits.equal a b) then
+            Alcotest.failf "%s cycle %d: peek of %a diverges (%s vs %s)" what
+              cycle Signal.pp s (Bits.to_string a) (Bits.to_string b))
+        all_signals
+  done
+
+let random_driver ~inputs ~seed circuit =
+  let rng = Random.State.make [| (seed * 7919) + 13 |] in
+  fun ref_sim cmp_sim _cycle ->
+    List.iter
+      (fun (name, w) ->
+        let v = Bits.of_int ~width:w (Random.State.int rng (1 lsl min w 20)) in
+        if List.mem_assoc name (Circuit.inputs circuit) then begin
+          Cyclesim.drive ref_sim name v;
+          Cyclesim.drive cmp_sim name v
+        end)
+      inputs
+
+let test_differential_random_circuits () =
+  for seed = 161 to 200 do
+    let circuit, inputs = build_random_circuit ~seed in
+    lockstep
+      ~what:(Printf.sprintf "seed %d" seed)
+      ~cycles:250
+      ~drive:(random_driver ~inputs ~seed circuit)
+      circuit
+  done
+
+(* The three paper designs, driven with pseudorandom handshake traffic
+   for thousands of cycles each — exercises FIFOs, SRAM substrates,
+   sync and async memories, and the blur line buffers on both engines. *)
+let test_differential_paper_designs () =
+  let designs =
+    [
+      ( "saa2vga 1 (fifo)",
+        Hwpat_core.Saa2vga.build ~substrate:Hwpat_core.Saa2vga.Fifo
+          ~style:Hwpat_core.Saa2vga.Pattern () );
+      ( "saa2vga 2 (sram)",
+        Hwpat_core.Saa2vga.build ~substrate:Hwpat_core.Saa2vga.Sram
+          ~style:Hwpat_core.Saa2vga.Pattern () );
+      ( "blur",
+        Hwpat_core.Blur_system.build ~image_width:8 ~max_rows:8
+          ~style:Hwpat_core.Blur_system.Pattern () );
+    ]
+  in
+  List.iteri
+    (fun i (what, circuit) ->
+      let inputs =
+        List.map (fun (n, s) -> (n, width s)) (Circuit.inputs circuit)
+      in
+      lockstep ~what ~cycles:3000
+        ~drive:(random_driver ~inputs ~seed:(1000 + i) circuit)
+        circuit)
+    designs
+
+(* Fault campaigns must classify identically on both engines: same
+   outcome for every injected fault, same baseline length. *)
+let test_differential_faultsim () =
+  let build () =
+    Hwpat_core.Saa2vga.build ~substrate:Hwpat_core.Saa2vga.Sram
+      ~style:Hwpat_core.Saa2vga.Pattern ()
+  in
+  let run engine =
+    Hwpat_core.Faultsim.run_campaign ~engine ~seed:11 ~faults:12 ~frame_width:6
+      ~frame_height:6 ~build ~design:"saa2vga_sram_pattern" ()
+  in
+  let a = run Cyclesim.Reference and b = run Cyclesim.Compiled in
+  Alcotest.(check int)
+    "baseline cycles agree" a.Hwpat_core.Faultsim.baseline_cycles
+    b.Hwpat_core.Faultsim.baseline_cycles;
+  let outcomes s =
+    List.map
+      (fun r ->
+        Hwpat_core.Faultsim.outcome_name r.Hwpat_core.Faultsim.outcome)
+      s.Hwpat_core.Faultsim.results
+  in
+  Alcotest.(check (list string)) "classifications agree" (outcomes a)
+    (outcomes b)
+
 (* Idempotence: optimising twice equals optimising once (sizes). *)
 let test_optimize_idempotent () =
   for seed = 131 to 160 do
@@ -181,5 +300,14 @@ let () =
           Alcotest.test_case "emitters survive anything" `Quick
             test_emitters_on_random_circuits;
           Alcotest.test_case "optimize idempotent" `Quick test_optimize_idempotent;
+        ] );
+      ( "differential",
+        [
+          Alcotest.test_case "random circuits: reference = compiled" `Quick
+            test_differential_random_circuits;
+          Alcotest.test_case "paper designs: reference = compiled" `Quick
+            test_differential_paper_designs;
+          Alcotest.test_case "faultsim classifications agree" `Quick
+            test_differential_faultsim;
         ] );
     ]
