@@ -496,6 +496,129 @@ let sim_throughput ?(smoke = false) () =
   Printf.printf "\n  wrote %s\n" path
 
 (* ---------------------------------------------------------------- *)
+(* §parscaling: domain-sharded campaigns and sweeps, jobs vs          *)
+(* throughput, with a bit-identical-to-serial check on every run.     *)
+(* ---------------------------------------------------------------- *)
+
+type par_bench = {
+  pb_workload : string;
+  pb_jobs : int;
+  pb_seconds : float;
+  pb_identical : bool; (* output bytes equal to the jobs:1 run *)
+}
+
+let parscaling ?(smoke = false) ?(max_jobs = 4) () =
+  banner
+    (Printf.sprintf
+       "§parscaling — sharded campaigns and sweeps (recommended domains: %d)%s"
+       (Domain.recommended_domain_count ())
+       (if smoke then " (smoke)" else ""));
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let v = f () in
+    (v, max 1e-9 (Unix.gettimeofday () -. t0))
+  in
+  let jobs_list =
+    List.sort_uniq compare
+      (1 :: List.filter (fun j -> j <= max_jobs) [ 2; 4 ]
+      @ [ Hwpat_core.Parallel.clamp_jobs max_jobs ])
+  in
+  let faults = if smoke then 6 else 16 in
+  let fw = if smoke then 6 else 8 in
+  let campaign jobs =
+    Faultsim.run_campaign ~jobs ~seed:7 ~faults ~frame_width:fw
+      ~frame_height:fw
+      ~build:(Faultsim.find_design "saa2vga_sram_pattern")
+      ~design:"saa2vga_sram_pattern" ()
+  in
+  let sweep_points =
+    if smoke then
+      [
+        { Characterize.container = "queue"; target = "fifo"; elem_width = 8;
+          depth = 64; wait_states = 0 };
+        { Characterize.container = "queue"; target = "sram"; elem_width = 8;
+          depth = 64; wait_states = 1 };
+        { Characterize.container = "stack"; target = "bram"; elem_width = 8;
+          depth = 64; wait_states = 0 };
+        { Characterize.container = "vector"; target = "bram"; elem_width = 8;
+          depth = 64; wait_states = 0 };
+      ]
+    else Characterize.default_points
+  in
+  let sweep jobs =
+    Hwpat_synthesis.Design_space.to_json
+      (Characterize.sweep ~jobs ~points:sweep_points ())
+  in
+  let workloads =
+    [
+      ("faultsim campaign", fun jobs -> Faultsim.summary_to_json (campaign jobs));
+      ("characterisation sweep", sweep);
+    ]
+  in
+  let entries =
+    List.concat_map
+      (fun (name, run) ->
+        let serial = ref None in
+        List.map
+          (fun jobs ->
+            let out, seconds = time (fun () -> run jobs) in
+            let identical =
+              match !serial with
+              | None ->
+                serial := Some out;
+                true
+              | Some s -> String.equal s out
+            in
+            { pb_workload = name; pb_jobs = jobs; pb_seconds = seconds;
+              pb_identical = identical })
+          jobs_list)
+      workloads
+  in
+  let seconds_at workload jobs =
+    (List.find (fun e -> e.pb_workload = workload && e.pb_jobs = jobs) entries)
+      .pb_seconds
+  in
+  List.iter
+    (fun e ->
+      Printf.printf "  %-24s jobs:%d  %7.3f s  speedup %.2fx  %s\n"
+        e.pb_workload e.pb_jobs e.pb_seconds
+        (seconds_at e.pb_workload 1 /. e.pb_seconds)
+        (if e.pb_identical then "bit-identical to serial"
+         else "OUTPUT DIVERGED");
+      if not e.pb_identical then begin
+        Printf.eprintf
+          "parscaling: %s at jobs:%d is not bit-identical to the serial run\n"
+          e.pb_workload e.pb_jobs;
+        exit 1
+      end)
+    entries;
+  let json =
+    let buf = Buffer.create 1024 in
+    let emit fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+    emit "{\n  \"bench\": \"parscaling\",\n  \"smoke\": %b,\n" smoke;
+    emit "  \"recommended_domains\": %d,\n"
+      (Domain.recommended_domain_count ());
+    emit "  \"entries\": [\n";
+    List.iteri
+      (fun i e ->
+        emit
+          "    {\"workload\": %S, \"jobs\": %d, \"seconds\": %.6f, \
+           \"speedup_vs_jobs1\": %.2f, \"identical_to_serial\": %b}%s\n"
+          e.pb_workload e.pb_jobs e.pb_seconds
+          (seconds_at e.pb_workload 1 /. e.pb_seconds)
+          e.pb_identical
+          (if i = List.length entries - 1 then "" else ","))
+      entries;
+    emit "  ]\n}\n";
+    Buffer.contents buf
+  in
+  let path = "BENCH_par.json" in
+  let oc = open_out path in
+  output_string oc json;
+  close_out oc;
+  Printf.printf "\n  wrote %s\n" path
+
+(* ---------------------------------------------------------------- *)
 (* Bechamel wall-clock benches: one per table.                        *)
 (* ---------------------------------------------------------------- *)
 
@@ -558,15 +681,25 @@ let bechamel_section () =
 
 (* CLI: `bench/main.exe` regenerates everything; `--section NAME`
    (repeatable) runs a subset; `--smoke` shrinks the workloads so CI
-   can exercise the harness in seconds. *)
+   can exercise the harness in seconds; `--jobs N` caps the domain
+   counts §parscaling sweeps over. *)
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let smoke = List.mem "--smoke" args in
+  let max_jobs = ref 4 in
   let rec chosen = function
     | "--section" :: name :: rest -> name :: chosen rest
     | "--smoke" :: rest -> chosen rest
+    | "--jobs" :: n :: rest ->
+      (match int_of_string_opt n with
+      | Some j -> max_jobs := j
+      | None ->
+        Printf.eprintf "--jobs expects an integer, got %s\n" n;
+        exit 2);
+      chosen rest
     | arg :: _ ->
-      Printf.eprintf "unknown argument %s (try --smoke, --section NAME)\n" arg;
+      Printf.eprintf
+        "unknown argument %s (try --smoke, --section NAME, --jobs N)\n" arg;
       exit 2
     | [] -> []
   in
@@ -584,6 +717,7 @@ let () =
       ("width", ablation_width);
       ("faultcoverage", faultcoverage);
       ("simthroughput", fun () -> sim_throughput ~smoke ());
+      ("parscaling", fun () -> parscaling ~smoke ~max_jobs:!max_jobs ());
       ("bechamel", bechamel_section);
     ]
   in

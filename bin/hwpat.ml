@@ -298,10 +298,29 @@ let report_cmd =
     (Cmd.info "report" ~doc:"Resource comparison (Table 3)")
     Term.(const report $ frame_size)
 
+(* --- jobs flag shared by sweep/faultsim ---------------------------------- *)
+
+(* Default: one domain per recommended core, clamped; explicit values
+   are clamped into [1, Parallel.max_jobs] rather than rejected. *)
+let jobs_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Shard the work across $(docv) domains (default: the \
+           recommended domain count for this machine).")
+
+let resolve_jobs = function
+  | Some j -> Hwpat_core.Parallel.clamp_jobs j
+  | None -> Hwpat_core.Parallel.default_jobs ()
+
 (* --- sweep --------------------------------------------------------------- *)
 
-let sweep max_brams max_cycles =
-  let candidates = Hwpat_core.Characterize.sweep () in
+let sweep max_brams max_cycles jobs =
+  let candidates =
+    Hwpat_core.Characterize.sweep ~jobs:(resolve_jobs jobs) ()
+  in
   print_endline (Hwpat_synthesis.Design_space.to_table candidates);
   let constraints =
     {
@@ -325,11 +344,11 @@ let sweep_cmd =
   in
   Cmd.v
     (Cmd.info "sweep" ~doc:"Characterise the container design space")
-    Term.(const sweep $ max_brams $ max_cycles)
+    Term.(const sweep $ max_brams $ max_cycles $ jobs_arg)
 
 (* --- faultsim -------------------------------------------------------------- *)
 
-let faultsim design seed faults frame_size overhead =
+let faultsim design seed faults frame_size overhead jobs =
   if faults < 0 then begin
     prerr_endline "hwpat: --faults must be non-negative";
     exit 2
@@ -340,8 +359,8 @@ let faultsim design seed faults frame_size overhead =
   end;
   let build = Hwpat_core.Faultsim.find_design design in
   let summary =
-    Hwpat_core.Faultsim.run_campaign ~seed ~faults ~frame_width:frame_size
-      ~frame_height:frame_size ~build ~design ()
+    Hwpat_core.Faultsim.run_campaign ~jobs:(resolve_jobs jobs) ~seed ~faults
+      ~frame_width:frame_size ~frame_height:frame_size ~build ~design ()
   in
   print_string (Hwpat_core.Faultsim.render summary);
   if overhead then begin
@@ -382,7 +401,9 @@ let faultsim_cmd =
        ~doc:
          "Run a seeded fault-injection campaign with runtime monitors \
           attached; exits non-zero if any fault goes silent")
-    Term.(const faultsim $ design $ seed $ faults $ frame_size $ overhead)
+    Term.(
+      const faultsim $ design $ seed $ faults $ frame_size $ overhead
+      $ jobs_arg)
 
 (* --- tables --------------------------------------------------------------- *)
 

@@ -133,7 +133,13 @@ let harness point =
     ]
 
 (* Run a put/get ping-pong workload and report (cycles per access,
-   power monitor). *)
+   power monitor, whether an ack guard tripped).
+
+   Each handshake is bounded by a 200-cycle guard. A tripped guard
+   means the container never acknowledged — the point deadlocks under
+   this workload — so the measurement is aborted and reported as timed
+   out rather than folded into a bogus cycles-per-access figure (the
+   old behaviour silently ranked such points in the design space). *)
 let measure sim =
   let set name v = Cyclesim.in_port sim name := Bits.of_int ~width:1 v in
   let setd v w = Cyclesim.in_port sim "put_data" := Bits.of_int ~width:w v in
@@ -155,39 +161,46 @@ let measure sim =
   set "put_req" 0;
   setd 0 width;
   step ();
+  let timed_out = ref false in
+  let await_ack name =
+    let guard = ref 0 in
+    step ();
+    while (not (out name)) && !guard < 200 do
+      step ();
+      incr guard
+    done;
+    if not (out name) then timed_out := true
+  in
   let accesses = 32 in
-  for i = 1 to accesses do
-    set_opt "addr" (i land 15);
-    set_opt "key" (i land 15);
-    set "put_req" 1;
-    setd (i land 255) width;
-    let guard = ref 0 in
-    step ();
-    while (not (out "put_ack")) && !guard < 200 do
-      step ();
-      incr guard
-    done;
-    set "put_req" 0;
-    step ();
-    set "get_req" 1;
-    let guard = ref 0 in
-    step ();
-    while (not (out "get_ack")) && !guard < 200 do
-      step ();
-      incr guard
-    done;
-    set "get_req" 0;
-    step ()
-  done;
-  let per_access = float_of_int !cycles /. float_of_int (2 * accesses) in
-  (per_access, monitor)
+  (try
+     for i = 1 to accesses do
+       set_opt "addr" (i land 15);
+       set_opt "key" (i land 15);
+       set "put_req" 1;
+       setd (i land 255) width;
+       await_ack "put_ack";
+       if !timed_out then raise Exit;
+       set "put_req" 0;
+       step ();
+       set "get_req" 1;
+       await_ack "get_ack";
+       if !timed_out then raise Exit;
+       set "get_req" 0;
+       step ()
+     done
+   with Exit -> ());
+  let per_access =
+    if !timed_out then infinity
+    else float_of_int !cycles /. float_of_int (2 * accesses)
+  in
+  (per_access, monitor, !timed_out)
 
 let characterize point =
   let circuit = harness point in
   let resources = Techmap.estimate circuit in
   let timing = Timing.analyze circuit in
   let sim = Cyclesim.create circuit in
-  let access_cycles, monitor = measure sim in
+  let access_cycles, monitor, timed_out = measure sim in
   let power = Power.estimate ~clock_mhz:timing.Timing.fmax_mhz monitor in
   {
     Design_space.label =
@@ -204,17 +217,36 @@ let characterize point =
     brams = resources.Techmap.brams;
     access_cycles;
     fmax_mhz = timing.Timing.fmax_mhz;
-    power_mw = power.Power.total_mw;
+    power_mw = (if timed_out then infinity else power.Power.total_mw);
+    measured = not timed_out;
   }
 
-let sweep ?(points = default_points) () = List.map characterize points
+(* Each sweep point is an independent build+simulate job; shard them
+   across domains. Every shard elaborates its own circuit and
+   simulator, and results are merged in point order, so the candidate
+   list is identical whatever [jobs] is. *)
+let sweep ?jobs ?(points = default_points) () =
+  Parallel.map ?jobs characterize points
 
 let region_report ~constraints candidates =
+  let unmeasurable = Design_space.unmeasurable candidates in
   let feasible = Design_space.feasible constraints candidates in
   let region = Design_space.region_of_interest constraints candidates in
-  String.concat "\n"
-    [
-      Printf.sprintf "%d candidates, %d feasible, %d on the Pareto front:"
-        (List.length candidates) (List.length feasible) (List.length region);
-      Design_space.to_table region;
-    ]
+  let header =
+    Printf.sprintf "%d candidates, %d feasible, %d on the Pareto front:"
+      (List.length candidates) (List.length feasible) (List.length region)
+  in
+  let unmeasured_note =
+    match unmeasurable with
+    | [] -> []
+    | u ->
+      [
+        Printf.sprintf
+          "%d point(s) unmeasurable (ack guard tripped), excluded from \
+           ranking: %s"
+          (List.length u)
+          (String.concat ", "
+             (List.map (fun c -> c.Design_space.label) u));
+      ]
+  in
+  String.concat "\n" ((header :: unmeasured_note) @ [ Design_space.to_table region ])

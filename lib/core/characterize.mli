@@ -20,14 +20,29 @@ val default_points : point list
 (** Queues and stacks over each legal target, widths 8 and 16, depths
     64 and 512, SRAM at 0–2 wait states. *)
 
+val measure : Hwpat_rtl.Cyclesim.t -> float * Hwpat_synthesis.Power.monitor * bool
+(** Drive the put/get ping-pong workload against a measurement harness
+    simulator: (cycles per access, power monitor, timed out). Each
+    handshake is bounded by a 200-cycle ack guard; when one trips the
+    workload is aborted, cycles-per-access is [infinity] and the third
+    component is [true] — the point must be reported as unmeasurable,
+    never ranked. *)
+
 val characterize : point -> Hwpat_synthesis.Design_space.candidate
 (** Builds the container, synthesises a measurement harness, runs a
-    put/get workload and fills in every candidate field. *)
+    put/get workload and fills in every candidate field. A point whose
+    measurement times out comes back with [measured = false]. *)
 
-val sweep : ?points:point list -> unit -> Hwpat_synthesis.Design_space.candidate list
+val sweep :
+  ?jobs:int -> ?points:point list -> unit ->
+  Hwpat_synthesis.Design_space.candidate list
+(** Characterise every point, sharded one point per job across [jobs]
+    domains (default [Parallel.default_jobs ()]). Results are merged
+    in point order: the candidate list is identical for any [jobs]. *)
 
 val region_report :
   constraints:Hwpat_synthesis.Design_space.constraints ->
   Hwpat_synthesis.Design_space.candidate list ->
   string
-(** Feasible + Pareto table rendering. *)
+(** Feasible + Pareto table rendering; unmeasurable points are listed
+    and excluded from the ranking. *)

@@ -14,6 +14,7 @@ let outcome_name = function
 
 type result = {
   event : Fault.event;
+  description : string;
   outcome : outcome;
   first_violation : Monitor.violation option;
   err_flag : bool;
@@ -76,8 +77,8 @@ let run_once ?engine ?(events = []) ~budget ~frame circuit =
 
 (* --- Campaigns ----------------------------------------------------------- *)
 
-let classify ~reference ~expected (collected, cycles, monitor, _, err_flag) event
-    =
+let classify ~reference ~expected (collected, cycles, monitor, _, err_flag)
+    ~description event =
   let completed = List.length collected = expected in
   let detected = (not (Monitor.ok monitor)) || err_flag in
   let outcome =
@@ -87,6 +88,7 @@ let classify ~reference ~expected (collected, cycles, monitor, _, err_flag) even
   in
   {
     event;
+    description;
     outcome;
     first_violation = Monitor.first_violation monitor;
     err_flag;
@@ -94,7 +96,17 @@ let classify ~reference ~expected (collected, cycles, monitor, _, err_flag) even
     cycles;
   }
 
-let run_campaign ?engine ?(seed = 1) ?(faults = 20) ?(frame_width = 8)
+(* The campaign is trivially parallel: every fault runs in its own
+   fresh simulation against the shared (immutable) reference pixels.
+   Each shard elaborates its *own* circuit — mutable signal graphs are
+   never shared between domains — and regenerates the seeded campaign
+   against it to obtain a structurally identical fault aimed at its
+   own signals (registers and memories are picked by schedule
+   position, which is identical across rebuilds; uids are not output-
+   visible). Reported events and descriptions come from the master
+   circuit's campaign, and [Parallel.run] merges shard results in
+   fault order, so the summary is bit-identical for any [jobs]. *)
+let run_campaign ?engine ?jobs ?(seed = 1) ?(faults = 20) ?(frame_width = 8)
     ?(frame_height = 8) ~build ~design () =
   let frame = Pattern.gradient ~width:frame_width ~height:frame_height ~depth:8 in
   let expected = Frame.pixels frame in
@@ -115,15 +127,25 @@ let run_campaign ?engine ?(seed = 1) ?(faults = 20) ?(frame_width = 8)
   | None -> ());
   let budget = (4 * baseline_cycles) + 64 in
   let events =
-    Fault.random_campaign ~seed ~n:faults ~max_cycle:baseline_cycles circuit
+    Array.of_list
+      (Fault.random_campaign ~seed ~n:faults ~max_cycle:baseline_cycles circuit)
+  in
+  let descriptions =
+    Array.map (Fault.describe_event_in circuit) events
+  in
+  let run_shard k =
+    let shard_circuit = build () in
+    let shard_events =
+      Fault.random_campaign ~seed ~n:faults ~max_cycle:baseline_cycles
+        shard_circuit
+    in
+    let event = List.nth shard_events k in
+    classify ~reference ~expected
+      (run_once ?engine ~events:[ event ] ~budget ~frame shard_circuit)
+      ~description:descriptions.(k) events.(k)
   in
   let results =
-    List.map
-      (fun event ->
-        classify ~reference ~expected
-          (run_once ?engine ~events:[ event ] ~budget ~frame circuit)
-          event)
-      events
+    Array.to_list (Parallel.run ?jobs (Array.length events) run_shard)
   in
   { design; seed; monitors; baseline_cycles; results }
 
@@ -172,14 +194,44 @@ let render summary =
     (100.0 *. coverage summary);
   List.iter
     (fun r ->
-      emit "  %-8s %-44s %s\n" (outcome_name r.outcome)
-        (Fault.describe_event r.event)
+      emit "  %-8s %-44s %s\n" (outcome_name r.outcome) r.description
         (match r.first_violation with
         | Some v -> Format.asprintf "[%a]" Monitor.pp_violation v
         | None when r.err_flag -> "[err output high]"
         | None when not r.completed -> "[hung]"
         | None -> ""))
     summary.results;
+  Buffer.contents buf
+
+(* Machine-readable summary. Only structurally stable data is emitted
+   (descriptions label unnamed signals positionally, never by uid), so
+   two campaigns with the same parameters — serial or sharded, in the
+   same process or not — render to identical bytes. *)
+let summary_to_json summary =
+  let buf = Buffer.create 1024 in
+  let emit fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  emit "{\n  \"design\": %S,\n  \"seed\": %d,\n  \"monitors\": %d,\n"
+    summary.design summary.seed summary.monitors;
+  emit "  \"baseline_cycles\": %d,\n" summary.baseline_cycles;
+  emit "  \"faults\": %d,\n  \"detected\": %d,\n  \"masked\": %d,\n"
+    (List.length summary.results)
+    (count summary Detected) (count summary Masked);
+  emit "  \"silent\": %d,\n  \"coverage\": %.4f,\n" (count summary Silent)
+    (coverage summary);
+  emit "  \"results\": [\n";
+  List.iteri
+    (fun i r ->
+      emit
+        "    {\"fault\": %S, \"outcome\": %S, \"violation\": %s, \
+         \"err_flag\": %b, \"completed\": %b, \"cycles\": %d}%s\n"
+        r.description (outcome_name r.outcome)
+        (match r.first_violation with
+        | Some v -> Printf.sprintf "%S" (Format.asprintf "%a" Monitor.pp_violation v)
+        | None -> "null")
+        r.err_flag r.completed r.cycles
+        (if i = List.length summary.results - 1 then "" else ","))
+    summary.results;
+  emit "  ]\n}\n";
   Buffer.contents buf
 
 (* FF/LUT/fmax cost of the generated protection hardware, through the

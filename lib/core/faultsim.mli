@@ -20,6 +20,10 @@ val outcome_name : outcome -> string
 
 type result = {
   event : Fault.event;
+  description : string;
+      (** uid-independent rendering of [event] against the campaign's
+          master circuit ({!Fault.describe_event_in}): stable across
+          reruns, processes and job counts *)
   outcome : outcome;
   first_violation : Monitor.violation option;
   err_flag : bool;  (** the design's [err] output, if it has one *)
@@ -54,6 +58,7 @@ val run_once :
 
 val run_campaign :
   ?engine:Cyclesim.engine ->
+  ?jobs:int ->
   ?seed:int ->
   ?faults:int ->
   ?frame_width:int ->
@@ -64,9 +69,13 @@ val run_campaign :
   summary
 (** Defaults: [seed = 1], [faults = 20], 8x8 frame. Deterministic in
     [seed] (and independent of [engine] — the differential suite holds
-    the classifications identical across engines). Raises
-    [Invalid_argument] if the design fails or trips a monitor
-    fault-free. *)
+    the classifications identical across engines). The campaign is
+    sharded one fault per job across [jobs] domains (default
+    [Parallel.default_jobs ()]); every shard elaborates a fresh
+    circuit and simulator, and results merge in fault order, so the
+    summary — {!render} and {!summary_to_json} included — is
+    bit-identical for any [jobs]. Raises [Invalid_argument] if the
+    design fails or trips a monitor fault-free. *)
 
 val designs : (string * (unit -> Circuit.t)) list
 (** Named builds for the CLI and benchmark harness: the Table 3
@@ -77,6 +86,10 @@ val design_names : string list
 val find_design : string -> unit -> Circuit.t
 
 val render : summary -> string
+
+val summary_to_json : summary -> string
+(** Machine-readable summary; byte-stable across reruns and job counts
+    (the parallel determinism tests compare these bytes). *)
 
 val protection_overhead :
   ?board:Hwpat_synthesis.Board.t -> unit ->

@@ -1,0 +1,60 @@
+(* Domain-parallel execution of independent shards (OCaml 5 stdlib
+   only: [Domain] + [Atomic]).
+
+   The model is deliberately minimal: [run n f] evaluates [f 0 .. f
+   (n-1)], each exactly once, on a fixed pool of worker domains that
+   claim shard indices from one atomic counter (work stealing without
+   queues — claiming is a single [fetch_and_add]).  Results land in a
+   pre-sized array slot per shard, so the merged output is in
+   submission order and bit-identical to the serial run regardless of
+   how shards interleave across domains.  The shard closures must be
+   domain-safe: they may share immutable inputs but must not write
+   shared mutable state (every campaign/sweep shard in this repository
+   builds its own fresh circuit and simulator).
+
+   Exceptions do not race either: each shard records its own failure
+   and after all domains join the exception of the *lowest-numbered*
+   failed shard is re-raised, so error reporting is as deterministic as
+   the results. *)
+
+let max_jobs = 64
+
+let clamp_jobs j = if j < 1 then 1 else if j > max_jobs then max_jobs else j
+
+let default_jobs () = clamp_jobs (Domain.recommended_domain_count ())
+
+let run ?jobs n f =
+  if n < 0 then invalid_arg "Parallel.run: negative shard count";
+  let jobs =
+    match jobs with Some j -> clamp_jobs j | None -> default_jobs ()
+  in
+  let jobs = min jobs n in
+  if jobs <= 1 then Array.init n f
+  else begin
+    let results = Array.make n None in
+    let failures = Array.make n None in
+    let next = Atomic.make 0 in
+    let worker () =
+      let running = ref true in
+      while !running do
+        let i = Atomic.fetch_and_add next 1 in
+        if i >= n then running := false
+        else
+          match f i with
+          | v -> results.(i) <- Some v
+          | exception e -> failures.(i) <- Some e
+      done
+    in
+    (* jobs - 1 helper domains; the calling domain works too. *)
+    let helpers = List.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    List.iter Domain.join helpers;
+    Array.iter (function Some e -> raise e | None -> ()) failures;
+    Array.map
+      (function Some v -> v | None -> assert false (* every shard ran *))
+      results
+  end
+
+let map ?jobs f xs =
+  let input = Array.of_list xs in
+  Array.to_list (run ?jobs (Array.length input) (fun i -> f input.(i)))

@@ -1,0 +1,34 @@
+(** Domain-parallel execution of independent shards.
+
+    A fixed pool of worker domains claims shard indices from one
+    [Atomic] counter; each shard's result is written to its own slot,
+    so the merged output is in submission order — bit-identical to the
+    serial run whatever the interleaving.  Shard closures must be
+    domain-safe: share immutable inputs freely, build any mutable
+    state (circuits, simulators) fresh inside the shard.  Circuit
+    elaboration itself is domain-safe because {!Hwpat_rtl.Signal} uids
+    come from an atomic counter.
+
+    This is the execution layer behind [Faultsim.run_campaign ?jobs],
+    [Characterize.sweep ?jobs] and the sharded differential test
+    suite. *)
+
+val max_jobs : int
+(** Upper clamp on the pool size (64). *)
+
+val clamp_jobs : int -> int
+(** Clamp a requested job count into [\[1, max_jobs\]]. *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()], clamped. *)
+
+val run : ?jobs:int -> int -> (int -> 'a) -> 'a array
+(** [run ?jobs n f] is [[| f 0; ...; f (n-1) |]], evaluated across at
+    most [jobs] domains (default {!default_jobs}; [jobs <= 1] runs
+    serially in the calling domain with no domains spawned).  Each
+    shard is evaluated exactly once.  If any shards raise, all shards
+    still run and then the exception of the lowest-numbered failed
+    shard is re-raised in the calling domain. *)
+
+val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** List map over {!run}; order preserved. *)

@@ -24,6 +24,38 @@ let describe = function
 
 let describe_event e = Printf.sprintf "@%d %s" e.at (describe e.fault)
 
+(* Uid-independent description: uids are minted from a process-global
+   counter, so the [uid%d] fallback above differs between two builds of
+   the same design (and between serial and sharded campaigns, which
+   elaborate one fresh circuit per shard). Within one circuit the
+   schedule position of a register is structural — identical across
+   rebuilds — so unnamed signals are labelled by position instead. *)
+let signal_label_in circuit s =
+  match Signal.names s with
+  | n :: _ -> n
+  | [] -> (
+    let position =
+      List.find_index
+        (fun r -> Signal.uid r = Signal.uid s)
+        (Circuit.registers circuit)
+    in
+    match position with
+    | Some i -> Printf.sprintf "reg#%d" i
+    | None -> Printf.sprintf "uid%d" (Signal.uid s))
+
+let describe_in circuit = function
+  | Reg_flip { reg; bit } ->
+    Printf.sprintf "seu reg %s bit %d" (signal_label_in circuit reg) bit
+  | Mem_flip _ as f -> describe f
+  | Stuck_at { signal; value; cycles } ->
+    Printf.sprintf "stuck %s = %s for %s"
+      (signal_label_in circuit signal)
+      (Bits.to_string value)
+      (if cycles <= 0 then "ever" else Printf.sprintf "%d cycles" cycles)
+
+let describe_event_in circuit e =
+  Printf.sprintf "@%d %s" e.at (describe_in circuit e.fault)
+
 type t = {
   sim : Cyclesim.t;
   mutable pending : event list; (* sorted by [at] *)

@@ -26,9 +26,17 @@ and memory = {
 
 and write_port = { wp_enable : t; wp_addr : t; wp_data : t }
 
-let next_uid =
-  let counter = ref 0 in
-  fun () -> incr counter; !counter
+(* Uids are minted from an [Atomic] counter so that circuits can be
+   elaborated concurrently from several domains (sharded campaigns and
+   sweeps build one fresh circuit per shard). A plain [ref] here lets
+   two domains read-modify-write the same counter and mint duplicate
+   uids, silently corrupting every uid-keyed table downstream (Cyclesim
+   node maps, VCD identifier dedup, the Optimize memo). Uids stay
+   monotonic within any single domain's elaboration, so structural
+   orderings derived from them are unchanged. *)
+let uid_counter = Atomic.make 0
+
+let next_uid () = Atomic.fetch_and_add uid_counter 1 + 1
 
 let make width prim = { uid = next_uid (); width; names = []; prim }
 

@@ -10,6 +10,7 @@ type candidate = {
   access_cycles : float;
   fmax_mhz : float;
   power_mw : float;
+  measured : bool;
 }
 
 type constraints = {
@@ -31,13 +32,22 @@ let no_constraints =
 
 let within le limit value = match limit with None -> true | Some l -> le value l
 
-let feasible c =
-  List.filter (fun cand ->
-      within ( <= ) c.max_luts cand.luts
+let unmeasurable = List.filter (fun cand -> not cand.measured)
+
+(* Candidates whose measurement tripped the characterisation guard
+   carry no trustworthy access-time/power figures; they are excluded
+   from feasibility and Pareto ranking rather than ranked on garbage
+   (report them via [unmeasurable]). *)
+let feasible c candidates =
+  List.filter
+    (fun cand ->
+      cand.measured
+      && within ( <= ) c.max_luts cand.luts
       && within ( <= ) c.max_brams cand.brams
       && within ( <= ) c.max_access_cycles cand.access_cycles
       && within ( >= ) c.min_fmax_mhz cand.fmax_mhz
       && within ( <= ) c.max_power_mw cand.power_mw)
+    candidates
 
 (* Block RAMs are scarce (16 on the board) so weight them against LUT
    area when ranking: one BRAM ~ 256 LUTs of storage equivalent. *)
@@ -54,6 +64,7 @@ let dominates a b =
   better_or_equal && strictly
 
 let pareto_front candidates =
+  let candidates = List.filter (fun c -> c.measured) candidates in
   List.filter
     (fun c -> not (List.exists (fun other -> dominates other c) candidates))
     candidates
@@ -70,8 +81,33 @@ let to_table candidates =
   let rows =
     List.map
       (fun c ->
-        Printf.sprintf "%-24s | %6d | %5d | %5d | %7.2f | %6.1f | %7.2f" c.label
-          c.luts c.ffs c.brams c.access_cycles c.fmax_mhz c.power_mw)
+        if c.measured then
+          Printf.sprintf "%-24s | %6d | %5d | %5d | %7.2f | %6.1f | %7.2f"
+            c.label c.luts c.ffs c.brams c.access_cycles c.fmax_mhz c.power_mw
+        else
+          Printf.sprintf "%-24s | %6d | %5d | %5d | %7s | %6.1f | %7s" c.label
+            c.luts c.ffs c.brams "timeout" c.fmax_mhz "-")
       candidates
   in
   String.concat "\n" (header :: sep :: rows)
+
+let to_json candidates =
+  let buf = Buffer.create 1024 in
+  let emit fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  emit "[\n";
+  List.iteri
+    (fun i c ->
+      emit
+        "  {\"label\": %S, \"container\": %S, \"target\": %S, \"elem_width\": \
+         %d, \"depth\": %d, \"luts\": %d, \"ffs\": %d, \"brams\": %d, \
+         \"measured\": %b, \"access_cycles\": %s, \"fmax_mhz\": %.2f, \
+         \"power_mw\": %s}%s\n"
+        c.label c.container c.target c.elem_width c.depth c.luts c.ffs c.brams
+        c.measured
+        (if c.measured then Printf.sprintf "%.4f" c.access_cycles else "null")
+        c.fmax_mhz
+        (if c.measured then Printf.sprintf "%.4f" c.power_mw else "null")
+        (if i = List.length candidates - 1 then "" else ","))
+    candidates;
+  emit "]\n";
+  Buffer.contents buf

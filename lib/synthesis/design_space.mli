@@ -18,6 +18,10 @@ type candidate = {
   access_cycles : float;      (** average cycles per element access *)
   fmax_mhz : float;
   power_mw : float;
+  measured : bool;
+      (** false when the characterisation workload tripped its ack
+          guard: the access/power figures are untrustworthy and the
+          candidate is excluded from {!feasible} and {!pareto_front} *)
 }
 
 type constraints = {
@@ -30,7 +34,13 @@ type constraints = {
 
 val no_constraints : constraints
 
+val unmeasurable : candidate list -> candidate list
+(** The candidates whose measurement timed out ([not measured]), for
+    reporting alongside the ranked table. *)
+
 val feasible : constraints -> candidate list -> candidate list
+(** Candidates meeting every constraint. Unmeasurable candidates are
+    never feasible. *)
 
 val dominates : candidate -> candidate -> bool
 (** [dominates a b] when [a] is no worse than [b] on area (LUTs +
@@ -38,10 +48,17 @@ val dominates : candidate -> candidate -> bool
     strictly better on at least one. *)
 
 val pareto_front : candidate list -> candidate list
-(** Non-dominated candidates, preserving input order. *)
+(** Non-dominated measured candidates, preserving input order. *)
 
 val region_of_interest : constraints -> candidate list -> candidate list
 (** Feasible candidates that are also Pareto-optimal. *)
 
 val to_table : candidate list -> string
-(** Render candidates as an aligned text table. *)
+(** Render candidates as an aligned text table; unmeasurable points
+    show [timeout] in the cycles-per-access column. *)
+
+val to_json : candidate list -> string
+(** Machine-readable rendering (a JSON array, one object per
+    candidate, [null] access/power for unmeasurable points). Field
+    formatting is fixed so equal candidate lists render to identical
+    bytes — the sharded-sweep determinism tests compare these. *)

@@ -1,0 +1,273 @@
+(* The domain-parallel execution layer and its determinism guarantees:
+   - the runner preserves submission order and propagates the
+     lowest-numbered shard's exception;
+   - concurrent circuit elaboration never mints duplicate signal uids
+     (the [Signal.next_uid] atomic fix);
+   - sharded fault campaigns and characterisation sweeps produce
+     bit-identical summaries, classifications and JSON at any job
+     count;
+   - a characterisation point that trips the ack guard is recorded as
+     unmeasurable and excluded from ranking instead of scored on
+     garbage. *)
+
+open Hwpat_rtl
+open Hwpat_rtl.Signal
+open Hwpat_core
+open Hwpat_synthesis
+
+(* --- The runner itself --------------------------------------------------- *)
+
+let test_run_order () =
+  let serial = Array.init 100 (fun i -> (i * i) + 3) in
+  List.iter
+    (fun jobs ->
+      let parallel = Parallel.run ~jobs 100 (fun i -> (i * i) + 3) in
+      Alcotest.(check (array int))
+        (Printf.sprintf "jobs:%d matches serial" jobs)
+        serial parallel)
+    [ 1; 2; 4; 7 ];
+  Alcotest.(check (array int)) "empty" [||] (Parallel.run ~jobs:4 0 (fun i -> i));
+  Alcotest.(check (list string))
+    "map preserves order"
+    [ "a!"; "b!"; "c!" ]
+    (Parallel.map ~jobs:3 (fun s -> s ^ "!") [ "a"; "b"; "c" ])
+
+let test_run_exception () =
+  let attempted = Atomic.make 0 in
+  let raised =
+    try
+      ignore
+        (Parallel.run ~jobs:4 10 (fun i ->
+             Atomic.incr attempted;
+             if i = 3 || i = 7 then failwith (Printf.sprintf "shard %d" i);
+             i));
+      "no exception"
+    with Failure msg -> msg
+  in
+  (* Every shard still runs, and the lowest failed shard wins. *)
+  Alcotest.(check string) "lowest shard's exception" "shard 3" raised;
+  Alcotest.(check int) "all shards attempted" 10 (Atomic.get attempted)
+
+let test_clamp () =
+  Alcotest.(check int) "zero clamps up" 1 (Parallel.clamp_jobs 0);
+  Alcotest.(check int) "negative clamps up" 1 (Parallel.clamp_jobs (-3));
+  Alcotest.(check int) "in range unchanged" 5 (Parallel.clamp_jobs 5);
+  Alcotest.(check int)
+    "huge clamps down" Parallel.max_jobs
+    (Parallel.clamp_jobs 100_000);
+  Alcotest.(check bool)
+    "default is positive" true
+    (Parallel.default_jobs () >= 1)
+
+(* --- Domain-safe uid minting --------------------------------------------- *)
+
+let test_two_domain_uid_uniqueness () =
+  let n = 50_000 in
+  let mint () = Array.init n (fun _ -> uid (wire 1)) in
+  let d1 = Domain.spawn mint and d2 = Domain.spawn mint in
+  let a = Domain.join d1 and b = Domain.join d2 in
+  let seen = Hashtbl.create (4 * n) in
+  Array.iter
+    (fun u ->
+      if Hashtbl.mem seen u then
+        Alcotest.failf "duplicate uid %d minted across domains" u;
+      Hashtbl.add seen u ())
+    (Array.append a b);
+  Alcotest.(check int) "all uids distinct" (2 * n) (Hashtbl.length seen)
+
+(* Whole circuits elaborated concurrently stay structurally identical
+   (same port names, same netlist size) — the sharded campaigns rely
+   on rebuild-equivalence. *)
+let test_concurrent_elaboration () =
+  let build () =
+    Saa2vga.build ~substrate:Saa2vga.Sram ~style:Saa2vga.Pattern ()
+  in
+  let circuits = Parallel.run ~jobs:4 4 (fun _ -> build ()) in
+  let shape c =
+    ( List.map fst (Circuit.inputs c),
+      List.map fst (Circuit.outputs c),
+      List.length (Circuit.signals c),
+      List.length (Circuit.registers c),
+      List.length (Circuit.memories c) )
+  in
+  let reference = shape (build ()) in
+  Array.iter
+    (fun c ->
+      if shape c <> reference then
+        Alcotest.fail "concurrently elaborated circuit differs structurally")
+    circuits
+
+(* --- Determinism: campaigns and sweeps at jobs:1 vs jobs:4 --------------- *)
+
+let campaign ~jobs =
+  Faultsim.run_campaign ~jobs ~seed:5 ~faults:10 ~frame_width:6 ~frame_height:6
+    ~build:(Faultsim.find_design "saa2vga_sram_pattern")
+    ~design:"saa2vga_sram_pattern" ()
+
+let test_faultsim_jobs_deterministic () =
+  let a = campaign ~jobs:1 and b = campaign ~jobs:4 in
+  Alcotest.(check int)
+    "baseline cycles" a.Faultsim.baseline_cycles b.Faultsim.baseline_cycles;
+  let outcomes s =
+    List.map
+      (fun (r : Faultsim.result) -> Faultsim.outcome_name r.outcome)
+      s.Faultsim.results
+  in
+  Alcotest.(check (list string)) "classifications" (outcomes a) (outcomes b);
+  Alcotest.(check string) "rendered summary" (Faultsim.render a)
+    (Faultsim.render b);
+  Alcotest.(check string) "JSON bytes" (Faultsim.summary_to_json a)
+    (Faultsim.summary_to_json b)
+
+let sweep_points =
+  [
+    { Characterize.container = "queue"; target = "fifo"; elem_width = 8;
+      depth = 64; wait_states = 0 };
+    { Characterize.container = "queue"; target = "sram"; elem_width = 8;
+      depth = 64; wait_states = 1 };
+    { Characterize.container = "stack"; target = "bram"; elem_width = 8;
+      depth = 64; wait_states = 0 };
+    { Characterize.container = "vector"; target = "bram"; elem_width = 8;
+      depth = 64; wait_states = 0 };
+  ]
+
+let test_sweep_jobs_deterministic () =
+  let a = Characterize.sweep ~jobs:1 ~points:sweep_points () in
+  let b = Characterize.sweep ~jobs:4 ~points:sweep_points () in
+  Alcotest.(check string) "table" (Design_space.to_table a)
+    (Design_space.to_table b);
+  Alcotest.(check string) "JSON bytes" (Design_space.to_json a)
+    (Design_space.to_json b);
+  Alcotest.(check bool)
+    "all points measured" true
+    (List.for_all (fun c -> c.Design_space.measured) a)
+
+(* Fault descriptions must be uid-independent: two builds of the same
+   design in one process mint different uids, yet the rendered
+   campaign must not change. *)
+let test_descriptions_rebuild_stable () =
+  let describe_all () =
+    let circuit =
+      Saa2vga.build ~substrate:Saa2vga.Sram ~style:Saa2vga.Pattern ()
+    in
+    let events =
+      Fault.random_campaign ~seed:9 ~n:16 ~max_cycle:500 circuit
+    in
+    List.map (Fault.describe_event_in circuit) events
+  in
+  Alcotest.(check (list string))
+    "same descriptions across rebuilds" (describe_all ()) (describe_all ())
+
+(* --- The ack-guard timeout bugfix ---------------------------------------- *)
+
+(* A harness with the measurement port convention whose acks never
+   rise: the workload's 200-cycle guard must trip and be *reported*,
+   not silently folded into a cycles-per-access figure. *)
+let deaf_harness () =
+  let get_req = input "get_req" 1 in
+  let put_req = input "put_req" 1 in
+  let put_data = input "put_data" 8 in
+  Circuit.create_exn ~name:"deaf"
+    [
+      ("get_ack", get_req &: gnd);
+      ("get_data", put_data &: zero 8);
+      ("put_ack", put_req &: gnd);
+    ]
+
+let test_measure_timeout_recorded () =
+  let sim = Cyclesim.create (deaf_harness ()) in
+  let per_access, _monitor, timed_out = Characterize.measure sim in
+  Alcotest.(check bool) "timeout recorded" true timed_out;
+  Alcotest.(check bool)
+    "no bogus cycles-per-access" true
+    (per_access = infinity)
+
+let test_unmeasurable_excluded () =
+  let mk label measured cycles =
+    {
+      Design_space.label;
+      container = "queue";
+      target = label;
+      elem_width = 8;
+      depth = 64;
+      luts = 50;
+      ffs = 50;
+      brams = 0;
+      access_cycles = cycles;
+      fmax_mhz = 90.0;
+      power_mw = 40.0;
+      measured;
+    }
+  in
+  let good = mk "good" true 4.0 in
+  (* The bogus figure a silent timeout used to produce would dominate
+     every honest candidate. *)
+  let broken = mk "broken" false 0.1 in
+  let all = [ broken; good ] in
+  let front = Design_space.pareto_front all in
+  Alcotest.(check (list string))
+    "front excludes unmeasurable" [ "good" ]
+    (List.map (fun c -> c.Design_space.label) front);
+  Alcotest.(check (list string))
+    "feasible excludes unmeasurable" [ "good" ]
+    (List.map
+       (fun c -> c.Design_space.label)
+       (Design_space.feasible Design_space.no_constraints all));
+  Alcotest.(check (list string))
+    "unmeasurable reported" [ "broken" ]
+    (List.map (fun c -> c.Design_space.label) (Design_space.unmeasurable all));
+  let report =
+    Characterize.region_report ~constraints:Design_space.no_constraints all
+  in
+  Alcotest.(check bool)
+    "region report names the timeout" true
+    (let needle = "unmeasurable" in
+     let rec find i =
+       i + String.length needle <= String.length report
+       && (String.sub report i (String.length needle) = needle || find (i + 1))
+     in
+     find 0);
+  let table = Design_space.to_table all in
+  Alcotest.(check bool)
+    "table marks the timeout" true
+    (let needle = "timeout" in
+     let rec find i =
+       i + String.length needle <= String.length table
+       && (String.sub table i (String.length needle) = needle || find (i + 1))
+     in
+     find 0)
+
+let () =
+  Alcotest.run "parallel"
+    [
+      ( "runner",
+        [
+          Alcotest.test_case "preserves submission order" `Quick test_run_order;
+          Alcotest.test_case "propagates lowest shard exception" `Quick
+            test_run_exception;
+          Alcotest.test_case "job clamping" `Quick test_clamp;
+        ] );
+      ( "domain-safety",
+        [
+          Alcotest.test_case "two-domain uid uniqueness" `Quick
+            test_two_domain_uid_uniqueness;
+          Alcotest.test_case "concurrent elaboration is structural" `Quick
+            test_concurrent_elaboration;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "faultsim jobs:1 = jobs:4" `Quick
+            test_faultsim_jobs_deterministic;
+          Alcotest.test_case "sweep jobs:1 = jobs:4" `Quick
+            test_sweep_jobs_deterministic;
+          Alcotest.test_case "descriptions stable across rebuilds" `Quick
+            test_descriptions_rebuild_stable;
+        ] );
+      ( "timeout-guard",
+        [
+          Alcotest.test_case "measure records tripped guard" `Quick
+            test_measure_timeout_recorded;
+          Alcotest.test_case "unmeasurable points excluded and reported" `Quick
+            test_unmeasurable_excluded;
+        ] );
+    ]

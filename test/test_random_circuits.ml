@@ -213,15 +213,22 @@ let random_driver ~inputs ~seed circuit =
         end)
       inputs
 
+(* The 40 differential circuits are independent: shard them across
+   domains (each shard elaborates its own circuit and two sims; the
+   seeded builder and drivers are domain-local). A failing shard's
+   Alcotest exception propagates deterministically through
+   Parallel.run. *)
 let test_differential_random_circuits () =
-  for seed = 161 to 200 do
-    let circuit, inputs = build_random_circuit ~seed in
-    lockstep
-      ~what:(Printf.sprintf "seed %d" seed)
-      ~cycles:250
-      ~drive:(random_driver ~inputs ~seed circuit)
-      circuit
-  done
+  let seeds = Array.init 40 (fun i -> 161 + i) in
+  ignore
+    (Hwpat_core.Parallel.run (Array.length seeds) (fun i ->
+         let seed = seeds.(i) in
+         let circuit, inputs = build_random_circuit ~seed in
+         lockstep
+           ~what:(Printf.sprintf "seed %d" seed)
+           ~cycles:250
+           ~drive:(random_driver ~inputs ~seed circuit)
+           circuit))
 
 (* The three paper designs, driven with pseudorandom handshake traffic
    for thousands of cycles each — exercises FIFOs, SRAM substrates,

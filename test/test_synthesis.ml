@@ -129,6 +129,7 @@ let test_design_space () =
       access_cycles = cycles;
       fmax_mhz = mhz;
       power_mw = mw;
+      measured = true;
     }
   in
   (* fifo: fast, costs a BRAM. sram: slow, cheap. bad: dominated. *)
