@@ -490,9 +490,7 @@ let sim_throughput ?(smoke = false) () =
     Buffer.contents buf
   in
   let path = "BENCH_sim.json" in
-  let oc = open_out path in
-  output_string oc json;
-  close_out oc;
+  Hwpat_rtl.Util.write_file path json;
   Printf.printf "\n  wrote %s\n" path
 
 (* ---------------------------------------------------------------- *)
@@ -613,10 +611,25 @@ let parscaling ?(smoke = false) ?(max_jobs = 4) () =
     Buffer.contents buf
   in
   let path = "BENCH_par.json" in
-  let oc = open_out path in
-  output_string oc json;
-  close_out oc;
+  Hwpat_rtl.Util.write_file path json;
   Printf.printf "\n  wrote %s\n" path
+
+(* ---------------------------------------------------------------- *)
+(* §prove: the formal proof battery — monitor BMC on the paper        *)
+(* designs, optimizer equivalence, pruned-container equivalence.      *)
+(* ---------------------------------------------------------------- *)
+
+let prove_section ?(smoke = false) ?(max_jobs = 4) () =
+  banner
+    (Printf.sprintf "§prove — formal proof battery%s"
+       (if smoke then " (smoke)" else ""));
+  let jobs = Parallel.clamp_jobs max_jobs in
+  let results = Prove.run ~jobs ~smoke () in
+  print_string (Prove.summary results);
+  let path = "BENCH_prove.json" in
+  Hwpat_rtl.Util.write_file path (Prove.to_json ~jobs ~smoke results);
+  Printf.printf "\n  wrote %s\n" path;
+  if not (Prove.all_ok results) then exit 1
 
 (* ---------------------------------------------------------------- *)
 (* Bechamel wall-clock benches: one per table.                        *)
@@ -718,6 +731,7 @@ let () =
       ("faultcoverage", faultcoverage);
       ("simthroughput", fun () -> sim_throughput ~smoke ());
       ("parscaling", fun () -> parscaling ~smoke ~max_jobs:!max_jobs ());
+      ("prove", fun () -> prove_section ~smoke ~max_jobs:!max_jobs ());
       ("bechamel", bechamel_section);
     ]
   in

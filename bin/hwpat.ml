@@ -58,9 +58,7 @@ let generate kind target width depth bus parity op_timeout iterator out =
   (match out with
   | None -> print_string text
   | Some path ->
-    let oc = open_out path in
-    output_string oc text;
-    close_out oc;
+    Hwpat_rtl.Util.write_file path text;
     Printf.printf "wrote %s\n" path);
   if issues <> [] then begin
     List.iter
@@ -152,9 +150,7 @@ let package out =
   match out with
   | None -> print_string text
   | Some path ->
-    let oc = open_out path in
-    output_string oc text;
-    close_out oc;
+    Hwpat_rtl.Util.write_file path text;
     Printf.printf "wrote %s\n" path
 
 let package_cmd =
@@ -405,6 +401,44 @@ let faultsim_cmd =
       const faultsim $ design $ seed $ faults $ frame_size $ overhead
       $ jobs_arg)
 
+(* --- prove ----------------------------------------------------------------- *)
+
+let prove smoke jobs json =
+  let jobs = resolve_jobs jobs in
+  let results = Hwpat_core.Prove.run ~jobs ~smoke () in
+  print_string (Hwpat_core.Prove.summary results);
+  (match json with
+  | None -> ()
+  | Some path ->
+    Hwpat_rtl.Util.write_file path
+      (Hwpat_core.Prove.to_json ~jobs ~smoke results);
+    Printf.printf "wrote %s\n" path);
+  if not (Hwpat_core.Prove.all_ok results) then exit 1
+
+let prove_cmd =
+  let smoke =
+    Arg.(
+      value & flag
+      & info [ "smoke" ]
+          ~doc:
+            "Run the reduced CI battery: the paper-design monitor proofs at \
+             a lower bound plus ten optimizer-equivalence seeds.")
+  in
+  let json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Also write the results as JSON to $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "prove"
+       ~doc:
+         "Discharge the formal proof battery: protocol-monitor BMC on the \
+          paper designs, SAT equivalence of optimised and pruned variants; \
+          exits non-zero if any obligation fails")
+    Term.(const prove $ smoke $ jobs_arg $ json)
+
 (* --- tables --------------------------------------------------------------- *)
 
 let tables () =
@@ -439,9 +473,7 @@ let emit design style lang optimize out =
   match out with
   | None -> print_string text
   | Some path ->
-    let oc = open_out path in
-    output_string oc text;
-    close_out oc;
+    Hwpat_rtl.Util.write_file path text;
     Printf.printf "wrote %s\n" path
 
 let emit_cmd =
@@ -456,13 +488,43 @@ let emit_cmd =
     (Cmd.info "emit" ~doc:"Emit a whole design through a netlist back-end")
     Term.(const emit $ design_arg $ style_arg $ lang $ optimize $ out)
 
+let subcommands =
+  [ generate_cmd; simulate_cmd; report_cmd; sweep_cmd; tables_cmd;
+    emit_cmd; package_cmd; faultsim_cmd; prove_cmd ]
+
+(* One-line summaries for the bare `hwpat` listing, in the order the
+   subcommands are registered above. *)
+let subcommand_summaries =
+  [
+    ("generate", "emit VHDL for a generated container or iterator");
+    ("simulate", "run a paper design on a synthetic frame");
+    ("report", "resource estimates: the Table 3 comparison");
+    ("sweep", "characterise the container design space");
+    ("tables", "print the capability tables and pattern catalog");
+    ("emit", "emit a whole design through a netlist back-end");
+    ("package", "emit the basic-components foundation package");
+    ("faultsim", "seeded fault-injection campaign with runtime monitors");
+    ("prove", "discharge the formal proof battery (BMC + equivalence)");
+  ]
+
+(* Bare `hwpat` prints a one-line summary per subcommand instead of
+   cmdliner's manual page, so the tool is discoverable from a plain
+   invocation. *)
+let default_term =
+  let list_commands () =
+    Printf.printf "hwpat %s - hardware design patterns toolkit\n\n"
+      Version.version;
+    print_endline "Subcommands:";
+    List.iter
+      (fun (name, doc) -> Printf.printf "  %-10s %s\n" name doc)
+      subcommand_summaries;
+    print_endline "\nRun 'hwpat COMMAND --help' for details."
+  in
+  Term.(const list_commands $ const ())
+
 let () =
   let info =
-    Cmd.info "hwpat" ~version:"1.0.0"
+    Cmd.info "hwpat" ~version:Version.version
       ~doc:"Hardware design patterns: the Iterator pattern for hardware"
   in
-  exit
-    (Cmd.eval
-       (Cmd.group info
-          [ generate_cmd; simulate_cmd; report_cmd; sweep_cmd; tables_cmd;
-            emit_cmd; package_cmd; faultsim_cmd ]))
+  exit (Cmd.eval (Cmd.group ~default:default_term info subcommands))

@@ -1,0 +1,94 @@
+open Hwpat_rtl
+open Hwpat_rtl.Signal
+open Hwpat_meta
+
+let seq_builder (cfg : Config.t) =
+  let depth = cfg.depth and width = cfg.elem_width in
+  let name = cfg.instance_name in
+  match (cfg.kind, cfg.target) with
+  | Metamodel.Queue, Metamodel.Fifo_core -> Queue_c.over_fifo ~name ~depth ~width
+  | Metamodel.Queue, Metamodel.Block_ram -> Queue_c.over_bram ~name ~depth ~width
+  | Metamodel.Queue, Metamodel.Ext_sram ->
+    Queue_c.over_sram ~name ~depth ~width ~wait_states:cfg.wait_states
+  | Metamodel.Stack, Metamodel.Lifo_core -> Stack_c.over_lifo ~name ~depth ~width
+  | Metamodel.Stack, Metamodel.Block_ram -> Stack_c.over_bram ~name ~depth ~width
+  | Metamodel.Stack, Metamodel.Ext_sram ->
+    Stack_c.over_sram ~name ~depth ~width ~wait_states:cfg.wait_states
+  | _ ->
+    invalid_arg
+      (Printf.sprintf "Elaborate: unsupported kind/target %s/%s"
+         (Metamodel.container_name cfg.kind)
+         (Metamodel.target_name cfg.target))
+
+let random_builder (cfg : Config.t) =
+  let length = cfg.depth and width = cfg.elem_width in
+  let name = cfg.instance_name in
+  match cfg.target with
+  | Metamodel.Block_ram -> Vector_c.over_bram ~name ~length ~width
+  | Metamodel.Ext_sram ->
+    Vector_c.over_sram ~name ~length ~width ~wait_states:cfg.wait_states
+  | _ ->
+    invalid_arg
+      (Printf.sprintf "Elaborate: unsupported vector target %s"
+         (Metamodel.target_name cfg.target))
+
+let seq_circuit (cfg : Config.t) ~prune =
+  let keep op = (not prune) || List.mem op cfg.ops_used in
+  let driver =
+    {
+      Container_intf.get_req =
+        (if keep Metamodel.Read then input "get_req" 1 else gnd);
+      put_req = (if keep Metamodel.Write then input "put_req" 1 else gnd);
+      put_data =
+        (if keep Metamodel.Write then input "put_data" cfg.elem_width
+         else zero cfg.elem_width);
+    }
+  in
+  let s = seq_builder cfg driver in
+  Circuit.create_exn
+    ~name:(Config.entity_name cfg ^ if prune then "_pruned" else "_full")
+    [
+      ("get_ack", s.Container_intf.get_ack);
+      ("get_data", s.Container_intf.get_data);
+      ("put_ack", s.Container_intf.put_ack);
+      ("empty", s.Container_intf.empty);
+      ("full", s.Container_intf.full);
+      ("size", s.Container_intf.size);
+    ]
+
+let random_circuit (cfg : Config.t) ~prune =
+  let keep op = (not prune) || List.mem op cfg.ops_used in
+  (* The index port stays even when pruning: any retained operation
+     needs an address to act on. *)
+  let driver =
+    {
+      Container_intf.read_req =
+        (if keep Metamodel.Read then input "read_req" 1 else gnd);
+      write_req = (if keep Metamodel.Write then input "write_req" 1 else gnd);
+      addr = input "addr" (Util.address_bits cfg.depth);
+      write_data =
+        (if keep Metamodel.Write then input "write_data" cfg.elem_width
+         else zero cfg.elem_width);
+    }
+  in
+  let r = random_builder cfg driver in
+  Circuit.create_exn
+    ~name:(Config.entity_name cfg ^ if prune then "_pruned" else "_full")
+    [
+      ("read_ack", r.Container_intf.read_ack);
+      ("read_data", r.Container_intf.read_data);
+      ("write_ack", r.Container_intf.write_ack);
+      ("length", r.Container_intf.length);
+    ]
+
+let build (cfg : Config.t) ~prune =
+  match cfg.kind with
+  | Metamodel.Queue | Metamodel.Stack -> seq_circuit cfg ~prune
+  | Metamodel.Vector -> random_circuit cfg ~prune
+  | k ->
+    invalid_arg
+      (Printf.sprintf "Elaborate: unsupported container kind %s"
+         (Metamodel.container_name k))
+
+let full cfg = build cfg ~prune:false
+let pruned cfg = Optimize.circuit (build cfg ~prune:true)

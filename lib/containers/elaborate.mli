@@ -1,0 +1,25 @@
+(** Elaborate a {!Hwpat_meta.Config.t} into a closed {!Circuit.t}, in
+    both unpruned and pruned form, so the two can be compared by the
+    formal layer.
+
+    [full] exposes an input port for every operation the container
+    kind supports; [pruned] ties the request (and data) ports of
+    operations outside [ops_used] to constant zero and runs
+    {!Hwpat_rtl.Optimize.circuit}, mirroring what the code generator's
+    pruning does. The pruned circuit therefore has a subset of the
+    full circuit's input ports; on the shared ("retained") interface
+    the two must be sequentially equivalent, which is exactly the
+    convention [Equiv.check] implements (exclusive inputs tied to
+    zero).
+
+    Supported kinds: [Queue] and [Stack] (sequential interface:
+    [get_req], [put_req], [put_data] in; [get_ack], [get_data],
+    [put_ack], [empty], [full], [size] out) and [Vector] (random
+    interface: [read_req], [write_req], [addr], [write_data] in;
+    [read_ack], [read_data], [write_ack], [length] out). Other kinds
+    raise [Invalid_argument]. *)
+
+open Hwpat_rtl
+
+val full : Hwpat_meta.Config.t -> Circuit.t
+val pruned : Hwpat_meta.Config.t -> Circuit.t

@@ -1,0 +1,197 @@
+open Hwpat_formal
+
+type result = {
+  name : string;
+  kind : string;
+  ok : bool;
+  status : string;
+  seconds : float;
+}
+
+type task = { t_name : string; t_kind : string; t_run : unit -> bool * string }
+
+(* ---------------------------------------------------------------- *)
+(* Obligations                                                      *)
+(* ---------------------------------------------------------------- *)
+
+let equiv_status = function
+  | Equiv.Proved -> (true, "proved")
+  | Equiv.Counterexample cex ->
+    (false, Printf.sprintf "counterexample(%d cycles)" (List.length cex))
+  | Equiv.Unknown why -> (false, "unknown: " ^ why)
+
+let bmc_status = function
+  | Bmc.Holds d -> (true, Printf.sprintf "holds(%d)" d)
+  | Bmc.Violation v ->
+    (false, Printf.sprintf "violation of %s at cycle %d" v.Bmc.property v.Bmc.at)
+
+(* Paper designs at proof-sized parameters: the buffers shrink from
+   512 to 16 elements so the memory state stays tractable for the SAT
+   encoding; the control logic under proof is the same. *)
+let paper_designs () =
+  [
+    ( "saa2vga_fifo",
+      fun () ->
+        Saa2vga.build ~depth:16 ~substrate:Saa2vga.Fifo ~style:Saa2vga.Pattern
+          () );
+    ( "saa2vga_sram",
+      fun () ->
+        Saa2vga.build ~depth:16 ~substrate:Saa2vga.Sram ~style:Saa2vga.Pattern
+          () );
+    ( "blur",
+      fun () ->
+        Blur_system.build ~image_width:8 ~max_rows:8 ~style:Blur_system.Pattern
+          () );
+  ]
+
+let monitor_tasks ~depth =
+  List.map
+    (fun (name, build) ->
+      {
+        t_name = name;
+        t_kind = "monitor";
+        t_run = (fun () -> bmc_status (Bmc.check_auto ~depth (build ())));
+      })
+    (paper_designs ())
+
+(* Optimizer equivalence on the paper designs themselves, not just
+   random netlists: the handshake-heavy control is where candidate
+   induction has to work hardest. *)
+let design_equiv_tasks () =
+  List.map
+    (fun (name, build) ->
+      {
+        t_name = name;
+        t_kind = "equiv";
+        t_run =
+          (fun () ->
+            let c = build () in
+            equiv_status (Equiv.check c (Hwpat_rtl.Optimize.circuit c)));
+      })
+    (paper_designs ())
+
+let optimize_tasks ~seeds =
+  List.map
+    (fun seed ->
+      {
+        t_name = Printf.sprintf "random_seed_%d" seed;
+        t_kind = "optimize";
+        t_run =
+          (fun () ->
+            let c, _ = Netgen.build_random_circuit ~seed in
+            equiv_status (Equiv.check c (Hwpat_rtl.Optimize.circuit c)));
+      })
+    seeds
+
+let prune_pairs () =
+  let open Hwpat_meta in
+  let cfg ?(wait_states = 1) ~name ~kind ~target ~depth ~ops () =
+    Config.make ~instance_name:name ~kind ~target ~elem_width:4 ~depth
+      ~ops_used:ops ~wait_states ()
+  in
+  [
+    cfg ~name:"q_fifo_put" ~kind:Metamodel.Queue ~target:Metamodel.Fifo_core
+      ~depth:8 ~ops:[ Metamodel.Write ] ();
+    cfg ~name:"q_bram_get" ~kind:Metamodel.Queue ~target:Metamodel.Block_ram
+      ~depth:8 ~ops:[ Metamodel.Read ] ();
+    cfg ~name:"q_sram_put" ~kind:Metamodel.Queue ~target:Metamodel.Ext_sram
+      ~depth:4 ~ops:[ Metamodel.Write ] ();
+    cfg ~name:"s_lifo_put" ~kind:Metamodel.Stack ~target:Metamodel.Lifo_core
+      ~depth:8 ~ops:[ Metamodel.Write ] ();
+    cfg ~name:"s_bram_get" ~kind:Metamodel.Stack ~target:Metamodel.Block_ram
+      ~depth:8 ~ops:[ Metamodel.Read ] ();
+    cfg ~name:"v_bram_read" ~kind:Metamodel.Vector ~target:Metamodel.Block_ram
+      ~depth:8
+      ~ops:[ Metamodel.Read; Metamodel.Index ]
+      ();
+    cfg ~name:"v_sram_write" ~kind:Metamodel.Vector ~target:Metamodel.Ext_sram
+      ~depth:4
+      ~ops:[ Metamodel.Write; Metamodel.Index ]
+      ();
+  ]
+
+let prune_tasks () =
+  List.map
+    (fun cfg ->
+      {
+        t_name = Hwpat_meta.Config.entity_name cfg;
+        t_kind = "prune";
+        t_run =
+          (fun () ->
+            equiv_status
+              (Equiv.check
+                 (Hwpat_containers.Elaborate.full cfg)
+                 (Hwpat_containers.Elaborate.pruned cfg)));
+      })
+    (prune_pairs ())
+
+let battery ~smoke =
+  let seq a b = List.init (b - a + 1) (fun i -> a + i) in
+  if smoke then
+    monitor_tasks ~depth:10 @ optimize_tasks ~seeds:(seq 1 10)
+  else
+    monitor_tasks ~depth:20 @ design_equiv_tasks ()
+    @ optimize_tasks ~seeds:(seq 1 40)
+    @ prune_tasks ()
+
+(* ---------------------------------------------------------------- *)
+(* Execution                                                        *)
+(* ---------------------------------------------------------------- *)
+
+let run_task t =
+  let t0 = Unix.gettimeofday () in
+  let ok, status =
+    try t.t_run ()
+    with e -> (false, "raised: " ^ Printexc.to_string e)
+  in
+  {
+    name = t.t_name;
+    kind = t.t_kind;
+    ok;
+    status;
+    seconds = Unix.gettimeofday () -. t0;
+  }
+
+let run ?jobs ?(smoke = false) () =
+  let tasks = Array.of_list (battery ~smoke) in
+  Array.to_list
+    (Parallel.run ?jobs (Array.length tasks) (fun i -> run_task tasks.(i)))
+
+let all_ok results = List.for_all (fun r -> r.ok) results
+
+let to_json ~jobs ~smoke results =
+  let buf = Buffer.create 1024 in
+  let emit fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let proved = List.length (List.filter (fun r -> r.ok) results) in
+  emit "{\n  \"section\": \"prove\",\n  \"jobs\": %d,\n  \"smoke\": %b,\n" jobs
+    smoke;
+  emit "  \"obligations\": %d,\n  \"proved\": %d,\n  \"failed\": %d,\n"
+    (List.length results) proved
+    (List.length results - proved);
+  emit "  \"total_seconds\": %.3f,\n"
+    (List.fold_left (fun acc r -> acc +. r.seconds) 0.0 results);
+  emit "  \"results\": [\n";
+  List.iteri
+    (fun i r ->
+      emit "    {\"name\": %S, \"kind\": %S, \"ok\": %b, \"status\": %S, \"seconds\": %.3f}%s\n"
+        r.name r.kind r.ok r.status r.seconds
+        (if i = List.length results - 1 then "" else ","))
+    results;
+  emit "  ]\n}\n";
+  Buffer.contents buf
+
+let summary results =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun r ->
+      Buffer.add_string buf
+        (Printf.sprintf "[%s] prove %s/%s: %s (%.2fs)\n"
+           (if r.ok then "OK" else "FAIL")
+           r.kind r.name r.status r.seconds))
+    results;
+  let proved = List.length (List.filter (fun r -> r.ok) results) in
+  Buffer.add_string buf
+    (Printf.sprintf "prove: %d obligations, %d proved, %d failed\n"
+       (List.length results) proved
+       (List.length results - proved));
+  Buffer.contents buf

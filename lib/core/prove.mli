@@ -1,0 +1,40 @@
+(** The proof campaign behind [hwpat prove] and [bench §prove]: a
+    fixed battery of formal obligations over the paper designs, the
+    optimizer, and the pruned container variants, shardable across
+    domains with {!Parallel}.
+
+    Four obligation families:
+    - [monitor]: {!Hwpat_formal.Bmc.check_auto} on the paper designs —
+      the protocol-monitor invariants (handshake, FIFO occupancy)
+      proven to a bound instead of spot-checked in simulation;
+    - [equiv]: {!Hwpat_formal.Equiv.check} of each paper design
+      against its optimised form;
+    - [optimize]: {!Hwpat_formal.Equiv.check} of random netlists
+      ({!Hwpat_formal.Netgen}) against their optimised forms;
+    - [prune]: {!Hwpat_formal.Equiv.check} of pruned container
+      elaborations ({!Hwpat_containers.Elaborate}) against the full
+      model on the retained interface.
+
+    The smoke battery (CI) runs the three paper-design monitor proofs
+    at a reduced bound plus ten optimizer-equivalence seeds; the full
+    battery raises the bound to 20+, uses forty seeds, and adds the
+    paper-design equivalence and pruned-pair obligations. *)
+
+type result = {
+  name : string;
+  kind : string;  (** "monitor" | "equiv" | "optimize" | "prune" *)
+  ok : bool;
+  status : string;  (** e.g. "proved", "holds(20)", "counterexample" *)
+  seconds : float;
+}
+
+val run : ?jobs:int -> ?smoke:bool -> unit -> result list
+(** Runs the battery ([smoke] defaults to false) across [jobs] domains
+    (default {!Parallel.default_jobs}). Proof failures are reported in
+    the result list, not raised; results are in a fixed deterministic
+    order independent of [jobs]. *)
+
+val all_ok : result list -> bool
+val to_json : jobs:int -> smoke:bool -> result list -> string
+val summary : result list -> string
+(** One line per obligation plus a final proved/failed count. *)

@@ -1,0 +1,321 @@
+(* Tseitin encoding of one time-frame of a circuit. Literal vectors
+   are LSB-first. Gate constructors fold constants (the optimiser's
+   output is full of them) so the CNF stays close to the live logic. *)
+
+open Hwpat_rtl
+
+type state_elt =
+  | Reg_state of Signal.t
+  | Read_state of Signal.t
+  | Mem_word of Signal.memory * int
+
+let state_elements circuit =
+  let signals = Circuit.signals circuit in
+  let regs =
+    List.filter_map
+      (fun s ->
+        match Signal.prim s with Reg _ -> Some (Reg_state s) | _ -> None)
+      signals
+  in
+  let reads =
+    List.filter_map
+      (fun s ->
+        match Signal.prim s with
+        | Mem_read_sync _ -> Some (Read_state s)
+        | _ -> None)
+      signals
+  in
+  let words =
+    List.concat_map
+      (fun m ->
+        List.init (Signal.memory_size m) (fun i -> Mem_word (m, i)))
+      (Circuit.memories circuit)
+  in
+  Array.of_list (regs @ reads @ words)
+
+let elt_width = function
+  | Reg_state s | Read_state s -> Signal.width s
+  | Mem_word (m, _) -> Signal.memory_width m
+
+let elt_init = function
+  | Reg_state s -> (
+    match Signal.prim s with
+    | Reg { init; _ } -> init
+    | _ -> assert false)
+  | (Read_state _ | Mem_word _) as e -> Bits.zero (elt_width e)
+
+let elt_label = function
+  | Reg_state s -> (
+    match Signal.names s with
+    | n :: _ -> "reg " ^ n
+    | [] -> Printf.sprintf "reg#%d" (Signal.uid s))
+  | Read_state s -> (
+    match Signal.names s with
+    | n :: _ -> "read " ^ n
+    | [] -> Printf.sprintf "read#%d" (Signal.uid s))
+  | Mem_word (m, i) -> Printf.sprintf "%s[%d]" (Signal.memory_name m) i
+
+let elt_key = function
+  | Reg_state s -> (0, Signal.uid s, 0)
+  | Read_state s -> (1, Signal.uid s, 0)
+  | Mem_word (m, i) -> (2, Signal.memory_uid m, i)
+
+(* --- Gate constructors --------------------------------------------------- *)
+
+let tt s = Solver.true_lit s
+let ff s = -(Solver.true_lit s)
+
+let mk_and s a b =
+  let t = tt s and f = ff s in
+  if a = f || b = f then f
+  else if a = t then b
+  else if b = t then a
+  else if a = b then a
+  else if a = -b then f
+  else begin
+    let o = Solver.new_var s in
+    Solver.add_clause s [ -o; a ];
+    Solver.add_clause s [ -o; b ];
+    Solver.add_clause s [ o; -a; -b ];
+    o
+  end
+
+let mk_or s a b = -mk_and s (-a) (-b)
+
+let xor2 s a b =
+  let t = tt s and f = ff s in
+  if a = f then b
+  else if b = f then a
+  else if a = t then -b
+  else if b = t then -a
+  else if a = b then f
+  else if a = -b then t
+  else begin
+    let o = Solver.new_var s in
+    Solver.add_clause s [ -o; a; b ];
+    Solver.add_clause s [ -o; -a; -b ];
+    Solver.add_clause s [ o; a; -b ];
+    Solver.add_clause s [ o; -a; b ];
+    o
+  end
+
+(* [c ? a : b] *)
+let mk_mux s c a b =
+  let t = tt s and f = ff s in
+  if c = t then a
+  else if c = f then b
+  else if a = b then a
+  else if a = t && b = f then c
+  else if a = f && b = t then -c
+  else begin
+    let o = Solver.new_var s in
+    Solver.add_clause s [ -c; -a; o ];
+    Solver.add_clause s [ -c; a; -o ];
+    Solver.add_clause s [ c; -b; o ];
+    Solver.add_clause s [ c; b; -o ];
+    o
+  end
+
+let and_list s = function
+  | [] -> tt s
+  | l :: rest -> List.fold_left (mk_and s) l rest
+
+let or_list s = function
+  | [] -> ff s
+  | l :: rest -> List.fold_left (mk_or s) l rest
+
+let constant s b =
+  Array.init (Bits.width b) (fun i -> if Bits.bit b i then tt s else ff s)
+
+let fresh_vector s w = Array.init w (fun _ -> Solver.new_var s)
+
+let lits_equal s a b =
+  if Array.length a <> Array.length b then
+    invalid_arg "Blast.lits_equal: width mismatch";
+  and_list s (Array.to_list (Array.map2 (fun x y -> -xor2 s x y) a b))
+
+let model_bits s v =
+  let w = Array.length v in
+  Bits.of_string
+    (String.init w (fun i -> if Solver.value s v.(w - 1 - i) then '1' else '0'))
+
+(* Any-bit-set, matching [Bits.to_bool] on control inputs. *)
+let bool_of_vec s v = or_list s (Array.to_list v)
+
+(* Vector equals small constant [k] (false when [k] needs more bits
+   than the vector has). *)
+let eq_const s v k =
+  let w = Array.length v in
+  if w < Sys.int_size - 1 && k lsr w <> 0 then ff s
+  else
+    and_list s
+      (List.init w (fun i ->
+           if (k lsr i) land 1 = 1 then v.(i) else -v.(i)))
+
+let full_adder s a b cin =
+  let ab = xor2 s a b in
+  let sum = xor2 s ab cin in
+  let carry = mk_or s (mk_and s a b) (mk_and s cin ab) in
+  (sum, carry)
+
+let add_vec s ?cin a b =
+  let w = Array.length a in
+  let carry = ref (match cin with Some c -> c | None -> ff s) in
+  Array.init w (fun i ->
+      let sum, c = full_adder s a.(i) b.(i) !carry in
+      carry := c;
+      sum)
+
+let sub_vec s a b = add_vec s ~cin:(tt s) a (Array.map (fun l -> -l) b)
+
+let mul_vec s a b =
+  let w = Array.length a in
+  let acc = ref (Array.make w (ff s)) in
+  for i = 0 to w - 1 do
+    let pp =
+      Array.init w (fun j -> if j < i then ff s else mk_and s a.(j - i) b.(i))
+    in
+    acc := add_vec s !acc pp
+  done;
+  !acc
+
+(* Unsigned [a < b], LSB-up recurrence. *)
+let lt_vec s a b =
+  let w = Array.length a in
+  let lt = ref (ff s) in
+  for i = 0 to w - 1 do
+    let bits_differ = xor2 s a.(i) b.(i) in
+    lt := mk_mux s bits_differ (mk_and s (-a.(i)) b.(i)) !lt
+  done;
+  !lt
+
+(* Mux with the out-of-range clamp of [Signal.mux_index]: the last case
+   is the default, earlier cases override on an exact select match. *)
+let mux_cases s sel cases =
+  match List.rev cases with
+  | [] -> invalid_arg "Blast: empty mux"
+  | last :: rev_rest ->
+    let n = List.length cases in
+    let result = ref last in
+    List.iteri
+      (fun j case ->
+        let i = n - 2 - j in
+        let hit = eq_const s sel i in
+        result := Array.map2 (fun t f -> mk_mux s hit t f) case !result)
+      rev_rest;
+    !result
+
+(* --- Frame --------------------------------------------------------------- *)
+
+type frame = {
+  value : Signal.t -> Solver.lit array;
+  outputs : (string * Solver.lit array) list;
+  next : Solver.lit array array;
+}
+
+let frame solver circuit ~inputs ~state =
+  let elts = state_elements circuit in
+  let pos = Hashtbl.create 97 in
+  Array.iteri (fun i e -> Hashtbl.replace pos (elt_key e) i) elts;
+  let state_of e = state (Hashtbl.find pos (elt_key e)) in
+  let values : (int, Solver.lit array) Hashtbl.t = Hashtbl.create 997 in
+  let get s =
+    match Hashtbl.find_opt values (Signal.uid s) with
+    | Some v -> v
+    | None ->
+      invalid_arg
+        (Printf.sprintf "Blast.frame: signal #%d evaluated out of order"
+           (Signal.uid s))
+  in
+  (* Read of a memory's pre-edge contents: out-of-range reads zero. *)
+  let read_mem m addr =
+    let width = Signal.memory_width m in
+    let result = ref (constant solver (Bits.zero width)) in
+    for i = Signal.memory_size m - 1 downto 0 do
+      let word = state_of (Mem_word (m, i)) in
+      let hit = eq_const solver addr i in
+      result := Array.map2 (fun t f -> mk_mux solver hit t f) word !result
+    done;
+    !result
+  in
+  let encode s =
+    match Signal.prim s with
+    | Const b -> constant solver b
+    | Input name -> (
+      let v = inputs name in
+      if Array.length v <> Signal.width s then
+        invalid_arg (Printf.sprintf "Blast.frame: input %s width mismatch" name);
+      v)
+    | Op2 (op, a, b) -> (
+      let a = get a and b = get b in
+      match op with
+      | Signal.Add -> add_vec solver a b
+      | Signal.Sub -> sub_vec solver a b
+      | Signal.Mul -> mul_vec solver a b
+      | Signal.And -> Array.map2 (mk_and solver) a b
+      | Signal.Or -> Array.map2 (mk_or solver) a b
+      | Signal.Xor -> Array.map2 (xor2 solver) a b
+      | Signal.Eq -> [| lits_equal solver a b |]
+      | Signal.Lt -> [| lt_vec solver a b |])
+    | Not a -> Array.map (fun l -> -l) (get a)
+    | Concat parts ->
+      (* MSB first in the netlist; LSB-first vectors here. *)
+      Array.concat (List.rev_map get parts)
+    | Select { src; high; low } -> Array.sub (get src) low (high - low + 1)
+    | Mux { select; cases } ->
+      mux_cases solver (get select) (List.map get cases)
+    | Reg _ -> state_of (Reg_state s)
+    | Mem_read_sync _ -> state_of (Read_state s)
+    | Mem_read_async { memory; addr } -> read_mem memory (get addr)
+    | Wire { driver = Some d } -> get d
+    | Wire { driver = None } -> invalid_arg "Blast.frame: undriven wire"
+  in
+  List.iter
+    (fun s -> Hashtbl.replace values (Signal.uid s) (encode s))
+    (Circuit.signals circuit);
+  let control opt ~default =
+    match opt with Some c -> bool_of_vec solver (get c) | None -> default
+  in
+  let next =
+    Array.map
+      (fun e ->
+        let cur = state_of e in
+        match e with
+        | Reg_state s -> (
+          match Signal.prim s with
+          | Reg { d; enable; clear; clear_to; init = _ } ->
+            let dl = get d in
+            let en = control enable ~default:(tt solver) in
+            let cl = control clear ~default:(ff solver) in
+            let ct = constant solver clear_to in
+            Array.init (Array.length cur) (fun i ->
+                mk_mux solver cl ct.(i)
+                  (mk_mux solver en dl.(i) cur.(i)))
+          | _ -> assert false)
+        | Read_state s -> (
+          match Signal.prim s with
+          | Mem_read_sync { memory; addr; enable } ->
+            let en = control enable ~default:(tt solver) in
+            let now = read_mem memory (get addr) in
+            Array.init (Array.length cur) (fun i ->
+                mk_mux solver en now.(i) cur.(i))
+          | _ -> assert false)
+        | Mem_word (m, w) ->
+          (* Write ports in attachment order; a later matching port
+             overwrites an earlier one (the Cyclesim rule). *)
+          List.fold_left
+            (fun acc (en, addr, data) ->
+              let hit =
+                mk_and solver
+                  (bool_of_vec solver (get en))
+                  (eq_const solver (get addr) w)
+              in
+              Array.map2 (fun d a -> mk_mux solver hit d a) (get data) acc)
+            cur
+            (Signal.memory_write_ports m))
+      elts
+  in
+  let outputs =
+    List.map (fun (name, s) -> (name, get s)) (Circuit.outputs circuit)
+  in
+  { value = get; outputs; next }

@@ -1,0 +1,74 @@
+open Hwpat_rtl
+
+(** Tseitin bit-blasting of a {!Circuit.t} into SAT clauses.
+
+    One call to {!frame} encodes a single time-frame of a circuit: given
+    literal vectors for the input ports and for every state element
+    (register, synchronous-read latch, memory word), it produces literal
+    vectors for every signal's settled value, for the output ports, and
+    for the next value of every state element — exactly the
+    settle-then-clock-edge semantics of {!Cyclesim}. Equivalence
+    checking, k-induction and bounded model checking all reduce to
+    instantiating frames and constraining the seams.
+
+    Covered primitives (everything both simulation engines execute):
+    constants, inputs, [Add]/[Sub]/[Mul]/[And]/[Or]/[Xor]/[Eq]/[Lt],
+    [Not], [Concat], [Select], [Mux] with the {!Signal.mux_index}
+    out-of-range clamp to the last case, registers (clear priority over
+    enable, power-on [init]), asynchronous and synchronous (read-first)
+    memory reads with out-of-range addresses reading zero, and memory
+    write ports applied in attachment order (later ports win) with
+    out-of-range writes ignored. Literal vectors are LSB-first. *)
+
+(** One bit of persistent state, in the fixed order of
+    {!state_elements}. *)
+type state_elt =
+  | Reg_state of Signal.t  (** a [Reg] node's stored value *)
+  | Read_state of Signal.t  (** a [Mem_read_sync] node's latch *)
+  | Mem_word of Signal.memory * int  (** one word of a memory *)
+
+val state_elements : Circuit.t -> state_elt array
+(** All state of a circuit in a deterministic order: registers, then
+    synchronous-read latches, then memory words. *)
+
+val elt_width : state_elt -> int
+
+val elt_init : state_elt -> Bits.t
+(** Power-on value: a register's [init]; zeros for read latches and
+    memory words (as {!Cyclesim.reset} establishes). *)
+
+val elt_label : state_elt -> string
+(** Human-readable identification for diagnostics. *)
+
+type frame = {
+  value : Signal.t -> Solver.lit array;
+      (** settled value of any signal in the circuit this frame *)
+  outputs : (string * Solver.lit array) list;
+  next : Solver.lit array array;
+      (** post-edge state, indexed like {!state_elements} *)
+}
+
+val frame :
+  Solver.t ->
+  Circuit.t ->
+  inputs:(string -> Solver.lit array) ->
+  state:(int -> Solver.lit array) ->
+  frame
+(** [frame solver circuit ~inputs ~state] adds the clauses for one time
+    frame. [inputs name] supplies the literal vector of an input port;
+    [state i] the current value of [state_elements circuit).(i)]. *)
+
+(** {1 Vector helpers for the checkers} *)
+
+val constant : Solver.t -> Bits.t -> Solver.lit array
+val fresh_vector : Solver.t -> int -> Solver.lit array
+
+val lits_equal : Solver.t -> Solver.lit array -> Solver.lit array -> Solver.lit
+(** One literal true iff the two equal-width vectors are equal. *)
+
+val or_list : Solver.t -> Solver.lit list -> Solver.lit
+val and_list : Solver.t -> Solver.lit list -> Solver.lit
+val xor2 : Solver.t -> Solver.lit -> Solver.lit -> Solver.lit
+
+val model_bits : Solver.t -> Solver.lit array -> Bits.t
+(** Read a vector's value out of a satisfying model. *)

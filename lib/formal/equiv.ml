@@ -1,0 +1,576 @@
+(* Equivalence checking: single-frame miter for combinational pairs;
+   BMC + van-Eijk-style candidate-equivalence induction (with a plain
+   k-induction fallback) for sequential pairs. *)
+
+open Hwpat_rtl
+
+type result =
+  | Proved
+  | Counterexample of (string * Bits.t) list list
+  | Unknown of string
+
+(* --- Port matching ------------------------------------------------------- *)
+
+type plan = {
+  a : Circuit.t;
+  b : Circuit.t;
+  union_inputs : (string * int * int) list;
+      (* name, width, scope: 0 = shared, 1 = a-only, 2 = b-only *)
+  shared_outputs : string list;
+  elts_a : Blast.state_elt array;
+  elts_b : Blast.state_elt array;
+}
+
+let make_plan a b =
+  let ia = Circuit.inputs a and ib = Circuit.inputs b in
+  let widths ports = List.map (fun (n, s) -> (n, Signal.width s)) ports in
+  let wa = widths ia and wb = widths ib in
+  let union_inputs =
+    List.map
+      (fun (n, w) ->
+        match List.assoc_opt n wb with
+        | Some w' when w' <> w ->
+          invalid_arg
+            (Printf.sprintf "Equiv: input %s has width %d vs %d" n w w')
+        | Some _ -> (n, w, 0)
+        | None -> (n, w, 1))
+      wa
+    @ List.filter_map
+        (fun (n, w) ->
+          if List.mem_assoc n wa then None else Some (n, w, 2))
+        wb
+  in
+  let oa = widths (Circuit.outputs a) and ob = widths (Circuit.outputs b) in
+  let shared_outputs =
+    List.filter_map
+      (fun (n, w) ->
+        match List.assoc_opt n ob with
+        | Some w' when w' <> w ->
+          invalid_arg
+            (Printf.sprintf "Equiv: output %s has width %d vs %d" n w w')
+        | Some _ -> Some n
+        | None -> None)
+      oa
+  in
+  if shared_outputs = [] then
+    invalid_arg "Equiv: the circuits share no output names";
+  {
+    a;
+    b;
+    union_inputs;
+    shared_outputs;
+    elts_a = Blast.state_elements a;
+    elts_b = Blast.state_elements b;
+  }
+
+(* --- One joint frame ----------------------------------------------------- *)
+
+(* Inputs exclusive to one side are tied to zero: the convention that
+   makes a pruned variant (requests tied off at elaboration) comparable
+   to the full model on the retained interface. *)
+let instantiate solver plan ~st_a ~st_b =
+  let vecs =
+    List.map
+      (fun (name, w, scope) ->
+        ( name,
+          if scope = 0 then Blast.fresh_vector solver w
+          else Blast.constant solver (Bits.zero w) ))
+      plan.union_inputs
+  in
+  let input_fn name = List.assoc name vecs in
+  let fa = Blast.frame solver plan.a ~inputs:input_fn ~state:(fun i -> st_a.(i)) in
+  let fb = Blast.frame solver plan.b ~inputs:input_fn ~state:(fun i -> st_b.(i)) in
+  let diff =
+    Blast.or_list solver
+      (List.map
+         (fun n ->
+           -Blast.lits_equal solver
+              (List.assoc n fa.Blast.outputs)
+              (List.assoc n fb.Blast.outputs))
+         plan.shared_outputs)
+  in
+  (vecs, fa, fb, diff)
+
+let init_state solver elts =
+  Array.map (fun e -> Blast.constant solver (Blast.elt_init e)) elts
+
+let free_state solver elts =
+  Array.map (fun e -> Blast.fresh_vector solver (Blast.elt_width e)) elts
+
+(* --- Counterexample search and replay ------------------------------------ *)
+
+let extract_cex solver frames_rev =
+  List.rev_map
+    (fun vecs ->
+      List.map (fun (name, v) -> (name, Blast.model_bits solver v)) vecs)
+    frames_rev
+
+let counterexample_to_string cex =
+  String.concat "\n"
+    (List.mapi
+       (fun k assignment ->
+         Printf.sprintf "  cycle %d: %s" k
+           (String.concat " "
+              (List.map
+                 (fun (n, v) -> Printf.sprintf "%s=%s" n (Bits.to_string v))
+                 assignment)))
+       cex)
+
+(* Drive the assignment through both simulators; the first differing
+   shared output confirms the counterexample is real. *)
+let replay plan cex =
+  let sa = Cyclesim.create plan.a and sb = Cyclesim.create plan.b in
+  let diverged = ref None in
+  List.iteri
+    (fun k assignment ->
+      if !diverged = None then begin
+        List.iter
+          (fun (name, v) ->
+            if List.mem_assoc name (Circuit.inputs plan.a) then
+              Cyclesim.drive sa name v;
+            if List.mem_assoc name (Circuit.inputs plan.b) then
+              Cyclesim.drive sb name v)
+          assignment;
+        Cyclesim.cycle sa;
+        Cyclesim.cycle sb;
+        List.iter
+          (fun name ->
+            let va = !(Cyclesim.out_port sa name)
+            and vb = !(Cyclesim.out_port sb name) in
+            if (not (Bits.equal va vb)) && !diverged = None then
+              diverged := Some (k, name, va, vb))
+          plan.shared_outputs
+      end)
+    cex;
+  !diverged
+
+let confirm_cex plan cex =
+  match replay plan cex with
+  | Some _ -> Counterexample cex
+  | None ->
+    failwith
+      ("Equiv: SAT counterexample does not replay in Cyclesim — the \
+        encoding disagrees with the simulator\n"
+      ^ counterexample_to_string cex)
+
+(* Unroll both circuits from their power-on state and look for a frame
+   whose shared outputs can differ. The returned function is a
+   resumable sweep: each call extends the unrolling up to the requested
+   depth (frames already searched are not re-solved) and returns the
+   first counterexample among the new frames, if any. Resumability
+   lets [check] sweep shallowly before induction and return for a deep
+   sweep only when induction stays undecided — the per-frame miter
+   solves get exponentially harder with depth. *)
+let bmc_sweep solver plan =
+  let st_a = ref (init_state solver plan.elts_a) in
+  let st_b = ref (init_state solver plan.elts_b) in
+  let frames = ref [] in
+  let searched = ref 0 in
+  fun ~depth ->
+    let found = ref None in
+    while !found = None && !searched < depth do
+      let vecs, fa, fb, diff = instantiate solver plan ~st_a:!st_a ~st_b:!st_b in
+      st_a := fa.Blast.next;
+      st_b := fb.Blast.next;
+      frames := vecs :: !frames;
+      let act = Solver.new_var solver in
+      Solver.add_clause solver [ -act; diff ];
+      (match Solver.solve ~assumptions:[ act ] solver with
+      | Solver.Sat -> found := Some (extract_cex solver !frames)
+      | Solver.Unsat -> ());
+      incr searched
+    done;
+    !found
+
+(* --- Candidate discovery by random simulation ---------------------------- *)
+
+(* A state bit: (side, element index, bit index). *)
+type side_bit = int * int * int
+
+(* An equivalence class of state bits conjectured pairwise equal in
+   every reachable state — and pinned to a constant when tagged. The
+   class is the unit of hypothesis: keeping classes whole (rather than
+   a flat list of pairwise candidates) lets the induction loop refine
+   them against countermodels without losing relations that were only
+   represented transitively. *)
+type cls = { members : side_bit list; const : bool option }
+
+let random_bits st ~width =
+  let rec chunks w acc =
+    if w <= 0 then acc
+    else
+      let k = min w 16 in
+      chunks (w - k) (Bits.of_int ~width:k (Random.State.int st (1 lsl k)) :: acc)
+  in
+  Bits.concat_msb (chunks width [])
+
+let state_bits_value sim elt =
+  match elt with
+  | Blast.Reg_state s | Blast.Read_state s -> Cyclesim.peek_state sim s
+  | Blast.Mem_word (m, i) -> (Cyclesim.memory_contents sim m).(i)
+
+(* Per-state-bit 0/1 signatures over a random run (the power-on state
+   is sample 0). Identical signatures land in one equivalence class;
+   all-zero / all-one signatures tag the class as constant. *)
+let discover_classes plan ~sim_cycles =
+  let sa = Cyclesim.create plan.a and sb = Cyclesim.create plan.b in
+  let n_samples = sim_cycles + 1 in
+  let make_sigs elts =
+    Array.map (fun e -> Array.init (Blast.elt_width e) (fun _ -> Bytes.make n_samples '0')) elts
+  in
+  let sigs_a = make_sigs plan.elts_a and sigs_b = make_sigs plan.elts_b in
+  let sample t =
+    let one sim elts sigs =
+      Array.iteri
+        (fun i e ->
+          let v = state_bits_value sim e in
+          Array.iteri
+            (fun bit sg ->
+              Bytes.set sg t (if Bits.bit v bit then '1' else '0'))
+            sigs.(i))
+        elts
+    in
+    one sa plan.elts_a sigs_a;
+    one sb plan.elts_b sigs_b
+  in
+  let rng = Random.State.make [| 0x51ac7 |] in
+  sample 0;
+  for t = 1 to sim_cycles do
+    List.iter
+      (fun (name, w, scope) ->
+        if scope = 0 then begin
+          let v = random_bits rng ~width:w in
+          Cyclesim.drive sa name v;
+          Cyclesim.drive sb name v
+        end)
+      plan.union_inputs;
+    Cyclesim.cycle sa;
+    Cyclesim.cycle sb;
+    sample t
+  done;
+  let classes = Hashtbl.create 997 in
+  let note side sigs =
+    Array.iteri
+      (fun i per_bit ->
+        Array.iteri
+          (fun bit sg ->
+            let key = Bytes.to_string sg in
+            Hashtbl.replace classes key
+              ((side, i, bit) :: (try Hashtbl.find classes key with Not_found -> [])))
+          per_bit)
+      sigs
+  in
+  note 0 sigs_a;
+  note 1 sigs_b;
+  let zeros = String.make n_samples '0' and ones = String.make n_samples '1' in
+  Hashtbl.fold
+    (fun key members acc ->
+      let members = List.rev members in
+      let const =
+        if key = zeros then Some false
+        else if key = ones then Some true
+        else None
+      in
+      match members with
+      | _ :: _ :: _ -> { members; const } :: acc
+      | [ _ ] when const <> None -> { members; const } :: acc
+      | _ -> acc)
+    classes []
+
+let init_bit plan (side, e, bit) =
+  let elts = if side = 0 then plan.elts_a else plan.elts_b in
+  Bits.bit (Blast.elt_init elts.(e)) bit
+
+(* --- Induction ----------------------------------------------------------- *)
+
+let debug = Sys.getenv_opt "EQUIV_DEBUG" <> None
+
+(* One induction frame over a free joint state: each class's relations
+   are assumed at time t through a selector literal and checked at time
+   t+1 (and on the outputs, at time t). When a check fails, the
+   countermodel's next-state valuation acts as one more signature
+   sample: every class is re-split by it. Refining — rather than
+   dropping the violated pairs — is what keeps the genuine relations a
+   class carried transitively: a spurious classmate separates out
+   without severing, say, a.count == b.count, which may have been
+   represented only through links to that classmate. *)
+let prove_by_induction plan ~classes ~bmc_depth ~max_induction ~with_fallback
+    ~refine_budget =
+  let solver = Solver.create () in
+  let st_a = free_state solver plan.elts_a in
+  let st_b = free_state solver plan.elts_b in
+  let _, fa, fb, out_viol = instantiate solver plan ~st_a ~st_b in
+  let cur_lit (side, e, bit) =
+    if side = 0 then st_a.(e).(bit) else st_b.(e).(bit)
+  in
+  let next_lit (side, e, bit) =
+    if side = 0 then fa.Blast.next.(e).(bit) else fb.Blast.next.(e).(bit)
+  in
+  let dbg_side_bit (side, e, bit) =
+    let elts = if side = 0 then plan.elts_a else plan.elts_b in
+    let base =
+      match elts.(e) with
+      | Blast.Reg_state s | Blast.Read_state s ->
+        Format.asprintf "%a" Signal.pp s
+      | Blast.Mem_word (m, i) -> Printf.sprintf "%s[%d]" (Signal.memory_name m) i
+    in
+    Printf.sprintf "%c:%s.%d" (if side = 0 then 'a' else 'b') base bit
+  in
+  let classes = ref classes in
+  let selectors = ref [] in
+  (* Each refinement round re-encodes the class constraints and pays a
+     SAT solve, and a round typically separates only one spurious
+     classmate. Classes discovered from a too-short simulation can need
+     hundreds of rounds, so the budget bounds the work per attempt: on
+     exhaustion the caller re-discovers from a longer simulation, which
+     starts with far fewer spurious classes. Refinement itself always
+     terminates — every round splits a class or drops a constant tag —
+     so the final attempt runs with an effectively unlimited budget. *)
+  let rec converge ~budget =
+    if debug then
+      Printf.eprintf "[equiv] converge: %d classes (budget %d)\n%!"
+        (List.length !classes) budget;
+    let sels = ref [] and goals = ref [] in
+    List.iter
+      (fun c ->
+        match c.members with
+        | [] -> ()
+        | rep :: rest ->
+          let s = Solver.new_var solver in
+          sels := s :: !sels;
+          List.iter
+            (fun m ->
+              Solver.add_clause solver [ -s; -cur_lit rep; cur_lit m ];
+              Solver.add_clause solver [ -s; cur_lit rep; -cur_lit m ];
+              goals := Blast.xor2 solver (next_lit rep) (next_lit m) :: !goals)
+            rest;
+          (match c.const with
+          | Some v ->
+            Solver.add_clause solver
+              [ -s; (if v then cur_lit rep else -cur_lit rep) ];
+            goals := (if v then -next_lit rep else next_lit rep) :: !goals
+          | None -> ()))
+      !classes;
+    selectors := !sels;
+    match !goals with
+    | [] -> true
+    | goals -> (
+      let act = Solver.new_var solver in
+      Solver.add_clause solver (-act :: goals);
+      match Solver.solve ~assumptions:(act :: !sels) solver with
+      | Solver.Unsat -> true
+      | Solver.Sat when budget = 0 -> false
+      | Solver.Sat ->
+        let progress = ref false in
+        classes :=
+          List.concat_map
+            (fun c ->
+              let zero, one =
+                List.partition
+                  (fun m -> not (Solver.value solver (next_lit m)))
+                  c.members
+              in
+              let sub members const =
+                match members with
+                | [] -> []
+                | [ _ ] when const = None -> []
+                | _ -> [ { members; const } ]
+              in
+              match c.const with
+              | Some v ->
+                let keep, lose = if v then (one, zero) else (zero, one) in
+                if lose <> [] then progress := true;
+                sub keep c.const @ sub lose None
+              | None ->
+                if zero <> [] && one <> [] then progress := true;
+                sub zero None @ sub one None)
+            !classes;
+        if not !progress then
+          (* Cannot happen: a Sat answer violates some goal, and that
+             goal's class must split (or lose its constant tag). *)
+          failwith "Equiv: induction refinement made no progress";
+        if debug then
+          Printf.eprintf "[equiv] refine -> %d classes\n%!"
+            (List.length !classes);
+        converge ~budget:(budget - 1))
+  in
+  if not (converge ~budget:refine_budget) then
+    Unknown "candidate refinement exceeded its budget"
+  else begin
+  (* The refined classes are sound only if the power-on state satisfies
+     them; discovery sampled the power-on state and refinement only
+     splits classes, so this cannot fire. *)
+  List.iter
+    (fun c ->
+      match c.members with
+      | [] -> ()
+      | rep :: rest ->
+        let r = init_bit plan rep in
+        if
+          (match c.const with Some v -> r <> v | None -> false)
+          || List.exists (fun m -> init_bit plan m <> r) rest
+        then failwith "Equiv: invariant class false at the initial state")
+    !classes;
+  (* Phase B: outputs equal, given the proven invariants. *)
+  if debug then
+    Printf.eprintf "[equiv] induction closed with %d classes\n%!"
+      (List.length !classes);
+  let act = Solver.new_var solver in
+  Solver.add_clause solver [ -act; out_viol ];
+  let phase_b = Solver.solve ~assumptions:(act :: !selectors) solver in
+  (if debug && phase_b = Solver.Sat then begin
+     List.iter
+       (fun nm ->
+         let va = Blast.model_bits solver (List.assoc nm fa.Blast.outputs)
+         and vb = Blast.model_bits solver (List.assoc nm fb.Blast.outputs) in
+         if not (Bits.equal va vb) then
+           Printf.eprintf "[equiv] phase B: output %s a=%s b=%s\n%!" nm
+             (Bits.to_string va) (Bits.to_string vb))
+       plan.shared_outputs;
+     let dump side st =
+       Array.iteri
+         (fun e lits ->
+           Printf.eprintf "[equiv]   %s = %s\n%!"
+             (dbg_side_bit (side, e, 0))
+             (Bits.to_string (Blast.model_bits solver lits)))
+         st
+     in
+     dump 0 st_a;
+     dump 1 st_b
+   end);
+  match phase_b with
+  | Solver.Unsat -> Proved
+  | Solver.Sat when not with_fallback ->
+    (* The caller will retry discovery with a longer simulation before
+       paying for k-induction. *)
+    Unknown "candidate induction left outputs undecided"
+  | Solver.Sat ->
+    (* Fallback: k-induction on output equality, strengthened with the
+       proven invariants (soundly assertable at every frame). The base
+       case is the BMC sweep, so k may not exceed its depth. *)
+    let invariants = !classes in
+    let solver = Solver.create () in
+    let assert_invariants st_a st_b =
+      let lit (side, e, bit) =
+        if side = 0 then st_a.(e).(bit) else st_b.(e).(bit)
+      in
+      List.iter
+        (fun c ->
+          match c.members with
+          | [] -> ()
+          | rep :: rest ->
+            List.iter
+              (fun m ->
+                Solver.add_clause solver [ -lit rep; lit m ];
+                Solver.add_clause solver [ lit rep; -lit m ])
+              rest;
+            (match c.const with
+            | Some v ->
+              Solver.add_clause solver [ (if v then lit rep else -lit rep) ]
+            | None -> ()))
+        invariants
+    in
+    let st_a = ref (free_state solver plan.elts_a) in
+    let st_b = ref (free_state solver plan.elts_b) in
+    assert_invariants !st_a !st_b;
+    let diffs = ref [] in
+    let proved = ref false in
+    let k = ref 0 in
+    let k_max = min max_induction bmc_depth in
+    while (not !proved) && !k <= k_max do
+      let _, fa, fb, diff = instantiate solver plan ~st_a:!st_a ~st_b:!st_b in
+      st_a := fa.Blast.next;
+      st_b := fb.Blast.next;
+      assert_invariants !st_a !st_b;
+      (* Assume equality at frames 0..k-1, require a difference at k. *)
+      (match !diffs with
+      | [] -> ()
+      | earlier -> (
+        let assumptions = diff :: List.map (fun d -> -d) earlier in
+        match Solver.solve ~assumptions solver with
+        | Solver.Unsat -> proved := true
+        | Solver.Sat -> ()));
+      diffs := diff :: !diffs;
+      incr k
+    done;
+    if !proved then Proved
+    else
+      Unknown
+        (Printf.sprintf
+           "candidate induction left outputs undecided and k-induction gave \
+            up at k=%d"
+           k_max)
+  end
+
+(* --- Top level ----------------------------------------------------------- *)
+
+let check ?(bmc_depth = 24) ?(max_induction = 20) ?(sim_cycles = 48) a b =
+  let plan = make_plan a b in
+  let stateless = Array.length plan.elts_a = 0 && Array.length plan.elts_b = 0 in
+  let solver = Solver.create () in
+  let sweep = bmc_sweep solver plan in
+  (* A shallow sweep catches real divergences cheaply; the full-depth
+     sweep only runs when induction cannot settle the question, because
+     miter solves on equivalent designs get dramatically harder with
+     unrolling depth. *)
+  let shallow = if stateless then 1 else min bmc_depth 12 in
+  match sweep ~depth:shallow with
+  | Some cex -> confirm_cex plan cex
+  | None ->
+    if stateless then Proved
+    else
+      (* Candidate quality is limited by how much of the state space
+         the random run visits; handshake-heavy designs need thousands
+         of cycles before pointers and latches decorrelate. Escalate
+         the simulation length before paying for the k-induction
+         fallback, which can be exponentially more expensive than a
+         longer (linear-cost) simulation. The k-induction base case is
+         the shallow sweep, so its k is bounded by [shallow]. *)
+      let schedule =
+        [ sim_cycles; max 512 (8 * sim_cycles); max 2048 (32 * sim_cycles) ]
+      in
+      let rec attempt = function
+        | [] -> assert false
+        | [ last ] ->
+          prove_by_induction plan
+            ~classes:(discover_classes plan ~sim_cycles:last)
+            ~bmc_depth:shallow ~max_induction ~with_fallback:true
+            ~refine_budget:max_int
+        | sc :: rest -> (
+          match
+            prove_by_induction plan
+              ~classes:(discover_classes plan ~sim_cycles:sc)
+              ~bmc_depth:shallow ~max_induction ~with_fallback:false
+              ~refine_budget:24
+          with
+          | Proved -> Proved
+          | Unknown _ -> attempt rest
+          | Counterexample _ as r -> r)
+      in
+      (match attempt schedule with
+      | Proved -> Proved
+      | Counterexample _ as r -> r
+      | Unknown why -> (
+        (* Induction gave up: resume the sweep to the full requested
+           depth in case a deeper concrete divergence exists. *)
+        match sweep ~depth:bmc_depth with
+        | Some cex -> confirm_cex plan cex
+        | None -> Unknown why))
+
+let assert_equivalent ?bmc_depth ?max_induction a b =
+  match check ?bmc_depth ?max_induction a b with
+  | Proved -> ()
+  | Counterexample cex ->
+    failwith
+      (Printf.sprintf "Equiv: %s and %s differ; counterexample:\n%s"
+         (Circuit.name a) (Circuit.name b)
+         (counterexample_to_string cex))
+  | Unknown why ->
+    failwith
+      (Printf.sprintf "Equiv: could not decide %s vs %s (%s)"
+         (Circuit.name a) (Circuit.name b) why)
+
+let optimize ?(verify = false) c =
+  if verify then
+    Optimize.run ~verify:(fun pre post -> assert_equivalent pre post) c
+  else Optimize.run c

@@ -1,0 +1,58 @@
+open Hwpat_rtl
+
+(** SAT-based equivalence checking of two circuits.
+
+    Ports are matched by name. Input ports that exist in only one of
+    the two circuits are constrained to zero — the convention under
+    which a pruned variant (unused request ports tied to ground before
+    optimisation) is compared against the full model on the retained
+    interface. Output ports present in both circuits must agree;
+    outputs exclusive to one side are ignored.
+
+    Combinational circuits are checked with a single-frame miter.
+    Sequential circuits are checked by (1) bounded search for a
+    counterexample from the power-on state, then (2) proof by candidate
+    equivalence induction in the style of van Eijk: random simulation
+    groups state bits (registers, synchronous-read latches, memory
+    words) of both circuits into candidate equality/constant classes,
+    and an incremental induction loop drops candidates that fail their
+    own induction step until the surviving set is closed; output
+    equality is then checked relative to those proven invariants, with
+    plain k-induction as a last resort. This is complete for the
+    structural rewrites {!Optimize} performs; [Unknown] is possible for
+    circuits that are equal for deeper reasons.
+
+    Every counterexample is replayed through {!Cyclesim} before being
+    reported; a divergence the simulator cannot reproduce raises
+    (it would mean the encoding disagrees with the simulator). *)
+
+type result =
+  | Proved
+  | Counterexample of (string * Bits.t) list list
+      (** One input assignment per cycle (cycle 0 first) driving the
+          matched circuits to differing outputs on the last cycle. *)
+  | Unknown of string  (** not decided; the string says how far we got *)
+
+val check :
+  ?bmc_depth:int ->
+  ?max_induction:int ->
+  ?sim_cycles:int ->
+  Circuit.t ->
+  Circuit.t ->
+  result
+(** Defaults: [bmc_depth = 24] (counterexample search bound, and the
+    base-case bound for k-induction), [max_induction = 20],
+    [sim_cycles = 48] (random-simulation length for candidate
+    discovery). *)
+
+val counterexample_to_string : (string * Bits.t) list list -> string
+
+val assert_equivalent :
+  ?bmc_depth:int -> ?max_induction:int -> Circuit.t -> Circuit.t -> unit
+(** Raises [Failure] with a readable message (including the replayed
+    counterexample, if any) unless [check] returns [Proved]. *)
+
+val optimize : ?verify:bool -> Circuit.t -> Circuit.t
+(** [Optimize.run] with the SAT checker plugged into its [verify]
+    hook: when [verify] is true (default false), proves the optimised
+    circuit equivalent to the original and raises otherwise. *)

@@ -1,0 +1,85 @@
+open Hwpat_rtl
+open Hwpat_rtl.Signal
+
+(* A deterministic random circuit builder. Produces a pool of signals
+   of mixed widths, combining inputs, constants, operators, muxes,
+   selects/concats and registers, then picks a few outputs. Moved
+   verbatim from the random-circuit test suite so the prove campaign
+   covers the same space; the seeded behaviour must not change. *)
+let build_random_circuit ~seed =
+  let rng = Random.State.make [| seed |] in
+  let rand n = Random.State.int rng n in
+  let widths = [| 1; 2; 3; 4; 8 |] in
+  let random_width () = widths.(rand (Array.length widths)) in
+  let inputs = ref [] in
+  let input_counter = ref 0 in
+  let new_input w =
+    incr input_counter;
+    let name = Printf.sprintf "in%d" !input_counter in
+    let s = input name w in
+    inputs := (name, w) :: !inputs;
+    s
+  in
+  let pool = ref [] in
+  let add s = pool := s :: !pool in
+  (* Seed the pool. *)
+  for _ = 1 to 4 do
+    add (new_input (random_width ()))
+  done;
+  add (of_int ~width:8 (rand 256));
+  add (of_int ~width:1 (rand 2));
+  add vdd;
+  add gnd;
+  let pick () = List.nth !pool (rand (List.length !pool)) in
+  let pick_width w =
+    (* Find one of width w or adapt one. *)
+    match List.find_opt (fun s -> width s = w) !pool with
+    | Some s when rand 2 = 0 -> s
+    | _ -> uresize (pick ()) w
+  in
+  for _ = 1 to 30 + rand 40 do
+    let node =
+      match rand 10 with
+      | 0 ->
+        let a = pick () in
+        let b = pick_width (width a) in
+        a +: b
+      | 1 ->
+        let a = pick () in
+        a -: pick_width (width a)
+      | 2 ->
+        let a = pick () in
+        a &: pick_width (width a)
+      | 3 ->
+        let a = pick () in
+        a |: pick_width (width a)
+      | 4 ->
+        let a = pick () in
+        a ^: pick_width (width a)
+      | 5 -> ~:(pick ())
+      | 6 ->
+        let a = pick () in
+        uresize (a ==: pick_width (width a)) (random_width ())
+      | 7 ->
+        let sel = pick_width 1 in
+        let a = pick () in
+        mux2 sel a (pick_width (width a))
+      | 8 ->
+        let a = pick () in
+        let hi = rand (width a) in
+        let lo = rand (hi + 1) in
+        uresize (select a ~high:hi ~low:lo) (random_width ())
+      | _ ->
+        let d = pick () in
+        let enable = if rand 2 = 0 then Some (pick_width 1) else None in
+        let clear = if rand 3 = 0 then Some (pick_width 1) else None in
+        let init = Bits.of_int ~width:(width d) (rand 200) in
+        reg ?enable ?clear ~init d
+    in
+    add node
+  done;
+  let n_outputs = 2 + rand 3 in
+  let outputs =
+    List.init n_outputs (fun i -> (Printf.sprintf "out%d" i, pick ()))
+  in
+  (Circuit.create_exn ~name:(Printf.sprintf "rand%d" seed) outputs, !inputs)

@@ -1,0 +1,14 @@
+open Hwpat_rtl
+
+(** Deterministic random netlist generation.
+
+    The seeded builder behind the random-circuit property tests, shared
+    with the [hwpat prove] campaign so the CLI proves equivalence over
+    exactly the circuits the test suite fuzzes. *)
+
+val build_random_circuit : seed:int -> Circuit.t * (string * int) list
+(** A pool-grown random circuit (mixed widths, all operators, muxes,
+    selects/concats, registers with optional enable/clear) and its
+    input ports as [(name, width)] — including ports a later
+    optimisation pass may remove as dead, so stimulus streams can stay
+    identical across variants. Deterministic in [seed]. *)

@@ -1,0 +1,50 @@
+(** A self-contained CDCL SAT solver.
+
+    Pure OCaml, no external dependencies: conflict-driven clause
+    learning with two-watched-literal propagation, first-UIP learning,
+    VSIDS-style activity branching, phase saving and geometric
+    restarts. Small by design — the instances the formal layer
+    produces (miters of structurally similar netlists plus candidate
+    invariants) are propagation-dominated, so the classic algorithm
+    with no clause-database reduction is plenty.
+
+    Literals follow the DIMACS convention: a variable is a positive
+    integer and its negation is the negative integer. The solver is
+    incremental: clauses may be added between [solve] calls and
+    [solve ~assumptions] checks satisfiability under a temporary set of
+    unit assumptions without committing them. *)
+
+type t
+
+type lit = int
+(** Non-zero; [-l] is the negation of [l]. *)
+
+type result = Sat | Unsat
+
+val create : unit -> t
+
+val new_var : t -> lit
+(** Fresh variable, returned as its positive literal. *)
+
+val true_lit : t -> lit
+(** A literal constrained true in every model (for constant folding in
+    encoders). Its negation is constant false. *)
+
+val add_clause : t -> lit list -> unit
+(** Add a clause over existing literals. Tautologies are dropped;
+    an empty (or all-false-at-level-0) clause makes the formula
+    unsatisfiable for all future [solve] calls. *)
+
+val solve : ?assumptions:lit list -> t -> result
+(** Decide satisfiability of the added clauses, under the given
+    temporary assumptions (each forced true for this call only). *)
+
+val value : t -> lit -> bool
+(** Model value of a literal after a [Sat] answer. Unconstrained
+    variables read as false. *)
+
+val num_vars : t -> int
+val num_clauses : t -> int
+
+val num_conflicts : t -> int
+(** Total conflicts across all [solve] calls (a work measure). *)

@@ -65,8 +65,4 @@ let to_string circuit =
   Buffer.add_string buf "}\n";
   Buffer.contents buf
 
-let write_file circuit path =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (to_string circuit))
+let write_file circuit path = Util.write_file path (to_string circuit)

@@ -225,3 +225,8 @@ let circuit c =
     List.map (fun (name, s) -> (name, opt ctx s)) (Circuit.outputs c)
   in
   Circuit.create_exn ~name:(Circuit.name c) outputs
+
+let run ?verify c =
+  let optimised = circuit c in
+  (match verify with Some f -> f c optimised | None -> ());
+  optimised

@@ -24,6 +24,14 @@ val circuit : Circuit.t -> Circuit.t
 (** Rebuild the circuit with the rules above applied. Port names and
     order are preserved. *)
 
+val run : ?verify:(Circuit.t -> Circuit.t -> unit) -> Circuit.t -> Circuit.t
+(** {!circuit} with a proof hook: [verify original optimised] is called
+    after the rewrite and should raise if it cannot show the two
+    circuits equivalent. The formal layer plugs its SAT-based
+    equivalence checker in here ([Hwpat_formal.Equiv.optimize]); the
+    hook lives on this side so the optimiser does not depend on the
+    checker. *)
+
 val signal : Signal.t -> Signal.t
 (** Optimise a single cone (memoised per call). Prefer {!circuit} for
     whole designs so memories are rebuilt consistently. *)

@@ -6,3 +6,10 @@ let clog2 n =
 let address_bits n = max 1 (clog2 n)
 let bits_to_represent n = max 1 (clog2 (n + 1))
 let is_power_of_two n = n > 0 && n land (n - 1) = 0
+
+let with_out_file path f =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> f oc)
+
+let write_file path contents =
+  with_out_file path (fun oc -> output_string oc contents)

@@ -11,3 +11,15 @@ val bits_to_represent : int -> int
 (** Bits needed to hold the value [n] itself: [bits_to_represent 8 = 4]. *)
 
 val is_power_of_two : int -> bool
+
+(** {1 Output files}
+
+    All writers in the library funnel through these so an exception
+    mid-write can never leak an open channel: the file is closed (and
+    therefore flushed as far as it got) on both paths. *)
+
+val with_out_file : string -> (out_channel -> 'a) -> 'a
+(** Open [path] for writing, run the callback, and close the channel
+    whether the callback returns or raises. *)
+
+val write_file : string -> string -> unit

@@ -91,8 +91,4 @@ let to_string t =
   Buffer.add_buffer buf t.changes;
   Buffer.contents buf
 
-let write_file t path =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (to_string t))
+let write_file t path = Util.write_file path (to_string t)

@@ -64,6 +64,74 @@ let seq_harness ~name ~width build =
   in
   Cyclesim.create circuit
 
+(* --- Counterexample replay ------------------------------------------ *)
+
+(* A per-cycle named input assignment, as produced by the formal layer's
+   counterexamples and by recording differential-test stimulus. *)
+
+let assignment_to_string assignment =
+  String.concat ", "
+    (List.map (fun (n, v) -> Printf.sprintf "%s=%s" n (Bits.to_string v)) assignment)
+
+let trace_to_string ?(max_cycles = 20) trace =
+  let n = List.length trace in
+  let skipped = max 0 (n - max_cycles) in
+  let shown = List.filteri (fun i _ -> i >= skipped) trace in
+  let header =
+    if skipped > 0 then
+      Printf.sprintf "  (... %d earlier cycles elided ...)\n" skipped
+    else ""
+  in
+  header
+  ^ String.concat "\n"
+      (List.mapi
+         (fun i a ->
+           Printf.sprintf "  cycle %d: %s" (skipped + i) (assignment_to_string a))
+         shown)
+
+type engine_divergence = {
+  at : int;  (* 0-based cycle index into the trace *)
+  port : string;
+  reference : Bits.t;
+  compiled : Bits.t;
+}
+
+(* Drive a per-cycle named input assignment through BOTH simulation
+   engines and diff every output port after every cycle. Returns the
+   first divergence, or None if the engines agree over the whole
+   trace. Ports named in the assignment but absent from the circuit
+   are ignored (the convention for optimised-away inputs). *)
+let replay_both circuit trace =
+  let ref_sim = Cyclesim.create ~engine:Cyclesim.Reference circuit in
+  let cmp_sim = Cyclesim.create ~engine:Cyclesim.Compiled circuit in
+  let in_ports = Circuit.inputs circuit in
+  let result = ref None in
+  (try
+     List.iteri
+       (fun cycle assignment ->
+         List.iter
+           (fun (name, v) ->
+             if List.mem_assoc name in_ports then begin
+               Cyclesim.drive ref_sim name v;
+               Cyclesim.drive cmp_sim name v
+             end)
+           assignment;
+         Cyclesim.cycle ref_sim;
+         Cyclesim.cycle cmp_sim;
+         List.iter
+           (fun (name, _) ->
+             let a = !(Cyclesim.out_port ref_sim name)
+             and b = !(Cyclesim.out_port cmp_sim name) in
+             if not (Bits.equal a b) then begin
+               result :=
+                 Some { at = cycle; port = name; reference = a; compiled = b };
+               raise Exit
+             end)
+           (Circuit.outputs circuit))
+       trace
+   with Exit -> ());
+  !result
+
 (* Idle the simulator with all requests low. *)
 let quiesce sim =
   (try set sim "get_req" ~width:1 0 with Invalid_argument _ -> ());

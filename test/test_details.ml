@@ -245,6 +245,37 @@ let bits_props =
           (Bits.mul (f a) (Bits.mul (f b) (f c))));
   ]
 
+(* --- Output-file discipline --------------------------------------------- *)
+
+let read_back path =
+  let ic = open_in_bin path in
+  let contents = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  contents
+
+(* Every writer in the library funnels through Util.with_out_file; a
+   callback that raises must still close (and therefore flush) the
+   channel, and the exception must reach the caller untouched. *)
+let test_writer_closes_on_raise () =
+  let path = Filename.temp_file "hwpat_util" ".txt" in
+  let escaped = ref false in
+  (try
+     Util.with_out_file path (fun oc ->
+         output_string oc "partial";
+         failwith "writer exploded")
+   with Failure msg -> escaped := msg = "writer exploded");
+  check_bool "exception propagates" true !escaped;
+  let contents = read_back path in
+  Sys.remove path;
+  check_bool "channel closed: partial write flushed" true (contents = "partial")
+
+let test_write_file_roundtrip () =
+  let path = Filename.temp_file "hwpat_util" ".txt" in
+  Util.write_file path "hello\n";
+  let contents = read_back path in
+  Sys.remove path;
+  check_bool "roundtrip" true (contents = "hello\n")
+
 let () =
   Alcotest.run "details"
     [
@@ -265,4 +296,9 @@ let () =
           Alcotest.test_case "assoc exhaustion" `Quick test_assoc_capacity_exhaustion;
         ] );
       ("bits properties", bits_props);
+      ( "writers",
+        [
+          Alcotest.test_case "close on raise" `Quick test_writer_closes_on_raise;
+          Alcotest.test_case "write_file roundtrip" `Quick test_write_file_roundtrip;
+        ] );
     ]

@@ -118,6 +118,103 @@ let test_feedback_register_preserved () =
   Cyclesim.settle sim;
   check_int "still counts" 5 (Bits.to_int !(Cyclesim.out_port sim "q"))
 
+(* --- Edge cases, pinned by simulation AND a SAT equivalence proof ------- *)
+
+let assert_optimize_equiv what raw =
+  match Hwpat_formal.Equiv.check raw (Optimize.circuit raw) with
+  | Hwpat_formal.Equiv.Proved -> ()
+  | Hwpat_formal.Equiv.Counterexample _ ->
+    Alcotest.failf "%s: optimiser changed behaviour" what
+  | Hwpat_formal.Equiv.Unknown why ->
+    Alcotest.failf "%s: equivalence undecided (%s)" what why
+
+(* Drive only the ports the optimiser kept: a dead input disappearing
+   from the optimised circuit is expected, not an error. *)
+let drive_if_present sim circuit name v =
+  if List.mem_assoc name (Circuit.inputs circuit) then Cyclesim.drive sim name v
+
+let test_mux_oob_const_select () =
+  (* Out-of-range constant selects clamp to the last case — the
+     {!Signal.mux_index} rule. The folder must agree with the
+     simulator on exactly where the clamp lands. *)
+  let a = input "a" 8 and b = input "b" 8 and c_in = input "c" 8 in
+  let raw =
+    Circuit.create_exn ~name:"oob"
+      [
+        ("clamp_inputs", mux (of_int ~width:3 6) [ a; b; c_in ]);
+        ( "clamp_consts",
+          mux (of_int ~width:2 3)
+            [ of_int ~width:4 1; of_int ~width:4 2; of_int ~width:4 9 ] );
+        ("exact_last", mux (of_int ~width:2 2) [ a; b; c_in ]);
+      ]
+  in
+  let c = Optimize.circuit raw in
+  check_int "folded away" 0 (estimate c).Hwpat_synthesis.Techmap.luts;
+  check_bool "oob constant mux folds" true (is_const_out c "clamp_consts");
+  let sim = Cyclesim.create c in
+  drive_if_present sim c "a" (Bits.of_int ~width:8 0x11);
+  drive_if_present sim c "b" (Bits.of_int ~width:8 0x22);
+  drive_if_present sim c "c" (Bits.of_int ~width:8 0x5A);
+  Cyclesim.settle sim;
+  let out name = Bits.to_int !(Cyclesim.out_port sim name) in
+  check_int "oob select clamps to last case" 0x5A (out "clamp_inputs");
+  check_int "oob constant clamps to last case" 9 (out "clamp_consts");
+  check_int "in-range last case unchanged" 0x5A (out "exact_last");
+  assert_optimize_equiv "mux oob select" raw
+
+let test_adjacent_selects () =
+  (* Selects flush against the word boundaries: the part left of the
+     high slice (or right of the low slice) is zero-width, and
+     rejoining the two adjacent halves is the identity. *)
+  let x = input "x" 8 in
+  let raw =
+    Circuit.create_exn ~name:"sel"
+      [
+        ( "rejoin",
+          concat_msb [ select x ~high:7 ~low:4; select x ~high:3 ~low:0 ] );
+        ("msb_only", select x ~high:7 ~low:7);
+        ("lsb_only", select x ~high:0 ~low:0);
+        ("full", select x ~high:7 ~low:0);
+      ]
+  in
+  let c = Optimize.circuit raw in
+  check_int "all selects free" 0 (estimate c).Hwpat_synthesis.Techmap.luts;
+  let sim = Cyclesim.create c in
+  drive_if_present sim c "x" (Bits.of_int ~width:8 0xC3);
+  Cyclesim.settle sim;
+  let out name = Bits.to_int !(Cyclesim.out_port sim name) in
+  check_int "adjacent halves rejoin to the word" 0xC3 (out "rejoin");
+  check_int "top bit" 1 (out "msb_only");
+  check_int "bottom bit" 1 (out "lsb_only");
+  check_int "full-width select is the wire" 0xC3 (out "full");
+  assert_optimize_equiv "adjacent selects" raw
+
+let test_const_enable_registers () =
+  (* enable=vdd folds the recirculating mux away but must keep the
+     flop; enable=gnd folds the whole register to its init constant. *)
+  let d = input "d" 8 in
+  let raw =
+    Circuit.create_exn ~name:"cen"
+      [
+        ("always_on", reg ~enable:vdd d);
+        ("never_on", reg ~enable:gnd ~init:(Bits.of_int ~width:8 0x2A) d);
+        ("fb", reg_fb ~enable:vdd ~width:4 (fun q -> q +: one 4));
+      ]
+  in
+  let c = Optimize.circuit raw in
+  check_int "only the live flops remain" 12 (estimate c).Hwpat_synthesis.Techmap.ffs;
+  check_bool "gnd-enabled register is its init" true (is_const_out c "never_on");
+  let sim = Cyclesim.create c in
+  drive_if_present sim c "d" (Bits.of_int ~width:8 0x77);
+  Cyclesim.cycle sim;
+  Cyclesim.cycle sim;
+  Cyclesim.settle sim;
+  let out name = Bits.to_int !(Cyclesim.out_port sim name) in
+  check_int "vdd-enabled register tracks d" 0x77 (out "always_on");
+  check_int "gnd-enabled register holds init" 0x2A (out "never_on");
+  check_int "feedback counter advances" 2 (out "fb");
+  assert_optimize_equiv "constant enables" raw
+
 (* Semantics preservation on a real system: optimised saa2vga produces
    the same frame as the raw netlist. *)
 let test_system_equivalence () =
@@ -196,6 +293,15 @@ let () =
           Alcotest.test_case "unwritten memory" `Quick test_unwritten_memory_folds;
           Alcotest.test_case "feedback preserved" `Quick
             test_feedback_register_preserved;
+        ] );
+      ( "edge-cases",
+        [
+          Alcotest.test_case "mux oob const select" `Quick
+            test_mux_oob_const_select;
+          Alcotest.test_case "boundary-adjacent selects" `Quick
+            test_adjacent_selects;
+          Alcotest.test_case "constant enables" `Quick
+            test_const_enable_registers;
         ] );
       ( "equivalence",
         [

@@ -7,87 +7,12 @@
 
 open Hwpat_rtl
 open Hwpat_rtl.Signal
+module Sim_util = Hwpat_test_support.Sim_util
 
-(* A deterministic random circuit builder. Produces a pool of signals
-   of mixed widths, combining inputs, constants, operators, muxes,
-   selects/concats and registers, then picks a few outputs. *)
-let build_random_circuit ~seed =
-  let rng = Random.State.make [| seed |] in
-  let rand n = Random.State.int rng n in
-  let widths = [| 1; 2; 3; 4; 8 |] in
-  let random_width () = widths.(rand (Array.length widths)) in
-  let inputs = ref [] in
-  let input_counter = ref 0 in
-  let new_input w =
-    incr input_counter;
-    let name = Printf.sprintf "in%d" !input_counter in
-    let s = input name w in
-    inputs := (name, w) :: !inputs;
-    s
-  in
-  let pool = ref [] in
-  let add s = pool := s :: !pool in
-  (* Seed the pool. *)
-  for _ = 1 to 4 do
-    add (new_input (random_width ()))
-  done;
-  add (of_int ~width:8 (rand 256));
-  add (of_int ~width:1 (rand 2));
-  add vdd;
-  add gnd;
-  let pick () = List.nth !pool (rand (List.length !pool)) in
-  let pick_width w =
-    (* Find one of width w or adapt one. *)
-    match List.find_opt (fun s -> width s = w) !pool with
-    | Some s when rand 2 = 0 -> s
-    | _ -> uresize (pick ()) w
-  in
-  for _ = 1 to 30 + rand 40 do
-    let node =
-      match rand 10 with
-      | 0 ->
-        let a = pick () in
-        let b = pick_width (width a) in
-        a +: b
-      | 1 ->
-        let a = pick () in
-        a -: pick_width (width a)
-      | 2 ->
-        let a = pick () in
-        a &: pick_width (width a)
-      | 3 ->
-        let a = pick () in
-        a |: pick_width (width a)
-      | 4 ->
-        let a = pick () in
-        a ^: pick_width (width a)
-      | 5 -> ~:(pick ())
-      | 6 ->
-        let a = pick () in
-        uresize (a ==: pick_width (width a)) (random_width ())
-      | 7 ->
-        let sel = pick_width 1 in
-        let a = pick () in
-        mux2 sel a (pick_width (width a))
-      | 8 ->
-        let a = pick () in
-        let hi = rand (width a) in
-        let lo = rand (hi + 1) in
-        uresize (select a ~high:hi ~low:lo) (random_width ())
-      | _ ->
-        let d = pick () in
-        let enable = if rand 2 = 0 then Some (pick_width 1) else None in
-        let clear = if rand 3 = 0 then Some (pick_width 1) else None in
-        let init = Bits.of_int ~width:(width d) (rand 200) in
-        reg ?enable ?clear ~init d
-    in
-    add node
-  done;
-  let n_outputs = 2 + rand 3 in
-  let outputs =
-    List.init n_outputs (fun i -> (Printf.sprintf "out%d" i, pick ()))
-  in
-  (Circuit.create_exn ~name:(Printf.sprintf "rand%d" seed) outputs, !inputs)
+(* The deterministic random circuit builder lives in the formal
+   library ({!Hwpat_formal.Netgen}) so the SAT-based proof battery and
+   this property suite draw from the same seeded distribution. *)
+let build_random_circuit = Hwpat_formal.Netgen.build_random_circuit
 
 let run_sim circuit ~inputs ~seed ~cycles =
   let sim = Cyclesim.create circuit in
@@ -160,7 +85,12 @@ let test_emitters_on_random_circuits () =
 (* Step the naive reference interpreter and the compiled levelized
    engine through the same circuit in lock-step on identical stimulus,
    asserting identical outputs and register/sync-read state every
-   cycle, and identical peeks of every signal at intervals. *)
+   cycle, and identical peeks of every signal at intervals.
+
+   [drive] returns the named assignment it applied this cycle; the
+   accumulated trace is replayed through {!Sim_util.replay_both} and
+   printed on divergence, so a failure reports the offending stimulus
+   rather than just a seed. *)
 let lockstep ?(full_peek_every = 16) ~what ~cycles ~drive circuit =
   let ref_sim = Cyclesim.create ~engine:Cyclesim.Reference circuit in
   let cmp_sim = Cyclesim.create ~engine:Cyclesim.Compiled circuit in
@@ -171,8 +101,26 @@ let lockstep ?(full_peek_every = 16) ~what ~cycles ~drive circuit =
       (Circuit.signals circuit)
   in
   let all_signals = Circuit.signals circuit in
+  let trace = ref [] in
+  let fail_with_trace fmt =
+    Printf.ksprintf
+      (fun msg ->
+        let stimulus = Sim_util.trace_to_string (List.rev !trace) in
+        let confirmed =
+          match Sim_util.replay_both circuit (List.rev !trace) with
+          | Some d ->
+            Printf.sprintf
+              "replay confirms: output %s diverges at cycle %d (%s vs %s)"
+              d.Sim_util.port d.Sim_util.at
+              (Bits.to_string d.Sim_util.reference)
+              (Bits.to_string d.Sim_util.compiled)
+          | None -> "replay of recorded stimulus does not itself diverge"
+        in
+        Alcotest.failf "%s\nstimulus:\n%s\n%s" msg stimulus confirmed)
+      fmt
+  in
   for cycle = 1 to cycles do
-    drive ref_sim cmp_sim cycle;
+    trace := drive ref_sim cmp_sim cycle :: !trace;
     Cyclesim.cycle ref_sim;
     Cyclesim.cycle cmp_sim;
     List.iter
@@ -180,7 +128,7 @@ let lockstep ?(full_peek_every = 16) ~what ~cycles ~drive circuit =
         let a = !(Cyclesim.out_port ref_sim name)
         and b = !(Cyclesim.out_port cmp_sim name) in
         if not (Bits.equal a b) then
-          Alcotest.failf "%s cycle %d: output %s diverges (%s vs %s)" what
+          fail_with_trace "%s cycle %d: output %s diverges (%s vs %s)" what
             cycle name (Bits.to_string a) (Bits.to_string b))
       (Circuit.outputs circuit);
     List.iter
@@ -188,29 +136,35 @@ let lockstep ?(full_peek_every = 16) ~what ~cycles ~drive circuit =
         let a = Cyclesim.peek_state ref_sim r
         and b = Cyclesim.peek_state cmp_sim r in
         if not (Bits.equal a b) then
-          Alcotest.failf "%s cycle %d: state of %a diverges (%s vs %s)" what
-            cycle Signal.pp r (Bits.to_string a) (Bits.to_string b))
+          fail_with_trace "%s cycle %d: state of %s diverges (%s vs %s)" what
+            cycle
+            (Format.asprintf "%a" Signal.pp r)
+            (Bits.to_string a) (Bits.to_string b))
       regs;
     if cycle mod full_peek_every = 0 then
       List.iter
         (fun s ->
           let a = Cyclesim.peek ref_sim s and b = Cyclesim.peek cmp_sim s in
           if not (Bits.equal a b) then
-            Alcotest.failf "%s cycle %d: peek of %a diverges (%s vs %s)" what
-              cycle Signal.pp s (Bits.to_string a) (Bits.to_string b))
+            fail_with_trace "%s cycle %d: peek of %s diverges (%s vs %s)" what
+              cycle
+              (Format.asprintf "%a" Signal.pp s)
+              (Bits.to_string a) (Bits.to_string b))
         all_signals
   done
 
 let random_driver ~inputs ~seed circuit =
   let rng = Random.State.make [| (seed * 7919) + 13 |] in
   fun ref_sim cmp_sim _cycle ->
-    List.iter
+    List.filter_map
       (fun (name, w) ->
         let v = Bits.of_int ~width:w (Random.State.int rng (1 lsl min w 20)) in
         if List.mem_assoc name (Circuit.inputs circuit) then begin
           Cyclesim.drive ref_sim name v;
-          Cyclesim.drive cmp_sim name v
-        end)
+          Cyclesim.drive cmp_sim name v;
+          Some (name, v)
+        end
+        else None)
       inputs
 
 (* The 40 differential circuits are independent: shard them across
