@@ -632,6 +632,104 @@ let prove_section ?(smoke = false) ?(max_jobs = 4) () =
   if not (Prove.all_ok results) then exit 1
 
 (* ---------------------------------------------------------------- *)
+(* §obsoverhead: cost of the observability layer on the blur          *)
+(* workload.  The same [Experiment.run_video_system] call is timed    *)
+(* with hooks disabled ([Trace.null]/[Metrics.null], the default),    *)
+(* with tracing enabled, and with tracing and metrics both enabled;   *)
+(* the fully-enabled run must stay within 3% of the disabled one.     *)
+(* Timing is interleaved round-robin across the configs and the       *)
+(* per-config minimum is taken, so clock-frequency drift and          *)
+(* scheduler noise hit every config alike instead of faking an        *)
+(* overhead on whichever config was measured in a slow period.        *)
+(* ---------------------------------------------------------------- *)
+
+let obsoverhead ?(smoke = false) () =
+  banner
+    (Printf.sprintf "§obsoverhead — observability layer cost, blur workload%s"
+       (if smoke then " (smoke)" else ""));
+  let module Trace = Hwpat_obs.Trace in
+  let module Metrics = Hwpat_obs.Metrics in
+  let side = if smoke then 16 else 32 in
+  let reps = if smoke then 15 else 21 in
+  let circuit =
+    Blur_system.build ~image_width:side ~max_rows:side
+      ~style:Blur_system.Pattern ()
+  in
+  let frame = Pattern.gradient ~width:side ~height:side ~depth:8 in
+  let cycles = ref 0 in
+  let run ~trace ~metrics () =
+    let r =
+      Experiment.run_video_system ~trace ~metrics circuit ~input:frame
+        ~out_width:(side - 2) ~out_height:(side - 2)
+    in
+    cycles := r.Experiment.cycles
+  in
+  let time_once f =
+    let t0 = Unix.gettimeofday () in
+    f ();
+    max 1e-9 (Unix.gettimeofday () -. t0)
+  in
+  (* Warm-up: touch every code path once before timing anything. *)
+  run ~trace:(Trace.create ()) ~metrics:(Metrics.create ()) ();
+  let configs =
+    [
+      ( "disabled",
+        fun () -> run ~trace:Trace.null ~metrics:Metrics.null () );
+      ( "trace",
+        fun () -> run ~trace:(Trace.create ()) ~metrics:Metrics.null () );
+      ( "trace+metrics",
+        fun () -> run ~trace:(Trace.create ()) ~metrics:(Metrics.create ()) () );
+    ]
+  in
+  let best = Array.make (List.length configs) infinity in
+  for _ = 1 to reps do
+    List.iteri
+      (fun i (_, f) -> best.(i) <- min best.(i) (time_once f))
+      configs
+  done;
+  let timed = List.mapi (fun i (name, _) -> (name, best.(i))) configs in
+  let t_disabled = List.assoc "disabled" timed in
+  let overhead_pct name =
+    100.0 *. (List.assoc name timed -. t_disabled) /. t_disabled
+  in
+  List.iter
+    (fun (name, seconds) ->
+      Printf.printf "  %-14s %8.3f ms/run  %10.0f cyc/s%s\n" name
+        (1000.0 *. seconds)
+        (float_of_int !cycles /. seconds)
+        (if name = "disabled" then ""
+         else Printf.sprintf "   (%+.2f%%)" (overhead_pct name)))
+    timed;
+  let budget_pct = 3.0 in
+  let worst = overhead_pct "trace+metrics" in
+  let ok = worst < budget_pct in
+  Printf.printf "  fully-enabled overhead %+.2f%% vs disabled (budget %.0f%%): %s\n"
+    worst budget_pct
+    (if ok then "PASS" else "FAIL");
+  let json =
+    let buf = Buffer.create 512 in
+    let emit fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+    emit "{\n  \"bench\": \"obsoverhead\",\n  \"smoke\": %b,\n" smoke;
+    emit "  \"workload\": \"blur %dx%d\",\n  \"cycles\": %d,\n  \"reps\": %d,\n"
+      side side !cycles reps;
+    emit "  \"configs\": [\n";
+    List.iteri
+      (fun i (name, seconds) ->
+        emit
+          "    {\"config\": %S, \"min_seconds\": %.6f, \"overhead_pct\": %.3f}%s\n"
+          name seconds
+          (if name = "disabled" then 0.0 else overhead_pct name)
+          (if i = List.length timed - 1 then "" else ","))
+      timed;
+    emit "  ],\n  \"budget_pct\": %.1f,\n  \"ok\": %b\n}\n" budget_pct ok;
+    Buffer.contents buf
+  in
+  let path = "BENCH_obs.json" in
+  Hwpat_rtl.Util.write_file path json;
+  Printf.printf "\n  wrote %s\n" path;
+  if not ok then exit 1
+
+(* ---------------------------------------------------------------- *)
 (* Bechamel wall-clock benches: one per table.                        *)
 (* ---------------------------------------------------------------- *)
 
@@ -732,6 +830,7 @@ let () =
       ("simthroughput", fun () -> sim_throughput ~smoke ());
       ("parscaling", fun () -> parscaling ~smoke ~max_jobs:!max_jobs ());
       ("prove", fun () -> prove_section ~smoke ~max_jobs:!max_jobs ());
+      ("obsoverhead", fun () -> obsoverhead ~smoke ());
       ("bechamel", bechamel_section);
     ]
   in

@@ -167,7 +167,8 @@ let build_design name style ~frame_w ~frame_h =
     match String.lowercase_ascii style with
     | "pattern" -> `Pattern
     | "custom" -> `Custom
-    | other -> failwith (Printf.sprintf "unknown style %S" other)
+    | other ->
+      failwith (Printf.sprintf "unknown style %S (valid: pattern, custom)" other)
   in
   match (String.lowercase_ascii name, style_s) with
   | "saa2vga-fifo", `Pattern ->
@@ -191,7 +192,11 @@ let build_design name style ~frame_w ~frame_h =
   | "sobel", `Pattern ->
     (Hwpat_core.Sobel_system.build ~image_width:frame_w ~max_rows:frame_h (), `Sobel)
   | "sobel", `Custom -> failwith "sobel exists in pattern style only"
-  | other, _ -> failwith (Printf.sprintf "unknown design %S" other)
+  | other, _ ->
+    failwith
+      (Printf.sprintf
+         "unknown design %S (valid: saa2vga-fifo, saa2vga-sram, blur, sobel)"
+         other)
 
 let make_frame pattern w h =
   match String.lowercase_ascii pattern with
@@ -199,16 +204,78 @@ let make_frame pattern w h =
   | "checker" -> Hwpat_video.Pattern.checkerboard ~width:w ~height:h ~depth:8 ()
   | "random" -> Hwpat_video.Pattern.random ~width:w ~height:h ~depth:8 ()
   | "bars" -> Hwpat_video.Pattern.bars ~width:w ~height:h ~depth:8
-  | other -> failwith (Printf.sprintf "unknown pattern %S" other)
+  | other ->
+    failwith
+      (Printf.sprintf
+         "unknown pattern %S (valid: gradient, checker, random, bars)" other)
+
+(* --- observability flags shared by simulate/faultsim/sweep/prove --------- *)
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Profile the run and write a Chrome trace-event JSON file to \
+           $(docv) (load it in chrome://tracing or Perfetto).")
+
+let metrics_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:
+          "Write simulator/solver counters and histograms as JSON to $(docv).")
+
+(* Build the Trace/Metrics handles a command was asked for, run its
+   body, and write the output files afterwards.  Commands signal
+   partial failure with [exit] (mismatch, silent fault, failed proof),
+   which bypasses [Fun.protect]'s finaliser — the [at_exit] hook (with
+   the idempotence guard) makes sure the profile still lands on disk on
+   those paths; raised exceptions are covered by [Fun.protect] before
+   the top-level handler turns them into [exit 2]. *)
+let with_obs trace_path metrics_path f =
+  let trace =
+    match trace_path with
+    | None -> Hwpat_obs.Trace.null
+    | Some _ -> Hwpat_obs.Trace.create ()
+  in
+  let metrics =
+    match metrics_path with
+    | None -> Hwpat_obs.Metrics.null
+    | Some _ -> Hwpat_obs.Metrics.create ()
+  in
+  let flushed = ref false in
+  let flush () =
+    if not !flushed then begin
+      flushed := true;
+      Option.iter
+        (fun path ->
+          Hwpat_obs.Trace.write_file trace path;
+          Printf.eprintf "trace written to %s\n%!" path)
+        trace_path;
+      Option.iter
+        (fun path ->
+          Hwpat_obs.Metrics.write_file metrics path;
+          Printf.eprintf "metrics written to %s\n%!" path)
+        metrics_path
+    end
+  in
+  at_exit flush;
+  Fun.protect ~finally:flush (fun () -> f ~trace ~metrics)
 
 (* --- simulate ----------------------------------------------------------- *)
 
-let simulate design style width height pattern show vcd engine =
+let simulate design style width height pattern show vcd engine trace_path
+    metrics_path =
   let engine =
     match engine with
     | "compiled" -> Hwpat_rtl.Cyclesim.Compiled
     | "reference" -> Hwpat_rtl.Cyclesim.Reference
-    | other -> failwith (Printf.sprintf "unknown engine %S" other)
+    | other ->
+      failwith
+        (Printf.sprintf "unknown engine %S (valid: compiled, reference)" other)
   in
   let circuit, flavor = build_design design style ~frame_w:width ~frame_h:height in
   let frame = make_frame pattern width height in
@@ -218,10 +285,11 @@ let simulate design style width height pattern show vcd engine =
     | `Blur -> (width - 2, height - 2, Hwpat_video.Reference.blur frame)
     | `Sobel -> (width - 2, height - 2, Hwpat_video.Reference.sobel frame)
   in
+  with_obs trace_path metrics_path @@ fun ~trace ~metrics ->
   let r =
     try
-      Hwpat_core.Experiment.run_video_system ~engine ?vcd_path:vcd circuit
-        ~input:frame ~out_width:out_w ~out_height:out_h
+      Hwpat_core.Experiment.run_video_system ~trace ~metrics ~engine
+        ?vcd_path:vcd circuit ~input:frame ~out_width:out_w ~out_height:out_h
     with Hwpat_core.Experiment.Timeout d ->
       prerr_endline (Hwpat_core.Experiment.describe_timeout d);
       exit 2
@@ -275,7 +343,7 @@ let simulate_cmd =
     (Cmd.info "simulate" ~doc:"Simulate a design on a synthetic frame")
     Term.(
       const simulate $ design_arg $ style_arg $ width $ height $ pattern $ show
-      $ vcd $ engine)
+      $ vcd $ engine $ trace_arg $ metrics_arg)
 
 (* --- report ------------------------------------------------------------- *)
 
@@ -313,10 +381,18 @@ let resolve_jobs = function
 
 (* --- sweep --------------------------------------------------------------- *)
 
-let sweep max_brams max_cycles jobs =
+let sweep max_brams max_cycles jobs trace_path metrics_path =
+  with_obs trace_path metrics_path @@ fun ~trace ~metrics ->
   let candidates =
-    Hwpat_core.Characterize.sweep ~jobs:(resolve_jobs jobs) ()
+    Hwpat_core.Characterize.sweep ~trace ~jobs:(resolve_jobs jobs) ()
   in
+  if Hwpat_obs.Metrics.enabled metrics then begin
+    Hwpat_obs.Metrics.incr metrics ~by:(List.length candidates) "sweep.points";
+    Hwpat_obs.Metrics.incr metrics
+      ~by:
+        (List.length (Hwpat_synthesis.Design_space.unmeasurable candidates))
+      "sweep.unmeasurable"
+  end;
   print_endline (Hwpat_synthesis.Design_space.to_table candidates);
   let constraints =
     {
@@ -340,11 +416,13 @@ let sweep_cmd =
   in
   Cmd.v
     (Cmd.info "sweep" ~doc:"Characterise the container design space")
-    Term.(const sweep $ max_brams $ max_cycles $ jobs_arg)
+    Term.(
+      const sweep $ max_brams $ max_cycles $ jobs_arg $ trace_arg $ metrics_arg)
 
 (* --- faultsim -------------------------------------------------------------- *)
 
-let faultsim design seed faults frame_size overhead jobs =
+let faultsim design seed faults frame_size overhead jobs trace_path
+    metrics_path =
   if faults < 0 then begin
     prerr_endline "hwpat: --faults must be non-negative";
     exit 2
@@ -354,9 +432,11 @@ let faultsim design seed faults frame_size overhead jobs =
     exit 2
   end;
   let build = Hwpat_core.Faultsim.find_design design in
+  with_obs trace_path metrics_path @@ fun ~trace ~metrics ->
   let summary =
-    Hwpat_core.Faultsim.run_campaign ~jobs:(resolve_jobs jobs) ~seed ~faults
-      ~frame_width:frame_size ~frame_height:frame_size ~build ~design ()
+    Hwpat_core.Faultsim.run_campaign ~trace ~metrics ~jobs:(resolve_jobs jobs)
+      ~seed ~faults ~frame_width:frame_size ~frame_height:frame_size ~build
+      ~design ()
   in
   print_string (Hwpat_core.Faultsim.render summary);
   if overhead then begin
@@ -399,13 +479,14 @@ let faultsim_cmd =
           attached; exits non-zero if any fault goes silent")
     Term.(
       const faultsim $ design $ seed $ faults $ frame_size $ overhead
-      $ jobs_arg)
+      $ jobs_arg $ trace_arg $ metrics_arg)
 
 (* --- prove ----------------------------------------------------------------- *)
 
-let prove smoke jobs json =
+let prove smoke jobs json trace_path metrics_path =
   let jobs = resolve_jobs jobs in
-  let results = Hwpat_core.Prove.run ~jobs ~smoke () in
+  with_obs trace_path metrics_path @@ fun ~trace ~metrics ->
+  let results = Hwpat_core.Prove.run ~trace ~metrics ~jobs ~smoke () in
   print_string (Hwpat_core.Prove.summary results);
   (match json with
   | None -> ()
@@ -437,7 +518,7 @@ let prove_cmd =
          "Discharge the formal proof battery: protocol-monitor BMC on the \
           paper designs, SAT equivalence of optimised and pruned variants; \
           exits non-zero if any obligation fails")
-    Term.(const prove $ smoke $ jobs_arg $ json)
+    Term.(const prove $ smoke $ jobs_arg $ json $ trace_arg $ metrics_arg)
 
 (* --- tables --------------------------------------------------------------- *)
 
@@ -468,7 +549,9 @@ let emit design style lang optimize out =
     | "vhdl" -> Hwpat_rtl.Vhdl.to_string circuit
     | "verilog" -> Hwpat_rtl.Verilog.to_string circuit
     | "dot" -> Hwpat_rtl.Dot.to_string circuit
-    | other -> failwith (Printf.sprintf "unknown language %S" other)
+    | other ->
+      failwith
+        (Printf.sprintf "unknown language %S (valid: vhdl, verilog, dot)" other)
   in
   match out with
   | None -> print_string text
@@ -527,4 +610,15 @@ let () =
     Cmd.info "hwpat" ~version:Version.version
       ~doc:"Hardware design patterns: the Iterator pattern for hardware"
   in
-  exit (Cmd.eval (Cmd.group ~default:default_term info subcommands))
+  (* User errors (unknown design/style/engine/language/pattern) are
+     raised as [Failure]/[Invalid_argument] deep in the command bodies;
+     without [~catch:false] cmdliner would print them as uncaught
+     exceptions with a backtrace and exit 125.  Turn them into a
+     one-line diagnostic and the conventional usage-error exit code. *)
+  match
+    Cmd.eval ~catch:false (Cmd.group ~default:default_term info subcommands)
+  with
+  | code -> exit code
+  | exception (Failure msg | Invalid_argument msg) ->
+    prerr_endline ("hwpat: " ^ msg);
+    exit 2

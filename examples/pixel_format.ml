@@ -121,7 +121,7 @@ let drain sim =
     if n > 500 then failwith "get stuck";
     Cyclesim.cycle sim;
     if Bits.to_bool !(Cyclesim.out_port sim "get_ack") then
-      Bits.to_int_trunc !(Cyclesim.out_port sim "get_data")
+      Bits.to_int !(Cyclesim.out_port sim "get_data")
     else wait (n + 1)
   in
   let v = wait 0 in

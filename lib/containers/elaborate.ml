@@ -81,7 +81,28 @@ let random_circuit (cfg : Config.t) ~prune =
       ("length", r.Container_intf.length);
     ]
 
-let build (cfg : Config.t) ~prune =
+let build ?(trace = Hwpat_obs.Trace.null) (cfg : Config.t) ~prune =
+  let module Trace = Hwpat_obs.Trace in
+  Trace.span trace "elaborate"
+    ~args:
+      [
+        ("entity", Trace.String (Config.entity_name cfg));
+        ("kind", Trace.String (Metamodel.container_name cfg.kind));
+        ("prune", Trace.Bool prune);
+      ]
+  @@ fun () ->
+  (* Mirror the code generator's pruning decision as annotations: which
+     operations keep live driver ports, which get tied to zero. *)
+  if Trace.enabled trace && prune then begin
+    let cut =
+      List.filter
+        (fun op -> not (List.mem op cfg.ops_used))
+        (Metamodel.operations cfg.kind)
+    in
+    let names ops = String.concat "," (List.map Metamodel.operation_name ops) in
+    Trace.annotate trace "ops_kept" (Trace.String (names cfg.ops_used));
+    Trace.annotate trace "ops_tied_off" (Trace.String (names cut))
+  end;
   match cfg.kind with
   | Metamodel.Queue | Metamodel.Stack -> seq_circuit cfg ~prune
   | Metamodel.Vector -> random_circuit cfg ~prune
@@ -90,5 +111,7 @@ let build (cfg : Config.t) ~prune =
       (Printf.sprintf "Elaborate: unsupported container kind %s"
          (Metamodel.container_name k))
 
-let full cfg = build cfg ~prune:false
-let pruned cfg = Optimize.circuit (build cfg ~prune:true)
+let full ?trace cfg = build ?trace cfg ~prune:false
+
+let pruned ?trace cfg =
+  Optimize.circuit (build ?trace cfg ~prune:true)

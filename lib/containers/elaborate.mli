@@ -21,5 +21,9 @@
 
 open Hwpat_rtl
 
-val full : Hwpat_meta.Config.t -> Circuit.t
-val pruned : Hwpat_meta.Config.t -> Circuit.t
+val full : ?trace:Hwpat_obs.Trace.t -> Hwpat_meta.Config.t -> Circuit.t
+val pruned : ?trace:Hwpat_obs.Trace.t -> Hwpat_meta.Config.t -> Circuit.t
+(** [trace] (default disabled) records an [elaborate] span; for the
+    pruned form it is annotated with the pruning decision — the
+    operations whose driver ports stay live ([ops_kept]) and those
+    tied to constant zero ([ops_tied_off]). *)

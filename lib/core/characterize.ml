@@ -225,8 +225,20 @@ let characterize point =
    across domains. Every shard elaborates its own circuit and
    simulator, and results are merged in point order, so the candidate
    list is identical whatever [jobs] is. *)
-let sweep ?jobs ?(points = default_points) () =
-  Parallel.map ?jobs characterize points
+let sweep ?(trace = Hwpat_obs.Trace.null) ?jobs ?(points = default_points) () =
+  let module Trace = Hwpat_obs.Trace in
+  Trace.span trace "sweep"
+    ~args:[ ("points", Trace.Int (List.length points)) ]
+  @@ fun () ->
+  Parallel.map ?jobs
+    (fun point ->
+      (* Per-point spans land on the worker domain's lane: straggler
+         points are visible in the trace. *)
+      Trace.span trace
+        (Printf.sprintf "point:%s/%s/%dx%d" point.container point.target
+           point.elem_width point.depth)
+        (fun () -> characterize point))
+    points
 
 let region_report ~constraints candidates =
   let unmeasurable = Design_space.unmeasurable candidates in

@@ -34,11 +34,14 @@ val characterize : point -> Hwpat_synthesis.Design_space.candidate
     measurement times out comes back with [measured = false]. *)
 
 val sweep :
+  ?trace:Hwpat_obs.Trace.t ->
   ?jobs:int -> ?points:point list -> unit ->
   Hwpat_synthesis.Design_space.candidate list
 (** Characterise every point, sharded one point per job across [jobs]
     domains (default [Parallel.default_jobs ()]). Results are merged
-    in point order: the candidate list is identical for any [jobs]. *)
+    in point order: the candidate list is identical for any [jobs].
+    [trace] (default disabled) records one span per point on its
+    worker domain's lane. *)
 
 val region_report :
   constraints:Hwpat_synthesis.Design_space.constraints ->

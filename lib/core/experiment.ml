@@ -32,24 +32,60 @@ let () =
     | Timeout d -> Some (describe_timeout d)
     | _ -> None)
 
-let run_video_system ?engine ?(timeout_per_pixel = 400) ?vcd_path circuit
-    ~input ~out_width ~out_height =
-  let sim = Cyclesim.create ?engine circuit in
+let run_video_system ?(trace = Hwpat_obs.Trace.null)
+    ?(metrics = Hwpat_obs.Metrics.null) ?engine ?(timeout_per_pixel = 400)
+    ?vcd_path circuit ~input ~out_width ~out_height =
+  let module Trace = Hwpat_obs.Trace in
+  let module Metrics = Hwpat_obs.Metrics in
+  Trace.span trace "simulate"
+    ~args:[ ("design", Trace.String (Circuit.name circuit)) ]
+  @@ fun () ->
+  let sim =
+    Trace.span trace "compile" (fun () -> Cyclesim.create ?engine circuit)
+  in
   let vcd = Option.map (fun _ -> Vcd.create sim) vcd_path in
   let source = Video_source.create sim input in
   let sink = Vga_sink.create sim () in
   let expected = out_width * out_height in
   let budget = timeout_per_pixel * Frame.pixels input in
   let cycles = ref 0 in
-  while Vga_sink.count sink < expected && !cycles < budget do
-    Video_source.drive source;
-    Vga_sink.drive sink;
-    Cyclesim.cycle sim;
-    Option.iter Vcd.sample vcd;
-    Video_source.observe source;
-    Vga_sink.observe sink;
-    incr cycles
-  done;
+  let run_seconds = ref 0.0 in
+  (* The simulator's own counters feed the metrics registry whether the
+     run completes or times out — a hung run's activity profile is
+     exactly what the diagnosis needs. *)
+  let record_sim_metrics () =
+    if Metrics.enabled metrics then begin
+      let act = Cyclesim.activity sim in
+      Metrics.incr metrics ~by:!cycles "sim.cycles";
+      Metrics.incr metrics ~by:act.Cyclesim.settles "sim.settles";
+      Metrics.incr metrics ~by:act.Cyclesim.node_evals "sim.node_evals";
+      Metrics.gauge metrics "sim.total_nodes"
+        (float_of_int act.Cyclesim.total_nodes);
+      List.iter
+        (fun (kind, n) -> Metrics.incr metrics ~by:n ("sim.evals." ^ kind))
+        act.Cyclesim.kind_evals;
+      let full = act.Cyclesim.settles * act.Cyclesim.total_nodes in
+      if full > 0 then
+        Metrics.gauge metrics "sim.dirty_skip_rate"
+          (1.0 -. (float_of_int act.Cyclesim.node_evals /. float_of_int full));
+      if !run_seconds > 0.0 then
+        Metrics.gauge metrics "sim.cycles_per_sec"
+          (float_of_int !cycles /. !run_seconds)
+    end
+  in
+  Fun.protect ~finally:record_sim_metrics @@ fun () ->
+  Trace.span trace "run" (fun () ->
+      let t0 = Unix.gettimeofday () in
+      while Vga_sink.count sink < expected && !cycles < budget do
+        Video_source.drive source;
+        Vga_sink.drive sink;
+        Cyclesim.cycle sim;
+        Option.iter Vcd.sample vcd;
+        Video_source.observe source;
+        Vga_sink.observe sink;
+        incr cycles
+      done;
+      run_seconds := Unix.gettimeofday () -. t0);
   (match (vcd, vcd_path) with
   | Some v, Some path -> Vcd.write_file v path
   | _ -> ());

@@ -32,6 +32,8 @@ val describe_timeout : timeout_diagnosis -> string
     exception printer). *)
 
 val run_video_system :
+  ?trace:Hwpat_obs.Trace.t ->
+  ?metrics:Hwpat_obs.Metrics.t ->
   ?engine:Cyclesim.engine ->
   ?timeout_per_pixel:int ->
   ?vcd_path:string ->
@@ -45,7 +47,13 @@ val run_video_system :
     {!Timeout} with a handshake snapshot when the cycle budget runs
     out. [vcd_path] dumps a waveform of every named signal for the
     whole run. [engine] selects the simulation engine (default
-    compiled). *)
+    compiled).
+
+    [trace] (default disabled) records [simulate] > [compile] / [run]
+    spans; [metrics] (default disabled) receives the simulator's
+    activity counters under [sim.*] — cycles, settles, node
+    evaluations (total and per node kind), plus dirty-skip hit rate
+    and cycles/sec gauges — even when the run raises {!Timeout}. *)
 
 type table3_row = {
   label : string;                 (** e.g. "saa2vga 1" *)

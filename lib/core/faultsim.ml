@@ -106,15 +106,21 @@ let classify ~reference ~expected (collected, cycles, monitor, _, err_flag)
    visible). Reported events and descriptions come from the master
    circuit's campaign, and [Parallel.run] merges shard results in
    fault order, so the summary is bit-identical for any [jobs]. *)
-let run_campaign ?engine ?jobs ?(seed = 1) ?(faults = 20) ?(frame_width = 8)
-    ?(frame_height = 8) ~build ~design () =
+let run_campaign ?(trace = Hwpat_obs.Trace.null)
+    ?(metrics = Hwpat_obs.Metrics.null) ?engine ?jobs ?(seed = 1)
+    ?(faults = 20) ?(frame_width = 8) ?(frame_height = 8) ~build ~design () =
+  let module Trace = Hwpat_obs.Trace in
+  Trace.span trace "faultsim"
+    ~args:[ ("design", Trace.String design); ("faults", Trace.Int faults) ]
+  @@ fun () ->
   let frame = Pattern.gradient ~width:frame_width ~height:frame_height ~depth:8 in
   let expected = Frame.pixels frame in
   let circuit = build () in
   (* Fault-free reference run: also sanity-checks that the monitors
      stay silent on the healthy design. *)
   let reference, baseline_cycles, base_monitor, monitors, _ =
-    run_once ?engine ~budget:(400 * expected) ~frame circuit
+    Trace.span trace "baseline" (fun () ->
+        run_once ?engine ~budget:(400 * expected) ~frame circuit)
   in
   if List.length reference <> expected then
     invalid_arg
@@ -134,19 +140,32 @@ let run_campaign ?engine ?jobs ?(seed = 1) ?(faults = 20) ?(frame_width = 8)
     Array.map (Fault.describe_event_in circuit) events
   in
   let run_shard k =
+    (* One span per fault, recorded on the worker's own domain lane, so
+       the trace shows Parallel.run utilization and straggler shards. *)
+    Trace.span trace (Printf.sprintf "fault#%d" k) @@ fun () ->
     let shard_circuit = build () in
     let shard_events =
       Fault.random_campaign ~seed ~n:faults ~max_cycle:baseline_cycles
         shard_circuit
     in
     let event = List.nth shard_events k in
-    classify ~reference ~expected
-      (run_once ?engine ~events:[ event ] ~budget ~frame shard_circuit)
-      ~description:descriptions.(k) events.(k)
+    let r =
+      classify ~reference ~expected
+        (run_once ?engine ~events:[ event ] ~budget ~frame shard_circuit)
+        ~description:descriptions.(k) events.(k)
+    in
+    Trace.annotate trace "outcome" (Trace.String (outcome_name r.outcome));
+    r
   in
   let results =
     Array.to_list (Parallel.run ?jobs (Array.length events) run_shard)
   in
+  List.iter
+    (fun r ->
+      Hwpat_obs.Metrics.incr metrics
+        ("faultsim." ^ String.lowercase_ascii (outcome_name r.outcome)))
+    results;
+  Hwpat_obs.Metrics.incr metrics ~by:baseline_cycles "faultsim.baseline_cycles";
   { design; seed; monitors; baseline_cycles; results }
 
 (* --- Named designs (CLI / bench entry points) ---------------------------- *)

@@ -57,6 +57,8 @@ val run_once :
     [engine] selects the simulation engine (default compiled). *)
 
 val run_campaign :
+  ?trace:Hwpat_obs.Trace.t ->
+  ?metrics:Hwpat_obs.Metrics.t ->
   ?engine:Cyclesim.engine ->
   ?jobs:int ->
   ?seed:int ->

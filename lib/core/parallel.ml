@@ -14,8 +14,9 @@
 
    Exceptions do not race either: each shard records its own failure
    and after all domains join the exception of the *lowest-numbered*
-   failed shard is re-raised, so error reporting is as deterministic as
-   the results. *)
+   failed shard is re-raised — with the backtrace captured at the
+   failure site, not the join point — so error reporting is as
+   deterministic as the results. *)
 
 let max_jobs = 64
 
@@ -42,14 +43,21 @@ let run ?jobs n f =
         else
           match f i with
           | v -> results.(i) <- Some v
-          | exception e -> failures.(i) <- Some e
+          | exception e ->
+            (* capture the backtrace at the failure site so the
+               post-join re-raise does not report the join point *)
+            failures.(i) <- Some (e, Printexc.get_raw_backtrace ())
       done
     in
     (* jobs - 1 helper domains; the calling domain works too. *)
     let helpers = List.init (jobs - 1) (fun _ -> Domain.spawn worker) in
     worker ();
     List.iter Domain.join helpers;
-    Array.iter (function Some e -> raise e | None -> ()) failures;
+    Array.iter
+      (function
+        | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+        | None -> ())
+      failures;
     Array.map
       (function Some v -> v | None -> assert false (* every shard ran *))
       results

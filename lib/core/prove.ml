@@ -44,20 +44,22 @@ let paper_designs () =
           () );
   ]
 
-let monitor_tasks ~depth =
+let monitor_tasks ~trace ~metrics ~depth =
   List.map
     (fun (name, build) ->
       {
         t_name = name;
         t_kind = "monitor";
-        t_run = (fun () -> bmc_status (Bmc.check_auto ~depth (build ())));
+        t_run =
+          (fun () ->
+            bmc_status (Bmc.check_auto ~trace ~metrics ~depth (build ())));
       })
     (paper_designs ())
 
 (* Optimizer equivalence on the paper designs themselves, not just
    random netlists: the handshake-heavy control is where candidate
    induction has to work hardest. *)
-let design_equiv_tasks () =
+let design_equiv_tasks ~trace ~metrics () =
   List.map
     (fun (name, build) ->
       {
@@ -66,11 +68,12 @@ let design_equiv_tasks () =
         t_run =
           (fun () ->
             let c = build () in
-            equiv_status (Equiv.check c (Hwpat_rtl.Optimize.circuit c)));
+            equiv_status
+              (Equiv.check ~trace ~metrics c (Hwpat_rtl.Optimize.circuit c)));
       })
     (paper_designs ())
 
-let optimize_tasks ~seeds =
+let optimize_tasks ~trace ~metrics ~seeds =
   List.map
     (fun seed ->
       {
@@ -79,7 +82,8 @@ let optimize_tasks ~seeds =
         t_run =
           (fun () ->
             let c, _ = Netgen.build_random_circuit ~seed in
-            equiv_status (Equiv.check c (Hwpat_rtl.Optimize.circuit c)));
+            equiv_status
+              (Equiv.check ~trace ~metrics c (Hwpat_rtl.Optimize.circuit c)));
       })
     seeds
 
@@ -110,7 +114,7 @@ let prune_pairs () =
       ();
   ]
 
-let prune_tasks () =
+let prune_tasks ~trace ~metrics () =
   List.map
     (fun cfg ->
       {
@@ -119,26 +123,32 @@ let prune_tasks () =
         t_run =
           (fun () ->
             equiv_status
-              (Equiv.check
-                 (Hwpat_containers.Elaborate.full cfg)
-                 (Hwpat_containers.Elaborate.pruned cfg)));
+              (Equiv.check ~trace ~metrics
+                 (Hwpat_containers.Elaborate.full ~trace cfg)
+                 (Hwpat_containers.Elaborate.pruned ~trace cfg)));
       })
     (prune_pairs ())
 
-let battery ~smoke =
+let battery ?(trace = Hwpat_obs.Trace.null)
+    ?(metrics = Hwpat_obs.Metrics.null) ~smoke () =
   let seq a b = List.init (b - a + 1) (fun i -> a + i) in
   if smoke then
-    monitor_tasks ~depth:10 @ optimize_tasks ~seeds:(seq 1 10)
+    monitor_tasks ~trace ~metrics ~depth:10
+    @ optimize_tasks ~trace ~metrics ~seeds:(seq 1 10)
   else
-    monitor_tasks ~depth:20 @ design_equiv_tasks ()
-    @ optimize_tasks ~seeds:(seq 1 40)
-    @ prune_tasks ()
+    monitor_tasks ~trace ~metrics ~depth:20
+    @ design_equiv_tasks ~trace ~metrics ()
+    @ optimize_tasks ~trace ~metrics ~seeds:(seq 1 40)
+    @ prune_tasks ~trace ~metrics ()
 
 (* ---------------------------------------------------------------- *)
 (* Execution                                                        *)
 (* ---------------------------------------------------------------- *)
 
-let run_task t =
+let run_task ~trace t =
+  (* One span per obligation on its worker domain's lane; the Equiv/Bmc
+     phase spans nest underneath it. *)
+  Hwpat_obs.Trace.span trace (t.t_kind ^ ":" ^ t.t_name) @@ fun () ->
   let t0 = Unix.gettimeofday () in
   let ok, status =
     try t.t_run ()
@@ -152,10 +162,20 @@ let run_task t =
     seconds = Unix.gettimeofday () -. t0;
   }
 
-let run ?jobs ?(smoke = false) () =
-  let tasks = Array.of_list (battery ~smoke) in
-  Array.to_list
-    (Parallel.run ?jobs (Array.length tasks) (fun i -> run_task tasks.(i)))
+let run ?(trace = Hwpat_obs.Trace.null) ?(metrics = Hwpat_obs.Metrics.null)
+    ?jobs ?(smoke = false) () =
+  let tasks = Array.of_list (battery ~trace ~metrics ~smoke ()) in
+  let results =
+    Array.to_list
+      (Parallel.run ?jobs (Array.length tasks) (fun i ->
+           run_task ~trace tasks.(i)))
+  in
+  List.iter
+    (fun r ->
+      Hwpat_obs.Metrics.incr metrics
+        (if r.ok then "prove.proved" else "prove.failed"))
+    results;
+  results
 
 let all_ok results = List.for_all (fun r -> r.ok) results
 

@@ -28,11 +28,23 @@ type result = {
   seconds : float;
 }
 
-val run : ?jobs:int -> ?smoke:bool -> unit -> result list
+val run :
+  ?trace:Hwpat_obs.Trace.t ->
+  ?metrics:Hwpat_obs.Metrics.t ->
+  ?jobs:int ->
+  ?smoke:bool ->
+  unit ->
+  result list
 (** Runs the battery ([smoke] defaults to false) across [jobs] domains
     (default {!Parallel.default_jobs}). Proof failures are reported in
     the result list, not raised; results are in a fixed deterministic
-    order independent of [jobs]. *)
+    order independent of [jobs].
+
+    [trace] (default disabled) records one span per obligation on its
+    worker domain's lane, with the {!Hwpat_formal.Equiv} /
+    {!Hwpat_formal.Bmc} phase spans nested underneath; [metrics]
+    (default disabled) accumulates the SAT solver counters ([solver.*])
+    and proved/failed totals ([prove.*]). *)
 
 val all_ok : result list -> bool
 val to_json : jobs:int -> smoke:bool -> result list -> string

@@ -130,7 +130,8 @@ let confirm_on_sim extended ~bad_name ~at trace =
           encoding disagrees with the simulator"
          bad_name)
 
-let check ?(depth = 20) circuit properties =
+let check ?(trace = Hwpat_obs.Trace.null) ?(metrics = Hwpat_obs.Metrics.null)
+    ?(depth = 20) circuit properties =
   List.iter
     (fun p ->
       if Signal.width p.bad <> 1 then
@@ -146,6 +147,7 @@ let check ?(depth = 20) circuit properties =
     in
     let elts = Blast.state_elements extended in
     let solver = Solver.create () in
+    let search () =
     let inputs = List.map (fun (n, s) -> (n, Signal.width s)) (Circuit.inputs extended) in
     let st = ref (Array.map (fun e -> Blast.constant solver (Blast.elt_init e)) elts) in
     let frames = ref [] in
@@ -187,9 +189,20 @@ let check ?(depth = 20) circuit properties =
       incr k
     done;
     match !result with Some r -> r | None -> Holds depth
+    in
+    Fun.protect
+      ~finally:(fun () -> Solver_obs.record metrics [ solver ])
+      (fun () ->
+        Hwpat_obs.Trace.span trace "bmc"
+          ~args:
+            [
+              ("depth", Hwpat_obs.Trace.Int depth);
+              ("properties", Hwpat_obs.Trace.Int (List.length properties));
+            ]
+          search)
   end
 
-let check_auto ?depth circuit =
+let check_auto ?trace ?metrics ?depth circuit =
   match derive_properties circuit with
   | [] ->
     invalid_arg
@@ -197,7 +210,7 @@ let check_auto ?depth circuit =
          "Bmc.check_auto: %s has no monitored signal pairs (nothing to prove)"
          (Circuit.name circuit))
   | properties -> (
-    match check ?depth circuit properties with
+    match check ?trace ?metrics ?depth circuit properties with
     | Holds d -> Holds d
     | Violation v ->
       (* Cross-check the property compiler itself: the runtime monitor

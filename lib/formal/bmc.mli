@@ -37,10 +37,23 @@ type violation = {
 
 type result = Holds of int  (** no violation up to this depth *) | Violation of violation
 
-val check : ?depth:int -> Circuit.t -> property list -> result
+val check :
+  ?trace:Hwpat_obs.Trace.t ->
+  ?metrics:Hwpat_obs.Metrics.t ->
+  ?depth:int ->
+  Circuit.t ->
+  property list ->
+  result
 (** Unroll from the power-on state and search each frame for a
-    violated property. Default [depth = 20] frames. *)
+    violated property. Default [depth = 20] frames.  [trace] records
+    one [bmc] span; [metrics] accumulates the solver's statistics
+    under [solver.*] (see {!Solver.stats}), even on raise. *)
 
-val check_auto : ?depth:int -> Circuit.t -> result
+val check_auto :
+  ?trace:Hwpat_obs.Trace.t ->
+  ?metrics:Hwpat_obs.Metrics.t ->
+  ?depth:int ->
+  Circuit.t ->
+  result
 (** [check] over [derive_properties]; raises [Invalid_argument] if the
     circuit has no monitored signal pairs at all (a vacuous proof). *)

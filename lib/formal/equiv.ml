@@ -294,9 +294,9 @@ let debug = Sys.getenv_opt "EQUIV_DEBUG" <> None
    class carried transitively: a spurious classmate separates out
    without severing, say, a.count == b.count, which may have been
    represented only through links to that classmate. *)
-let prove_by_induction plan ~classes ~bmc_depth ~max_induction ~with_fallback
-    ~refine_budget =
-  let solver = Solver.create () in
+let prove_by_induction plan ~register ~classes ~bmc_depth ~max_induction
+    ~with_fallback ~refine_budget =
+  let solver = register (Solver.create ()) in
   let st_a = free_state solver plan.elts_a in
   let st_b = free_state solver plan.elts_b in
   let _, fa, fb, out_viol = instantiate solver plan ~st_a ~st_b in
@@ -449,7 +449,7 @@ let prove_by_induction plan ~classes ~bmc_depth ~max_induction ~with_fallback
        proven invariants (soundly assertable at every frame). The base
        case is the BMC sweep, so k may not exceed its depth. *)
     let invariants = !classes in
-    let solver = Solver.create () in
+    let solver = register (Solver.create ()) in
     let assert_invariants st_a st_b =
       let lit (side, e, bit) =
         if side = 0 then st_a.(e).(bit) else st_b.(e).(bit)
@@ -504,58 +504,83 @@ let prove_by_induction plan ~classes ~bmc_depth ~max_induction ~with_fallback
 
 (* --- Top level ----------------------------------------------------------- *)
 
-let check ?(bmc_depth = 24) ?(max_induction = 20) ?(sim_cycles = 48) a b =
-  let plan = make_plan a b in
-  let stateless = Array.length plan.elts_a = 0 && Array.length plan.elts_b = 0 in
-  let solver = Solver.create () in
-  let sweep = bmc_sweep solver plan in
-  (* A shallow sweep catches real divergences cheaply; the full-depth
-     sweep only runs when induction cannot settle the question, because
-     miter solves on equivalent designs get dramatically harder with
-     unrolling depth. *)
-  let shallow = if stateless then 1 else min bmc_depth 12 in
-  match sweep ~depth:shallow with
-  | Some cex -> confirm_cex plan cex
-  | None ->
-    if stateless then Proved
-    else
-      (* Candidate quality is limited by how much of the state space
-         the random run visits; handshake-heavy designs need thousands
-         of cycles before pointers and latches decorrelate. Escalate
-         the simulation length before paying for the k-induction
-         fallback, which can be exponentially more expensive than a
-         longer (linear-cost) simulation. The k-induction base case is
-         the shallow sweep, so its k is bounded by [shallow]. *)
-      let schedule =
-        [ sim_cycles; max 512 (8 * sim_cycles); max 2048 (32 * sim_cycles) ]
-      in
-      let rec attempt = function
-        | [] -> assert false
-        | [ last ] ->
-          prove_by_induction plan
-            ~classes:(discover_classes plan ~sim_cycles:last)
-            ~bmc_depth:shallow ~max_induction ~with_fallback:true
-            ~refine_budget:max_int
-        | sc :: rest -> (
-          match
-            prove_by_induction plan
-              ~classes:(discover_classes plan ~sim_cycles:sc)
-              ~bmc_depth:shallow ~max_induction ~with_fallback:false
-              ~refine_budget:24
-          with
-          | Proved -> Proved
-          | Unknown _ -> attempt rest
-          | Counterexample _ as r -> r)
-      in
-      (match attempt schedule with
-      | Proved -> Proved
-      | Counterexample _ as r -> r
-      | Unknown why -> (
-        (* Induction gave up: resume the sweep to the full requested
-           depth in case a deeper concrete divergence exists. *)
-        match sweep ~depth:bmc_depth with
-        | Some cex -> confirm_cex plan cex
-        | None -> Unknown why))
+let check ?(trace = Hwpat_obs.Trace.null) ?(metrics = Hwpat_obs.Metrics.null)
+    ?(bmc_depth = 24) ?(max_induction = 20) ?(sim_cycles = 48) a b =
+  let module Trace = Hwpat_obs.Trace in
+  let solvers = ref [] in
+  let register s =
+    solvers := s :: !solvers;
+    s
+  in
+  let body () =
+    let plan = make_plan a b in
+    let stateless =
+      Array.length plan.elts_a = 0 && Array.length plan.elts_b = 0
+    in
+    let solver = register (Solver.create ()) in
+    let sweep = bmc_sweep solver plan in
+    let sweep ~depth =
+      Trace.span trace "bmc_sweep"
+        ~args:[ ("depth", Trace.Int depth) ]
+        (fun () -> sweep ~depth)
+    in
+    (* A shallow sweep catches real divergences cheaply; the full-depth
+       sweep only runs when induction cannot settle the question, because
+       miter solves on equivalent designs get dramatically harder with
+       unrolling depth. *)
+    let shallow = if stateless then 1 else min bmc_depth 12 in
+    match sweep ~depth:shallow with
+    | Some cex -> confirm_cex plan cex
+    | None ->
+      if stateless then Proved
+      else
+        (* Candidate quality is limited by how much of the state space
+           the random run visits; handshake-heavy designs need thousands
+           of cycles before pointers and latches decorrelate. Escalate
+           the simulation length before paying for the k-induction
+           fallback, which can be exponentially more expensive than a
+           longer (linear-cost) simulation. The k-induction base case is
+           the shallow sweep, so its k is bounded by [shallow]. *)
+        let schedule =
+          [ sim_cycles; max 512 (8 * sim_cycles); max 2048 (32 * sim_cycles) ]
+        in
+        let discover sc =
+          Trace.span trace "discover"
+            ~args:[ ("sim_cycles", Trace.Int sc) ]
+            (fun () -> discover_classes plan ~sim_cycles:sc)
+        in
+        let induction ~classes ~with_fallback ~refine_budget =
+          Trace.span trace "induction" (fun () ->
+              prove_by_induction plan ~register ~classes ~bmc_depth:shallow
+                ~max_induction ~with_fallback ~refine_budget)
+        in
+        let rec attempt = function
+          | [] -> assert false
+          | [ last ] ->
+            induction ~classes:(discover last) ~with_fallback:true
+              ~refine_budget:max_int
+          | sc :: rest -> (
+            match
+              induction ~classes:(discover sc) ~with_fallback:false
+                ~refine_budget:24
+            with
+            | Proved -> Proved
+            | Unknown _ -> attempt rest
+            | Counterexample _ as r -> r)
+        in
+        (match attempt schedule with
+        | Proved -> Proved
+        | Counterexample _ as r -> r
+        | Unknown why -> (
+          (* Induction gave up: resume the sweep to the full requested
+             depth in case a deeper concrete divergence exists. *)
+          match sweep ~depth:bmc_depth with
+          | Some cex -> confirm_cex plan cex
+          | None -> Unknown why))
+  in
+  Fun.protect
+    ~finally:(fun () -> Solver_obs.record metrics !solvers)
+    (fun () -> Trace.span trace "equiv" body)
 
 let assert_equivalent ?bmc_depth ?max_induction a b =
   match check ?bmc_depth ?max_induction a b with

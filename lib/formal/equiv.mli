@@ -34,6 +34,8 @@ type result =
   | Unknown of string  (** not decided; the string says how far we got *)
 
 val check :
+  ?trace:Hwpat_obs.Trace.t ->
+  ?metrics:Hwpat_obs.Metrics.t ->
   ?bmc_depth:int ->
   ?max_induction:int ->
   ?sim_cycles:int ->
@@ -43,7 +45,13 @@ val check :
 (** Defaults: [bmc_depth = 24] (counterexample search bound, and the
     base-case bound for k-induction), [max_induction = 20],
     [sim_cycles = 48] (random-simulation length for candidate
-    discovery). *)
+    discovery).
+
+    [trace] (default disabled) records spans for the proof phases
+    ([equiv] > [bmc_sweep] / [discover] / [induction]); [metrics]
+    (default disabled) accumulates the SAT statistics of every solver
+    the call created under [solver.*] (see {!Solver.stats}), even when
+    the check raises. *)
 
 val counterexample_to_string : (string * Bits.t) list list -> string
 

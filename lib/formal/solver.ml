@@ -46,6 +46,15 @@ type t = {
   mutable var_inc : float;
   mutable n_clauses : int;
   mutable conflicts_total : int;
+  mutable decisions_total : int;
+  mutable propagations_total : int;
+  mutable restarts_total : int;
+  mutable learned_total : int;
+  mutable learned_literals : int;
+  learned_size_buckets : int array;
+      (* log2 buckets: index 0 for sizes <= 0, else floor(log2 n) + 1,
+         clamped into the last bucket — the Metrics.bucket_of
+         convention, kept here without depending on that library *)
   mutable unsat : bool;
 }
 
@@ -230,6 +239,7 @@ let propagate s =
         else begin
           wl.Cvec.data.(!keep) <- c;
           incr keep;
+          s.propagations_total <- s.propagations_total + 1;
           enqueue s c.(0) (Some c)
         end
       end
@@ -283,7 +293,18 @@ let analyze s confl =
   List.iter (fun q -> seen.(abs q) <- false) !tail;
   (Array.of_list (- !p :: !tail), !btlevel)
 
+let learned_size_bucket n =
+  if n <= 0 then 0
+  else
+    let rec go v k = if v = 0 then k else go (v lsr 1) (k + 1) in
+    min 15 (go n 0)
+
 let record s learnt btlevel =
+  let len = Array.length learnt in
+  s.learned_total <- s.learned_total + 1;
+  s.learned_literals <- s.learned_literals + len;
+  let b = learned_size_bucket len in
+  s.learned_size_buckets.(b) <- s.learned_size_buckets.(b) + 1;
   cancel_until s btlevel;
   if Array.length learnt = 1 then enqueue s learnt.(0) None
   else begin
@@ -327,6 +348,12 @@ let create () =
       var_inc = 1.0;
       n_clauses = 0;
       conflicts_total = 0;
+      decisions_total = 0;
+      propagations_total = 0;
+      restarts_total = 0;
+      learned_total = 0;
+      learned_literals = 0;
+      learned_size_buckets = Array.make 16 0;
       unsat = false;
     }
   in
@@ -394,6 +421,7 @@ let solve ?(assumptions = []) s =
           if !conflicts >= !restart_limit then begin
             conflicts := 0;
             restart_limit := !restart_limit * 3 / 2;
+            s.restarts_total <- s.restarts_total + 1;
             cancel_until s 0
           end
         end
@@ -411,6 +439,7 @@ let solve ?(assumptions = []) s =
           match pick_branch s with
           | 0 -> result := Some Sat
           | l ->
+            s.decisions_total <- s.decisions_total + 1;
             new_level s;
             enqueue s l None
         end
@@ -422,3 +451,24 @@ let value s l = lit_value s l = 1
 let num_vars s = s.n_vars
 let num_clauses s = s.n_clauses
 let num_conflicts s = s.conflicts_total
+
+type stats = {
+  decisions : int;
+  propagations : int;
+  conflicts : int;
+  restarts : int;
+  learned_clauses : int;
+  learned_literals : int;
+  learned_size_buckets : int array;
+}
+
+let stats s =
+  {
+    decisions = s.decisions_total;
+    propagations = s.propagations_total;
+    conflicts = s.conflicts_total;
+    restarts = s.restarts_total;
+    learned_clauses = s.learned_total;
+    learned_literals = s.learned_literals;
+    learned_size_buckets = Array.copy s.learned_size_buckets;
+  }

@@ -48,3 +48,22 @@ val num_clauses : t -> int
 
 val num_conflicts : t -> int
 (** Total conflicts across all [solve] calls (a work measure). *)
+
+(** {1 Search statistics} *)
+
+type stats = {
+  decisions : int;  (** branching decisions *)
+  propagations : int;  (** unit propagations (implied enqueues) *)
+  conflicts : int;  (** same counter as {!num_conflicts} *)
+  restarts : int;  (** geometric restarts taken *)
+  learned_clauses : int;  (** non-unit learned clauses recorded *)
+  learned_literals : int;  (** total literals across learned clauses *)
+  learned_size_buckets : int array;
+      (** learned-clause sizes in log2 buckets (index 0 unused, index
+          [k >= 1] counts sizes in [2^(k-1) .. 2^k - 1], last bucket
+          clamps) — mergeable into [Hwpat_obs.Metrics] histograms,
+          which use the same convention *)
+}
+
+val stats : t -> stats
+(** Cumulative across all [solve] calls on this solver (a copy). *)

@@ -1,0 +1,16 @@
+open Hwpat_obs
+
+let record metrics solvers =
+  List.iter
+    (fun s ->
+      let st = Solver.stats s in
+      Metrics.incr metrics ~by:st.Solver.decisions "solver.decisions";
+      Metrics.incr metrics ~by:st.Solver.propagations "solver.propagations";
+      Metrics.incr metrics ~by:st.Solver.conflicts "solver.conflicts";
+      Metrics.incr metrics ~by:st.Solver.restarts "solver.restarts";
+      Metrics.incr metrics ~by:st.Solver.learned_clauses
+        "solver.learned_clauses";
+      Metrics.add_histogram metrics "solver.learned_clause_size"
+        ~count:st.Solver.learned_clauses ~sum:st.Solver.learned_literals
+        st.Solver.learned_size_buckets)
+    solvers

@@ -1,0 +1,9 @@
+(** Fold {!Solver.stats} into a metrics registry.
+
+    Shared by {!Equiv} and {!Bmc}: each call merges the cumulative
+    counters of every solver it created under [solver.*] names, and
+    the learned-clause-size buckets into the
+    [solver.learned_clause_size] histogram (the bucket conventions
+    match by construction). *)
+
+val record : Hwpat_obs.Metrics.t -> Solver.t list -> unit

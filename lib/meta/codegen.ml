@@ -548,7 +548,37 @@ let container_architecture cfg =
 let libraries =
   "library ieee;\nuse ieee.std_logic_1164.all;\nuse ieee.numeric_std.all;\n\n"
 
-let generate_container cfg =
+(* Render the pruning decision a config implies: which of the kind's
+   operations survive into the generated entity, and which are cut.
+   Recorded as span annotations so a trace of a generation run shows
+   *why* each entity has the ports it has. *)
+let op_list ops = String.concat "," (List.map Metamodel.operation_name ops)
+
+let pruned_ops cfg =
+  List.filter
+    (fun op -> not (List.mem op cfg.Config.ops_used))
+    (Metamodel.operations cfg.Config.kind)
+
+let annotate_pruning trace cfg =
+  let module Trace = Hwpat_obs.Trace in
+  if Trace.enabled trace then begin
+    Trace.annotate trace "ops_kept" (Trace.String (op_list cfg.Config.ops_used));
+    Trace.annotate trace "ops_pruned" (Trace.String (op_list (pruned_ops cfg)));
+    Trace.annotate trace "methods"
+      (Trace.String (String.concat "," (method_names cfg)))
+  end
+
+let generate_container ?(trace = Hwpat_obs.Trace.null) cfg =
+  let module Trace = Hwpat_obs.Trace in
+  Trace.span trace "codegen:container"
+    ~args:
+      [
+        ("entity", Trace.String cfg.Config.instance_name);
+        ("kind", Trace.String (Metamodel.container_name cfg.Config.kind));
+        ("target", Trace.String (Metamodel.target_name cfg.Config.target));
+      ]
+  @@ fun () ->
+  annotate_pruning trace cfg;
   String.concat "\n" [ libraries ^ container_entity cfg; container_architecture cfg ]
 
 (* Iterators: one metamodel per container kind; for sequential
@@ -629,7 +659,16 @@ let iterator_architecture cfg =
   Buffer.add_string buf "  it_ack <= c_r_ack;\nend generated;\n";
   Buffer.contents buf
 
-let generate_iterator cfg =
+let generate_iterator ?(trace = Hwpat_obs.Trace.null) cfg =
+  let module Trace = Hwpat_obs.Trace in
+  Trace.span trace "codegen:iterator"
+    ~args:
+      [
+        ("entity", Trace.String (cfg.Config.instance_name ^ "_it"));
+        ("kind", Trace.String (Metamodel.container_name cfg.Config.kind));
+      ]
+  @@ fun () ->
+  annotate_pruning trace cfg;
   String.concat "\n" [ libraries ^ iterator_entity cfg; iterator_architecture cfg ]
 
 (* A foundation-library package: component declarations for a set of

@@ -34,14 +34,20 @@ val container_entity : Config.t -> string
 
 val container_architecture : Config.t -> string
 
-val generate_container : Config.t -> string
-(** Complete VHDL design unit: libraries, entity, architecture. *)
+val generate_container : ?trace:Hwpat_obs.Trace.t -> Config.t -> string
+(** Complete VHDL design unit: libraries, entity, architecture.
+    [trace] (default disabled) records a [codegen:container] span
+    annotated with the pruning decision — which of the kind's
+    operations were kept ([ops_kept]), which were cut ([ops_pruned]),
+    and the resulting method strobes ([methods]). *)
 
 val iterator_entity : Config.t -> string
 (** The iterator over this container: a renaming wrapper exposing the
     Table 2 operations that [ops_used] retains. *)
 
-val generate_iterator : Config.t -> string
+val generate_iterator : ?trace:Hwpat_obs.Trace.t -> Config.t -> string
+(** Same [trace] convention as {!generate_container}, under a
+    [codegen:iterator] span. *)
 
 val generate_package : name:string -> Config.t list -> string
 (** A VHDL package declaring one component per configuration — the

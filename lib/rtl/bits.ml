@@ -72,17 +72,18 @@ let to_bool t = Array.exists (fun l -> l <> 0L) t.data
 
 let to_int64 t = t.data.(0)
 
-let to_int_trunc t =
-  Int64.to_int (Int64.logand t.data.(0) (Int64.of_int max_int))
-
-let to_int t =
+let to_int_opt t =
   let high_clear =
     Array.for_all (fun l -> l = 0L) (Array.sub t.data 1 (Array.length t.data - 1))
   in
   let v = t.data.(0) in
   let fits = Int64.compare v 0L >= 0 && Int64.compare v (Int64.of_int max_int) <= 0 in
-  if not (high_clear && fits) then invalid_arg "Bits.to_int: value too large";
-  Int64.to_int v
+  if high_clear && fits then Some (Int64.to_int v) else None
+
+let to_int t =
+  match to_int_opt t with
+  | Some v -> v
+  | None -> invalid_arg "Bits.to_int: value too large"
 
 let to_string t =
   String.init t.width (fun i -> if bit t (t.width - 1 - i) then '1' else '0')

@@ -43,8 +43,11 @@ val to_int : t -> int
 (** Low [Sys.int_size - 1] bits as a non-negative OCaml int. Raises
     [Invalid_argument] if the value does not fit. *)
 
-val to_int_trunc : t -> int
-(** Low bits as a non-negative OCaml int, truncating high bits. *)
+val to_int_opt : t -> int option
+(** [Some v] when the value fits, [None] otherwise — for callers that
+    have their own out-of-range policy (e.g. address bound checks).
+    There is deliberately no truncating conversion: silently dropping
+    high bits of wide values corrupted diagnostics. *)
 
 val to_int64 : t -> int64
 (** Low 64 bits. *)

@@ -134,9 +134,9 @@ module Naive = struct
       | Signal.Reg _ | Signal.Mem_read_sync _ -> ns.state
       | Signal.Mem_read_async { memory; addr } ->
         let arr = mem_array t memory in
-        let a = Bits.to_int_trunc (v addr) in
-        if a < Array.length arr then arr.(a)
-        else Bits.zero (Signal.memory_width memory)
+        (match Bits.to_int_opt (v addr) with
+        | Some a when a < Array.length arr -> arr.(a)
+        | Some _ | None -> Bits.zero (Signal.memory_width memory))
       | Signal.Wire { driver = Some d } -> v d
       | Signal.Wire { driver = None } -> assert false
     in
@@ -185,10 +185,10 @@ module Naive = struct
           in
           if enabled then begin
             let arr = mem_array t memory in
-            let a = Bits.to_int_trunc (v addr) in
             ns.next_state <-
-              (if a < Array.length arr then arr.(a)
-               else Bits.zero (Signal.memory_width memory))
+              (match Bits.to_int_opt (v addr) with
+              | Some a when a < Array.length arr -> arr.(a)
+              | Some _ | None -> Bits.zero (Signal.memory_width memory))
           end
           else ns.next_state <- ns.state
         | _ -> ())
@@ -199,10 +199,10 @@ module Naive = struct
         let arr = mem_array t m in
         List.iter
           (fun (enable, addr, data) ->
-            if Bits.to_bool (v enable) then begin
-              let a = Bits.to_int_trunc (v addr) in
-              if a < Array.length arr then arr.(a) <- v data
-            end)
+            if Bits.to_bool (v enable) then
+              match Bits.to_int_opt (v addr) with
+              | Some a when a < Array.length arr -> arr.(a) <- v data
+              | Some _ | None -> ())
           (Signal.memory_write_ports m))
       (Circuit.memories t.circuit);
     (* Phase 3: commit. *)
@@ -278,7 +278,12 @@ end
 
 type engine = Reference | Compiled
 type t = Naive of Naive.t | Comp of Simcompile.t
-type activity = { settles : int; node_evals : int; total_nodes : int }
+type activity = {
+  settles : int;
+  node_evals : int;
+  total_nodes : int;
+  kind_evals : (string * int) list;
+}
 
 let create ?(engine = Compiled) circuit =
   match engine with
@@ -355,16 +360,31 @@ let memory_contents t m =
   | Naive n -> Naive.memory_contents n m
   | Comp c -> Simcompile.memory_contents c m
 
+let named_kind_evals counts =
+  List.filter
+    (fun (_, n) -> n > 0)
+    (Array.to_list (Array.mapi (fun k n -> (Signal.prim_kind_names.(k), n)) counts))
+
 let activity = function
   | Naive n ->
+    (* The naive engine evaluates every node on every settle, so the
+       per-kind profile is just the per-kind node count scaled. *)
+    let counts = Array.make Signal.n_prim_kinds 0 in
+    Array.iter
+      (fun ns ->
+        let k = Signal.prim_kind ns.Naive.signal in
+        counts.(k) <- counts.(k) + n.Naive.settles)
+      n.Naive.nodes;
     {
       settles = n.Naive.settles;
       node_evals = n.Naive.node_evals;
       total_nodes = Array.length n.Naive.nodes;
+      kind_evals = named_kind_evals counts;
     }
   | Comp c ->
     {
       settles = Simcompile.settles c;
       node_evals = Simcompile.node_evals c;
       total_nodes = Simcompile.total_nodes c;
+      kind_evals = named_kind_evals (Simcompile.kind_evals c);
     }

@@ -100,10 +100,14 @@ type activity = {
   settles : int;  (** settle passes run so far *)
   node_evals : int;  (** node evaluations actually performed *)
   total_nodes : int;  (** nodes in the schedule *)
+  kind_evals : (string * int) list;
+      (** [node_evals] bucketed by {!Signal.prim_kind_names}; zero
+          buckets omitted *)
 }
 
 val activity : t -> activity
 (** Monotonic counters. On the compiled engine, [node_evals] grows only
     for nodes whose sources changed — the skipping tests and benches
     assert on its deltas. On the reference engine every settle
-    evaluates every node. *)
+    evaluates every node (so [kind_evals] is the per-kind node count
+    times [settles]). *)

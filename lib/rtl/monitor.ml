@@ -100,7 +100,7 @@ let add_fifo t ~name ?depth ?full ~count ~empty () =
   Option.iter (fun f -> watch t (name ^ "_full") f) full;
   let prev_count = ref None in
   let check cycle =
-    let c = Bits.to_int_trunc (peek t count) in
+    let c = Bits.to_int (peek t count) in
     let e = peek_bool t empty in
     if e <> (c = 0) then
       violate t cycle name "empty"

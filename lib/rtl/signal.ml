@@ -147,9 +147,34 @@ let mux2 cond t f =
    folder) must go through this helper; the HDL back-ends encode the
    same rule structurally by making the last case the unconditional
    default arm of the emitted selector. *)
+(* Coarse node-kind classification for simulator activity statistics:
+   both engines bucket their per-node evaluation counts by this code so
+   profiles are comparable across engines. *)
+let n_prim_kinds = 10
+
+let prim_kind_names =
+  [|
+    "const"; "input"; "op2"; "not"; "concat"; "select"; "mux"; "reg";
+    "mem_read"; "wire";
+  |]
+
+let prim_kind s =
+  match prim s with
+  | Const _ -> 0
+  | Input _ -> 1
+  | Op2 _ -> 2
+  | Not _ -> 3
+  | Concat _ -> 4
+  | Select _ -> 5
+  | Mux _ -> 6
+  | Reg _ -> 7
+  | Mem_read_async _ | Mem_read_sync _ -> 8
+  | Wire _ -> 9
+
 let mux_index ~n_cases select_value =
-  let idx = Bits.to_int_trunc select_value in
-  if idx >= n_cases then n_cases - 1 else idx
+  match Bits.to_int_opt select_value with
+  | Some idx when idx < n_cases -> idx
+  | Some _ | None -> n_cases - 1
 
 let rec reduce_or t =
   if t.width = 1 then t

@@ -99,6 +99,20 @@ val mux_index : n_cases:int -> Bits.t -> int
     the constant folder; the HDL back-ends match it by emitting the
     last case as the unconditional default arm. *)
 
+(** {1 Node-kind classification}
+
+    Coarse buckets for simulator activity statistics: both simulation
+    engines count per-node evaluations by this code, so profiles are
+    comparable across engines. *)
+
+val n_prim_kinds : int
+
+val prim_kind_names : string array
+(** [prim_kind_names.(prim_kind s)] names the bucket of [s]. *)
+
+val prim_kind : t -> int
+(** In [0 .. n_prim_kinds - 1]. *)
+
 val reduce_or : t -> t
 val reduce_and : t -> t
 

@@ -57,6 +57,8 @@ type t = {
   mutable cycles : int;
   mutable settles : int;
   mutable node_evals : int;
+  kinds : int array; (* Signal.prim_kind per node *)
+  kind_evals : int array; (* node_evals bucketed by Signal.prim_kind *)
 }
 
 let mark t j =
@@ -188,6 +190,8 @@ let compile circuit =
       cycles = 0;
       settles = 0;
       node_evals = 0;
+      kinds = Array.map Signal.prim_kind signals;
+      kind_evals = Array.make Signal.n_prim_kinds 0;
     }
   in
   let buf_of s = bufs.(Hashtbl.find index_of_uid (Signal.uid s)) in
@@ -253,8 +257,10 @@ let compile circuit =
           let addr = buf_of addr in
           let z = Bits.zero (Signal.memory_width memory) in
           fun () ->
-            let a = Bits.to_int_trunc addr in
-            publish t i (if a < Array.length arr then arr.(a) else z)
+            publish t i
+              (match Bits.to_int_opt addr with
+              | Some a when a < Array.length arr -> arr.(a)
+              | Some _ | None -> z)
         | Signal.Wire { driver = Some d } ->
           let d = buf_of d in
           fun () -> publish t i d
@@ -301,8 +307,12 @@ let compile circuit =
             match enable with Some e -> Bits.to_bool e | None -> true
           in
           if enabled then begin
-            let a = Bits.to_int_trunc addr in
-            Bits.blit ~src:(if a < Array.length arr then arr.(a) else z) ~dst:nx
+            let src =
+              match Bits.to_int_opt addr with
+              | Some a when a < Array.length arr -> arr.(a)
+              | Some _ | None -> z
+            in
+            Bits.blit ~src ~dst:nx
           end
           else Bits.blit ~src:st ~dst:nx
         in
@@ -326,13 +336,14 @@ let compile circuit =
           and addr = buf_of addr
           and data = buf_of data in
           let write () =
-            if Bits.to_bool enable then begin
-              let a = Bits.to_int_trunc addr in
-              if a < Array.length arr && not (Bits.equal arr.(a) data) then begin
-                arr.(a) <- Bits.copy data;
-                Array.iter (fun j -> mark t j) readers
-              end
-            end
+            if Bits.to_bool enable then
+              match Bits.to_int_opt addr with
+              | Some a when a < Array.length arr ->
+                if not (Bits.equal arr.(a) data) then begin
+                  arr.(a) <- Bits.copy data;
+                  Array.iter (fun j -> mark t j) readers
+                end
+              | Some _ | None -> ()
           in
           writes := write :: !writes)
         (Signal.memory_write_ports m))
@@ -385,6 +396,7 @@ let settle_comb t =
       t.dirty.(j) <- false;
       t.ndirty <- t.ndirty - 1;
       t.node_evals <- t.node_evals + 1;
+      t.kind_evals.(t.kinds.(j)) <- t.kind_evals.(t.kinds.(j)) + 1;
       match t.forces.(j) with
       | Some f -> publish t j f
       | None -> t.evals.(j) ()
@@ -499,3 +511,4 @@ let cycle_count t = t.cycles
 let settles t = t.settles
 let node_evals t = t.node_evals
 let total_nodes t = Array.length t.signals
+let kind_evals t = Array.copy t.kind_evals

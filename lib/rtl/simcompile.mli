@@ -49,3 +49,7 @@ val node_evals : t -> int
 
 val total_nodes : t -> int
 (** Number of nodes in the compiled schedule. *)
+
+val kind_evals : t -> int array
+(** [node_evals] bucketed by {!Signal.prim_kind} (a fresh copy,
+    indexed by kind code). *)

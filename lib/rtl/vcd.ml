@@ -8,6 +8,7 @@ type tracked = {
 type t = {
   sim : Cyclesim.t;
   tracked : tracked list;
+  initial : Buffer.t; (* every tracked value at #0, for $dumpvars *)
   changes : Buffer.t;
   mutable time : int;
 }
@@ -39,13 +40,27 @@ let default_signals sim =
       end)
     (ports @ named)
 
+(* VCD reference names: keep [a-zA-Z0-9_$], replace anything else, and
+   never start with a digit — viewers treat such names as malformed. *)
+let sanitize_label s =
+  let ok c =
+    (c >= 'a' && c <= 'z')
+    || (c >= 'A' && c <= 'Z')
+    || (c >= '0' && c <= '9')
+    || c = '_' || c = '$'
+  in
+  let s = if s = "" then "unnamed" else s in
+  let s = String.map (fun c -> if ok c then c else '_') s in
+  if s.[0] >= '0' && s.[0] <= '9' then "s_" ^ s else s
+
 let label_of s =
-  match Signal.prim s with
-  | Signal.Input n -> n
-  | _ -> (
-    match Signal.names s with
-    | n :: _ -> Printf.sprintf "%s_%d" n (Signal.uid s)
-    | [] -> Printf.sprintf "s_%d" (Signal.uid s))
+  sanitize_label
+    (match Signal.prim s with
+    | Signal.Input n -> n
+    | _ -> (
+      match Signal.names s with
+      | n :: _ -> Printf.sprintf "%s_%d" n (Signal.uid s)
+      | [] -> Printf.sprintf "s_%d" (Signal.uid s)))
 
 let create ?signals sim =
   let signals = match signals with Some s -> s | None -> default_signals sim in
@@ -54,24 +69,49 @@ let create ?signals sim =
       (fun i s -> { signal = s; id = ident_of_index i; label = label_of s; last = None })
       signals
   in
-  { sim; tracked; changes = Buffer.create 4096; time = 0 }
+  {
+    sim;
+    tracked;
+    initial = Buffer.create 1024;
+    changes = Buffer.create 4096;
+    time = 0;
+  }
+
+let change_line tr v =
+  if Bits.width v = 1 then
+    Printf.sprintf "%c%s\n" (if Bits.to_bool v then '1' else '0') tr.id
+  else Printf.sprintf "b%s %s\n" (Bits.to_string v) tr.id
 
 let sample t =
-  Buffer.add_string t.changes (Printf.sprintf "#%d\n" t.time);
-  List.iter
-    (fun tr ->
-      let v = Cyclesim.peek t.sim tr.signal in
-      let changed = match tr.last with None -> true | Some p -> not (Bits.equal p v) in
-      if changed then begin
+  if t.time = 0 then
+    (* First sample: record every tracked signal for the $dumpvars
+       initial-value block instead of the change stream. *)
+    List.iter
+      (fun tr ->
+        let v = Cyclesim.peek t.sim tr.signal in
         tr.last <- Some v;
-        if Bits.width v = 1 then
-          Buffer.add_string t.changes
-            (Printf.sprintf "%c%s\n" (if Bits.to_bool v then '1' else '0') tr.id)
-        else
-          Buffer.add_string t.changes
-            (Printf.sprintf "b%s %s\n" (Bits.to_string v) tr.id)
-      end)
-    t.tracked;
+        Buffer.add_string t.initial (change_line tr v))
+      t.tracked
+  else begin
+    (* Buffer the timestamp: a #time marker is only emitted when at
+       least one tracked signal actually changed this cycle. *)
+    let stamped = ref false in
+    List.iter
+      (fun tr ->
+        let v = Cyclesim.peek t.sim tr.signal in
+        let changed =
+          match tr.last with None -> true | Some p -> not (Bits.equal p v)
+        in
+        if changed then begin
+          tr.last <- Some v;
+          if not !stamped then begin
+            stamped := true;
+            Buffer.add_string t.changes (Printf.sprintf "#%d\n" t.time)
+          end;
+          Buffer.add_string t.changes (change_line tr v)
+        end)
+      t.tracked
+  end;
   t.time <- t.time + 1
 
 let to_string t =
@@ -80,7 +120,8 @@ let to_string t =
   Buffer.add_string buf "$version hwpat $end\n";
   Buffer.add_string buf "$timescale 1ns $end\n";
   Buffer.add_string buf
-    (Printf.sprintf "$scope module %s $end\n" (Circuit.name (Cyclesim.circuit t.sim)));
+    (Printf.sprintf "$scope module %s $end\n"
+       (sanitize_label (Circuit.name (Cyclesim.circuit t.sim))));
   List.iter
     (fun tr ->
       Buffer.add_string buf
@@ -88,6 +129,11 @@ let to_string t =
            tr.label))
     t.tracked;
   Buffer.add_string buf "$upscope $end\n$enddefinitions $end\n";
+  if t.time > 0 then begin
+    Buffer.add_string buf "#0\n$dumpvars\n";
+    Buffer.add_buffer buf t.initial;
+    Buffer.add_string buf "$end\n"
+  end;
   Buffer.add_buffer buf t.changes;
   Buffer.contents buf
 

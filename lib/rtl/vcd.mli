@@ -10,9 +10,13 @@ val create : ?signals:Signal.t list -> Cyclesim.t -> t
     ports). *)
 
 val sample : t -> unit
-(** Record the current settled values at the next timestep. *)
+(** Record the current settled values at the next timestep.  The first
+    sample becomes the [$dumpvars] initial-value block; later samples
+    emit a [#time] marker only when some tracked signal changed. *)
 
 val to_string : t -> string
-(** Render the complete VCD file. *)
+(** Render the complete VCD file: header, [$enddefinitions], the
+    [$dumpvars] block (when at least one sample was taken), then the
+    change stream.  Signal labels are sanitized to [[a-zA-Z0-9_$]]. *)
 
 val write_file : t -> string -> unit

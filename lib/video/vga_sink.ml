@@ -25,7 +25,7 @@ let drive t =
 let observe t =
   if Bits.to_bool !(Cyclesim.out_port t.sim t.valid_port) then
     t.captured <-
-      Bits.to_int_trunc !(Cyclesim.out_port t.sim t.data_port) :: t.captured
+      Bits.to_int !(Cyclesim.out_port t.sim t.data_port) :: t.captured
 
 let collected t = List.rev t.captured
 let count t = List.length t.captured

@@ -1,0 +1,33 @@
+User errors must come back as a one-line `hwpat: ...` diagnostic
+naming the valid choices, with the conventional usage-error exit
+code 2 — not an uncaught exception with a backtrace and exit 125.
+
+An unknown design:
+
+  $ hwpat simulate --design nope
+  hwpat: unknown design "nope" (valid: saa2vga-fifo, saa2vga-sram, blur, sobel)
+  [2]
+
+An unknown style:
+
+  $ hwpat simulate --design blur --style baroque
+  hwpat: unknown style "baroque" (valid: pattern, custom)
+  [2]
+
+An unknown simulation engine:
+
+  $ hwpat simulate --design blur --engine turbo
+  hwpat: unknown engine "turbo" (valid: compiled, reference)
+  [2]
+
+An unknown frame pattern:
+
+  $ hwpat simulate --design blur --pattern plaid
+  hwpat: unknown pattern "plaid" (valid: gradient, checker, random, bars)
+  [2]
+
+An unknown netlist language:
+
+  $ hwpat emit --lang cobol
+  hwpat: unknown language "cobol" (valid: vhdl, verilog, dot)
+  [2]

@@ -41,6 +41,27 @@ let test_construct () =
   check_bool "of_bool true" true (Bits.to_bool (Bits.of_bool true));
   check_bool "of_bool false" false (Bits.to_bool (Bits.of_bool false))
 
+(* Regression: conversions that cannot fit an OCaml int must raise
+   (or return None), never silently truncate. *)
+let test_to_int_overflow () =
+  let wide_one = Bits.concat_msb [ Bits.zero 80; Bits.one 20 ] in
+  check_int "wide value that fits converts" 1 (Bits.to_int wide_one);
+  Alcotest.(check (option int)) "to_int_opt on fitting value" (Some 1)
+    (Bits.to_int_opt wide_one);
+  let too_wide = Bits.ones 100 in
+  Alcotest.check_raises "to_int raises on overflow"
+    (Invalid_argument "Bits.to_int: value too large") (fun () ->
+      ignore (Bits.to_int too_wide));
+  Alcotest.(check (option int)) "to_int_opt on overflow" None
+    (Bits.to_int_opt too_wide);
+  (* 63 bits of ones exceeds max_int (62 significant bits). *)
+  Alcotest.check_raises "63-bit ones raises"
+    (Invalid_argument "Bits.to_int: value too large") (fun () ->
+      ignore (Bits.to_int (Bits.ones 63)));
+  (* The largest representable value still converts. *)
+  check_int "max_int round trips" max_int
+    (Bits.to_int (Bits.of_int ~width:62 max_int))
+
 let test_wide () =
   let w = 100 in
   let a = Bits.concat_msb [ Bits.ones 50; Bits.zero 50 ] in
@@ -198,6 +219,7 @@ let () =
       ( "unit",
         [
           Alcotest.test_case "construction" `Quick test_construct;
+          Alcotest.test_case "to_int overflow" `Quick test_to_int_overflow;
           Alcotest.test_case "wide vectors" `Quick test_wide;
           Alcotest.test_case "arithmetic edges" `Quick test_arith_edges;
           Alcotest.test_case "signed views" `Quick test_signed;

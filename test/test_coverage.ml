@@ -142,7 +142,7 @@ let test_multi_word_over_sram () =
         set sim "read_req" ~width:1 1;
         set sim "inc_req" ~width:1 1;
         ignore (cycles_until ~timeout:4000 sim "read_ack");
-        let v = Bits.to_int_trunc !(Cyclesim.out_port sim "read_data") in
+        let v = Bits.to_int !(Cyclesim.out_port sim "read_data") in
         set sim "read_req" ~width:1 0;
         set sim "inc_req" ~width:1 0;
         Cyclesim.cycle sim;

@@ -207,6 +207,85 @@ let test_vcd_structure () =
   check_int "one enddefinitions" 1 (count "$enddefinitions");
   Alcotest.(check bool) "vars declared" true (count "$var wire" >= 2)
 
+(* Regression: the dump must be valid VCD — a $dumpvars initial-value
+   block right after the header, no #time markers for cycles where
+   nothing changed, and identifier-safe reference names. *)
+let test_vcd_validity () =
+  let a = input "a" 1 in
+  (* A name full of characters VCD viewers reject. *)
+  let odd = (~:a) -- "3 bad:name!" in
+  let c = Circuit.create_exn ~name:"vcd v" [ ("y", odd) ] in
+  let sim = Cyclesim.create c in
+  let vcd = Vcd.create sim in
+  set sim "a" ~width:1 0;
+  Cyclesim.cycle sim;
+  Vcd.sample vcd;
+  (* Three cycles with the input held: no changes, so no timestamps. *)
+  for _ = 1 to 3 do
+    Cyclesim.cycle sim;
+    Vcd.sample vcd
+  done;
+  set sim "a" ~width:1 1;
+  Cyclesim.cycle sim;
+  Vcd.sample vcd;
+  let text = Vcd.to_string vcd in
+  let lines = String.split_on_char '\n' text in
+  let starts p l =
+    String.length l >= String.length p && String.sub l 0 (String.length p) = p
+  in
+  let index_of p =
+    let rec go i = function
+      | [] -> -1
+      | l :: rest -> if starts p l then i else go (i + 1) rest
+    in
+    go 0 lines
+  in
+  (* $dumpvars initial block sits after $enddefinitions at time #0. *)
+  Alcotest.(check bool) "has #0" true (index_of "#0" >= 0);
+  Alcotest.(check bool) "dumpvars after enddefinitions" true
+    (index_of "$enddefinitions" < index_of "#0"
+    && index_of "#0" + 1 = index_of "$dumpvars");
+  (* Every tracked signal has an initial value inside the block. *)
+  let dump_start = index_of "$dumpvars" in
+  let block_end =
+    let rec go i = function
+      | [] -> -1
+      | l :: rest -> if l = "$end" && i > dump_start then i else go (i + 1) rest
+    in
+    go 0 lines
+  in
+  let initial_values = block_end - dump_start - 1 in
+  Alcotest.(check bool) "initial value per var" true (initial_values >= 2);
+  (* Idle cycles emit no timestamps: only #0 and the final change. *)
+  let timestamps = List.filter (fun l -> starts "#" l) lines in
+  Alcotest.(check (list string)) "no empty timesteps" [ "#0"; "#4" ] timestamps;
+  (* Sanitized reference names: no spaces/colons/bangs, no leading digit. *)
+  List.iter
+    (fun l ->
+      if starts "$var" l then begin
+        let name =
+          match String.split_on_char ' ' l with
+          | _ :: _ :: _ :: _ :: name :: _ -> name
+          | _ -> Alcotest.fail ("malformed $var line: " ^ l)
+        in
+        String.iter
+          (fun ch ->
+            let ok =
+              (ch >= 'a' && ch <= 'z')
+              || (ch >= 'A' && ch <= 'Z')
+              || (ch >= '0' && ch <= '9')
+              || ch = '_' || ch = '$'
+            in
+            Alcotest.(check bool) ("identifier char in " ^ name) true ok)
+          name;
+        Alcotest.(check bool) ("no leading digit in " ^ name) false
+          (name.[0] >= '0' && name.[0] <= '9')
+      end)
+    lines;
+  (* The scope name is sanitized too ("vcd v" has a space). *)
+  Alcotest.(check bool) "scope sanitized" true
+    (List.exists (starts "$scope module vcd_v") lines)
+
 let test_circuit_port_errors () =
   let a = input "a" 4 in
   let c = Circuit.create_exn ~name:"p" [ ("y", ~:a) ] in
@@ -335,6 +414,8 @@ let () =
           Alcotest.test_case "peek and vcd" `Quick test_peek_and_vcd;
           Alcotest.test_case "wide datapath" `Quick test_wide_datapath;
           Alcotest.test_case "vcd structure" `Quick test_vcd_structure;
+          Alcotest.test_case "vcd validity (dumpvars, empty steps, labels)"
+            `Quick test_vcd_validity;
           Alcotest.test_case "port errors" `Quick test_circuit_port_errors;
           Alcotest.test_case "input width check" `Quick test_input_width_check;
           Alcotest.test_case "out_port initial width" `Quick

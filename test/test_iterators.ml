@@ -276,7 +276,7 @@ let test_multi_word_round_trip () =
     set sim "read_req" ~width:1 1;
     set sim "inc_req" ~width:1 1;
     ignore (cycles_until sim "read_ack");
-    let v = Bits.to_int_trunc !(Cyclesim.out_port sim "read_data") in
+    let v = Bits.to_int !(Cyclesim.out_port sim "read_data") in
     set sim "read_req" ~width:1 0;
     set sim "inc_req" ~width:1 0;
     Cyclesim.cycle sim;
@@ -366,7 +366,7 @@ let test_multi_word_random () =
         set sim "read_req" ~width:1 1;
         set sim "inc_req" ~width:1 1;
         ignore (cycles_until sim "read_ack");
-        let v = Bits.to_int_trunc !(Cyclesim.out_port sim "read_data") in
+        let v = Bits.to_int !(Cyclesim.out_port sim "read_data") in
         set sim "read_req" ~width:1 0;
         set sim "inc_req" ~width:1 0;
         Cyclesim.cycle sim;

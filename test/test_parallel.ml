@@ -32,6 +32,33 @@ let test_run_order () =
     [ "a!"; "b!"; "c!" ]
     (Parallel.map ~jobs:3 (fun s -> s ^ "!") [ "a"; "b"; "c" ])
 
+(* Regression: a shard failure must surface with the *shard's*
+   backtrace (the runner re-raises with [Printexc.raise_with_backtrace]),
+   so the raising site in this file is visible to the caller — not just
+   the runner's own re-raise frame. *)
+let[@inline never] raise_deep_in_shard () = failwith "shard backtrace probe"
+
+let test_run_backtrace () =
+  let prev = Printexc.backtrace_status () in
+  Printexc.record_backtrace true;
+  Fun.protect ~finally:(fun () -> Printexc.record_backtrace prev) @@ fun () ->
+  let bt =
+    try
+      ignore
+        (Parallel.run ~jobs:2 4 (fun i ->
+             if i = 2 then raise_deep_in_shard ();
+             i));
+      "no exception"
+    with Failure _ -> Printexc.get_backtrace ()
+  in
+  let contains needle hay =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "backtrace reaches the shard's raise site" true
+    (contains "test_parallel" bt)
+
 let test_run_exception () =
   let attempted = Atomic.make 0 in
   let raised =
@@ -245,6 +272,8 @@ let () =
           Alcotest.test_case "preserves submission order" `Quick test_run_order;
           Alcotest.test_case "propagates lowest shard exception" `Quick
             test_run_exception;
+          Alcotest.test_case "preserves the shard's backtrace" `Quick
+            test_run_backtrace;
           Alcotest.test_case "job clamping" `Quick test_clamp;
         ] );
       ( "domain-safety",
