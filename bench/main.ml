@@ -730,6 +730,135 @@ let obsoverhead ?(smoke = false) () =
   if not ok then exit 1
 
 (* ---------------------------------------------------------------- *)
+(* §resilience: cost and fidelity of supervised execution.            *)
+(* (a) Checkpoint overhead: the same faultsim campaign is timed with  *)
+(* and without a journal, interleaved round-robin with per-config     *)
+(* minima (the §obsoverhead discipline); the journaled run must stay  *)
+(* within 3% of the plain one.                                        *)
+(* (b) Resume fidelity: a full journal is cut down to half its        *)
+(* entries with the final line torn mid-record — exactly what a       *)
+(* SIGKILL leaves behind — and the campaign resumed from it; the      *)
+(* resumed summary must be byte-identical to the uninterrupted one.   *)
+(* ---------------------------------------------------------------- *)
+
+let resilience ?(smoke = false) () =
+  banner
+    (Printf.sprintf "§resilience — supervised campaign execution%s"
+       (if smoke then " (smoke)" else ""));
+  (* Shards must be long enough that the per-shard journal append (a
+     constant sub-millisecond cost) and scheduler noise cannot
+     masquerade as overhead on the 3% budget. *)
+  let faults = if smoke then 32 else 60 in
+  let fw = if smoke then 14 else 16 in
+  let reps = if smoke then 15 else 15 in
+  let design = "saa2vga_sram_pattern" in
+  let build = Faultsim.find_design design in
+  let journal = Filename.temp_file "hwpat_bench_resil" ".jsonl" in
+  (* The overhead guard runs serially: the journal mechanism (append +
+     flush per completed shard) is identical at any job count, and at
+     jobs:1 there is no domain-spawn / GC-synchronisation jitter — on
+     a busy box that jitter is ±5%, an order of magnitude larger than
+     the journal cost it would be measured against.  Resume fidelity
+     below still exercises the sharded path. *)
+  let campaign ?(jobs = 1) ?checkpoint ?(resume = false) () =
+    Faultsim.run_campaign ~jobs ~seed:7 ~faults ~frame_width:fw
+      ~frame_height:fw ?checkpoint ~resume ~build ~design ()
+  in
+  let time_once f =
+    (* Settle the GC first so debt from the previous run (the other
+       config) is not billed to this one. *)
+    Gc.major ();
+    let t0 = Unix.gettimeofday () in
+    ignore (f ());
+    max 1e-9 (Unix.gettimeofday () -. t0)
+  in
+  (* Warm-up: touch both code paths before timing. *)
+  ignore (campaign ~checkpoint:journal ());
+  (* Each rep times the two configs back to back and takes their
+     ratio: clock-frequency and cgroup-throttle epochs span several
+     seconds, so they hit both halves of a pair alike and cancel in
+     the ratio where they would dominate an unpaired min-of-reps.
+     The median pair is then robust to the occasional rep that
+     straddles an epoch boundary. *)
+  let t_plain = ref infinity and t_journal = ref infinity in
+  let pair_pct =
+    Array.init reps (fun _ ->
+        let p = time_once (fun () -> campaign ()) in
+        (* resume:false rewrites the journal, so every rep pays the
+           full per-shard append+flush cost. *)
+        let j = time_once (fun () -> campaign ~checkpoint:journal ()) in
+        t_plain := min !t_plain p;
+        t_journal := min !t_journal j;
+        100.0 *. (j -. p) /. p)
+  in
+  Array.sort compare pair_pct;
+  let overhead_pct = pair_pct.(reps / 2) in
+  let budget_pct = 3.0 in
+  let overhead_ok = overhead_pct < budget_pct in
+  Printf.printf "  %-22s %8.3f s/run (min of %d)\n" "no checkpoint" !t_plain
+    reps;
+  Printf.printf "  %-22s %8.3f s/run (min of %d)\n" "checkpoint journal"
+    !t_journal reps;
+  Printf.printf
+    "  checkpoint overhead %+.2f%% (median of paired reps, budget %.0f%%): %s\n"
+    overhead_pct budget_pct
+    (if overhead_ok then "PASS" else "FAIL");
+  (* (b) Crash-and-resume fidelity, across the sharded path. *)
+  let reference = Faultsim.render (campaign ~jobs:2 ~checkpoint:journal ()) in
+  let lines =
+    let ic = open_in journal in
+    Fun.protect ~finally:(fun () -> close_in_noerr ic) @@ fun () ->
+    let acc = ref [] in
+    (try
+       while true do
+         acc := input_line ic :: !acc
+       done
+     with End_of_file -> ());
+    List.rev !acc
+  in
+  let keep = 1 + ((List.length lines - 1) / 2) in
+  let oc = open_out journal in
+  List.iteri
+    (fun i line ->
+      if i < keep then (output_string oc line; output_char oc '\n'))
+    lines;
+  (* a torn final record, no trailing newline *)
+  output_string oc "{\"key\": \"torn";
+  close_out oc;
+  let resumed =
+    Faultsim.render (campaign ~jobs:2 ~checkpoint:journal ~resume:true ())
+  in
+  Sys.remove journal;
+  let identical = String.equal reference resumed in
+  Printf.printf
+    "  resume from a torn half-journal (%d of %d lines): %s\n" keep
+    (List.length lines)
+    (if identical then "byte-identical summary" else "SUMMARY DIVERGED");
+  let ok = overhead_ok && identical in
+  let json =
+    let buf = Buffer.create 512 in
+    let emit fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+    emit "{\n  \"bench\": \"resilience\",\n  \"smoke\": %b,\n" smoke;
+    emit "  \"workload\": \"faultsim %s %d faults %dx%d\",\n" design faults fw
+      fw;
+    emit "  \"reps\": %d,\n" reps;
+    emit "  \"plain_min_seconds\": %.6f,\n" !t_plain;
+    emit "  \"checkpoint_min_seconds\": %.6f,\n" !t_journal;
+    emit "  \"paired_overhead_pcts\": [%s],\n"
+      (String.concat ", "
+         (Array.to_list (Array.map (Printf.sprintf "%.3f") pair_pct)));
+    emit "  \"checkpoint_overhead_pct\": %.3f,\n" overhead_pct;
+    emit "  \"budget_pct\": %.1f,\n" budget_pct;
+    emit "  \"resume_identical\": %b,\n" identical;
+    emit "  \"ok\": %b\n}\n" ok;
+    Buffer.contents buf
+  in
+  let path = "BENCH_resil.json" in
+  Hwpat_rtl.Util.write_file path json;
+  Printf.printf "\n  wrote %s\n" path;
+  if not ok then exit 1
+
+(* ---------------------------------------------------------------- *)
 (* Bechamel wall-clock benches: one per table.                        *)
 (* ---------------------------------------------------------------- *)
 
@@ -831,6 +960,7 @@ let () =
       ("parscaling", fun () -> parscaling ~smoke ~max_jobs:!max_jobs ());
       ("prove", fun () -> prove_section ~smoke ~max_jobs:!max_jobs ());
       ("obsoverhead", fun () -> obsoverhead ~smoke ());
+      ("resilience", fun () -> resilience ~smoke ());
       ("bechamel", bechamel_section);
     ]
   in

@@ -379,12 +379,107 @@ let resolve_jobs = function
   | Some j -> Hwpat_core.Parallel.clamp_jobs j
   | None -> Hwpat_core.Parallel.default_jobs ()
 
+(* --- resilience flags shared by sweep/faultsim/prove --------------------- *)
+
+let checkpoint_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "checkpoint" ] ~docv:"FILE"
+        ~doc:
+          "Journal each completed shard to $(docv) as it finishes (crash-safe \
+           append-only JSONL), so an interrupted campaign can be continued \
+           with $(b,--resume).")
+
+let resume_arg =
+  Arg.(
+    value & flag
+    & info [ "resume" ]
+        ~doc:
+          "Skip shards already recorded in the $(b,--checkpoint) journal and \
+           replay their recorded results; the final summary is byte-identical \
+           to an uninterrupted run. Errors out if the journal was written by \
+           a different campaign configuration.")
+
+let shard_timeout_arg =
+  Arg.(
+    value
+    & opt float 0.0
+    & info [ "shard-timeout" ] ~docv:"SECONDS"
+        ~doc:
+          "Per-shard wall-clock watchdog: a shard still running after \
+           $(docv) seconds is abandoned, retried ($(b,--retries)), and \
+           finally reported as unfinished instead of hanging the campaign. \
+           0 disables the watchdog.")
+
+let retries_arg =
+  Arg.(
+    value
+    & opt int Hwpat_core.Supervise.default_policy.Hwpat_core.Supervise.retries
+    & info [ "retries" ] ~docv:"N"
+        ~doc:
+          "Retry a timed-out or transiently failed shard up to $(docv) times \
+           (deterministic exponential backoff) before reporting it \
+           unfinished.")
+
+let resolve_resilience ~checkpoint ~resume ~retries ~shard_timeout =
+  if resume && checkpoint = None then begin
+    prerr_endline "hwpat: --resume requires --checkpoint";
+    exit 2
+  end;
+  if retries < 0 then begin
+    prerr_endline "hwpat: --retries must be non-negative";
+    exit 2
+  end;
+  if shard_timeout < 0.0 then begin
+    prerr_endline "hwpat: --shard-timeout must be non-negative";
+    exit 2
+  end;
+  {
+    Hwpat_core.Supervise.default_policy with
+    Hwpat_core.Supervise.retries;
+    shard_timeout_s = shard_timeout;
+  }
+
+(* First ^C: cooperative shutdown — workers stop claiming shards,
+   in-flight shards finish, the checkpoint journal and --trace/--metrics
+   files are flushed, and the command prints its partial summary before
+   exiting 130.  A second ^C restores the default handler's immediate
+   death for runs that refuse to wind down. *)
+let with_sigint f =
+  let cancel = Hwpat_core.Parallel.token () in
+  let previous =
+    Sys.signal Sys.sigint
+      (Sys.Signal_handle
+         (fun _ ->
+           Hwpat_core.Parallel.cancel cancel;
+           Sys.set_signal Sys.sigint Sys.Signal_default))
+  in
+  Fun.protect
+    ~finally:(fun () -> Sys.set_signal Sys.sigint previous)
+    (fun () -> f cancel)
+
+let exit_interrupted ~checkpoint =
+  prerr_endline
+    (match checkpoint with
+    | Some path ->
+      Printf.sprintf
+        "hwpat: interrupted — partial results above; continue with --resume \
+         --checkpoint %s"
+        path
+    | None -> "hwpat: interrupted — partial results above");
+  exit 130
+
 (* --- sweep --------------------------------------------------------------- *)
 
-let sweep max_brams max_cycles jobs trace_path metrics_path =
+let sweep max_brams max_cycles jobs checkpoint resume retries shard_timeout
+    trace_path metrics_path =
+  let policy = resolve_resilience ~checkpoint ~resume ~retries ~shard_timeout in
   with_obs trace_path metrics_path @@ fun ~trace ~metrics ->
+  with_sigint @@ fun cancel ->
   let candidates =
-    Hwpat_core.Characterize.sweep ~trace ~jobs:(resolve_jobs jobs) ()
+    Hwpat_core.Characterize.sweep ~trace ~metrics ~jobs:(resolve_jobs jobs)
+      ~policy ~cancel ?checkpoint ~resume ()
   in
   if Hwpat_obs.Metrics.enabled metrics then begin
     Hwpat_obs.Metrics.incr metrics ~by:(List.length candidates) "sweep.points";
@@ -402,7 +497,8 @@ let sweep max_brams max_cycles jobs trace_path metrics_path =
     }
   in
   print_endline "";
-  print_endline (Hwpat_core.Characterize.region_report ~constraints candidates)
+  print_endline (Hwpat_core.Characterize.region_report ~constraints candidates);
+  if Hwpat_core.Parallel.cancelled cancel then exit_interrupted ~checkpoint
 
 let sweep_cmd =
   let max_brams =
@@ -417,12 +513,13 @@ let sweep_cmd =
   Cmd.v
     (Cmd.info "sweep" ~doc:"Characterise the container design space")
     Term.(
-      const sweep $ max_brams $ max_cycles $ jobs_arg $ trace_arg $ metrics_arg)
+      const sweep $ max_brams $ max_cycles $ jobs_arg $ checkpoint_arg
+      $ resume_arg $ retries_arg $ shard_timeout_arg $ trace_arg $ metrics_arg)
 
 (* --- faultsim -------------------------------------------------------------- *)
 
-let faultsim design seed faults frame_size overhead jobs trace_path
-    metrics_path =
+let faultsim design seed faults frame_size overhead jobs checkpoint resume
+    retries shard_timeout trace_path metrics_path =
   if faults < 0 then begin
     prerr_endline "hwpat: --faults must be non-negative";
     exit 2
@@ -431,12 +528,14 @@ let faultsim design seed faults frame_size overhead jobs trace_path
     prerr_endline "hwpat: --frame-size must be at least 1";
     exit 2
   end;
+  let policy = resolve_resilience ~checkpoint ~resume ~retries ~shard_timeout in
   let build = Hwpat_core.Faultsim.find_design design in
   with_obs trace_path metrics_path @@ fun ~trace ~metrics ->
+  with_sigint @@ fun cancel ->
   let summary =
     Hwpat_core.Faultsim.run_campaign ~trace ~metrics ~jobs:(resolve_jobs jobs)
-      ~seed ~faults ~frame_width:frame_size ~frame_height:frame_size ~build
-      ~design ()
+      ~policy ~cancel ?checkpoint ~resume ~seed ~faults
+      ~frame_width:frame_size ~frame_height:frame_size ~build ~design ()
   in
   print_string (Hwpat_core.Faultsim.render summary);
   if overhead then begin
@@ -446,6 +545,7 @@ let faultsim design seed faults frame_size overhead jobs trace_path
       (Hwpat_synthesis.Resource_report.table3_row
          (Hwpat_core.Faultsim.protection_overhead ()))
   end;
+  if Hwpat_core.Parallel.cancelled cancel then exit_interrupted ~checkpoint;
   if Hwpat_core.Faultsim.count summary Hwpat_core.Faultsim.Silent > 0 then exit 1
 
 let faultsim_cmd =
@@ -479,14 +579,65 @@ let faultsim_cmd =
           attached; exits non-zero if any fault goes silent")
     Term.(
       const faultsim $ design $ seed $ faults $ frame_size $ overhead
-      $ jobs_arg $ trace_arg $ metrics_arg)
+      $ jobs_arg $ checkpoint_arg $ resume_arg $ retries_arg
+      $ shard_timeout_arg $ trace_arg $ metrics_arg)
 
 (* --- prove ----------------------------------------------------------------- *)
 
-let prove smoke jobs json trace_path metrics_path =
+(* CONFLICTS or CONFLICTS/PROPAGATIONS; 0 means unlimited on that
+   axis, mirroring {!Hwpat_formal.Solver.budget}. *)
+let budget_conv =
+  let parse s =
+    let budget c p =
+      if c < 0 || p < 0 then
+        Error (`Msg "solver budget components must be non-negative")
+      else
+        Ok
+          {
+            Hwpat_formal.Solver.max_conflicts = c;
+            Hwpat_formal.Solver.max_propagations = p;
+          }
+    in
+    match String.index_opt s '/' with
+    | None -> (
+      match int_of_string_opt s with
+      | Some c -> budget c 0
+      | None ->
+        Error
+          (`Msg
+            (Printf.sprintf
+               "invalid solver budget %S (expected CONFLICTS or \
+                CONFLICTS/PROPAGATIONS)"
+               s)))
+    | Some i -> (
+      let conflicts = String.sub s 0 i in
+      let props = String.sub s (i + 1) (String.length s - i - 1) in
+      match (int_of_string_opt conflicts, int_of_string_opt props) with
+      | Some c, Some p -> budget c p
+      | _ ->
+        Error
+          (`Msg
+            (Printf.sprintf
+               "invalid solver budget %S (expected CONFLICTS or \
+                CONFLICTS/PROPAGATIONS)"
+               s)))
+  in
+  let print fmt b =
+    Format.fprintf fmt "%d/%d" b.Hwpat_formal.Solver.max_conflicts
+      b.Hwpat_formal.Solver.max_propagations
+  in
+  Arg.conv (parse, print)
+
+let prove smoke jobs json budget checkpoint resume retries shard_timeout
+    trace_path metrics_path =
   let jobs = resolve_jobs jobs in
+  let policy = resolve_resilience ~checkpoint ~resume ~retries ~shard_timeout in
   with_obs trace_path metrics_path @@ fun ~trace ~metrics ->
-  let results = Hwpat_core.Prove.run ~trace ~metrics ~jobs ~smoke () in
+  with_sigint @@ fun cancel ->
+  let results =
+    Hwpat_core.Prove.run ~trace ~metrics ~jobs ~policy ~cancel ?checkpoint
+      ~resume ~budget ~smoke ()
+  in
   print_string (Hwpat_core.Prove.summary results);
   (match json with
   | None -> ()
@@ -494,6 +645,7 @@ let prove smoke jobs json trace_path metrics_path =
     Hwpat_rtl.Util.write_file path
       (Hwpat_core.Prove.to_json ~jobs ~smoke results);
     Printf.printf "wrote %s\n" path);
+  if Hwpat_core.Parallel.cancelled cancel then exit_interrupted ~checkpoint;
   if not (Hwpat_core.Prove.all_ok results) then exit 1
 
 let prove_cmd =
@@ -512,13 +664,27 @@ let prove_cmd =
       & info [ "json" ] ~docv:"FILE"
           ~doc:"Also write the results as JSON to $(docv).")
   in
+  let budget =
+    Arg.(
+      value
+      & opt budget_conv Hwpat_formal.Solver.no_budget
+      & info [ "solver-budget" ] ~docv:"SPEC"
+          ~doc:
+            "Cap each SAT solve at $(docv) = CONFLICTS or \
+             CONFLICTS/PROPAGATIONS operations (deterministic, not wall \
+             clock); obligations that trip the cap report an honest \
+             'unknown' verdict instead of running unbounded. 0 means \
+             unlimited.")
+  in
   Cmd.v
     (Cmd.info "prove"
        ~doc:
          "Discharge the formal proof battery: protocol-monitor BMC on the \
           paper designs, SAT equivalence of optimised and pruned variants; \
-          exits non-zero if any obligation fails")
-    Term.(const prove $ smoke $ jobs_arg $ json $ trace_arg $ metrics_arg)
+          exits non-zero if any obligation fails or is unknown")
+    Term.(
+      const prove $ smoke $ jobs_arg $ json $ budget $ checkpoint_arg
+      $ resume_arg $ retries_arg $ shard_timeout_arg $ trace_arg $ metrics_arg)
 
 (* --- tables --------------------------------------------------------------- *)
 
@@ -619,6 +785,14 @@ let () =
     Cmd.eval ~catch:false (Cmd.group ~default:default_term info subcommands)
   with
   | code -> exit code
+  | exception Hwpat_core.Journal.Config_mismatch { path; expected; found } ->
+    Printf.eprintf
+      "hwpat: checkpoint %s was written by a different campaign\n\
+      \  expected: %s\n\
+      \  found:    %s\n\
+       Pass a fresh --checkpoint path, or drop --resume to overwrite it.\n"
+      path expected found;
+    exit 2
   | exception (Failure msg | Invalid_argument msg) ->
     prerr_endline ("hwpat: " ^ msg);
     exit 2

@@ -140,7 +140,7 @@ let harness point =
    this workload — so the measurement is aborted and reported as timed
    out rather than folded into a bogus cycles-per-access figure (the
    old behaviour silently ranked such points in the design space). *)
-let measure sim =
+let measure ?(check = fun () -> ()) sim =
   let set name v = Cyclesim.in_port sim name := Bits.of_int ~width:1 v in
   let setd v w = Cyclesim.in_port sim "put_data" := Bits.of_int ~width:w v in
   let out name = Bits.to_bool !(Cyclesim.out_port sim name) in
@@ -148,6 +148,7 @@ let measure sim =
   let width = Bits.width !(Cyclesim.in_port sim "put_data") in
   let cycles = ref 0 in
   let step () =
+    check ();
     Cyclesim.cycle sim;
     Power.sample monitor;
     incr cycles
@@ -195,19 +196,21 @@ let measure sim =
   in
   (per_access, monitor, !timed_out)
 
-let characterize point =
+let point_label point =
+  Printf.sprintf "%s/%s/%dx%d%s" point.container point.target point.elem_width
+    point.depth
+    (if point.target = "sram" then Printf.sprintf "/ws%d" point.wait_states
+     else "")
+
+let characterize ?check point =
   let circuit = harness point in
   let resources = Techmap.estimate circuit in
   let timing = Timing.analyze circuit in
   let sim = Cyclesim.create circuit in
-  let access_cycles, monitor, timed_out = measure sim in
+  let access_cycles, monitor, timed_out = measure ?check sim in
   let power = Power.estimate ~clock_mhz:timing.Timing.fmax_mhz monitor in
   {
-    Design_space.label =
-      Printf.sprintf "%s/%s/%dx%d%s" point.container point.target
-        point.elem_width point.depth
-        (if point.target = "sram" then Printf.sprintf "/ws%d" point.wait_states
-         else "");
+    Design_space.label = point_label point;
     container = point.container;
     target = point.target;
     elem_width = point.elem_width;
@@ -221,24 +224,96 @@ let characterize point =
     measured = not timed_out;
   }
 
+(* A point the supervisor gave up on (watchdog timeout, cancellation):
+   reported as an unmeasurable candidate so the sweep output still
+   lists every point, and ranking excludes it exactly like an
+   ack-guard trip. *)
+let unfinished_candidate point =
+  {
+    Design_space.label = point_label point;
+    container = point.container;
+    target = point.target;
+    elem_width = point.elem_width;
+    depth = point.depth;
+    luts = 0;
+    ffs = 0;
+    brams = 0;
+    access_cycles = infinity;
+    fmax_mhz = 0.0;
+    power_mw = infinity;
+    measured = false;
+  }
+
+(* Journal payload for a measured point (identity lives in the shard
+   key, which is the point label).  Floats round-trip through their
+   IEEE bits so resumed sweeps reproduce the original bytes. *)
+let encode_candidate (c : Design_space.candidate) =
+  Printf.sprintf "%d %d %d %Lx %Lx %Lx %b" c.Design_space.luts c.ffs c.brams
+    (Int64.bits_of_float c.access_cycles)
+    (Int64.bits_of_float c.fmax_mhz)
+    (Int64.bits_of_float c.power_mw)
+    c.measured
+
+let decode_candidate point data =
+  try
+    Scanf.sscanf data "%d %d %d %Lx %Lx %Lx %B"
+      (fun luts ffs brams access fmax power measured ->
+        Some
+          {
+            (unfinished_candidate point) with
+            Design_space.luts;
+            ffs;
+            brams;
+            access_cycles = Int64.float_of_bits access;
+            fmax_mhz = Int64.float_of_bits fmax;
+            power_mw = Int64.float_of_bits power;
+            measured;
+          })
+  with Scanf.Scan_failure _ | Failure _ | End_of_file -> None
+
 (* Each sweep point is an independent build+simulate job; shard them
    across domains. Every shard elaborates its own circuit and
    simulator, and results are merged in point order, so the candidate
-   list is identical whatever [jobs] is. *)
-let sweep ?(trace = Hwpat_obs.Trace.null) ?jobs ?(points = default_points) () =
+   list is identical whatever [jobs] is — and, via the checkpoint
+   journal, whether or not the sweep was interrupted and resumed. *)
+let sweep ?(trace = Hwpat_obs.Trace.null) ?(metrics = Hwpat_obs.Metrics.null)
+    ?jobs ?policy ?cancel ?checkpoint ?(resume = false)
+    ?(points = default_points) () =
   let module Trace = Hwpat_obs.Trace in
   Trace.span trace "sweep"
     ~args:[ ("points", Trace.Int (List.length points)) ]
   @@ fun () ->
-  Parallel.map ?jobs
-    (fun point ->
-      (* Per-point spans land on the worker domain's lane: straggler
-         points are visible in the trace. *)
-      Trace.span trace
-        (Printf.sprintf "point:%s/%s/%dx%d" point.container point.target
-           point.elem_width point.depth)
-        (fun () -> characterize point))
-    points
+  let pts = Array.of_list points in
+  let labels = Array.map point_label pts in
+  let config =
+    "sweep " ^ String.concat "," (Array.to_list labels)
+  in
+  let journal =
+    Option.map (fun path -> Journal.start ~path ~config ~resume) checkpoint
+  in
+  Fun.protect
+    ~finally:(fun () -> Option.iter Journal.close journal)
+  @@ fun () ->
+  let outcomes =
+    Supervise.run_shards ?jobs ?policy ~metrics ?cancel ?journal
+      ~key:(fun i -> labels.(i))
+      ~encode:encode_candidate
+      ~decode:(fun i data -> decode_candidate pts.(i) data)
+      (Array.length pts)
+      (fun ctx i ->
+        (* Per-point spans land on the worker domain's lane: straggler
+           points are visible in the trace. *)
+        Trace.span trace
+          (Printf.sprintf "point:%s" labels.(i))
+          (fun () ->
+            characterize ~check:(fun () -> Supervise.check ctx) pts.(i)))
+  in
+  Array.to_list
+    (Array.mapi
+       (fun i -> function
+         | Supervise.Done c -> c
+         | Supervise.Unfinished _ -> unfinished_candidate pts.(i))
+       outcomes)
 
 let region_report ~constraints candidates =
   let unmeasurable = Design_space.unmeasurable candidates in
@@ -254,7 +329,8 @@ let region_report ~constraints candidates =
     | u ->
       [
         Printf.sprintf
-          "%d point(s) unmeasurable (ack guard tripped), excluded from \
+          "%d point(s) unmeasurable (ack guard tripped or unfinished), \
+           excluded from \
            ranking: %s"
           (List.length u)
           (String.concat ", "

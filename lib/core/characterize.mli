@@ -20,28 +20,52 @@ val default_points : point list
 (** Queues and stacks over each legal target, widths 8 and 16, depths
     64 and 512, SRAM at 0–2 wait states. *)
 
-val measure : Hwpat_rtl.Cyclesim.t -> float * Hwpat_synthesis.Power.monitor * bool
+val point_label : point -> string
+(** "container/target/WxD" (plus "/wsN" for SRAM targets): the
+    candidate label, and the point's checkpoint-journal identity. *)
+
+val measure :
+  ?check:(unit -> unit) ->
+  Hwpat_rtl.Cyclesim.t ->
+  float * Hwpat_synthesis.Power.monitor * bool
 (** Drive the put/get ping-pong workload against a measurement harness
     simulator: (cycles per access, power monitor, timed out). Each
     handshake is bounded by a 200-cycle ack guard; when one trips the
     workload is aborted, cycles-per-access is [infinity] and the third
     component is [true] — the point must be reported as unmeasurable,
-    never ranked. *)
+    never ranked. [check] is called once per cycle — the supervision
+    watchdog hook. *)
 
-val characterize : point -> Hwpat_synthesis.Design_space.candidate
+val characterize :
+  ?check:(unit -> unit) -> point -> Hwpat_synthesis.Design_space.candidate
 (** Builds the container, synthesises a measurement harness, runs a
     put/get workload and fills in every candidate field. A point whose
     measurement times out comes back with [measured = false]. *)
 
 val sweep :
   ?trace:Hwpat_obs.Trace.t ->
-  ?jobs:int -> ?points:point list -> unit ->
+  ?metrics:Hwpat_obs.Metrics.t ->
+  ?jobs:int ->
+  ?policy:Supervise.policy ->
+  ?cancel:Parallel.token ->
+  ?checkpoint:string ->
+  ?resume:bool ->
+  ?points:point list -> unit ->
   Hwpat_synthesis.Design_space.candidate list
 (** Characterise every point, sharded one point per job across [jobs]
     domains (default [Parallel.default_jobs ()]). Results are merged
     in point order: the candidate list is identical for any [jobs].
     [trace] (default disabled) records one span per point on its
-    worker domain's lane. *)
+    worker domain's lane.
+
+    Execution is supervised ({!Supervise.run_shards}): [policy] sets
+    per-point watchdog deadlines and retry counts, [cancel] stops
+    further points from starting, and points the supervisor gives up
+    on come back as unmeasurable candidates ([measured = false]),
+    excluded from ranking like an ack-guard trip. [checkpoint]
+    journals each measured point to the given path; with [resume]
+    points already journaled under a matching point list are skipped
+    and their recorded measurements replayed byte-identically. *)
 
 val region_report :
   constraints:Hwpat_synthesis.Design_space.constraints ->

@@ -5,18 +5,25 @@ open Hwpat_video
    fault in a fresh simulation with runtime monitors attached, compare
    against the fault-free reference, and classify the outcome. *)
 
-type outcome = Detected | Masked | Silent
+type outcome = Detected | Masked | Silent | Unfinished
 
 let outcome_name = function
   | Detected -> "detected"
   | Masked -> "masked"
   | Silent -> "silent"
+  | Unfinished -> "unfinished"
+
+let outcome_of_name = function
+  | "detected" -> Some Detected
+  | "masked" -> Some Masked
+  | "silent" -> Some Silent
+  | "unfinished" -> Some Unfinished
+  | _ -> None
 
 type result = {
-  event : Fault.event;
   description : string;
   outcome : outcome;
-  first_violation : Monitor.violation option;
+  detail : string option;
   err_flag : bool;
   completed : bool;
   cycles : int;
@@ -48,7 +55,8 @@ let has_output circuit port = List.mem_assoc port (Circuit.outputs circuit)
    same number of pixels, stop at [budget] cycles. [events] are
    scheduled on a Fault injector; monitors are auto-attached by naming
    convention. *)
-let run_once ?engine ?(events = []) ~budget ~frame circuit =
+let run_once ?engine ?(events = []) ?(check = fun () -> ()) ~budget ~frame
+    circuit =
   let expected = Frame.pixels frame in
   let sim = Cyclesim.create ?engine circuit in
   let monitor = Monitor.create sim in
@@ -61,6 +69,7 @@ let run_once ?engine ?(events = []) ~budget ~frame circuit =
   let sink = Vga_sink.create sim () in
   let cycles = ref 0 in
   while Vga_sink.count sink < expected && !cycles < budget do
+    check ();
     Video_source.drive source;
     Vga_sink.drive sink;
     Fault.step injector;
@@ -78,7 +87,7 @@ let run_once ?engine ?(events = []) ~budget ~frame circuit =
 (* --- Campaigns ----------------------------------------------------------- *)
 
 let classify ~reference ~expected (collected, cycles, monitor, _, err_flag)
-    ~description event =
+    ~description =
   let completed = List.length collected = expected in
   let detected = (not (Monitor.ok monitor)) || err_flag in
   let outcome =
@@ -87,10 +96,14 @@ let classify ~reference ~expected (collected, cycles, monitor, _, err_flag)
     else Silent
   in
   {
-    event;
     description;
     outcome;
-    first_violation = Monitor.first_violation monitor;
+    (* Pre-rendered at classification time: the violation text is
+       uid-independent and journals as a plain string. *)
+    detail =
+      Option.map
+        (fun v -> Format.asprintf "%a" Monitor.pp_violation v)
+        (Monitor.first_violation monitor);
     err_flag;
     completed;
     cycles;
@@ -107,8 +120,9 @@ let classify ~reference ~expected (collected, cycles, monitor, _, err_flag)
    circuit's campaign, and [Parallel.run] merges shard results in
    fault order, so the summary is bit-identical for any [jobs]. *)
 let run_campaign ?(trace = Hwpat_obs.Trace.null)
-    ?(metrics = Hwpat_obs.Metrics.null) ?engine ?jobs ?(seed = 1)
-    ?(faults = 20) ?(frame_width = 8) ?(frame_height = 8) ~build ~design () =
+    ?(metrics = Hwpat_obs.Metrics.null) ?engine ?jobs ?policy ?cancel
+    ?checkpoint ?(resume = false) ?(seed = 1) ?(faults = 20)
+    ?(frame_width = 8) ?(frame_height = 8) ~build ~design () =
   let module Trace = Hwpat_obs.Trace in
   Trace.span trace "faultsim"
     ~args:[ ("design", Trace.String design); ("faults", Trace.Int faults) ]
@@ -139,7 +153,45 @@ let run_campaign ?(trace = Hwpat_obs.Trace.null)
   let descriptions =
     Array.map (Fault.describe_event_in circuit) events
   in
-  let run_shard k =
+  (* Checkpoint identity: the campaign parameters that determine every
+     classification.  (The engine is deliberately excluded — the
+     differential suite holds classifications identical across
+     engines, so a journal from either replays in both.) *)
+  let config =
+    Printf.sprintf "faultsim design=%s seed=%d faults=%d frame=%dx%d" design
+      seed faults frame_width frame_height
+  in
+  let journal =
+    Option.map (fun path -> Journal.start ~path ~config ~resume) checkpoint
+  in
+  Fun.protect ~finally:(fun () -> Option.iter Journal.close journal)
+  @@ fun () ->
+  (* Journal keys are uid-independent: the fault index plus its
+     describe_event_in rendering, stable across processes and jobs. *)
+  let key k = Printf.sprintf "%d:%s" k descriptions.(k) in
+  let encode r =
+    Printf.sprintf "%s %b %b %d %S" (outcome_name r.outcome) r.err_flag
+      r.completed r.cycles
+      (match r.detail with Some d -> d | None -> "")
+  in
+  let decode k data =
+    try
+      Scanf.sscanf data "%s %B %B %d %S"
+        (fun name err_flag completed cycles detail ->
+          Option.map
+            (fun outcome ->
+              {
+                description = descriptions.(k);
+                outcome;
+                detail = (if detail = "" then None else Some detail);
+                err_flag;
+                completed;
+                cycles;
+              })
+            (outcome_of_name name))
+    with Scanf.Scan_failure _ | Failure _ | End_of_file -> None
+  in
+  let run_shard ctx k =
     (* One span per fault, recorded on the worker's own domain lane, so
        the trace shows Parallel.run utilization and straggler shards. *)
     Trace.span trace (Printf.sprintf "fault#%d" k) @@ fun () ->
@@ -151,14 +203,33 @@ let run_campaign ?(trace = Hwpat_obs.Trace.null)
     let event = List.nth shard_events k in
     let r =
       classify ~reference ~expected
-        (run_once ?engine ~events:[ event ] ~budget ~frame shard_circuit)
-        ~description:descriptions.(k) events.(k)
+        (run_once ?engine ~events:[ event ]
+           ~check:(fun () -> Supervise.check ctx)
+           ~budget ~frame shard_circuit)
+        ~description:descriptions.(k)
     in
     Trace.annotate trace "outcome" (Trace.String (outcome_name r.outcome));
     r
   in
+  let outcomes =
+    Supervise.run_shards ?jobs ?policy ~metrics ?cancel ?journal ~key ~encode
+      ~decode (Array.length events) run_shard
+  in
   let results =
-    Array.to_list (Parallel.run ?jobs (Array.length events) run_shard)
+    Array.to_list
+      (Array.mapi
+         (fun k -> function
+           | Supervise.Done r -> r
+           | Supervise.Unfinished { reason; attempts = _ } ->
+             {
+               description = descriptions.(k);
+               outcome = Unfinished;
+               detail = Some reason;
+               err_flag = false;
+               completed = false;
+               cycles = 0;
+             })
+         outcomes)
   in
   List.iter
     (fun r ->
@@ -206,16 +277,17 @@ let render summary =
   emit "fault campaign: %s (seed %d)\n" summary.design summary.seed;
   emit "  monitors attached: %d, fault-free run: %d cycles\n" summary.monitors
     summary.baseline_cycles;
-  emit "  faults: %d   detected: %d   masked: %d   silent: %d\n"
+  emit "  faults: %d   detected: %d   masked: %d   silent: %d   unfinished: %d\n"
     (List.length summary.results)
-    (count summary Detected) (count summary Masked) (count summary Silent);
+    (count summary Detected) (count summary Masked) (count summary Silent)
+    (count summary Unfinished);
   emit "  detection coverage (non-masked faults): %.0f%%\n"
     (100.0 *. coverage summary);
   List.iter
     (fun r ->
-      emit "  %-8s %-44s %s\n" (outcome_name r.outcome) r.description
-        (match r.first_violation with
-        | Some v -> Format.asprintf "[%a]" Monitor.pp_violation v
+      emit "  %-10s %-44s %s\n" (outcome_name r.outcome) r.description
+        (match r.detail with
+        | Some d -> "[" ^ d ^ "]"
         | None when r.err_flag -> "[err output high]"
         | None when not r.completed -> "[hung]"
         | None -> ""))
@@ -235,17 +307,17 @@ let summary_to_json summary =
   emit "  \"faults\": %d,\n  \"detected\": %d,\n  \"masked\": %d,\n"
     (List.length summary.results)
     (count summary Detected) (count summary Masked);
-  emit "  \"silent\": %d,\n  \"coverage\": %.4f,\n" (count summary Silent)
-    (coverage summary);
+  emit "  \"silent\": %d,\n  \"unfinished\": %d,\n  \"coverage\": %.4f,\n"
+    (count summary Silent) (count summary Unfinished) (coverage summary);
   emit "  \"results\": [\n";
   List.iteri
     (fun i r ->
       emit
-        "    {\"fault\": %S, \"outcome\": %S, \"violation\": %s, \
+        "    {\"fault\": %S, \"outcome\": %S, \"detail\": %s, \
          \"err_flag\": %b, \"completed\": %b, \"cycles\": %d}%s\n"
         r.description (outcome_name r.outcome)
-        (match r.first_violation with
-        | Some v -> Printf.sprintf "%S" (Format.asprintf "%a" Monitor.pp_violation v)
+        (match r.detail with
+        | Some d -> Printf.sprintf "%S" d
         | None -> "null")
         r.err_flag r.completed r.cycles
         (if i = List.length summary.results - 1 then "" else ","))

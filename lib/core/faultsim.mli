@@ -12,20 +12,27 @@ open Hwpat_video
     - [Masked] — the run completed with bit-identical output and no
       flag: the fault had no observable effect;
     - [Silent] — wrong output or a hang with no flag raised (the
-      dangerous case protection hardware is meant to eliminate). *)
+      dangerous case protection hardware is meant to eliminate);
+    - [Unfinished] — the shard never produced a verdict: supervision
+      retries were exhausted (watchdog timeout, transient failure) or
+      the campaign was cancelled before the fault ran.  Unfinished
+      faults are reported explicitly, excluded from {!coverage}, and
+      never journaled — a resumed campaign runs them again. *)
 
-type outcome = Detected | Masked | Silent
+type outcome = Detected | Masked | Silent | Unfinished
 
 val outcome_name : outcome -> string
 
 type result = {
-  event : Fault.event;
   description : string;
-      (** uid-independent rendering of [event] against the campaign's
-          master circuit ({!Fault.describe_event_in}): stable across
-          reruns, processes and job counts *)
+      (** uid-independent rendering of the fault event against the
+          campaign's master circuit ({!Fault.describe_event_in}):
+          stable across reruns, processes and job counts — also the
+          checkpoint-journal identity of the shard *)
   outcome : outcome;
-  first_violation : Monitor.violation option;
+  detail : string option;
+      (** the first monitor violation (pre-rendered), or the reason a
+          shard is [Unfinished] *)
   err_flag : bool;  (** the design's [err] output, if it has one *)
   completed : bool;  (** collected every expected pixel in budget *)
   cycles : int;
@@ -42,25 +49,33 @@ type summary = {
 val count : summary -> outcome -> int
 
 val coverage : summary -> float
-(** detected / (detected + silent); masked faults are excluded since
-    they have no effect to detect. 1.0 when nothing was detectable. *)
+(** detected / (detected + silent); masked and unfinished faults are
+    excluded since they have no (known) effect to detect. 1.0 when
+    nothing was detectable. *)
 
 val run_once :
   ?engine:Cyclesim.engine ->
   ?events:Fault.event list ->
+  ?check:(unit -> unit) ->
   budget:int ->
   frame:Frame.t ->
   Circuit.t ->
   int list * int * Monitor.t * int * bool
 (** One simulation of a stream-copy circuit: collected pixels, cycles
     run, the monitor, monitors attached, and the [err] output state.
-    [engine] selects the simulation engine (default compiled). *)
+    [engine] selects the simulation engine (default compiled).
+    [check] is called once per cycle — the supervision watchdog
+    hook. *)
 
 val run_campaign :
   ?trace:Hwpat_obs.Trace.t ->
   ?metrics:Hwpat_obs.Metrics.t ->
   ?engine:Cyclesim.engine ->
   ?jobs:int ->
+  ?policy:Supervise.policy ->
+  ?cancel:Parallel.token ->
+  ?checkpoint:string ->
+  ?resume:bool ->
   ?seed:int ->
   ?faults:int ->
   ?frame_width:int ->
@@ -77,7 +92,18 @@ val run_campaign :
     circuit and simulator, and results merge in fault order, so the
     summary — {!render} and {!summary_to_json} included — is
     bit-identical for any [jobs]. Raises [Invalid_argument] if the
-    design fails or trips a monitor fault-free. *)
+    design fails or trips a monitor fault-free.
+
+    Execution is supervised ({!Supervise.run_shards}): [policy] sets
+    per-fault watchdog deadlines and retry counts, [cancel] stops
+    further faults from starting, and shards that never complete are
+    reported as [Unfinished] results.  [checkpoint] journals each
+    completed fault to the given path as it finishes; with [resume]
+    faults already journaled under a matching campaign configuration
+    (design, seed, fault count, frame size — enforced, see
+    {!Journal.Config_mismatch}) are skipped and their recorded results
+    replayed, so an interrupted-then-resumed campaign renders
+    byte-identically to an uninterrupted one. *)
 
 val designs : (string * (unit -> Circuit.t)) list
 (** Named builds for the CLI and benchmark harness: the Table 3

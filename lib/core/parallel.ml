@@ -2,21 +2,33 @@
    only: [Domain] + [Atomic]).
 
    The model is deliberately minimal: [run n f] evaluates [f 0 .. f
-   (n-1)], each exactly once, on a fixed pool of worker domains that
-   claim shard indices from one atomic counter (work stealing without
-   queues — claiming is a single [fetch_and_add]).  Results land in a
-   pre-sized array slot per shard, so the merged output is in
-   submission order and bit-identical to the serial run regardless of
-   how shards interleave across domains.  The shard closures must be
-   domain-safe: they may share immutable inputs but must not write
-   shared mutable state (every campaign/sweep shard in this repository
-   builds its own fresh circuit and simulator).
+   (n-1)] on a fixed pool of worker domains that claim shard indices
+   from one atomic counter (work stealing without queues — claiming is
+   a single [fetch_and_add]).  Results land in a pre-sized array slot
+   per shard, so the merged output is in submission order and
+   bit-identical to the serial run regardless of how shards interleave
+   across domains.  The shard closures must be domain-safe: they may
+   share immutable inputs but must not write shared mutable state
+   (every campaign/sweep shard in this repository builds its own fresh
+   circuit and simulator).
 
-   Exceptions do not race either: each shard records its own failure
-   and after all domains join the exception of the *lowest-numbered*
-   failed shard is re-raised — with the backtrace captured at the
-   failure site, not the join point — so error reporting is as
-   deterministic as the results. *)
+   Failure is fail-fast *and* deterministic.  When a shard raises, its
+   index is recorded in an atomic low-water mark and workers stop
+   claiming indices at or above it — the serial run would never have
+   evaluated those either, so skipping them cannot change the outcome.
+   Because indices are claimed in increasing order, every index below
+   the final low-water mark was already claimed and fully evaluated by
+   the time the mark settled; re-raising the failure at the mark (with
+   the backtrace captured at the failure site) therefore reproduces
+   exactly the exception the serial [Array.init] run raises, while a
+   whole campaign is no longer burned evaluating shards whose results
+   will be discarded.
+
+   Cooperative cancellation uses the same claim gate: a fired [token]
+   stops workers from claiming new indices, in-flight shards run to
+   completion, and the skipped slots come back as [None] from
+   [run_partial] — the mechanism behind SIGINT-graceful campaign
+   shutdown. *)
 
 let max_jobs = 64
 
@@ -24,44 +36,81 @@ let clamp_jobs j = if j < 1 then 1 else if j > max_jobs then max_jobs else j
 
 let default_jobs () = clamp_jobs (Domain.recommended_domain_count ())
 
-let run ?jobs n f =
-  if n < 0 then invalid_arg "Parallel.run: negative shard count";
+type token = bool Atomic.t
+
+let token () = Atomic.make false
+let cancel t = Atomic.set t true
+let cancelled t = Atomic.get t
+
+let run_partial ?jobs ?cancel n f =
+  if n < 0 then invalid_arg "Parallel.run_partial: negative shard count";
   let jobs =
     match jobs with Some j -> clamp_jobs j | None -> default_jobs ()
   in
   let jobs = min jobs n in
-  if jobs <= 1 then Array.init n f
+  let is_cancelled () =
+    match cancel with Some t -> Atomic.get t | None -> false
+  in
+  if jobs <= 1 then begin
+    (* Serial: evaluate in order, stop at the first failure (raising
+       with the natural backtrace) or at cancellation. *)
+    let results = Array.make n None in
+    let i = ref 0 in
+    while !i < n && not (is_cancelled ()) do
+      results.(!i) <- Some (f !i);
+      incr i
+    done;
+    results
+  end
   else begin
     let results = Array.make n None in
     let failures = Array.make n None in
+    (* Lowest failed index seen so far; claims at or above it stop. *)
+    let min_fail = Atomic.make max_int in
     let next = Atomic.make 0 in
+    let record_failure i e bt =
+      failures.(i) <- Some (e, bt);
+      let rec lower () =
+        let m = Atomic.get min_fail in
+        if i < m && not (Atomic.compare_and_set min_fail m i) then lower ()
+      in
+      lower ()
+    in
     let worker () =
       let running = ref true in
       while !running do
         let i = Atomic.fetch_and_add next 1 in
-        if i >= n then running := false
+        if i >= n || i >= Atomic.get min_fail || is_cancelled () then
+          running := false
         else
           match f i with
           | v -> results.(i) <- Some v
           | exception e ->
             (* capture the backtrace at the failure site so the
                post-join re-raise does not report the join point *)
-            failures.(i) <- Some (e, Printexc.get_raw_backtrace ())
+            record_failure i e (Printexc.get_raw_backtrace ())
       done
     in
     (* jobs - 1 helper domains; the calling domain works too. *)
     let helpers = List.init (jobs - 1) (fun _ -> Domain.spawn worker) in
     worker ();
     List.iter Domain.join helpers;
-    Array.iter
-      (function
-        | Some (e, bt) -> Printexc.raise_with_backtrace e bt
-        | None -> ())
-      failures;
-    Array.map
-      (function Some v -> v | None -> assert false (* every shard ran *))
-      results
+    (match Atomic.get min_fail with
+    | m when m < n -> (
+      match failures.(m) with
+      | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+      | None -> assert false (* min_fail only moves to recorded failures *))
+    | _ -> ());
+    results
   end
+
+let run ?jobs n f =
+  let partial = run_partial ?jobs n f in
+  Array.map
+    (function
+      | Some v -> v
+      | None -> assert false (* no cancel token: every shard ran *))
+    partial
 
 let map ?jobs f xs =
   let input = Array.of_list xs in

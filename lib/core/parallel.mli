@@ -10,8 +10,9 @@
     come from an atomic counter.
 
     This is the execution layer behind [Faultsim.run_campaign ?jobs],
-    [Characterize.sweep ?jobs] and the sharded differential test
-    suite. *)
+    [Characterize.sweep ?jobs], [Prove.run ?jobs] and the sharded
+    differential test suite; {!Supervise} builds retry, watchdog and
+    checkpoint discipline on top of {!run_partial}. *)
 
 val max_jobs : int
 (** Upper clamp on the pool size (64). *)
@@ -22,13 +23,43 @@ val clamp_jobs : int -> int
 val default_jobs : unit -> int
 (** [Domain.recommended_domain_count ()], clamped. *)
 
+(** {1 Cooperative cancellation} *)
+
+type token
+(** A shared cancellation flag.  Firing it stops workers from claiming
+    new shard indices; shards already in flight run to completion.
+    Safe to fire from a signal handler (it is one atomic store). *)
+
+val token : unit -> token
+val cancel : token -> unit
+val cancelled : token -> bool
+
+(** {1 Runners} *)
+
 val run : ?jobs:int -> int -> (int -> 'a) -> 'a array
 (** [run ?jobs n f] is [[| f 0; ...; f (n-1) |]], evaluated across at
     most [jobs] domains (default {!default_jobs}; [jobs <= 1] runs
-    serially in the calling domain with no domains spawned).  Each
-    shard is evaluated exactly once.  If any shards raise, all shards
-    still run and then the exception of the lowest-numbered failed
-    shard is re-raised in the calling domain. *)
+    serially in the calling domain with no domains spawned).
+
+    Failure is fail-fast and deterministic: when a shard raises, its
+    index becomes a low-water mark and workers stop claiming indices
+    at or above it (in-flight shards finish), so a whole campaign is
+    not burned evaluating work whose results will be discarded.
+    Indices are claimed in increasing order, so every index below the
+    final mark was evaluated; the exception re-raised after the join —
+    with the backtrace captured at the failure site — is exactly the
+    one the serial run would have raised. *)
+
+val run_partial :
+  ?jobs:int -> ?cancel:token -> int -> (int -> 'a) -> 'a option array
+(** Like {!run}, but shards skipped because [cancel] fired (or, under
+    failure fail-fast, shards above the failure mark when the failure
+    is swallowed by the caller's shard closure) come back as [None]
+    instead of the call raising.  A recorded shard failure is still
+    re-raised as in {!run}.  This is the primitive {!Supervise} uses
+    for graceful SIGINT shutdown: fire the token from a signal
+    handler, collect the completed prefix, report the rest as
+    unfinished. *)
 
 val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
 (** List map over {!run}; order preserved. *)

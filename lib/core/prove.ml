@@ -4,26 +4,38 @@ type result = {
   name : string;
   kind : string;
   ok : bool;
+  unknown : bool;
   status : string;
   seconds : float;
 }
 
-type task = { t_name : string; t_kind : string; t_run : unit -> bool * string }
+(* [t_run] receives the supervision watchdog hook, threaded into the
+   SAT solver's [?interrupt] so a wall-clock deadline can abandon a
+   solve mid-search. *)
+type task = {
+  t_name : string;
+  t_kind : string;
+  t_run : interrupt:(unit -> unit) -> bool * bool * string;
+}
 
 (* ---------------------------------------------------------------- *)
 (* Obligations                                                      *)
 (* ---------------------------------------------------------------- *)
 
+(* (ok, unknown, status): an Unknown verdict is scored as not-proved
+   but flagged so reports never conflate "refuted" with "gave up". *)
 let equiv_status = function
-  | Equiv.Proved -> (true, "proved")
+  | Equiv.Proved -> (true, false, "proved")
   | Equiv.Counterexample cex ->
-    (false, Printf.sprintf "counterexample(%d cycles)" (List.length cex))
-  | Equiv.Unknown why -> (false, "unknown: " ^ why)
+    (false, false, Printf.sprintf "counterexample(%d cycles)" (List.length cex))
+  | Equiv.Unknown why -> (false, true, "unknown: " ^ why)
 
 let bmc_status = function
-  | Bmc.Holds d -> (true, Printf.sprintf "holds(%d)" d)
+  | Bmc.Holds d -> (true, false, Printf.sprintf "holds(%d)" d)
   | Bmc.Violation v ->
-    (false, Printf.sprintf "violation of %s at cycle %d" v.Bmc.property v.Bmc.at)
+    (false, false,
+     Printf.sprintf "violation of %s at cycle %d" v.Bmc.property v.Bmc.at)
+  | Bmc.Unknown why -> (false, true, "unknown: " ^ why)
 
 (* Paper designs at proof-sized parameters: the buffers shrink from
    512 to 16 elements so the memory state stays tractable for the SAT
@@ -44,46 +56,50 @@ let paper_designs () =
           () );
   ]
 
-let monitor_tasks ~trace ~metrics ~depth =
+let monitor_tasks ~trace ~metrics ~budget ~depth =
   List.map
     (fun (name, build) ->
       {
         t_name = name;
         t_kind = "monitor";
         t_run =
-          (fun () ->
-            bmc_status (Bmc.check_auto ~trace ~metrics ~depth (build ())));
+          (fun ~interrupt ->
+            bmc_status
+              (Bmc.check_auto ~trace ~metrics ~budget ~interrupt ~depth
+                 (build ())));
       })
     (paper_designs ())
 
 (* Optimizer equivalence on the paper designs themselves, not just
    random netlists: the handshake-heavy control is where candidate
    induction has to work hardest. *)
-let design_equiv_tasks ~trace ~metrics () =
+let design_equiv_tasks ~trace ~metrics ~budget () =
   List.map
     (fun (name, build) ->
       {
         t_name = name;
         t_kind = "equiv";
         t_run =
-          (fun () ->
+          (fun ~interrupt ->
             let c = build () in
             equiv_status
-              (Equiv.check ~trace ~metrics c (Hwpat_rtl.Optimize.circuit c)));
+              (Equiv.check ~trace ~metrics ~budget ~interrupt c
+                 (Hwpat_rtl.Optimize.circuit c)));
       })
     (paper_designs ())
 
-let optimize_tasks ~trace ~metrics ~seeds =
+let optimize_tasks ~trace ~metrics ~budget ~seeds =
   List.map
     (fun seed ->
       {
         t_name = Printf.sprintf "random_seed_%d" seed;
         t_kind = "optimize";
         t_run =
-          (fun () ->
+          (fun ~interrupt ->
             let c, _ = Netgen.build_random_circuit ~seed in
             equiv_status
-              (Equiv.check ~trace ~metrics c (Hwpat_rtl.Optimize.circuit c)));
+              (Equiv.check ~trace ~metrics ~budget ~interrupt c
+                 (Hwpat_rtl.Optimize.circuit c)));
       })
     seeds
 
@@ -114,66 +130,132 @@ let prune_pairs () =
       ();
   ]
 
-let prune_tasks ~trace ~metrics () =
+let prune_tasks ~trace ~metrics ~budget () =
   List.map
     (fun cfg ->
       {
         t_name = Hwpat_meta.Config.entity_name cfg;
         t_kind = "prune";
         t_run =
-          (fun () ->
+          (fun ~interrupt ->
             equiv_status
-              (Equiv.check ~trace ~metrics
+              (Equiv.check ~trace ~metrics ~budget ~interrupt
                  (Hwpat_containers.Elaborate.full ~trace cfg)
                  (Hwpat_containers.Elaborate.pruned ~trace cfg)));
       })
     (prune_pairs ())
 
 let battery ?(trace = Hwpat_obs.Trace.null)
-    ?(metrics = Hwpat_obs.Metrics.null) ~smoke () =
+    ?(metrics = Hwpat_obs.Metrics.null)
+    ?(budget = Hwpat_formal.Solver.no_budget) ~smoke () =
   let seq a b = List.init (b - a + 1) (fun i -> a + i) in
   if smoke then
-    monitor_tasks ~trace ~metrics ~depth:10
-    @ optimize_tasks ~trace ~metrics ~seeds:(seq 1 10)
+    monitor_tasks ~trace ~metrics ~budget ~depth:10
+    @ optimize_tasks ~trace ~metrics ~budget ~seeds:(seq 1 10)
   else
-    monitor_tasks ~trace ~metrics ~depth:20
-    @ design_equiv_tasks ~trace ~metrics ()
-    @ optimize_tasks ~trace ~metrics ~seeds:(seq 1 40)
-    @ prune_tasks ~trace ~metrics ()
+    monitor_tasks ~trace ~metrics ~budget ~depth:20
+    @ design_equiv_tasks ~trace ~metrics ~budget ()
+    @ optimize_tasks ~trace ~metrics ~budget ~seeds:(seq 1 40)
+    @ prune_tasks ~trace ~metrics ~budget ()
 
 (* ---------------------------------------------------------------- *)
 (* Execution                                                        *)
 (* ---------------------------------------------------------------- *)
 
-let run_task ~trace t =
+let run_task ~trace ctx t =
   (* One span per obligation on its worker domain's lane; the Equiv/Bmc
      phase spans nest underneath it. *)
   Hwpat_obs.Trace.span trace (t.t_kind ^ ":" ^ t.t_name) @@ fun () ->
   let t0 = Unix.gettimeofday () in
-  let ok, status =
-    try t.t_run ()
-    with e -> (false, "raised: " ^ Printexc.to_string e)
+  let ok, unknown, status =
+    try t.t_run ~interrupt:(fun () -> Supervise.check ctx)
+    with
+    | e when Supervise.is_transient e ->
+      (* Watchdog timeouts escape to the supervisor for retry /
+         explicit Unfinished reporting; everything else is recorded as
+         this obligation's own failure. *)
+      raise e
+    | e -> (false, false, "raised: " ^ Printexc.to_string e)
   in
   {
     name = t.t_name;
     kind = t.t_kind;
     ok;
+    unknown;
     status;
     seconds = Unix.gettimeofday () -. t0;
   }
 
+(* Journal payload for one completed obligation (name and kind are
+   implied by the shard key).  Seconds round-trip through their IEEE
+   bits so a resumed run reports the originally measured time. *)
+let encode_result r =
+  Printf.sprintf "%b %b %Lx %S" r.ok r.unknown
+    (Int64.bits_of_float r.seconds)
+    r.status
+
+let decode_result t data =
+  try
+    Scanf.sscanf data "%B %B %Lx %S" (fun ok unknown bits status ->
+        Some
+          {
+            name = t.t_name;
+            kind = t.t_kind;
+            ok;
+            unknown;
+            status;
+            seconds = Int64.float_of_bits bits;
+          })
+  with Scanf.Scan_failure _ | Failure _ | End_of_file -> None
+
+let unfinished_result t (reason, attempts) =
+  {
+    name = t.t_name;
+    kind = t.t_kind;
+    ok = false;
+    unknown = true;
+    status = Printf.sprintf "unfinished: %s (%d attempts)" reason attempts;
+    seconds = 0.0;
+  }
+
 let run ?(trace = Hwpat_obs.Trace.null) ?(metrics = Hwpat_obs.Metrics.null)
-    ?jobs ?(smoke = false) () =
-  let tasks = Array.of_list (battery ~trace ~metrics ~smoke ()) in
+    ?jobs ?policy ?cancel ?checkpoint ?(resume = false)
+    ?(budget = Hwpat_formal.Solver.no_budget) ?(smoke = false) () =
+  let tasks = Array.of_list (battery ~trace ~metrics ~budget ~smoke ()) in
+  let key i = tasks.(i).t_kind ^ ":" ^ tasks.(i).t_name in
+  let config =
+    Printf.sprintf "prove smoke=%b budget=%d/%d" smoke
+      budget.Hwpat_formal.Solver.max_conflicts
+      budget.Hwpat_formal.Solver.max_propagations
+  in
+  let journal =
+    Option.map (fun path -> Journal.start ~path ~config ~resume) checkpoint
+  in
+  Fun.protect
+    ~finally:(fun () -> Option.iter Journal.close journal)
+  @@ fun () ->
+  let outcomes =
+    Supervise.run_shards ?jobs ?policy ~metrics ?cancel ?journal ~key
+      ~encode:encode_result
+      ~decode:(fun i data -> decode_result tasks.(i) data)
+      (Array.length tasks)
+      (fun ctx i -> run_task ~trace ctx tasks.(i))
+  in
   let results =
     Array.to_list
-      (Parallel.run ?jobs (Array.length tasks) (fun i ->
-           run_task ~trace tasks.(i)))
+      (Array.mapi
+         (fun i -> function
+           | Supervise.Done r -> r
+           | Supervise.Unfinished { reason; attempts } ->
+             unfinished_result tasks.(i) (reason, attempts))
+         outcomes)
   in
   List.iter
     (fun r ->
       Hwpat_obs.Metrics.incr metrics
-        (if r.ok then "prove.proved" else "prove.failed"))
+        (if r.ok then "prove.proved"
+         else if r.unknown then "prove.unknown"
+         else "prove.failed"))
     results;
   results
 
@@ -183,18 +265,22 @@ let to_json ~jobs ~smoke results =
   let buf = Buffer.create 1024 in
   let emit fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   let proved = List.length (List.filter (fun r -> r.ok) results) in
+  let unknown = List.length (List.filter (fun r -> r.unknown) results) in
   emit "{\n  \"section\": \"prove\",\n  \"jobs\": %d,\n  \"smoke\": %b,\n" jobs
     smoke;
   emit "  \"obligations\": %d,\n  \"proved\": %d,\n  \"failed\": %d,\n"
     (List.length results) proved
-    (List.length results - proved);
+    (List.length results - proved - unknown);
+  emit "  \"unknown\": %d,\n" unknown;
   emit "  \"total_seconds\": %.3f,\n"
     (List.fold_left (fun acc r -> acc +. r.seconds) 0.0 results);
   emit "  \"results\": [\n";
   List.iteri
     (fun i r ->
-      emit "    {\"name\": %S, \"kind\": %S, \"ok\": %b, \"status\": %S, \"seconds\": %.3f}%s\n"
-        r.name r.kind r.ok r.status r.seconds
+      emit
+        "    {\"name\": %S, \"kind\": %S, \"ok\": %b, \"unknown\": %b, \
+         \"status\": %S, \"seconds\": %.3f}%s\n"
+        r.name r.kind r.ok r.unknown r.status r.seconds
         (if i = List.length results - 1 then "" else ","))
     results;
   emit "  ]\n}\n";
@@ -206,12 +292,15 @@ let summary results =
     (fun r ->
       Buffer.add_string buf
         (Printf.sprintf "[%s] prove %s/%s: %s (%.2fs)\n"
-           (if r.ok then "OK" else "FAIL")
+           (if r.ok then "OK" else if r.unknown then "UNK" else "FAIL")
            r.kind r.name r.status r.seconds))
     results;
   let proved = List.length (List.filter (fun r -> r.ok) results) in
+  let unknown = List.length (List.filter (fun r -> r.unknown) results) in
   Buffer.add_string buf
-    (Printf.sprintf "prove: %d obligations, %d proved, %d failed\n"
+    (Printf.sprintf
+       "prove: %d obligations, %d proved, %d failed, %d unknown\n"
        (List.length results) proved
-       (List.length results - proved));
+       (List.length results - proved - unknown)
+       unknown);
   Buffer.contents buf

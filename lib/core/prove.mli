@@ -24,6 +24,10 @@ type result = {
   name : string;
   kind : string;  (** "monitor" | "equiv" | "optimize" | "prune" *)
   ok : bool;
+  unknown : bool;
+      (** the obligation was not decided — solver budget exhausted,
+          or supervision gave up on it (never counted as proved
+          {e or} refuted) *)
   status : string;  (** e.g. "proved", "holds(20)", "counterexample" *)
   seconds : float;
 }
@@ -32,6 +36,11 @@ val run :
   ?trace:Hwpat_obs.Trace.t ->
   ?metrics:Hwpat_obs.Metrics.t ->
   ?jobs:int ->
+  ?policy:Supervise.policy ->
+  ?cancel:Parallel.token ->
+  ?checkpoint:string ->
+  ?resume:bool ->
+  ?budget:Hwpat_formal.Solver.budget ->
   ?smoke:bool ->
   unit ->
   result list
@@ -40,11 +49,26 @@ val run :
     the result list, not raised; results are in a fixed deterministic
     order independent of [jobs].
 
+    Execution is supervised ({!Supervise.run_shards}): [policy] sets
+    per-obligation watchdog deadlines and retry counts (timeouts
+    surface as [unknown] results with an [unfinished: ...] status,
+    never as hangs); [cancel] stops further obligations from starting
+    (the skipped ones also report [unfinished: cancelled]).
+    [checkpoint] journals each completed obligation to the given path;
+    with [resume] obligations already journaled under a matching
+    battery configuration are skipped and their recorded results —
+    originally measured seconds included — are reported as-is.
+
+    [budget] caps each SAT solve inside every obligation
+    (deterministically — operation counts, not wall clock); tripped
+    obligations score [unknown] with an [unknown: ...] status.
+
     [trace] (default disabled) records one span per obligation on its
     worker domain's lane, with the {!Hwpat_formal.Equiv} /
     {!Hwpat_formal.Bmc} phase spans nested underneath; [metrics]
-    (default disabled) accumulates the SAT solver counters ([solver.*])
-    and proved/failed totals ([prove.*]). *)
+    (default disabled) accumulates the SAT solver counters ([solver.*]),
+    supervision counters ([supervise.*]) and proved/failed/unknown
+    totals ([prove.*]). *)
 
 val all_ok : result list -> bool
 val to_json : jobs:int -> smoke:bool -> result list -> string

@@ -1,0 +1,135 @@
+(* Supervised shard execution: bounded retry, watchdog deadlines and
+   checkpoint/resume, layered over [Parallel.run_partial].
+
+   The error taxonomy is deliberately binary.  [Transient] (and its
+   watchdog cousin [Shard_timeout]) means "this shard might succeed if
+   tried again" — a wall-clock overrun, a flaky external condition.
+   Those are retried up to [policy.retries] times with deterministic
+   backoff, and if they never succeed the shard is reported as an
+   explicit [Unfinished] result rather than poisoning the campaign.
+   Everything else is fatal: a fatal exception escapes the shard
+   closure, [Parallel] stops claiming further shards, and the original
+   exception (lowest shard index, original backtrace) is re-raised —
+   the campaign fails fast exactly as the serial run would.
+
+   Retries are deterministic in the only sense that matters here: a
+   retried shard re-runs the same pure closure, so a retry that
+   succeeds yields the same value a first-try success yields, and the
+   merged summary is unchanged.  The backoff sleeps shape wall-clock
+   behaviour only.
+
+   Timeouts are polled cooperatively: shard closures call [check ctx]
+   at convenient points (per simulated cycle, per solver conflict) and
+   the context samples the clock every [poll_mask + 1] calls — cheap
+   enough for inner loops, coarse enough that a deadline trips within
+   a few dozen iterations of expiring. *)
+
+exception Transient of string
+exception Shard_timeout of float
+
+let is_transient = function
+  | Transient _ | Shard_timeout _ -> true
+  | _ -> false
+
+type policy = { retries : int; backoff_s : float; shard_timeout_s : float }
+
+let default_policy = { retries = 1; backoff_s = 0.05; shard_timeout_s = 0.0 }
+
+type ctx = {
+  attempt : int;
+  deadline : float; (* absolute; infinity when no timeout *)
+  timeout_s : float;
+  mutable polls : int;
+}
+
+let poll_mask = 31 (* sample the clock every 32 checks *)
+
+let make_ctx ~policy ~attempt =
+  let deadline =
+    if policy.shard_timeout_s > 0.0 then
+      Unix.gettimeofday () +. policy.shard_timeout_s
+    else infinity
+  in
+  { attempt; deadline; timeout_s = policy.shard_timeout_s; polls = 0 }
+
+let attempt ctx = ctx.attempt
+
+let check ctx =
+  if ctx.deadline < infinity then begin
+    ctx.polls <- ctx.polls + 1;
+    if
+      ctx.polls land poll_mask = 0
+      && Unix.gettimeofday () > ctx.deadline
+    then raise (Shard_timeout ctx.timeout_s)
+  end
+
+type 'a outcome = Done of 'a | Unfinished of { reason : string; attempts : int }
+
+let outcome_value = function Done v -> Some v | Unfinished _ -> None
+
+let unfinished_reason = function
+  | Done _ -> None
+  | Unfinished u -> Some u.reason
+
+let reason_of_exn = function
+  | Transient msg -> Printf.sprintf "transient: %s" msg
+  | Shard_timeout s -> Printf.sprintf "timeout after %.3gs" s
+  | e -> Printexc.to_string e (* unreachable for non-transient *)
+
+let run_shards ?jobs ?(policy = default_policy)
+    ?(metrics = Hwpat_obs.Metrics.null) ?cancel ?journal ~key ?encode ?decode n
+    f =
+  let incr_m name = Hwpat_obs.Metrics.incr metrics ("supervise." ^ name) in
+  let from_journal k =
+    match (journal, decode) with
+    | Some j, Some dec -> (
+      match Journal.find j (key k) with
+      | Some data -> dec k data
+      | None -> None)
+    | _ -> None
+  in
+  let to_journal k v =
+    match (journal, encode) with
+    | Some j, Some enc -> Journal.record j ~key:(key k) (enc v)
+    | _ -> ()
+  in
+  let run_shard k =
+    match from_journal k with
+    | Some v ->
+      incr_m "skipped";
+      Done v
+    | None ->
+      let rec go attempt =
+        let ctx = make_ctx ~policy ~attempt in
+        match f ctx k with
+        | v ->
+          to_journal k v;
+          Done v
+        | exception e when is_transient e ->
+          (match e with
+          | Shard_timeout _ -> incr_m "timeouts"
+          | _ -> ());
+          if attempt <= policy.retries then begin
+            incr_m "retries";
+            if policy.backoff_s > 0.0 then
+              (* exponential, deterministic in the attempt number *)
+              Unix.sleepf
+                (policy.backoff_s *. float_of_int (1 lsl (attempt - 1)));
+            go (attempt + 1)
+          end
+          else begin
+            incr_m "unfinished";
+            Unfinished { reason = reason_of_exn e; attempts = attempt }
+          end
+      in
+      go 1
+  in
+  let partial = Parallel.run_partial ?jobs ?cancel n run_shard in
+  Array.map
+    (function
+      | Some outcome -> outcome
+      | None ->
+        (* claim skipped: cancellation fired before this shard ran *)
+        incr_m "cancelled";
+        Unfinished { reason = "cancelled"; attempts = 0 })
+    partial

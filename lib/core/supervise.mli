@@ -1,0 +1,89 @@
+(** Supervised shard execution: bounded retry, watchdog deadlines and
+    checkpoint/resume, layered over {!Parallel.run_partial}.
+
+    The error taxonomy is binary.  {!Transient} and {!Shard_timeout}
+    mean "might succeed if tried again": the shard is retried up to
+    [policy.retries] times with deterministic exponential backoff, and
+    if it never succeeds it is reported as an explicit [Unfinished]
+    outcome instead of poisoning the campaign.  Every other exception
+    is fatal — it escapes to {!Parallel}, outstanding shard claims are
+    cancelled fail-fast, and the exception the serial run would have
+    raised (lowest shard index, original backtrace) is re-raised.
+
+    With a {!Journal}, each completed shard is appended to the
+    checkpoint as it finishes, and shards whose key is already
+    journaled are skipped on resume — decoded back to the recorded
+    value so a resumed run's summary is byte-identical to an
+    uninterrupted one.  Only [Done] results are journaled: unfinished
+    and cancelled shards re-run on resume. *)
+
+exception Transient of string
+(** A shard failure worth retrying.  Raise this from shard closures
+    for conditions that are not the design's fault. *)
+
+exception Shard_timeout of float
+(** Raised by {!check} when the shard's wall-clock deadline passes;
+    the payload is the configured timeout in seconds.  Treated as
+    transient (retried, then [Unfinished]). *)
+
+val is_transient : exn -> bool
+
+type policy = {
+  retries : int;  (** retry a transient failure this many times *)
+  backoff_s : float;
+      (** first retry delay; doubles per attempt. 0 disables sleeping *)
+  shard_timeout_s : float;
+      (** per-attempt wall-clock deadline; 0 disables the watchdog *)
+}
+
+val default_policy : policy
+(** [{ retries = 1; backoff_s = 0.05; shard_timeout_s = 0.0 }] *)
+
+(** {1 Shard context} *)
+
+type ctx
+
+val check : ctx -> unit
+(** Cooperative watchdog poll: call from the shard's inner loop (per
+    simulated cycle, per solver conflict).  Samples the clock every
+    32nd call; raises {!Shard_timeout} once the attempt's deadline has
+    passed.  Free when no timeout is configured. *)
+
+val attempt : ctx -> int
+(** 1 on the first try, incremented per retry. *)
+
+(** {1 Outcomes} *)
+
+type 'a outcome =
+  | Done of 'a
+  | Unfinished of { reason : string; attempts : int }
+      (** retries exhausted ([attempts >= 1]) or the shard was never
+          run because cancellation fired first ([attempts = 0],
+          [reason = "cancelled"]) *)
+
+val outcome_value : 'a outcome -> 'a option
+val unfinished_reason : 'a outcome -> string option
+
+val run_shards :
+  ?jobs:int ->
+  ?policy:policy ->
+  ?metrics:Hwpat_obs.Metrics.t ->
+  ?cancel:Parallel.token ->
+  ?journal:Journal.t ->
+  key:(int -> string) ->
+  ?encode:('a -> string) ->
+  ?decode:(int -> string -> 'a option) ->
+  int ->
+  (ctx -> int -> 'a) ->
+  'a outcome array
+(** [run_shards n f] evaluates [f ctx 0 .. f ctx (n-1)] under
+    supervision, sharded across [jobs] domains by {!Parallel}.
+
+    [key k] must be a uid-independent description of shard [k], stable
+    across processes and job counts — it is both the journal key and
+    the config-independent identity used to skip completed work on
+    resume.  [encode]/[decode] serialise shard results for the
+    journal; a [decode] returning [None] (corrupt or stale payload)
+    simply re-runs the shard.  Skipping, journaling and retries are
+    counted on [metrics] under [supervise.skipped], [.retries],
+    [.timeouts], [.unfinished] and [.cancelled]. *)

@@ -15,7 +15,7 @@ type violation = {
   trace : (string * Bits.t) list list;
 }
 
-type result = Holds of int | Violation of violation
+type result = Holds of int | Violation of violation | Unknown of string
 
 (* --- Property derivation (mirror of Monitor.add_auto) -------------------- *)
 
@@ -131,7 +131,7 @@ let confirm_on_sim extended ~bad_name ~at trace =
          bad_name)
 
 let check ?(trace = Hwpat_obs.Trace.null) ?(metrics = Hwpat_obs.Metrics.null)
-    ?(depth = 20) circuit properties =
+    ?(budget = Solver.no_budget) ?interrupt ?(depth = 20) circuit properties =
   List.iter
     (fun p ->
       if Signal.width p.bad <> 1 then
@@ -171,7 +171,17 @@ let check ?(trace = Hwpat_obs.Trace.null) ?(metrics = Hwpat_obs.Metrics.null)
       in
       let act = Solver.new_var solver in
       Solver.add_clause solver (-act :: List.map snd bads);
-      (match Solver.solve ~assumptions:[ act ] solver with
+      (match Solver.solve ~assumptions:[ act ] ~budget ?interrupt solver with
+      | Solver.Unknown ->
+        (* Budget exhausted at this frame: report how far the search
+           got — frames 0 .. k-1 are genuinely violation-free. *)
+        result :=
+          Some
+            (Unknown
+               (Printf.sprintf
+                  "solver budget exhausted at frame %d (no violation in \
+                   frames 0..%d)"
+                  !k (!k - 1)))
       | Solver.Sat ->
         let violated, _ =
           List.find (fun (_, l) -> Solver.value solver l) bads
@@ -202,7 +212,7 @@ let check ?(trace = Hwpat_obs.Trace.null) ?(metrics = Hwpat_obs.Metrics.null)
           search)
   end
 
-let check_auto ?trace ?metrics ?depth circuit =
+let check_auto ?trace ?metrics ?budget ?interrupt ?depth circuit =
   match derive_properties circuit with
   | [] ->
     invalid_arg
@@ -210,8 +220,9 @@ let check_auto ?trace ?metrics ?depth circuit =
          "Bmc.check_auto: %s has no monitored signal pairs (nothing to prove)"
          (Circuit.name circuit))
   | properties -> (
-    match check ?trace ?metrics ?depth circuit properties with
+    match check ?trace ?metrics ?budget ?interrupt ?depth circuit properties with
     | Holds d -> Holds d
+    | Unknown _ as r -> r
     | Violation v ->
       (* Cross-check the property compiler itself: the runtime monitor
          must flag the same trace on the original circuit. *)

@@ -35,23 +35,37 @@ type violation = {
       (** one input assignment per cycle, 0 .. [at] *)
 }
 
-type result = Holds of int  (** no violation up to this depth *) | Violation of violation
+type result =
+  | Holds of int  (** no violation up to this depth *)
+  | Violation of violation
+  | Unknown of string
+      (** the solver budget ran out before the search finished; the
+          string records how many frames were fully searched *)
 
 val check :
   ?trace:Hwpat_obs.Trace.t ->
   ?metrics:Hwpat_obs.Metrics.t ->
+  ?budget:Solver.budget ->
+  ?interrupt:(unit -> unit) ->
   ?depth:int ->
   Circuit.t ->
   property list ->
   result
 (** Unroll from the power-on state and search each frame for a
-    violated property. Default [depth = 20] frames.  [trace] records
-    one [bmc] span; [metrics] accumulates the solver's statistics
-    under [solver.*] (see {!Solver.stats}), even on raise. *)
+    violated property. Default [depth = 20] frames.  [budget] (default
+    unlimited) caps each per-frame solve; on exhaustion the result is
+    an honest [Unknown] — deterministically, since the caps count
+    solver operations rather than wall clock.  [interrupt] is polled
+    from inside SAT search and may raise to abandon the check.
+    [trace] records one [bmc] span; [metrics] accumulates the solver's
+    statistics under [solver.*] (see {!Solver.stats}), even on
+    raise. *)
 
 val check_auto :
   ?trace:Hwpat_obs.Trace.t ->
   ?metrics:Hwpat_obs.Metrics.t ->
+  ?budget:Solver.budget ->
+  ?interrupt:(unit -> unit) ->
   ?depth:int ->
   Circuit.t ->
   result

@@ -9,6 +9,12 @@ type result =
   | Counterexample of (string * Bits.t) list list
   | Unknown of string
 
+(* Raised (internally) when a budget-limited solve call returns
+   [Solver.Unknown]; caught at the top of [check] and surfaced as an
+   honest [Unknown] result.  The solve sites below match on [`Sat] /
+   [`Unsat] only — the wrapper in [check] translates. *)
+exception Out_of_budget
+
 (* --- Port matching ------------------------------------------------------- *)
 
 type plan = {
@@ -161,7 +167,7 @@ let confirm_cex plan cex =
    lets [check] sweep shallowly before induction and return for a deep
    sweep only when induction stays undecided — the per-frame miter
    solves get exponentially harder with depth. *)
-let bmc_sweep solver plan =
+let bmc_sweep ~solve solver plan =
   let st_a = ref (init_state solver plan.elts_a) in
   let st_b = ref (init_state solver plan.elts_b) in
   let frames = ref [] in
@@ -175,9 +181,9 @@ let bmc_sweep solver plan =
       frames := vecs :: !frames;
       let act = Solver.new_var solver in
       Solver.add_clause solver [ -act; diff ];
-      (match Solver.solve ~assumptions:[ act ] solver with
-      | Solver.Sat -> found := Some (extract_cex solver !frames)
-      | Solver.Unsat -> ());
+      (match solve ~assumptions:[ act ] solver with
+      | `Sat -> found := Some (extract_cex solver !frames)
+      | `Unsat -> ());
       incr searched
     done;
     !found
@@ -294,8 +300,8 @@ let debug = Sys.getenv_opt "EQUIV_DEBUG" <> None
    class carried transitively: a spurious classmate separates out
    without severing, say, a.count == b.count, which may have been
    represented only through links to that classmate. *)
-let prove_by_induction plan ~register ~classes ~bmc_depth ~max_induction
-    ~with_fallback ~refine_budget =
+let prove_by_induction plan ~solve ~register ~classes ~bmc_depth
+    ~max_induction ~with_fallback ~refine_budget =
   let solver = register (Solver.create ()) in
   let st_a = free_state solver plan.elts_a in
   let st_b = free_state solver plan.elts_b in
@@ -357,10 +363,10 @@ let prove_by_induction plan ~register ~classes ~bmc_depth ~max_induction
     | goals -> (
       let act = Solver.new_var solver in
       Solver.add_clause solver (-act :: goals);
-      match Solver.solve ~assumptions:(act :: !sels) solver with
-      | Solver.Unsat -> true
-      | Solver.Sat when budget = 0 -> false
-      | Solver.Sat ->
+      match solve ~assumptions:(act :: !sels) solver with
+      | `Unsat -> true
+      | `Sat when budget = 0 -> false
+      | `Sat ->
         let progress = ref false in
         classes :=
           List.concat_map
@@ -417,8 +423,8 @@ let prove_by_induction plan ~register ~classes ~bmc_depth ~max_induction
       (List.length !classes);
   let act = Solver.new_var solver in
   Solver.add_clause solver [ -act; out_viol ];
-  let phase_b = Solver.solve ~assumptions:(act :: !selectors) solver in
-  (if debug && phase_b = Solver.Sat then begin
+  let phase_b = solve ~assumptions:(act :: !selectors) solver in
+  (if debug && phase_b = `Sat then begin
      List.iter
        (fun nm ->
          let va = Blast.model_bits solver (List.assoc nm fa.Blast.outputs)
@@ -439,12 +445,12 @@ let prove_by_induction plan ~register ~classes ~bmc_depth ~max_induction
      dump 1 st_b
    end);
   match phase_b with
-  | Solver.Unsat -> Proved
-  | Solver.Sat when not with_fallback ->
+  | `Unsat -> Proved
+  | `Sat when not with_fallback ->
     (* The caller will retry discovery with a longer simulation before
        paying for k-induction. *)
     Unknown "candidate induction left outputs undecided"
-  | Solver.Sat ->
+  | `Sat ->
     (* Fallback: k-induction on output equality, strengthened with the
        proven invariants (soundly assertable at every frame). The base
        case is the BMC sweep, so k may not exceed its depth. *)
@@ -487,9 +493,9 @@ let prove_by_induction plan ~register ~classes ~bmc_depth ~max_induction
       | [] -> ()
       | earlier -> (
         let assumptions = diff :: List.map (fun d -> -d) earlier in
-        match Solver.solve ~assumptions solver with
-        | Solver.Unsat -> proved := true
-        | Solver.Sat -> ()));
+        match solve ~assumptions solver with
+        | `Unsat -> proved := true
+        | `Sat -> ()));
       diffs := diff :: !diffs;
       incr k
     done;
@@ -505,12 +511,23 @@ let prove_by_induction plan ~register ~classes ~bmc_depth ~max_induction
 (* --- Top level ----------------------------------------------------------- *)
 
 let check ?(trace = Hwpat_obs.Trace.null) ?(metrics = Hwpat_obs.Metrics.null)
-    ?(bmc_depth = 24) ?(max_induction = 20) ?(sim_cycles = 48) a b =
+    ?(budget = Solver.no_budget) ?interrupt ?(bmc_depth = 24)
+    ?(max_induction = 20) ?(sim_cycles = 48) a b =
   let module Trace = Hwpat_obs.Trace in
   let solvers = ref [] in
   let register s =
     solvers := s :: !solvers;
     s
+  in
+  (* Every solve call in the proof shares the per-call budget and the
+     interrupt hook.  A budget trip raises [Out_of_budget], caught
+     below and reported as an honest [Unknown]; an [interrupt] raise
+     (e.g. a supervision watchdog) propagates untouched. *)
+  let solve ~assumptions solver =
+    match Solver.solve ~assumptions ~budget ?interrupt solver with
+    | Solver.Sat -> `Sat
+    | Solver.Unsat -> `Unsat
+    | Solver.Unknown -> raise Out_of_budget
   in
   let body () =
     let plan = make_plan a b in
@@ -518,7 +535,7 @@ let check ?(trace = Hwpat_obs.Trace.null) ?(metrics = Hwpat_obs.Metrics.null)
       Array.length plan.elts_a = 0 && Array.length plan.elts_b = 0
     in
     let solver = register (Solver.create ()) in
-    let sweep = bmc_sweep solver plan in
+    let sweep = bmc_sweep ~solve solver plan in
     let sweep ~depth =
       Trace.span trace "bmc_sweep"
         ~args:[ ("depth", Trace.Int depth) ]
@@ -551,8 +568,9 @@ let check ?(trace = Hwpat_obs.Trace.null) ?(metrics = Hwpat_obs.Metrics.null)
         in
         let induction ~classes ~with_fallback ~refine_budget =
           Trace.span trace "induction" (fun () ->
-              prove_by_induction plan ~register ~classes ~bmc_depth:shallow
-                ~max_induction ~with_fallback ~refine_budget)
+              prove_by_induction plan ~solve ~register ~classes
+                ~bmc_depth:shallow ~max_induction ~with_fallback
+                ~refine_budget)
         in
         let rec attempt = function
           | [] -> assert false
@@ -577,6 +595,15 @@ let check ?(trace = Hwpat_obs.Trace.null) ?(metrics = Hwpat_obs.Metrics.null)
           match sweep ~depth:bmc_depth with
           | Some cex -> confirm_cex plan cex
           | None -> Unknown why))
+  in
+  let body () =
+    try body ()
+    with Out_of_budget ->
+      Unknown
+        (Printf.sprintf
+           "solver budget exhausted (max %d conflicts / %d propagations per \
+            solve)"
+           budget.Solver.max_conflicts budget.Solver.max_propagations)
   in
   Fun.protect
     ~finally:(fun () -> Solver_obs.record metrics !solvers)

@@ -36,6 +36,8 @@ type result =
 val check :
   ?trace:Hwpat_obs.Trace.t ->
   ?metrics:Hwpat_obs.Metrics.t ->
+  ?budget:Solver.budget ->
+  ?interrupt:(unit -> unit) ->
   ?bmc_depth:int ->
   ?max_induction:int ->
   ?sim_cycles:int ->
@@ -46,6 +48,14 @@ val check :
     base-case bound for k-induction), [max_induction = 20],
     [sim_cycles = 48] (random-simulation length for candidate
     discovery).
+
+    [budget] (default unlimited) caps every individual solve call in
+    the proof; on exhaustion the check stops and returns an honest
+    [Unknown] rather than running unboundedly.  The caps count solver
+    operations, so a budget trip is deterministic — the same pair
+    trips at the same point in every run.  [interrupt] is polled from
+    inside SAT search and may raise to abandon the check (the hook for
+    supervision watchdogs); its exception propagates to the caller.
 
     [trace] (default disabled) records spans for the proof phases
     ([equiv] > [bmc_sweep] / [discover] / [induction]); [metrics]

@@ -5,7 +5,11 @@
    slot 0. *)
 
 type lit = int
-type result = Sat | Unsat
+type result = Sat | Unsat | Unknown
+
+type budget = { max_conflicts : int; max_propagations : int }
+
+let no_budget = { max_conflicts = 0; max_propagations = 0 }
 
 type clause = int array
 
@@ -49,6 +53,7 @@ type t = {
   mutable decisions_total : int;
   mutable propagations_total : int;
   mutable restarts_total : int;
+  mutable unknowns_total : int;
   mutable learned_total : int;
   mutable learned_literals : int;
   learned_size_buckets : int array;
@@ -351,6 +356,7 @@ let create () =
       decisions_total = 0;
       propagations_total = 0;
       restarts_total = 0;
+      unknowns_total = 0;
       learned_total = 0;
       learned_literals = 0;
       learned_size_buckets = Array.make 16 0;
@@ -394,7 +400,7 @@ let pick_branch s =
   in
   go ()
 
-let solve ?(assumptions = []) s =
+let solve ?(assumptions = []) ?(budget = no_budget) ?interrupt s =
   if s.unsat then Unsat
   else begin
     cancel_until s 0;
@@ -403,7 +409,30 @@ let solve ?(assumptions = []) s =
     let restart_limit = ref 100 in
     let conflicts = ref 0 in
     let result = ref None in
+    (* Budget caps count work done by *this* call, so a budget-limited
+       solve behaves identically whether the solver is fresh or has
+       served earlier incremental calls. *)
+    let start_conflicts = s.conflicts_total in
+    let start_propagations = s.propagations_total in
+    let over_budget () =
+      (budget.max_conflicts > 0
+      && s.conflicts_total - start_conflicts >= budget.max_conflicts)
+      || budget.max_propagations > 0
+         && s.propagations_total - start_propagations
+            >= budget.max_propagations
+    in
     while !result = None do
+      (match interrupt with Some f -> f () | None -> ());
+      if over_budget () then begin
+        (* Deterministic give-up: the caps count solver operations, not
+           wall clock, so the same instance trips at the same point in
+           every run.  Back out to level 0 so the solver stays usable
+           for later (incremental) calls. *)
+        cancel_until s 0;
+        s.unknowns_total <- s.unknowns_total + 1;
+        result := Some Unknown
+      end
+      else
       match propagate s with
       | Some confl ->
         s.conflicts_total <- s.conflicts_total + 1;
@@ -457,6 +486,7 @@ type stats = {
   propagations : int;
   conflicts : int;
   restarts : int;
+  unknowns : int;
   learned_clauses : int;
   learned_literals : int;
   learned_size_buckets : int array;
@@ -468,6 +498,7 @@ let stats s =
     propagations = s.propagations_total;
     conflicts = s.conflicts_total;
     restarts = s.restarts_total;
+    unknowns = s.unknowns_total;
     learned_clauses = s.learned_total;
     learned_literals = s.learned_literals;
     learned_size_buckets = Array.copy s.learned_size_buckets;

@@ -19,7 +19,19 @@ type t
 type lit = int
 (** Non-zero; [-l] is the negation of [l]. *)
 
-type result = Sat | Unsat
+type result = Sat | Unsat | Unknown
+(** [Unknown]: the solve call exhausted its {!budget} before deciding.
+    Never returned without a budget. *)
+
+type budget = { max_conflicts : int; max_propagations : int }
+(** Per-[solve]-call caps on solver work; a cap of 0 (or negative)
+    means unlimited.  The caps count operations, not wall clock, so a
+    budget-limited solve is deterministic: the same instance trips (or
+    completes) at exactly the same point in every run, process and job
+    count. *)
+
+val no_budget : budget
+(** Both caps unlimited (the default). *)
 
 val create : unit -> t
 
@@ -35,9 +47,18 @@ val add_clause : t -> lit list -> unit
     an empty (or all-false-at-level-0) clause makes the formula
     unsatisfiable for all future [solve] calls. *)
 
-val solve : ?assumptions:lit list -> t -> result
+val solve :
+  ?assumptions:lit list -> ?budget:budget -> ?interrupt:(unit -> unit) -> t -> result
 (** Decide satisfiability of the added clauses, under the given
-    temporary assumptions (each forced true for this call only). *)
+    temporary assumptions (each forced true for this call only).
+
+    [budget] bounds the work of this call; on exhaustion the solver
+    backtracks to level 0 and returns [Unknown] (the solver stays
+    usable for further [add_clause]/[solve] calls).  [interrupt] is
+    polled once per search-loop iteration and may raise to abandon the
+    call — the hook for {!Hwpat_core.Supervise}-style wall-clock
+    watchdogs; after an interrupt raise the solver is still usable
+    (the next call backtracks to level 0 first). *)
 
 val value : t -> lit -> bool
 (** Model value of a literal after a [Sat] answer. Unconstrained
@@ -56,6 +77,7 @@ type stats = {
   propagations : int;  (** unit propagations (implied enqueues) *)
   conflicts : int;  (** same counter as {!num_conflicts} *)
   restarts : int;  (** geometric restarts taken *)
+  unknowns : int;  (** solve calls that gave up on budget exhaustion *)
   learned_clauses : int;  (** non-unit learned clauses recorded *)
   learned_literals : int;  (** total literals across learned clauses *)
   learned_size_buckets : int array;

@@ -8,6 +8,7 @@ let record metrics solvers =
       Metrics.incr metrics ~by:st.Solver.propagations "solver.propagations";
       Metrics.incr metrics ~by:st.Solver.conflicts "solver.conflicts";
       Metrics.incr metrics ~by:st.Solver.restarts "solver.restarts";
+      Metrics.incr metrics ~by:st.Solver.unknowns "solver.unknowns";
       Metrics.incr metrics ~by:st.Solver.learned_clauses
         "solver.learned_clauses";
       Metrics.add_histogram metrics "solver.learned_clause_size"

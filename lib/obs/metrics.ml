@@ -182,8 +182,16 @@ let summary t =
           (sorted_keys a.hists);
         Buffer.contents buf)
 
+(* Temp-file + rename, like Trace.write_file: the published path only
+   ever holds a complete JSON document. *)
 let write_file t path =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out_noerr oc)
-    (fun () -> output_string oc (to_json t))
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  match output_string oc (to_json t) with
+  | () ->
+    close_out oc;
+    Sys.rename tmp path
+  | exception e ->
+    close_out_noerr oc;
+    (try Sys.remove tmp with Sys_error _ -> ());
+    raise e

@@ -209,8 +209,17 @@ let summary t =
     paths;
   Buffer.contents buf
 
+(* Temp-file + rename so a crash mid-flush never leaves a truncated
+   trace under the published name (same scheme as Hwpat_rtl.Util,
+   duplicated here to keep this library dependency-free). *)
 let write_file t path =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out_noerr oc)
-    (fun () -> output_string oc (to_chrome_json t))
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  match output_string oc (to_chrome_json t) with
+  | () ->
+    close_out oc;
+    Sys.rename tmp path
+  | exception e ->
+    close_out_noerr oc;
+    (try Sys.remove tmp with Sys_error _ -> ());
+    raise e

@@ -31,3 +31,61 @@ An unknown netlist language:
   $ hwpat emit --lang cobol
   hwpat: unknown language "cobol" (valid: vhdl, verilog, dot)
   [2]
+
+Resilience flags: --resume is meaningless without a journal to resume
+from, and negative supervision parameters are rejected up front.
+
+  $ hwpat faultsim --resume
+  hwpat: --resume requires --checkpoint
+  [2]
+
+  $ hwpat prove --smoke --retries=-1
+  hwpat: --retries must be non-negative
+  [2]
+
+  $ hwpat sweep --shard-timeout=-2.5
+  hwpat: --shard-timeout must be non-negative
+  [2]
+
+A checkpointed campaign journals every fault and resumes to the same
+bytes.  (Campaign output is seed-deterministic, so the transcript is
+stable.)
+
+  $ hwpat faultsim --design saa2vga_sram_pattern --faults 2 --frame-size 4 \
+  >   --jobs 1 --checkpoint ck.jsonl > first.txt
+  $ grep -c '"key"' ck.jsonl
+  2
+  $ hwpat faultsim --design saa2vga_sram_pattern --faults 2 --frame-size 4 \
+  >   --jobs 1 --checkpoint ck.jsonl --resume > second.txt
+  $ cmp first.txt second.txt && echo byte-identical
+  byte-identical
+
+Resuming under a different campaign configuration is refused — the
+journal is bound to the design, seed, fault count and frame size that
+wrote it:
+
+  $ hwpat faultsim --design saa2vga_sram_pattern --faults 3 --frame-size 4 \
+  >   --jobs 1 --checkpoint ck.jsonl --resume
+  hwpat: checkpoint ck.jsonl was written by a different campaign
+    expected: faultsim design=saa2vga_sram_pattern seed=1 faults=3 frame=4x4
+    found:    faultsim design=saa2vga_sram_pattern seed=1 faults=2 frame=4x4
+  Pass a fresh --checkpoint path, or drop --resume to overwrite it.
+  [2]
+
+A file that is not a checkpoint journal is rejected, not overwritten:
+
+  $ echo "precious data" > notes.txt
+  $ hwpat faultsim --design saa2vga_sram_pattern --faults 2 --frame-size 4 \
+  >   --checkpoint notes.txt --resume
+  hwpat: checkpoint notes.txt is not a hwpat checkpoint journal
+  [2]
+  $ cat notes.txt
+  precious data
+
+A --shard-timeout that no shard can meet still terminates: every
+fault is reported unfinished (exit 0 — nothing went silent, nothing
+hung).
+
+  $ hwpat faultsim --design saa2vga_sram_pattern --faults 2 --frame-size 4 \
+  >   --jobs 1 --retries 0 --shard-timeout 0.000001 | grep 'faults:'
+    faults: 2   detected: 0   masked: 0   silent: 0   unfinished: 2

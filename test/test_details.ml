@@ -253,11 +253,15 @@ let read_back path =
   close_in ic;
   contents
 
-(* Every writer in the library funnels through Util.with_out_file; a
-   callback that raises must still close (and therefore flush) the
-   channel, and the exception must reach the caller untouched. *)
-let test_writer_closes_on_raise () =
+(* Every writer in the library funnels through Util.with_out_file,
+   which streams into a temp file and renames over the target only
+   after a clean close. A callback that raises must leave the previous
+   contents of [path] untouched, clean up the temp file, and let the
+   exception reach the caller untouched — a crashed writer never
+   publishes a truncated artifact. *)
+let test_writer_atomic_on_raise () =
   let path = Filename.temp_file "hwpat_util" ".txt" in
+  Util.write_file path "previous";
   let escaped = ref false in
   (try
      Util.with_out_file path (fun oc ->
@@ -265,9 +269,11 @@ let test_writer_closes_on_raise () =
          failwith "writer exploded")
    with Failure msg -> escaped := msg = "writer exploded");
   check_bool "exception propagates" true !escaped;
+  check_bool "no orphaned temp file" false (Sys.file_exists (path ^ ".tmp"));
   let contents = read_back path in
   Sys.remove path;
-  check_bool "channel closed: partial write flushed" true (contents = "partial")
+  check_bool "previous contents survive a failed write" true
+    (contents = "previous")
 
 let test_write_file_roundtrip () =
   let path = Filename.temp_file "hwpat_util" ".txt" in
@@ -298,7 +304,7 @@ let () =
       ("bits properties", bits_props);
       ( "writers",
         [
-          Alcotest.test_case "close on raise" `Quick test_writer_closes_on_raise;
+          Alcotest.test_case "atomic on raise" `Quick test_writer_atomic_on_raise;
           Alcotest.test_case "write_file roundtrip" `Quick test_write_file_roundtrip;
         ] );
     ]

@@ -21,11 +21,13 @@ let test_solver_basics () =
   Solver.add_clause s [ -a; b ];
   (match Solver.solve s with
   | Solver.Sat -> Alcotest.(check bool) "b is true" true (Solver.value s b)
-  | Solver.Unsat -> Alcotest.fail "satisfiable instance reported unsat");
+  | Solver.Unsat -> Alcotest.fail "satisfiable instance reported unsat"
+  | Solver.Unknown -> Alcotest.fail "unknown without a budget");
   Solver.add_clause s [ -b ];
   match Solver.solve s with
   | Solver.Unsat -> ()
   | Solver.Sat -> Alcotest.fail "unsat instance reported sat"
+  | Solver.Unknown -> Alcotest.fail "unknown without a budget"
 
 let test_solver_assumptions () =
   let s = Solver.create () in
@@ -33,11 +35,13 @@ let test_solver_assumptions () =
   Solver.add_clause s [ -a; b ];
   (match Solver.solve s ~assumptions:[ a; -b ] with
   | Solver.Unsat -> ()
-  | Solver.Sat -> Alcotest.fail "a & ~b should contradict a -> b");
+  | Solver.Sat -> Alcotest.fail "a & ~b should contradict a -> b"
+  | Solver.Unknown -> Alcotest.fail "unknown without a budget");
   (* The same solver must stay usable after an assumption failure. *)
   match Solver.solve s ~assumptions:[ a ] with
   | Solver.Sat -> Alcotest.(check bool) "implied b" true (Solver.value s b)
   | Solver.Unsat -> Alcotest.fail "a alone is consistent with a -> b"
+  | Solver.Unknown -> Alcotest.fail "unknown without a budget"
 
 (* A pigeonhole-flavoured stress: 4 pigeons, 3 holes — unsat, and
    forces real conflict analysis rather than pure propagation. *)
@@ -57,6 +61,79 @@ let test_solver_pigeonhole () =
   match Solver.solve s with
   | Solver.Unsat -> ()
   | Solver.Sat -> Alcotest.fail "pigeonhole 4-into-3 reported sat"
+  | Solver.Unknown -> Alcotest.fail "unknown without a budget"
+
+(* --- Budgets and interrupts ---------------------------------------------- *)
+
+let pigeonhole_solver ~pigeons ~holes =
+  let s = Solver.create () in
+  let v =
+    Array.init pigeons (fun _ -> Array.init holes (fun _ -> Solver.new_var s))
+  in
+  for p = 0 to pigeons - 1 do
+    Solver.add_clause s (Array.to_list v.(p))
+  done;
+  for h = 0 to holes - 1 do
+    for p1 = 0 to pigeons - 1 do
+      for p2 = p1 + 1 to pigeons - 1 do
+        Solver.add_clause s [ -v.(p1).(h); -v.(p2).(h) ]
+      done
+    done
+  done;
+  s
+
+(* A conflict budget must trip at the same solver-operation count in
+   every run — the caps count work, not wall clock — and the tripped
+   solver must stay usable. *)
+let test_solver_budget_deterministic () =
+  let budget = { Solver.max_conflicts = 5; max_propagations = 0 } in
+  let one () =
+    let s = pigeonhole_solver ~pigeons:6 ~holes:5 in
+    (match Solver.solve ~budget s with
+    | Solver.Unknown -> ()
+    | Solver.Sat | Solver.Unsat ->
+      Alcotest.fail "6-into-5 pigeonhole decided within 5 conflicts");
+    let st = Solver.stats s in
+    Alcotest.(check int) "one unknown counted" 1 st.Solver.unknowns;
+    (* The tripped solver finishes the job when given free rein. *)
+    (match Solver.solve s with
+    | Solver.Unsat -> ()
+    | Solver.Sat -> Alcotest.fail "pigeonhole reported sat after a trip"
+    | Solver.Unknown -> Alcotest.fail "unknown without a budget");
+    (st.Solver.conflicts, st.Solver.propagations, st.Solver.decisions)
+  in
+  let a = one () and b = one () in
+  Alcotest.(check (triple int int int)) "budget trip is replay-stable" a b
+
+let test_solver_propagation_budget () =
+  let s = pigeonhole_solver ~pigeons:6 ~holes:5 in
+  match
+    Solver.solve ~budget:{ Solver.max_conflicts = 0; max_propagations = 1 } s
+  with
+  | Solver.Unknown -> ()
+  | Solver.Sat | Solver.Unsat ->
+    Alcotest.fail "decided within a single propagation"
+
+exception Poked
+
+let test_solver_interrupt () =
+  let s = pigeonhole_solver ~pigeons:6 ~holes:5 in
+  let calls = ref 0 in
+  (match
+     Solver.solve
+       ~interrupt:(fun () ->
+         incr calls;
+         if !calls > 10 then raise Poked)
+       s
+   with
+  | exception Poked -> ()
+  | Solver.Sat | Solver.Unsat | Solver.Unknown ->
+    Alcotest.fail "interrupt did not fire within 10 iterations");
+  (* An interrupted solver is not poisoned. *)
+  match Solver.solve s with
+  | Solver.Unsat -> ()
+  | Solver.Sat -> Alcotest.fail "pigeonhole reported sat after interrupt"
+  | Solver.Unknown -> Alcotest.fail "unknown without a budget"
 
 (* --- Optimizer equivalence ----------------------------------------------- *)
 
@@ -233,8 +310,35 @@ let test_bmc_paper_designs_hold () =
       | Bmc.Holds d -> Alcotest.(check int) (what ^ " depth") 20 d
       | Bmc.Violation v ->
         Alcotest.failf "%s: %s violated at cycle %d" what v.Bmc.property
-          v.Bmc.at)
+          v.Bmc.at
+      | Bmc.Unknown why -> Alcotest.failf "%s: unknown (%s)" what why)
     (paper_designs ())
+
+(* Starved of propagations, both checkers must give an honest Unknown —
+   never hang, never claim a verdict. *)
+let test_budget_unknown_verdicts () =
+  let tiny = { Solver.max_conflicts = 0; max_propagations = 1 } in
+  (match
+     Bmc.check_auto ~budget:tiny ~depth:20
+       (Hwpat_core.Saa2vga.build ~depth:16
+          ~substrate:Hwpat_core.Saa2vga.Fifo
+          ~style:Hwpat_core.Saa2vga.Pattern ())
+   with
+  | Bmc.Unknown why ->
+    Alcotest.(check bool)
+      "bmc reason mentions the budget" true
+      (String.length why >= 6 && String.sub why 0 6 = "solver")
+  | Bmc.Holds _ | Bmc.Violation _ ->
+    Alcotest.fail "bmc decided within one propagation");
+  let good = counter_circuit ~broken:false in
+  let bad = counter_circuit ~broken:true in
+  match Equiv.check ~budget:tiny good bad with
+  | Equiv.Unknown why ->
+    Alcotest.(check bool)
+      "equiv reason mentions the budget" true
+      (String.length why >= 6 && String.sub why 0 6 = "solver")
+  | Equiv.Proved | Equiv.Counterexample _ ->
+    Alcotest.fail "equiv decided within one propagation"
 
 (* The known-broken device: an external SRAM behind a fault wrapper
    that can suppress acknowledges, guarded by a watchdog that forces a
@@ -275,11 +379,14 @@ let test_bmc_broken_device () =
   | Bmc.Holds d -> Alcotest.failf "safe device: expected depth 20, got %d" d
   | Bmc.Violation v ->
     Alcotest.failf "safe device: spurious violation of %s at %d" v.Bmc.property
-      v.Bmc.at);
+      v.Bmc.at
+  | Bmc.Unknown why -> Alcotest.failf "safe device: unknown (%s)" why);
   (* Fault control free: BMC must find the protocol violation. *)
   match Bmc.check_auto ~depth:20 (broken_device_circuit ~faulty:true) with
   | Bmc.Holds _ ->
     Alcotest.fail "fault-wrapped device: violation not found to depth 20"
+  | Bmc.Unknown why ->
+    Alcotest.failf "fault-wrapped device: unknown (%s)" why
   | Bmc.Violation v ->
     Alcotest.(check bool)
       "violation names the dev pair" true
@@ -304,6 +411,7 @@ let test_bmc_fifo_invariant_break () =
       "names box pair" true
       (String.length v.Bmc.property >= 3 && String.sub v.Bmc.property 0 3 = "box")
   | Bmc.Holds _ -> Alcotest.fail "off-by-one occupancy not refuted"
+  | Bmc.Unknown why -> Alcotest.failf "off-by-one occupancy unknown (%s)" why
 
 let () =
   Alcotest.run "formal"
@@ -313,6 +421,11 @@ let () =
           Alcotest.test_case "basics" `Quick test_solver_basics;
           Alcotest.test_case "assumptions" `Quick test_solver_assumptions;
           Alcotest.test_case "pigeonhole" `Quick test_solver_pigeonhole;
+          Alcotest.test_case "budget trips deterministically" `Quick
+            test_solver_budget_deterministic;
+          Alcotest.test_case "propagation budget" `Quick
+            test_solver_propagation_budget;
+          Alcotest.test_case "interrupt hook" `Quick test_solver_interrupt;
         ] );
       ( "equivalence",
         [
@@ -339,5 +452,7 @@ let () =
             test_bmc_broken_device;
           Alcotest.test_case "off-by-one occupancy refuted" `Quick
             test_bmc_fifo_invariant_break;
+          Alcotest.test_case "budget exhaustion reports unknown" `Quick
+            test_budget_unknown_verdicts;
         ] );
     ]

@@ -60,20 +60,34 @@ let test_run_backtrace () =
     (contains "test_parallel" bt)
 
 let test_run_exception () =
-  let attempted = Atomic.make 0 in
-  let raised =
-    try
-      ignore
-        (Parallel.run ~jobs:4 10 (fun i ->
-             Atomic.incr attempted;
-             if i = 3 || i = 7 then failwith (Printf.sprintf "shard %d" i);
-             i));
-      "no exception"
-    with Failure msg -> msg
+  let failing_run jobs =
+    let attempted = Atomic.make 0 in
+    let raised =
+      try
+        ignore
+          (Parallel.run ~jobs 10 (fun i ->
+               Atomic.incr attempted;
+               if i = 3 || i = 7 then failwith (Printf.sprintf "shard %d" i);
+               i));
+        "no exception"
+      with Failure msg -> msg
+    in
+    (raised, Atomic.get attempted)
   in
-  (* Every shard still runs, and the lowest failed shard wins. *)
-  Alcotest.(check string) "lowest shard's exception" "shard 3" raised;
-  Alcotest.(check int) "all shards attempted" 10 (Atomic.get attempted)
+  (* Serial: evaluation stops at the failing shard. *)
+  let raised, attempted = failing_run 1 in
+  Alcotest.(check string) "serial: lowest shard's exception" "shard 3" raised;
+  Alcotest.(check int) "serial: fail-fast stops at the failure" 4 attempted;
+  (* Parallel: shards past the failure may be skipped (fail-fast), but
+     the exception that propagates is deterministically the lowest
+     failing shard's — exactly what the serial run raises. Indices are
+     claimed in increasing order, so the failing shard and everything
+     below it always ran. *)
+  let raised, attempted = failing_run 4 in
+  Alcotest.(check string) "parallel: lowest shard's exception" "shard 3" raised;
+  Alcotest.(check bool)
+    "parallel: shards up to the failure all ran" true (attempted >= 4);
+  Alcotest.(check bool) "parallel: no shard ran twice" true (attempted <= 10)
 
 let test_clamp () =
   Alcotest.(check int) "zero clamps up" 1 (Parallel.clamp_jobs 0);

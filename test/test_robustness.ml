@@ -328,7 +328,7 @@ let test_protected_faultfree_bit_exact () =
 let fingerprint (s : Faultsim.summary) =
   List.map
     (fun (r : Faultsim.result) ->
-      ( Fault.describe_event r.event,
+      ( r.Faultsim.description,
         (Faultsim.outcome_name r.outcome, (r.err_flag, r.completed, r.cycles)) ))
     s.results
 

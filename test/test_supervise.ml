@@ -1,0 +1,306 @@
+(* The supervised execution layer: retry/backoff of transient
+   failures, watchdog timeouts, fail-fast on fatal errors,
+   deterministic outcomes across job counts, and the crash-safe
+   checkpoint journal (torn final lines, resume skipping, config
+   binding). *)
+
+open Hwpat_core
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+(* Retries are deterministic: a shard that succeeds on its third
+   attempt comes back [Done] under a 3-retry policy, and the retry
+   count lands on the metrics. *)
+let test_retry_until_success () =
+  let policy = { Supervise.default_policy with retries = 3; backoff_s = 0.0 } in
+  let metrics = Hwpat_obs.Metrics.create () in
+  let outcomes =
+    Supervise.run_shards ~jobs:1 ~policy ~metrics
+      ~key:(fun i -> string_of_int i)
+      1
+      (fun ctx _ ->
+        if Supervise.attempt ctx < 3 then
+          raise (Supervise.Transient "flaky dependency");
+        "ok")
+  in
+  (match outcomes.(0) with
+  | Supervise.Done v -> check_string "value" "ok" v
+  | Supervise.Unfinished { reason; _ } -> Alcotest.fail ("unfinished: " ^ reason));
+  check_int "two retries recorded" 2
+    (Hwpat_obs.Metrics.counter_value metrics "supervise.retries")
+
+let test_retries_exhausted () =
+  let policy = { Supervise.default_policy with retries = 2; backoff_s = 0.0 } in
+  let metrics = Hwpat_obs.Metrics.create () in
+  let calls = ref 0 in
+  let outcomes =
+    Supervise.run_shards ~jobs:1 ~policy ~metrics
+      ~key:(fun i -> string_of_int i)
+      1
+      (fun _ _ ->
+        incr calls;
+        raise (Supervise.Transient "always down"))
+  in
+  (match outcomes.(0) with
+  | Supervise.Done _ -> Alcotest.fail "should not succeed"
+  | Supervise.Unfinished { reason; attempts } ->
+    check_string "reason" "transient: always down" reason;
+    check_int "attempts = 1 + retries" 3 attempts);
+  check_int "every attempt ran" 3 !calls;
+  check_int "unfinished counted" 1
+    (Hwpat_obs.Metrics.counter_value metrics "supervise.unfinished")
+
+(* The watchdog: a shard that never finishes is cut off at its
+   deadline and reported, not hung.  [check] polls the clock, so the
+   shard just has to call it from its inner loop. *)
+let test_watchdog_timeout () =
+  let policy =
+    { Supervise.retries = 1; backoff_s = 0.0; shard_timeout_s = 0.02 }
+  in
+  let metrics = Hwpat_obs.Metrics.create () in
+  let outcomes =
+    Supervise.run_shards ~jobs:1 ~policy ~metrics
+      ~key:(fun i -> string_of_int i)
+      1
+      (fun ctx _ ->
+        while true do
+          Supervise.check ctx
+        done)
+  in
+  (match outcomes.(0) with
+  | Supervise.Done _ -> Alcotest.fail "an infinite loop cannot finish"
+  | Supervise.Unfinished { reason; attempts } ->
+    check_bool "reason names the timeout" true
+      (String.length reason >= 7 && String.sub reason 0 7 = "timeout");
+    check_int "retried once" 2 attempts);
+  check_int "both attempts timed out" 2
+    (Hwpat_obs.Metrics.counter_value metrics "supervise.timeouts")
+
+(* Outcome arrays are identical whatever the job count: crashes and
+   give-ups land on the same shards with the same reasons. *)
+let outcome_fingerprint outcomes =
+  Array.to_list
+    (Array.map
+       (function
+         | Supervise.Done v -> Printf.sprintf "done:%d" v
+         | Supervise.Unfinished { reason; attempts } ->
+           Printf.sprintf "unfinished:%s:%d" reason attempts)
+       outcomes)
+
+let test_jobs_deterministic () =
+  let policy = { Supervise.default_policy with retries = 1; backoff_s = 0.0 } in
+  let run jobs =
+    Supervise.run_shards ~jobs ~policy
+      ~key:(fun i -> string_of_int i)
+      12
+      (fun _ i ->
+        if i mod 3 = 0 then
+          raise (Supervise.Transient (Printf.sprintf "shard %d down" i));
+        i * i)
+  in
+  Alcotest.(check (list string))
+    "jobs:1 = jobs:4"
+    (outcome_fingerprint (run 1))
+    (outcome_fingerprint (run 4))
+
+(* Fatal (non-transient) errors are not retried or absorbed: the
+   lowest failing shard's exception escapes, identically at any job
+   count. *)
+let test_fatal_fail_fast () =
+  let raised jobs =
+    try
+      ignore
+        (Supervise.run_shards ~jobs
+           ~key:(fun i -> string_of_int i)
+           10
+           (fun _ i ->
+             if i = 4 || i = 8 then failwith (Printf.sprintf "fatal %d" i);
+             i));
+      "no exception"
+    with Failure msg -> msg
+  in
+  check_string "serial" "fatal 4" (raised 1);
+  check_string "parallel" "fatal 4" (raised 4)
+
+let test_cancelled_before_start () =
+  let cancel = Parallel.token () in
+  Parallel.cancel cancel;
+  let metrics = Hwpat_obs.Metrics.create () in
+  let outcomes =
+    Supervise.run_shards ~jobs:2 ~cancel ~metrics
+      ~key:(fun i -> string_of_int i)
+      4
+      (fun _ i -> i)
+  in
+  Array.iter
+    (function
+      | Supervise.Done _ -> Alcotest.fail "nothing should run after cancel"
+      | Supervise.Unfinished { reason; attempts } ->
+        check_string "reason" "cancelled" reason;
+        check_int "never attempted" 0 attempts)
+    outcomes;
+  check_int "all four counted" 4
+    (Hwpat_obs.Metrics.counter_value metrics "supervise.cancelled")
+
+(* --- the checkpoint journal ---------------------------------------------- *)
+
+let with_temp_path f =
+  let path = Filename.temp_file "hwpat_test_journal" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () -> f path)
+
+let encode = string_of_int
+let decode _ data = int_of_string_opt data
+
+(* Resume replays journaled shards without re-running them, and the
+   merged outcomes equal an uninterrupted run's. *)
+let test_resume_equals_uninterrupted () =
+  with_temp_path @@ fun path ->
+  let key i = Printf.sprintf "shard-%d" i in
+  let n = 10 in
+  let full _ i = 100 + i in
+  let uninterrupted =
+    let j = Journal.start ~path ~config:"test v1" ~resume:false in
+    Fun.protect ~finally:(fun () -> Journal.close j) @@ fun () ->
+    Supervise.run_shards ~jobs:1 ~journal:j ~key ~encode ~decode n full
+  in
+  (* Second journal: pretend the first run died after five shards by
+     rebuilding a journal holding only shards 0-4, with the final line
+     torn mid-record as a SIGKILL would leave it. *)
+  with_temp_path @@ fun partial_path ->
+  let lines =
+    let ic = open_in path in
+    Fun.protect ~finally:(fun () -> close_in_noerr ic) @@ fun () ->
+    let acc = ref [] in
+    (try
+       while true do
+         acc := input_line ic :: !acc
+       done
+     with End_of_file -> ());
+    List.rev !acc
+  in
+  check_int "journal = header + one line per shard" (n + 1)
+    (List.length lines);
+  let oc = open_out partial_path in
+  List.iteri
+    (fun i line ->
+      if i <= 5 then (output_string oc line; output_char oc '\n'))
+    lines;
+  output_string oc "{\"key\": \"shard-6\", \"da";
+  close_out oc;
+  let ran = ref [] in
+  let resumed =
+    let j = Journal.start ~path:partial_path ~config:"test v1" ~resume:true in
+    Fun.protect ~finally:(fun () -> Journal.close j) @@ fun () ->
+    check_int "five surviving records loaded" 5 (Journal.resumed j);
+    Supervise.run_shards ~jobs:1 ~journal:j ~key ~encode ~decode n
+      (fun ctx i ->
+        ran := i :: !ran;
+        full ctx i)
+  in
+  Alcotest.(check (list string))
+    "resumed outcomes equal uninterrupted"
+    (outcome_fingerprint uninterrupted)
+    (outcome_fingerprint resumed);
+  Alcotest.(check (list int))
+    "only the unjournaled shards re-ran" [ 5; 6; 7; 8; 9 ]
+    (List.sort compare !ran)
+
+(* A journal written under one campaign configuration refuses to
+   resume another. *)
+let test_config_mismatch () =
+  with_temp_path @@ fun path ->
+  let j = Journal.start ~path ~config:"faultsim seed=1" ~resume:false in
+  Journal.record j ~key:"k" "v";
+  Journal.close j;
+  match Journal.start ~path ~config:"faultsim seed=2" ~resume:true with
+  | _ -> Alcotest.fail "config mismatch must raise"
+  | exception Journal.Config_mismatch { expected; found; _ } ->
+    check_string "expected" "faultsim seed=2" expected;
+    check_string "found" "faultsim seed=1" found
+
+(* Without --resume an existing journal is overwritten, not
+   validated: a fresh run under a new config starts clean. *)
+let test_fresh_start_overwrites () =
+  with_temp_path @@ fun path ->
+  let j = Journal.start ~path ~config:"old config" ~resume:false in
+  Journal.record j ~key:"stale" "1";
+  Journal.close j;
+  let j = Journal.start ~path ~config:"new config" ~resume:false in
+  Fun.protect ~finally:(fun () -> Journal.close j) @@ fun () ->
+  check_int "no stale records" 0 (Journal.completed j);
+  check_bool "stale key gone" true (Journal.find j "stale" = None)
+
+(* A non-journal file is rejected rather than silently rewritten. *)
+let test_foreign_file_rejected () =
+  with_temp_path @@ fun path ->
+  let oc = open_out path in
+  output_string oc "this is not a checkpoint\n";
+  close_out oc;
+  match Journal.start ~path ~config:"c" ~resume:true with
+  | _ -> Alcotest.fail "foreign file must be rejected"
+  | exception Failure msg ->
+    check_bool "diagnostic names the file" true
+      (String.length msg > 0 && msg <> "")
+
+(* Decode rejecting a payload (corrupt or from an older encoding)
+   must re-run the shard, not crash or trust the bytes. *)
+let test_corrupt_payload_reruns () =
+  with_temp_path @@ fun path ->
+  let j = Journal.start ~path ~config:"c" ~resume:false in
+  Journal.record j ~key:"shard-0" "not an int";
+  Journal.close j;
+  let ran = ref false in
+  let outcomes =
+    let j = Journal.start ~path ~config:"c" ~resume:true in
+    Fun.protect ~finally:(fun () -> Journal.close j) @@ fun () ->
+    Supervise.run_shards ~jobs:1 ~journal:j
+      ~key:(fun i -> Printf.sprintf "shard-%d" i)
+      ~encode ~decode 1
+      (fun _ i ->
+        ran := true;
+        i + 7)
+  in
+  check_bool "shard re-ran" true !ran;
+  match outcomes.(0) with
+  | Supervise.Done v -> check_int "fresh value" 7 v
+  | Supervise.Unfinished _ -> Alcotest.fail "should have completed"
+
+let () =
+  Alcotest.run "supervise"
+    [
+      ( "retry",
+        [
+          Alcotest.test_case "succeeds after transient failures" `Quick
+            test_retry_until_success;
+          Alcotest.test_case "exhausted retries report unfinished" `Quick
+            test_retries_exhausted;
+          Alcotest.test_case "watchdog cuts off a hung shard" `Quick
+            test_watchdog_timeout;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "outcomes identical jobs:1 vs jobs:4" `Quick
+            test_jobs_deterministic;
+          Alcotest.test_case "fatal errors fail fast, lowest shard" `Quick
+            test_fatal_fail_fast;
+          Alcotest.test_case "cancellation marks shards unfinished" `Quick
+            test_cancelled_before_start;
+        ] );
+      ( "journal",
+        [
+          Alcotest.test_case "torn-journal resume equals uninterrupted" `Quick
+            test_resume_equals_uninterrupted;
+          Alcotest.test_case "config mismatch rejected" `Quick
+            test_config_mismatch;
+          Alcotest.test_case "fresh start overwrites" `Quick
+            test_fresh_start_overwrites;
+          Alcotest.test_case "foreign file rejected" `Quick
+            test_foreign_file_rejected;
+          Alcotest.test_case "corrupt payload re-runs the shard" `Quick
+            test_corrupt_payload_reruns;
+        ] );
+    ]
