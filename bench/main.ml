@@ -501,11 +501,22 @@ let sim_throughput ?(smoke = false) () =
 type par_bench = {
   pb_workload : string;
   pb_jobs : int;
+  pb_effective : int;
+      (* domains that can actually run concurrently: min jobs recommended *)
+  pb_oversubscribed : bool;
+      (* more domains requested than the machine recommends — the
+         timing measures scheduler overhead, not scaling, and is
+         flagged rather than trusted *)
   pb_seconds : float;
   pb_identical : bool; (* output bytes equal to the jobs:1 run *)
 }
 
-let parscaling ?(smoke = false) ?(max_jobs = 4) () =
+(* [gate] enforces the CI scaling contract: on a machine with at least
+   four recommended domains, the jobs:4 rows must beat serial
+   (speedup > 1.0) for every workload.  On narrower machines the gate
+   reports itself skipped — an oversubscribed timing proves nothing
+   about scaling either way. *)
+let parscaling ?(smoke = false) ?(max_jobs = 4) ?(gate = false) () =
   banner
     (Printf.sprintf
        "§parscaling — sharded campaigns and sweeps (recommended domains: %d)%s"
@@ -553,6 +564,7 @@ let parscaling ?(smoke = false) ?(max_jobs = 4) () =
       ("characterisation sweep", sweep);
     ]
   in
+  let recommended = Domain.recommended_domain_count () in
   let entries =
     List.concat_map
       (fun (name, run) ->
@@ -567,8 +579,10 @@ let parscaling ?(smoke = false) ?(max_jobs = 4) () =
                 true
               | Some s -> String.equal s out
             in
-            { pb_workload = name; pb_jobs = jobs; pb_seconds = seconds;
-              pb_identical = identical })
+            { pb_workload = name; pb_jobs = jobs;
+              pb_effective = min jobs recommended;
+              pb_oversubscribed = jobs > recommended;
+              pb_seconds = seconds; pb_identical = identical })
           jobs_list)
       workloads
   in
@@ -576,13 +590,14 @@ let parscaling ?(smoke = false) ?(max_jobs = 4) () =
     (List.find (fun e -> e.pb_workload = workload && e.pb_jobs = jobs) entries)
       .pb_seconds
   in
+  let speedup e = seconds_at e.pb_workload 1 /. e.pb_seconds in
   List.iter
     (fun e ->
-      Printf.printf "  %-24s jobs:%d  %7.3f s  speedup %.2fx  %s\n"
-        e.pb_workload e.pb_jobs e.pb_seconds
-        (seconds_at e.pb_workload 1 /. e.pb_seconds)
+      Printf.printf "  %-24s jobs:%d (eff %d)  %7.3f s  speedup %.2fx  %s%s\n"
+        e.pb_workload e.pb_jobs e.pb_effective e.pb_seconds (speedup e)
         (if e.pb_identical then "bit-identical to serial"
-         else "OUTPUT DIVERGED");
+         else "OUTPUT DIVERGED")
+        (if e.pb_oversubscribed then "  [oversubscribed]" else "");
       if not e.pb_identical then begin
         Printf.eprintf
           "parscaling: %s at jobs:%d is not bit-identical to the serial run\n"
@@ -590,6 +605,26 @@ let parscaling ?(smoke = false) ?(max_jobs = 4) () =
         exit 1
       end)
     entries;
+  if gate then begin
+    if recommended < 4 || max_jobs < 4 then
+      Printf.printf
+        "\n  speedup gate skipped: %d recommended domain(s), max jobs %d — \
+         jobs:4 rows would be oversubscribed\n"
+        recommended max_jobs
+    else begin
+      let failures =
+        List.filter (fun e -> e.pb_jobs = 4 && speedup e <= 1.0) entries
+      in
+      List.iter
+        (fun e ->
+          Printf.eprintf
+            "parscaling gate: %s at jobs:4 is %.2fx vs serial (need > 1.0)\n"
+            e.pb_workload (speedup e))
+        failures;
+      if failures <> [] then exit 1;
+      Printf.printf "\n  speedup gate passed: all jobs:4 rows beat serial\n"
+    end
+  end;
   let json =
     let buf = Buffer.create 1024 in
     let emit fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
@@ -600,11 +635,11 @@ let parscaling ?(smoke = false) ?(max_jobs = 4) () =
     List.iteri
       (fun i e ->
         emit
-          "    {\"workload\": %S, \"jobs\": %d, \"seconds\": %.6f, \
+          "    {\"workload\": %S, \"jobs\": %d, \"effective_jobs\": %d, \
+           \"oversubscribed\": %b, \"seconds\": %.6f, \
            \"speedup_vs_jobs1\": %.2f, \"identical_to_serial\": %b}%s\n"
-          e.pb_workload e.pb_jobs e.pb_seconds
-          (seconds_at e.pb_workload 1 /. e.pb_seconds)
-          e.pb_identical
+          e.pb_workload e.pb_jobs e.pb_effective e.pb_oversubscribed
+          e.pb_seconds (speedup e) e.pb_identical
           (if i = List.length entries - 1 then "" else ","))
       entries;
     emit "  ]\n}\n";
@@ -926,10 +961,12 @@ let bechamel_section () =
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let smoke = List.mem "--smoke" args in
+  let gate = List.mem "--gate-speedup" args in
   let max_jobs = ref 4 in
   let rec chosen = function
     | "--section" :: name :: rest -> name :: chosen rest
     | "--smoke" :: rest -> chosen rest
+    | "--gate-speedup" :: rest -> chosen rest
     | "--jobs" :: n :: rest ->
       (match int_of_string_opt n with
       | Some j -> max_jobs := j
@@ -939,7 +976,9 @@ let () =
       chosen rest
     | arg :: _ ->
       Printf.eprintf
-        "unknown argument %s (try --smoke, --section NAME, --jobs N)\n" arg;
+        "unknown argument %s (try --smoke, --section NAME, --jobs N, \
+         --gate-speedup)\n"
+        arg;
       exit 2
     | [] -> []
   in
@@ -957,7 +996,7 @@ let () =
       ("width", ablation_width);
       ("faultcoverage", faultcoverage);
       ("simthroughput", fun () -> sim_throughput ~smoke ());
-      ("parscaling", fun () -> parscaling ~smoke ~max_jobs:!max_jobs ());
+      ("parscaling", fun () -> parscaling ~smoke ~max_jobs:!max_jobs ~gate ());
       ("prove", fun () -> prove_section ~smoke ~max_jobs:!max_jobs ());
       ("obsoverhead", fun () -> obsoverhead ~smoke ());
       ("resilience", fun () -> resilience ~smoke ());

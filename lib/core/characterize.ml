@@ -272,10 +272,13 @@ let decode_candidate point data =
   with Scanf.Scan_failure _ | Failure _ | End_of_file -> None
 
 (* Each sweep point is an independent build+simulate job; shard them
-   across domains. Every shard elaborates its own circuit and
-   simulator, and results are merged in point order, so the candidate
-   list is identical whatever [jobs] is — and, via the checkpoint
-   journal, whether or not the sweep was interrupted and resumed. *)
+   across domains with work-stealing rebalancing the uneven per-point
+   costs. Every point is a *distinct* circuit configuration, so unlike
+   a fault campaign there is no plan to share between shards: each
+   shard elaborates and compiles its own point exactly once. Results
+   are merged in point order, so the candidate list is identical
+   whatever [jobs] is — and, via the checkpoint journal, whether or
+   not the sweep was interrupted and resumed. *)
 let sweep ?(trace = Hwpat_obs.Trace.null) ?(metrics = Hwpat_obs.Metrics.null)
     ?jobs ?policy ?cancel ?checkpoint ?(resume = false)
     ?(points = default_points) () =

@@ -54,11 +54,21 @@ let has_output circuit port = List.mem_assoc port (Circuit.outputs circuit)
 (* One simulation of a stream-copy circuit: feed [frame], collect the
    same number of pixels, stop at [budget] cycles. [events] are
    scheduled on a Fault injector; monitors are auto-attached by naming
-   convention. *)
-let run_once ?engine ?(events = []) ?(check = fun () -> ()) ~budget ~frame
+   convention. [sim] reuses an existing simulator of [circuit] (it is
+   reset first, which restores power-on state exactly — campaigns pass
+   a per-worker instance of a shared compiled plan); otherwise a fresh
+   simulator is created. Monitor, injector, source and sink are always
+   fresh, so a reused simulator carries no residue between runs. *)
+let run_once ?engine ?sim ?(events = []) ?(check = fun () -> ()) ~budget ~frame
     circuit =
   let expected = Frame.pixels frame in
-  let sim = Cyclesim.create ?engine circuit in
+  let sim =
+    match sim with
+    | Some sim ->
+      Cyclesim.reset sim;
+      sim
+    | None -> Cyclesim.create ?engine circuit
+  in
   let monitor = Monitor.create sim in
   let monitors = Monitor.add_auto monitor in
   let injector = Fault.create sim in
@@ -109,16 +119,18 @@ let classify ~reference ~expected (collected, cycles, monitor, _, err_flag)
     cycles;
   }
 
-(* The campaign is trivially parallel: every fault runs in its own
-   fresh simulation against the shared (immutable) reference pixels.
-   Each shard elaborates its *own* circuit — mutable signal graphs are
-   never shared between domains — and regenerates the seeded campaign
-   against it to obtain a structurally identical fault aimed at its
-   own signals (registers and memories are picked by schedule
-   position, which is identical across rebuilds; uids are not output-
-   visible). Reported events and descriptions come from the master
-   circuit's campaign, and [Parallel.run] merges shard results in
-   fault order, so the summary is bit-identical for any [jobs]. *)
+(* The campaign is trivially parallel: every fault runs against the
+   shared (immutable) reference pixels. The circuit is elaborated and
+   compiled exactly once, into a shared immutable [Cyclesim.plan];
+   each worker domain instantiates one simulator from the plan and
+   reuses it for every fault it executes, with [Cyclesim.reset]
+   restoring power-on state between faults — elaborate/compile cost is
+   paid once per campaign instead of once per fault. Fault events are
+   drawn once from the master circuit and apply directly to any
+   instance (instances share the master's signal graph read-only).
+   Results merge in fault order and each fault starts from identical
+   reset state, so the summary is bit-identical for any [jobs] and any
+   work-stealing schedule. *)
 let run_campaign ?(trace = Hwpat_obs.Trace.null)
     ?(metrics = Hwpat_obs.Metrics.null) ?engine ?jobs ?policy ?cancel
     ?checkpoint ?(resume = false) ?(seed = 1) ?(faults = 20)
@@ -130,11 +142,15 @@ let run_campaign ?(trace = Hwpat_obs.Trace.null)
   let frame = Pattern.gradient ~width:frame_width ~height:frame_height ~depth:8 in
   let expected = Frame.pixels frame in
   let circuit = build () in
+  let plan =
+    Trace.span trace "compile" (fun () -> Cyclesim.plan ?engine circuit)
+  in
   (* Fault-free reference run: also sanity-checks that the monitors
      stay silent on the healthy design. *)
   let reference, baseline_cycles, base_monitor, monitors, _ =
     Trace.span trace "baseline" (fun () ->
-        run_once ?engine ~budget:(400 * expected) ~frame circuit)
+        run_once ~sim:(Cyclesim.of_plan plan) ~budget:(400 * expected) ~frame
+          circuit)
   in
   if List.length reference <> expected then
     invalid_arg
@@ -191,29 +207,26 @@ let run_campaign ?(trace = Hwpat_obs.Trace.null)
             (outcome_of_name name))
     with Scanf.Scan_failure _ | Failure _ | End_of_file -> None
   in
-  let run_shard ctx k =
+  let run_shard sim ctx k =
     (* One span per fault, recorded on the worker's own domain lane, so
-       the trace shows Parallel.run utilization and straggler shards. *)
+       the trace shows worker utilization and straggler shards. The
+       worker's simulator instance is reused; run_once resets it. *)
     Trace.span trace (Printf.sprintf "fault#%d" k) @@ fun () ->
-    let shard_circuit = build () in
-    let shard_events =
-      Fault.random_campaign ~seed ~n:faults ~max_cycle:baseline_cycles
-        shard_circuit
-    in
-    let event = List.nth shard_events k in
     let r =
       classify ~reference ~expected
-        (run_once ?engine ~events:[ event ]
+        (run_once ~sim ~events:[ events.(k) ]
            ~check:(fun () -> Supervise.check ctx)
-           ~budget ~frame shard_circuit)
+           ~budget ~frame circuit)
         ~description:descriptions.(k)
     in
     Trace.annotate trace "outcome" (Trace.String (outcome_name r.outcome));
     r
   in
   let outcomes =
-    Supervise.run_shards ?jobs ?policy ~metrics ?cancel ?journal ~key ~encode
-      ~decode (Array.length events) run_shard
+    Supervise.run_shards_local ?jobs ?policy ~metrics ?cancel ?journal ~key
+      ~encode ~decode
+      ~local:(fun () -> Cyclesim.of_plan plan)
+      (Array.length events) run_shard
   in
   let results =
     Array.to_list

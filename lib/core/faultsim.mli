@@ -55,6 +55,7 @@ val coverage : summary -> float
 
 val run_once :
   ?engine:Cyclesim.engine ->
+  ?sim:Cyclesim.t ->
   ?events:Fault.event list ->
   ?check:(unit -> unit) ->
   budget:int ->
@@ -63,9 +64,12 @@ val run_once :
   int list * int * Monitor.t * int * bool
 (** One simulation of a stream-copy circuit: collected pixels, cycles
     run, the monitor, monitors attached, and the [err] output state.
-    [engine] selects the simulation engine (default compiled).
-    [check] is called once per cycle — the supervision watchdog
-    hook. *)
+    [engine] selects the simulation engine (default compiled). [sim]
+    reuses an existing simulator of the circuit instead of creating
+    one — it is {!Cyclesim.reset} first, so the run is bit-identical
+    to one on a fresh simulator; campaigns pass per-worker instances
+    of a shared compiled plan. [check] is called once per cycle — the
+    supervision watchdog hook. *)
 
 val run_campaign :
   ?trace:Hwpat_obs.Trace.t ->
@@ -86,15 +90,17 @@ val run_campaign :
   summary
 (** Defaults: [seed = 1], [faults = 20], 8x8 frame. Deterministic in
     [seed] (and independent of [engine] — the differential suite holds
-    the classifications identical across engines). The campaign is
-    sharded one fault per job across [jobs] domains (default
-    [Parallel.default_jobs ()]); every shard elaborates a fresh
-    circuit and simulator, and results merge in fault order, so the
+    the classifications identical across engines). The circuit is
+    elaborated and compiled once into a shared {!Cyclesim.plan}; the
+    campaign is sharded one fault per shard across [jobs] domains
+    (default [Parallel.default_jobs ()]), each worker reusing one plan
+    instance across its faults with a reset in between. Results merge
+    in fault order and every fault starts from power-on state, so the
     summary — {!render} and {!summary_to_json} included — is
     bit-identical for any [jobs]. Raises [Invalid_argument] if the
     design fails or trips a monitor fault-free.
 
-    Execution is supervised ({!Supervise.run_shards}): [policy] sets
+    Execution is supervised ({!Supervise.run_shards_local}): [policy] sets
     per-fault watchdog deadlines and retry counts, [cancel] stops
     further faults from starting, and shards that never complete are
     reported as [Unfinished] results.  [checkpoint] journals each

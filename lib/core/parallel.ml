@@ -1,31 +1,50 @@
 (* Domain-parallel execution of independent shards (OCaml 5 stdlib
    only: [Domain] + [Atomic]).
 
-   The model is deliberately minimal: [run n f] evaluates [f 0 .. f
-   (n-1)] on a fixed pool of worker domains that claim shard indices
-   from one atomic counter (work stealing without queues — claiming is
-   a single [fetch_and_add]).  Results land in a pre-sized array slot
-   per shard, so the merged output is in submission order and
-   bit-identical to the serial run regardless of how shards interleave
-   across domains.  The shard closures must be domain-safe: they may
-   share immutable inputs but must not write shared mutable state
-   (every campaign/sweep shard in this repository builds its own fresh
-   circuit and simulator).
+   Work distribution is chunked work-stealing.  The index space
+   [0, n) is pre-split into one contiguous chunk per worker; each
+   worker owns a deque holding its remaining range, packed into a
+   single atomic integer (head in the low bits, limit above).  Owners
+   pop from the front of their own range; a worker whose range runs
+   dry steals the back half of a victim's range and installs it as its
+   own.  Claiming an item — whether by owner pop or by steal — is one
+   compare-and-set on one word, so every index is claimed exactly
+   once: a CAS succeeds only against the exact (head, limit) pair the
+   claimant read, and a given pair can never recur once any index in
+   it has been claimed (ranges only shrink, and stolen ranges are
+   always sub-ranges of live ones).
+
+   Compared to the previous single shared counter, workers touch only
+   their own atomic in the common case — no cross-domain cache-line
+   ping-pong per shard — and stealing in bulk keeps the synchronization
+   cost amortized over whole chunks while still rebalancing uneven
+   shard durations.
+
+   Results land in a pre-sized array slot per shard, so the merged
+   output is in submission order and bit-identical to the serial run
+   regardless of how shards interleave across domains.  The shard
+   closures must be domain-safe: they may share immutable inputs (for
+   example a compiled {!Hwpat_rtl.Cyclesim} plan) but must not write
+   shared mutable state.  [run_partial_local] additionally gives every
+   worker domain a private state value built by [local] — the hook
+   campaigns use to reuse one simulator instance across all the shards
+   a domain executes.
 
    Failure is fail-fast *and* deterministic.  When a shard raises, its
-   index is recorded in an atomic low-water mark and workers stop
-   claiming indices at or above it — the serial run would never have
-   evaluated those either, so skipping them cannot change the outcome.
-   Because indices are claimed in increasing order, every index below
-   the final low-water mark was already claimed and fully evaluated by
-   the time the mark settled; re-raising the failure at the mark (with
-   the backtrace captured at the failure site) therefore reproduces
-   exactly the exception the serial [Array.init] run raises, while a
-   whole campaign is no longer burned evaluating shards whose results
-   will be discarded.
+   index is recorded in an atomic low-water mark; a popped or stolen
+   index at or above the current mark is dropped without being
+   evaluated.  The mark only ever decreases, so an index below the
+   *final* mark was below the mark at every point in time — it can
+   never have been dropped, and with all ranges drained at join it
+   must have been evaluated.  Indices above the final mark would have
+   been discarded by the serial run too, so skipping them cannot
+   change the outcome; re-raising the failure recorded at the mark
+   (with the backtrace captured at the failure site) reproduces
+   exactly the exception the serial run raises, at any job count and
+   under any stealing schedule.
 
    Cooperative cancellation uses the same claim gate: a fired [token]
-   stops workers from claiming new indices, in-flight shards run to
+   stops workers from claiming further items, in-flight shards run to
    completion, and the skipped slots come back as [None] from
    [run_partial] — the mechanism behind SIGINT-graceful campaign
    shutdown. *)
@@ -42,8 +61,18 @@ let token () = Atomic.make false
 let cancel t = Atomic.set t true
 let cancelled t = Atomic.get t
 
-let run_partial ?jobs ?cancel n f =
+(* A worker's remaining range [head, limit) packed into one int:
+   head in the low 31 bits, limit above. Single-word CAS makes a
+   claim (owner pop or steal) linearizable. *)
+let range_bits = 31
+let range_mask = (1 lsl range_bits) - 1
+let pack ~head ~limit = head lor (limit lsl range_bits)
+let head_of v = v land range_mask
+let limit_of v = v lsr range_bits
+
+let run_partial_local ?jobs ?cancel ~local n f =
   if n < 0 then invalid_arg "Parallel.run_partial: negative shard count";
+  if n > range_mask then invalid_arg "Parallel.run_partial: shard count too large";
   let jobs =
     match jobs with Some j -> clamp_jobs j | None -> default_jobs ()
   in
@@ -53,11 +82,21 @@ let run_partial ?jobs ?cancel n f =
   in
   if jobs <= 1 then begin
     (* Serial: evaluate in order, stop at the first failure (raising
-       with the natural backtrace) or at cancellation. *)
+       with the natural backtrace) or at cancellation. The worker-local
+       state is built once, before the first shard. *)
     let results = Array.make n None in
+    let st = ref None in
+    let local_state () =
+      match !st with
+      | Some w -> w
+      | None ->
+        let w = local () in
+        st := Some w;
+        w
+    in
     let i = ref 0 in
     while !i < n && not (is_cancelled ()) do
-      results.(!i) <- Some (f !i);
+      results.(!i) <- Some (f (local_state ()) !i);
       incr i
     done;
     results
@@ -65,9 +104,14 @@ let run_partial ?jobs ?cancel n f =
   else begin
     let results = Array.make n None in
     let failures = Array.make n None in
-    (* Lowest failed index seen so far; claims at or above it stop. *)
+    (* Lowest failed index seen so far; items at or above it are
+       dropped instead of evaluated. *)
     let min_fail = Atomic.make max_int in
-    let next = Atomic.make 0 in
+    (* Initial balanced split: worker [w] owns [w*n/jobs, (w+1)*n/jobs). *)
+    let deques =
+      Array.init jobs (fun w ->
+          Atomic.make (pack ~head:(w * n / jobs) ~limit:((w + 1) * n / jobs)))
+    in
     let record_failure i e bt =
       failures.(i) <- Some (e, bt);
       let rec lower () =
@@ -76,24 +120,86 @@ let run_partial ?jobs ?cancel n f =
       in
       lower ()
     in
-    let worker () =
-      let running = ref true in
-      while !running do
-        let i = Atomic.fetch_and_add next 1 in
-        if i >= n || i >= Atomic.get min_fail || is_cancelled () then
-          running := false
-        else
-          match f i with
+    (* Pop the front of [d]'s range. *)
+    let rec pop d =
+      let v = Atomic.get d in
+      let head = head_of v and limit = limit_of v in
+      if head >= limit then None
+      else if Atomic.compare_and_set d v (pack ~head:(head + 1) ~limit) then
+        Some head
+      else pop d
+    in
+    (* Steal the back half of [d]'s range (at least one item). *)
+    let rec steal d =
+      let v = Atomic.get d in
+      let head = head_of v and limit = limit_of v in
+      let avail = limit - head in
+      if avail <= 0 then None
+      else begin
+        let k = if avail = 1 then 1 else avail / 2 in
+        if Atomic.compare_and_set d v (pack ~head ~limit:(limit - k)) then
+          Some (limit - k, limit)
+        else steal d
+      end
+    in
+    let worker w () =
+      let st = ref None in
+      let local_state () =
+        match !st with
+        | Some x -> x
+        | None ->
+          let x = local () in
+          st := Some x;
+          x
+      in
+      let my = deques.(w) in
+      let execute i =
+        (* Drop (don't evaluate) items at or above the failure mark:
+           the serial run would never have reached them. *)
+        if i < Atomic.get min_fail then begin
+          match f (local_state ()) i with
           | v -> results.(i) <- Some v
           | exception e ->
             (* capture the backtrace at the failure site so the
                post-join re-raise does not report the join point *)
             record_failure i e (Printexc.get_raw_backtrace ())
-      done
+        end
+      in
+      let rec drain () =
+        if not (is_cancelled ()) then
+          match pop my with
+          | Some i ->
+            execute i;
+            drain ()
+          | None -> try_steal ()
+      and try_steal () =
+        if not (is_cancelled ()) then begin
+          (* One full scan over the other workers. Observing every
+             deque empty means every index has been claimed (a stolen
+             chunk not yet re-installed is completed by its thief), so
+             the worker can retire. *)
+          let rec scan k =
+            if k >= jobs then ()
+            else
+              match steal deques.((w + k) mod jobs) with
+              | Some (a, b) ->
+                (* Install the stolen range as our own. Plain set is
+                   safe: our deque reads empty, so no concurrent CAS
+                   can succeed against its current value. *)
+                Atomic.set my (pack ~head:a ~limit:b);
+                drain ()
+              | None -> scan (k + 1)
+          in
+          scan 1
+        end
+      in
+      drain ()
     in
     (* jobs - 1 helper domains; the calling domain works too. *)
-    let helpers = List.init (jobs - 1) (fun _ -> Domain.spawn worker) in
-    worker ();
+    let helpers =
+      List.init (jobs - 1) (fun h -> Domain.spawn (worker (h + 1)))
+    in
+    worker 0 ();
     List.iter Domain.join helpers;
     (match Atomic.get min_fail with
     | m when m < n -> (
@@ -103,6 +209,9 @@ let run_partial ?jobs ?cancel n f =
     | _ -> ());
     results
   end
+
+let run_partial ?jobs ?cancel n f =
+  run_partial_local ?jobs ?cancel ~local:(fun () -> ()) n (fun () i -> f i)
 
 let run ?jobs n f =
   let partial = run_partial ?jobs n f in

@@ -1,18 +1,23 @@
 (** Domain-parallel execution of independent shards.
 
-    A fixed pool of worker domains claims shard indices from one
-    [Atomic] counter; each shard's result is written to its own slot,
-    so the merged output is in submission order — bit-identical to the
-    serial run whatever the interleaving.  Shard closures must be
-    domain-safe: share immutable inputs freely, build any mutable
-    state (circuits, simulators) fresh inside the shard.  Circuit
-    elaboration itself is domain-safe because {!Hwpat_rtl.Signal} uids
-    come from an atomic counter.
+    The index space is pre-split into one contiguous chunk per worker
+    domain; each worker pops from the front of its own chunk and, when
+    it runs dry, steals the back half of a victim's remaining range —
+    chunked work-stealing with a single packed-atomic range per
+    worker, so the common case touches no shared cache line and uneven
+    shard durations still rebalance.  Each shard's result is written
+    to its own slot, so the merged output is in submission order —
+    bit-identical to the serial run whatever the stealing schedule.
+    Shard closures must be domain-safe: share immutable inputs (for
+    example a compiled {!Hwpat_rtl.Cyclesim} plan) freely, keep
+    mutable state private to the shard or to the worker (see
+    {!run_partial_local}).  Circuit elaboration itself is domain-safe
+    because {!Hwpat_rtl.Signal} uids come from an atomic counter.
 
     This is the execution layer behind [Faultsim.run_campaign ?jobs],
     [Characterize.sweep ?jobs], [Prove.run ?jobs] and the sharded
     differential test suite; {!Supervise} builds retry, watchdog and
-    checkpoint discipline on top of {!run_partial}. *)
+    checkpoint discipline on top of {!run_partial_local}. *)
 
 val max_jobs : int
 (** Upper clamp on the pool size (64). *)
@@ -42,13 +47,14 @@ val run : ?jobs:int -> int -> (int -> 'a) -> 'a array
     serially in the calling domain with no domains spawned).
 
     Failure is fail-fast and deterministic: when a shard raises, its
-    index becomes a low-water mark and workers stop claiming indices
-    at or above it (in-flight shards finish), so a whole campaign is
-    not burned evaluating work whose results will be discarded.
-    Indices are claimed in increasing order, so every index below the
-    final mark was evaluated; the exception re-raised after the join —
-    with the backtrace captured at the failure site — is exactly the
-    one the serial run would have raised. *)
+    index becomes a low-water mark and indices claimed at or above it
+    are dropped unevaluated (in-flight shards finish), so a whole
+    campaign is not burned evaluating work whose results will be
+    discarded.  The mark only decreases, so every index below the
+    final mark was evaluated no matter how stealing interleaved; the
+    exception re-raised after the join — with the backtrace captured
+    at the failure site — is exactly the one the serial run would
+    have raised. *)
 
 val run_partial :
   ?jobs:int -> ?cancel:token -> int -> (int -> 'a) -> 'a option array
@@ -60,6 +66,23 @@ val run_partial :
     for graceful SIGINT shutdown: fire the token from a signal
     handler, collect the completed prefix, report the rest as
     unfinished. *)
+
+val run_partial_local :
+  ?jobs:int ->
+  ?cancel:token ->
+  local:(unit -> 'w) ->
+  int ->
+  ('w -> int -> 'a) ->
+  'a option array
+(** {!run_partial} with per-worker state: every worker domain calls
+    [local ()] once, lazily before its first shard, and passes the
+    value to each shard it executes.  The state never crosses domains,
+    so it may be freely mutable — campaigns use it to instantiate one
+    simulator per domain from a shared plan and reuse it (with a reset
+    between shards) instead of rebuilding per shard.  Shards must not
+    let per-worker state leak into results in a way that depends on
+    which worker ran them: results must stay bit-identical to the
+    serial run. *)
 
 val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
 (** List map over {!run}; order preserved. *)

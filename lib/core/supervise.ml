@@ -76,9 +76,9 @@ let reason_of_exn = function
   | Shard_timeout s -> Printf.sprintf "timeout after %.3gs" s
   | e -> Printexc.to_string e (* unreachable for non-transient *)
 
-let run_shards ?jobs ?(policy = default_policy)
-    ?(metrics = Hwpat_obs.Metrics.null) ?cancel ?journal ~key ?encode ?decode n
-    f =
+let run_shards_local ?jobs ?(policy = default_policy)
+    ?(metrics = Hwpat_obs.Metrics.null) ?cancel ?journal ~key ?encode ?decode
+    ~local n f =
   let incr_m name = Hwpat_obs.Metrics.incr metrics ("supervise." ^ name) in
   let from_journal k =
     match (journal, decode) with
@@ -93,7 +93,7 @@ let run_shards ?jobs ?(policy = default_policy)
     | Some j, Some enc -> Journal.record j ~key:(key k) (enc v)
     | _ -> ()
   in
-  let run_shard k =
+  let run_shard w k =
     match from_journal k with
     | Some v ->
       incr_m "skipped";
@@ -101,7 +101,7 @@ let run_shards ?jobs ?(policy = default_policy)
     | None ->
       let rec go attempt =
         let ctx = make_ctx ~policy ~attempt in
-        match f ctx k with
+        match f w ctx k with
         | v ->
           to_journal k v;
           Done v
@@ -124,7 +124,7 @@ let run_shards ?jobs ?(policy = default_policy)
       in
       go 1
   in
-  let partial = Parallel.run_partial ?jobs ?cancel n run_shard in
+  let partial = Parallel.run_partial_local ?jobs ?cancel ~local n run_shard in
   Array.map
     (function
       | Some outcome -> outcome
@@ -133,3 +133,11 @@ let run_shards ?jobs ?(policy = default_policy)
         incr_m "cancelled";
         Unfinished { reason = "cancelled"; attempts = 0 })
     partial
+
+let run_shards ?jobs ?policy ?metrics ?cancel ?journal ~key ?encode ?decode n
+    f =
+  run_shards_local ?jobs ?policy ?metrics ?cancel ?journal ~key ?encode
+    ?decode
+    ~local:(fun () -> ())
+    n
+    (fun () ctx k -> f ctx k)

@@ -87,3 +87,26 @@ val run_shards :
     simply re-runs the shard.  Skipping, journaling and retries are
     counted on [metrics] under [supervise.skipped], [.retries],
     [.timeouts], [.unfinished] and [.cancelled]. *)
+
+val run_shards_local :
+  ?jobs:int ->
+  ?policy:policy ->
+  ?metrics:Hwpat_obs.Metrics.t ->
+  ?cancel:Parallel.token ->
+  ?journal:Journal.t ->
+  key:(int -> string) ->
+  ?encode:('a -> string) ->
+  ?decode:(int -> string -> 'a option) ->
+  local:(unit -> 'w) ->
+  int ->
+  ('w -> ctx -> int -> 'a) ->
+  'a outcome array
+(** {!run_shards} with per-worker state, via
+    {!Parallel.run_partial_local}: each worker domain calls [local ()]
+    once, lazily before its first shard, and the value is passed to
+    every shard (and every retry) that worker executes.  Campaigns use
+    it to instantiate one simulator per domain from a shared compiled
+    plan and reuse it across shards; the shard closure must leave no
+    state behind that could change a later shard's result (reset the
+    simulator first), because results must stay bit-identical to the
+    serial run. *)

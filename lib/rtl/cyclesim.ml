@@ -268,6 +268,12 @@ module Naive = struct
       (fun _ arr ->
         Array.fill arr 0 (Array.length arr) (Bits.zero (Bits.width arr.(0))))
       t.mem_arrays;
+    (* Input ports back to zero, so a reused simulator starts from the
+       same state a freshly created one would (input refs alias the
+       input nodes' value refs). *)
+    List.iter2
+      (fun (_, s) (_, r) -> r := Bits.zero (Signal.width s))
+      (Circuit.inputs t.circuit) t.input_refs;
     t.cycles <- 0;
     settle t
 
@@ -284,6 +290,30 @@ type activity = {
   total_nodes : int;
   kind_evals : (string * int) list;
 }
+
+(* A compiled plan is the immutable, shareable half of a simulator:
+   campaigns build one plan per circuit configuration and hand each
+   worker domain its own cheap instance. The reference engine has no
+   compile step to amortize, so its plan is just the elaborated
+   circuit (still shared: elaboration itself is not repeated). *)
+type plan = Naive_plan of Circuit.t | Comp_plan of Simcompile.plan
+
+let plan ?(engine = Compiled) circuit =
+  match engine with
+  | Reference -> Naive_plan circuit
+  | Compiled -> Comp_plan (Simcompile.plan circuit)
+
+let of_plan = function
+  | Naive_plan c -> Naive (Naive.create c)
+  | Comp_plan p -> Comp (Simcompile.instantiate p)
+
+let plan_engine = function
+  | Naive_plan _ -> Reference
+  | Comp_plan _ -> Compiled
+
+let plan_circuit = function
+  | Naive_plan c -> c
+  | Comp_plan p -> Simcompile.plan_circuit p
 
 let create ?(engine = Compiled) circuit =
   match engine with

@@ -23,9 +23,31 @@ type engine =
   | Compiled  (** compiled levelized engine with activity skipping *)
 
 val create : ?engine:engine -> Circuit.t -> t
-(** Defaults to [Compiled]. *)
+(** Defaults to [Compiled]. Equivalent to [of_plan (plan circuit)]. *)
 
 val engine : t -> engine
+
+(** {1 Shared compiled plans}
+
+    The expensive half of [create] — elaboration bookkeeping and (for
+    the compiled engine) the netlist compile pass — is reified as an
+    immutable {!plan}. Campaigns that simulate one circuit
+    configuration many times build the plan once and stamp out a cheap
+    instance per worker domain; a plan holds no mutable simulation
+    state and is safe to share read-only across domains, while
+    instances never alias each other's buffers. *)
+
+type plan
+
+val plan : ?engine:engine -> Circuit.t -> plan
+(** Compile a shareable plan. Defaults to [Compiled]. *)
+
+val of_plan : plan -> t
+(** A fresh simulator over the plan: power-on state, zeroed inputs and
+    memories, no forces. Instances are fully independent. *)
+
+val plan_engine : plan -> engine
+val plan_circuit : plan -> Circuit.t
 
 val circuit : t -> Circuit.t
 
@@ -55,7 +77,10 @@ val settle : t -> unit
 
 val reset : t -> unit
 (** Restore registers to their init values, clear memories to zero,
-    release all forced signals, and re-settle. *)
+    release all forced signals, drive all input ports back to zero,
+    and re-settle. After [reset] a simulator is indistinguishable from
+    a freshly created one — the property per-shard instance reuse in
+    campaigns relies on. *)
 
 (** {1 Fault-injection hooks}
 

@@ -1,17 +1,31 @@
 (* Compiled, levelized simulation engine.
 
-   A one-time compile pass walks the scheduled netlist once and turns
-   it into flat parallel arrays indexed by schedule position: the
-   published value of every node lives in [bufs], and every node gets a
-   specialized closure in [evals] whose operand buffers were resolved
-   at compile time — the hot loop never touches a Hashtbl, an assoc
-   list or a pattern match. Closures compute into a private destination
-   buffer (using the [Bits.*_into] in-place variants) and then
-   "publish": compare against the node's current buffer, blit only on
-   change, and mark combinational fan-out dirty. Because the schedule
-   is topologically sorted, fan-out indices are always greater than the
-   producer's, so one ascending sweep over the dirty flags settles the
-   whole netlist; the sweep stops early once no dirty node remains.
+   Compilation is split in two so that the expensive part can be shared
+   across domains:
+
+   - [plan] walks the scheduled netlist once and produces an immutable
+     description of the circuit's execution: the levelized schedule,
+     per-node operation descriptors with operand positions resolved to
+     schedule indices, the combinational fan-out relation, clock-edge
+     descriptors and memory geometry.  A plan holds no mutable
+     simulation state and is safe to share read-only between domains.
+
+   - [instantiate] turns a plan into a runnable simulator by allocating
+     the per-instance mutable state (value buffers, dirty flags, force
+     slots, register/memory state) and building per-node closures whose
+     operand buffers were resolved from the plan's indices — the hot
+     loop never touches a Hashtbl, an assoc list or a pattern match.
+     Instances share the plan's descriptor arrays (never written after
+     [plan] returns) but never share a mutable buffer: every Bits value
+     reachable from the plan is only ever used as a blit/copy *source*.
+
+   Closures compute into a private destination buffer (using the
+   [Bits.*_into] in-place variants) and then "publish": compare against
+   the node's current buffer, blit only on change, and mark
+   combinational fan-out dirty. Because the schedule is topologically
+   sorted, fan-out indices are always greater than the producer's, so
+   one ascending sweep over the dirty flags settles the whole netlist;
+   the sweep stops early once no dirty node remains.
 
    Activity-based skipping falls out of the dirty flags: a cone whose
    register/memory/input sources did not change since the last settle
@@ -32,20 +46,73 @@
 
 type input = { in_name : string; in_index : int; in_ref : Bits.t ref }
 
+(* Per-node operation descriptors: operands resolved to schedule
+   indices at plan time, buffers at instantiate time. *)
+type op =
+  | O_const
+  | O_input of int (* slot in the inputs array *)
+  | O_op2 of Signal.op2 * int * int
+  | O_not of int
+  | O_concat of int array
+  | O_select of { src : int; high : int; low : int }
+  | O_mux of { select : int; cases : int array }
+  | O_state (* Reg / Mem_read_sync present their committed state *)
+  | O_mem_read_async of { mem_uid : int; mem_width : int; addr : int }
+  | O_wire of int
+
+(* Clock-edge descriptors, in schedule order (the order the phase
+   loops run in — identical across instances and to the pre-split
+   engine). *)
+type edge =
+  | E_reg of {
+      index : int;
+      d : int;
+      enable : int option;
+      clear : int option;
+      clear_to : Bits.t; (* blit source only; shared, never written *)
+    }
+  | E_sync_read of {
+      index : int;
+      mem_uid : int;
+      mem_width : int;
+      addr : int;
+      enable : int option;
+    }
+
+type write_port = { wp_mem_uid : int; wp_enable : int; wp_addr : int; wp_data : int }
+type mem_spec = { m_uid : int; m_size : int; m_width : int }
+
+type plan = {
+  p_circuit : Circuit.t;
+  p_signals : Signal.t array; (* in schedule order *)
+  p_index_of_uid : (int, int) Hashtbl.t; (* read-only after [plan] *)
+  p_fanout : int array array; (* combinational dependents; always later *)
+  p_kinds : int array; (* Signal.prim_kind per node *)
+  p_buf_init : Bits.t array; (* copy templates: const / reg init / zero *)
+  p_state_init : Bits.t option array; (* Reg / Mem_read_sync only *)
+  p_ops : op array;
+  p_edges : edge array;
+  p_write_ports : write_port array;
+  p_mems : mem_spec array;
+  p_mem_readers : (int, int array) Hashtbl.t; (* read-only after [plan] *)
+  p_inputs : (string * int) array; (* port name, schedule index *)
+  p_outputs : (string * int) list;
+}
+
 type t = {
-  circuit : Circuit.t;
-  signals : Signal.t array; (* in schedule order *)
+  plan : plan;
+  signals : Signal.t array; (* == plan.p_signals (shared, immutable) *)
   bufs : Bits.t array; (* published value per node, mutated in place *)
   evals : (unit -> unit) array;
-  fanout : int array array; (* combinational dependents; always later *)
+  fanout : int array array; (* == plan.p_fanout (shared, immutable) *)
   dirty : bool array;
   mutable ndirty : int;
   forces : Bits.t option array;
   state : Bits.t option array; (* Reg / Mem_read_sync only *)
   next_state : Bits.t option array;
-  index_of_uid : (int, int) Hashtbl.t;
-  mem_arrays : (int, Bits.t array) Hashtbl.t;
-  mem_readers : (int, int array) Hashtbl.t; (* async reader node indices *)
+  index_of_uid : (int, int) Hashtbl.t; (* == plan's (shared, read-only) *)
+  mem_arrays : (int, Bits.t array) Hashtbl.t; (* per-instance arrays *)
+  mem_readers : (int, int array) Hashtbl.t; (* == plan's (shared) *)
   inputs : input array;
   output_refs : (string * int * Bits.t ref) list;
   (* Edge closures are built after the record exists (they capture it
@@ -57,8 +124,8 @@ type t = {
   mutable cycles : int;
   mutable settles : int;
   mutable node_evals : int;
-  kinds : int array; (* Signal.prim_kind per node *)
-  kind_evals : int array; (* node_evals bucketed by Signal.prim_kind *)
+  kinds : int array; (* == plan.p_kinds (shared, immutable) *)
+  kind_evals : int array;
 }
 
 let mark t j =
@@ -87,50 +154,129 @@ let comb_deps s =
   | Signal.Mem_read_async { addr; _ } -> [ addr ]
   | _ -> Signal.deps s
 
-let compile circuit =
+let plan circuit =
   let signals = Array.of_list (Circuit.signals circuit) in
   let n = Array.length signals in
   let index_of_uid = Hashtbl.create (max 17 (2 * n)) in
   Array.iteri (fun i s -> Hashtbl.replace index_of_uid (Signal.uid s) i) signals;
-  let bufs =
+  let idx s = Hashtbl.find index_of_uid (Signal.uid s) in
+  let buf_init =
     Array.map
       (fun s ->
         match Signal.prim s with
-        | Signal.Const b -> Bits.copy b
-        | Signal.Reg { init; _ } -> Bits.copy init
+        | Signal.Const b -> b
+        | Signal.Reg { init; _ } -> init
         | _ -> Bits.zero (Signal.width s))
       signals
   in
   let fan = Array.make n [] in
   Array.iteri
     (fun i s ->
-      List.iter
-        (fun d ->
-          let j = Hashtbl.find index_of_uid (Signal.uid d) in
-          fan.(j) <- i :: fan.(j))
-        (comb_deps s))
+      List.iter (fun d -> fan.(idx d) <- i :: fan.(idx d)) (comb_deps s))
     signals;
   let fanout = Array.map (fun l -> Array.of_list (List.rev l)) fan in
-  let state = Array.make n None in
-  let next_state = Array.make n None in
+  let state_init = Array.make n None in
   Array.iteri
     (fun i s ->
       match Signal.prim s with
-      | Signal.Reg { init; _ } ->
-        state.(i) <- Some (Bits.copy init);
-        next_state.(i) <- Some (Bits.copy init)
+      | Signal.Reg { init; _ } -> state_init.(i) <- Some init
       | Signal.Mem_read_sync { memory; _ } ->
-        let w = Signal.memory_width memory in
-        state.(i) <- Some (Bits.zero w);
-        next_state.(i) <- Some (Bits.zero w)
+        state_init.(i) <- Some (Bits.zero (Signal.memory_width memory))
       | _ -> ())
     signals;
-  let mem_arrays = Hashtbl.create 7 in
+  let inputs =
+    Array.of_list
+      (List.map (fun (name, s) -> (name, idx s)) (Circuit.inputs circuit))
+  in
+  let input_slot name =
+    let rec go k =
+      if k >= Array.length inputs then assert false
+      else if String.equal (fst inputs.(k)) name then k
+      else go (k + 1)
+    in
+    go 0
+  in
+  let ops =
+    Array.map
+      (fun s ->
+        match Signal.prim s with
+        | Signal.Const _ -> O_const
+        | Signal.Input name -> O_input (input_slot name)
+        | Signal.Op2 (op, a, b) -> O_op2 (op, idx a, idx b)
+        | Signal.Not a -> O_not (idx a)
+        | Signal.Concat parts ->
+          O_concat (Array.of_list (List.map idx parts))
+        | Signal.Select { src; high; low } ->
+          O_select { src = idx src; high; low }
+        | Signal.Mux { select; cases } ->
+          O_mux
+            { select = idx select; cases = Array.of_list (List.map idx cases) }
+        | Signal.Reg _ | Signal.Mem_read_sync _ -> O_state
+        | Signal.Mem_read_async { memory; addr } ->
+          O_mem_read_async
+            {
+              mem_uid = Signal.memory_uid memory;
+              mem_width = Signal.memory_width memory;
+              addr = idx addr;
+            }
+        | Signal.Wire { driver = Some d } -> O_wire (idx d)
+        | Signal.Wire { driver = None } -> assert false)
+      signals
+  in
+  let edges = ref [] in
+  Array.iteri
+    (fun i s ->
+      match Signal.prim s with
+      | Signal.Reg { d; enable; clear; clear_to; _ } ->
+        edges :=
+          E_reg
+            {
+              index = i;
+              d = idx d;
+              enable = Option.map idx enable;
+              clear = Option.map idx clear;
+              clear_to;
+            }
+          :: !edges
+      | Signal.Mem_read_sync { memory; addr; enable } ->
+        edges :=
+          E_sync_read
+            {
+              index = i;
+              mem_uid = Signal.memory_uid memory;
+              mem_width = Signal.memory_width memory;
+              addr = idx addr;
+              enable = Option.map idx enable;
+            }
+          :: !edges
+      | _ -> ())
+    signals;
+  let write_ports = ref [] in
   List.iter
     (fun m ->
-      Hashtbl.replace mem_arrays (Signal.memory_uid m)
-        (Array.make (Signal.memory_size m) (Bits.zero (Signal.memory_width m))))
+      List.iter
+        (fun (enable, addr, data) ->
+          write_ports :=
+            {
+              wp_mem_uid = Signal.memory_uid m;
+              wp_enable = idx enable;
+              wp_addr = idx addr;
+              wp_data = idx data;
+            }
+            :: !write_ports)
+        (Signal.memory_write_ports m))
     (Circuit.memories circuit);
+  let mems =
+    Array.of_list
+      (List.map
+         (fun m ->
+           {
+             m_uid = Signal.memory_uid m;
+             m_size = Signal.memory_size m;
+             m_width = Signal.memory_width m;
+           })
+         (Circuit.memories circuit))
+  in
   let mem_readers = Hashtbl.create 7 in
   Array.iteri
     (fun i s ->
@@ -148,40 +294,66 @@ let compile circuit =
     Hashtbl.iter (fun u l -> Hashtbl.replace h u (Array.of_list l)) mem_readers;
     h
   in
+  let outputs =
+    List.map (fun (name, s) -> (name, idx s)) (Circuit.outputs circuit)
+  in
+  {
+    p_circuit = circuit;
+    p_signals = signals;
+    p_index_of_uid = index_of_uid;
+    p_fanout = fanout;
+    p_kinds = Array.map Signal.prim_kind signals;
+    p_buf_init = buf_init;
+    p_state_init = state_init;
+    p_ops = ops;
+    p_edges = Array.of_list (List.rev !edges);
+    p_write_ports = Array.of_list (List.rev !write_ports);
+    p_mems = mems;
+    p_mem_readers = mem_readers;
+    p_inputs = inputs;
+    p_outputs = outputs;
+  }
+
+let plan_circuit p = p.p_circuit
+
+let instantiate plan =
+  let n = Array.length plan.p_signals in
+  let width_of i = Signal.width plan.p_signals.(i) in
+  let bufs = Array.map Bits.copy plan.p_buf_init in
+  let state = Array.map (Option.map Bits.copy) plan.p_state_init in
+  let next_state = Array.map (Option.map Bits.copy) plan.p_state_init in
+  let mem_arrays = Hashtbl.create 7 in
+  Array.iter
+    (fun m ->
+      Hashtbl.replace mem_arrays m.m_uid
+        (Array.make m.m_size (Bits.zero m.m_width)))
+    plan.p_mems;
   let inputs =
-    Array.of_list
-      (List.map
-         (fun (name, s) ->
-           {
-             in_name = name;
-             in_index = Hashtbl.find index_of_uid (Signal.uid s);
-             in_ref = ref (Bits.zero (Signal.width s));
-           })
-         (Circuit.inputs circuit))
+    Array.map
+      (fun (name, i) ->
+        { in_name = name; in_index = i; in_ref = ref (Bits.zero (width_of i)) })
+      plan.p_inputs
   in
   let output_refs =
     List.map
-      (fun (name, s) ->
-        ( name,
-          Hashtbl.find index_of_uid (Signal.uid s),
-          ref (Bits.zero (Signal.width s)) ))
-      (Circuit.outputs circuit)
+      (fun (name, i) -> (name, i, ref (Bits.zero (width_of i))))
+      plan.p_outputs
   in
   let t =
     {
-      circuit;
-      signals;
+      plan;
+      signals = plan.p_signals;
       bufs;
       evals = Array.make n (fun () -> ());
-      fanout;
+      fanout = plan.p_fanout;
       dirty = Array.make n true;
       ndirty = n;
       forces = Array.make n None;
       state;
       next_state;
-      index_of_uid;
+      index_of_uid = plan.p_index_of_uid;
       mem_arrays;
-      mem_readers;
+      mem_readers = plan.p_mem_readers;
       inputs;
       output_refs;
       edge1 = [||];
@@ -190,28 +362,25 @@ let compile circuit =
       cycles = 0;
       settles = 0;
       node_evals = 0;
-      kinds = Array.map Signal.prim_kind signals;
+      kinds = plan.p_kinds;
       kind_evals = Array.make Signal.n_prim_kinds 0;
     }
   in
-  let buf_of s = bufs.(Hashtbl.find index_of_uid (Signal.uid s)) in
-  (* Evaluation closures: operands resolved to buffers once, here. *)
+  (* Evaluation closures: operand indices from the plan resolved to
+     this instance's buffers, once, here. *)
   Array.iteri
-    (fun i s ->
+    (fun i op ->
       let eval =
-        match Signal.prim s with
-        | Signal.Const _ ->
+        match op with
+        | O_const ->
           (* The buffer already holds the constant and never changes. *)
           fun () -> ()
-        | Signal.Input name ->
-          let inp =
-            Array.to_list inputs |> List.find (fun x -> x.in_name = name)
-          in
-          let r = inp.in_ref in
+        | O_input k ->
+          let r = inputs.(k).in_ref in
           fun () -> publish t i !r
-        | Signal.Op2 (op, a, b) ->
-          let a = buf_of a and b = buf_of b in
-          let dst = Bits.zero (Signal.width s) in
+        | O_op2 (op, a, b) ->
+          let a = bufs.(a) and b = bufs.(b) in
+          let dst = Bits.zero (width_of i) in
           let compute =
             match op with
             | Signal.Add -> fun () -> Bits.add_into ~dst a b
@@ -226,62 +395,60 @@ let compile circuit =
           fun () ->
             compute ();
             publish t i dst
-        | Signal.Not a ->
-          let a = buf_of a in
-          let dst = Bits.zero (Signal.width s) in
+        | O_not a ->
+          let a = bufs.(a) in
+          let dst = Bits.zero (width_of i) in
           fun () ->
             Bits.lognot_into ~dst a;
             publish t i dst
-        | Signal.Concat parts ->
-          let parts = Array.of_list (List.map buf_of parts) in
-          let dst = Bits.zero (Signal.width s) in
+        | O_concat parts ->
+          let parts = Array.map (fun j -> bufs.(j)) parts in
+          let dst = Bits.zero (width_of i) in
           fun () ->
             Bits.concat_msb_into ~dst parts;
             publish t i dst
-        | Signal.Select { src; high; low } ->
-          let src = buf_of src in
-          let dst = Bits.zero (Signal.width s) in
+        | O_select { src; high; low } ->
+          let src = bufs.(src) in
+          let dst = Bits.zero (width_of i) in
           fun () ->
             Bits.select_into ~dst src ~high ~low;
             publish t i dst
-        | Signal.Mux { select; cases } ->
-          let sel = buf_of select in
-          let cases = Array.of_list (List.map buf_of cases) in
+        | O_mux { select; cases } ->
+          let sel = bufs.(select) in
+          let cases = Array.map (fun j -> bufs.(j)) cases in
           let n_cases = Array.length cases in
           fun () -> publish t i cases.(Signal.mux_index ~n_cases sel)
-        | Signal.Reg _ | Signal.Mem_read_sync _ ->
+        | O_state ->
           let st = Option.get state.(i) in
           fun () -> publish t i st
-        | Signal.Mem_read_async { memory; addr } ->
-          let arr = Hashtbl.find mem_arrays (Signal.memory_uid memory) in
-          let addr = buf_of addr in
-          let z = Bits.zero (Signal.memory_width memory) in
+        | O_mem_read_async { mem_uid; mem_width; addr } ->
+          let arr = Hashtbl.find mem_arrays mem_uid in
+          let addr = bufs.(addr) in
+          let z = Bits.zero mem_width in
           fun () ->
             publish t i
               (match Bits.to_int_opt addr with
               | Some a when a < Array.length arr -> arr.(a)
               | Some _ | None -> z)
-        | Signal.Wire { driver = Some d } ->
-          let d = buf_of d in
+        | O_wire d ->
+          let d = bufs.(d) in
           fun () -> publish t i d
-        | Signal.Wire { driver = None } -> fun () -> assert false
       in
       t.evals.(i) <- eval)
-    signals;
+    plan.p_ops;
   (* Clock-edge closures. Phase 1 samples next state from settled
      pre-edge buffers (sync reads see pre-edge memory contents:
      read-first); phase 2 applies memory writes; phase 3 commits and
      marks nodes whose presented state actually changed. *)
   let edge1 = ref [] in
   let commits = ref [] in
-  Array.iteri
-    (fun i s ->
-      match Signal.prim s with
-      | Signal.Reg { d; enable; clear; clear_to; _ } ->
+  Array.iter
+    (function
+      | E_reg { index = i; d; enable; clear; clear_to } ->
         let st = Option.get state.(i) and nx = Option.get next_state.(i) in
-        let d = buf_of d in
-        let enable = Option.map buf_of enable in
-        let clear = Option.map buf_of clear in
+        let d = bufs.(d) in
+        let enable = Option.map (fun j -> bufs.(j)) enable in
+        let clear = Option.map (fun j -> bufs.(j)) clear in
         let sample () =
           let clear_active =
             match clear with Some c -> Bits.to_bool c | None -> false
@@ -296,12 +463,12 @@ let compile circuit =
         let commit () = if Bits.blit_changed ~src:nx ~dst:st then mark t i in
         edge1 := sample :: !edge1;
         commits := commit :: !commits
-      | Signal.Mem_read_sync { memory; addr; enable } ->
+      | E_sync_read { index = i; mem_uid; mem_width; addr; enable } ->
         let st = Option.get state.(i) and nx = Option.get next_state.(i) in
-        let arr = Hashtbl.find mem_arrays (Signal.memory_uid memory) in
-        let addr = buf_of addr in
-        let enable = Option.map buf_of enable in
-        let z = Bits.zero (Signal.memory_width memory) in
+        let arr = Hashtbl.find mem_arrays mem_uid in
+        let addr = bufs.(addr) in
+        let enable = Option.map (fun j -> bufs.(j)) enable in
+        let z = Bits.zero mem_width in
         let sample () =
           let enabled =
             match enable with Some e -> Bits.to_bool e | None -> true
@@ -318,42 +485,40 @@ let compile circuit =
         in
         let commit () = if Bits.blit_changed ~src:nx ~dst:st then mark t i in
         edge1 := sample :: !edge1;
-        commits := commit :: !commits
-      | _ -> ())
-    signals;
+        commits := commit :: !commits)
+    plan.p_edges;
   let writes = ref [] in
-  List.iter
-    (fun m ->
-      let arr = Hashtbl.find mem_arrays (Signal.memory_uid m) in
+  Array.iter
+    (fun { wp_mem_uid; wp_enable; wp_addr; wp_data } ->
+      let arr = Hashtbl.find mem_arrays wp_mem_uid in
       let readers =
-        match Hashtbl.find_opt mem_readers (Signal.memory_uid m) with
+        match Hashtbl.find_opt plan.p_mem_readers wp_mem_uid with
         | Some a -> a
         | None -> [||]
       in
-      List.iter
-        (fun (enable, addr, data) ->
-          let enable = buf_of enable
-          and addr = buf_of addr
-          and data = buf_of data in
-          let write () =
-            if Bits.to_bool enable then
-              match Bits.to_int_opt addr with
-              | Some a when a < Array.length arr ->
-                if not (Bits.equal arr.(a) data) then begin
-                  arr.(a) <- Bits.copy data;
-                  Array.iter (fun j -> mark t j) readers
-                end
-              | Some _ | None -> ()
-          in
-          writes := write :: !writes)
-        (Signal.memory_write_ports m))
-    (Circuit.memories circuit);
+      let enable = bufs.(wp_enable)
+      and addr = bufs.(wp_addr)
+      and data = bufs.(wp_data) in
+      let write () =
+        if Bits.to_bool enable then
+          match Bits.to_int_opt addr with
+          | Some a when a < Array.length arr ->
+            if not (Bits.equal arr.(a) data) then begin
+              arr.(a) <- Bits.copy data;
+              Array.iter (fun j -> mark t j) readers
+            end
+          | Some _ | None -> ()
+      in
+      writes := write :: !writes)
+    plan.p_write_ports;
   t.edge1 <- Array.of_list (List.rev !edge1);
   t.writes <- Array.of_list (List.rev !writes);
   t.commits <- Array.of_list (List.rev !commits);
   t
 
-let circuit t = t.circuit
+let compile circuit = instantiate (plan circuit)
+
+let circuit t = t.plan.p_circuit
 
 let index t s =
   match Hashtbl.find_opt t.index_of_uid (Signal.uid s) with
@@ -502,6 +667,13 @@ let reset t =
     (fun _ arr ->
       Array.fill arr 0 (Array.length arr) (Bits.zero (Bits.width arr.(0))))
     t.mem_arrays;
+  (* Input ports go back to zero so a reused instance starts from the
+     same state a freshly instantiated one would — without this, a
+     stale driven value would leak into the next work item. *)
+  Array.iter
+    (fun { in_index; in_ref; _ } ->
+      in_ref := Bits.zero (Signal.width t.signals.(in_index)))
+    t.inputs;
   Array.fill t.dirty 0 (Array.length t.dirty) true;
   t.ndirty <- Array.length t.dirty;
   t.cycles <- 0;

@@ -1,10 +1,16 @@
 (** Compiled, levelized simulation engine behind {!Cyclesim}.
 
-    [compile] runs a one-time pass over the scheduled netlist and
-    produces specialized per-node closures with operands resolved to
-    direct buffers, plus per-node dirty flags for activity-based
-    skipping: combinational cones whose register/memory/input sources
-    did not change since the last settle are not re-evaluated.
+    Compilation is split into an immutable {!plan} and cheap mutable
+    instances. [plan] runs the one-time pass over the scheduled netlist
+    — levelized schedule, per-node operation descriptors with operands
+    resolved to schedule indices, combinational fan-out, clock-edge and
+    memory descriptors. [instantiate] allocates the per-simulator
+    mutable state (value buffers, dirty flags, force slots,
+    register/memory state) and builds the specialized per-node closures
+    over those buffers. A plan holds no mutable simulation state, so
+    one plan may be shared read-only across domains, each of which
+    instantiates its own simulator; instances never alias a mutable
+    buffer. [compile] is [instantiate] of a fresh single-use plan.
 
     This module is the engine only; use {!Cyclesim} (the stable public
     API) unless you need engine internals such as the activity
@@ -13,7 +19,19 @@
     match the reference interpreter exactly; the differential test
     suite holds the two engines cycle-equivalent. *)
 
+type plan
+(** Immutable compiled artifact: schedule, operand wiring, fan-out,
+    edge and memory descriptors. Safe to share across domains. *)
+
 type t
+
+val plan : Circuit.t -> plan
+val plan_circuit : plan -> Circuit.t
+
+val instantiate : plan -> t
+(** Fresh simulator over [plan]: new value/state buffers, cleared
+    forces and dirty flags, zeroed inputs and memories. Equivalent to
+    [compile (plan_circuit plan)] but skips the netlist walk. *)
 
 val compile : Circuit.t -> t
 val circuit : t -> Circuit.t
@@ -23,7 +41,14 @@ val out_port : t -> string -> Bits.t ref
 
 val settle : t -> unit
 val cycle : t -> unit
+
 val reset : t -> unit
+(** Back to power-on state: forces cleared, registers to their init
+    values, sync-read state and memories zeroed, input ports driven
+    back to zero, everything marked dirty and re-settled. A reused
+    instance after [reset] is indistinguishable from a fresh
+    [instantiate] of the same plan. *)
+
 val cycle_count : t -> int
 
 val force : t -> Signal.t -> Bits.t -> unit

@@ -100,10 +100,18 @@ type engine_divergence = {
    engines and diff every output port after every cycle. Returns the
    first divergence, or None if the engines agree over the whole
    trace. Ports named in the assignment but absent from the circuit
-   are ignored (the convention for optimised-away inputs). *)
-let replay_both circuit trace =
-  let ref_sim = Cyclesim.create ~engine:Cyclesim.Reference circuit in
-  let cmp_sim = Cyclesim.create ~engine:Cyclesim.Compiled circuit in
+   are ignored (the convention for optimised-away inputs). [plans]
+   reuses already-compiled (reference, compiled) plans of the same
+   circuit — fresh instances, no recompilation. *)
+let replay_both ?plans circuit trace =
+  let ref_sim, cmp_sim =
+    match plans with
+    | Some (ref_plan, cmp_plan) ->
+      (Cyclesim.of_plan ref_plan, Cyclesim.of_plan cmp_plan)
+    | None ->
+      ( Cyclesim.create ~engine:Cyclesim.Reference circuit,
+        Cyclesim.create ~engine:Cyclesim.Compiled circuit )
+  in
   let in_ports = Circuit.inputs circuit in
   let result = ref None in
   (try

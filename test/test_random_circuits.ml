@@ -92,8 +92,13 @@ let test_emitters_on_random_circuits () =
    printed on divergence, so a failure reports the offending stimulus
    rather than just a seed. *)
 let lockstep ?(full_peek_every = 16) ~what ~cycles ~drive circuit =
-  let ref_sim = Cyclesim.create ~engine:Cyclesim.Reference circuit in
-  let cmp_sim = Cyclesim.create ~engine:Cyclesim.Compiled circuit in
+  (* Elaborate and compile once per engine; the lockstep simulators —
+     and the divergence replay below — are instances of these shared
+     plans, never a recompilation. *)
+  let ref_plan = Cyclesim.plan ~engine:Cyclesim.Reference circuit in
+  let cmp_plan = Cyclesim.plan ~engine:Cyclesim.Compiled circuit in
+  let ref_sim = Cyclesim.of_plan ref_plan in
+  let cmp_sim = Cyclesim.of_plan cmp_plan in
   let regs =
     List.filter
       (fun s ->
@@ -107,7 +112,10 @@ let lockstep ?(full_peek_every = 16) ~what ~cycles ~drive circuit =
       (fun msg ->
         let stimulus = Sim_util.trace_to_string (List.rev !trace) in
         let confirmed =
-          match Sim_util.replay_both circuit (List.rev !trace) with
+          match
+            Sim_util.replay_both ~plans:(ref_plan, cmp_plan) circuit
+              (List.rev !trace)
+          with
           | Some d ->
             Printf.sprintf
               "replay confirms: output %s diverges at cycle %d (%s vs %s)"
