@@ -650,6 +650,125 @@ let parscaling ?(smoke = false) ?(max_jobs = 4) ?(gate = false) () =
   Printf.printf "\n  wrote %s\n" path
 
 (* ---------------------------------------------------------------- *)
+(* §batchsim: the bit-parallel batched engine — fault-campaign        *)
+(* throughput at 1/4/16/64 lanes vs the scalar compiled engine, with  *)
+(* a byte-identity check on every row.                                *)
+(* ---------------------------------------------------------------- *)
+
+type batch_bench = {
+  bb_label : string;
+  bb_lanes : int option; (* None = scalar compiled engine *)
+  bb_seconds : float;
+  bb_identical : bool; (* summary bytes equal to the scalar run *)
+}
+
+(* Everything runs at jobs:1 so the rows measure lane batching alone,
+   not domain parallelism (§parscaling owns that axis; the two
+   compose). [gate] enforces the CI contract: the 64-lane row of a
+   64-fault campaign must be at least 8x faster than the scalar row.
+   When the scalar run is too fast to time against noise the gate
+   reports itself skipped rather than passing or failing on jitter. *)
+let batchsim ?(smoke = false) ?(gate = false) () =
+  banner
+    (Printf.sprintf "§batchsim — bit-parallel batched fault campaigns%s"
+       (if smoke then " (smoke)" else ""));
+  (* Best-of-3 wall time: a single run's ratio jitters across the
+     gate threshold on a loaded machine; the per-row minimum is the
+     least-noise estimate of the true cost. *)
+  let time f =
+    let once () =
+      let t0 = Unix.gettimeofday () in
+      let v = f () in
+      (v, max 1e-9 (Unix.gettimeofday () -. t0))
+    in
+    let v, s0 = once () in
+    let _, s1 = once () in
+    let _, s2 = once () in
+    (v, min s0 (min s1 s2))
+  in
+  (* 64 faults = one full batch at 64 lanes — the gate's own shape —
+     even in smoke; only the frame shrinks there. Frames are sized so
+     per-campaign setup (circuit build, plan compile, golden frame) is
+     amortised: below ~10x10 the constant term drags the 64-lane ratio
+     under the gate even though per-cycle throughput clears it. *)
+  let faults = 64 in
+  let fw = if smoke then 12 else 16 in
+  let campaign ?lanes () =
+    Faultsim.summary_to_json
+      (Faultsim.run_campaign ?lanes ~jobs:1 ~seed:7 ~faults ~frame_width:fw
+         ~frame_height:fw
+         ~build:(Faultsim.find_design "saa2vga_sram_pattern")
+         ~design:"saa2vga_sram_pattern" ())
+  in
+  let scalar_out, scalar_seconds = time (fun () -> campaign ()) in
+  let rows =
+    { bb_label = "scalar"; bb_lanes = None; bb_seconds = scalar_seconds;
+      bb_identical = true }
+    :: List.map
+         (fun lanes ->
+           let out, seconds = time (fun () -> campaign ~lanes ()) in
+           { bb_label = Printf.sprintf "lanes:%d" lanes;
+             bb_lanes = Some lanes; bb_seconds = seconds;
+             bb_identical = String.equal scalar_out out })
+         [ 1; 4; 16; 64 ]
+  in
+  let speedup r = scalar_seconds /. r.bb_seconds in
+  List.iter
+    (fun r ->
+      Printf.printf "  %-10s %8.3f s  speedup %5.2fx  %s\n" r.bb_label
+        r.bb_seconds (speedup r)
+        (if r.bb_identical then "byte-identical to scalar"
+         else "OUTPUT DIVERGED");
+      if not r.bb_identical then begin
+        Printf.eprintf
+          "batchsim: %s summary is not byte-identical to the scalar run\n"
+          r.bb_label;
+        exit 1
+      end)
+    rows;
+  let gate_skipped_noise = scalar_seconds < 0.05 in
+  if gate then
+    if gate_skipped_noise then
+      Printf.printf
+        "\n  speedup gate skipped: scalar run finished in %.3f s — too fast \
+         to time against noise\n"
+        scalar_seconds
+    else begin
+      let r64 = List.find (fun r -> r.bb_lanes = Some 64) rows in
+      if speedup r64 < 8.0 then begin
+        Printf.eprintf
+          "batchsim gate: 64 lanes is %.2fx vs scalar (need >= 8.0)\n"
+          (speedup r64);
+        exit 1
+      end;
+      Printf.printf "\n  speedup gate passed: 64 lanes is %.2fx vs scalar\n"
+        (speedup r64)
+    end;
+  let json =
+    let buf = Buffer.create 1024 in
+    let emit fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+    emit "{\n  \"bench\": \"batchsim\",\n  \"smoke\": %b,\n" smoke;
+    emit "  \"design\": \"saa2vga_sram_pattern\",\n";
+    emit "  \"faults\": %d,\n  \"frame\": \"%dx%d\",\n" faults fw fw;
+    emit "  \"entries\": [\n";
+    List.iteri
+      (fun i r ->
+        emit
+          "    {\"label\": %S, \"lanes\": %s, \"seconds\": %.6f, \
+           \"speedup_vs_scalar\": %.2f, \"identical_to_scalar\": %b}%s\n"
+          r.bb_label
+          (match r.bb_lanes with None -> "null" | Some l -> string_of_int l)
+          r.bb_seconds (speedup r) r.bb_identical
+          (if i = List.length rows - 1 then "" else ","))
+      rows;
+    emit "  ]\n}\n";
+    Buffer.contents buf
+  in
+  let path = "BENCH_batch.json" in
+  Hwpat_rtl.Util.write_file path json;
+  Printf.printf "\n  wrote %s\n" path
+
+(* ---------------------------------------------------------------- *)
 (* §prove: the formal proof battery — monitor BMC on the paper        *)
 (* designs, optimizer equivalence, pruned-container equivalence.      *)
 (* ---------------------------------------------------------------- *)
@@ -997,6 +1116,7 @@ let () =
       ("faultcoverage", faultcoverage);
       ("simthroughput", fun () -> sim_throughput ~smoke ());
       ("parscaling", fun () -> parscaling ~smoke ~max_jobs:!max_jobs ~gate ());
+      ("batchsim", fun () -> batchsim ~smoke ~gate ());
       ("prove", fun () -> prove_section ~smoke ~max_jobs:!max_jobs ());
       ("obsoverhead", fun () -> obsoverhead ~smoke ());
       ("resilience", fun () -> resilience ~smoke ());

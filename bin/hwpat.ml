@@ -518,8 +518,8 @@ let sweep_cmd =
 
 (* --- faultsim -------------------------------------------------------------- *)
 
-let faultsim design seed faults frame_size overhead jobs checkpoint resume
-    retries shard_timeout trace_path metrics_path =
+let faultsim design seed faults frame_size overhead batch lanes jobs checkpoint
+    resume retries shard_timeout trace_path metrics_path =
   if faults < 0 then begin
     prerr_endline "hwpat: --faults must be non-negative";
     exit 2
@@ -528,14 +528,22 @@ let faultsim design seed faults frame_size overhead jobs checkpoint resume
     prerr_endline "hwpat: --frame-size must be at least 1";
     exit 2
   end;
+  if lanes < 1 || lanes > Hwpat_rtl.Simbatch.lane_bits then begin
+    Printf.eprintf "hwpat: --lanes must be in 1..%d\n"
+      Hwpat_rtl.Simbatch.lane_bits;
+    exit 2
+  end;
+  (* The summary is byte-identical either way; batching only changes
+     how many simulations carry the campaign. *)
+  let lanes = if batch then Some lanes else None in
   let policy = resolve_resilience ~checkpoint ~resume ~retries ~shard_timeout in
   let build = Hwpat_core.Faultsim.find_design design in
   with_obs trace_path metrics_path @@ fun ~trace ~metrics ->
   with_sigint @@ fun cancel ->
   let summary =
-    Hwpat_core.Faultsim.run_campaign ~trace ~metrics ~jobs:(resolve_jobs jobs)
-      ~policy ~cancel ?checkpoint ~resume ~seed ~faults
-      ~frame_width:frame_size ~frame_height:frame_size ~build ~design ()
+    Hwpat_core.Faultsim.run_campaign ~trace ~metrics ?lanes
+      ~jobs:(resolve_jobs jobs) ~policy ~cancel ?checkpoint ~resume ~seed
+      ~faults ~frame_width:frame_size ~frame_height:frame_size ~build ~design ()
   in
   print_string (Hwpat_core.Faultsim.render summary);
   if overhead then begin
@@ -572,14 +580,34 @@ let faultsim_cmd =
       & info [ "overhead" ]
           ~doc:"Also report the resource cost of the protection hardware.")
   in
+  let batch =
+    Arg.(
+      value & flag
+      & info [ "batch" ]
+          ~doc:
+            "Run the campaign on the bit-parallel batched engine: up to \
+             $(b,--lanes) faults share one simulation, one per bit-lane of \
+             each machine word. The summary is byte-identical to the scalar \
+             engine's; only throughput changes. Composes with $(b,--jobs) \
+             and $(b,--checkpoint)/$(b,--resume).")
+  in
+  let lanes =
+    Arg.(
+      value
+      & opt int Hwpat_rtl.Simbatch.lane_bits
+      & info [ "lanes" ] ~docv:"N"
+          ~doc:
+            "Faults per batched simulation (1..64); only meaningful with \
+             $(b,--batch).")
+  in
   Cmd.v
     (Cmd.info "faultsim"
        ~doc:
          "Run a seeded fault-injection campaign with runtime monitors \
           attached; exits non-zero if any fault goes silent")
     Term.(
-      const faultsim $ design $ seed $ faults $ frame_size $ overhead
-      $ jobs_arg $ checkpoint_arg $ resume_arg $ retries_arg
+      const faultsim $ design $ seed $ faults $ frame_size $ overhead $ batch
+      $ lanes $ jobs_arg $ checkpoint_arg $ resume_arg $ retries_arg
       $ shard_timeout_arg $ trace_arg $ metrics_arg)
 
 (* --- prove ----------------------------------------------------------------- *)

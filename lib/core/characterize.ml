@@ -202,6 +202,71 @@ let point_label point =
     (if point.target = "sram" then Printf.sprintf "/ws%d" point.wait_states
      else "")
 
+(* Differential validation of the bit-parallel batched engine: one
+   batched simulation carries [lanes] independent random stimulus
+   streams over the point's measurement harness, and the naive
+   tree-walking interpreter replays every lane as the oracle — every
+   output port must agree on every cycle.  This is deliberately *not*
+   part of [measure]: the characterisation numbers come from the
+   scalar engine as before, and this check exists to pin the batched
+   engine to the trusted baseline on realistic container circuits
+   (memories, handshakes, wait states), not just random netlists. *)
+let selfcheck ?(lanes = Hwpat_rtl.Simbatch.lane_bits) ?(cycles = 32)
+    ?(seed = 1) point =
+  let circuit = harness point in
+  let rng = Random.State.make [| 0xba7c4; seed |] in
+  (* Uniform random vector of any width, 16 bits at a time. *)
+  let random_bits ~width =
+    let rec chunks w acc =
+      if w = 0 then Bits.concat_msb acc
+      else
+        let k = min w 16 in
+        chunks (w - k) (Bits.of_int ~width:k (Random.State.int rng (1 lsl k)) :: acc)
+    in
+    chunks width []
+  in
+  let plan = Cyclesim.plan circuit in
+  let batch = Cyclesim.instantiate_batched ~lanes plan in
+  let views = Array.init lanes (Cyclesim.lane_view batch) in
+  let oracles =
+    Array.init lanes (fun _ -> Cyclesim.create ~engine:Cyclesim.Reference circuit)
+  in
+  let inputs = List.map (fun (n, s) -> (n, Signal.width s)) (Circuit.inputs circuit) in
+  let outputs = List.map fst (Circuit.outputs circuit) in
+  let checks = ref 0 in
+  for cyc = 1 to cycles do
+    Array.iteri
+      (fun l view ->
+        List.iter
+          (fun (name, w) ->
+            let v = random_bits ~width:w in
+            Cyclesim.drive view name v;
+            Cyclesim.drive oracles.(l) name v)
+          inputs)
+      views;
+    (* One clock for the whole batch (any lane view advances all
+       lanes), one per scalar oracle. *)
+    Cyclesim.cycle views.(0);
+    Array.iter Cyclesim.cycle oracles;
+    Array.iteri
+      (fun l view ->
+        List.iter
+          (fun name ->
+            let got = !(Cyclesim.out_port view name) in
+            let want = !(Cyclesim.out_port oracles.(l) name) in
+            incr checks;
+            if not (Bits.equal got want) then
+              failwith
+                (Printf.sprintf
+                   "Characterize.selfcheck: %s lane %d cycle %d port %s: \
+                    batched %s, naive %s"
+                   (point_label point) l cyc name (Bits.to_string got)
+                   (Bits.to_string want)))
+          outputs)
+      views
+  done;
+  !checks
+
 let characterize ?check point =
   let circuit = harness point in
   let resources = Techmap.estimate circuit in

@@ -36,6 +36,20 @@ val measure :
     never ranked. [check] is called once per cycle — the supervision
     watchdog hook. *)
 
+val selfcheck : ?lanes:int -> ?cycles:int -> ?seed:int -> point -> int
+(** Differential validation of the bit-parallel batched engine
+    ({!Hwpat_rtl.Simbatch}) on this point's measurement harness: one
+    batched simulation carries [lanes] (default 64) independent random
+    stimulus streams, and the naive tree-walking interpreter replays
+    every lane as the oracle.  Every output port of every lane is
+    compared on every one of [cycles] (default 32) clock edges; the
+    stimulus is deterministic in [seed].  Returns the number of
+    per-lane port comparisons performed; raises [Failure] naming the
+    point, lane, cycle and port on the first divergence.  The
+    characterisation numbers themselves ({!measure}, {!sweep}) still
+    come from the scalar engine — this check pins the batched engine
+    to the trusted baseline on realistic container circuits. *)
+
 val characterize :
   ?check:(unit -> unit) -> point -> Hwpat_synthesis.Design_space.candidate
 (** Builds the container, synthesises a measurement harness, runs a

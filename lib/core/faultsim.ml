@@ -96,10 +96,10 @@ let run_once ?engine ?sim ?(events = []) ?(check = fun () -> ()) ~budget ~frame
 
 (* --- Campaigns ----------------------------------------------------------- *)
 
-let classify ~reference ~expected (collected, cycles, monitor, _, err_flag)
+let classify ~reference ~expected ~collected ~cycles ~first_violation ~err_flag
     ~description =
   let completed = List.length collected = expected in
-  let detected = (not (Monitor.ok monitor)) || err_flag in
+  let detected = first_violation <> None || err_flag in
   let outcome =
     if detected then Detected
     else if completed && collected = reference then Masked
@@ -113,7 +113,7 @@ let classify ~reference ~expected (collected, cycles, monitor, _, err_flag)
     detail =
       Option.map
         (fun v -> Format.asprintf "%a" Monitor.pp_violation v)
-        (Monitor.first_violation monitor);
+        first_violation;
     err_flag;
     completed;
     cycles;
@@ -132,10 +132,17 @@ let classify ~reference ~expected (collected, cycles, monitor, _, err_flag)
    reset state, so the summary is bit-identical for any [jobs] and any
    work-stealing schedule. *)
 let run_campaign ?(trace = Hwpat_obs.Trace.null)
-    ?(metrics = Hwpat_obs.Metrics.null) ?engine ?jobs ?policy ?cancel
+    ?(metrics = Hwpat_obs.Metrics.null) ?engine ?lanes ?jobs ?policy ?cancel
     ?checkpoint ?(resume = false) ?(seed = 1) ?(faults = 20)
     ?(frame_width = 8) ?(frame_height = 8) ~build ~design () =
   let module Trace = Hwpat_obs.Trace in
+  (match lanes with
+  | Some l when l < 1 || l > Simbatch.lane_bits ->
+    invalid_arg
+      (Printf.sprintf "Faultsim: lanes must be in 1..%d" Simbatch.lane_bits)
+  | Some _ when engine = Some Cyclesim.Reference ->
+    invalid_arg "Faultsim: the reference engine has no batched form"
+  | _ -> ());
   Trace.span trace "faultsim"
     ~args:[ ("design", Trace.String design); ("faults", Trace.Int faults) ]
   @@ fun () ->
@@ -207,42 +214,213 @@ let run_campaign ?(trace = Hwpat_obs.Trace.null)
             (outcome_of_name name))
     with Scanf.Scan_failure _ | Failure _ | End_of_file -> None
   in
-  let run_shard sim ctx k =
-    (* One span per fault, recorded on the worker's own domain lane, so
-       the trace shows worker utilization and straggler shards. The
-       worker's simulator instance is reused; run_once resets it. *)
-    Trace.span trace (Printf.sprintf "fault#%d" k) @@ fun () ->
-    let r =
-      classify ~reference ~expected
-        (run_once ~sim ~events:[ events.(k) ]
-           ~check:(fun () -> Supervise.check ctx)
-           ~budget ~frame circuit)
-        ~description:descriptions.(k)
+  let unfinished k reason =
+    {
+      description = descriptions.(k);
+      outcome = Unfinished;
+      detail = Some reason;
+      err_flag = false;
+      completed = false;
+      cycles = 0;
+    }
+  in
+  let scalar_results () =
+    let run_shard sim ctx k =
+      (* One span per fault, recorded on the worker's own domain lane, so
+         the trace shows worker utilization and straggler shards. The
+         worker's simulator instance is reused; run_once resets it. *)
+      Trace.span trace (Printf.sprintf "fault#%d" k) @@ fun () ->
+      let collected, cycles, monitor, _, err_flag =
+        run_once ~sim ~events:[ events.(k) ]
+          ~check:(fun () -> Supervise.check ctx)
+          ~budget ~frame circuit
+      in
+      let r =
+        classify ~reference ~expected ~collected ~cycles
+          ~first_violation:(Monitor.first_violation monitor)
+          ~err_flag ~description:descriptions.(k)
+      in
+      Trace.annotate trace "outcome" (Trace.String (outcome_name r.outcome));
+      r
     in
-    Trace.annotate trace "outcome" (Trace.String (outcome_name r.outcome));
-    r
-  in
-  let outcomes =
-    Supervise.run_shards_local ?jobs ?policy ~metrics ?cancel ?journal ~key
-      ~encode ~decode
-      ~local:(fun () -> Cyclesim.of_plan plan)
-      (Array.length events) run_shard
-  in
-  let results =
+    let outcomes =
+      Supervise.run_shards_local ?jobs ?policy ~metrics ?cancel ?journal ~key
+        ~encode ~decode
+        ~local:(fun () -> Cyclesim.of_plan plan)
+        (Array.length events) run_shard
+    in
     Array.to_list
       (Array.mapi
          (fun k -> function
            | Supervise.Done r -> r
            | Supervise.Unfinished { reason; attempts = _ } ->
-             {
-               description = descriptions.(k);
-               outcome = Unfinished;
-               detail = Some reason;
-               err_flag = false;
-               completed = false;
-               cycles = 0;
-             })
+             unfinished k reason)
          outcomes)
+  in
+  (* Batched path: faults are grouped [lanes] at a time into one
+     bit-parallel simulation (ceil(pending/lanes) simulations instead
+     of one per fault). Each lane gets its own fresh monitor, injector,
+     source and sink over a lane view; the per-lane driver loop mirrors
+     [run_once]'s exactly — per active lane: drive source, drive sink,
+     step injector, then ONE global batch cycle, then sample monitor
+     and observe, with the lane's result latched the moment its own
+     while-condition (all pixels collected, or budget exhausted) goes
+     false. All lanes of a batch start at cycle 0 together, so each
+     lane's trajectory and classification are bit-identical to its
+     scalar run, and the demultiplexed summary is byte-identical to the
+     scalar engine's at any lane count and any job count. Journaling is
+     manual here (batch membership depends on which faults were already
+     journaled, so batches are not stable resume keys; individual
+     faults are): journaled faults are decoded up front and only
+     pending ones batched, and each completed batch records its faults
+     under the same per-fault keys the scalar path uses — scalar and
+     batched journals interoperate. *)
+  let batched_results lanes =
+    let n = Array.length events in
+    let merged = Array.make n None in
+    (match journal with
+    | Some j ->
+      for k = 0 to n - 1 do
+        match Journal.find j (key k) with
+        | Some data ->
+          (match decode k data with
+          | Some r ->
+            merged.(k) <- Some r;
+            Hwpat_obs.Metrics.incr metrics "supervise.skipped"
+          | None -> ())
+        | None -> ()
+      done
+    | None -> ());
+    let pending =
+      List.filter (fun k -> merged.(k) = None) (List.init n Fun.id)
+    in
+    let batches =
+      let rec chunk = function
+        | [] -> []
+        | l ->
+          let rec take i acc = function
+            | x :: rest when i < lanes -> take (i + 1) (x :: acc) rest
+            | rest -> (List.rev acc, rest)
+          in
+          let b, rest = take 0 [] l in
+          Array.of_list b :: chunk rest
+      in
+      Array.of_list (chunk pending)
+    in
+    let run_batch batch ctx bi =
+      let faults = batches.(bi) in
+      let nb = Array.length faults in
+      Trace.span trace (Printf.sprintf "batch#%d" bi)
+        ~args:[ ("faults", Trace.Int nb) ]
+      @@ fun () ->
+      Simbatch.reset batch;
+      (* The harness is plane-batched end to end: the monitor, source
+         and sink each touch every lane with a handful of word
+         operations per cycle, so the per-cycle cost no longer scales
+         with the lane count. Only fault injection stays per-lane
+         (each lane runs a different fault), through a lane view. *)
+      let bmon = Monitor.Batch.create batch in
+      ignore (Monitor.Batch.add_auto bmon);
+      let injectors =
+        Array.init nb (fun l ->
+            let inj = Fault.create (Cyclesim.lane_view batch l) in
+            let e = events.(faults.(l)) in
+            Fault.schedule inj ~at:e.Fault.at e.Fault.fault;
+            inj)
+      in
+      let source = Video_source.Batch.create batch frame in
+      let sink = Vga_sink.Batch.create batch () in
+      let err_node =
+        if has_output circuit "err" then
+          Some
+            ( Simbatch.out_node batch "err",
+              Signal.width (Circuit.find_output circuit "err") )
+        else None
+      in
+      let cycles = Array.make nb 0 in
+      let active = Array.make nb true in
+      let err = Array.make nb false in
+      let active_mask =
+        ref (if nb >= 64 then -1L else Int64.sub (Int64.shift_left 1L nb) 1L)
+      in
+      let n_active = ref nb in
+      let gcycle = ref 0 in
+      while !n_active > 0 do
+        Supervise.check ctx;
+        Video_source.Batch.drive source ~mask:!active_mask;
+        Vga_sink.Batch.drive sink ~mask:!active_mask;
+        for l = 0 to nb - 1 do
+          if active.(l) then Fault.step injectors.(l)
+        done;
+        Simbatch.cycle batch;
+        Monitor.Batch.sample bmon ~active:!active_mask ~cycle:!gcycle;
+        Video_source.Batch.observe source ~mask:!active_mask;
+        Vga_sink.Batch.observe sink ~mask:!active_mask;
+        incr gcycle;
+        for l = 0 to nb - 1 do
+          if active.(l) then begin
+            cycles.(l) <- cycles.(l) + 1;
+            if
+              not (Vga_sink.Batch.count sink ~lane:l < expected
+                  && cycles.(l) < budget)
+            then begin
+              active.(l) <- false;
+              active_mask :=
+                Int64.logand !active_mask
+                  (Int64.lognot (Int64.shift_left 1L l));
+              decr n_active;
+              err.(l) <-
+                (match err_node with
+                | Some (i, w) ->
+                  let any = ref 0L in
+                  for b = 0 to w - 1 do
+                    any :=
+                      Int64.logor !any (Simbatch.read_plane batch i ~plane:b)
+                  done;
+                  Int64.logand (Int64.shift_right_logical !any l) 1L = 1L
+                | None -> false)
+            end
+          end
+        done
+      done;
+      Array.init nb (fun l ->
+          let k = faults.(l) in
+          let r =
+            classify ~reference ~expected
+              ~collected:(Vga_sink.Batch.collected sink ~lane:l)
+              ~cycles:cycles.(l)
+              ~first_violation:(Monitor.Batch.first_violation bmon ~lane:l)
+              ~err_flag:err.(l) ~description:descriptions.(k)
+          in
+          (match journal with
+          | Some j -> Journal.record j ~key:(key k) (encode r)
+          | None -> ());
+          (k, r))
+    in
+    let outcomes =
+      Supervise.run_shards_local ?jobs ?policy ~metrics ?cancel
+        ~key:(fun bi ->
+          let faults = batches.(bi) in
+          Printf.sprintf "batch:%d-%d" faults.(0)
+            faults.(Array.length faults - 1))
+        ~local:(fun () -> Cyclesim.instantiate_batched ~lanes plan)
+        (Array.length batches) run_batch
+    in
+    Array.iteri
+      (fun bi -> function
+        | Supervise.Done pairs ->
+          Array.iter (fun (k, r) -> merged.(k) <- Some r) pairs
+        | Supervise.Unfinished { reason; attempts = _ } ->
+          Array.iter
+            (fun k -> merged.(k) <- Some (unfinished k reason))
+            batches.(bi))
+      outcomes;
+    Array.to_list (Array.map Option.get merged)
+  in
+  let results =
+    match lanes with
+    | None -> scalar_results ()
+    | Some lanes -> batched_results lanes
   in
   List.iter
     (fun r ->

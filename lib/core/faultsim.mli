@@ -75,6 +75,7 @@ val run_campaign :
   ?trace:Hwpat_obs.Trace.t ->
   ?metrics:Hwpat_obs.Metrics.t ->
   ?engine:Cyclesim.engine ->
+  ?lanes:int ->
   ?jobs:int ->
   ?policy:Supervise.policy ->
   ?cancel:Parallel.token ->
@@ -109,7 +110,21 @@ val run_campaign :
     (design, seed, fault count, frame size — enforced, see
     {!Journal.Config_mismatch}) are skipped and their recorded results
     replayed, so an interrupted-then-resumed campaign renders
-    byte-identically to an uninterrupted one. *)
+    byte-identically to an uninterrupted one.
+
+    [lanes] switches to the bit-parallel batched engine ({!Simbatch}):
+    pending faults are grouped [lanes] (1..64) at a time into one
+    simulation whose machine words carry one fault per bit-lane, so a
+    campaign of N faults runs ceil(N/lanes) simulations. Each lane's
+    trajectory is bit-identical to its scalar run and classifications
+    are demultiplexed per lane, so the summary stays byte-identical to
+    the scalar engine's at any lane count and any [jobs]; lane batching
+    composes with [jobs] (each worker domain runs whole batches) and
+    with [checkpoint]/[resume] (faults journal individually under the
+    same keys, so scalar and batched journals interoperate — the
+    campaign configuration string does not include the engine or lane
+    count). Requires the compiled engine (the default); raises
+    [Invalid_argument] combined with [engine = Reference]. *)
 
 val designs : (string * (unit -> Circuit.t)) list
 (** Named builds for the CLI and benchmark harness: the Table 3

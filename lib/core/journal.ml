@@ -29,6 +29,7 @@ type t = {
   mutex : Mutex.t;
   completed : (string, string) Hashtbl.t;
   mutable resumed : int;  (* entries loaded from disk at open time *)
+  note : string option;  (* anomaly worth telling the user, e.g. empty file *)
 }
 
 exception Config_mismatch of { path : string; expected : string; found : string }
@@ -68,6 +69,7 @@ let load_entries ic =
 let start ~path ~config ~resume =
   let completed = Hashtbl.create 97 in
   let resumed = ref 0 in
+  let note = ref None in
   if resume && Sys.file_exists path then begin
     let ic = open_in path in
     Fun.protect ~finally:(fun () -> close_in_noerr ic) @@ fun () ->
@@ -80,7 +82,16 @@ let start ~path ~config ~resume =
         failwith
           (Printf.sprintf "checkpoint %s is not a hwpat checkpoint journal"
              path))
-    | exception End_of_file -> () (* empty file: treat as fresh *));
+    | exception End_of_file ->
+      (* Zero-length file: a crash landed before even the header was
+         flushed. There is nothing to replay and nothing inconsistent —
+         behave exactly like a fresh run, but say so out loud rather
+         than silently discarding the --resume request. *)
+      let msg =
+        Printf.sprintf "checkpoint %s was empty; starting a fresh run" path
+      in
+      note := Some msg;
+      Printf.eprintf "hwpat: note: %s\n%!" msg);
     List.iter
       (fun e ->
         if not (Hashtbl.mem completed e.e_key) then incr resumed;
@@ -106,10 +117,12 @@ let start ~path ~config ~resume =
     mutex = Mutex.create ();
     completed;
     resumed = !resumed;
+    note = !note;
   }
 
 let find t key = Hashtbl.find_opt t.completed key
 let resumed t = t.resumed
+let note t = t.note
 let completed t = Hashtbl.length t.completed
 let path t = t.path
 

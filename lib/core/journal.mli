@@ -48,6 +48,14 @@ val resumed : t -> int
 (** Number of distinct completed shards loaded from disk at {!start}
     time (0 unless resuming). *)
 
+val note : t -> string option
+(** A human-readable anomaly worth surfacing, or [None]. Currently set
+    when [resume = true] found a zero-length checkpoint file: that is a
+    crash before even the header flushed, so the run proceeds exactly
+    like a fresh one (no {!Config_mismatch} — there is no config to
+    mismatch), and the note says so. Also echoed to stderr at {!start}
+    time so CLI users see it. *)
+
 val completed : t -> int
 (** Total distinct completed shards known (loaded + recorded). *)
 

@@ -1,9 +1,16 @@
 let buckets = 64
 
+(* Bucket 0 is the explicit zero-and-below bucket: log2 is undefined
+   there, and negative observations (clock skew, subtraction underflow
+   in a caller) must not index the array with a negative bucket or get
+   scattered across the positive range. Everything else lands in
+   [floor(log2 v) + 1], so bucket [k >= 1] covers [2^(k-1) .. 2^k - 1]
+   and the boundaries are exact: bucket_of 1 = 1, bucket_of 2 = 2,
+   bucket_of 3 = 2, bucket_of 4 = 3 — locked in by the regression
+   tests in test_obs.ml. *)
 let bucket_of v =
   if v <= 0 then 0
   else
-    (* floor(log2 v) + 1, clamped into the last bucket *)
     let rec go v k = if v = 0 then k else go (v lsr 1) (k + 1) in
     min (buckets - 1) (go v 0)
 

@@ -18,7 +18,11 @@ val buckets : int
 (** Number of histogram buckets (observations clamp into the last). *)
 
 val bucket_of : int -> int
-(** The bucket index an observation falls in; total in [0..buckets-1]. *)
+(** The bucket index an observation falls in; total in [0..buckets-1].
+    The zero/negative boundary is part of the contract: every [v <= 0]
+    (zero durations, negative deltas from clock skew or underflowing
+    subtraction) lands in bucket 0, never a negative index; [v = 1] is
+    the first value in bucket 1. *)
 
 val null : t
 val create : unit -> t

@@ -416,6 +416,24 @@ let concat_msb_into ~dst parts =
       or_blit_at dst ~at:!pos p)
     parts
 
+(* --- Limb (bit-plane) access -------------------------------------------- *)
+
+(* The batched simulator treats a width-W signal over 64 lanes as a
+   width-(W*64) vector whose limb [b] is the bit-plane of bit [b]
+   across all lanes. These accessors expose the raw limbs for the
+   plane-serial kernels (ripple add, comparisons, mux masks). *)
+
+let limb_count t = Array.length t.data
+let get_limb t i = t.data.(i)
+
+let set_limb t i v =
+  t.data.(i) <-
+    (if i = Array.length t.data - 1 then Int64.logand v (top_mask t.width) else v)
+
+let unsafe_get_limb t i = Array.unsafe_get t.data i
+let unsafe_set_limb t i v = Array.unsafe_set t.data i v
+let unsafe_data t = t.data
+
 let reduce_or t = of_bool (to_bool t)
 let reduce_and t = of_bool (equal t (ones t.width))
 

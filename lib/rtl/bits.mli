@@ -100,10 +100,21 @@ val logxor : t -> t -> t
 val lognot : t -> t
 
 val sll : t -> int -> t
-(** Shift left logical by a constant; result width unchanged. *)
+(** Shift left logical by a constant; result width unchanged.
+
+    Shift amounts saturate: for [n >= width] the result is all zeros
+    ([sll]/[srl]) or all sign bits ([sra]), exactly as if the shift had
+    been applied one bit at a time. Negative shift amounts raise
+    [Invalid_argument]. The simulation engines and the HDL back-ends
+    share these semantics (see the shift consistency test in
+    test/test_backends.ml). *)
 
 val srl : t -> int -> t
+(** Shift right logical; zero-fill, saturating like {!sll}. *)
+
 val sra : t -> int -> t
+(** Shift right arithmetic; sign-fill, [n >= width] yields a vector of
+    copies of the original sign bit. *)
 
 (** {1 Comparison (unsigned; result is a 1-bit vector)} *)
 
@@ -158,6 +169,42 @@ val select_into : dst:t -> t -> high:int -> low:int -> unit
 val concat_msb_into : dst:t -> t array -> unit
 (** Parts are given MSB first, as in {!concat_msb}; [dst] must have the
     summed width and must not alias any part. *)
+
+(** {1 Limb (bit-plane) access}
+
+    Raw access to the underlying 64-bit limbs, LSB limb first. The
+    batched simulator lays a width-[W] signal over 64 lanes out as a
+    width-[W*64] vector whose limb [b] is the bit-plane of bit [b]
+    across all lanes; its plane-serial kernels (ripple add, compare,
+    mux masks) work limb-at-a-time through these. *)
+
+val limb_count : t -> int
+(** Number of 64-bit limbs backing the vector. *)
+
+val get_limb : t -> int -> int64
+(** [get_limb t i] is limb [i] (bits [64*i .. 64*i+63], zero-padded in
+    the top limb). *)
+
+val set_limb : t -> int -> int64 -> unit
+(** [set_limb t i v] overwrites limb [i]; bits beyond [width] in the
+    top limb are masked off to keep the vector normalized. *)
+
+val unsafe_get_limb : t -> int -> int64
+(** [get_limb] without the bounds check. The caller must guarantee
+    [0 <= i < limb_count t]. *)
+
+val unsafe_set_limb : t -> int -> int64 -> unit
+(** [set_limb] without the bounds check or the top-limb masking. Only
+    sound when [0 <= i < limb_count t] {e and} the width is a whole
+    number of limbs ([width mod 64 = 0]), as every batched simulation
+    buffer is — an unnormalized top limb breaks [equal]/[compare]. *)
+
+val unsafe_data : t -> int64 array
+(** The backing limb array itself, aliased, not copied. For inner-loop
+    kernels (the batched simulation engine) that cannot afford a call
+    per limb access. Writing through it bypasses normalization: only
+    sound under the same whole-limb-width condition as
+    {!unsafe_set_limb}. *)
 
 (** {1 Reduction} *)
 

@@ -283,7 +283,14 @@ module Naive = struct
 end
 
 type engine = Reference | Compiled
-type t = Naive of Naive.t | Comp of Simcompile.t
+
+(* [Lane] is one lane of a batched simulator presented through the
+   scalar API: campaign code written against [t] (monitors, fault
+   injectors, stimulus drivers) runs unchanged against a lane. The one
+   global operation is the clock — [cycle]/[settle]/[reset] on a lane
+   view advance the WHOLE batch, so batch drivers must clock once per
+   step for all lanes, not once per lane. *)
+type t = Naive of Naive.t | Comp of Simcompile.t | Lane of Simbatch.t * int
 type activity = {
   settles : int;
   node_evals : int;
@@ -315,26 +322,41 @@ let plan_circuit = function
   | Naive_plan c -> c
   | Comp_plan p -> Simcompile.plan_circuit p
 
+let instantiate_batched ?lanes = function
+  | Comp_plan p -> Simbatch.instantiate ?lanes p
+  | Naive_plan _ ->
+    invalid_arg "Cyclesim.instantiate_batched: only compiled plans can be batched"
+
+let lane_view b lane =
+  if lane < 0 || lane >= Simbatch.lanes b then
+    invalid_arg
+      (Printf.sprintf "Cyclesim.lane_view: lane %d out of range (0..%d)" lane
+         (Simbatch.lanes b - 1));
+  Lane (b, lane)
+
 let create ?(engine = Compiled) circuit =
   match engine with
   | Reference -> Naive (Naive.create circuit)
   | Compiled -> Comp (Simcompile.compile circuit)
 
-let engine = function Naive _ -> Reference | Comp _ -> Compiled
+let engine = function Naive _ -> Reference | Comp _ | Lane _ -> Compiled
 
 let circuit = function
   | Naive n -> Naive.circuit n
   | Comp c -> Simcompile.circuit c
+  | Lane (b, _) -> Simbatch.circuit b
 
 let in_port t name =
   match t with
   | Naive n -> Naive.in_port n name
   | Comp c -> Simcompile.in_port c name
+  | Lane (b, lane) -> Simbatch.in_port b ~lane name
 
 let out_port t name =
   match t with
   | Naive n -> Naive.out_port n name
   | Comp c -> Simcompile.out_port c name
+  | Lane (b, lane) -> Simbatch.out_port b ~lane name
 
 let drive t name b =
   let r = in_port t name in
@@ -345,50 +367,72 @@ let drive t name b =
          (Bits.width b));
   r := b
 
-let cycle = function Naive n -> Naive.cycle n | Comp c -> Simcompile.cycle c
-let settle = function Naive n -> Naive.settle n | Comp c -> Simcompile.settle c
-let reset = function Naive n -> Naive.reset n | Comp c -> Simcompile.reset c
+let cycle = function
+  | Naive n -> Naive.cycle n
+  | Comp c -> Simcompile.cycle c
+  | Lane (b, _) -> Simbatch.cycle b
+
+let settle = function
+  | Naive n -> Naive.settle n
+  | Comp c -> Simcompile.settle c
+  | Lane (b, _) -> Simbatch.settle b
+
+let reset = function
+  | Naive n -> Naive.reset n
+  | Comp c -> Simcompile.reset c
+  | Lane (b, _) -> Simbatch.reset b
 
 let force t s b =
   match t with
   | Naive n -> Naive.force n s b
   | Comp c -> Simcompile.force c s b
+  | Lane (bt, lane) -> Simbatch.force bt ~lane s b
 
 let release t s =
   match t with
   | Naive n -> Naive.release n s
   | Comp c -> Simcompile.release c s
+  | Lane (b, lane) -> Simbatch.release b ~lane s
 
 let release_all = function
   | Naive n -> Naive.release_all n
   | Comp c -> Simcompile.release_all c
+  | Lane (b, lane) -> Simbatch.release_all b ~lane
 
 let forced t s =
   match t with
   | Naive n -> Naive.forced n s
   | Comp c -> Simcompile.forced c s
+  | Lane (b, lane) -> Simbatch.forced b ~lane s
 
 let peek_state t s =
   match t with
   | Naive n -> Naive.peek_state n s
   | Comp c -> Simcompile.peek_state c s
+  | Lane (b, lane) -> Simbatch.peek_state b ~lane s
 
 let poke_state t s b =
   match t with
   | Naive n -> Naive.poke_state n s b
   | Comp c -> Simcompile.poke_state c s b
+  | Lane (bt, lane) -> Simbatch.poke_state bt ~lane s b
 
 let cycle_count = function
   | Naive n -> Naive.cycle_count n
   | Comp c -> Simcompile.cycle_count c
+  | Lane (b, _) -> Simbatch.cycle_count b
 
 let peek t s =
-  match t with Naive n -> Naive.peek n s | Comp c -> Simcompile.peek c s
+  match t with
+  | Naive n -> Naive.peek n s
+  | Comp c -> Simcompile.peek c s
+  | Lane (b, lane) -> Simbatch.peek b ~lane s
 
 let memory_contents t m =
   match t with
   | Naive n -> Naive.memory_contents n m
   | Comp c -> Simcompile.memory_contents c m
+  | Lane (b, lane) -> Simbatch.memory_contents b ~lane m
 
 let named_kind_evals counts =
   List.filter
@@ -417,4 +461,13 @@ let activity = function
       node_evals = Simcompile.node_evals c;
       total_nodes = Simcompile.total_nodes c;
       kind_evals = named_kind_evals (Simcompile.kind_evals c);
+    }
+  | Lane (b, _) ->
+    (* Counters are global to the batch: one node evaluation covers
+       every lane at once. *)
+    {
+      settles = Simbatch.settles b;
+      node_evals = Simbatch.node_evals b;
+      total_nodes = Simbatch.total_nodes b;
+      kind_evals = named_kind_evals (Simbatch.kind_evals b);
     }

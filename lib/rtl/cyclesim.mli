@@ -49,6 +49,31 @@ val of_plan : plan -> t
 val plan_engine : plan -> engine
 val plan_circuit : plan -> Circuit.t
 
+(** {1 Batched (bit-parallel) simulation}
+
+    {!Simbatch} packs up to 64 independent instances of the circuit
+    into the bit-lanes of each machine word and evaluates them
+    together. [instantiate_batched] builds a batch from a shared
+    compiled plan; [lane_view] presents one lane through the scalar
+    [t] API so monitors, fault injectors and stimulus drivers run
+    unchanged per lane.
+
+    The one global operation is the clock: {!cycle}, {!settle} and
+    {!reset} on a lane view advance the {e whole batch}. A batch
+    driver must therefore clock once per time step for all lanes
+    (e.g. via any single lane view), never once per lane. Everything
+    else on a lane view — ports, [peek]/[poke], [force]/[release],
+    [memory_contents] — touches only that lane. *)
+
+val instantiate_batched : ?lanes:int -> plan -> Simbatch.t
+(** Fresh batched simulator over a compiled plan. [lanes] defaults to
+    {!Simbatch.lane_bits} (64) and must be within that range. Raises
+    [Invalid_argument] on a [Reference] plan: only the compiled engine
+    has a batched form. *)
+
+val lane_view : Simbatch.t -> int -> t
+(** Scalar view of one lane. Raises on an out-of-range lane. *)
+
 val circuit : t -> Circuit.t
 
 val in_port : t -> string -> Bits.t ref

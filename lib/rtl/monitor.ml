@@ -144,40 +144,51 @@ let strip_suffix ~suffix name =
     Some (String.sub name 0 (nl - sl))
   else None
 
-(* Attach monitors by scanning the circuit's signal names: every
-   [X_req]/[X_ack] pair gets a handshake checker and every
-   [X_count]/[X_empty] pair (plus [X_full] when present) gets the
-   occupancy invariants. Returns how many monitors were attached. *)
-let add_auto t =
-  let tbl = signals_by_name (Cyclesim.circuit t.sim) in
+(* The naming-convention scan, shared between the scalar and batched
+   monitors: every [X_req]/[X_ack] pair is a handshake, every
+   [X_count]/[X_empty] pair (plus [X_full] when present) a FIFO. The
+   name sort fixes attach order, so scalar and batched runs check in
+   the same sequence. *)
+let auto_specs circuit =
+  let tbl = signals_by_name circuit in
   let names = Hashtbl.fold (fun n _ acc -> n :: acc) tbl [] in
   let names = List.sort_uniq compare names in
-  let attached = ref 0 in
+  let handshakes =
+    List.filter_map
+      (fun n ->
+        match strip_suffix ~suffix:"_req" n with
+        | Some base ->
+          Option.map
+            (fun ack -> (base, Hashtbl.find tbl n, ack))
+            (Hashtbl.find_opt tbl (base ^ "_ack"))
+        | None -> None)
+      names
+  in
+  let fifos =
+    List.filter_map
+      (fun n ->
+        match strip_suffix ~suffix:"_count" n with
+        | Some base ->
+          Option.map
+            (fun empty ->
+              (base, Hashtbl.find tbl n, empty, Hashtbl.find_opt tbl (base ^ "_full")))
+            (Hashtbl.find_opt tbl (base ^ "_empty"))
+        | None -> None)
+      names
+  in
+  (handshakes, fifos)
+
+(* Attach monitors by scanning the circuit's signal names. Returns how
+   many monitors were attached. *)
+let add_auto t =
+  let handshakes, fifos = auto_specs (Cyclesim.circuit t.sim) in
   List.iter
-    (fun n ->
-      match strip_suffix ~suffix:"_req" n with
-      | Some base -> (
-        match Hashtbl.find_opt tbl (base ^ "_ack") with
-        | Some ack ->
-          add_handshake t ~name:base ~req:(Hashtbl.find tbl n) ~ack ();
-          incr attached
-        | None -> ())
-      | None -> ())
-    names;
+    (fun (base, req, ack) -> add_handshake t ~name:base ~req ~ack ())
+    handshakes;
   List.iter
-    (fun n ->
-      match strip_suffix ~suffix:"_count" n with
-      | Some base -> (
-        match Hashtbl.find_opt tbl (base ^ "_empty") with
-        | Some empty ->
-          add_fifo t ~name:base
-            ?full:(Hashtbl.find_opt tbl (base ^ "_full"))
-            ~count:(Hashtbl.find tbl n) ~empty ();
-          incr attached
-        | None -> ())
-      | None -> ())
-    names;
-  !attached
+    (fun (base, count, empty, full) -> add_fifo t ~name:base ?full ~count ~empty ())
+    fifos;
+  List.length handshakes + List.length fifos
 
 (* --- Sampling ----------------------------------------------------------- *)
 
@@ -243,3 +254,218 @@ let vcd_window t =
         ids)
     (List.rev t.history);
   Buffer.contents buf
+
+(* --- Batched monitors ----------------------------------------------------- *)
+
+(* The same checkers evaluated on the bit-planes of a batched engine:
+   one pass over a handful of 64-bit words covers every lane at once,
+   and lanes are only touched individually when a rule's violation
+   mask is non-zero (rare — fault campaigns are mostly violation-free
+   cycles). Each rule reproduces the scalar checker bit for bit, in
+   the same order, with the same message text, so a lane's violation
+   list is identical to what a scalar {!t} over that lane would have
+   recorded. No waveform history is retained: campaign classification
+   never renders a VCD window, and dropping the per-lane snapshot is
+   most of the batching win. *)
+module Batch = struct
+  type check = active:int64 -> cycle:int -> unit
+
+  type bt = {
+    sb : Simbatch.t;
+    mutable checks : check list; (* attach order *)
+    violations : violation list array; (* newest first, per lane *)
+  }
+
+  let create sb =
+    { sb; checks = []; violations = Array.make (Simbatch.lanes sb) [] }
+
+  let violations t ~lane = List.rev t.violations.(lane)
+  let ok t ~lane = t.violations.(lane) = []
+
+  let first_violation t ~lane =
+    match List.rev t.violations.(lane) with v :: _ -> Some v | [] -> None
+
+  let violate t lane cycle monitor signal message =
+    t.violations.(lane) <- { cycle; monitor; signal; message } :: t.violations.(lane)
+
+  let iter_lanes m f =
+    if not (Int64.equal m 0L) then
+      for l = 0 to 63 do
+        if Int64.logand (Int64.shift_right_logical m l) 1L = 1L then f l
+      done
+
+  (* Lane-wise truthiness: the OR of the signal's planes — the batched
+     [peek_bool]. *)
+  let or_planes t i w =
+    let acc = ref 0L in
+    for b = 0 to w - 1 do
+      acc := Int64.logor !acc (Simbatch.read_plane t.sb i ~plane:b)
+    done;
+    !acc
+
+  (* Per-lane small-integer readback, for violation message text only. *)
+  let lane_int planes n l =
+    let v = ref 0 in
+    for b = 0 to n - 1 do
+      if Int64.logand (Int64.shift_right_logical planes.(b) l) 1L = 1L then
+        v := !v lor (1 lsl b)
+    done;
+    !v
+
+  let add_handshake t ~name ?payload ~req ~ack () =
+    let ri = Simbatch.node_index t.sb req and rw = Signal.width req in
+    let ai = Simbatch.node_index t.sb ack and aw = Signal.width ack in
+    let pay =
+      Option.map
+        (fun p ->
+          ( Simbatch.node_index t.sb p,
+            Signal.width p,
+            Array.make (Signal.width p) 0L ))
+        payload
+    in
+    let prev_req = ref 0L and prev_ack = ref 0L in
+    let check ~active ~cycle =
+      let r = or_planes t ri rw and a = or_planes t ai aw in
+      iter_lanes
+        (Int64.logand (Int64.logand a (Int64.lognot r)) active)
+        (fun l ->
+          violate t l cycle name "ack" "ack asserted with no request pending");
+      let pend = Int64.logand !prev_req (Int64.lognot !prev_ack) in
+      iter_lanes
+        (Int64.logand (Int64.logand pend (Int64.lognot r)) active)
+        (fun l ->
+          violate t l cycle name "req" "request dropped before acknowledge");
+      (match pay with
+      | Some (pi, pw, prev) ->
+        (* First sample can never fire the rule (pend is empty until a
+           request has been seen), matching the scalar checker's
+           [prev_payload = None] guard. *)
+        let diff = ref 0L in
+        for b = 0 to pw - 1 do
+          diff :=
+            Int64.logor !diff
+              (Int64.logxor (Simbatch.read_plane t.sb pi ~plane:b) prev.(b))
+        done;
+        iter_lanes
+          (Int64.logand (Int64.logand (Int64.logand pend r) !diff) active)
+          (fun l ->
+            violate t l cycle name "payload"
+              "payload changed while request pending");
+        for b = 0 to pw - 1 do
+          prev.(b) <- Simbatch.read_plane t.sb pi ~plane:b
+        done
+      | None -> ());
+      prev_req := r;
+      prev_ack := a
+    in
+    t.checks <- t.checks @ [ check ]
+
+  let add_fifo t ~name ?depth ?full ~count ~empty () =
+    let ci = Simbatch.node_index t.sb count and cw = Signal.width count in
+    let ei = Simbatch.node_index t.sb empty and ew = Signal.width empty in
+    let ful =
+      Option.map (fun f -> (Simbatch.node_index t.sb f, Signal.width f)) full
+    in
+    let c_planes = Array.make cw 0L in
+    (* The step rule subtracts over [cw + 1] planes (both operands
+       zero-extended), so a full-range jump like 0 -> 2^cw - 1 can
+       never alias the difference -1. *)
+    let prev = Array.make (cw + 1) 0L in
+    let dd = Array.make (cw + 1) 0L in
+    let has_prev = ref 0L in
+    let check ~active ~cycle =
+      for b = 0 to cw - 1 do
+        c_planes.(b) <- Simbatch.read_plane t.sb ci ~plane:b
+      done;
+      let nonzero = ref 0L in
+      for b = 0 to cw - 1 do
+        nonzero := Int64.logor !nonzero c_planes.(b)
+      done;
+      let e = or_planes t ei ew in
+      iter_lanes
+        (Int64.logand (Int64.logxor e (Int64.lognot !nonzero)) active)
+        (fun l ->
+          let eb = Int64.logand (Int64.shift_right_logical e l) 1L = 1L in
+          violate t l cycle name "empty"
+            (Printf.sprintf "empty flag %b inconsistent with count %d" eb
+               (lane_int c_planes cw l)));
+      (match ful with
+      | Some (fi, fw) ->
+        let fm = or_planes t fi fw in
+        iter_lanes
+          (Int64.logand (Int64.logand fm e) active)
+          (fun l ->
+            violate t l cycle name "full" "full and empty asserted together")
+      | None -> ());
+      (match depth with
+      | Some d ->
+        (* Unsigned [count > depth], LSB-to-MSB over enough planes to
+           cover both operands (count planes past [cw] are zero). *)
+        let np =
+          let rec bits k n = if n = 0 then k else bits (k + 1) (n lsr 1) in
+          max cw (bits 0 d)
+        in
+        let gt = ref 0L in
+        for b = 0 to np - 1 do
+          let cp = if b < cw then c_planes.(b) else 0L in
+          let dp = if b < 62 && (d lsr b) land 1 = 1 then -1L else 0L in
+          gt :=
+            Int64.logor
+              (Int64.logand cp (Int64.lognot dp))
+              (Int64.logand (Int64.lognot (Int64.logxor cp dp)) !gt)
+        done;
+        iter_lanes (Int64.logand !gt active) (fun l ->
+            violate t l cycle name "count"
+              (Printf.sprintf "occupancy %d exceeds capacity %d (overflow)"
+                 (lane_int c_planes cw l) d))
+      | None -> ());
+      (* |count - prev| > 1: plane-serial subtract, then the difference
+         must be 0, 1 or -1 (all-ones). *)
+      let carry = ref (-1L) in
+      for b = 0 to cw do
+        let x = if b < cw then c_planes.(b) else 0L in
+        let y = Int64.lognot prev.(b) in
+        let axy = Int64.logxor x y in
+        dd.(b) <- Int64.logxor axy !carry;
+        carry := Int64.logor (Int64.logand x y) (Int64.logand !carry axy)
+      done;
+      let eq0 = ref (-1L) and eq1 = ref (-1L) and eqm1 = ref (-1L) in
+      for b = 0 to cw do
+        eq0 := Int64.logand !eq0 (Int64.lognot dd.(b));
+        eq1 := Int64.logand !eq1 (if b = 0 then dd.(b) else Int64.lognot dd.(b));
+        eqm1 := Int64.logand !eqm1 dd.(b)
+      done;
+      iter_lanes
+        (Int64.logand
+           (Int64.logand
+              (Int64.lognot (Int64.logor !eq0 (Int64.logor !eq1 !eqm1)))
+              !has_prev)
+           active)
+        (fun l ->
+          violate t l cycle name "count"
+            (Printf.sprintf "occupancy stepped %d -> %d in one cycle"
+               (lane_int prev cw l) (lane_int c_planes cw l)));
+      for b = 0 to cw - 1 do
+        prev.(b) <- c_planes.(b)
+      done;
+      has_prev := Int64.logor !has_prev active
+    in
+    t.checks <- t.checks @ [ check ]
+
+  let add_auto t =
+    let handshakes, fifos = auto_specs (Simbatch.circuit t.sb) in
+    List.iter
+      (fun (base, req, ack) -> add_handshake t ~name:base ~req ~ack ())
+      handshakes;
+    List.iter
+      (fun (base, count, empty, full) ->
+        add_fifo t ~name:base ?full ~count ~empty ())
+      fifos;
+    List.length handshakes + List.length fifos
+
+  (* Call once per batch cycle, after [Simbatch.cycle], with the mask
+     of still-active lanes: checks run for exactly the lanes a scalar
+     campaign would still be sampling. *)
+  let sample t ~active ~cycle =
+    List.iter (fun check -> check ~active ~cycle) t.checks
+end

@@ -78,4 +78,53 @@ val first_violation : t -> violation option
 val ok : t -> bool
 
 val vcd_window : t -> string
+
+(** Plane-level monitors over a whole {!Simbatch} batch: the same
+    checkers as above, evaluated once per cycle for all lanes at once
+    on the engine's bit-planes. Per-lane work happens only when a
+    rule's violation mask is non-zero, so a violation-free cycle costs
+    a few dozen word operations regardless of lane count. Each lane's
+    violation list — cycle, ordering, and message text — is identical
+    to what a scalar monitor over that lane would have recorded; no
+    waveform history is retained. *)
+module Batch : sig
+  type bt
+
+  val create : Simbatch.t -> bt
+
+  val add_handshake :
+    bt ->
+    name:string ->
+    ?payload:Signal.t ->
+    req:Signal.t ->
+    ack:Signal.t ->
+    unit ->
+    unit
+
+  val add_fifo :
+    bt ->
+    name:string ->
+    ?depth:int ->
+    ?full:Signal.t ->
+    count:Signal.t ->
+    empty:Signal.t ->
+    unit ->
+    unit
+
+  val add_auto : bt -> int
+  (** Same naming-convention scan (and attach order) as the scalar
+      {!add_auto}. *)
+
+  val sample : bt -> active:int64 -> cycle:int -> unit
+  (** Run all checks for the lanes in [active] against the settled
+      values of cycle [cycle]. Call once after each [Simbatch.cycle]
+      with the mask of lanes a scalar campaign would still be
+      sampling. *)
+
+  val violations : bt -> lane:int -> violation list
+  (** Oldest first, like the scalar {!violations}. *)
+
+  val first_violation : bt -> lane:int -> violation option
+  val ok : bt -> lane:int -> bool
+end
 (** The retained history window rendered as VCD text. *)

@@ -316,6 +316,28 @@ let plan circuit =
 
 let plan_circuit p = p.p_circuit
 
+(* Read-only plan introspection for the batched engine (Simbatch):
+   it instantiates its own lane-transposed state from the same shared
+   descriptor arrays. Everything returned is owned by the plan and must
+   be treated as immutable. *)
+let plan_n p = Array.length p.p_signals
+let plan_signal p i = p.p_signals.(i)
+let plan_kinds p = p.p_kinds
+let plan_buf_init p = p.p_buf_init
+let plan_state_init p = p.p_state_init
+let plan_fanout p = p.p_fanout
+let plan_ops p = p.p_ops
+let plan_edges p = p.p_edges
+let plan_write_ports p = p.p_write_ports
+let plan_mems p = p.p_mems
+
+let plan_mem_readers p uid =
+  match Hashtbl.find_opt p.p_mem_readers uid with Some a -> a | None -> [||]
+
+let plan_inputs p = p.p_inputs
+let plan_outputs p = p.p_outputs
+let plan_index_of_uid p s = Hashtbl.find_opt p.p_index_of_uid (Signal.uid s)
+
 let instantiate plan =
   let n = Array.length plan.p_signals in
   let width_of i = Signal.width plan.p_signals.(i) in

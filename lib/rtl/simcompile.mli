@@ -61,6 +61,79 @@ val peek_state : t -> Signal.t -> Bits.t
 val poke_state : t -> Signal.t -> Bits.t -> unit
 val memory_contents : t -> Signal.memory -> Bits.t array
 
+(** {1 Plan introspection (engine internals)}
+
+    The batched engine ({!Simbatch}) instantiates lane-transposed
+    mutable state from the same shared plan; these accessors expose the
+    plan's immutable descriptor arrays for that purpose. Everything
+    returned is owned by the plan: treat it as read-only. Operand
+    positions are schedule indices into the plan's topological order. *)
+
+type op =
+  | O_const
+  | O_input of int  (** slot in the inputs array *)
+  | O_op2 of Signal.op2 * int * int
+  | O_not of int
+  | O_concat of int array
+  | O_select of { src : int; high : int; low : int }
+  | O_mux of { select : int; cases : int array }
+  | O_state  (** Reg / Mem_read_sync present their committed state *)
+  | O_mem_read_async of { mem_uid : int; mem_width : int; addr : int }
+  | O_wire of int
+
+type edge =
+  | E_reg of {
+      index : int;
+      d : int;
+      enable : int option;
+      clear : int option;
+      clear_to : Bits.t;  (** blit source only; shared, never written *)
+    }
+  | E_sync_read of {
+      index : int;
+      mem_uid : int;
+      mem_width : int;
+      addr : int;
+      enable : int option;
+    }
+
+type write_port = { wp_mem_uid : int; wp_enable : int; wp_addr : int; wp_data : int }
+type mem_spec = { m_uid : int; m_size : int; m_width : int }
+
+val plan_n : plan -> int
+(** Number of nodes in the schedule. *)
+
+val plan_signal : plan -> int -> Signal.t
+(** Signal at a schedule index. *)
+
+val plan_kinds : plan -> int array
+(** {!Signal.prim_kind} per node. *)
+
+val plan_buf_init : plan -> Bits.t array
+(** Copy templates for the initial value buffers (const / reg init /
+    zero). *)
+
+val plan_state_init : plan -> Bits.t option array
+(** Initial committed state; [Some] for Reg / Mem_read_sync only. *)
+
+val plan_fanout : plan -> int array array
+(** Combinational dependents per node; always later in the schedule. *)
+
+val plan_ops : plan -> op array
+val plan_edges : plan -> edge array
+val plan_write_ports : plan -> write_port array
+val plan_mems : plan -> mem_spec array
+
+val plan_mem_readers : plan -> int -> int array
+(** Async-read nodes of the memory with the given uid ([[||]] if
+    none). *)
+
+val plan_inputs : plan -> (string * int) array
+val plan_outputs : plan -> (string * int) list
+
+val plan_index_of_uid : plan -> Signal.t -> int option
+(** Schedule index of a signal, [None] if not part of the circuit. *)
+
 (** {1 Activity counters}
 
     Monotonic instrumentation for tests and benchmarks. *)

@@ -34,3 +34,28 @@ val to_frame : t -> width:int -> height:int -> depth:int -> Frame.t
 (** Raises if the captured count does not equal [width * height]. *)
 
 val clear : t -> unit
+
+(** Plane-level sink over a whole {!Simbatch} batch: one valid-plane
+    read per cycle, per-lane extraction only for lanes that pulsed
+    valid. Per lane the ready waveform and captured words are exactly
+    the scalar sink's — [mask] selects the lanes being driven. *)
+module Batch : sig
+  type bt
+
+  val create :
+    ?valid_port:string ->
+    ?data_port:string ->
+    ?ready_port:string ->
+    ?ready_every:int ->
+    Hwpat_rtl.Simbatch.t ->
+    unit ->
+    bt
+
+  val drive : bt -> mask:int64 -> unit
+  val observe : bt -> mask:int64 -> unit
+
+  val collected : bt -> lane:int -> int list
+  (** Captured words, oldest first. *)
+
+  val count : bt -> lane:int -> int
+end

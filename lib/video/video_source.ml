@@ -46,3 +46,90 @@ let restart t frame =
     invalid_arg "Video_source.restart: depth mismatch";
   t.remaining <- Frame.to_row_major frame;
   t.sent <- 0
+
+(* Plane-level variant over a whole batch: one [drive]/[observe] pair
+   feeds every lane at once through {!Simbatch.write_input_plane} and
+   a single ready-plane read, with per-lane stream positions so lanes
+   desynchronized by fault effects keep their own pace. Per lane and
+   cycle the driven values and advance decisions are exactly the
+   scalar [drive]/[observe] above. *)
+module Batch = struct
+  type bt = {
+    sb : Simbatch.t;
+    valid_in : int;
+    data_in : int;
+    ready_out : int;
+    ready_w : int;
+    depth : int;
+    pixels : int array;
+    pos : int array; (* per lane *)
+    sent : int array;
+    data_planes : int64 array; (* scratch *)
+  }
+
+  let create ?(valid_port = "px_valid") ?(data_port = "px_data")
+      ?(ready_port = "px_ready") sb frame =
+    let lanes = Simbatch.lanes sb in
+    {
+      sb;
+      valid_in = Simbatch.input_index sb valid_port;
+      data_in = Simbatch.input_index sb data_port;
+      ready_out = Simbatch.out_node sb ready_port;
+      ready_w =
+        Signal.width (Circuit.find_output (Simbatch.circuit sb) ready_port);
+      depth = Frame.depth frame;
+      pixels = Array.of_list (Frame.to_row_major frame);
+      pos = Array.make lanes 0;
+      sent = Array.make lanes 0;
+      data_planes = Array.make (Frame.depth frame) 0L;
+    }
+
+  let drive t ~mask =
+    let n = Array.length t.pixels in
+    let lanes = Simbatch.lanes t.sb in
+    Array.fill t.data_planes 0 t.depth 0L;
+    let streaming = ref 0L in
+    for l = 0 to lanes - 1 do
+      if
+        Int64.logand (Int64.shift_right_logical mask l) 1L = 1L
+        && t.pos.(l) < n
+      then begin
+        streaming := Int64.logor !streaming (Int64.shift_left 1L l);
+        let px = t.pixels.(t.pos.(l)) in
+        for b = 0 to t.depth - 1 do
+          if (px lsr b) land 1 = 1 then
+            t.data_planes.(b) <-
+              Int64.logor t.data_planes.(b) (Int64.shift_left 1L l)
+        done
+      end
+    done;
+    (* Every masked lane drives valid (0 once exhausted); data is only
+       driven by still-streaming lanes, like the scalar source. *)
+    Simbatch.write_input_plane t.sb t.valid_in ~plane:0 ~mask ~bits:!streaming;
+    for b = 0 to t.depth - 1 do
+      Simbatch.write_input_plane t.sb t.data_in ~plane:b ~mask:!streaming
+        ~bits:t.data_planes.(b)
+    done
+
+  let observe t ~mask =
+    let n = Array.length t.pixels in
+    let ready = ref 0L in
+    for b = 0 to t.ready_w - 1 do
+      ready :=
+        Int64.logor !ready (Simbatch.read_plane t.sb t.ready_out ~plane:b)
+    done;
+    let adv = Int64.logand mask !ready in
+    if not (Int64.equal adv 0L) then
+      for l = 0 to Simbatch.lanes t.sb - 1 do
+        if
+          Int64.logand (Int64.shift_right_logical adv l) 1L = 1L
+          && t.pos.(l) < n
+        then begin
+          t.pos.(l) <- t.pos.(l) + 1;
+          t.sent.(l) <- t.sent.(l) + 1
+        end
+      done
+
+  let exhausted t ~lane = t.pos.(lane) >= Array.length t.pixels
+  let sent t ~lane = t.sent.(lane)
+end

@@ -33,3 +33,27 @@ val sent : t -> int
 
 val restart : t -> Frame.t -> unit
 (** Start streaming a new frame (same dimensions). *)
+
+(** Plane-level source over a whole {!Simbatch} batch: one
+    [drive]/[observe] pair per cycle feeds every lane at once, with
+    per-lane stream positions (fault effects can desynchronize lanes).
+    Per lane the driven values and advance decisions are exactly the
+    scalar source's — [mask] selects the lanes being driven; unmasked
+    lanes keep their previous input values, like a scalar driver that
+    is no longer called. *)
+module Batch : sig
+  type bt
+
+  val create :
+    ?valid_port:string ->
+    ?data_port:string ->
+    ?ready_port:string ->
+    Hwpat_rtl.Simbatch.t ->
+    Frame.t ->
+    bt
+
+  val drive : bt -> mask:int64 -> unit
+  val observe : bt -> mask:int64 -> unit
+  val exhausted : bt -> lane:int -> bool
+  val sent : bt -> lane:int -> int
+end

@@ -188,6 +188,56 @@ let test_mux_default_arm_consistency () =
   check "verilog guards case 1" (contains "== 1 ?" verilog);
   check "verilog default arm is unguarded" (not (contains "== 2 ?" verilog))
 
+(* Over-width shift semantics must agree everywhere, mirroring the mux
+   default-arm rule above: [Bits.sll]/[srl] saturate a shift of
+   [n >= width] to all zeros, [Signal.sll]/[srl] elaborate the same
+   rule structurally (the over-width shift *is* the zero constant), so
+   both simulation engines read zero and both HDL back-ends emit a
+   literal zero with no reference to the shifted operand. *)
+let test_shift_saturation_consistency () =
+  let check msg b = Alcotest.(check bool) msg true b in
+  let a = input "a" 8 in
+  let c =
+    Circuit.create_exn ~name:"shiftsat"
+      [
+        ("full_l", sll a 8);
+        ("full_r", srl a 8);
+        ("over_l", sll a 20);
+        ("part", sll a 3);
+      ]
+  in
+  (* The value-level rule the structure must match. *)
+  check "Bits.sll saturates"
+    (Bits.equal (Bits.sll (Bits.ones 8) 8) (Bits.zero 8));
+  check "Bits.srl saturates"
+    (Bits.equal (Bits.srl (Bits.ones 8) 20) (Bits.zero 8));
+  List.iter
+    (fun engine ->
+      let sim = Cyclesim.create ~engine c in
+      Cyclesim.drive sim "a" (Bits.of_int ~width:8 0xff);
+      Cyclesim.cycle sim;
+      List.iter
+        (fun port ->
+          check
+            (Printf.sprintf "sim reads %s as zero" port)
+            (Bits.equal !(Cyclesim.out_port sim port) (Bits.zero 8)))
+        [ "full_l"; "full_r"; "over_l" ];
+      Alcotest.(check int) "partial shift still shifts" 0xf8
+        (Bits.to_int !(Cyclesim.out_port sim "part")))
+    [ Cyclesim.Reference; Cyclesim.Compiled ];
+  let vhdl = Vhdl.to_string c in
+  check "vhdl full shift is a zero literal"
+    (contains "full_l <= \"00000000\";" vhdl);
+  check "vhdl over-width shift is a zero literal"
+    (contains "over_l <= \"00000000\";" vhdl);
+  check "vhdl partial shift pads with zeros" (contains "& \"000\";" vhdl);
+  let verilog = Verilog.to_string c in
+  check "verilog full shift is a zero literal"
+    (contains "full_l = 8'b00000000;" verilog);
+  check "verilog over-width shift is a zero literal"
+    (contains "over_l = 8'b00000000;" verilog);
+  check "verilog partial shift pads with zeros" (contains ", 3'b000};" verilog)
+
 let () =
   Alcotest.run "backends"
     [
@@ -204,5 +254,7 @@ let () =
           Alcotest.test_case "dot export" `Quick test_dot_export;
           Alcotest.test_case "mux default-arm consistency" `Quick
             test_mux_default_arm_consistency;
+          Alcotest.test_case "shift saturation consistency" `Quick
+            test_shift_saturation_consistency;
         ] );
     ]

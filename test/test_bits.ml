@@ -109,6 +109,83 @@ let test_shift () =
   check_int "sra full" 255 (Bits.to_int (Bits.sra v 8));
   check_int "shift by zero" (Bits.to_int v) (Bits.to_int (Bits.sll v 0))
 
+(* Shift amounts at and past the width saturate — [sll]/[srl] to all
+   zeros, [sra] to all sign bits — on single- and multi-limb vectors
+   alike, and negative amounts raise. The simulation engines and HDL
+   back-ends share these semantics (test_backends.ml pins them to the
+   generated VHDL/Verilog). *)
+let test_shift_saturation () =
+  List.iter
+    (fun w ->
+      let neg = Bits.ones w in
+      let pos = if w = 1 then Bits.zero 1 else Bits.srl (Bits.ones w) 1 in
+      List.iter
+        (fun n ->
+          let name op = Printf.sprintf "%s w=%d n=%d" op w n in
+          check_bool (name "sll zeros") true
+            (Bits.equal (Bits.sll neg n) (Bits.zero w));
+          check_bool (name "srl zeros") true
+            (Bits.equal (Bits.srl neg n) (Bits.zero w));
+          check_bool (name "sra sign fills") true
+            (Bits.equal (Bits.sra neg n) (Bits.ones w));
+          check_bool (name "sra zero fills") true
+            (Bits.equal (Bits.sra pos n) (Bits.zero w)))
+        [ w; w + 1; 2 * w; 1000 ])
+    [ 1; 8; 63; 64; 65; 100; 128 ];
+  List.iter
+    (fun (op_name, op) ->
+      Alcotest.check_raises
+        (op_name ^ " negative shift")
+        (Invalid_argument ("Bits." ^ op_name ^ ": negative shift"))
+        (fun () -> ignore (op (Bits.ones 8) (-1))))
+    [ ("sll", Bits.sll); ("srl", Bits.srl); ("sra", Bits.sra) ]
+
+(* Truncating multiply past the 64-bit limb boundary, against a
+   bit-serial shift-and-add reference. The schoolbook kernel works in
+   32-bit half-limbs; these widths make the cross-limb partial
+   products and carry chains actually fire. *)
+let test_wide_mul () =
+  let mul_reference a b =
+    let w = Bits.width a in
+    let acc = ref (Bits.zero w) in
+    for i = 0 to w - 1 do
+      if Bits.to_bool (Bits.select b ~high:i ~low:i) then
+        acc := Bits.add !acc (Bits.sll a i)
+    done;
+    !acc
+  in
+  let check_mul what a b =
+    let expect = mul_reference a b in
+    check_bool (what ^ " mul") true (Bits.equal (Bits.mul a b) expect);
+    check_bool (what ^ " mul commutes") true
+      (Bits.equal (Bits.mul b a) expect);
+    let dst = Bits.zero (Bits.width a) in
+    Bits.mul_into ~dst a b;
+    check_bool (what ^ " mul_into") true (Bits.equal dst expect)
+  in
+  List.iter
+    (fun w ->
+      let ones = Bits.ones w in
+      check_mul (Printf.sprintf "ones*ones w=%d" w) ones ones;
+      (* A single bit riding the limb boundary. *)
+      let bit64 = Bits.sll (Bits.one w) 64 in
+      check_mul (Printf.sprintf "bit64 w=%d" w) bit64 (Bits.of_int ~width:w 3);
+      (* Alternating and block patterns that cross half-limb seams. *)
+      let alt =
+        Bits.of_string (String.init w (fun i -> if i mod 2 = 0 then '1' else '0'))
+      in
+      let blocks =
+        Bits.of_string (String.init w (fun i -> if i mod 64 < 32 then '1' else '0'))
+      in
+      check_mul (Printf.sprintf "alt*blocks w=%d" w) alt blocks;
+      for seed = 1 to 10 do
+        Random.init ((w * 1000) + seed);
+        check_mul
+          (Printf.sprintf "random w=%d seed=%d" w seed)
+          (Bits.random ~width:w) (Bits.random ~width:w)
+      done)
+    [ 65; 96; 100; 128; 130 ]
+
 let test_concat_select () =
   let a = Bits.of_string "101" and b = Bits.of_string "01" in
   check_string "concat" "10101" (Bits.to_string (Bits.concat_msb [ a; b ]));
@@ -211,6 +288,29 @@ let props =
         && Bits.equal
              (Bits.select round ~high:(w - 1) ~low:n)
              (Bits.select a ~high:(w - 1) ~low:n));
+    prop "shift >= width saturates" 200
+      (let open QCheck in
+       make
+         ~print:(fun (w, n) -> Printf.sprintf "w=%d n=%d" w n)
+         Gen.(pair (int_range 1 130) (int_range 0 200)))
+      (fun (w, extra) ->
+        let n = w + extra in
+        let a = Bits.random ~width:w in
+        Bits.equal (Bits.sll a n) (Bits.zero w)
+        && Bits.equal (Bits.srl a n) (Bits.zero w)
+        && Bits.equal (Bits.sra a n)
+             (if Bits.msb a then Bits.ones w else Bits.zero w));
+    prop "wide mul matches shift-add reference" 200
+      (let open QCheck in
+       make ~print:(fun w -> Printf.sprintf "w=%d" w) Gen.(int_range 65 140))
+      (fun w ->
+        let a = Bits.random ~width:w and b = Bits.random ~width:w in
+        let acc = ref (Bits.zero w) in
+        for i = 0 to w - 1 do
+          if Bits.to_bool (Bits.select b ~high:i ~low:i) then
+            acc := Bits.add !acc (Bits.sll a i)
+        done;
+        Bits.equal (Bits.mul a b) !acc);
   ]
 
 let () =
@@ -224,6 +324,9 @@ let () =
           Alcotest.test_case "arithmetic edges" `Quick test_arith_edges;
           Alcotest.test_case "signed views" `Quick test_signed;
           Alcotest.test_case "shifts" `Quick test_shift;
+          Alcotest.test_case "shift saturation at width" `Quick
+            test_shift_saturation;
+          Alcotest.test_case "wide multiply (>64 bits)" `Quick test_wide_mul;
           Alcotest.test_case "concat/select" `Quick test_concat_select;
           Alcotest.test_case "reductions" `Quick test_reduce;
         ] );

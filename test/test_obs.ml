@@ -217,6 +217,38 @@ let test_bucketing () =
   check_bool "every bucket in range" true
     (Metrics.bucket_of max_int < Metrics.buckets)
 
+(* Satellite regression: the zero/negative boundary is contract.
+   Every [v <= 0] lands in bucket 0 — never a negative index — and
+   each power of two opens the next bucket, so bucket [k >= 1] covers
+   exactly [2^(k-1) .. 2^k - 1] until the final clamp. Checked both on
+   [bucket_of] directly and end-to-end through [observe]. *)
+let test_bucket_boundaries () =
+  List.iter
+    (fun v ->
+      check_int (Printf.sprintf "%d in bucket 0" v) 0 (Metrics.bucket_of v))
+    [ 0; -1; -2; -1024; min_int ];
+  for k = 1 to 62 do
+    check_int
+      (Printf.sprintf "2^%d opens bucket %d" (k - 1) k)
+      (min (Metrics.buckets - 1) k)
+      (Metrics.bucket_of (1 lsl (k - 1)));
+    check_int
+      (Printf.sprintf "2^%d - 1 closes bucket %d" k k)
+      (min (Metrics.buckets - 1) k)
+      (Metrics.bucket_of ((1 lsl k) - 1))
+  done;
+  (* Zero and negative observations survive the round trip into the
+     histogram's bucket 0 (and the sum, which may go negative). *)
+  let m = Metrics.create () in
+  Metrics.observe m "h" 0;
+  Metrics.observe m "h" (-5);
+  Metrics.observe m "h" 3;
+  let json = Metrics.to_json m in
+  check_bool "metrics json parses" true (json_valid json);
+  check_bool "count 3" true (contains "\"count\": 3" json);
+  check_bool "sum -2" true (contains "\"sum\": -2" json);
+  check_bool "buckets [2, 0, 1" true (contains "[2, 0, 1" json)
+
 let test_counters () =
   let m = Metrics.create () in
   check_int "absent counter reads 0" 0 (Metrics.counter_value m "none");
@@ -272,6 +304,8 @@ let () =
       ( "metrics",
         [
           Alcotest.test_case "log2 bucketing" `Quick test_bucketing;
+          Alcotest.test_case "bucket boundaries (zero/negative/powers)" `Quick
+            test_bucket_boundaries;
           Alcotest.test_case "counters" `Quick test_counters;
           Alcotest.test_case "histogram merge" `Quick test_histogram_merge;
           Alcotest.test_case "json deterministic and valid" `Quick

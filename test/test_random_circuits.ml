@@ -243,6 +243,57 @@ let test_differential_faultsim () =
   Alcotest.(check (list string)) "classifications agree" (outcomes a)
     (outcomes b)
 
+(* The bit-parallel batched engine vs the naive interpreter: each
+   random circuit runs 64 lanes at once, every lane fed its own random
+   stimulus stream, with 64 naive simulations as the per-lane oracle.
+   One batch clock advances all lanes (any lane view will do); each
+   oracle is clocked individually. *)
+let test_differential_batched () =
+  let seeds = Array.init 10 (fun i -> 211 + i) in
+  ignore
+    (Hwpat_core.Parallel.run (Array.length seeds) (fun i ->
+         let seed = seeds.(i) in
+         let circuit, inputs = build_random_circuit ~seed in
+         let lanes = Simbatch.lane_bits in
+         let batch = Cyclesim.instantiate_batched (Cyclesim.plan circuit) in
+         let views = Array.init lanes (Cyclesim.lane_view batch) in
+         let oracles =
+           Array.init lanes (fun _ ->
+               Cyclesim.create ~engine:Cyclesim.Reference circuit)
+         in
+         let rngs =
+           Array.init lanes (fun l ->
+               Random.State.make [| (seed * 7919) + (101 * l) |])
+         in
+         for cycle = 1 to 40 do
+           for l = 0 to lanes - 1 do
+             List.iter
+               (fun (name, w) ->
+                 let v =
+                   Bits.of_int ~width:w (Random.State.int rngs.(l) (1 lsl min w 20))
+                 in
+                 if List.mem_assoc name (Circuit.inputs circuit) then begin
+                   Cyclesim.drive views.(l) name v;
+                   Cyclesim.drive oracles.(l) name v
+                 end)
+               inputs
+           done;
+           Cyclesim.cycle views.(0);
+           Array.iter Cyclesim.cycle oracles;
+           for l = 0 to lanes - 1 do
+             List.iter
+               (fun (name, _) ->
+                 let got = !(Cyclesim.out_port views.(l) name) in
+                 let want = !(Cyclesim.out_port oracles.(l) name) in
+                 if not (Bits.equal got want) then
+                   Alcotest.failf
+                     "seed %d lane %d cycle %d port %s: batched %s, naive %s"
+                     seed l cycle name (Bits.to_string got)
+                     (Bits.to_string want))
+               (Circuit.outputs circuit)
+           done
+         done))
+
 (* Idempotence: optimising twice equals optimising once (sizes). *)
 let test_optimize_idempotent () =
   for seed = 131 to 160 do
@@ -278,5 +329,7 @@ let () =
             test_differential_paper_designs;
           Alcotest.test_case "faultsim classifications agree" `Quick
             test_differential_faultsim;
+          Alcotest.test_case "random circuits x64 lanes: batched = naive"
+            `Quick test_differential_batched;
         ] );
     ]
