@@ -1013,6 +1013,178 @@ let resilience ?(smoke = false) () =
   if not ok then exit 1
 
 (* ---------------------------------------------------------------- *)
+(* §serve: the design-service daemon, measured end to end through a   *)
+(* real connection.  (a) Cold vs warm latency for an elaborate +      *)
+(* simulate pair — the warm pair answers from the canonical-key       *)
+(* caches and must be at least 5x faster when gated.  (b) Sustained   *)
+(* request throughput: a pipelined stream of requests through a       *)
+(* jobs:4 pool, reported as requests/sec.                             *)
+(* ---------------------------------------------------------------- *)
+
+let serve_section ?(smoke = false) ?(gate = false) () =
+  banner
+    (Printf.sprintf "§serve — design-service daemon, cold vs warm cache%s"
+       (if smoke then " (smoke)" else ""));
+  let module Server = Hwpat_serve.Server in
+  let write_all fd s =
+    let n = String.length s in
+    let rec go off =
+      if off < n then go (off + Unix.write_substring fd s off (n - off))
+    in
+    go 0
+  in
+  (* A pipelined client: send [lines], read until the same number of
+     newline-terminated responses has arrived, and fail loudly if any
+     of them is an error — a bench that times rejections would be
+     measuring the wrong thing. *)
+  let roundtrip fd lines =
+    write_all fd (String.concat "\n" lines ^ "\n");
+    let want = List.length lines in
+    let buf = Buffer.create 4096 in
+    let chunk = Bytes.create 65536 in
+    let got = ref 0 in
+    while !got < want do
+      let r = Unix.read fd chunk 0 (Bytes.length chunk) in
+      if r = 0 then failwith "serve bench: connection closed early";
+      for i = 0 to r - 1 do
+        if Bytes.get chunk i = '\n' then incr got
+      done;
+      Buffer.add_subbytes buf chunk 0 r
+    done;
+    let out = Buffer.contents buf in
+    List.iter
+      (fun line ->
+        match String.index_opt line ':' with
+        | Some i when String.length line > i + 1 ->
+          let tag = String.sub line (i + 1) 7 in
+          if String.length tag >= 6 && String.sub tag 0 6 = "\"error" then
+            failwith ("serve bench: error response: " ^ line)
+        | _ -> ())
+      (String.split_on_char '\n' out);
+    out
+  in
+  let with_server ~jobs f =
+    let server =
+      Server.create
+        { Server.default_config with jobs; max_inflight = 512; queue_bound = 512 }
+    in
+    let client, srv = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    let conn = Domain.spawn (fun () -> Server.serve_connection server srv srv) in
+    Fun.protect
+      ~finally:(fun () ->
+        Unix.close client;
+        Domain.join conn;
+        Unix.close srv;
+        Server.stop server;
+        Server.shutdown server)
+      (fun () -> f client)
+  in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let v = f () in
+    (v, max 1e-9 (Unix.gettimeofday () -. t0))
+  in
+  let side = if smoke then 10 else 16 in
+  let pair =
+    [
+      Printf.sprintf
+        "{\"id\":1,\"method\":\"elaborate\",\"params\":{\"container\":\"queue\",\
+         \"target\":\"bram\",\"width\":8,\"depth\":4096}}";
+      Printf.sprintf
+        "{\"id\":2,\"method\":\"simulate\",\"params\":{\"design\":\"blur\",\
+         \"width\":%d,\"height\":%d}}"
+        side side;
+    ]
+  in
+  (* (a) Cold vs warm on a single-worker server: the first pair pays
+     elaboration and plan compilation, every later pair answers from
+     the result cache.  Warm latency is a min-of-reps (the cost is
+     microseconds; a single sample is all scheduler noise). *)
+  let warm_reps = 20 in
+  let cold_s, warm_s, warm_identical =
+    with_server ~jobs:1 (fun fd ->
+        let cold_out, cold_s = time (fun () -> roundtrip fd pair) in
+        let warm_s = ref infinity in
+        let identical = ref true in
+        for _ = 1 to warm_reps do
+          let out, s = time (fun () -> roundtrip fd pair) in
+          warm_s := min !warm_s s;
+          if not (String.equal out cold_out) then identical := false
+        done;
+        (cold_s, !warm_s, !identical))
+  in
+  let speedup = cold_s /. warm_s in
+  Printf.printf "  cold elaborate+simulate   %8.3f ms\n" (1000.0 *. cold_s);
+  Printf.printf "  warm elaborate+simulate   %8.3f ms  (min of %d)\n"
+    (1000.0 *. warm_s) warm_reps;
+  Printf.printf "  warm speedup              %8.1fx  %s\n" speedup
+    (if warm_identical then "responses byte-identical to cold"
+     else "RESPONSES DIVERGED");
+  if not warm_identical then begin
+    Printf.eprintf
+      "serve bench: warm responses are not byte-identical to the cold run\n";
+    exit 1
+  end;
+  (* (b) Sustained throughput: one pipelined connection, jobs:4 pool,
+     all requests warm — the steady state a build system or sweep
+     driver would see. *)
+  let stream_n = if smoke then 200 else 1_000 in
+  let stream_req i =
+    Printf.sprintf
+      "{\"id\":%d,\"method\":\"simulate\",\"params\":{\"design\":\"blur\",\
+       \"width\":%d,\"height\":%d}}"
+      i side side
+  in
+  let stream_s =
+    with_server ~jobs:4 (fun fd ->
+        (* warm the caches outside the timed window *)
+        ignore (roundtrip fd [ stream_req 0 ]);
+        let _, s =
+          time (fun () ->
+              roundtrip fd (List.init stream_n (fun i -> stream_req (i + 1))))
+        in
+        s)
+  in
+  let req_per_s = float_of_int stream_n /. stream_s in
+  Printf.printf "  sustained (jobs:4, warm)  %8.0f req/s  (%d requests)\n"
+    req_per_s stream_n;
+  let gate_skipped_noise = cold_s < 0.002 in
+  if gate then
+    if gate_skipped_noise then
+      Printf.printf
+        "\n  speedup gate skipped: cold pair finished in %.3f ms — too fast \
+         to time against noise\n"
+        (1000.0 *. cold_s)
+    else if speedup < 5.0 then begin
+      Printf.eprintf
+        "serve gate: warm cache is %.2fx vs cold (need >= 5.0)\n" speedup;
+      exit 1
+    end
+    else
+      Printf.printf "\n  speedup gate passed: warm cache is %.1fx vs cold\n"
+        speedup;
+  let json =
+    let buf = Buffer.create 512 in
+    let emit fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+    emit "{\n  \"bench\": \"serve\",\n  \"smoke\": %b,\n" smoke;
+    emit "  \"workload\": \"elaborate queue/bram d=4096 + simulate blur %dx%d\",\n"
+      side side;
+    emit "  \"cold_seconds\": %.6f,\n" cold_s;
+    emit "  \"warm_min_seconds\": %.6f,\n" warm_s;
+    emit "  \"warm_reps\": %d,\n" warm_reps;
+    emit "  \"warm_speedup\": %.2f,\n" speedup;
+    emit "  \"warm_identical\": %b,\n" warm_identical;
+    emit "  \"stream_requests\": %d,\n" stream_n;
+    emit "  \"stream_jobs\": 4,\n";
+    emit "  \"stream_seconds\": %.6f,\n" stream_s;
+    emit "  \"requests_per_sec\": %.1f\n}\n" req_per_s;
+    Buffer.contents buf
+  in
+  let path = "BENCH_serve.json" in
+  Hwpat_rtl.Util.write_file path json;
+  Printf.printf "\n  wrote %s\n" path
+
+(* ---------------------------------------------------------------- *)
 (* Bechamel wall-clock benches: one per table.                        *)
 (* ---------------------------------------------------------------- *)
 
@@ -1120,6 +1292,7 @@ let () =
       ("prove", fun () -> prove_section ~smoke ~max_jobs:!max_jobs ());
       ("obsoverhead", fun () -> obsoverhead ~smoke ());
       ("resilience", fun () -> resilience ~smoke ());
+      ("serve", fun () -> serve_section ~smoke ~gate ());
       ("bechamel", bechamel_section);
     ]
   in

@@ -160,54 +160,15 @@ let package_cmd =
        ~doc:"Emit the basic-components foundation package (VHDL)")
     Term.(const package $ out)
 
-(* --- design selection shared by simulate/report/emit -------------------- *)
+(* --- design selection shared by simulate/report/emit --------------------
+   The catalog itself lives in [Hwpat_core.Designs] so the serve daemon
+   dispatches the same designs with the same error wording. *)
 
 let build_design name style ~frame_w ~frame_h =
-  let style_s =
-    match String.lowercase_ascii style with
-    | "pattern" -> `Pattern
-    | "custom" -> `Custom
-    | other ->
-      failwith (Printf.sprintf "unknown style %S (valid: pattern, custom)" other)
-  in
-  match (String.lowercase_ascii name, style_s) with
-  | "saa2vga-fifo", `Pattern ->
-    (Hwpat_core.Saa2vga.build ~substrate:Hwpat_core.Saa2vga.Fifo
-       ~style:Hwpat_core.Saa2vga.Pattern (), `Copy)
-  | "saa2vga-fifo", `Custom ->
-    (Hwpat_core.Saa2vga.build ~substrate:Hwpat_core.Saa2vga.Fifo
-       ~style:Hwpat_core.Saa2vga.Custom (), `Copy)
-  | "saa2vga-sram", `Pattern ->
-    (Hwpat_core.Saa2vga.build ~substrate:Hwpat_core.Saa2vga.Sram
-       ~style:Hwpat_core.Saa2vga.Pattern (), `Copy)
-  | "saa2vga-sram", `Custom ->
-    (Hwpat_core.Saa2vga.build ~substrate:Hwpat_core.Saa2vga.Sram
-       ~style:Hwpat_core.Saa2vga.Custom (), `Copy)
-  | "blur", `Pattern ->
-    (Hwpat_core.Blur_system.build ~image_width:frame_w ~max_rows:frame_h
-       ~style:Hwpat_core.Blur_system.Pattern (), `Blur)
-  | "blur", `Custom ->
-    (Hwpat_core.Blur_system.build ~image_width:frame_w ~max_rows:frame_h
-       ~style:Hwpat_core.Blur_system.Custom (), `Blur)
-  | "sobel", `Pattern ->
-    (Hwpat_core.Sobel_system.build ~image_width:frame_w ~max_rows:frame_h (), `Sobel)
-  | "sobel", `Custom -> failwith "sobel exists in pattern style only"
-  | other, _ ->
-    failwith
-      (Printf.sprintf
-         "unknown design %S (valid: saa2vga-fifo, saa2vga-sram, blur, sobel)"
-         other)
+  Hwpat_core.Designs.build ~design:name ~style ~frame_w ~frame_h
 
 let make_frame pattern w h =
-  match String.lowercase_ascii pattern with
-  | "gradient" -> Hwpat_video.Pattern.gradient ~width:w ~height:h ~depth:8
-  | "checker" -> Hwpat_video.Pattern.checkerboard ~width:w ~height:h ~depth:8 ()
-  | "random" -> Hwpat_video.Pattern.random ~width:w ~height:h ~depth:8 ()
-  | "bars" -> Hwpat_video.Pattern.bars ~width:w ~height:h ~depth:8
-  | other ->
-    failwith
-      (Printf.sprintf
-         "unknown pattern %S (valid: gradient, checker, random, bars)" other)
+  Hwpat_core.Designs.frame ~pattern ~width:w ~height:h
 
 (* --- observability flags shared by simulate/faultsim/sweep/prove --------- *)
 
@@ -269,22 +230,13 @@ let with_obs trace_path metrics_path f =
 
 let simulate design style width height pattern show vcd engine trace_path
     metrics_path =
-  let engine =
-    match engine with
-    | "compiled" -> Hwpat_rtl.Cyclesim.Compiled
-    | "reference" -> Hwpat_rtl.Cyclesim.Reference
-    | other ->
-      failwith
-        (Printf.sprintf "unknown engine %S (valid: compiled, reference)" other)
-  in
+  let engine = Hwpat_core.Designs.engine_of_string engine in
   let circuit, flavor = build_design design style ~frame_w:width ~frame_h:height in
   let frame = make_frame pattern width height in
-  let out_w, out_h, reference =
-    match flavor with
-    | `Copy -> (width, height, Hwpat_video.Reference.copy frame)
-    | `Blur -> (width - 2, height - 2, Hwpat_video.Reference.blur frame)
-    | `Sobel -> (width - 2, height - 2, Hwpat_video.Reference.sobel frame)
+  let out_w, out_h =
+    Hwpat_core.Designs.output_shape flavor ~width ~height
   in
+  let reference = Hwpat_core.Designs.reference flavor frame in
   with_obs trace_path metrics_path @@ fun ~trace ~metrics ->
   let r =
     try
@@ -714,6 +666,116 @@ let prove_cmd =
       const prove $ smoke $ jobs_arg $ json $ budget $ checkpoint_arg
       $ resume_arg $ retries_arg $ shard_timeout_arg $ trace_arg $ metrics_arg)
 
+(* --- serve ----------------------------------------------------------------- *)
+
+let serve socket jobs campaign_jobs cache_size max_inflight queue_bound
+    max_request_bytes trace_path metrics_path =
+  if cache_size < 0 then begin
+    prerr_endline "hwpat: --cache-size must be non-negative";
+    exit 2
+  end;
+  if max_inflight < 1 || queue_bound < 1 then begin
+    prerr_endline "hwpat: --max-inflight and --queue-bound must be positive";
+    exit 2
+  end;
+  if max_request_bytes < 256 then begin
+    prerr_endline "hwpat: --max-request-bytes must be at least 256";
+    exit 2
+  end;
+  with_obs trace_path metrics_path @@ fun ~trace ~metrics ->
+  let config =
+    {
+      Hwpat_serve.Server.jobs = resolve_jobs jobs;
+      campaign_jobs = Hwpat_core.Parallel.clamp_jobs campaign_jobs;
+      cache_size;
+      max_inflight;
+      queue_bound;
+      max_request_bytes;
+      trace;
+      metrics;
+    }
+  in
+  let server = Hwpat_serve.Server.create config in
+  (* First ^C: stop intake, drain in-flight requests, flush the
+     --trace/--metrics files and exit 0.  A second ^C kills. *)
+  let previous =
+    Sys.signal Sys.sigint
+      (Sys.Signal_handle
+         (fun _ ->
+           Hwpat_serve.Server.stop server;
+           Sys.set_signal Sys.sigint Sys.Signal_default))
+  in
+  Fun.protect
+    ~finally:(fun () -> Sys.set_signal Sys.sigint previous)
+    (fun () ->
+      match socket with
+      | None -> Hwpat_serve.Server.run_stdio server
+      | Some path ->
+        Printf.eprintf "hwpat: serving on %s\n%!" path;
+        Hwpat_serve.Server.run_socket server ~path)
+
+let serve_cmd =
+  let socket =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:
+            "Listen on a Unix domain socket at $(docv) instead of serving \
+             stdin/stdout.")
+  in
+  let campaign_jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "campaign-jobs" ] ~docv:"N"
+          ~doc:
+            "Default shard count for campaigns run inside one request \
+             (faultsim, sweep, prove); a request's own $(b,jobs) param \
+             overrides it.")
+  in
+  let cache_size =
+    Arg.(
+      value & opt int 32
+      & info [ "cache-size" ] ~docv:"N"
+          ~doc:
+            "LRU capacity of each artifact cache (elaborated circuits, \
+             compiled simulation plans, result payloads). 0 disables \
+             caching.")
+  in
+  let max_inflight =
+    Arg.(
+      value & opt int 64
+      & info [ "max-inflight" ] ~docv:"N"
+          ~doc:
+            "Admission limit: total requests queued or executing before new \
+             ones are rejected with an $(i,overloaded) error.")
+  in
+  let queue_bound =
+    Arg.(
+      value & opt int 32
+      & info [ "queue-bound" ] ~docv:"N"
+          ~doc:"Admission limit on queued (not yet executing) requests.")
+  in
+  let max_request_bytes =
+    Arg.(
+      value
+      & opt int (1 lsl 20)
+      & info [ "max-request-bytes" ] ~docv:"BYTES"
+          ~doc:
+            "Longest accepted request line; longer ones are answered with an \
+             $(i,oversized) error and discarded unread.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the persistent design-service daemon: line-delimited JSON \
+          requests over stdio or a Unix socket, dispatched concurrently \
+          with netlist/plan caching; see the protocol notes in DESIGN.md")
+    Term.(
+      const serve $ socket $ jobs_arg $ campaign_jobs $ cache_size
+      $ max_inflight $ queue_bound $ max_request_bytes $ trace_arg
+      $ metrics_arg)
+
 (* --- tables --------------------------------------------------------------- *)
 
 let tables () =
@@ -767,7 +829,7 @@ let emit_cmd =
 
 let subcommands =
   [ generate_cmd; simulate_cmd; report_cmd; sweep_cmd; tables_cmd;
-    emit_cmd; package_cmd; faultsim_cmd; prove_cmd ]
+    emit_cmd; package_cmd; faultsim_cmd; prove_cmd; serve_cmd ]
 
 (* One-line summaries for the bare `hwpat` listing, in the order the
    subcommands are registered above. *)
@@ -782,6 +844,7 @@ let subcommand_summaries =
     ("package", "emit the basic-components foundation package");
     ("faultsim", "seeded fault-injection campaign with runtime monitors");
     ("prove", "discharge the formal proof battery (BMC + equivalence)");
+    ("serve", "persistent design-service daemon (JSON over stdio/socket)");
   ]
 
 (* Bare `hwpat` prints a one-line summary per subcommand instead of

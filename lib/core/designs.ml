@@ -1,0 +1,69 @@
+open Hwpat_video
+
+type flavor = Copy | Blur | Sobel
+
+let names = [ "saa2vga-fifo"; "saa2vga-sram"; "blur"; "sobel" ]
+let styles = [ "pattern"; "custom" ]
+let patterns = [ "gradient"; "checker"; "random"; "bars" ]
+
+let build ~design ~style ~frame_w ~frame_h =
+  let style_s =
+    match String.lowercase_ascii style with
+    | "pattern" -> `Pattern
+    | "custom" -> `Custom
+    | other ->
+      failwith (Printf.sprintf "unknown style %S (valid: pattern, custom)" other)
+  in
+  match (String.lowercase_ascii design, style_s) with
+  | "saa2vga-fifo", `Pattern ->
+    (Saa2vga.build ~substrate:Saa2vga.Fifo ~style:Saa2vga.Pattern (), Copy)
+  | "saa2vga-fifo", `Custom ->
+    (Saa2vga.build ~substrate:Saa2vga.Fifo ~style:Saa2vga.Custom (), Copy)
+  | "saa2vga-sram", `Pattern ->
+    (Saa2vga.build ~substrate:Saa2vga.Sram ~style:Saa2vga.Pattern (), Copy)
+  | "saa2vga-sram", `Custom ->
+    (Saa2vga.build ~substrate:Saa2vga.Sram ~style:Saa2vga.Custom (), Copy)
+  | "blur", `Pattern ->
+    (Blur_system.build ~image_width:frame_w ~max_rows:frame_h
+       ~style:Blur_system.Pattern (), Blur)
+  | "blur", `Custom ->
+    (Blur_system.build ~image_width:frame_w ~max_rows:frame_h
+       ~style:Blur_system.Custom (), Blur)
+  | "sobel", `Pattern ->
+    (Sobel_system.build ~image_width:frame_w ~max_rows:frame_h (), Sobel)
+  | "sobel", `Custom -> failwith "sobel exists in pattern style only"
+  | other, _ ->
+    failwith
+      (Printf.sprintf
+         "unknown design %S (valid: saa2vga-fifo, saa2vga-sram, blur, sobel)"
+         other)
+
+let frame ~pattern ~width ~height =
+  match String.lowercase_ascii pattern with
+  | "gradient" -> Pattern.gradient ~width ~height ~depth:8
+  | "checker" -> Pattern.checkerboard ~width ~height ~depth:8 ()
+  | "random" -> Pattern.random ~width ~height ~depth:8 ()
+  | "bars" -> Pattern.bars ~width ~height ~depth:8
+  | other ->
+    failwith
+      (Printf.sprintf
+         "unknown pattern %S (valid: gradient, checker, random, bars)" other)
+
+let engine_of_string s =
+  match String.lowercase_ascii s with
+  | "compiled" -> Hwpat_rtl.Cyclesim.Compiled
+  | "reference" -> Hwpat_rtl.Cyclesim.Reference
+  | other ->
+    failwith
+      (Printf.sprintf "unknown engine %S (valid: compiled, reference)" other)
+
+let output_shape flavor ~width ~height =
+  match flavor with
+  | Copy -> (width, height)
+  | Blur | Sobel -> (width - 2, height - 2)
+
+let reference flavor input =
+  match flavor with
+  | Copy -> Reference.copy input
+  | Blur -> Reference.blur input
+  | Sobel -> Reference.sobel input

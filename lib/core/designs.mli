@@ -1,0 +1,44 @@
+open Hwpat_rtl
+open Hwpat_video
+
+(** The named video-system designs shared by the CLI and the serve
+    daemon: name/style selection, synthetic stimulus frames, and the
+    software reference each design is checked against.
+
+    Extracted from [bin/hwpat.ml] so the daemon dispatches the same
+    designs (with the same error wording) as the command line instead
+    of duplicating the catalog.  All lookup functions raise [Failure]
+    with a one-line "unknown X (valid: ...)" diagnostic on a bad
+    name — the CLI turns that into exit 2, the server into an
+    [invalid-params] error response. *)
+
+type flavor = Copy | Blur | Sobel
+(** What the design computes, i.e. which software reference applies
+    and how the output frame's dimensions relate to the input's. *)
+
+val names : string list
+(** ["saa2vga-fifo"; "saa2vga-sram"; "blur"; "sobel"]. *)
+
+val styles : string list
+(** ["pattern"; "custom"]. *)
+
+val patterns : string list
+(** ["gradient"; "checker"; "random"; "bars"]. *)
+
+val build :
+  design:string -> style:string -> frame_w:int -> frame_h:int ->
+  Circuit.t * flavor
+(** Build a named design in a named style.  Case-insensitive. *)
+
+val frame : pattern:string -> width:int -> height:int -> Frame.t
+(** A synthetic 8-bit test frame. *)
+
+val engine_of_string : string -> Cyclesim.engine
+(** ["compiled"] or ["reference"]. *)
+
+val output_shape : flavor -> width:int -> height:int -> int * int
+(** Output frame dimensions for an input of the given size (windowed
+    designs shrink by the window border). *)
+
+val reference : flavor -> Frame.t -> Frame.t
+(** The software reference output for an input frame. *)

@@ -33,16 +33,27 @@ let () =
     | _ -> None)
 
 let run_video_system ?(trace = Hwpat_obs.Trace.null)
-    ?(metrics = Hwpat_obs.Metrics.null) ?engine ?(timeout_per_pixel = 400)
-    ?vcd_path circuit ~input ~out_width ~out_height =
+    ?(metrics = Hwpat_obs.Metrics.null) ?engine ?sim ?check
+    ?(timeout_per_pixel = 400) ?vcd_path circuit ~input ~out_width ~out_height =
   let module Trace = Hwpat_obs.Trace in
   let module Metrics = Hwpat_obs.Metrics in
   Trace.span trace "simulate"
     ~args:[ ("design", Trace.String (Circuit.name circuit)) ]
   @@ fun () ->
   let sim =
-    Trace.span trace "compile" (fun () -> Cyclesim.create ?engine circuit)
+    match sim with
+    | Some s ->
+      (* Reused plan instance (the serve daemon's warm path): a reset
+         makes it indistinguishable from a fresh simulator. *)
+      Trace.span trace "reset" (fun () ->
+          Cyclesim.reset s;
+          s)
+    | None ->
+      Trace.span trace "compile" (fun () -> Cyclesim.create ?engine circuit)
   in
+  (* Activity counters are monotonic across the simulator's lifetime;
+     snapshot them so a reused instance reports this run's deltas. *)
+  let act0 = Cyclesim.activity sim in
   let vcd = Option.map (fun _ -> Vcd.create sim) vcd_path in
   let source = Video_source.create sim input in
   let sink = Vga_sink.create sim () in
@@ -56,18 +67,27 @@ let run_video_system ?(trace = Hwpat_obs.Trace.null)
   let record_sim_metrics () =
     if Metrics.enabled metrics then begin
       let act = Cyclesim.activity sim in
+      let settles = act.Cyclesim.settles - act0.Cyclesim.settles in
+      let node_evals = act.Cyclesim.node_evals - act0.Cyclesim.node_evals in
       Metrics.incr metrics ~by:!cycles "sim.cycles";
-      Metrics.incr metrics ~by:act.Cyclesim.settles "sim.settles";
-      Metrics.incr metrics ~by:act.Cyclesim.node_evals "sim.node_evals";
+      Metrics.incr metrics ~by:settles "sim.settles";
+      Metrics.incr metrics ~by:node_evals "sim.node_evals";
       Metrics.gauge metrics "sim.total_nodes"
         (float_of_int act.Cyclesim.total_nodes);
+      let kind0 kind =
+        match List.assoc_opt kind act0.Cyclesim.kind_evals with
+        | Some n -> n
+        | None -> 0
+      in
       List.iter
-        (fun (kind, n) -> Metrics.incr metrics ~by:n ("sim.evals." ^ kind))
+        (fun (kind, n) ->
+          let d = n - kind0 kind in
+          if d > 0 then Metrics.incr metrics ~by:d ("sim.evals." ^ kind))
         act.Cyclesim.kind_evals;
-      let full = act.Cyclesim.settles * act.Cyclesim.total_nodes in
+      let full = settles * act.Cyclesim.total_nodes in
       if full > 0 then
         Metrics.gauge metrics "sim.dirty_skip_rate"
-          (1.0 -. (float_of_int act.Cyclesim.node_evals /. float_of_int full));
+          (1.0 -. (float_of_int node_evals /. float_of_int full));
       if !run_seconds > 0.0 then
         Metrics.gauge metrics "sim.cycles_per_sec"
           (float_of_int !cycles /. !run_seconds)
@@ -77,6 +97,7 @@ let run_video_system ?(trace = Hwpat_obs.Trace.null)
   Trace.span trace "run" (fun () ->
       let t0 = Unix.gettimeofday () in
       while Vga_sink.count sink < expected && !cycles < budget do
+        (match check with Some c -> c () | None -> ());
         Video_source.drive source;
         Vga_sink.drive sink;
         Cyclesim.cycle sim;

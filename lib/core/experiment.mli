@@ -35,6 +35,8 @@ val run_video_system :
   ?trace:Hwpat_obs.Trace.t ->
   ?metrics:Hwpat_obs.Metrics.t ->
   ?engine:Cyclesim.engine ->
+  ?sim:Cyclesim.t ->
+  ?check:(unit -> unit) ->
   ?timeout_per_pixel:int ->
   ?vcd_path:string ->
   Circuit.t ->
@@ -48,6 +50,13 @@ val run_video_system :
     out. [vcd_path] dumps a waveform of every named signal for the
     whole run. [engine] selects the simulation engine (default
     compiled).
+
+    [sim] reuses an existing simulator of [circuit] instead of
+    compiling one — it is {!Cyclesim.reset} first, so the run is
+    bit-identical to one on a fresh simulator; the serve daemon passes
+    instances of a cached compiled plan ([engine] is then ignored).
+    [check] is called once per simulated cycle — the supervision
+    watchdog hook ({!Supervise.check}).
 
     [trace] (default disabled) records [simulate] > [compile] / [run]
     spans; [metrics] (default disabled) receives the simulator's

@@ -132,8 +132,8 @@ let classify ~reference ~expected ~collected ~cycles ~first_violation ~err_flag
    reset state, so the summary is bit-identical for any [jobs] and any
    work-stealing schedule. *)
 let run_campaign ?(trace = Hwpat_obs.Trace.null)
-    ?(metrics = Hwpat_obs.Metrics.null) ?engine ?lanes ?jobs ?policy ?cancel
-    ?checkpoint ?(resume = false) ?(seed = 1) ?(faults = 20)
+    ?(metrics = Hwpat_obs.Metrics.null) ?engine ?plan ?lanes ?jobs ?policy
+    ?cancel ?checkpoint ?(resume = false) ?(seed = 1) ?(faults = 20)
     ?(frame_width = 8) ?(frame_height = 8) ~build ~design () =
   let module Trace = Hwpat_obs.Trace in
   (match lanes with
@@ -143,14 +143,25 @@ let run_campaign ?(trace = Hwpat_obs.Trace.null)
   | Some _ when engine = Some Cyclesim.Reference ->
     invalid_arg "Faultsim: the reference engine has no batched form"
   | _ -> ());
+  (match (plan, engine) with
+  | Some p, Some e when Cyclesim.plan_engine p <> e ->
+    invalid_arg "Faultsim: plan engine does not match requested engine"
+  | _ -> ());
   Trace.span trace "faultsim"
     ~args:[ ("design", Trace.String design); ("faults", Trace.Int faults) ]
   @@ fun () ->
   let frame = Pattern.gradient ~width:frame_width ~height:frame_height ~depth:8 in
   let expected = Frame.pixels frame in
-  let circuit = build () in
-  let plan =
-    Trace.span trace "compile" (fun () -> Cyclesim.plan ?engine circuit)
+  (* A caller-supplied plan (the serve daemon's cache) stands in for
+     elaboration and compilation both; its circuit is the campaign
+     master and [build] is never called. *)
+  let circuit, plan =
+    match plan with
+    | Some p -> (Cyclesim.plan_circuit p, p)
+    | None ->
+      let circuit = build () in
+      ( circuit,
+        Trace.span trace "compile" (fun () -> Cyclesim.plan ?engine circuit) )
   in
   (* Fault-free reference run: also sanity-checks that the monitors
      stay silent on the healthy design. *)

@@ -75,6 +75,7 @@ val run_campaign :
   ?trace:Hwpat_obs.Trace.t ->
   ?metrics:Hwpat_obs.Metrics.t ->
   ?engine:Cyclesim.engine ->
+  ?plan:Cyclesim.plan ->
   ?lanes:int ->
   ?jobs:int ->
   ?policy:Supervise.policy ->
@@ -92,7 +93,11 @@ val run_campaign :
 (** Defaults: [seed = 1], [faults = 20], 8x8 frame. Deterministic in
     [seed] (and independent of [engine] — the differential suite holds
     the classifications identical across engines). The circuit is
-    elaborated and compiled once into a shared {!Cyclesim.plan}; the
+    elaborated and compiled once into a shared {!Cyclesim.plan} — or,
+    when [plan] is given (the serve daemon's netlist cache), the
+    supplied plan is used directly, its circuit is the campaign
+    master, and [build] is never called (raises [Invalid_argument] if
+    [engine] is also given and disagrees with the plan's); the
     campaign is sharded one fault per shard across [jobs] domains
     (default [Parallel.default_jobs ()]), each worker reusing one plan
     instance across its faults with a reset in between. Results merge

@@ -213,6 +213,122 @@ let run_partial_local ?jobs ?cancel ~local n f =
 let run_partial ?jobs ?cancel n f =
   run_partial_local ?jobs ?cancel ~local:(fun () -> ()) n (fun () i -> f i)
 
+(* A persistent worker pool for open-ended task streams.  The batch
+   runners above own their domains for the duration of one call; a
+   long-running service ([Hwpat_serve]) instead keeps a fixed set of
+   worker domains alive across requests and feeds them through one
+   mutex-guarded queue.  Throughput here is bounded by request
+   execution time (milliseconds), not queue operations, so a simple
+   lock beats a lock-free structure on clarity with no measurable
+   cost.  Tasks must catch their own exceptions: a task that raises
+   anyway is swallowed (after counting) rather than killing the
+   worker, because one bad request must not take the pool down. *)
+module Pool = struct
+  type t = {
+    m : Mutex.t;
+    nonempty : Condition.t;
+    idle : Condition.t;
+    tasks : (unit -> unit) Queue.t;
+    mutable stopping : bool;
+    mutable running : int;  (* tasks popped and still executing *)
+    mutable escaped : int;  (* tasks that raised (a task bug) *)
+    mutable workers : unit Domain.t list;
+    jobs : int;
+  }
+
+  let worker t () =
+    let rec loop () =
+      Mutex.lock t.m;
+      while Queue.is_empty t.tasks && not t.stopping do
+        Condition.wait t.nonempty t.m
+      done;
+      if Queue.is_empty t.tasks then Mutex.unlock t.m (* stopping: retire *)
+      else begin
+        let task = Queue.pop t.tasks in
+        t.running <- t.running + 1;
+        Mutex.unlock t.m;
+        (try task ()
+         with _ ->
+           Mutex.lock t.m;
+           t.escaped <- t.escaped + 1;
+           Mutex.unlock t.m);
+        Mutex.lock t.m;
+        t.running <- t.running - 1;
+        if t.running = 0 && Queue.is_empty t.tasks then
+          Condition.broadcast t.idle;
+        Mutex.unlock t.m;
+        loop ()
+      end
+    in
+    loop ()
+
+  let create ?jobs () =
+    let jobs =
+      match jobs with Some j -> clamp_jobs j | None -> default_jobs ()
+    in
+    let t =
+      {
+        m = Mutex.create ();
+        nonempty = Condition.create ();
+        idle = Condition.create ();
+        tasks = Queue.create ();
+        stopping = false;
+        running = 0;
+        escaped = 0;
+        workers = [];
+        jobs;
+      }
+    in
+    t.workers <- List.init jobs (fun _ -> Domain.spawn (worker t));
+    t
+
+  let jobs t = t.jobs
+
+  let submit t task =
+    Mutex.lock t.m;
+    let accepted = not t.stopping in
+    if accepted then begin
+      Queue.add task t.tasks;
+      Condition.signal t.nonempty
+    end;
+    Mutex.unlock t.m;
+    accepted
+
+  let pending t =
+    Mutex.lock t.m;
+    let n = Queue.length t.tasks in
+    Mutex.unlock t.m;
+    n
+
+  let running t =
+    Mutex.lock t.m;
+    let n = t.running in
+    Mutex.unlock t.m;
+    n
+
+  let escaped t =
+    Mutex.lock t.m;
+    let n = t.escaped in
+    Mutex.unlock t.m;
+    n
+
+  let drain t =
+    Mutex.lock t.m;
+    while not (Queue.is_empty t.tasks && t.running = 0) do
+      Condition.wait t.idle t.m
+    done;
+    Mutex.unlock t.m
+
+  let shutdown t =
+    Mutex.lock t.m;
+    let workers = t.workers in
+    t.stopping <- true;
+    t.workers <- [];
+    Condition.broadcast t.nonempty;
+    Mutex.unlock t.m;
+    List.iter Domain.join workers
+end
+
 let run ?jobs n f =
   let partial = run_partial ?jobs n f in
   Array.map

@@ -86,3 +86,47 @@ val run_partial_local :
 
 val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
 (** List map over {!run}; order preserved. *)
+
+(** {1 Persistent worker pool}
+
+    The runners above spawn domains per call — right for batch
+    campaigns, wrong for a long-running service taking an open-ended
+    stream of requests.  A {!Pool.t} keeps a fixed set of worker
+    domains alive and feeds them tasks through one mutex-guarded
+    queue; [Hwpat_serve] dispatches every request through one.  Tasks
+    are closures responsible for delivering their own results (write a
+    response, fill a promise); a task that raises is counted in
+    {!Pool.escaped} and swallowed, so one bad task can never kill a
+    worker. *)
+
+module Pool : sig
+  type t
+
+  val create : ?jobs:int -> unit -> t
+  (** Spawn [jobs] worker domains (default {!default_jobs}, clamped
+      into [\[1, max_jobs\]]). *)
+
+  val jobs : t -> int
+
+  val submit : t -> (unit -> unit) -> bool
+  (** Enqueue a task; returns [false] (task dropped) after
+      {!shutdown} began.  The queue is unbounded — admission control
+      belongs to the caller, which can consult {!pending} before
+      submitting. *)
+
+  val pending : t -> int
+  (** Tasks queued and not yet started. *)
+
+  val running : t -> int
+  (** Tasks currently executing. *)
+
+  val escaped : t -> int
+  (** Tasks that raised instead of handling their own errors. *)
+
+  val drain : t -> unit
+  (** Block until the queue is empty and no task is running. *)
+
+  val shutdown : t -> unit
+  (** Stop accepting, let queued tasks finish, join the workers.
+      Idempotent. *)
+end

@@ -63,6 +63,10 @@ let check ctx =
     then raise (Shard_timeout ctx.timeout_s)
   end
 
+let remaining ctx =
+  if ctx.deadline = infinity then infinity
+  else Float.max 0.0 (ctx.deadline -. Unix.gettimeofday ())
+
 type 'a outcome = Done of 'a | Unfinished of { reason : string; attempts : int }
 
 let outcome_value = function Done v -> Some v | Unfinished _ -> None
@@ -133,6 +137,32 @@ let run_shards_local ?jobs ?(policy = default_policy)
         incr_m "cancelled";
         Unfinished { reason = "cancelled"; attempts = 0 })
     partial
+
+(* One supervised unit of work in the calling domain — the per-request
+   discipline of the serve daemon: same retry/deadline taxonomy as a
+   campaign shard, no sharding, no journal. *)
+let run_one ?(policy = default_policy) ?(metrics = Hwpat_obs.Metrics.null) f =
+  let incr_m name = Hwpat_obs.Metrics.incr metrics ("supervise." ^ name) in
+  let rec go attempt =
+    let ctx = make_ctx ~policy ~attempt in
+    match f ctx with
+    | v -> Done v
+    | exception e when is_transient e ->
+      (match e with
+      | Shard_timeout _ -> incr_m "timeouts"
+      | _ -> ());
+      if attempt <= policy.retries then begin
+        incr_m "retries";
+        if policy.backoff_s > 0.0 then
+          Unix.sleepf (policy.backoff_s *. float_of_int (1 lsl (attempt - 1)));
+        go (attempt + 1)
+      end
+      else begin
+        incr_m "unfinished";
+        Unfinished { reason = reason_of_exn e; attempts = attempt }
+      end
+  in
+  go 1
 
 let run_shards ?jobs ?policy ?metrics ?cancel ?journal ~key ?encode ?decode n
     f =

@@ -52,6 +52,12 @@ val check : ctx -> unit
 val attempt : ctx -> int
 (** 1 on the first try, incremented per retry. *)
 
+val remaining : ctx -> float
+(** Seconds left before this attempt's deadline trips (clamped at 0);
+    [infinity] when no timeout is configured.  Handlers that launch a
+    supervised sub-campaign use it to pass the enclosing request's
+    remaining budget down as the sub-campaign's shard timeout. *)
+
 (** {1 Outcomes} *)
 
 type 'a outcome =
@@ -63,6 +69,19 @@ type 'a outcome =
 
 val outcome_value : 'a outcome -> 'a option
 val unfinished_reason : 'a outcome -> string option
+
+val run_one :
+  ?policy:policy ->
+  ?metrics:Hwpat_obs.Metrics.t ->
+  (ctx -> 'a) ->
+  'a outcome
+(** One supervised unit of work, evaluated in the calling domain: the
+    same transient-retry / watchdog-deadline taxonomy as a campaign
+    shard, without sharding or journaling.  The serve daemon wraps
+    every request execution in [run_one] so a per-request deadline
+    surfaces as an explicit [Unfinished] outcome (mapped to a
+    [deadline] error response) instead of a hung worker.  Fatal
+    exceptions propagate to the caller. *)
 
 val run_shards :
   ?jobs:int ->

@@ -1,0 +1,97 @@
+type 'a entry = { value : 'a; mutable stamp : int }
+
+type 'a t = {
+  m : Mutex.t;
+  tbl : (string, 'a entry) Hashtbl.t;
+  capacity : int;
+  name : string;
+  metrics : Hwpat_obs.Metrics.t;
+  mutable tick : int;  (* recency clock: bumped on every touch *)
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+type counters = { hits : int; misses : int; evictions : int }
+
+let create ?(metrics = Hwpat_obs.Metrics.null) ~name ~capacity () =
+  {
+    m = Mutex.create ();
+    tbl = Hashtbl.create 64;
+    capacity;
+    name;
+    metrics;
+    tick = 0;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+  }
+
+let locked t f =
+  Mutex.lock t.m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
+
+let count t what =
+  Hwpat_obs.Metrics.incr t.metrics
+    (Printf.sprintf "serve.cache.%s.%s" t.name what)
+
+let touch t e =
+  t.tick <- t.tick + 1;
+  e.stamp <- t.tick
+
+(* O(n) scan for the oldest stamp — capacities here are tens of
+   entries, and eviction only runs on insert past capacity. *)
+let evict_oldest t =
+  let victim = ref None in
+  Hashtbl.iter
+    (fun k e ->
+      match !victim with
+      | Some (_, stamp) when stamp <= e.stamp -> ()
+      | _ -> victim := Some (k, e.stamp))
+    t.tbl;
+  match !victim with
+  | None -> ()
+  | Some (k, _) ->
+    Hashtbl.remove t.tbl k;
+    t.evictions <- t.evictions + 1;
+    count t "evictions"
+
+let find t key =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.tbl key with
+      | Some e ->
+        t.hits <- t.hits + 1;
+        count t "hits";
+        touch t e;
+        Some e.value
+      | None ->
+        t.misses <- t.misses + 1;
+        count t "misses";
+        None)
+
+let add t key value =
+  if t.capacity > 0 then
+    locked t (fun () ->
+        if not (Hashtbl.mem t.tbl key) then begin
+          if Hashtbl.length t.tbl >= t.capacity then evict_oldest t;
+          let e = { value; stamp = 0 } in
+          touch t e;
+          Hashtbl.add t.tbl key e
+        end)
+
+let find_or_add t key compute =
+  match find t key with
+  | Some v -> v
+  | None ->
+    let v = compute () in
+    add t key v;
+    v
+
+let length t = locked t (fun () -> Hashtbl.length t.tbl)
+
+let counters t =
+  locked t (fun () ->
+      { hits = t.hits; misses = t.misses; evictions = t.evictions })
+
+let name t = t.name
+let clear t = locked t (fun () -> Hashtbl.reset t.tbl)

@@ -1,0 +1,45 @@
+(** Size-bounded LRU cache with hit/miss/eviction accounting.
+
+    One cache per artifact kind (elaborated circuits, compiled
+    simulation plans, rendered result payloads), keyed by the
+    {!Canon} canonical strings.  Lookups are guarded by a mutex;
+    {e computation happens outside the lock}, so a slow elaboration
+    never blocks unrelated requests.  Two concurrent misses on the
+    same key may both compute — the repo's artifacts are deterministic,
+    so whichever insert lands last is byte-identical to the other and
+    correctness is unaffected; the duplicate work is accepted in
+    exchange for never holding the lock across user code. *)
+
+type 'a t
+
+val create :
+  ?metrics:Hwpat_obs.Metrics.t -> name:string -> capacity:int -> unit -> 'a t
+(** [capacity <= 0] disables caching (every lookup misses and nothing
+    is retained).  When a metrics registry is given, the counters
+    [serve.cache.<name>.{hits,misses,evictions}] mirror this cache's
+    accounting. *)
+
+val find_or_add : 'a t -> string -> (unit -> 'a) -> 'a
+(** Return the cached value for the key, or compute, insert and return
+    it.  Insertion past capacity evicts the least-recently-used entry.
+    If the compute function raises, nothing is inserted. *)
+
+val find : 'a t -> string -> 'a option
+(** Lookup without computing; counts as a hit or miss and refreshes
+    recency on hit. *)
+
+val add : 'a t -> string -> 'a -> unit
+(** Insert without looking up (first writer wins on an existing key).
+    For values that are only cacheable conditionally — a campaign
+    summary is inserted only when it ran to completion, since one cut
+    short by a request deadline contains unfinished shards. *)
+
+val length : 'a t -> int
+
+type counters = { hits : int; misses : int; evictions : int }
+
+val counters : 'a t -> counters
+val name : 'a t -> string
+
+val clear : 'a t -> unit
+(** Drop every entry (counters are retained). *)

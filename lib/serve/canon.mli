@@ -1,0 +1,40 @@
+(** Canonicalization of request parameters into typed configs and
+    stable cache keys.
+
+    Two requests that mean the same thing — object members in a
+    different order, defaults spelled out versus omitted, container
+    aliases ("rbuffer" / "read-buffer"), operation lists in any order —
+    must canonicalize to the {e same} [Config.t] and the same key, so
+    the second one hits the cache and its response is byte-identical
+    to the first's.  The key renders {e every} field of the resolved
+    config (defaults applied) in one fixed order; nothing about the
+    request's surface syntax survives into it. *)
+
+val container_of_string : string -> Hwpat_meta.Metamodel.container_kind
+(** Accepts the CLI spellings (stack, queue, rbuffer/read-buffer,
+    wbuffer/write-buffer, vector, assoc/assoc-array); raises
+    {!Protocol.Error} [Invalid_params] otherwise. *)
+
+val target_of_string : string -> Hwpat_meta.Metamodel.target
+(** fifo, lifo, bram, sram, linebuf/linebuf3. *)
+
+val operation_of_string : string -> Hwpat_meta.Metamodel.operation
+(** inc, dec, read, write, index. *)
+
+val config_of_params : Json.t -> Hwpat_meta.Config.t
+(** Build a validated config from request params: [container] and
+    [target] (required), [width] (default 8), [depth] (default 512),
+    [instance] (default "gen"), [bus], [addr_width], [ops] (list of
+    operation names, normalized into Table-2 order and deduplicated),
+    [wait_states], [parity], [op_timeout].  Validation failures
+    ({!Hwpat_meta.Config.make}'s [Invalid_argument]) surface as
+    {!Protocol.Error} [Invalid_params]. *)
+
+val config_key : Hwpat_meta.Config.t -> string
+(** Stable rendering of every resolved field, the cache identity. *)
+
+val plan_key :
+  design:string -> style:string -> frame_w:int -> frame_h:int ->
+  engine:Hwpat_rtl.Cyclesim.engine -> string
+(** Cache identity of a compiled simulation plan for a named video
+    design (design/style lower-cased). *)

@@ -1,0 +1,55 @@
+(** Request handlers: the daemon's method table over the existing
+    pipeline (elaborate, codegen, netlist emit, simulate, fault
+    campaigns, characterisation sweeps, proof battery).
+
+    Handlers never touch sockets or framing — they map validated
+    request params to a JSON result, raising {!Protocol.Error} for
+    request-level failures.  The server wraps each call in
+    {!Hwpat_core.Supervise.run_one}; the [ctx] argument is that
+    supervision context, polled (directly or through the pipeline's
+    [?check] hooks) so a per-request deadline interrupts a simulation
+    mid-cycle instead of after it.
+
+    Caching: elaborated circuits, compiled simulation plans and
+    deterministic whole-result payloads live in three {!Cache}s keyed
+    by {!Canon} strings.  A repeated canonically-equal request is
+    answered from the results cache byte-identically.  Campaign
+    results (faultsim, sweep) are cached only when the request ran
+    without a deadline — a deadline can cut shards short, and a
+    truncated summary must never be replayed to a later caller.
+    [prove] results are never cached (they embed measured seconds). *)
+
+type t = {
+  circuits : Hwpat_rtl.Circuit.t Cache.t;
+  plans : (Hwpat_rtl.Cyclesim.plan * Hwpat_core.Designs.flavor) Cache.t;
+  results : Json.t Cache.t;
+  trace : Hwpat_obs.Trace.t;
+  metrics : Hwpat_obs.Metrics.t;
+  jobs : int;  (** default shard count for in-request campaigns *)
+}
+
+val create :
+  ?trace:Hwpat_obs.Trace.t ->
+  ?metrics:Hwpat_obs.Metrics.t ->
+  ?cache_size:int ->
+  ?jobs:int ->
+  unit ->
+  t
+(** [cache_size] (default 32) bounds each of the three caches
+    individually; [jobs] defaults to 1 — the daemon parallelises
+    {e across} requests by default, and a request asks for in-request
+    sharding explicitly via its [jobs] param. *)
+
+val methods : string list
+(** Every method {!handle} dispatches, sorted — the wire-visible
+    catalog (ping, elaborate, codegen, emit, simulate, faultsim,
+    sweep, prove, batch, sleep).  [stats] and [shutdown] are handled
+    by the server itself and are not in this list. *)
+
+val handle : t -> Hwpat_core.Supervise.ctx -> Protocol.request -> Json.t
+(** Dispatch one request.  Raises {!Protocol.Error} for protocol-level
+    failures; [Failure]/[Invalid_argument] escaping the pipeline are
+    the caller's to map to [invalid-params]. *)
+
+val cache_stats_json : t -> Json.t
+(** Per-cache hit/miss/eviction/entry counts for the [stats] response. *)

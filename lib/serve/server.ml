@@ -1,0 +1,395 @@
+open Hwpat_core
+
+type config = {
+  jobs : int;
+  campaign_jobs : int;
+  cache_size : int;
+  max_inflight : int;
+  queue_bound : int;
+  max_request_bytes : int;
+  trace : Hwpat_obs.Trace.t;
+  metrics : Hwpat_obs.Metrics.t;
+}
+
+let default_config =
+  {
+    jobs = 1;
+    campaign_jobs = 1;
+    cache_size = 32;
+    max_inflight = 64;
+    queue_bound = 32;
+    max_request_bytes = 1 lsl 20;
+    trace = Hwpat_obs.Trace.null;
+    metrics = Hwpat_obs.Metrics.null;
+  }
+
+type t = {
+  config : config;
+  handlers : Handlers.t;
+  pool : Parallel.Pool.t;
+  stop_flag : bool Atomic.t;
+  started : float;
+  accepted : int Atomic.t;
+  ok : int Atomic.t;
+  errors : int Atomic.t;
+  rejected : int Atomic.t;
+}
+
+let create config =
+  let jobs = Parallel.clamp_jobs config.jobs in
+  {
+    config = { config with jobs };
+    handlers =
+      Handlers.create ~trace:config.trace ~metrics:config.metrics
+        ~cache_size:config.cache_size ~jobs:config.campaign_jobs ();
+    pool = Parallel.Pool.create ~jobs ();
+    stop_flag = Atomic.make false;
+    started = Unix.gettimeofday ();
+    accepted = Atomic.make 0;
+    ok = Atomic.make 0;
+    errors = Atomic.make 0;
+    rejected = Atomic.make 0;
+  }
+
+let handlers t = t.handlers
+let stop t = Atomic.set t.stop_flag true
+let stopping t = Atomic.get t.stop_flag
+let shutdown t = Parallel.Pool.shutdown t.pool
+
+let stats_json t =
+  Json.Obj
+    [
+      ( "requests",
+        Json.Obj
+          [
+            ("accepted", Json.Int (Atomic.get t.accepted));
+            ("ok", Json.Int (Atomic.get t.ok));
+            ("errors", Json.Int (Atomic.get t.errors));
+            ("rejected", Json.Int (Atomic.get t.rejected));
+          ] );
+      ("caches", Handlers.cache_stats_json t.handlers);
+      ( "pool",
+        Json.Obj
+          [
+            ("jobs", Json.Int (Parallel.Pool.jobs t.pool));
+            ("pending", Json.Int (Parallel.Pool.pending t.pool));
+            ("running", Json.Int (Parallel.Pool.running t.pool));
+          ] );
+      ( "timing",
+        Json.Obj
+          [ ("uptime_s", Json.Float (Unix.gettimeofday () -. t.started)) ] );
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Request execution (on a pool worker)                                *)
+(* ------------------------------------------------------------------ *)
+
+let count_response t line is_ok =
+  Atomic.incr (if is_ok then t.ok else t.errors);
+  Hwpat_obs.Metrics.incr t.config.metrics
+    (if is_ok then "serve.responses.ok" else "serve.responses.error");
+  Hwpat_obs.Metrics.observe t.config.metrics "serve.response_bytes"
+    (String.length line)
+
+(* Returns the serialized response line and whether it is a success. *)
+let execute t (req : Protocol.request) =
+  let id = req.Protocol.id in
+  let t0 = Unix.gettimeofday () in
+  let line, is_ok =
+    match
+      Hwpat_obs.Trace.span t.config.trace ("serve:" ^ req.Protocol.meth)
+        (fun () ->
+          let deadline =
+            Json.get_float req.Protocol.params "deadline_s" ~default:0.0
+          in
+          if deadline < 0.0 then
+            Protocol.invalid_params "deadline_s must be non-negative";
+          let policy =
+            {
+              Supervise.retries = 0;
+              backoff_s = 0.0;
+              shard_timeout_s = deadline;
+            }
+          in
+          Supervise.run_one ~policy ~metrics:t.config.metrics (fun ctx ->
+              Handlers.handle t.handlers ctx req))
+    with
+    | Supervise.Done result -> (Protocol.response_ok ~id result, true)
+    | Supervise.Unfinished { reason; _ } ->
+      (Protocol.response_error ~id Protocol.Deadline reason, false)
+    | exception Protocol.Error (code, msg) ->
+      (Protocol.response_error ~id code msg, false)
+    | exception (Failure msg | Invalid_argument msg) ->
+      (Protocol.response_error ~id Protocol.Invalid_params msg, false)
+    | exception Json.Type_error msg ->
+      (Protocol.response_error ~id Protocol.Invalid_params msg, false)
+    | exception e ->
+      (Protocol.response_error ~id Protocol.Internal (Printexc.to_string e), false)
+  in
+  Hwpat_obs.Metrics.observe t.config.metrics "serve.latency_us"
+    (int_of_float ((Unix.gettimeofday () -. t0) *. 1e6));
+  (line, is_ok)
+
+(* ------------------------------------------------------------------ *)
+(* Per-connection state: bounded line intake, reorder-buffer output    *)
+(* ------------------------------------------------------------------ *)
+
+let rec write_all fd s off len =
+  if len > 0 then begin
+    let n =
+      try Unix.write_substring fd s off len
+      with Unix.Unix_error (Unix.EINTR, _, _) -> 0
+    in
+    write_all fd s (off + n) (len - n)
+  end
+
+type conn = {
+  out_fd : Unix.file_descr;
+  m : Mutex.t;
+  drained : Condition.t;
+  parked : (int, string) Hashtbl.t;
+  mutable next_assign : int;
+  mutable next_emit : int;
+}
+
+let make_conn out_fd =
+  {
+    out_fd;
+    m = Mutex.create ();
+    drained = Condition.create ();
+    parked = Hashtbl.create 16;
+    next_assign = 0;
+    next_emit = 0;
+  }
+
+let assign conn =
+  Mutex.lock conn.m;
+  let seq = conn.next_assign in
+  conn.next_assign <- seq + 1;
+  Mutex.unlock conn.m;
+  seq
+
+(* Park a finished response and flush the consecutive prefix. *)
+let complete conn seq line =
+  Mutex.lock conn.m;
+  Hashtbl.replace conn.parked seq line;
+  let rec flush () =
+    match Hashtbl.find_opt conn.parked conn.next_emit with
+    | None -> ()
+    | Some line ->
+      Hashtbl.remove conn.parked conn.next_emit;
+      conn.next_emit <- conn.next_emit + 1;
+      write_all conn.out_fd (line ^ "\n") 0 (String.length line + 1);
+      flush ()
+  in
+  flush ();
+  Condition.broadcast conn.drained;
+  Mutex.unlock conn.m
+
+let wait_drained conn =
+  Mutex.lock conn.m;
+  while conn.next_emit < conn.next_assign do
+    Condition.wait conn.drained conn.m
+  done;
+  Mutex.unlock conn.m
+
+(* Bounded line reader.  Polls with a select timeout so a {!stop}
+   request (SIGINT) interrupts a connection that is idle mid-read;
+   lines beyond the byte bound are reported once and discarded without
+   being buffered. *)
+type reader = {
+  in_fd : Unix.file_descr;
+  chunk : Bytes.t;
+  acc : Buffer.t;
+  lines : [ `Line of string | `Oversized ] Queue.t;
+  mutable discarding : bool;
+  mutable eof : bool;
+}
+
+let make_reader in_fd =
+  {
+    in_fd;
+    chunk = Bytes.create 65536;
+    acc = Buffer.create 256;
+    lines = Queue.create ();
+    discarding = false;
+    eof = false;
+  }
+
+let strip_cr line =
+  let n = String.length line in
+  if n > 0 && line.[n - 1] = '\r' then String.sub line 0 (n - 1) else line
+
+let ingest r ~max_bytes n =
+  for i = 0 to n - 1 do
+    match Bytes.get r.chunk i with
+    | '\n' ->
+      if r.discarding then r.discarding <- false
+      else begin
+        Queue.push (`Line (strip_cr (Buffer.contents r.acc))) r.lines;
+        Buffer.clear r.acc
+      end
+    | c ->
+      if not r.discarding then begin
+        Buffer.add_char r.acc c;
+        if Buffer.length r.acc > max_bytes then begin
+          Buffer.clear r.acc;
+          r.discarding <- true;
+          Queue.push `Oversized r.lines
+        end
+      end
+  done
+
+let rec next_line t r ~max_bytes =
+  match Queue.take_opt r.lines with
+  | Some (`Line _ as ev) | Some (`Oversized as ev) -> ev
+  | None ->
+    if r.eof then `Eof
+    else if stopping t then `Stopped
+    else begin
+      (match Unix.select [ r.in_fd ] [] [] 0.2 with
+      | [], _, _ -> ()
+      | _ -> (
+        match Unix.read r.in_fd r.chunk 0 (Bytes.length r.chunk) with
+        | 0 ->
+          r.eof <- true;
+          (* a final unterminated line still counts *)
+          if Buffer.length r.acc > 0 && not r.discarding then begin
+            Queue.push (`Line (strip_cr (Buffer.contents r.acc))) r.lines;
+            Buffer.clear r.acc
+          end
+        | n -> ingest r ~max_bytes n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+      next_line t r ~max_bytes
+    end
+
+(* ------------------------------------------------------------------ *)
+(* Intake                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let reject t conn seq ~id code msg =
+  Atomic.incr t.rejected;
+  Hwpat_obs.Metrics.incr t.config.metrics
+    (Printf.sprintf "serve.rejected.%s" (Protocol.code_string code));
+  complete conn seq (Protocol.response_error ~id code msg)
+
+let admit t =
+  let pending = Parallel.Pool.pending t.pool in
+  let inflight = pending + Parallel.Pool.running t.pool in
+  if pending >= t.config.queue_bound || inflight >= t.config.max_inflight then
+    Error
+      (Printf.sprintf "%d requests in flight (max %d queued, %d total)"
+         inflight t.config.queue_bound t.config.max_inflight)
+  else Ok ()
+
+let handle_line t conn line =
+  let seq = assign conn in
+  match Json.parse line with
+  | Error msg ->
+    reject t conn seq ~id:Json.Null Protocol.Parse_error msg
+  | Ok doc -> (
+    match Protocol.parse_request doc with
+    | Error msg -> reject t conn seq ~id:Json.Null Protocol.Invalid_request msg
+    | Ok req -> (
+      let id = req.Protocol.id in
+      match req.Protocol.meth with
+      (* stats rides the pool queue (exempt from admission control, so
+         it stays answerable under overload): behind one worker it runs
+         after every earlier request has finished, which makes its
+         counters a deterministic function of the session — the golden
+         transcripts depend on that.  Lifecycle stays at intake. *)
+      | "stats" ->
+        Atomic.incr t.accepted;
+        let task () =
+          Atomic.incr t.ok;
+          complete conn seq (Protocol.response_ok ~id (stats_json t))
+        in
+        if not (Parallel.Pool.submit t.pool task) then begin
+          Atomic.incr t.ok;
+          complete conn seq (Protocol.response_ok ~id (stats_json t))
+        end
+      | "shutdown" ->
+        Atomic.incr t.accepted;
+        Atomic.incr t.ok;
+        complete conn seq
+          (Protocol.response_ok ~id (Json.Obj [ ("stopping", Json.Bool true) ]));
+        stop t
+      | _ ->
+        if stopping t then
+          reject t conn seq ~id Protocol.Shutting_down
+            "server is shutting down"
+        else (
+          match admit t with
+          | Error msg -> reject t conn seq ~id Protocol.Overloaded msg
+          | Ok () ->
+            Atomic.incr t.accepted;
+            Hwpat_obs.Metrics.incr t.config.metrics "serve.requests";
+            let task () =
+              let line, is_ok = execute t req in
+              count_response t line is_ok;
+              complete conn seq line
+            in
+            if not (Parallel.Pool.submit t.pool task) then
+              reject t conn seq ~id Protocol.Shutting_down
+                "server is shutting down")))
+
+let serve_connection t in_fd out_fd =
+  let conn = make_conn out_fd in
+  let r = make_reader in_fd in
+  let rec loop () =
+    match next_line t r ~max_bytes:t.config.max_request_bytes with
+    | `Eof | `Stopped -> ()
+    | `Oversized ->
+      let seq = assign conn in
+      reject t conn seq ~id:Json.Null Protocol.Oversized
+        (Printf.sprintf "request line exceeds %d bytes"
+           t.config.max_request_bytes);
+      loop ()
+    | `Line "" -> loop ()
+    | `Line line ->
+      handle_line t conn line;
+      loop ()
+  in
+  loop ();
+  wait_drained conn
+
+(* ------------------------------------------------------------------ *)
+(* Entry points                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let run_stdio t =
+  Fun.protect
+    ~finally:(fun () -> shutdown t)
+    (fun () -> serve_connection t Unix.stdin Unix.stdout)
+
+let run_socket t ~path =
+  (if Sys.file_exists path then
+     try Unix.unlink path with Unix.Unix_error _ -> ());
+  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let conns = ref [] in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+      List.iter Domain.join !conns;
+      shutdown t;
+      try Unix.unlink path with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.bind listen_fd (Unix.ADDR_UNIX path);
+      Unix.listen listen_fd 16;
+      while not (stopping t) do
+        match Unix.select [ listen_fd ] [] [] 0.2 with
+        | [], _, _ -> ()
+        | _ -> (
+          match Unix.accept listen_fd with
+          | fd, _ ->
+            let d =
+              Domain.spawn (fun () ->
+                  Fun.protect
+                    ~finally:(fun () ->
+                      try Unix.close fd with Unix.Unix_error _ -> ())
+                    (fun () -> serve_connection t fd fd))
+            in
+            conns := d :: !conns
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> ())
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      done)

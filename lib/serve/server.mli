@@ -1,0 +1,85 @@
+(** The design-service daemon: line-delimited JSON over stdio or a
+    Unix socket, dispatched concurrently over a persistent
+    {!Hwpat_core.Parallel.Pool}.
+
+    {2 Ordering}
+
+    Requests on one connection execute concurrently, but responses are
+    emitted {e in request order}: each request takes a sequence number
+    at intake, finished responses park in a per-connection reorder
+    buffer, and the writer flushes the consecutive prefix.  With one
+    worker this makes a scripted session's transcript byte-stable —
+    the golden tests rely on it — while more workers only change
+    latency, never the response order.
+
+    {2 Admission and deadlines}
+
+    A request is rejected with an [overloaded] error when the pool
+    backlog reaches [queue_bound] or total in-flight work reaches
+    [max_inflight]; a line longer than [max_request_bytes] is answered
+    with [oversized] and discarded without buffering.  Each accepted
+    request runs under {!Hwpat_core.Supervise.run_one}; a
+    [deadline_s] param becomes the supervision watchdog, and expiry
+    surfaces as a [deadline] error while the worker, pool and caches
+    stay healthy.
+
+    {2 Shutdown}
+
+    {!stop} (the CLI's SIGINT hook), a [shutdown] request, or
+    end-of-input on stdio all end intake; in-flight requests drain,
+    their responses flush, and the run function returns so the caller
+    can write its observability files and exit cleanly. *)
+
+type config = {
+  jobs : int;  (** pool worker domains *)
+  campaign_jobs : int;  (** default in-request campaign sharding *)
+  cache_size : int;  (** per-cache LRU capacity *)
+  max_inflight : int;
+  queue_bound : int;
+  max_request_bytes : int;
+  trace : Hwpat_obs.Trace.t;
+  metrics : Hwpat_obs.Metrics.t;
+}
+
+val default_config : config
+(** jobs 1, campaign_jobs 1, cache_size 32, max_inflight 64,
+    queue_bound 32, max_request_bytes 1 MiB, observability disabled. *)
+
+type t
+
+val create : config -> t
+(** Spawns the worker pool. *)
+
+val handlers : t -> Handlers.t
+
+val stop : t -> unit
+(** Begin shutdown: intake loops and accept loops wind down, requests
+    already admitted still complete.  Idempotent, signal-safe in the
+    sense of only setting a flag. *)
+
+val stopping : t -> bool
+
+val serve_connection : t -> Unix.file_descr -> Unix.file_descr -> unit
+(** Serve one connection (read requests from the first descriptor,
+    write responses to the second) until end-of-input or {!stop};
+    returns after every admitted request's response has been written.
+    Does not close the descriptors.  Exposed for the tests, which run
+    the server over [socketpair]s without a listener. *)
+
+val run_stdio : t -> unit
+(** Serve stdin/stdout, then drain the pool. *)
+
+val run_socket : t -> path:string -> unit
+(** Listen on a Unix domain socket (any stale file at [path] is
+    replaced), serving each accepted connection on its own domain,
+    until {!stop}; then joins the connections, drains the pool and
+    removes the socket file. *)
+
+val shutdown : t -> unit
+(** Drain and join the worker pool.  Idempotent; the run functions
+    call it on their way out. *)
+
+val stats_json : t -> Json.t
+(** The [stats] result payload: request counters, cache counters,
+    pool occupancy, and a flat ["timing"] subobject (the only
+    wall-clock-dependent values in any response — tests mask it). *)

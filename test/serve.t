@@ -1,0 +1,66 @@
+The serve daemon's golden transcript.  Everything runs at -j 1 so the
+single pool worker answers strictly in intake order and every counter
+in the final stats is determined by the script alone; the stats request
+is the LAST line of the session because intake-side counters for any
+later line would race the stats snapshot.  The "timing" subobject is
+the only wall-clock field in a response and is masked.
+
+Session 1 — the happy path and every parse-layer error.  Requests 2
+and 3 are the same config with members in different orders: canonical
+keys make them one cache entry, so the two responses are byte-identical
+and the final stats shows the hit.  Requests 4 and 5 warm and then hit
+the compiled-plan and result caches.
+
+  $ cat > session1.txt <<'EOF'
+  > {"id":1,"method":"ping"}
+  > {"id":2,"method":"elaborate","params":{"container":"queue","target":"bram","width":8,"depth":64}}
+  > {"id":3,"method":"elaborate","params":{"depth":64,"width":8,"target":"bram","container":"queue"}}
+  > {"id":4,"method":"simulate","params":{"design":"blur","width":6,"height":6}}
+  > {"id":5,"method":"simulate","params":{"design":"blur","width":6,"height":6}}
+  > not json
+  > {"id":6,"method":"nope"}
+  > {"method":"ping","extra":1}
+  > {"id":7,"method":"elaborate","params":{"container":"queue","target":"bram","width":"wide"}}
+  > {"id":8,"method":"stats"}
+  > EOF
+  $ hwpat serve -j 1 < session1.txt 2>/dev/null | sed -e 's/"timing":{[^}]*}/"timing":{}/'
+  {"id":1,"result":{"pong":true,"methods":["batch","codegen","elaborate","emit","faultsim","ping","prove","simulate","sleep","sweep"]}}
+  {"id":2,"result":{"key":"cfg/queue/bram/inst=gen/w=8/d=64/bus=8/addr=6/ops=inc+read+write/ws=1/par=false/to=none/pruned=false","entity":"gen_bram","pruned":false,"nodes":68,"register_bits":22,"memory_bits":512,"memories":1,"inputs":3,"outputs":6}}
+  {"id":3,"result":{"key":"cfg/queue/bram/inst=gen/w=8/d=64/bus=8/addr=6/ops=inc+read+write/ws=1/par=false/to=none/pruned=false","entity":"gen_bram","pruned":false,"nodes":68,"register_bits":22,"memory_bits":512,"memories":1,"inputs":3,"outputs":6}}
+  {"id":4,"result":{"key":"simulate/plan/blur/pattern/6x6/compiled/p=gradient","design":"blur_pattern","width":6,"height":6,"pattern":"gradient","cycles":90,"cycles_per_pixel":5.625,"matches_reference":true}}
+  {"id":5,"result":{"key":"simulate/plan/blur/pattern/6x6/compiled/p=gradient","design":"blur_pattern","width":6,"height":6,"pattern":"gradient","cycles":90,"cycles_per_pixel":5.625,"matches_reference":true}}
+  {"id":null,"error":{"code":"parse-error","message":"invalid literal (expected null) at byte 0"}}
+  {"id":6,"error":{"code":"unknown-method","message":"unknown method \"nope\" (valid: batch, codegen, elaborate, emit, faultsim, ping, prove, simulate, sleep, sweep, stats, shutdown)"}}
+  {"id":null,"error":{"code":"invalid-request","message":"unknown request field \"extra\""}}
+  {"id":7,"error":{"code":"invalid-params","message":"width must be an integer"}}
+  {"id":8,"result":{"requests":{"accepted":8,"ok":6,"errors":2,"rejected":2},"caches":{"circuits":{"hits":1,"misses":1,"evictions":0,"entries":1},"plans":{"hits":1,"misses":1,"evictions":0,"entries":1},"results":{"hits":2,"misses":2,"evictions":0,"entries":2}},"pool":{"jobs":1,"pending":0,"running":1},"timing":{}}}
+
+Session 2 — the shutdown method.  Stop ends intake: lines the reader
+has already buffered are still answered, but anything other than
+lifecycle methods is rejected shutting-down.  Reading from a file, all
+three lines arrive in the reader's first chunk, so the post-shutdown
+ping deterministically gets the rejection rather than silence.
+
+  $ cat > session2.txt <<'EOF'
+  > {"id":1,"method":"simulate","params":{"design":"blur","width":6,"height":6}}
+  > {"id":2,"method":"shutdown"}
+  > {"id":3,"method":"ping"}
+  > EOF
+  $ hwpat serve -j 1 < session2.txt 2>/dev/null
+  {"id":1,"result":{"key":"simulate/plan/blur/pattern/6x6/compiled/p=gradient","design":"blur_pattern","width":6,"height":6,"pattern":"gradient","cycles":90,"cycles_per_pixel":5.625,"matches_reference":true}}
+  {"id":2,"result":{"stopping":true}}
+  {"id":3,"error":{"code":"shutting-down","message":"server is shutting down"}}
+
+Session 3 — the admission boundary for request size.  An over-long
+line is rejected without being parsed (the reader discards it as it
+streams past), and the connection keeps serving.
+
+  $ { printf '{"id":1,"method":"ping"}\n'
+  >   printf '{"id":2,"method":"elaborate","params":{"container":"queue","target":"bram","note":"%s"}}\n' \
+  >     "$(printf 'x%.0s' $(seq 1 400))"
+  >   printf '{"id":3,"method":"ping"}\n'
+  > } > session3.txt
+  $ hwpat serve -j 1 --max-request-bytes 300 < session3.txt 2>/dev/null
+  {"id":1,"result":{"pong":true,"methods":["batch","codegen","elaborate","emit","faultsim","ping","prove","simulate","sleep","sweep"]}}
+  {"id":null,"error":{"code":"oversized","message":"request line exceeds 300 bytes"}}
+  {"id":3,"result":{"pong":true,"methods":["batch","codegen","elaborate","emit","faultsim","ping","prove","simulate","sleep","sweep"]}}
