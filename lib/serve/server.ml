@@ -36,6 +36,11 @@ type t = {
 }
 
 let create config =
+  (* A client that disconnects before reading its responses must not
+     take the daemon down: turn SIGPIPE into EPIPE from write(2), which
+     [complete] handles per-connection. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
   let jobs = Parallel.clamp_jobs config.jobs in
   {
     config = { config with jobs };
@@ -150,6 +155,7 @@ type conn = {
   parked : (int, string) Hashtbl.t;
   mutable next_assign : int;
   mutable next_emit : int;
+  mutable dead : bool;  (* write failed: drop remaining responses *)
 }
 
 let make_conn out_fd =
@@ -160,38 +166,50 @@ let make_conn out_fd =
     parked = Hashtbl.create 16;
     next_assign = 0;
     next_emit = 0;
+    dead = false;
   }
 
-let assign conn =
+let locked conn f =
   Mutex.lock conn.m;
-  let seq = conn.next_assign in
-  conn.next_assign <- seq + 1;
-  Mutex.unlock conn.m;
-  seq
+  Fun.protect ~finally:(fun () -> Mutex.unlock conn.m) f
 
-(* Park a finished response and flush the consecutive prefix. *)
+let assign conn =
+  locked conn (fun () ->
+      let seq = conn.next_assign in
+      conn.next_assign <- seq + 1;
+      seq)
+
+(* Park a finished response and flush the consecutive prefix.  A write
+   failure (EPIPE/ECONNRESET from a departed client — SIGPIPE is
+   ignored in [create]) marks the connection dead; later responses
+   still advance [next_emit] (so [wait_drained] terminates) but are
+   dropped instead of written. *)
 let complete conn seq line =
-  Mutex.lock conn.m;
-  Hashtbl.replace conn.parked seq line;
-  let rec flush () =
-    match Hashtbl.find_opt conn.parked conn.next_emit with
-    | None -> ()
-    | Some line ->
-      Hashtbl.remove conn.parked conn.next_emit;
-      conn.next_emit <- conn.next_emit + 1;
-      write_all conn.out_fd (line ^ "\n") 0 (String.length line + 1);
-      flush ()
-  in
-  flush ();
-  Condition.broadcast conn.drained;
-  Mutex.unlock conn.m
+  locked conn (fun () ->
+      Fun.protect
+        ~finally:(fun () -> Condition.broadcast conn.drained)
+        (fun () ->
+          Hashtbl.replace conn.parked seq line;
+          let rec flush () =
+            match Hashtbl.find_opt conn.parked conn.next_emit with
+            | None -> ()
+            | Some line ->
+              Hashtbl.remove conn.parked conn.next_emit;
+              conn.next_emit <- conn.next_emit + 1;
+              (if not conn.dead then
+                 try
+                   write_all conn.out_fd (line ^ "\n") 0
+                     (String.length line + 1)
+                 with Unix.Unix_error _ -> conn.dead <- true);
+              flush ()
+          in
+          flush ()))
 
 let wait_drained conn =
-  Mutex.lock conn.m;
-  while conn.next_emit < conn.next_assign do
-    Condition.wait conn.drained conn.m
-  done;
-  Mutex.unlock conn.m
+  locked conn (fun () ->
+      while conn.next_emit < conn.next_assign do
+        Condition.wait conn.drained conn.m
+      done)
 
 (* Bounded line reader.  Polls with a select timeout so a {!stop}
    request (SIGINT) interrupts a connection that is idle mid-read;
@@ -240,6 +258,14 @@ let ingest r ~max_bytes n =
       end
   done
 
+let reader_eof r =
+  r.eof <- true;
+  (* a final unterminated line still counts *)
+  if Buffer.length r.acc > 0 && not r.discarding then begin
+    Queue.push (`Line (strip_cr (Buffer.contents r.acc))) r.lines;
+    Buffer.clear r.acc
+  end
+
 let rec next_line t r ~max_bytes =
   match Queue.take_opt r.lines with
   | Some (`Line _ as ev) | Some (`Oversized as ev) -> ev
@@ -251,14 +277,12 @@ let rec next_line t r ~max_bytes =
       | [], _, _ -> ()
       | _ -> (
         match Unix.read r.in_fd r.chunk 0 (Bytes.length r.chunk) with
-        | 0 ->
-          r.eof <- true;
-          (* a final unterminated line still counts *)
-          if Buffer.length r.acc > 0 && not r.discarding then begin
-            Queue.push (`Line (strip_cr (Buffer.contents r.acc))) r.lines;
-            Buffer.clear r.acc
-          end
-        | n -> ingest r ~max_bytes n)
+        | 0 -> reader_eof r
+        | n -> ingest r ~max_bytes n
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+        (* ECONNRESET and friends from a resetting client: same as a
+           hangup, not a daemon-level failure *)
+        | exception Unix.Unix_error _ -> reader_eof r)
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
       next_line t r ~max_bytes
     end
@@ -362,15 +386,57 @@ let run_stdio t =
     ~finally:(fun () -> shutdown t)
     (fun () -> serve_connection t Unix.stdin Unix.stdout)
 
+(* Make [path] bindable without displacing anything live: refuse
+   non-socket files outright, probe an existing socket and refuse it
+   too if a daemon still answers; only a stale socket is unlinked. *)
+let claim_socket_path path =
+  match Unix.lstat path with
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+  | { Unix.st_kind = Unix.S_SOCK; _ } ->
+    let probe = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    let live =
+      Fun.protect
+        ~finally:(fun () ->
+          try Unix.close probe with Unix.Unix_error _ -> ())
+        (fun () ->
+          match Unix.connect probe (Unix.ADDR_UNIX path) with
+          | () -> true
+          | exception Unix.Unix_error _ -> false)
+    in
+    if live then
+      failwith
+        (Printf.sprintf "%s: a server is already listening on this socket"
+           path);
+    (try Unix.unlink path with Unix.Unix_error _ -> ())
+  | _ ->
+    failwith
+      (Printf.sprintf "%s: refusing to remove: existing file is not a socket"
+         path)
+
 let run_socket t ~path =
-  (if Sys.file_exists path then
-     try Unix.unlink path with Unix.Unix_error _ -> ());
+  claim_socket_path path;
   let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (* Connection domains carry a done flag so the accept loop can reap
+     finished ones as it goes (OCaml caps live domains) instead of
+     accumulating them until shutdown.  [join ~all:true] at shutdown
+     blocks on the still-running ones; every join is exception-safe so
+     one poisoned connection cannot abort the cleanup of the rest. *)
   let conns = ref [] in
+  let reap ~all =
+    conns :=
+      List.filter
+        (fun (d, finished) ->
+          if all || Atomic.get finished then begin
+            (try Domain.join d with _ -> ());
+            false
+          end
+          else true)
+        !conns
+  in
   Fun.protect
     ~finally:(fun () ->
       (try Unix.close listen_fd with Unix.Unix_error _ -> ());
-      List.iter Domain.join !conns;
+      reap ~all:true;
       shutdown t;
       try Unix.unlink path with Unix.Unix_error _ -> ())
     (fun () ->
@@ -381,15 +447,24 @@ let run_socket t ~path =
         | [], _, _ -> ()
         | _ -> (
           match Unix.accept listen_fd with
-          | fd, _ ->
-            let d =
+          | fd, _ -> (
+            reap ~all:false;
+            let finished = Atomic.make false in
+            match
               Domain.spawn (fun () ->
                   Fun.protect
                     ~finally:(fun () ->
-                      try Unix.close fd with Unix.Unix_error _ -> ())
-                    (fun () -> serve_connection t fd fd))
-            in
-            conns := d :: !conns
+                      (try Unix.close fd with Unix.Unix_error _ -> ());
+                      Atomic.set finished true)
+                    (fun () ->
+                      (* a connection failure stays that connection's
+                         problem, never the daemon's *)
+                      try serve_connection t fd fd with _ -> ()))
+            with
+            | d -> conns := (d, finished) :: !conns
+            | exception _ ->
+              (* out of domains: drop the connection, keep serving *)
+              (try Unix.close fd with Unix.Unix_error _ -> ()))
           | exception Unix.Unix_error (Unix.EINTR, _, _) -> ())
         | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
       done)

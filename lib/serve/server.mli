@@ -70,10 +70,12 @@ val run_stdio : t -> unit
 (** Serve stdin/stdout, then drain the pool. *)
 
 val run_socket : t -> path:string -> unit
-(** Listen on a Unix domain socket (any stale file at [path] is
-    replaced), serving each accepted connection on its own domain,
-    until {!stop}; then joins the connections, drains the pool and
-    removes the socket file. *)
+(** Listen on a Unix domain socket, serving each accepted connection
+    on its own domain (reaped as connections finish), until {!stop};
+    then joins the connections, drains the pool and removes the socket
+    file.  A stale socket left at [path] by a dead daemon is replaced;
+    raises [Failure] if [path] is a non-socket file or a daemon still
+    answers on it. *)
 
 val shutdown : t -> unit
 (** Drain and join the worker pool.  Idempotent; the run functions

@@ -515,6 +515,47 @@ let test_unix_socket_listener () =
   Domain.join listener;
   check_bool "socket file removed on exit" false (Sys.file_exists path)
 
+(* A client that disconnects before reading its responses must not
+   kill the daemon (SIGPIPE is ignored) or wedge it (the write error
+   must release the connection mutex and drop the parked responses):
+   the connection drains, and a later client is served normally. *)
+let test_dead_client_harmless () =
+  with_server @@ fun server ->
+  let client_fd, server_fd =
+    Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0
+  in
+  let d =
+    Domain.spawn (fun () -> Server.serve_connection server server_fd server_fd)
+  in
+  let req =
+    {|{"id":"x","method":"elaborate","params":{"container":"queue","target":"bram","width":8,"depth":64}}|}
+    ^ "\n"
+  in
+  write_all client_fd req 0 (String.length req);
+  write_all client_fd req 0 (String.length req);
+  (* gone before reading either response *)
+  Unix.close client_fd;
+  Domain.join d;
+  (try Unix.close server_fd with Unix.Unix_error _ -> ());
+  with_conn server @@ fun c ->
+  check_bool "server still answers a fresh connection" true
+    (is_ok
+       (rpc c
+          {|{"id":"y","method":"elaborate","params":{"container":"queue","target":"bram","width":8,"depth":64}}|}))
+
+(* run_socket must not displace whatever already lives at the path
+   unless it is a stale socket. *)
+let test_socket_path_not_clobbered () =
+  let path = Filename.temp_file "hwpat_serve_test" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      with_server @@ fun server ->
+      (match Server.run_socket server ~path with
+      | () -> Alcotest.fail "expected Failure on a non-socket path"
+      | exception Failure _ -> ());
+      check_bool "existing file left in place" true (Sys.file_exists path))
+
 let () =
   Alcotest.run "serve"
     [
@@ -577,5 +618,9 @@ let () =
             test_faultsim_request_cached;
           Alcotest.test_case "unix socket listener" `Quick
             test_unix_socket_listener;
+          Alcotest.test_case "dead client harmless" `Quick
+            test_dead_client_harmless;
+          Alcotest.test_case "non-socket path not clobbered" `Quick
+            test_socket_path_not_clobbered;
         ] );
     ]
