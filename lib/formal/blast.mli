@@ -40,6 +40,11 @@ val elt_init : state_elt -> Bits.t
 val elt_label : state_elt -> string
 (** Human-readable identification for diagnostics. *)
 
+val elt_key : state_elt -> int * int * int
+(** Stable structural key of a state element (kind tag, owning signal
+    or memory uid, word index) — usable as a hashtable key where the
+    element itself is not (signals may be cyclic through wires). *)
+
 type frame = {
   value : Signal.t -> Solver.lit array;
       (** settled value of any signal in the circuit this frame *)

@@ -131,7 +131,8 @@ let confirm_on_sim extended ~bad_name ~at trace =
          bad_name)
 
 let check ?(trace = Hwpat_obs.Trace.null) ?(metrics = Hwpat_obs.Metrics.null)
-    ?(budget = Solver.no_budget) ?interrupt ?(depth = 20) circuit properties =
+    ?(budget = Solver.no_budget) ?interrupt ?(depth = 20) ?(strash = true)
+    ?solver_config circuit properties =
   List.iter
     (fun p ->
       if Signal.width p.bad <> 1 then
@@ -146,31 +147,49 @@ let check ?(trace = Hwpat_obs.Trace.null) ?(metrics = Hwpat_obs.Metrics.null)
         @ List.map (fun p -> (bad_output_name p, p.bad)) properties)
     in
     let elts = Blast.state_elements extended in
-    let solver = Solver.create () in
+    let solver = Solver.create ?config:solver_config () in
+    let e = Engine.make ~strash solver in
+    (* Stats merge exactly once per solver instance: a check the
+       [interrupt] hook abandons (a supervision watchdog about to
+       retry the whole call) must not record its partial counts — the
+       retry records its own complete run, and both together would
+       double against a single uninterrupted run. *)
+    let interrupted = ref false in
+    let interrupt =
+      match interrupt with
+      | None -> None
+      | Some hook ->
+        Some
+          (fun () ->
+            try hook ()
+            with exn ->
+              interrupted := true;
+              raise exn)
+    in
     let search () =
     let inputs = List.map (fun (n, s) -> (n, Signal.width s)) (Circuit.inputs extended) in
-    let st = ref (Array.map (fun e -> Blast.constant solver (Blast.elt_init e)) elts) in
+    let st = ref (Array.map (fun elt -> e.Engine.constant (Blast.elt_init elt)) elts) in
     let frames = ref [] in
     let result = ref None in
     let k = ref 0 in
     while !result = None && !k < depth do
       let vecs =
-        List.map (fun (n, w) -> (n, Blast.fresh_vector solver w)) inputs
+        List.map (fun (n, w) -> (n, e.Engine.fresh_vector w)) inputs
       in
-      let f =
-        Blast.frame solver extended
+      let outputs, next =
+        e.Engine.frame extended
           ~inputs:(fun n -> List.assoc n vecs)
           ~state:(fun i -> !st.(i))
       in
-      st := f.Blast.next;
+      st := next;
       frames := vecs :: !frames;
       let bads =
         List.map
-          (fun p -> (p, (List.assoc (bad_output_name p) f.Blast.outputs).(0)))
+          (fun p -> (p, (List.assoc (bad_output_name p) outputs).(0)))
           properties
       in
       let act = Solver.new_var solver in
-      Solver.add_clause solver (-act :: List.map snd bads);
+      Solver.add_clause solver (-act :: List.map (fun (_, l) -> e.Engine.sl l) bads);
       (match Solver.solve ~assumptions:[ act ] ~budget ?interrupt solver with
       | Solver.Unknown ->
         (* Budget exhausted at this frame: report how far the search
@@ -184,12 +203,12 @@ let check ?(trace = Hwpat_obs.Trace.null) ?(metrics = Hwpat_obs.Metrics.null)
                   !k (!k - 1)))
       | Solver.Sat ->
         let violated, _ =
-          List.find (fun (_, l) -> Solver.value solver l) bads
+          List.find (fun (_, l) -> e.Engine.lit_value l) bads
         in
         let trace =
           List.rev_map
             (fun vecs ->
-              List.map (fun (n, v) -> (n, Blast.model_bits solver v)) vecs)
+              List.map (fun (n, v) -> (n, e.Engine.model_bits v)) vecs)
             !frames
         in
         confirm_on_sim extended ~bad_name:(bad_output_name violated) ~at:!k
@@ -201,7 +220,8 @@ let check ?(trace = Hwpat_obs.Trace.null) ?(metrics = Hwpat_obs.Metrics.null)
     match !result with Some r -> r | None -> Holds depth
     in
     Fun.protect
-      ~finally:(fun () -> Solver_obs.record metrics [ solver ])
+      ~finally:(fun () ->
+        if not !interrupted then Solver_obs.record metrics [ solver ])
       (fun () ->
         Hwpat_obs.Trace.span trace "bmc"
           ~args:
@@ -212,7 +232,8 @@ let check ?(trace = Hwpat_obs.Trace.null) ?(metrics = Hwpat_obs.Metrics.null)
           search)
   end
 
-let check_auto ?trace ?metrics ?budget ?interrupt ?depth circuit =
+let check_auto ?trace ?metrics ?budget ?interrupt ?depth ?strash ?solver_config
+    circuit =
   match derive_properties circuit with
   | [] ->
     invalid_arg
@@ -220,7 +241,10 @@ let check_auto ?trace ?metrics ?budget ?interrupt ?depth circuit =
          "Bmc.check_auto: %s has no monitored signal pairs (nothing to prove)"
          (Circuit.name circuit))
   | properties -> (
-    match check ?trace ?metrics ?budget ?interrupt ?depth circuit properties with
+    match
+      check ?trace ?metrics ?budget ?interrupt ?depth ?strash ?solver_config
+        circuit properties
+    with
     | Holds d -> Holds d
     | Unknown _ as r -> r
     | Violation v ->

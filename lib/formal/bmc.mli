@@ -48,18 +48,25 @@ val check :
   ?budget:Solver.budget ->
   ?interrupt:(unit -> unit) ->
   ?depth:int ->
+  ?strash:bool ->
+  ?solver_config:Solver.config ->
   Circuit.t ->
   property list ->
   result
 (** Unroll from the power-on state and search each frame for a
-    violated property. Default [depth = 20] frames.  [budget] (default
-    unlimited) caps each per-frame solve; on exhaustion the result is
-    an honest [Unknown] — deterministically, since the caps count
-    solver operations rather than wall clock.  [interrupt] is polled
-    from inside SAT search and may raise to abandon the check.
-    [trace] records one [bmc] span; [metrics] accumulates the solver's
-    statistics under [solver.*] (see {!Solver.stats}), even on
-    raise. *)
+    violated property. Default [depth = 20] frames.  [strash] (default
+    [true]) encodes frames through the hash-consed {!Strash} form
+    (structure repeated across the unrolling is blasted once);
+    [solver_config] sets the solver's search strategy (the portfolio
+    racer knob).  [budget] (default unlimited) caps each per-frame
+    solve; on exhaustion the result is an honest [Unknown] —
+    deterministically, since the caps count solver operations rather
+    than wall clock.  [interrupt] is polled from inside SAT search and
+    may raise to abandon the check.  [trace] records one [bmc] span;
+    [metrics] accumulates the solver's statistics under [solver.*]
+    (see {!Solver.stats}) when the check completes — but {e not} when
+    the [interrupt] hook aborts it, so a supervisor's retry cannot
+    double-merge the aborted attempt's partial counts. *)
 
 val check_auto :
   ?trace:Hwpat_obs.Trace.t ->
@@ -67,6 +74,8 @@ val check_auto :
   ?budget:Solver.budget ->
   ?interrupt:(unit -> unit) ->
   ?depth:int ->
+  ?strash:bool ->
+  ?solver_config:Solver.config ->
   Circuit.t ->
   result
 (** [check] over [derive_properties]; raises [Invalid_argument] if the

@@ -1,0 +1,64 @@
+(* The frame builders over one literal vocabulary, so the proof
+   procedures (Equiv, Bmc) are written once and switch between the
+   hash-consed Strash form and the legacy per-occurrence Blast
+   encoding with a flag. *)
+
+open Hwpat_rtl
+
+type t = {
+  solver : Solver.t;
+  fresh_vector : int -> int array;
+  constant : Bits.t -> int array;
+  enot : int -> int;
+  exor : int -> int -> int;
+  eor_list : int list -> int;
+  eq_vec : int array -> int array -> int;
+  model_bits : int array -> Bits.t;
+  lit_value : int -> bool;
+  sl : int -> Solver.lit;
+  frame :
+    Circuit.t ->
+    inputs:(string -> int array) ->
+    state:(int -> int array) ->
+    (string * int array) list * int array array;
+}
+
+let blast solver =
+  {
+    solver;
+    fresh_vector = Blast.fresh_vector solver;
+    constant = Blast.constant solver;
+    enot = (fun l -> -l);
+    exor = Blast.xor2 solver;
+    eor_list = Blast.or_list solver;
+    eq_vec = Blast.lits_equal solver;
+    model_bits = Blast.model_bits solver;
+    lit_value = Solver.value solver;
+    sl = Fun.id;
+    frame =
+      (fun c ~inputs ~state ->
+        let f = Blast.frame solver c ~inputs ~state in
+        (f.Blast.outputs, f.Blast.next));
+  }
+
+let strash solver =
+  let t = Strash.create solver in
+  {
+    solver;
+    fresh_vector = Strash.fresh_vector t;
+    constant = Strash.constant t;
+    enot = Strash.snot;
+    exor = Strash.sxor t;
+    eor_list = (fun ls -> Strash.or_list t ls);
+    eq_vec = Strash.lits_equal t;
+    model_bits = Strash.model_bits t;
+    lit_value = Strash.value t;
+    sl = Strash.to_solver_lit t;
+    frame =
+      (fun c ~inputs ~state ->
+        let f = Strash.frame t c ~inputs ~state in
+        (f.Strash.outputs, f.Strash.next));
+  }
+
+let make ~strash:use_strash solver =
+  if use_strash then strash solver else blast solver

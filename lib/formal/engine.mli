@@ -1,0 +1,37 @@
+open Hwpat_rtl
+
+(** A frame-encoding engine: the operations {!Equiv} and {!Bmc} need,
+    over one abstract literal vocabulary (plain [int]s — {!Strash}
+    edges for the hash-consed engine, {!Solver.lit}s for the legacy
+    {!Blast} one).  Engine literals enter the solver only through
+    {!sl}, which for the strash engine is the point of lazy CNF
+    emission. *)
+
+type t = {
+  solver : Solver.t;
+  fresh_vector : int -> int array;
+  constant : Bits.t -> int array;
+  enot : int -> int;  (** negation in the engine's vocabulary *)
+  exor : int -> int -> int;
+  eor_list : int list -> int;
+  eq_vec : int array -> int array -> int;
+      (** one literal: the two equal-width vectors are equal *)
+  model_bits : int array -> Bits.t;
+      (** vector value after a [Sat] answer *)
+  lit_value : int -> bool;
+  sl : int -> Solver.lit;
+      (** convert to a solver literal for clauses and assumptions *)
+  frame :
+    Circuit.t ->
+    inputs:(string -> int array) ->
+    state:(int -> int array) ->
+    (string * int array) list * int array array;
+      (** one time frame: (outputs, next state) —
+          {!Blast.frame} semantics either way *)
+}
+
+val blast : Solver.t -> t
+val strash : Solver.t -> t
+
+val make : strash:bool -> Solver.t -> t
+(** {!strash} when the flag is set, {!blast} otherwise. *)

@@ -1,6 +1,14 @@
 (* Equivalence checking: single-frame miter for combinational pairs;
    BMC + van-Eijk-style candidate-equivalence induction (with a plain
-   k-induction fallback) for sequential pairs. *)
+   k-induction fallback) for sequential pairs.
+
+   One solver carries a whole check: the BMC sweep, every escalation
+   attempt of the induction, phase B and the k-induction fallback all
+   add clauses to the same instance, so lemmas learned in one stage
+   prune the search of the next.  Frames are built either through
+   {!Strash} (the default — hash-consed, so the structure the two
+   sides share is encoded once) or through {!Blast} (the legacy
+   per-occurrence encoding, kept as a differential oracle). *)
 
 open Hwpat_rtl
 
@@ -71,44 +79,55 @@ let make_plan a b =
 
 (* --- One joint frame ----------------------------------------------------- *)
 
+type joint = {
+  j_vecs : (string * int array) list;
+  j_out_a : (string * int array) list;
+  j_out_b : (string * int array) list;
+  j_next_a : int array array;
+  j_next_b : int array array;
+  j_diff : int;  (** engine lit: some shared output differs *)
+}
+
 (* Inputs exclusive to one side are tied to zero: the convention that
    makes a pruned variant (requests tied off at elaboration) comparable
-   to the full model on the retained interface. *)
-let instantiate solver plan ~st_a ~st_b =
+   to the full model on the retained interface.  Both sides read the
+   {e same} input vectors, so under a strash engine any logic the two
+   circuits share becomes the same nodes and output equality folds away
+   structurally. *)
+let instantiate (e : Engine.t) plan ~st_a ~st_b =
   let vecs =
     List.map
       (fun (name, w, scope) ->
         ( name,
-          if scope = 0 then Blast.fresh_vector solver w
-          else Blast.constant solver (Bits.zero w) ))
+          if scope = 0 then e.fresh_vector w else e.constant (Bits.zero w) ))
       plan.union_inputs
   in
   let input_fn name = List.assoc name vecs in
-  let fa = Blast.frame solver plan.a ~inputs:input_fn ~state:(fun i -> st_a.(i)) in
-  let fb = Blast.frame solver plan.b ~inputs:input_fn ~state:(fun i -> st_b.(i)) in
+  let out_a, next_a = e.frame plan.a ~inputs:input_fn ~state:(fun i -> st_a.(i)) in
+  let out_b, next_b = e.frame plan.b ~inputs:input_fn ~state:(fun i -> st_b.(i)) in
   let diff =
-    Blast.or_list solver
+    e.eor_list
       (List.map
-         (fun n ->
-           -Blast.lits_equal solver
-              (List.assoc n fa.Blast.outputs)
-              (List.assoc n fb.Blast.outputs))
+         (fun n -> e.enot (e.eq_vec (List.assoc n out_a) (List.assoc n out_b)))
          plan.shared_outputs)
   in
-  (vecs, fa, fb, diff)
+  {
+    j_vecs = vecs;
+    j_out_a = out_a;
+    j_out_b = out_b;
+    j_next_a = next_a;
+    j_next_b = next_b;
+    j_diff = diff;
+  }
 
-let init_state solver elts =
-  Array.map (fun e -> Blast.constant solver (Blast.elt_init e)) elts
-
-let free_state solver elts =
-  Array.map (fun e -> Blast.fresh_vector solver (Blast.elt_width e)) elts
+let init_state (e : Engine.t) elts = Array.map (fun elt -> e.constant (Blast.elt_init elt)) elts
+let free_state (e : Engine.t) elts = Array.map (fun elt -> e.fresh_vector (Blast.elt_width elt)) elts
 
 (* --- Counterexample search and replay ------------------------------------ *)
 
-let extract_cex solver frames_rev =
+let extract_cex (e : Engine.t) frames_rev =
   List.rev_map
-    (fun vecs ->
-      List.map (fun (name, v) -> (name, Blast.model_bits solver v)) vecs)
+    (fun vecs -> List.map (fun (name, v) -> (name, e.model_bits v)) vecs)
     frames_rev
 
 let counterexample_to_string cex =
@@ -167,22 +186,22 @@ let confirm_cex plan cex =
    lets [check] sweep shallowly before induction and return for a deep
    sweep only when induction stays undecided — the per-frame miter
    solves get exponentially harder with depth. *)
-let bmc_sweep ~solve solver plan =
-  let st_a = ref (init_state solver plan.elts_a) in
-  let st_b = ref (init_state solver plan.elts_b) in
+let bmc_sweep ~solve (e : Engine.t) plan =
+  let st_a = ref (init_state e plan.elts_a) in
+  let st_b = ref (init_state e plan.elts_b) in
   let frames = ref [] in
   let searched = ref 0 in
   fun ~depth ->
     let found = ref None in
     while !found = None && !searched < depth do
-      let vecs, fa, fb, diff = instantiate solver plan ~st_a:!st_a ~st_b:!st_b in
-      st_a := fa.Blast.next;
-      st_b := fb.Blast.next;
-      frames := vecs :: !frames;
-      let act = Solver.new_var solver in
-      Solver.add_clause solver [ -act; diff ];
-      (match solve ~assumptions:[ act ] solver with
-      | `Sat -> found := Some (extract_cex solver !frames)
+      let j = instantiate e plan ~st_a:!st_a ~st_b:!st_b in
+      st_a := j.j_next_a;
+      st_b := j.j_next_b;
+      frames := j.j_vecs :: !frames;
+      let act = Solver.new_var e.solver in
+      Solver.add_clause e.solver [ -act; e.sl j.j_diff ];
+      (match solve ~assumptions:[ act ] e.solver with
+      | `Sat -> found := Some (extract_cex e !frames)
       | `Unsat -> ());
       incr searched
     done;
@@ -291,6 +310,82 @@ let init_bit plan (side, e, bit) =
 
 let debug = Sys.getenv_opt "EQUIV_DEBUG" <> None
 
+(* An encoded candidate class: its relations are assumed at time t
+   through the selector literal [sel] and each [viols] literal is true
+   iff one relation fails at time t+1.  Encoded once; a class only
+   pays again if a countermodel actually splits it, in which case the
+   stale selector is retired with a unit clause and the fragments are
+   encoded fresh. *)
+type enc_cls = { cls : cls; sel : Solver.lit; viols : Solver.lit list }
+
+(* The joint induction frame over a free state, encoded once per check
+   and shared by every escalation attempt, phase B included — the
+   frame is the expensive part of the induction, and nothing about it
+   depends on which candidate classes are currently conjectured. *)
+type ind_ctx = {
+  e : Engine.t;
+  plan : plan;
+  st_a : int array array;
+  st_b : int array array;
+  joint : joint;
+  mutable live : enc_cls list;
+}
+
+let make_ind_ctx e plan =
+  let st_a = free_state e plan.elts_a in
+  let st_b = free_state e plan.elts_b in
+  let joint = instantiate e plan ~st_a ~st_b in
+  { e; plan; st_a; st_b; joint; live = [] }
+
+let cur_lit ctx (side, elt, bit) =
+  if side = 0 then ctx.st_a.(elt).(bit) else ctx.st_b.(elt).(bit)
+
+let next_lit ctx (side, elt, bit) =
+  if side = 0 then ctx.joint.j_next_a.(elt).(bit)
+  else ctx.joint.j_next_b.(elt).(bit)
+
+let encode_cls ctx c =
+  let e = ctx.e in
+  let solver = e.solver in
+  match c.members with
+  | [] -> None
+  | rep :: rest ->
+    let s = Solver.new_var solver in
+    let member_viols =
+      List.map
+        (fun m ->
+          Solver.add_clause solver
+            [ -s; -e.sl (cur_lit ctx rep); e.sl (cur_lit ctx m) ];
+          Solver.add_clause solver
+            [ -s; e.sl (cur_lit ctx rep); -e.sl (cur_lit ctx m) ];
+          e.sl (e.exor (next_lit ctx rep) (next_lit ctx m)))
+        rest
+    in
+    let const_viols =
+      match c.const with
+      | Some v ->
+        Solver.add_clause solver
+          [ -s; (if v then e.sl (cur_lit ctx rep) else -e.sl (cur_lit ctx rep)) ];
+        [ e.sl (if v then e.enot (next_lit ctx rep) else next_lit ctx rep) ]
+      | None -> []
+    in
+    Some { cls = c; sel = s; viols = member_viols @ const_viols }
+
+let retire ctx ec = Solver.add_clause ctx.e.solver [ -ec.sel ]
+
+let install_classes ctx classes =
+  List.iter (retire ctx) ctx.live;
+  ctx.live <- List.filter_map (encode_cls ctx) classes
+
+let dbg_side_bit plan (side, e, bit) =
+  let elts = if side = 0 then plan.elts_a else plan.elts_b in
+  let base =
+    match elts.(e) with
+    | Blast.Reg_state s | Blast.Read_state s -> Format.asprintf "%a" Signal.pp s
+    | Blast.Mem_word (m, i) -> Printf.sprintf "%s[%d]" (Signal.memory_name m) i
+  in
+  Printf.sprintf "%c:%s.%d" (if side = 0 then 'a' else 'b') base bit
+
 (* One induction frame over a free joint state: each class's relations
    are assumed at time t through a selector literal and checked at time
    t+1 (and on the outputs, at time t). When a check fails, the
@@ -299,81 +394,51 @@ let debug = Sys.getenv_opt "EQUIV_DEBUG" <> None
    dropping the violated pairs — is what keeps the genuine relations a
    class carried transitively: a spurious classmate separates out
    without severing, say, a.count == b.count, which may have been
-   represented only through links to that classmate. *)
-let prove_by_induction plan ~solve ~register ~classes ~bmc_depth
-    ~max_induction ~with_fallback ~refine_budget =
-  let solver = register (Solver.create ()) in
-  let st_a = free_state solver plan.elts_a in
-  let st_b = free_state solver plan.elts_b in
-  let _, fa, fb, out_viol = instantiate solver plan ~st_a ~st_b in
-  let cur_lit (side, e, bit) =
-    if side = 0 then st_a.(e).(bit) else st_b.(e).(bit)
-  in
-  let next_lit (side, e, bit) =
-    if side = 0 then fa.Blast.next.(e).(bit) else fb.Blast.next.(e).(bit)
-  in
-  let dbg_side_bit (side, e, bit) =
-    let elts = if side = 0 then plan.elts_a else plan.elts_b in
-    let base =
-      match elts.(e) with
-      | Blast.Reg_state s | Blast.Read_state s ->
-        Format.asprintf "%a" Signal.pp s
-      | Blast.Mem_word (m, i) -> Printf.sprintf "%s[%d]" (Signal.memory_name m) i
-    in
-    Printf.sprintf "%c:%s.%d" (if side = 0 then 'a' else 'b') base bit
-  in
-  let classes = ref classes in
-  let selectors = ref [] in
-  (* Each refinement round re-encodes the class constraints and pays a
-     SAT solve, and a round typically separates only one spurious
-     classmate. Classes discovered from a too-short simulation can need
-     hundreds of rounds, so the budget bounds the work per attempt: on
-     exhaustion the caller re-discovers from a longer simulation, which
-     starts with far fewer spurious classes. Refinement itself always
-     terminates — every round splits a class or drops a constant tag —
-     so the final attempt runs with an effectively unlimited budget. *)
+   represented only through links to that classmate.
+
+   The refinement is incremental: only classes the countermodel
+   actually splits are re-encoded (old selector retired by unit
+   clause, fragments encoded fresh); the surviving classes, the joint
+   frame, and every lemma the solver learned along the way are carried
+   into the next round untouched.  The historical encoding re-blasted
+   every class every round — on the blur pair that was ~370 classes
+   re-encoded per round for hundreds of rounds. *)
+let prove_by_induction ctx ~solve ~classes ~bmc_depth ~max_induction
+    ~with_fallback ~refine_budget =
+  let e = ctx.e in
+  let solver = e.solver in
+  let plan = ctx.plan in
+  install_classes ctx classes;
+  (* Each refinement round pays one SAT solve, and typically separates
+     only one spurious classmate. Classes discovered from a too-short
+     simulation can need hundreds of rounds, so the budget bounds the
+     work per attempt: on exhaustion the caller re-discovers from a
+     longer simulation, which starts with far fewer spurious classes.
+     Refinement itself always terminates — every round splits a class
+     or drops a constant tag — so the final attempt runs with an
+     effectively unlimited budget. *)
   let rec converge ~budget =
     if debug then
       Printf.eprintf "[equiv] converge: %d classes (budget %d)\n%!"
-        (List.length !classes) budget;
-    let sels = ref [] and goals = ref [] in
-    List.iter
-      (fun c ->
-        match c.members with
-        | [] -> ()
-        | rep :: rest ->
-          let s = Solver.new_var solver in
-          sels := s :: !sels;
-          List.iter
-            (fun m ->
-              Solver.add_clause solver [ -s; -cur_lit rep; cur_lit m ];
-              Solver.add_clause solver [ -s; cur_lit rep; -cur_lit m ];
-              goals := Blast.xor2 solver (next_lit rep) (next_lit m) :: !goals)
-            rest;
-          (match c.const with
-          | Some v ->
-            Solver.add_clause solver
-              [ -s; (if v then cur_lit rep else -cur_lit rep) ];
-            goals := (if v then -next_lit rep else next_lit rep) :: !goals
-          | None -> ()))
-      !classes;
-    selectors := !sels;
-    match !goals with
+        (List.length ctx.live) budget;
+    match List.concat_map (fun ec -> ec.viols) ctx.live with
     | [] -> true
-    | goals -> (
+    | viols -> (
       let act = Solver.new_var solver in
-      Solver.add_clause solver (-act :: goals);
-      match solve ~assumptions:(act :: !sels) solver with
+      Solver.add_clause solver (-act :: viols);
+      let sels = List.map (fun ec -> ec.sel) ctx.live in
+      match solve ~assumptions:(act :: sels) solver with
       | `Unsat -> true
       | `Sat when budget = 0 -> false
       | `Sat ->
         let progress = ref false in
-        classes :=
+        ctx.live <-
           List.concat_map
-            (fun c ->
+            (fun ec ->
+              let c = ec.cls in
               let zero, one =
                 List.partition
-                  (fun m -> not (Solver.value solver (next_lit m)))
+                  (fun m -> not (e.lit_value (next_lit ctx m)))
                   c.members
               in
               let sub members const =
@@ -382,142 +447,185 @@ let prove_by_induction plan ~solve ~register ~classes ~bmc_depth
                 | [ _ ] when const = None -> []
                 | _ -> [ { members; const } ]
               in
-              match c.const with
-              | Some v ->
-                let keep, lose = if v then (one, zero) else (zero, one) in
-                if lose <> [] then progress := true;
-                sub keep c.const @ sub lose None
-              | None ->
-                if zero <> [] && one <> [] then progress := true;
-                sub zero None @ sub one None)
-            !classes;
+              let fragments =
+                match c.const with
+                | Some v ->
+                  let keep, lose = if v then (one, zero) else (zero, one) in
+                  if lose = [] then None
+                  else Some (sub keep c.const @ sub lose None)
+                | None ->
+                  if zero = [] || one = [] then None
+                  else Some (sub zero None @ sub one None)
+              in
+              match fragments with
+              | None -> [ ec ] (* untouched: keep the encoding *)
+              | Some frags ->
+                progress := true;
+                retire ctx ec;
+                List.filter_map (encode_cls ctx) frags)
+            ctx.live;
         if not !progress then
           (* Cannot happen: a Sat answer violates some goal, and that
              goal's class must split (or lose its constant tag). *)
           failwith "Equiv: induction refinement made no progress";
         if debug then
           Printf.eprintf "[equiv] refine -> %d classes\n%!"
-            (List.length !classes);
+            (List.length ctx.live);
         converge ~budget:(budget - 1))
   in
   if not (converge ~budget:refine_budget) then
     Unknown "candidate refinement exceeded its budget"
   else begin
-  (* The refined classes are sound only if the power-on state satisfies
-     them; discovery sampled the power-on state and refinement only
-     splits classes, so this cannot fire. *)
-  List.iter
-    (fun c ->
-      match c.members with
-      | [] -> ()
-      | rep :: rest ->
-        let r = init_bit plan rep in
-        if
-          (match c.const with Some v -> r <> v | None -> false)
-          || List.exists (fun m -> init_bit plan m <> r) rest
-        then failwith "Equiv: invariant class false at the initial state")
-    !classes;
-  (* Phase B: outputs equal, given the proven invariants. *)
-  if debug then
-    Printf.eprintf "[equiv] induction closed with %d classes\n%!"
-      (List.length !classes);
-  let act = Solver.new_var solver in
-  Solver.add_clause solver [ -act; out_viol ];
-  let phase_b = solve ~assumptions:(act :: !selectors) solver in
-  (if debug && phase_b = `Sat then begin
-     List.iter
-       (fun nm ->
-         let va = Blast.model_bits solver (List.assoc nm fa.Blast.outputs)
-         and vb = Blast.model_bits solver (List.assoc nm fb.Blast.outputs) in
-         if not (Bits.equal va vb) then
-           Printf.eprintf "[equiv] phase B: output %s a=%s b=%s\n%!" nm
-             (Bits.to_string va) (Bits.to_string vb))
-       plan.shared_outputs;
-     let dump side st =
-       Array.iteri
-         (fun e lits ->
-           Printf.eprintf "[equiv]   %s = %s\n%!"
-             (dbg_side_bit (side, e, 0))
-             (Bits.to_string (Blast.model_bits solver lits)))
-         st
-     in
-     dump 0 st_a;
-     dump 1 st_b
-   end);
-  match phase_b with
-  | `Unsat -> Proved
-  | `Sat when not with_fallback ->
-    (* The caller will retry discovery with a longer simulation before
-       paying for k-induction. *)
-    Unknown "candidate induction left outputs undecided"
-  | `Sat ->
-    (* Fallback: k-induction on output equality, strengthened with the
-       proven invariants (soundly assertable at every frame). The base
-       case is the BMC sweep, so k may not exceed its depth. *)
-    let invariants = !classes in
-    let solver = register (Solver.create ()) in
-    let assert_invariants st_a st_b =
-      let lit (side, e, bit) =
-        if side = 0 then st_a.(e).(bit) else st_b.(e).(bit)
-      in
-      List.iter
-        (fun c ->
-          match c.members with
-          | [] -> ()
-          | rep :: rest ->
+    (* The refined classes are sound only if the power-on state
+       satisfies them; discovery sampled the power-on state and
+       refinement only splits classes, so this cannot fire. *)
+    List.iter
+      (fun ec ->
+        match ec.cls.members with
+        | [] -> ()
+        | rep :: rest ->
+          let r = init_bit plan rep in
+          if
+            (match ec.cls.const with Some v -> r <> v | None -> false)
+            || List.exists (fun m -> init_bit plan m <> r) rest
+          then failwith "Equiv: invariant class false at the initial state")
+      ctx.live;
+    (* Phase B: outputs equal, given the proven invariants. *)
+    if debug then
+      Printf.eprintf "[equiv] induction closed with %d classes\n%!"
+        (List.length ctx.live);
+    let act = Solver.new_var solver in
+    Solver.add_clause solver [ -act; e.sl ctx.joint.j_diff ];
+    let sels = List.map (fun ec -> ec.sel) ctx.live in
+    let phase_b = solve ~assumptions:(act :: sels) solver in
+    (if debug && phase_b = `Sat then begin
+       List.iter
+         (fun nm ->
+           let va = e.model_bits (List.assoc nm ctx.joint.j_out_a)
+           and vb = e.model_bits (List.assoc nm ctx.joint.j_out_b) in
+           if not (Bits.equal va vb) then
+             Printf.eprintf "[equiv] phase B: output %s a=%s b=%s\n%!" nm
+               (Bits.to_string va) (Bits.to_string vb))
+         plan.shared_outputs;
+       let dump side st =
+         Array.iteri
+           (fun elt lits ->
+             Printf.eprintf "[equiv]   %s = %s\n%!"
+               (dbg_side_bit plan (side, elt, 0))
+               (Bits.to_string (e.model_bits lits)))
+           st
+       in
+       dump 0 ctx.st_a;
+       dump 1 ctx.st_b
+     end);
+    match phase_b with
+    | `Unsat -> Proved
+    | `Sat when not with_fallback ->
+      (* The caller will retry discovery with a longer simulation before
+         paying for k-induction. *)
+      Unknown "candidate induction left outputs undecided"
+    | `Sat ->
+      (* Fallback: k-induction on output equality, strengthened with the
+         proven invariants (soundly assertable at every frame). The base
+         case is the BMC sweep, so k may not exceed its depth.
+
+         The whole fallback runs inside one solver scope: its frame and
+         invariant clauses are scoped and retired on pop (a later deep
+         BMC sweep on the same solver must not drag their watch lists
+         along), while every lemma the solver derives from unguarded
+         clauses is retained.  Scoping the emission is sound here
+         because the fallback's frames are built over fresh leaves —
+         no node in their cones can be reached by any later stage. *)
+      let invariants = List.map (fun ec -> ec.cls) ctx.live in
+      Solver.push solver;
+      Fun.protect
+        ~finally:(fun () -> Solver.pop solver)
+        (fun () ->
+          let assert_invariants st_a st_b =
+            let lit (side, elt, bit) =
+              if side = 0 then st_a.(elt).(bit) else st_b.(elt).(bit)
+            in
             List.iter
-              (fun m ->
-                Solver.add_clause solver [ -lit rep; lit m ];
-                Solver.add_clause solver [ lit rep; -lit m ])
-              rest;
-            (match c.const with
-            | Some v ->
-              Solver.add_clause solver [ (if v then lit rep else -lit rep) ]
-            | None -> ()))
-        invariants
-    in
-    let st_a = ref (free_state solver plan.elts_a) in
-    let st_b = ref (free_state solver plan.elts_b) in
-    assert_invariants !st_a !st_b;
-    let diffs = ref [] in
-    let proved = ref false in
-    let k = ref 0 in
-    let k_max = min max_induction bmc_depth in
-    while (not !proved) && !k <= k_max do
-      let _, fa, fb, diff = instantiate solver plan ~st_a:!st_a ~st_b:!st_b in
-      st_a := fa.Blast.next;
-      st_b := fb.Blast.next;
-      assert_invariants !st_a !st_b;
-      (* Assume equality at frames 0..k-1, require a difference at k. *)
-      (match !diffs with
-      | [] -> ()
-      | earlier -> (
-        let assumptions = diff :: List.map (fun d -> -d) earlier in
-        match solve ~assumptions solver with
-        | `Unsat -> proved := true
-        | `Sat -> ()));
-      diffs := diff :: !diffs;
-      incr k
-    done;
-    if !proved then Proved
-    else
-      Unknown
-        (Printf.sprintf
-           "candidate induction left outputs undecided and k-induction gave \
-            up at k=%d"
-           k_max)
+              (fun c ->
+                match c.members with
+                | [] -> ()
+                | rep :: rest ->
+                  List.iter
+                    (fun m ->
+                      Solver.add_clause solver [ -e.sl (lit rep); e.sl (lit m) ];
+                      Solver.add_clause solver [ e.sl (lit rep); -e.sl (lit m) ])
+                    rest;
+                  (match c.const with
+                  | Some v ->
+                    Solver.add_clause solver
+                      [ (if v then e.sl (lit rep) else -e.sl (lit rep)) ]
+                  | None -> ()))
+              invariants
+          in
+          let st_a = ref (free_state e plan.elts_a) in
+          let st_b = ref (free_state e plan.elts_b) in
+          assert_invariants !st_a !st_b;
+          let diffs = ref [] in
+          let proved = ref false in
+          let k = ref 0 in
+          let k_max = min max_induction bmc_depth in
+          while (not !proved) && !k <= k_max do
+            let j = instantiate e plan ~st_a:!st_a ~st_b:!st_b in
+            st_a := j.j_next_a;
+            st_b := j.j_next_b;
+            assert_invariants !st_a !st_b;
+            (* Assume equality at frames 0..k-1, require a difference
+               at k. *)
+            (match !diffs with
+            | [] -> ()
+            | earlier -> (
+              let assumptions =
+                e.sl j.j_diff :: List.map (fun d -> -e.sl d) earlier
+              in
+              match solve ~assumptions solver with
+              | `Unsat -> proved := true
+              | `Sat -> ()));
+            diffs := j.j_diff :: !diffs;
+            incr k
+          done;
+          if !proved then Proved
+          else
+            Unknown
+              (Printf.sprintf
+                 "candidate induction left outputs undecided and k-induction \
+                  gave up at k=%d"
+                 k_max))
   end
 
 (* --- Top level ----------------------------------------------------------- *)
 
 let check ?(trace = Hwpat_obs.Trace.null) ?(metrics = Hwpat_obs.Metrics.null)
     ?(budget = Solver.no_budget) ?interrupt ?(bmc_depth = 24)
-    ?(max_induction = 20) ?(sim_cycles = 48) a b =
+    ?(max_induction = 20) ?(sim_cycles = 48) ?(strash = true) ?solver_config
+    a b =
   let module Trace = Hwpat_obs.Trace in
   let solvers = ref [] in
   let register s =
     solvers := s :: !solvers;
     s
+  in
+  (* Distinguish an abandoned check (the interrupt hook raised — e.g. a
+     supervision watchdog that will retry the whole call) from a
+     completed one: stats are recorded only for completed checks, else
+     the retry would merge the aborted attempt's partial counts on top
+     of its own and the totals would double relative to a single
+     uninterrupted run. *)
+  let interrupted = ref false in
+  let interrupt =
+    match interrupt with
+    | None -> None
+    | Some hook ->
+      Some
+        (fun () ->
+          try hook ()
+          with exn ->
+            interrupted := true;
+            raise exn)
   in
   (* Every solve call in the proof shares the per-call budget and the
      interrupt hook.  A budget trip raises [Out_of_budget], caught
@@ -534,8 +642,9 @@ let check ?(trace = Hwpat_obs.Trace.null) ?(metrics = Hwpat_obs.Metrics.null)
     let stateless =
       Array.length plan.elts_a = 0 && Array.length plan.elts_b = 0
     in
-    let solver = register (Solver.create ()) in
-    let sweep = bmc_sweep ~solve solver plan in
+    let solver = register (Solver.create ?config:solver_config ()) in
+    let e = Engine.make ~strash solver in
+    let sweep = bmc_sweep ~solve e plan in
     let sweep ~depth =
       Trace.span trace "bmc_sweep"
         ~args:[ ("depth", Trace.Int depth) ]
@@ -566,9 +675,13 @@ let check ?(trace = Hwpat_obs.Trace.null) ?(metrics = Hwpat_obs.Metrics.null)
             ~args:[ ("sim_cycles", Trace.Int sc) ]
             (fun () -> discover_classes plan ~sim_cycles:sc)
         in
+        (* The joint induction frame is built on first use and shared
+           by every escalation attempt: re-discovery replaces the
+           candidate classes, not the frame. *)
+        let ctx = lazy (make_ind_ctx e plan) in
         let induction ~classes ~with_fallback ~refine_budget =
           Trace.span trace "induction" (fun () ->
-              prove_by_induction plan ~solve ~register ~classes
+              prove_by_induction (Lazy.force ctx) ~solve ~classes
                 ~bmc_depth:shallow ~max_induction ~with_fallback
                 ~refine_budget)
         in
@@ -606,7 +719,8 @@ let check ?(trace = Hwpat_obs.Trace.null) ?(metrics = Hwpat_obs.Metrics.null)
            budget.Solver.max_conflicts budget.Solver.max_propagations)
   in
   Fun.protect
-    ~finally:(fun () -> Solver_obs.record metrics !solvers)
+    ~finally:(fun () ->
+      if not !interrupted then Solver_obs.record metrics !solvers)
     (fun () -> Trace.span trace "equiv" body)
 
 let assert_equivalent ?bmc_depth ?max_induction a b =

@@ -41,6 +41,8 @@ val check :
   ?bmc_depth:int ->
   ?max_induction:int ->
   ?sim_cycles:int ->
+  ?strash:bool ->
+  ?solver_config:Solver.config ->
   Circuit.t ->
   Circuit.t ->
   result
@@ -48,6 +50,19 @@ val check :
     base-case bound for k-induction), [max_induction = 20],
     [sim_cycles = 48] (random-simulation length for candidate
     discovery).
+
+    [strash] (default [true]) builds every time frame through the
+    hash-consed {!Strash} form, so structure the two sides share —
+    dissolved wrappers over the same metamodel config, repeated
+    subcircuits within one side — is encoded once and only the cones
+    some constraint actually reaches are blasted; [false] keeps the
+    legacy per-occurrence {!Blast} encoding (the differential suite
+    pins verdict equality between the two).  Either way one solver
+    carries the whole check, so clauses learned during the BMC sweep
+    prune the induction and so on down the ladder.
+
+    [solver_config] (default {!Solver.default_config}) sets the
+    search strategy of that solver — the portfolio racer knob.
 
     [budget] (default unlimited) caps every individual solve call in
     the proof; on exhaustion the check stops and returns an honest
@@ -60,8 +75,13 @@ val check :
     [trace] (default disabled) records spans for the proof phases
     ([equiv] > [bmc_sweep] / [discover] / [induction]); [metrics]
     (default disabled) accumulates the SAT statistics of every solver
-    the call created under [solver.*] (see {!Solver.stats}), even when
-    the check raises. *)
+    the call created under [solver.*] (see {!Solver.stats}).  Stats
+    are recorded when the check completes — normally or by raising
+    from its own body — but {e not} when the [interrupt] hook aborts
+    it: an aborted check is one a supervisor retries, and recording
+    the partial attempt would double-count its work against the
+    retry's own record (each solver instance must merge exactly
+    once). *)
 
 val counterexample_to_string : (string * Bits.t) list list -> string
 

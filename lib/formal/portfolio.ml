@@ -1,0 +1,111 @@
+(* Deterministic solver-portfolio plumbing: the racer configurations,
+   the escalating budget ladder, and the result classification.  The
+   actual racing driver lives with the prove battery (it needs the
+   parallel runner, which layers above this library); everything here
+   is pure so the driver's outcome is a function of the obligation
+   alone, never of scheduling. *)
+
+type racer = { index : int; label : string; config : Solver.config }
+
+(* Racer 0 is always the default configuration, so a portfolio of n
+   racers decides everything the single-solver path decides (and its
+   answers win ties).  The others vary the restart pacing, the
+   activity decay and the initial phase — cheap knobs that change
+   which part of the search space is visited first, which is what a
+   portfolio lives on. *)
+let all_racers =
+  [
+    { index = 0; label = "default"; config = Solver.default_config };
+    {
+      index = 1;
+      label = "agile";
+      config =
+        {
+          Solver.restart_base = 50;
+          restart_factor = 1.2;
+          decay = 0.90;
+          init_phase = false;
+        };
+    };
+    {
+      index = 2;
+      label = "stable";
+      config =
+        {
+          Solver.restart_base = 400;
+          restart_factor = 2.0;
+          decay = 0.99;
+          init_phase = false;
+        };
+    };
+    {
+      index = 3;
+      label = "flip";
+      config =
+        {
+          Solver.restart_base = 100;
+          restart_factor = 1.5;
+          decay = 0.95;
+          init_phase = true;
+        };
+    };
+  ]
+
+let max_racers = List.length all_racers
+
+let racers ~n =
+  if n < 2 || n > max_racers then
+    invalid_arg
+      (Printf.sprintf "Portfolio.racers: n must be 2..%d (got %d)" max_racers n);
+  List.filteri (fun i _ -> i < n) all_racers
+
+(* The budget ladder.  Rounds cap solver *operations*, so whether a
+   racer answers within a round is a property of the instance and the
+   config — every run, process and job count trips identically.  With
+   no user cap the ladder ends unlimited (round 2 always answers);
+   with a user cap the ladder is truncated to rounds strictly lighter
+   than the cap and ends at exactly the cap, so the portfolio's
+   final-round verdicts — including "budget exhausted" Unknowns — are
+   literally the single-solver ones. *)
+let default_rounds =
+  [
+    { Solver.max_conflicts = 20_000; max_propagations = 10_000_000 };
+    { Solver.max_conflicts = 160_000; max_propagations = 80_000_000 };
+    Solver.no_budget;
+  ]
+
+let field_lighter a b = a > 0 && (b <= 0 || a < b)
+
+let lighter (r : Solver.budget) (cap : Solver.budget) =
+  field_lighter r.Solver.max_conflicts cap.Solver.max_conflicts
+  && field_lighter r.Solver.max_propagations cap.Solver.max_propagations
+
+let unlimited (b : Solver.budget) =
+  b.Solver.max_conflicts <= 0 && b.Solver.max_propagations <= 0
+
+let rounds ~cap =
+  if unlimited cap then default_rounds
+  else
+    List.filter (fun r -> lighter r cap && not (unlimited r)) default_rounds
+    @ [ cap ]
+
+(* An Unknown whose status carries this marker means "ran out of this
+   round's budget" — indefinitive, retry at the next rung.  Any other
+   verdict (proved, refuted, or an Unknown for structural reasons like
+   k-induction giving up) is config-independent, so the first racer to
+   reach it ends the race. *)
+let budget_marker = "solver budget exhausted"
+
+let budget_limited status =
+  let sl = String.length status and ml = String.length budget_marker in
+  let rec scan i =
+    i + ml <= sl && (String.sub status i ml = budget_marker || scan (i + 1))
+  in
+  scan 0
+
+exception Beaten
+(** Raised from a racer's interrupt hook when a strictly better
+    (earlier-round or lower-index) racer has already produced a
+    definitive answer — this racer can no longer win, so its search is
+    abandoned.  Only an optimization: the winner, by construction,
+    never raises it. *)

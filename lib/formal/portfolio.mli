@@ -1,0 +1,38 @@
+(** Deterministic solver-portfolio plumbing.
+
+    A portfolio race runs the same obligation under 2–4 solver
+    configurations ({!racers}) through an escalating ladder of
+    operation-count budgets ({!rounds}).  Because the budgets count
+    solver operations — never wall clock — whether a given racer
+    answers within a given round is a pure function of the obligation,
+    so "first answer wins, ties broken by (round, racer index)" names
+    the same winner in every run, at every job count, under any
+    scheduler.  The racing driver itself lives with the prove battery
+    (it needs the parallel runner from the layer above); this module
+    holds the pure ingredients. *)
+
+type racer = { index : int; label : string; config : Solver.config }
+
+val max_racers : int
+
+val racers : n:int -> racer list
+(** The first [n] standard racers, [2 <= n <= max_racers] (raises
+    [Invalid_argument] otherwise).  Racer 0 is always
+    {!Solver.default_config}, so a portfolio decides everything the
+    single-solver path decides and its answers win ties. *)
+
+val rounds : cap:Solver.budget -> Solver.budget list
+(** The budget ladder, ending unlimited when [cap] is {!Solver.no_budget}
+    and at exactly [cap] otherwise (intermediate rounds strictly
+    lighter than the cap only) — so a capped portfolio's final-round
+    verdicts are literally the single-solver ones, "budget exhausted"
+    Unknowns included. *)
+
+val budget_limited : string -> bool
+(** Whether an [Unknown] status string means "ran out of this round's
+    budget" (indefinitive — retry at the next rung) rather than a
+    config-independent structural give-up (definitive). *)
+
+exception Beaten
+(** Raised from a racer's interrupt hook when it can no longer win the
+    race.  Purely an optimization: the eventual winner never raises. *)

@@ -11,6 +11,20 @@ type budget = { max_conflicts : int; max_propagations : int }
 
 let no_budget = { max_conflicts = 0; max_propagations = 0 }
 
+(* Search-strategy knobs. Every field is deterministic (operation
+   counts and exact float arithmetic, no wall clock), so two solvers
+   with the same config replay identically — the portfolio racer
+   contract. *)
+type config = {
+  restart_base : int;
+  restart_factor : float;
+  decay : float;
+  init_phase : bool;
+}
+
+let default_config =
+  { restart_base = 100; restart_factor = 1.5; decay = 0.95; init_phase = false }
+
 type clause = int array
 
 (* Growable clause list (a watch list). *)
@@ -30,6 +44,8 @@ module Cvec = struct
 end
 
 type t = {
+  config : config;
+  mutable scopes : int list; (* activation vars of open scopes, innermost first *)
   mutable n_vars : int;
   mutable cap : int; (* current capacity of the per-var arrays *)
   mutable assigns : int array; (* var -> 0 unknown / 1 true / -1 false *)
@@ -57,9 +73,13 @@ type t = {
   mutable learned_total : int;
   mutable learned_literals : int;
   learned_size_buckets : int array;
-      (* log2 buckets: index 0 for sizes <= 0, else floor(log2 n) + 1,
-         clamped into the last bucket — the Metrics.bucket_of
-         convention, kept here without depending on that library *)
+      (* log2 buckets: index 0 for sizes <= 0 (never hit by learned
+         clauses, which have >= 1 literal), else floor(log2 n) + 1,
+         clamped into the last of [n_size_buckets] — exactly the
+         Metrics.bucket_of convention (same bucket count, same clamp),
+         kept here without depending on that library so obs histograms
+         from the solver and the sim hot paths line up bucket for
+         bucket *)
   mutable unsat : bool;
 }
 
@@ -143,7 +163,8 @@ let grow s =
   s.activity <-
     Array.init (cap + 1) (fun i -> if i <= s.cap then s.activity.(i) else 0.);
   s.polarity <-
-    Array.init (cap + 1) (fun i -> i <= s.cap && s.polarity.(i));
+    Array.init (cap + 1) (fun i ->
+        if i <= s.cap then s.polarity.(i) else s.config.init_phase);
   s.seen <- Array.make (cap + 1) false;
   s.heap <- copy_int s.heap;
   s.trail <- copy_int s.trail;
@@ -298,17 +319,22 @@ let analyze s confl =
   List.iter (fun q -> seen.(abs q) <- false) !tail;
   (Array.of_list (- !p :: !tail), !btlevel)
 
-let learned_size_bucket n =
+(* Shared with Hwpat_obs.Metrics.bucket_of (64 buckets, clamp into the
+   last): the cross-library agreement is pinned by a regression test in
+   test_obs.ml, so a drift on either side fails loudly. *)
+let n_size_buckets = 64
+
+let size_bucket n =
   if n <= 0 then 0
   else
     let rec go v k = if v = 0 then k else go (v lsr 1) (k + 1) in
-    min 15 (go n 0)
+    min (n_size_buckets - 1) (go n 0)
 
 let record s learnt btlevel =
   let len = Array.length learnt in
   s.learned_total <- s.learned_total + 1;
   s.learned_literals <- s.learned_literals + len;
-  let b = learned_size_bucket len in
+  let b = size_bucket len in
   s.learned_size_buckets.(b) <- s.learned_size_buckets.(b) + 1;
   cancel_until s btlevel;
   if Array.length learnt = 1 then enqueue s learnt.(0) None
@@ -329,17 +355,19 @@ let record s learnt btlevel =
 
 (* --- Top level ----------------------------------------------------------- *)
 
-let create () =
+let create ?(config = default_config) () =
   let cap = 16 in
   let s =
     {
+      config;
+      scopes = [];
       n_vars = 0;
       cap;
       assigns = Array.make (cap + 1) 0;
       level = Array.make (cap + 1) 0;
       reason = Array.make (cap + 1) None;
       activity = Array.make (cap + 1) 0.;
-      polarity = Array.make (cap + 1) false;
+      polarity = Array.make (cap + 1) config.init_phase;
       seen = Array.make (cap + 1) false;
       heap = Array.make (cap + 1) 0;
       heap_size = 0;
@@ -359,7 +387,7 @@ let create () =
       unknowns_total = 0;
       learned_total = 0;
       learned_literals = 0;
-      learned_size_buckets = Array.make 16 0;
+      learned_size_buckets = Array.make n_size_buckets 0;
       unsat = false;
     }
   in
@@ -369,7 +397,7 @@ let create () =
 
 let true_lit _ = 1
 
-let add_clause s lits =
+let add_clause_unguarded s lits =
   if not s.unsat then begin
     cancel_until s 0;
     let lits = List.sort_uniq compare lits in
@@ -391,6 +419,29 @@ let add_clause s lits =
     end
   end
 
+(* A clause added inside an assumption scope is guarded by the
+   innermost scope's activation literal: it (and every clause learned
+   from it, which inherits the literal through conflict analysis) is
+   live only while that scope is open, and dies for good when [pop]
+   asserts the negation.  Guarding with just the innermost literal is
+   enough because scopes pop in LIFO order. *)
+let add_clause s lits =
+  add_clause_unguarded s
+    (match s.scopes with [] -> lits | act :: _ -> -act :: lits)
+
+let push s =
+  let act = new_var s in
+  s.scopes <- act :: s.scopes
+
+let pop s =
+  match s.scopes with
+  | [] -> invalid_arg "Solver.pop: no open scope"
+  | act :: rest ->
+    s.scopes <- rest;
+    add_clause_unguarded s [ -act ]
+
+let scope_depth s = List.length s.scopes
+
 let pick_branch s =
   let rec go () =
     if s.heap_size = 0 then 0
@@ -404,9 +455,12 @@ let solve ?(assumptions = []) ?(budget = no_budget) ?interrupt s =
   if s.unsat then Unsat
   else begin
     cancel_until s 0;
-    let assumps = Array.of_list assumptions in
+    (* Open scopes' activation literals are standing assumptions
+       (outermost first, so a scope conflict reports deterministically),
+       ahead of the caller's own. *)
+    let assumps = Array.of_list (List.rev_append s.scopes assumptions) in
     let n_assumps = Array.length assumps in
-    let restart_limit = ref 100 in
+    let restart_limit = ref s.config.restart_base in
     let conflicts = ref 0 in
     let result = ref None in
     (* Budget caps count work done by *this* call, so a budget-limited
@@ -446,10 +500,13 @@ let solve ?(assumptions = []) ?(budget = no_budget) ?interrupt s =
         else begin
           let learnt, btlevel = analyze s confl in
           record s learnt btlevel;
-          s.var_inc <- s.var_inc /. 0.95;
+          s.var_inc <- s.var_inc /. s.config.decay;
           if !conflicts >= !restart_limit then begin
             conflicts := 0;
-            restart_limit := !restart_limit * 3 / 2;
+            restart_limit :=
+              max (!restart_limit + 1)
+                (int_of_float
+                   (float_of_int !restart_limit *. s.config.restart_factor));
             s.restarts_total <- s.restarts_total + 1;
             cancel_until s 0
           end

@@ -33,7 +33,24 @@ type budget = { max_conflicts : int; max_propagations : int }
 val no_budget : budget
 (** Both caps unlimited (the default). *)
 
-val create : unit -> t
+(** {1 Search-strategy configuration}
+
+    The portfolio racer knobs.  Every field is deterministic — restart
+    pacing and activity decay are exact arithmetic on operation counts,
+    never wall clock — so a given (instance, config) pair replays the
+    same search in every run, process and job count. *)
+type config = {
+  restart_base : int;  (** conflicts before the first restart *)
+  restart_factor : float;  (** geometric growth of the restart interval *)
+  decay : float;  (** VSIDS activity decay (var bump divisor), in (0,1] *)
+  init_phase : bool;  (** initial saved phase of every variable *)
+}
+
+val default_config : config
+(** [{restart_base = 100; restart_factor = 1.5; decay = 0.95;
+    init_phase = false}] — the historical behaviour. *)
+
+val create : ?config:config -> unit -> t
 
 val new_var : t -> lit
 (** Fresh variable, returned as its positive literal. *)
@@ -45,7 +62,29 @@ val true_lit : t -> lit
 val add_clause : t -> lit list -> unit
 (** Add a clause over existing literals. Tautologies are dropped;
     an empty (or all-false-at-level-0) clause makes the formula
-    unsatisfiable for all future [solve] calls. *)
+    unsatisfiable for all future [solve] calls.  Inside an open
+    {!push} scope the clause is scoped: it participates in every
+    [solve] until the scope is popped, then disappears. *)
+
+(** {1 Assumption scopes (push/pop-style incremental solving)}
+
+    [push] opens a scope; clauses added while it is open are guarded
+    by a fresh activation literal that every [solve] call assumes
+    automatically, and [pop] retires them for good by asserting the
+    literal's negation.  Clauses {e learned} while a scope is open
+    inherit the guard through conflict analysis, so popping a scope
+    soundly retires the lemmas that depended on it while every lemma
+    derived from unguarded clauses is retained — the mechanism by
+    which the BMC-sweep → candidate-induction → k-induction ladder
+    shares one solver and keeps its accumulated clauses across
+    stages.  Scopes nest and pop in LIFO order. *)
+
+val push : t -> unit
+val pop : t -> unit
+(** Raises [Invalid_argument] with no open scope. *)
+
+val scope_depth : t -> int
+(** Number of currently open scopes. *)
 
 val solve :
   ?assumptions:lit list -> ?budget:budget -> ?interrupt:(unit -> unit) -> t -> result
@@ -82,10 +121,17 @@ type stats = {
   learned_literals : int;  (** total literals across learned clauses *)
   learned_size_buckets : int array;
       (** learned-clause sizes in log2 buckets (index 0 unused, index
-          [k >= 1] counts sizes in [2^(k-1) .. 2^k - 1], last bucket
-          clamps) — mergeable into [Hwpat_obs.Metrics] histograms,
-          which use the same convention *)
+          [k >= 1] counts sizes in [2^(k-1) .. 2^k - 1]) — the exact
+          [Hwpat_obs.Metrics.bucket_of] convention, including the
+          bucket count and the clamp into the last bucket, so merging
+          into a metrics histogram is index-for-index correct *)
 }
 
 val stats : t -> stats
 (** Cumulative across all [solve] calls on this solver (a copy). *)
+
+val size_bucket : int -> int
+(** The bucket of {!stats.learned_size_buckets} a given size counts
+    into.  Must agree with [Hwpat_obs.Metrics.bucket_of] on every
+    input (pinned by a cross-library regression test); exposed so the
+    agreement is testable without reflection on private state. *)

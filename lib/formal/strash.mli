@@ -1,0 +1,115 @@
+open Hwpat_rtl
+
+(** Structural hashing: a hash-consed AIG-style intermediate form
+    between the netlist and the Tseitin CNF.
+
+    {!Blast} encodes every gate occurrence as fresh CNF variables, so
+    the two sides of an equivalence miter — typically a dissolved
+    pattern wrapper and a hand-written design over the same metamodel
+    config, sharing most of their structure — pay for their common
+    logic twice, and repeated subcircuits inside one side (address
+    decoders, per-row blur taps) pay once per repetition.  This module
+    instead builds the frame over hash-consed AND/XOR/MUX nodes with
+    complemented edges: constant propagation and two-level rewriting
+    run at construction, structurally identical subgraphs become the
+    {e same node}, and each node is emitted to CNF at most once per
+    manager lifetime, lazily, only when some constraint actually
+    reaches it.
+
+    The literal algebra is closed under negation at zero cost
+    ([snot] flips a bit), so the rewriting rules fire across the
+    miter seam as well as within one side. *)
+
+type t
+(** A strash manager bound to a {!Solver.t}.  All literals below are
+    relative to one manager. *)
+
+type lit = int
+(** An AIG edge: node index with a complement bit.  Distinct from
+    {!Solver.lit}; convert with {!to_solver_lit} /
+    {!of_solver_lit}. *)
+
+val create : Solver.t -> t
+val solver : t -> Solver.t
+
+val lit_true : lit
+val lit_false : lit
+
+val snot : lit -> lit
+(** Complement, free (no node is created). *)
+
+val sand : t -> lit -> lit -> lit
+val sor : t -> lit -> lit -> lit
+val sxor : t -> lit -> lit -> lit
+
+val smux : t -> lit -> lit -> lit -> lit
+(** [smux t c d1 d0] is [c ? d1 : d0]. *)
+
+val and_list : t -> lit list -> lit
+val or_list : t -> lit list -> lit
+
+val fresh : t -> lit
+(** A fresh unconstrained leaf (backed by a fresh solver variable). *)
+
+val fresh_vector : t -> int -> lit array
+val constant : t -> Bits.t -> lit array
+
+val of_solver_lit : t -> Solver.lit -> lit
+(** Wrap an existing solver literal as a leaf; the same variable
+    always yields the same leaf node. *)
+
+val to_solver_lit : t -> lit -> Solver.lit
+(** CNF literal equisatisfiable with the cone of [lit], emitting the
+    Tseitin clauses of any not-yet-emitted nodes in the cone (each
+    node at most once per manager, ever). *)
+
+(** {1 Vector helpers} — the {!Blast} operations over AIG literals,
+    LSB-first, same semantics bit for bit. *)
+
+val lits_equal : t -> lit array -> lit array -> lit
+val bool_of_vec : t -> lit array -> lit
+val eq_const : t -> lit array -> int -> lit
+val add_vec : t -> ?cin:lit -> lit array -> lit array -> lit array
+val sub_vec : t -> lit array -> lit array -> lit array
+val mul_vec : t -> lit array -> lit array -> lit array
+val lt_vec : t -> lit array -> lit array -> lit
+val mux_cases : t -> lit array -> lit array list -> lit array
+
+(** {1 Model evaluation} *)
+
+val value : t -> lit -> bool
+(** Value under the solver's current model after a [Sat] answer.
+    Emitted nodes read their CNF variable; unemitted nodes evaluate
+    structurally, so any vector built through the manager may be
+    probed. *)
+
+val model_bits : t -> lit array -> Bits.t
+
+(** {1 Frames} *)
+
+type frame = {
+  value : Signal.t -> lit array;
+      (** settled value of any signal in the circuit this frame *)
+  outputs : (string * lit array) list;
+  next : lit array array;
+      (** post-edge state, indexed like {!Blast.state_elements} *)
+}
+
+val frame : t -> Circuit.t -> inputs:(string -> lit array) -> state:(int -> lit array) -> frame
+(** One time-frame with the settle-then-edge semantics of
+    {!Blast.frame}, built over hash-consed nodes: repeated structure
+    within the frame, across frames, and across circuits sharing the
+    manager is represented once. *)
+
+val num_nodes : t -> int
+(** Number of live AIG nodes (a sharing measure for diagnostics). *)
+
+(** {1 Netlist-to-netlist rewrite} *)
+
+val rewrite : Circuit.t -> Circuit.t
+(** Rebuild a circuit as its hash-consed bit-level form: state
+    flattens to 1-bit registers (memories into their words) fed by the
+    strashed next-state functions; ports keep names and widths.  The
+    result simulates cycle-accurately identically to the original on
+    all ports (pinned by the differential suite) — usable as a
+    standalone pre-pass for consumers that keep the {!Blast} path. *)

@@ -89,3 +89,28 @@ hung).
   $ hwpat faultsim --design saa2vga_sram_pattern --faults 2 --frame-size 4 \
   >   --jobs 1 --retries 0 --shard-timeout 0.000001 | grep 'faults:'
     faults: 2   detected: 0   masked: 0   silent: 0   unfinished: 2
+
+An exhausted solver budget is an honest [UNK] and exit 1 — and the
+portfolio path reports the exact same verdicts, statuses and exit
+code as the single-solver path (the final racing round IS the user's
+cap, and racer 0 wins all-indefinitive ties).  Only the wall-clock
+suffix differs.
+
+  $ hwpat prove --smoke --solver-budget 1/1 --jobs 1 > single.raw
+  [1]
+  $ hwpat prove --smoke --portfolio --solver-budget 1/1 --jobs 2 > racing.raw
+  [1]
+  $ sed -E 's/ \([0-9.]+s\)$//' single.raw > single.txt
+  $ sed -E 's/ \([0-9.]+s\)$//' racing.raw > racing.txt
+  $ cmp single.txt racing.txt && echo identical
+  identical
+  $ grep -c '^\[UNK\].*solver budget exhausted' single.txt
+  7
+  $ grep 'prove:' single.txt
+  prove: 13 obligations, 6 proved, 0 failed, 7 unknown
+
+A portfolio needs 2..4 configurations:
+
+  $ hwpat prove --smoke --portfolio=7
+  hwpat: --portfolio must be 2..4 (got 7)
+  [2]

@@ -135,6 +135,92 @@ let test_solver_interrupt () =
   | Solver.Sat -> Alcotest.fail "pigeonhole reported sat after interrupt"
   | Solver.Unknown -> Alcotest.fail "unknown without a budget"
 
+(* --- Push/pop scopes ------------------------------------------------------ *)
+
+let test_solver_push_pop () =
+  let s = Solver.create () in
+  let a = Solver.new_var s and b = Solver.new_var s in
+  Solver.add_clause s [ a; b ];
+  Alcotest.(check int) "no scope open" 0 (Solver.scope_depth s);
+  Solver.push s;
+  Solver.add_clause s [ -a ];
+  Solver.push s;
+  Solver.add_clause s [ -b ];
+  Alcotest.(check int) "two scopes open" 2 (Solver.scope_depth s);
+  (match Solver.solve s with
+  | Solver.Unsat -> ()
+  | _ -> Alcotest.fail "(a|b) & ~a & ~b should be unsat");
+  (* Popping the inner scope retires ~b only: b must come back. *)
+  Solver.pop s;
+  (match Solver.solve s with
+  | Solver.Sat ->
+    Alcotest.(check bool) "b forced by the outer scope" true (Solver.value s b)
+  | _ -> Alcotest.fail "sat after popping the inner scope");
+  Solver.pop s;
+  Alcotest.(check int) "all scopes closed" 0 (Solver.scope_depth s);
+  (* Both scoped clauses gone: a & ~b is compatible with the base. *)
+  match Solver.solve s ~assumptions:[ a; -b ] with
+  | Solver.Sat -> ()
+  | _ -> Alcotest.fail "scoped clauses must not survive their pop"
+
+(* Learned clauses survive a pop (that is the point of scopes): the
+   conflicts spent inside a scope make the solve after the pop
+   cheaper, never incorrect. *)
+let test_solver_scope_keeps_learning () =
+  let s = pigeonhole_solver ~pigeons:5 ~holes:4 in
+  Solver.push s;
+  (match Solver.solve s with
+  | Solver.Unsat -> ()
+  | _ -> Alcotest.fail "pigeonhole sat inside a scope");
+  let inside = (Solver.stats s).Solver.conflicts in
+  Solver.pop s;
+  (match Solver.solve s with
+  | Solver.Unsat -> ()
+  | _ -> Alcotest.fail "pigeonhole sat after pop");
+  let after = (Solver.stats s).Solver.conflicts in
+  Alcotest.(check bool)
+    (Printf.sprintf "re-solve reuses learning (%d then %d more)" inside
+       (after - inside))
+    true
+    (after - inside <= inside)
+
+(* A configuration must replay bit-identically: same instance, same
+   config, same operation counts. *)
+let test_solver_config_replay_stable () =
+  let agile =
+    {
+      Solver.restart_base = 50;
+      restart_factor = 1.2;
+      decay = 0.90;
+      init_phase = false;
+    }
+  in
+  let one config =
+    let s = Solver.create ~config () in
+    let v = Array.init 6 (fun _ -> Array.init 5 (fun _ -> Solver.new_var s)) in
+    for p = 0 to 5 do
+      Solver.add_clause s (Array.to_list v.(p))
+    done;
+    for h = 0 to 4 do
+      for p1 = 0 to 5 do
+        for p2 = p1 + 1 to 5 do
+          Solver.add_clause s [ -v.(p1).(h); -v.(p2).(h) ]
+        done
+      done
+    done;
+    (match Solver.solve s with
+    | Solver.Unsat -> ()
+    | _ -> Alcotest.fail "pigeonhole 6-into-5 not refuted");
+    let st = Solver.stats s in
+    (st.Solver.conflicts, st.Solver.propagations, st.Solver.decisions)
+  in
+  Alcotest.(check (triple int int int))
+    "agile config replays identically" (one agile) (one agile);
+  Alcotest.(check (triple int int int))
+    "default config replays identically"
+    (one Solver.default_config)
+    (one Solver.default_config)
+
 (* --- Optimizer equivalence ----------------------------------------------- *)
 
 let check_proved what = function
@@ -266,6 +352,179 @@ let test_port_conventions () =
   match Equiv.check o1 o2 with
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "disjoint output names must be rejected"
+
+(* --- Structural hashing --------------------------------------------------- *)
+
+(* Drive the original and its strash-rewritten form in lockstep under
+   Cyclesim on deterministic random stimulus, diffing every output
+   port after every cycle.  This pins {!Strash.rewrite} — and with it
+   the whole hash-consing/rewrite algebra the strash proof engine is
+   built on — to the simulator's cycle-accurate semantics. *)
+let lockstep_compare what a b ~cycles ~seed =
+  let port_set l = List.sort compare (List.map (fun (n, s) -> (n, width s)) l) in
+  Alcotest.(check (list (pair string int)))
+    (what ^ ": input ports preserved")
+    (port_set (Circuit.inputs a))
+    (port_set (Circuit.inputs b));
+  Alcotest.(check (list (pair string int)))
+    (what ^ ": output ports preserved")
+    (port_set (Circuit.outputs a))
+    (port_set (Circuit.outputs b));
+  let rng = Random.State.make [| 0x5ee0 + seed |] in
+  let sim_a = Cyclesim.create a and sim_b = Cyclesim.create b in
+  let inputs = List.map (fun (n, s) -> (n, width s)) (Circuit.inputs a) in
+  for cycle = 1 to cycles do
+    List.iter
+      (fun (n, w) ->
+        let v = Bits.of_int ~width:w (Random.State.int rng (1 lsl min w 30)) in
+        Cyclesim.drive sim_a n v;
+        Cyclesim.drive sim_b n v)
+      inputs;
+    Cyclesim.cycle sim_a;
+    Cyclesim.cycle sim_b;
+    List.iter
+      (fun (n, _) ->
+        let va = !(Cyclesim.out_port sim_a n)
+        and vb = !(Cyclesim.out_port sim_b n) in
+        if not (Bits.equal va vb) then
+          Alcotest.failf "%s: output %s diverges at cycle %d (%s vs %s)" what n
+            cycle (Bits.to_string va) (Bits.to_string vb))
+      (Circuit.outputs a)
+  done
+
+let test_strash_rewrite_differential () =
+  List.iter
+    (fun (what, c) -> lockstep_compare what c (Strash.rewrite c) ~cycles:200 ~seed:1)
+    (paper_designs ());
+  for seed = 1 to 40 do
+    let c, _ = Netgen.build_random_circuit ~seed in
+    lockstep_compare
+      (Printf.sprintf "netgen seed %d" seed)
+      c (Strash.rewrite c) ~cycles:64 ~seed
+  done
+
+(* The blast and strash engines must return the same verdicts — on
+   equivalent pairs, on a sequentially-divergent pair (both sides'
+   counterexamples replay through Equiv's internal confirmation), and
+   on a combinational miter. *)
+let test_equiv_strash_parity () =
+  List.iter
+    (fun seed ->
+      let c, _ = Netgen.build_random_circuit ~seed in
+      let o = Optimize.circuit c in
+      check_proved (Printf.sprintf "seed %d (strash)" seed) (Equiv.check c o);
+      check_proved
+        (Printf.sprintf "seed %d (blast)" seed)
+        (Equiv.check ~strash:false c o))
+    [ 3; 11; 27 ];
+  let good = counter_circuit ~broken:false in
+  let bad = counter_circuit ~broken:true in
+  List.iter
+    (fun strash ->
+      let engine = if strash then "strash" else "blast" in
+      match Equiv.check ~strash good bad with
+      | Equiv.Counterexample cex ->
+        if List.length cex < 12 then
+          Alcotest.failf "%s cex too short (%d cycles)" engine
+            (List.length cex)
+      | Equiv.Proved ->
+        Alcotest.failf "%s: mutated counter reported equivalent" engine
+      | Equiv.Unknown why -> Alcotest.failf "%s: undecided (%s)" engine why)
+    [ true; false ];
+  let x = input "x" 4 and y = input "y" 4 in
+  let add = Circuit.create_exn ~name:"add" [ ("s", x +: y) ] in
+  let x' = input "x" 4 and y' = input "y" 4 in
+  let orr = Circuit.create_exn ~name:"orr" [ ("s", x' |: y') ] in
+  List.iter
+    (fun strash ->
+      match Equiv.check ~strash add orr with
+      | Equiv.Counterexample [ _ ] -> ()
+      | _ -> Alcotest.fail "combinational miter parity broken")
+    [ true; false ]
+
+(* --- Stats merge exactly once --------------------------------------------- *)
+
+(* Satellite regression: a check abandoned by its interrupt hook (the
+   supervision watchdog about to retry) must merge nothing — the retry
+   merges its own complete run, and the pair together must equal a
+   single uninterrupted run, not double it. *)
+let test_stats_merge_once_on_retry () =
+  let good = counter_circuit ~broken:false in
+  let bad = counter_circuit ~broken:true in
+  let expect_cex what = function
+    | Equiv.Counterexample _ -> ()
+    | Equiv.Proved -> Alcotest.failf "%s: reported equivalent" what
+    | Equiv.Unknown why -> Alcotest.failf "%s: undecided (%s)" what why
+  in
+  let oracle = Hwpat_obs.Metrics.create () in
+  expect_cex "oracle" (Equiv.check ~metrics:oracle good bad);
+  let m = Hwpat_obs.Metrics.create () in
+  let fired = ref false in
+  (* Attempt 1: aborted from inside SAT search, as a watchdog would. *)
+  (try
+     ignore
+       (Equiv.check ~metrics:m
+          ~interrupt:(fun () ->
+            fired := true;
+            raise Poked)
+          good bad)
+   with Poked -> ());
+  Alcotest.(check bool) "interrupt hook fired" true !fired;
+  Alcotest.(check int) "aborted attempt merged nothing" 0
+    (Hwpat_obs.Metrics.counter_value m "solver.decisions");
+  (* Attempt 2: the retry, run to completion. *)
+  expect_cex "retry" (Equiv.check ~metrics:m good bad);
+  List.iter
+    (fun c ->
+      let key = "solver." ^ c in
+      Alcotest.(check int)
+        (key ^ " equals a single uninterrupted run")
+        (Hwpat_obs.Metrics.counter_value oracle key)
+        (Hwpat_obs.Metrics.counter_value m key))
+    [ "decisions"; "conflicts"; "propagations"; "learned"; "sat"; "unsat" ]
+
+(* --- Portfolio ingredients ------------------------------------------------ *)
+
+let test_portfolio_ingredients () =
+  (match Portfolio.racers ~n:1 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "n=1 is not a race");
+  (match Portfolio.racers ~n:(Portfolio.max_racers + 1) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "n beyond the racer table must be rejected");
+  let r = Portfolio.racers ~n:3 in
+  Alcotest.(check int) "three racers" 3 (List.length r);
+  Alcotest.(check bool)
+    "racer 0 is the default config" true
+    ((List.hd r).Portfolio.config = Solver.default_config);
+  List.iteri
+    (fun i racer ->
+      Alcotest.(check int) "racer indices are positional" i
+        racer.Portfolio.index)
+    r;
+  (* Uncapped ladder ends unlimited; capped ladder ends at the cap. *)
+  let last l = List.nth l (List.length l - 1) in
+  Alcotest.(check bool)
+    "uncapped ladder ends unlimited" true
+    (last (Portfolio.rounds ~cap:Solver.no_budget) = Solver.no_budget);
+  let tiny = { Solver.max_conflicts = 1; max_propagations = 1 } in
+  Alcotest.(check bool)
+    "a tiny cap is the whole ladder" true
+    (Portfolio.rounds ~cap:tiny = [ tiny ]);
+  let mid = { Solver.max_conflicts = 50_000; max_propagations = 20_000_000 } in
+  let ladder = Portfolio.rounds ~cap:mid in
+  Alcotest.(check bool) "mid cap keeps lighter rounds" true
+    (List.length ladder > 1);
+  Alcotest.(check bool) "mid-capped ladder ends at the cap" true
+    (last ladder = mid);
+  Alcotest.(check bool)
+    "budget-exhausted statuses are indefinitive" true
+    (Portfolio.budget_limited
+       "unknown: solver budget exhausted at frame 3 (no violation in frames \
+        0..2)");
+  Alcotest.(check bool)
+    "structural give-ups are definitive" false
+    (Portfolio.budget_limited "unknown: k-induction inconclusive at k=24")
 
 (* --- Pruned containers --------------------------------------------------- *)
 
@@ -426,6 +685,25 @@ let () =
           Alcotest.test_case "propagation budget" `Quick
             test_solver_propagation_budget;
           Alcotest.test_case "interrupt hook" `Quick test_solver_interrupt;
+          Alcotest.test_case "push/pop scopes" `Quick test_solver_push_pop;
+          Alcotest.test_case "scopes keep learned clauses" `Quick
+            test_solver_scope_keeps_learning;
+          Alcotest.test_case "configs replay bit-identically" `Quick
+            test_solver_config_replay_stable;
+        ] );
+      ( "strash",
+        [
+          Alcotest.test_case "rewrite is cycle-accurate (43 circuits)" `Slow
+            test_strash_rewrite_differential;
+          Alcotest.test_case "blast and strash verdicts agree" `Slow
+            test_equiv_strash_parity;
+        ] );
+      ( "portfolio",
+        [
+          Alcotest.test_case "racers, rounds and definitiveness" `Quick
+            test_portfolio_ingredients;
+          Alcotest.test_case "stats merge once across a retry" `Quick
+            test_stats_merge_once_on_retry;
         ] );
       ( "equivalence",
         [

@@ -249,6 +249,33 @@ let test_bucket_boundaries () =
   check_bool "sum -2" true (contains "\"sum\": -2" json);
   check_bool "buckets [2, 0, 1" true (contains "[2, 0, 1" json)
 
+(* Satellite regression: the SAT solver pre-aggregates its
+   learned-clause size histogram and hands it to [add_histogram], so
+   its bucketing function must be THE [Metrics.bucket_of] convention —
+   same bucket for every value, same array length — or the merged
+   histogram silently shears. The solver was once the deviating side. *)
+let test_solver_bucket_alignment () =
+  let module Solver = Hwpat_formal.Solver in
+  for v = -3 to 5000 do
+    check_int
+      (Printf.sprintf "size_bucket %d = bucket_of %d" v v)
+      (Metrics.bucket_of v) (Solver.size_bucket v)
+  done;
+  List.iter
+    (fun v ->
+      check_int
+        (Printf.sprintf "size_bucket %d = bucket_of %d" v v)
+        (Metrics.bucket_of v) (Solver.size_bucket v))
+    [ 1 lsl 20; (1 lsl 30) - 1; 1 lsl 45; max_int; min_int ];
+  (* And the histogram a real solver emits has the Metrics shape. *)
+  let s = Solver.create () in
+  let a = Solver.new_var s and b = Solver.new_var s and c = Solver.new_var s in
+  List.iter (Solver.add_clause s)
+    [ [ a; b ]; [ a; -b; c ]; [ -a; c ]; [ -c; b ]; [ -a; -b; -c ] ];
+  ignore (Solver.solve s);
+  check_int "solver histogram is Metrics-shaped" Metrics.buckets
+    (Array.length (Solver.stats s).Solver.learned_size_buckets)
+
 let test_counters () =
   let m = Metrics.create () in
   check_int "absent counter reads 0" 0 (Metrics.counter_value m "none");
@@ -304,6 +331,8 @@ let () =
       ( "metrics",
         [
           Alcotest.test_case "log2 bucketing" `Quick test_bucketing;
+          Alcotest.test_case "solver size_bucket = Metrics.bucket_of" `Quick
+            test_solver_bucket_alignment;
           Alcotest.test_case "bucket boundaries (zero/negative/powers)" `Quick
             test_bucket_boundaries;
           Alcotest.test_case "counters" `Quick test_counters;
